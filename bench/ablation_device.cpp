@@ -1,0 +1,66 @@
+// Ablations of the device capabilities the virtualization layer exploits:
+//  * concurrent-kernel cap (1 / 4 / 16): Fermi generations differ; with a
+//    cap of 1 the GVM can only pipeline I/O against one kernel;
+//  * copy engines (1 vs 2): bidirectional transfer overlap;
+//  * a pre-Fermi device (Tesla C1060 profile: no concurrent kernels, no
+//    copy/compute overlap) — virtualization still eliminates context
+//    switches and per-process initialization, the paper's minimum win.
+#include <iostream>
+
+#include "support.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+void run_device(TablePrinter& table, const char* name,
+                const gpu::DeviceSpec& spec, const workloads::Workload& w,
+                int nprocs) {
+  const gvm::RunResult base =
+      gvm::run_baseline(spec, w.plan, w.rounds, nprocs);
+  const gvm::RunResult virt = gvm::run_virtualized(
+      spec, bench::paper_gvm_config(), w.plan, w.rounds, nprocs);
+  table.add_row({name, w.name,
+                 TablePrinter::num(to_seconds(base.turnaround)),
+                 TablePrinter::num(to_seconds(virt.turnaround)),
+                 TablePrinter::num(static_cast<double>(base.turnaround) /
+                                       static_cast<double>(virt.turnaround),
+                                   2)});
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kProcs = 8;
+  print_banner(std::cout, "Ablation: device capabilities (8 processes)");
+  TablePrinter table({"device variant", "workload", "no-virt (s)",
+                      "virt (s)", "speedup"});
+
+  // 20M elements (240 MB per process) so that eight baseline contexts fit
+  // on every device variant, including the 4 GB C1060.
+  const workloads::Workload io = workloads::vector_add(20'000'000);
+  const workloads::Workload comp = workloads::npb_ep(30);
+
+  for (const auto& w : {io, comp}) {
+    run_device(table, "C2070 (paper)", bench::paper_device(), w, kProcs);
+
+    for (int cap : {1, 4}) {
+      gpu::DeviceSpec spec = bench::paper_device();
+      spec.max_concurrent_kernels = cap;
+      const std::string name =
+          "C2070, concurrent-kernel cap " + std::to_string(cap);
+      run_device(table, name.c_str(), spec, w, kProcs);
+    }
+
+    {
+      gpu::DeviceSpec spec = bench::paper_device();
+      spec.copy_engines = 1;
+      run_device(table, "C2070, single copy engine", spec, w, kProcs);
+    }
+
+    run_device(table, "C1060 (pre-Fermi)", gpu::tesla_c1060(), w, kProcs);
+  }
+
+  bench::emit(table, "ablation_device");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablations of the GVM design choices called out in DESIGN.md:
+//  * STR barriers on/off — the paper co-flushes all client streams so that
+//    Fermi's concurrency features see the whole SPMD wave at once;
+//  * pinned vs pageable staging — async copy/compute overlap requires
+//    pinned host memory (paper Section V);
+//  * shared-memory staging copies on/off — the dominant source of the
+//    Figure 10 overhead.
+#include <iostream>
+
+#include "support.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+void run_variant(TablePrinter& table, const char* name,
+                 const gvm::GvmConfig& config,
+                 const workloads::Workload& w, int nprocs) {
+  const gvm::RunResult r = gvm::run_virtualized(bench::paper_device(), config,
+                                                w.plan, w.rounds, nprocs);
+  table.add_row({name, w.name, TablePrinter::num(to_seconds(r.turnaround)),
+                 std::to_string(r.device.max_open_kernels),
+                 std::to_string(r.gvm.flushes)});
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kProcs = 8;
+  print_banner(std::cout, "Ablation: GVM design choices (8 processes)");
+  TablePrinter table({"variant", "workload", "virt turnaround (s)",
+                      "peak concurrent kernels", "flushes"});
+
+  const workloads::Workload io = workloads::vector_add();
+  const workloads::Workload comp = workloads::npb_ep(30);
+
+  for (const auto& w : {io, comp}) {
+    gvm::GvmConfig base = bench::paper_gvm_config();
+    run_variant(table, "paper configuration", base, w, kProcs);
+
+    gvm::GvmConfig no_barrier = base;
+    no_barrier.use_barriers = false;
+    run_variant(table, "no STR barrier", no_barrier, w, kProcs);
+
+    gvm::GvmConfig pageable = base;
+    pageable.pinned_staging = false;
+    run_variant(table, "pageable staging", pageable, w, kProcs);
+
+    gvm::GvmConfig free_staging = base;
+    free_staging.model_staging_copies = false;
+    run_variant(table, "zero-cost shm staging", free_staging, w, kProcs);
+  }
+
+  bench::emit(table, "ablation_gvm");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quantitative comparison of GPU-sharing strategies (paper Section II made
+// measurable): native context sharing, the paper's GVM, remote GPU access
+// over 1/10 GbE (rCUDA-style), VM passthrough (GViM/vCUDA/gVirtuS-style),
+// and kernel merging (Guevara et al.) — all on the same simulated C2070,
+// 8 SPMD processes.
+#include <iostream>
+
+#include "baselines/baselines.hpp"
+#include "support.hpp"
+
+using namespace vgpu;
+
+int main() {
+  constexpr int kProcs = 8;
+  print_banner(std::cout,
+               "Sharing-strategy comparison (8 processes, turnaround in s)");
+  TablePrinter table({"workload", "native", "GVM (paper)", "remote 1GbE",
+                      "remote 10GbE", "VM passthrough", "kernel merge"});
+
+  const workloads::Workload cases[] = {
+      workloads::vector_add(),       // I/O-intensive
+      workloads::npb_ep(30),         // compute-intensive, tiny grid
+      workloads::matmul(),           // device-filling intermediate
+  };
+  for (const workloads::Workload& w : cases) {
+    const gpu::DeviceSpec spec = bench::paper_device();
+    const double native = to_seconds(
+        gvm::run_baseline(spec, w.plan, w.rounds, kProcs).turnaround);
+    const double virt = to_seconds(
+        gvm::run_virtualized(spec, bench::paper_gvm_config(), w.plan,
+                             w.rounds, kProcs)
+            .turnaround);
+    baselines::RemoteGpuConfig gbe1;
+    baselines::RemoteGpuConfig gbe10;
+    gbe10.network_bw = 1.25e9;
+    const double remote1 = to_seconds(
+        baselines::run_remote_gpu(spec, gbe1, w.plan, w.rounds, kProcs)
+            .turnaround);
+    const double remote10 = to_seconds(
+        baselines::run_remote_gpu(spec, gbe10, w.plan, w.rounds, kProcs)
+            .turnaround);
+    const double vm = to_seconds(
+        baselines::run_vm_passthrough(spec, baselines::VmConfig{}, w.plan,
+                                      w.rounds, kProcs)
+            .turnaround);
+    const double merged = to_seconds(
+        baselines::run_kernel_merge(spec, w.plan, w.rounds, kProcs)
+            .turnaround);
+    table.add_row({w.name, TablePrinter::num(native),
+                   TablePrinter::num(virt), TablePrinter::num(remote1),
+                   TablePrinter::num(remote10), TablePrinter::num(vm),
+                   TablePrinter::num(merged)});
+  }
+  bench::emit(table, "comparison_strategies");
+  return 0;
+}

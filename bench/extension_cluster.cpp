@@ -1,0 +1,39 @@
+// Extension study (beyond the paper): the Figure 2 architecture at cluster
+// scale. NPB EP class B partitioned across all ranks; each node's GPU is
+// shared by its 8 cores either natively or through a node-local GVM, then
+// the tallies are allreduced over the simulated interconnect.
+#include <iostream>
+
+#include "cluster/experiment.hpp"
+#include "support.hpp"
+
+using namespace vgpu;
+
+int main() {
+  print_banner(std::cout,
+               "Extension: cluster-scale SPMD (8 cores/node, 1 GPU/node, "
+               "EP class B)");
+  TablePrinter table({"nodes", "ranks", "native (s)", "GVM/node (s)",
+                      "speedup", "wire traffic"});
+  const int m = 30;
+  for (int nodes : {1, 2, 4, 8}) {
+    cluster::ClusterConfig config;
+    config.nodes = nodes;
+    config.cores_per_node = 8;
+    config.virtualized = false;
+    const cluster::ClusterResult native = run_cluster_ep(config, m);
+    config.virtualized = true;
+    const cluster::ClusterResult virt = run_cluster_ep(config, m);
+    table.add_row({std::to_string(nodes), std::to_string(config.ranks()),
+                   TablePrinter::num(to_seconds(native.turnaround)),
+                   TablePrinter::num(to_seconds(virt.turnaround)),
+                   TablePrinter::num(static_cast<double>(native.turnaround) /
+                                         static_cast<double>(virt.turnaround),
+                                     2),
+                   format_bytes(virt.bytes_on_wire)});
+  }
+  bench::emit(table, "extension_cluster");
+  std::cout << "(allreduced tallies verified against sequential EP in "
+               "tests/cluster_test.cpp)\n";
+  return 0;
+}

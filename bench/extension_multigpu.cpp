@@ -1,0 +1,40 @@
+// Extension study (beyond the paper): scaling the virtualized node from
+// one to four GPUs for 8 SPMD processes. Device-filling workloads (MM,
+// Electrostatics) scale with added devices; latency-bound ones (EP, CG)
+// are already concurrent on one device and gain little.
+#include <iostream>
+
+#include "gvm/multi.hpp"
+#include "support.hpp"
+
+using namespace vgpu;
+
+int main() {
+  constexpr int kProcs = 8;
+  print_banner(std::cout,
+               "Extension: multi-GPU virtualized node (8 processes, "
+               "turnaround in s)");
+  TablePrinter table(
+      {"workload", "native 1 GPU", "GVM 1 GPU", "GVM 2 GPUs", "GVM 4 GPUs"});
+
+  const workloads::Workload cases[] = {
+      workloads::matmul(), workloads::electrostatics(), workloads::npb_ep(30),
+      workloads::npb_cg()};
+  for (const workloads::Workload& w : cases) {
+    const gpu::DeviceSpec spec = bench::paper_device();
+    std::vector<std::string> row{w.name};
+    row.push_back(TablePrinter::num(to_seconds(
+        gvm::run_baseline(spec, w.plan, w.rounds, kProcs).turnaround)));
+    for (int ngpus : {1, 2, 4}) {
+      const std::vector<gpu::DeviceSpec> specs(
+          static_cast<std::size_t>(ngpus), spec);
+      row.push_back(TablePrinter::num(to_seconds(
+          gvm::run_virtualized_multi(specs, gvm::GvmConfig{}, w.plan,
+                                     w.rounds, kProcs)
+              .turnaround)));
+    }
+    table.add_row(row);
+  }
+  bench::emit(table, "extension_multigpu");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Extension study: two more NPB kernels (FT and IS) under virtualization,
+// completing the family the paper samples (EP/MG/CG). FT's 128-block grid
+// leaves room for co-execution; IS is transfer-bound like vector addition.
+#include <iostream>
+
+#include "support.hpp"
+
+using namespace vgpu;
+
+int main() {
+  print_banner(std::cout,
+               "Extension: NPB FT and IS under GPU virtualization");
+  TablePrinter table({"benchmark", "processes", "no-virt (s)", "virt (s)",
+                      "speedup"});
+  for (const workloads::Workload& w :
+       {workloads::npb_ft(), workloads::npb_is()}) {
+    for (int n : {1, 4, 8}) {
+      const bench::Comparison c = bench::compare(w, n);
+      table.add_row({w.name, std::to_string(n),
+                     TablePrinter::num(to_seconds(c.baseline.turnaround)),
+                     TablePrinter::num(to_seconds(c.virtualized.turnaround)),
+                     TablePrinter::num(c.speedup(), 2)});
+    }
+  }
+  bench::emit(table, "extension_npb");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces paper Figure 16: speedup achieved by GPU virtualization for
+// each application benchmark when launched with 8 processes (all available
+// cores). The paper reports speedups between 1.4 and 4.1, with the
+// partial-GPU compute-intensive kernels (MG, CG) gaining most and the
+// device-filling / I/O-heavy ones (BlackScholes, Electrostatics) least.
+#include <iostream>
+
+#include "support.hpp"
+
+using namespace vgpu;
+
+int main() {
+  constexpr int kProcs = 8;
+  print_banner(std::cout,
+               "Figure 16: speedups with GPU virtualization (8 processes)");
+  TablePrinter table({"benchmark", "no-virt (s)", "virt (s)", "speedup"});
+  double lo = 1e30, hi = 0.0;
+  for (const workloads::Workload& w : workloads::application_benchmarks()) {
+    const bench::Comparison c = bench::compare(w, kProcs);
+    const double s = c.speedup();
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+    table.add_row({w.name, TablePrinter::num(to_seconds(c.baseline.turnaround)),
+                   TablePrinter::num(to_seconds(c.virtualized.turnaround)),
+                   TablePrinter::num(s, 2)});
+  }
+  bench::emit(table, "fig16_speedups");
+  std::cout << "speedup range: " << TablePrinter::num(lo, 2) << " - "
+            << TablePrinter::num(hi, 2) << " (paper: 1.4 - 4.1)\n";
+  return 0;
+}

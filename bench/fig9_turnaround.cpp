@@ -1,0 +1,25 @@
+// Reproduces paper Figure 9: process turnaround time versus the number of
+// SPMD processes (1-8) for the I/O-intensive microbenchmark (vector
+// addition, left panel) and the compute-intensive one (NPB EP class B,
+// right panel), with and without virtualization.
+//
+// Expected shapes (paper Section VI):
+//  * without virtualization both curves grow ~linearly, with a slope of
+//    one full task cycle plus one context switch;
+//  * with virtualization the I/O-intensive curve still grows (bounded by
+//    MAX(Tin, Tout) per process) but much more slowly;
+//  * with virtualization the compute-intensive curve stays ~flat: the
+//    4-block EP grids from all processes execute concurrently.
+#include "support.hpp"
+
+using namespace vgpu;
+
+int main() {
+  bench::turnaround_sweep(workloads::vector_add(), 8,
+                          "Figure 9 (left): I/O-intensive (VectorAdd, 50M)",
+                          "fig9_vecadd");
+  bench::turnaround_sweep(workloads::npb_ep(30), 8,
+                          "Figure 9 (right): compute-intensive (EP class B)",
+                          "fig9_ep");
+  return 0;
+}

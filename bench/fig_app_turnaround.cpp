@@ -1,0 +1,39 @@
+// Shared main for paper Figures 11-15: per-application turnaround time vs
+// process count (1-8), with and without virtualization. The application is
+// selected per binary via the VGPU_APP compile definition:
+//   fig11_mm, fig12_mg, fig13_blackscholes, fig14_cg, fig15_electrostatics.
+#include <string>
+
+#include "support.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+workloads::Workload select(const std::string& app) {
+  if (app == "MM") return workloads::matmul();
+  if (app == "MG") return workloads::npb_mg();
+  if (app == "BlackScholes") return workloads::black_scholes();
+  if (app == "CG") return workloads::npb_cg();
+  if (app == "Electrostatics") return workloads::electrostatics();
+  VGPU_ASSERT_MSG(false, "unknown VGPU_APP");
+  return {};
+}
+
+const char* figure_of(const std::string& app) {
+  if (app == "MM") return "Figure 11: MM (2048x2048 SGEMM)";
+  if (app == "MG") return "Figure 12: MG (NPB class S)";
+  if (app == "BlackScholes") return "Figure 13: BlackScholes (1M, Nit=512)";
+  if (app == "CG") return "Figure 14: CG (NPB class S)";
+  return "Figure 15: Electrostatics (100K atoms, Nit=25)";
+}
+
+}  // namespace
+
+int main() {
+  const std::string app = VGPU_APP;
+  const workloads::Workload w = select(app);
+  std::string csv = "fig_" + app;
+  bench::turnaround_sweep(w, 8, figure_of(app), csv);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks of the discrete-event engine (google-benchmark): raw
+// event dispatch, coroutine context switches, channel messaging, barriers.
+#include <benchmark/benchmark.h>
+
+#include "des/channel.hpp"
+#include "des/sim.hpp"
+#include "des/sync.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    const long events = state.range(0);
+    for (long i = 0; i < events; ++i) {
+      sim.call_at(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_CoroutineDelayLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    sim.spawn([](des::Simulator& s, long hops) -> des::Task<> {
+      for (long i = 0; i < hops; ++i) co_await s.delay(1);
+    }(sim, state.range(0)));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelayLoop)->Arg(1000)->Arg(100000);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    des::Channel<int> ping(sim), pong(sim);
+    const long rounds = state.range(0);
+    sim.spawn([](des::Channel<int>& ping, des::Channel<int>& pong,
+                 long rounds) -> des::Task<> {
+      for (long i = 0; i < rounds; ++i) {
+        ping.send(static_cast<int>(i));
+        (void)co_await pong.receive();
+      }
+    }(ping, pong, rounds));
+    sim.spawn([](des::Channel<int>& ping, des::Channel<int>& pong,
+                 long rounds) -> des::Task<> {
+      for (long i = 0; i < rounds; ++i) {
+        (void)co_await ping.receive();
+        pong.send(static_cast<int>(i));
+      }
+    }(ping, pong, rounds));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(1000)->Arg(10000);
+
+void BM_BarrierRounds(benchmark::State& state) {
+  const int parties = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    des::Barrier barrier(sim, static_cast<std::size_t>(parties));
+    for (int p = 0; p < parties; ++p) {
+      sim.spawn([](des::Simulator& s, des::Barrier& b) -> des::Task<> {
+        for (int round = 0; round < 100; ++round) {
+          co_await s.delay(1);
+          co_await b.arrive_and_wait();
+        }
+      }(sim, barrier));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * parties * 100);
+}
+BENCHMARK(BM_BarrierRounds)->Arg(2)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

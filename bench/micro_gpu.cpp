@@ -1,0 +1,66 @@
+// Microbenchmarks of the GPU device model: occupancy computation, the
+// memory allocator, and end-to-end kernel scheduling throughput (chunks
+// placed per second of wall time).
+#include <benchmark/benchmark.h>
+
+#include "des/sim.hpp"
+#include "gpu/device.hpp"
+#include "gpu/occupancy.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+void BM_OccupancyCompute(benchmark::State& state) {
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  gpu::KernelGeometry g{1000, 256, 21, 4096};
+  for (auto _ : state) {
+    g.regs_per_thread = 16 + static_cast<int>(state.iterations() % 16);
+    benchmark::DoNotOptimize(gpu::compute_occupancy(spec, g));
+  }
+}
+BENCHMARK(BM_OccupancyCompute);
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    gpu::DeviceMemoryAllocator alloc(1 * kGiB);
+    std::vector<gpu::DevPtr> live;
+    for (int i = 0; i < 1000; ++i) {
+      auto p = alloc.allocate(1 + (i * 7919) % 65536);
+      if (p.ok()) live.push_back(*p);
+      if (live.size() > 500) {
+        (void)alloc.free(live[live.size() / 2]);
+        live.erase(live.begin() + static_cast<long>(live.size()) / 2);
+      }
+    }
+    for (gpu::DevPtr p : live) (void)alloc.free(p);
+    benchmark::DoNotOptimize(alloc.used());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_AllocatorChurn);
+
+void BM_KernelScheduling(benchmark::State& state) {
+  // Wall-clock cost of simulating a large-grid kernel (many chunks).
+  const long blocks = state.range(0);
+  for (auto _ : state) {
+    des::Simulator sim;
+    gpu::Device dev(sim, gpu::tesla_c2070());
+    sim.spawn([](gpu::Device& d, long blocks) -> des::Task<> {
+      const gpu::ContextId ctx = co_await d.create_context();
+      gpu::KernelLaunch l;
+      l.name = "bench";
+      l.geometry = gpu::KernelGeometry{blocks, 1024, 20, 0};
+      l.cost = gpu::KernelCost{100.0, 12.0, 1.0};
+      co_await d.launch_kernel(ctx, l);
+    }(dev, blocks));
+    sim.run();
+    benchmark::DoNotOptimize(dev.stats().chunks_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_KernelScheduling)->Arg(1000)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

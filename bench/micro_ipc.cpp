@@ -1,0 +1,95 @@
+// Microbenchmarks of the live IPC substrate: message-queue round trips,
+// shared-memory bandwidth and ring-buffer throughput — the real-machine
+// costs behind the GVM's msg_latency / host_memcpy_bw model parameters.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "ipc/mqueue.hpp"
+#include "ipc/ring.hpp"
+#include "ipc/shm.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+std::string unique_name(const char* tag) {
+  return std::string("/vgpu_bench_") + tag + "_" +
+         std::to_string(::getpid());
+}
+
+struct Msg {
+  int type;
+  int client;
+};
+
+void BM_MqueueRoundTrip(benchmark::State& state) {
+  auto req = ipc::MessageQueue<Msg>::create(unique_name("req"));
+  auto resp = ipc::MessageQueue<Msg>::create(unique_name("resp"));
+  if (!req.ok() || !resp.ok()) {
+    state.SkipWithError("mq creation failed");
+    return;
+  }
+  std::atomic<bool> stop{false};
+  std::thread echo([&] {
+    for (;;) {
+      auto m = req->receive(std::chrono::milliseconds(200));
+      if (!m.ok()) {
+        if (stop.load()) return;
+        continue;
+      }
+      (void)resp->send(*m);
+    }
+  });
+  for (auto _ : state) {
+    (void)req->send({1, 2});
+    auto m = resp->receive(std::chrono::milliseconds(1000));
+    benchmark::DoNotOptimize(m.ok());
+  }
+  stop.store(true);
+  echo.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MqueueRoundTrip);
+
+void BM_ShmMemcpy(benchmark::State& state) {
+  const Bytes size = state.range(0);
+  auto shm = ipc::SharedMemory::create(unique_name("bw"), size);
+  if (!shm.ok()) {
+    state.SkipWithError("shm creation failed");
+    return;
+  }
+  std::vector<std::byte> src(static_cast<std::size_t>(size), std::byte{7});
+  for (auto _ : state) {
+    std::memcpy(shm->data(), src.data(), src.size());
+    benchmark::DoNotOptimize(shm->data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_ShmMemcpy)->Arg(64 * kKiB)->Arg(4 * kMiB)->Arg(64 * kMiB);
+
+void BM_RingThroughput(benchmark::State& state) {
+  static ipc::SpscRing<long, 4096> ring;
+  for (auto _ : state) {
+    std::thread producer([&] {
+      for (long i = 0; i < 100000; ++i) {
+        while (!ring.push(i)) std::this_thread::yield();
+      }
+    });
+    long count = 0;
+    while (count < 100000) {
+      if (ring.pop().has_value()) ++count;
+    }
+    producer.join();
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_RingThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Microbenchmarks of the live GVM runtime: protocol round-trip latency and
+// end-to-end task throughput through real POSIX message queues, shared
+// memory and the worker pool.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include "rt/client.hpp"
+#include "rt/registry.hpp"
+#include "rt/server.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+std::string unique_prefix(const char* tag) {
+  return std::string("/vgpu_mrt_") + tag + "_" + std::to_string(::getpid());
+}
+
+void BM_ProtocolRoundTrip(benchmark::State& state) {
+  const std::string prefix = unique_prefix("rtt");
+  rt::RtServer server({prefix, 1, 1}, rt::builtin_registry());
+  if (!server.start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  auto client = rt::RtClient::connect(prefix, 0, 64, 64);
+  if (!client.ok()) {
+    state.SkipWithError("client connect failed");
+    return;
+  }
+  auto kid = rt::builtin_registry().id_of("vecadd");
+  const std::int64_t params[4] = {8, 0, 0, 0};
+  (void)client->req(*kid, params);
+  for (auto _ : state) {
+    // SND is the lightest request with a full round trip.
+    benchmark::DoNotOptimize(client->snd().ok());
+  }
+  (void)client->rls();
+  server.stop();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtocolRoundTrip);
+
+void BM_FullTaskCycle(benchmark::State& state) {
+  const long n = state.range(0);
+  const std::string prefix = unique_prefix("task");
+  rt::RtServer server({prefix, 1, 2}, rt::builtin_registry());
+  if (!server.start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  auto client = rt::RtClient::connect(prefix, 0, 2 * n * 4, n * 4);
+  if (!client.ok()) {
+    state.SkipWithError("client connect failed");
+    return;
+  }
+  auto kid = rt::builtin_registry().id_of("vecadd");
+  const std::int64_t params[4] = {n, 0, 0, 0};
+  (void)client->req(*kid, params);
+  auto* in = reinterpret_cast<float*>(client->input().data());
+  for (long i = 0; i < 2 * n; ++i) in[i] = static_cast<float>(i);
+  for (auto _ : state) {
+    bool ok = client->snd().ok();
+    ok = ok && client->str().ok();
+    ok = ok && client->wait_done(std::chrono::microseconds(50)).ok();
+    ok = ok && client->rcv().ok();
+    benchmark::DoNotOptimize(ok);
+  }
+  (void)client->rls();
+  server.stop();
+  state.SetBytesProcessed(state.iterations() * 3 * n * 4);
+}
+BENCHMARK(BM_FullTaskCycle)->Arg(1024)->Arg(262144);
+
+}  // namespace
+
+BENCHMARK_MAIN();

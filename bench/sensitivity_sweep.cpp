@@ -1,0 +1,81 @@
+// Sensitivity study (beyond the paper's two calibration points): how the
+// virtualization speedup depends on a task's compute-to-I/O ratio and the
+// process count. Synthetic tasks with controlled stage times sweep the
+// ratio across three decades; Eq. 5 provides the surface and the DES spots
+// the N = 8 column (staging modeled off, as in the equations).
+//
+//   --procs=N   extra DES column at N processes (default 8)
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "support.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+gpu::KernelLaunch kernel_for(SimDuration duration,
+                             const gpu::DeviceSpec& spec) {
+  gpu::KernelLaunch l;
+  l.name = "synthetic";
+  l.geometry = gpu::KernelGeometry{4, 128, 16, 0};
+  l.cost.efficiency = 0.1;
+  l.cost.flops_per_thread =
+      to_seconds(duration) * spec.sm_flops() * l.cost.efficiency / 128.0;
+  return l;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int des_procs = static_cast<int>(flags.get_long("procs", 8));
+
+  const gpu::DeviceSpec spec = bench::paper_device();
+  print_banner(std::cout,
+               "Sensitivity: speedup vs compute/I-O ratio (Tio = 30 ms "
+               "fixed, Tinit/Tctx from the C2070 calibration)");
+  TablePrinter table({"Tcomp/Tio", "S model N=2", "S model N=4",
+                      "S model N=8", "S model N=16",
+                      "S DES N=" + std::to_string(des_procs), "S max (Eq.6)"});
+
+  const SimDuration t_in = milliseconds(20.0);
+  const SimDuration t_out = milliseconds(10.0);
+  for (const double ratio :
+       {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0}) {
+    const auto t_comp = static_cast<SimDuration>(
+        ratio * static_cast<double>(t_in + t_out));
+
+    model::ExecutionProfile p;
+    p.t_init = spec.device_init_time + 8 * spec.ctx_create_time;
+    p.t_ctx_switch = spec.ctx_switch_time;
+    p.t_data_in = t_in;
+    p.t_comp = t_comp;
+    p.t_data_out = t_out;
+
+    gvm::TaskPlan plan;
+    plan.bytes_in = static_cast<Bytes>(to_seconds(t_in) * 2.944e9);
+    plan.bytes_out = static_cast<Bytes>(to_seconds(t_out) * 3.001e9);
+    plan.kernels = {kernel_for(t_comp, spec)};
+    gvm::GvmConfig config = bench::paper_gvm_config();
+    config.model_staging_copies = false;
+    const double des_speedup =
+        static_cast<double>(
+            gvm::run_baseline(spec, plan, 1, des_procs).turnaround) /
+        static_cast<double>(
+            gvm::run_virtualized(spec, config, plan, 1, des_procs)
+                .turnaround);
+
+    table.add_row({TablePrinter::num(ratio, 1),
+                   TablePrinter::num(model::speedup(p, 2), 2),
+                   TablePrinter::num(model::speedup(p, 4), 2),
+                   TablePrinter::num(model::speedup(p, 8), 2),
+                   TablePrinter::num(model::speedup(p, 16), 2),
+                   TablePrinter::num(des_speedup, 2),
+                   TablePrinter::num(model::max_speedup(p), 2)});
+  }
+  bench::emit(table, "sensitivity_sweep");
+  std::cout << "(compute-heavy tasks approach S = N; I/O-heavy tasks pin "
+               "near Eq. 6's MAX(Tin,Tout) bound)\n";
+  return 0;
+}

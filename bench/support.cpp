@@ -1,0 +1,43 @@
+#include "support.hpp"
+
+#include <iostream>
+
+namespace vgpu::bench {
+
+gpu::DeviceSpec paper_device() { return gpu::tesla_c2070(); }
+
+gvm::GvmConfig paper_gvm_config() { return gvm::GvmConfig{}; }
+
+Comparison compare(const workloads::Workload& w, int nprocs) {
+  Comparison c;
+  c.baseline = gvm::run_baseline(paper_device(), w.plan, w.rounds, nprocs);
+  c.virtualized = gvm::run_virtualized(paper_device(), paper_gvm_config(),
+                                       w.plan, w.rounds, nprocs);
+  return c;
+}
+
+void turnaround_sweep(const workloads::Workload& w, int max_procs,
+                      const std::string& figure_title,
+                      const std::string& csv_name) {
+  print_banner(std::cout, figure_title);
+  TablePrinter table({"processes", "no-virt turnaround (s)",
+                      "virt turnaround (s)", "speedup"});
+  for (int n = 1; n <= max_procs; ++n) {
+    const Comparison c = compare(w, n);
+    table.add_row({std::to_string(n),
+                   TablePrinter::num(to_seconds(c.baseline.turnaround)),
+                   TablePrinter::num(to_seconds(c.virtualized.turnaround)),
+                   TablePrinter::num(c.speedup(), 2)});
+  }
+  emit(table, csv_name);
+}
+
+void emit(TablePrinter& table, const std::string& csv_name) {
+  table.print(std::cout);
+  const std::string path = csv_name + ".csv";
+  if (table.write_csv(path)) {
+    std::cout << "(series written to " << path << ")\n";
+  }
+}
+
+}  // namespace vgpu::bench

@@ -1,0 +1,40 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Each binary prints the same rows/series the paper reports
+// and mirrors them to CSV next to the binary (<name>.csv) for re-plotting.
+#pragma once
+
+#include <string>
+
+#include "common/table.hpp"
+#include "gpu/spec.hpp"
+#include "gvm/experiment.hpp"
+#include "model/model.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vgpu::bench {
+
+/// The paper's testbed device (calibrated Tesla C2070) and GVM settings.
+gpu::DeviceSpec paper_device();
+gvm::GvmConfig paper_gvm_config();
+
+/// Runs one workload at `nprocs` both ways; returns {baseline, virtualized}.
+struct Comparison {
+  gvm::RunResult baseline;
+  gvm::RunResult virtualized;
+  double speedup() const {
+    return static_cast<double>(baseline.turnaround) /
+           static_cast<double>(virtualized.turnaround);
+  }
+};
+Comparison compare(const workloads::Workload& w, int nprocs);
+
+/// Turnaround sweep over process counts (the Figure 9 / 11-15 shape):
+/// prints one row per N with baseline and virtualized turnaround.
+void turnaround_sweep(const workloads::Workload& w, int max_procs,
+                      const std::string& figure_title,
+                      const std::string& csv_name);
+
+/// Writes `table` to stdout and to `<csv_name>.csv`; reports the path.
+void emit(TablePrinter& table, const std::string& csv_name);
+
+}  // namespace vgpu::bench

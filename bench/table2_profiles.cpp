@@ -1,0 +1,79 @@
+// Reproduces paper Table II: initial benchmark profiles and model
+// parameters for the two microbenchmarks (vector addition, 50M floats;
+// NPB EP class B), measured on the simulated Tesla C2070.
+//
+// Known differences, documented in EXPERIMENTS.md:
+//  * Tcomp for vector addition: the paper reports 0.038 ms, which is
+//    physically inconsistent with C2070 DRAM bandwidth (600 MB of traffic
+//    needs ~5 ms); our device model reports the consistent value. The
+//    benchmark remains overwhelmingly I/O-bound either way.
+//  * Tctx_switch: the device model uses one per-device constant (185 ms),
+//    bracketed by the paper's two measurements (148.2 / 220.6 ms).
+#include <iostream>
+
+#include "support.hpp"
+
+using namespace vgpu;
+
+int main() {
+  const gpu::DeviceSpec spec = bench::paper_device();
+
+  struct Row {
+    workloads::Workload workload;
+    const char* problem;
+    const char* grid;
+    // Paper Table II values (ms); negative = "0" in the paper.
+    double paper[5];  // Tinit, Tdata_in, Tcomp, Tdata_out, Tctx
+  };
+  const Row rows[] = {
+      {workloads::vector_add(), "Vector Size = 50M (float)", "50K",
+       {1519.386, 135.874, 0.038, 66.656, 148.226}},
+      {workloads::npb_ep(30), "Class B (M=30)", "4",
+       {1513.555, 0.0, 8951.346, 0.000055, 220.599}},
+  };
+
+  print_banner(std::cout,
+               "Table II: initial benchmark profiles and parameters");
+  TablePrinter table({"parameter", "VectorAdd (ours)", "VectorAdd (paper)",
+                      "EP (ours)", "EP (paper)"});
+
+  model::ExecutionProfile profiles[2];
+  for (int i = 0; i < 2; ++i) {
+    profiles[i] = gvm::measure_profile(spec, rows[i].workload.plan, 8,
+                                       rows[i].workload.name);
+  }
+  table.add_row({"Problem Size", rows[0].problem, rows[0].problem,
+                 rows[1].problem, rows[1].problem});
+  table.add_row({"Grid Size",
+                 std::to_string(
+                     rows[0].workload.plan.kernels[0].geometry.grid_blocks),
+                 rows[0].grid,
+                 std::to_string(
+                     rows[1].workload.plan.kernels[0].geometry.grid_blocks),
+                 rows[1].grid});
+
+  const char* names[5] = {"Tinit (ms)", "Tdata_in (ms)", "Tcomp (ms)",
+                          "Tdata_out (ms)", "Tctx_switch (ms)"};
+  for (int p = 0; p < 5; ++p) {
+    auto value = [&](const model::ExecutionProfile& prof) {
+      switch (p) {
+        case 0:
+          return to_ms(prof.t_init);
+        case 1:
+          return to_ms(prof.t_data_in);
+        case 2:
+          return to_ms(prof.t_comp);
+        case 3:
+          return to_ms(prof.t_data_out);
+        default:
+          return to_ms(prof.t_ctx_switch);
+      }
+    };
+    table.add_row({names[p], TablePrinter::num(value(profiles[0])),
+                   TablePrinter::num(rows[0].paper[p]),
+                   TablePrinter::num(value(profiles[1])),
+                   TablePrinter::num(rows[1].paper[p])});
+  }
+  bench::emit(table, "table2_profiles");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Table III: measured vs. analytical (Eq. 5) speedup for
+// the two microbenchmarks when launched with 8 processes, plus the
+// deviation (relative to the measured value, the paper's convention).
+//
+// Note on the paper's vector-addition row (see EXPERIMENTS.md): its
+// "theoretical" 2.721 corresponds to Eq. 5 *without* the context-switch
+// term (Eq. 5 as printed gives 3.62 with Table II's inputs). We report
+// both variants.
+#include <iostream>
+
+#include "common/math.hpp"
+#include "support.hpp"
+
+using namespace vgpu;
+
+int main() {
+  const gpu::DeviceSpec spec = bench::paper_device();
+  constexpr int kProcs = 8;
+
+  print_banner(std::cout,
+               "Table III: speedup comparison, experiment vs model (8 "
+               "processes)");
+  TablePrinter table({"quantity", "VectorAdd", "EP"});
+
+  const workloads::Workload ws[2] = {workloads::vector_add(),
+                                     workloads::npb_ep(30)};
+  double experimental[2], theoretical[2], theoretical_noctx[2];
+  for (int i = 0; i < 2; ++i) {
+    const model::ExecutionProfile p =
+        gvm::measure_profile(spec, ws[i].plan, kProcs, ws[i].name);
+    const bench::Comparison c = bench::compare(ws[i], kProcs);
+    experimental[i] = c.speedup();
+    theoretical[i] = model::speedup(p, kProcs);
+    theoretical_noctx[i] = model::speedup_excluding_ctx(p, kProcs);
+  }
+
+  auto row = [&](const char* name, const double v[2], int precision = 3) {
+    table.add_row({name, TablePrinter::num(v[0], precision),
+                   TablePrinter::num(v[1], precision)});
+  };
+  row("Experimental Speedup (ours)", experimental);
+  row("Theoretical Speedup, Eq.5 (ours)", theoretical);
+  row("Theoretical Speedup, Eq.5 w/o Tctx (ours)", theoretical_noctx);
+  const double deviation[2] = {
+      deviation_percent(theoretical[0], experimental[0]),
+      deviation_percent(theoretical[1], experimental[1])};
+  row("Theoretical Deviation % (ours)", deviation, 2);
+
+  const double paper_exp[2] = {2.300, 7.394};
+  const double paper_theo[2] = {2.721, 8.341};
+  const double paper_dev[2] = {18.306, 12.810};
+  row("Experimental Speedup (paper)", paper_exp);
+  row("Theoretical Speedup (paper)", paper_theo);
+  row("Theoretical Deviation % (paper)", paper_dev, 3);
+
+  bench::emit(table, "table3_speedup");
+  return 0;
+}

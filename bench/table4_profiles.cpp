@@ -1,0 +1,42 @@
+// Reproduces paper Table IV: details of the five application benchmarks —
+// problem size, grid size and I/O-vs-compute classification — as measured
+// on the simulated device, next to the paper's labels.
+#include <iostream>
+
+#include "support.hpp"
+
+using namespace vgpu;
+
+int main() {
+  const gpu::DeviceSpec spec = bench::paper_device();
+
+  struct Row {
+    workloads::Workload workload;
+    const char* problem;
+    long paper_grid;
+    const char* paper_class;
+  };
+  const Row rows[] = {
+      {workloads::matmul(), "2Kx2K Matrix", 4096, "Intermediate"},
+      {workloads::npb_mg(), "S(32x32x32 Nit=4)", 64, "Comp-intensive"},
+      {workloads::black_scholes(), "1M call, Nit=512", 480, "I/O-intensive"},
+      {workloads::npb_cg(), "S(NA=1400, Nit=15)", 8, "Comp-intensive"},
+      {workloads::electrostatics(), "100K atoms, Nit=25", 288,
+       "Comp-intensive"},
+  };
+
+  print_banner(std::cout, "Table IV: details of application benchmarks");
+  TablePrinter table({"benchmark", "problem size", "grid size (ours)",
+                      "grid size (paper)", "class (ours)", "class (paper)"});
+  for (const Row& row : rows) {
+    const model::ExecutionProfile p =
+        gvm::measure_profile(spec, row.workload.plan, 8, row.workload.name);
+    table.add_row(
+        {row.workload.name, row.problem,
+         std::to_string(row.workload.plan.kernels[0].geometry.grid_blocks),
+         std::to_string(row.paper_grid),
+         model::workload_class_name(model::classify(p)), row.paper_class});
+  }
+  bench::emit(table, "table4_profiles");
+  return 0;
+}

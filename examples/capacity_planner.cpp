@@ -1,0 +1,80 @@
+// Capacity planner: when does GPU sharing through a virtualization layer
+// pay off on your node? Feeds task-cycle stage times into the paper's
+// analytical model (Eqs. 1-6) and prints the speedup curve plus the
+// asymptotic bound.
+//
+//   $ ./examples/capacity_planner                 # built-in presets
+//   $ ./examples/capacity_planner Tin Tcomp Tout Tctx Tinit   (all in ms)
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/model.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+void plan(const model::ExecutionProfile& p, int max_procs) {
+  std::printf("\n-- %s --\n", p.name.c_str());
+  std::printf("cycle: in %.1f ms, compute %.1f ms, out %.1f ms  "
+              "(class: %s)\n",
+              to_ms(p.t_data_in), to_ms(p.t_comp), to_ms(p.t_data_out),
+              model::workload_class_name(model::classify(p)));
+  std::printf("%-6s %-14s %-14s %-8s\n", "procs", "no-virt (ms)",
+              "virt (ms)", "speedup");
+  for (int n = 1; n <= max_procs; n *= 2) {
+    std::printf("%-6d %-14.1f %-14.1f %-8.2f\n", n,
+                to_ms(model::total_time_no_virtualization(p, n)),
+                to_ms(model::total_time_virtualized(p, n)),
+                model::speedup(p, n));
+  }
+  std::printf("asymptotic bound (Eq. 6): %.2fx\n", model::max_speedup(p));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 6) {
+    model::ExecutionProfile p;
+    p.name = "user-supplied profile";
+    p.t_data_in = milliseconds(std::atof(argv[1]));
+    p.t_comp = milliseconds(std::atof(argv[2]));
+    p.t_data_out = milliseconds(std::atof(argv[3]));
+    p.t_ctx_switch = milliseconds(std::atof(argv[4]));
+    p.t_init = milliseconds(std::atof(argv[5]));
+    plan(p, 64);
+    return 0;
+  }
+
+  std::printf("usage: %s [Tin Tcomp Tout Tctx Tinit]   (ms; presets shown "
+              "below)\n",
+              argv[0]);
+
+  model::ExecutionProfile io;
+  io.name = "I/O-heavy preset (paper's vector addition)";
+  io.t_init = milliseconds(1519.4);
+  io.t_data_in = milliseconds(135.9);
+  io.t_comp = milliseconds(5.2);
+  io.t_data_out = milliseconds(66.7);
+  io.t_ctx_switch = milliseconds(148.2);
+  plan(io, 64);
+
+  model::ExecutionProfile comp;
+  comp.name = "compute-heavy preset (paper's EP class B)";
+  comp.t_init = milliseconds(1513.6);
+  comp.t_data_in = 0;
+  comp.t_comp = milliseconds(8951.3);
+  comp.t_data_out = microseconds(55.0);
+  comp.t_ctx_switch = milliseconds(220.6);
+  plan(comp, 64);
+
+  model::ExecutionProfile balanced;
+  balanced.name = "balanced preset (Tin = Tcomp = Tout)";
+  balanced.t_init = milliseconds(1500.0);
+  balanced.t_data_in = milliseconds(50.0);
+  balanced.t_comp = milliseconds(50.0);
+  balanced.t_data_out = milliseconds(50.0);
+  balanced.t_ctx_switch = milliseconds(185.0);
+  plan(balanced, 64);
+  return 0;
+}

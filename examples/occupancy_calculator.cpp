@@ -1,0 +1,59 @@
+// Occupancy calculator CLI — the planning tool behind the paper's Table IV
+// "grid size" column: does a kernel fill the GPU by itself (no room for
+// concurrent kernels from other processes), or only a slice of it (the
+// virtualization win case)?
+//
+//   $ ./examples/occupancy_calculator <grid> <threads> [regs] [shmem_bytes]
+//   $ ./examples/occupancy_calculator                  # paper's kernels
+#include <cstdio>
+#include <cstdlib>
+
+#include "gpu/occupancy.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+void report(const gpu::DeviceSpec& spec, const char* name,
+            const gpu::KernelGeometry& g) {
+  const gpu::Occupancy occ = gpu::compute_occupancy(spec, g);
+  std::printf("%-16s grid %-6ld threads %-5d -> %d blocks/SM (%s-limited), "
+              "occupancy %4.0f%%, device capacity %ld blocks: %s\n",
+              name, g.grid_blocks, g.threads_per_block, occ.blocks_per_sm,
+              gpu::limiter_name(occ.limiter), occ.occupancy * 100.0,
+              occ.device_blocks(spec),
+              occ.fills_device(spec, g.grid_blocks)
+                  ? "FILLS the device"
+                  : "partial (concurrent kernels fit)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  std::printf("device: %s (%d SMs, %d warps/SM, %ld regs/SM, %s shmem/SM)\n\n",
+              spec.name.c_str(), spec.sm_count, spec.max_warps_per_sm,
+              spec.regs_per_sm, format_bytes(spec.shmem_per_sm).c_str());
+
+  if (argc >= 3) {
+    gpu::KernelGeometry g;
+    g.grid_blocks = std::atol(argv[1]);
+    g.threads_per_block = std::atoi(argv[2]);
+    g.regs_per_thread = argc > 3 ? std::atoi(argv[3]) : 20;
+    g.shmem_per_block = argc > 4 ? std::atol(argv[4]) : 0;
+    report(spec, "your kernel", g);
+    return 0;
+  }
+
+  std::printf("usage: %s <grid> <threads> [regs] [shmem]; showing the "
+              "paper's kernels:\n\n",
+              argv[0]);
+  report(spec, "VectorAdd", {48829, 1024, 10, 0});
+  report(spec, "EP (class B)", {4, 128, 28, 0});
+  report(spec, "MM 2048", {4096, 1024, 24, 8192});
+  report(spec, "MG (class S)", {64, 128, 32, 4096});
+  report(spec, "BlackScholes", {480, 128, 20, 0});
+  report(spec, "CG (class S)", {8, 128, 28, 2048});
+  report(spec, "Electrostatics", {288, 128, 24, 0});
+  return 0;
+}

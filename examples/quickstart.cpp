@@ -1,0 +1,60 @@
+// Quickstart: share one simulated Tesla C2070 among four SPMD processes
+// through the GPU Virtualization Manager, and compare against native
+// sharing (each process owning a private GPU context).
+//
+//   $ ./examples/quickstart
+//
+// Walks through the three public layers:
+//   1. workloads::  — pick a benchmark task (vector addition here);
+//   2. gvm::        — run it with / without the virtualization layer;
+//   3. model::      — check the measurement against the paper's Eq. 5.
+#include <cstdio>
+
+#include "gvm/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace vgpu;
+
+int main() {
+  constexpr int kProcesses = 4;
+
+  // A 10M-element vector addition: ~80 MB in, ~40 MB out per process.
+  const workloads::Workload task = workloads::vector_add(10'000'000);
+  const gpu::DeviceSpec gpu = gpu::tesla_c2070();
+
+  std::printf("Device: %s (%d SMs, %s global memory)\n", gpu.name.c_str(),
+              gpu.sm_count, format_bytes(gpu.global_mem).c_str());
+  std::printf("Task:   %s, %d SPMD processes\n\n", task.name.c_str(),
+              kProcesses);
+
+  // --- without virtualization: private context per process ---------------
+  const gvm::RunResult native =
+      gvm::run_baseline(gpu, task.plan, task.rounds, kProcesses);
+  std::printf("native sharing     : %8.1f ms turnaround, %ld context "
+              "switches\n",
+              to_ms(native.turnaround), native.device.ctx_switches);
+
+  // --- with virtualization: one GVM context, one stream per process ------
+  const gvm::RunResult virt = gvm::run_virtualized(
+      gpu, gvm::GvmConfig{}, task.plan, task.rounds, kProcesses);
+  std::printf("GVM virtualization : %8.1f ms turnaround, %ld context "
+              "switches, %d kernels co-resident\n",
+              to_ms(virt.turnaround), virt.device.ctx_switches,
+              virt.device.max_open_kernels);
+
+  const double speedup = static_cast<double>(native.turnaround) /
+                         static_cast<double>(virt.turnaround);
+  std::printf("speedup            : %8.2fx\n\n", speedup);
+
+  // --- what the paper's analytical model predicts -------------------------
+  const model::ExecutionProfile profile =
+      gvm::measure_profile(gpu, task.plan, kProcesses, task.name);
+  std::printf("model (Eq. 5)      : %8.2fx predicted speedup\n",
+              model::speedup(profile, kProcesses));
+  std::printf("model (Eq. 6)      : %8.2fx upper bound as N -> inf\n",
+              model::max_speedup(profile));
+  std::printf("classification     : %s (I/O : compute = %.2f)\n",
+              model::workload_class_name(model::classify(profile)),
+              profile.io_ratio());
+  return 0;
+}

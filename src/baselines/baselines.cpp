@@ -1,0 +1,204 @@
+#include "baselines/baselines.hpp"
+
+#include "des/sync.hpp"
+#include "vcuda/runtime.hpp"
+
+namespace vgpu::baselines {
+
+namespace {
+
+SimDuration run_and_measure(des::Simulator& sim,
+                            des::CountdownLatch& done) {
+  SimDuration turnaround = 0;
+  sim.spawn([](des::Simulator& s, des::CountdownLatch& done,
+               SimDuration& out) -> des::Task<> {
+    co_await done.wait();
+    out = s.now();
+  }(sim, done, turnaround));
+  sim.run();
+  return turnaround;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Remote GPU access (rCUDA-style)
+// ---------------------------------------------------------------------------
+
+RunSummary run_remote_gpu(const gpu::DeviceSpec& spec,
+                          const RemoteGpuConfig& config,
+                          const gvm::TaskPlan& plan, int rounds,
+                          int nprocs) {
+  VGPU_ASSERT(nprocs >= 1 && rounds >= 1);
+  des::Simulator sim;
+  gpu::Device device(sim, spec);
+  vcuda::Runtime runtime(sim, device);
+  des::Semaphore nic(sim, 1);  // the server's shared network interface
+  des::CountdownLatch done(sim, static_cast<std::size_t>(nprocs));
+
+  for (int p = 0; p < nprocs; ++p) {
+    sim.spawn([](des::Simulator& s, vcuda::Runtime& rt, des::Semaphore& nic,
+                 const RemoteGpuConfig& config, const gvm::TaskPlan& plan,
+                 int rounds, des::CountdownLatch& done) -> des::Task<> {
+      // Every forwarded API call pays a network round trip.
+      auto rpc = [&]() { return s.delay(2 * config.one_way_latency); };
+      auto ship = [&](Bytes bytes) -> des::Task<> {
+        if (bytes <= 0) co_return;
+        co_await nic.acquire();
+        co_await s.delay(transfer_time(bytes, config.network_bw));
+        nic.release();
+      };
+
+      co_await rpc();  // cuCtxCreate forwarded
+      auto ctx = co_await rt.create_context();
+      vcuda::DeviceBuffer dev_in, dev_out;
+      if (plan.bytes_in > 0) {
+        co_await rpc();  // cudaMalloc
+        dev_in = *ctx->malloc(plan.bytes_in);
+      }
+      if (plan.bytes_out > 0) {
+        co_await rpc();
+        dev_out = *ctx->malloc(plan.bytes_out);
+      }
+      for (int round = 0; round < rounds; ++round) {
+        if (plan.bytes_in > 0) {
+          co_await rpc();                   // cudaMemcpy H2D forwarded
+          co_await ship(plan.bytes_in);     // data over the wire
+          co_await ctx->memcpy_h2d(dev_in, nullptr, plan.bytes_in);
+        }
+        for (const auto& k : plan.kernels) {
+          co_await rpc();  // kernel launch forwarded
+          co_await ctx->launch_sync(k);
+        }
+        if (plan.bytes_out > 0) {
+          co_await rpc();
+          co_await ctx->memcpy_d2h(nullptr, dev_out, plan.bytes_out);
+          co_await ship(plan.bytes_out);    // results back over the wire
+        }
+      }
+      done.count_down();
+      co_await done.wait();  // hold the context, as live processes do
+    }(sim, runtime, nic, config, plan, rounds, done));
+  }
+
+  RunSummary summary;
+  summary.turnaround = run_and_measure(sim, done);
+  summary.device = device.stats();
+  return summary;
+}
+
+// ---------------------------------------------------------------------------
+// VM passthrough (GViM / vCUDA / gVirtuS style)
+// ---------------------------------------------------------------------------
+
+RunSummary run_vm_passthrough(const gpu::DeviceSpec& spec,
+                              const VmConfig& config,
+                              const gvm::TaskPlan& plan, int rounds,
+                              int nprocs) {
+  VGPU_ASSERT(nprocs >= 1 && rounds >= 1);
+  des::Simulator sim;
+  gpu::Device device(sim, spec);
+  vcuda::Runtime runtime(sim, device);
+  des::Semaphore dom0(sim, 1);  // single management domain: copies serialize
+  des::CountdownLatch done(sim, static_cast<std::size_t>(nprocs));
+
+  for (int p = 0; p < nprocs; ++p) {
+    sim.spawn([](des::Simulator& s, vcuda::Runtime& rt, des::Semaphore& dom0,
+                 const VmConfig& config, const gvm::TaskPlan& plan,
+                 int rounds, des::CountdownLatch& done) -> des::Task<> {
+      auto trap = [&]() { return s.delay(config.call_overhead); };
+      auto stage = [&](Bytes bytes) -> des::Task<> {
+        if (bytes <= 0) co_return;
+        co_await dom0.acquire();
+        co_await s.delay(transfer_time(bytes, config.guest_copy_bw));
+        dom0.release();
+      };
+
+      co_await trap();
+      auto ctx = co_await rt.create_context();  // per-VM context
+      vcuda::DeviceBuffer dev_in, dev_out;
+      if (plan.bytes_in > 0) {
+        co_await trap();
+        dev_in = *ctx->malloc(plan.bytes_in);
+      }
+      if (plan.bytes_out > 0) {
+        co_await trap();
+        dev_out = *ctx->malloc(plan.bytes_out);
+      }
+      for (int round = 0; round < rounds; ++round) {
+        if (plan.bytes_in > 0) {
+          co_await trap();
+          co_await stage(plan.bytes_in);  // guest pages -> dom0 buffer
+          co_await ctx->memcpy_h2d(dev_in, nullptr, plan.bytes_in);
+        }
+        for (const auto& k : plan.kernels) {
+          co_await trap();
+          co_await ctx->launch_sync(k);
+        }
+        if (plan.bytes_out > 0) {
+          co_await trap();
+          co_await ctx->memcpy_d2h(nullptr, dev_out, plan.bytes_out);
+          co_await stage(plan.bytes_out);  // dom0 buffer -> guest pages
+        }
+      }
+      done.count_down();
+      co_await done.wait();
+    }(sim, runtime, dom0, config, plan, rounds, done));
+  }
+
+  RunSummary summary;
+  summary.turnaround = run_and_measure(sim, done);
+  summary.device = device.stats();
+  return summary;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel merging (Guevara et al.)
+// ---------------------------------------------------------------------------
+
+RunSummary run_kernel_merge(const gpu::DeviceSpec& spec,
+                            const gvm::TaskPlan& plan, int rounds,
+                            int nprocs) {
+  VGPU_ASSERT(nprocs >= 1 && rounds >= 1);
+  des::Simulator sim;
+  gpu::Device device(sim, spec);
+  vcuda::Runtime runtime(sim, device);
+  des::CountdownLatch done(sim, 1);
+
+  sim.spawn([](vcuda::Runtime& rt, const gvm::TaskPlan& plan, int rounds,
+               int nprocs, des::CountdownLatch& done) -> des::Task<> {
+    // One coordinating process, one context, N processes' buffers.
+    auto ctx = co_await rt.create_context();
+    std::vector<vcuda::DeviceBuffer> ins, outs;
+    for (int p = 0; p < nprocs; ++p) {
+      if (plan.bytes_in > 0) ins.push_back(*ctx->malloc(plan.bytes_in));
+      if (plan.bytes_out > 0) outs.push_back(*ctx->malloc(plan.bytes_out));
+    }
+    for (int round = 0; round < rounds; ++round) {
+      // All inputs transfer first: the merged kernel cannot start until
+      // every process's data is resident (no copy/compute overlap).
+      for (auto& in : ins) {
+        co_await ctx->memcpy_h2d(in, nullptr, plan.bytes_in);
+      }
+      // One merged launch per kernel position: concatenated grids.
+      for (const auto& k : plan.kernels) {
+        gpu::KernelLaunch merged = k;
+        merged.name = k.name + "+merged";
+        merged.geometry.grid_blocks = k.geometry.grid_blocks * nprocs;
+        merged.host_serial_time = k.host_serial_time;  // issued once
+        co_await ctx->launch_sync(merged);
+      }
+      for (auto& out : outs) {
+        co_await ctx->memcpy_d2h(nullptr, out, plan.bytes_out);
+      }
+    }
+    done.count_down();
+  }(runtime, plan, rounds, nprocs, done));
+
+  RunSummary summary;
+  summary.turnaround = run_and_measure(sim, done);
+  summary.device = device.stats();
+  return summary;
+}
+
+}  // namespace vgpu::baselines

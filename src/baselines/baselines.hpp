@@ -1,0 +1,65 @@
+// Related-work comparators (paper Section II), implemented on the same
+// device model so the GVM can be compared quantitatively against the
+// alternatives the paper discusses qualitatively:
+//
+//  * Remote GPU access (Duato et al. [11], rCUDA-style): non-GPU nodes
+//    forward CUDA calls to a GPU server over TCP/IP. Costs: a network
+//    round trip per API call and data transfer through a shared NIC before
+//    it ever reaches PCIe. Contexts remain per-client on the server, so
+//    the context-switch serialization remains too.
+//
+//  * VM passthrough (GViM [8] / vCUDA [9] / gVirtuS [10]): one virtual
+//    machine per process with a split-driver interposer. Costs: a
+//    guest->host hop per API call and an extra staging copy through the
+//    management domain for every transfer; the GPU is time-shared across
+//    the VMs' contexts with no cross-VM kernel concurrency.
+//
+//  * Kernel merging (Guevara et al. [12]): a coordinating process merges
+//    the N processes' kernels into one launch inside a single context.
+//    Context switches vanish, but the merged kernel only launches after
+//    every input transfer has finished — no copy/compute overlap (the
+//    paper's critique), and outputs transfer only after the whole merged
+//    kernel retires.
+#pragma once
+
+#include "gpu/spec.hpp"
+#include "gvm/protocol.hpp"
+
+namespace vgpu::baselines {
+
+struct RunSummary {
+  SimDuration turnaround = 0;
+  gpu::DeviceStats device;
+};
+
+struct RemoteGpuConfig {
+  /// One-way network latency per API message (call + return = 2x).
+  SimDuration one_way_latency = microseconds(50.0);
+  /// NIC bandwidth, shared by all clients (1 GbE default).
+  BytesPerSecond network_bw = 0.125e9;
+};
+
+RunSummary run_remote_gpu(const gpu::DeviceSpec& spec,
+                          const RemoteGpuConfig& config,
+                          const gvm::TaskPlan& plan, int rounds, int nprocs);
+
+struct VmConfig {
+  /// Interposer hop (guest -> management domain -> driver) per API call.
+  SimDuration call_overhead = microseconds(40.0);
+  /// Guest <-> host page-sharing copy bandwidth; copies serialize through
+  /// the single management domain.
+  BytesPerSecond guest_copy_bw = gb_per_s(2.5);
+};
+
+RunSummary run_vm_passthrough(const gpu::DeviceSpec& spec,
+                              const VmConfig& config,
+                              const gvm::TaskPlan& plan, int rounds,
+                              int nprocs);
+
+/// Kernel merging: one context, per round all inputs staged first, then a
+/// single merged launch (concatenated grids), then all outputs.
+RunSummary run_kernel_merge(const gpu::DeviceSpec& spec,
+                            const gvm::TaskPlan& plan, int rounds,
+                            int nprocs);
+
+}  // namespace vgpu::baselines

@@ -1,0 +1,141 @@
+#include "cluster/comm.hpp"
+
+#include "common/math.hpp"
+
+namespace vgpu::cluster {
+
+namespace {
+/// Collectives use a reserved negative tag space so they never collide
+/// with user point-to-point traffic.
+constexpr int kBarrierTag = -1;
+constexpr int kBcastTag = -2;
+constexpr int kReduceTag = -3;
+/// Per-message envelope bytes charged on the wire.
+constexpr Bytes kHeaderBytes = 64;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClusterComm
+// ---------------------------------------------------------------------------
+
+ClusterComm::ClusterComm(des::Simulator& sim, Network& network, int ranks)
+    : sim_(sim), network_(network), ranks_(ranks) {
+  VGPU_ASSERT(ranks >= 1);
+  ranks_per_node_ = static_cast<int>(
+      ceil_div(static_cast<long>(ranks), static_cast<long>(network.nodes())));
+}
+
+int ClusterComm::node_of(int rank) const {
+  VGPU_ASSERT(rank >= 0 && rank < ranks_);
+  return rank / ranks_per_node_;
+}
+
+des::Channel<Message>& ClusterComm::mailbox(int source, int destination,
+                                            int tag) {
+  const MailboxKey key{source, destination, tag};
+  auto it = mailboxes_.find(key);
+  if (it == mailboxes_.end()) {
+    it = mailboxes_
+             .emplace(key, std::make_unique<des::Channel<Message>>(sim_))
+             .first;
+  }
+  return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Communicator
+// ---------------------------------------------------------------------------
+
+int Communicator::size() const { return world_->size(); }
+int Communicator::node() const { return world_->node_of(rank_); }
+
+des::Task<> Communicator::send(int dst, Message message) {
+  VGPU_ASSERT(dst >= 0 && dst < size());
+  message.source = rank_;
+  const Bytes bytes = static_cast<Bytes>(message.payload.size()) +
+                      kHeaderBytes;
+  co_await world_->network_.transfer(world_->node_of(rank_),
+                                     world_->node_of(dst), bytes);
+  world_->mailbox(rank_, dst, message.tag).send(std::move(message));
+}
+
+des::Task<Message> Communicator::recv(int source, int tag) {
+  VGPU_ASSERT(source >= 0 && source < size());
+  Message m = co_await world_->mailbox(source, rank_, tag).receive();
+  co_return m;
+}
+
+des::Task<> Communicator::barrier() {
+  // Binomial gather to rank 0 (MPICH reduce structure), then a broadcast
+  // releases everyone.
+  const int n = size();
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rank_ & mask) != 0) {
+      Message token;
+      token.tag = kBarrierTag;
+      co_await send(rank_ - mask, std::move(token));
+      break;
+    }
+    if (rank_ + mask < n) {
+      (void)co_await recv(rank_ + mask, kBarrierTag);
+    }
+  }
+  Message release;
+  release.tag = kBarrierTag;
+  (void)co_await bcast(0, std::move(release));
+}
+
+des::Task<Message> Communicator::bcast(int root, Message message) {
+  // MPICH binomial broadcast over virtual ranks rooted at `root`.
+  const int n = size();
+  const int vrank = (rank_ - root + n) % n;
+  message.tag = kBcastTag;
+
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      const int parent = ((vrank - mask) + root) % n;
+      message = co_await recv(parent, kBcastTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int child = ((vrank + mask) + root) % n;
+      co_await send(child, message);
+    }
+    mask >>= 1;
+  }
+  message.source = root;
+  co_return message;
+}
+
+des::Task<std::vector<double>> Communicator::allreduce_sum(
+    std::vector<double> values) {
+  // Binomial reduce to rank 0.
+  const int n = size();
+  for (int step = 1; step < n; step *= 2) {
+    if ((rank_ & step) != 0) {
+      co_await send(rank_ - step,
+                    Message::of<double>(kReduceTag,
+                                        {values.data(), values.size()}));
+      break;
+    }
+    if (rank_ + step < n) {
+      const Message m = co_await recv(rank_ + step, kReduceTag);
+      const std::vector<double> partial = m.as<double>();
+      VGPU_ASSERT(partial.size() == values.size());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] += partial[i];
+      }
+    }
+  }
+  // Broadcast the sum from rank 0.
+  Message result = co_await bcast(
+      0, Message::of<double>(kBcastTag, {values.data(), values.size()}));
+  co_return result.as<double>();
+}
+
+}  // namespace vgpu::cluster

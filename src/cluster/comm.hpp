@@ -1,0 +1,115 @@
+// MPI-flavored message passing for SPMD ranks over the simulated network.
+//
+// A ClusterComm is the world: `ranks` SPMD processes placed round-robin-
+// block onto nodes (rank r lives on node r / ranks_per_node). Each rank
+// drives a Communicator handle with the classic core:
+//
+//   send / recv (tagged, matched by (source, tag), FIFO per pair)
+//   barrier               (binomial-tree gather + broadcast)
+//   bcast                 (binomial tree from the root)
+//   allreduce_sum         (reduce-to-root + broadcast)
+//
+// Transfer costs come from the Network model; matching and ordering are
+// exact, so functional data rides along for verification just like the MPI
+// programs the paper's SPMD model targets.
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/network.hpp"
+#include "des/channel.hpp"
+
+namespace vgpu::cluster {
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  template <typename T>
+  static Message of(int tag, std::span<const T> values) {
+    Message m;
+    m.tag = tag;
+    m.payload.resize(values.size_bytes());
+    std::memcpy(m.payload.data(), values.data(), values.size_bytes());
+    return m;
+  }
+
+  template <typename T>
+  std::vector<T> as() const {
+    VGPU_ASSERT(payload.size() % sizeof(T) == 0);
+    std::vector<T> values(payload.size() / sizeof(T));
+    std::memcpy(values.data(), payload.data(), payload.size());
+    return values;
+  }
+};
+
+class ClusterComm;
+
+/// Per-rank handle. All operations are awaitable DES tasks.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  int node() const;
+
+  /// Point-to-point send: completes when the payload has landed at the
+  /// destination (rendezvous-style semantics).
+  des::Task<> send(int dst, Message message);
+
+  /// Receives the next message from `source` with `tag` (FIFO per pair).
+  des::Task<Message> recv(int source, int tag);
+
+  /// Binomial-tree barrier across all ranks.
+  des::Task<> barrier();
+
+  /// Binomial-tree broadcast of `message` from `root`; returns each rank's
+  /// copy (the root gets its own back).
+  des::Task<Message> bcast(int root, Message message);
+
+  /// Sum-allreduce of a double vector across all ranks.
+  des::Task<std::vector<double>> allreduce_sum(std::vector<double> values);
+
+ private:
+  friend class ClusterComm;
+  Communicator(ClusterComm& world, int rank) : world_(&world), rank_(rank) {}
+
+  ClusterComm* world_;
+  int rank_;
+};
+
+class ClusterComm {
+ public:
+  /// `ranks` SPMD processes over `network.nodes()` nodes, block placement:
+  /// ranks_per_node = ceil(ranks / nodes).
+  ClusterComm(des::Simulator& sim, Network& network, int ranks);
+  ClusterComm(const ClusterComm&) = delete;
+  ClusterComm& operator=(const ClusterComm&) = delete;
+
+  int size() const { return ranks_; }
+  int node_of(int rank) const;
+  Communicator communicator(int rank) {
+    VGPU_ASSERT(rank >= 0 && rank < ranks_);
+    return Communicator(*this, rank);
+  }
+
+ private:
+  friend class Communicator;
+  // One mailbox per (source, destination, tag): exact matching with FIFO
+  // order per triple. (MPI_ANY_SOURCE / MPI_ANY_TAG wildcards are not
+  // supported — the SPMD programs here never need them.)
+  using MailboxKey = std::tuple<int, int, int>;
+  des::Channel<Message>& mailbox(int source, int destination, int tag);
+
+  des::Simulator& sim_;
+  Network& network_;
+  int ranks_;
+  int ranks_per_node_;
+  std::map<MailboxKey, std::unique_ptr<des::Channel<Message>>> mailboxes_;
+};
+
+}  // namespace vgpu::cluster

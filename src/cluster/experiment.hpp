@@ -1,0 +1,42 @@
+// Cluster-scale SPMD experiment: the paper's Figure 2 architecture end to
+// end. `nodes` compute nodes, each with `cores_per_node` CPU cores and one
+// GPU, joined by the simulated interconnect. Every SPMD rank computes its
+// partition of NPB EP on its node's GPU — natively or through the
+// node-local GVM — then the cluster allreduces the tallies.
+//
+// The run is functionally verifiable: summing the per-rank EP partitions
+// must reproduce the sequential EP result exactly (integer tallies), so
+// one experiment exercises the GPU model, the virtualization layer and the
+// MPI-like collectives together.
+#pragma once
+
+#include "cluster/comm.hpp"
+#include "gpu/spec.hpp"
+#include "kernels/ep.hpp"
+
+namespace vgpu::cluster {
+
+struct ClusterConfig {
+  int nodes = 4;
+  int cores_per_node = 8;  // SPMD ranks per node
+  gpu::DeviceSpec gpu;     // one per node
+  NetworkSpec network;
+  bool virtualized = true;  // GVM per node vs native context sharing
+
+  ClusterConfig() : gpu(gpu::tesla_c2070()) {}
+  int ranks() const { return nodes * cores_per_node; }
+};
+
+struct ClusterResult {
+  SimDuration turnaround = 0;   // all ranks started simultaneously
+  Bytes bytes_on_wire = 0;      // interconnect traffic
+  long messages_on_wire = 0;
+  long ctx_switches = 0;        // summed over nodes
+  kernels::EpResult reduced;    // the allreduced EP tallies (rank 0's copy)
+};
+
+/// Runs EP class `m` partitioned across all ranks; every rank's GPU phase
+/// runs on its node's device, then the tallies are allreduced.
+ClusterResult run_cluster_ep(const ClusterConfig& config, int m);
+
+}  // namespace vgpu::cluster

@@ -1,0 +1,36 @@
+#include "cluster/network.hpp"
+
+#include "common/status.hpp"
+
+namespace vgpu::cluster {
+
+Network::Network(des::Simulator& sim, NetworkSpec spec, int nodes)
+    : sim_(sim), spec_(spec) {
+  VGPU_ASSERT(nodes >= 1);
+  for (int i = 0; i < nodes; ++i) {
+    tx_.push_back(std::make_unique<des::Semaphore>(sim, 1));
+    rx_.push_back(std::make_unique<des::Semaphore>(sim, 1));
+  }
+}
+
+des::Task<> Network::transfer(int src, int dst, Bytes bytes) {
+  VGPU_ASSERT(src >= 0 && src < nodes() && dst >= 0 && dst < nodes());
+  VGPU_ASSERT(bytes >= 0);
+  if (src == dst) {
+    co_await sim_.delay(spec_.local_latency +
+                        transfer_time(bytes, spec_.local_bandwidth));
+    co_return;
+  }
+  // Hold both endpoints for the serialization portion; the wire latency is
+  // pipelined ahead of it.
+  co_await sim_.delay(spec_.latency);
+  co_await tx_[static_cast<std::size_t>(src)]->acquire();
+  co_await rx_[static_cast<std::size_t>(dst)]->acquire();
+  co_await sim_.delay(transfer_time(bytes, spec_.bandwidth));
+  rx_[static_cast<std::size_t>(dst)]->release();
+  tx_[static_cast<std::size_t>(src)]->release();
+  bytes_on_wire_ += bytes;
+  ++messages_on_wire_;
+}
+
+}  // namespace vgpu::cluster

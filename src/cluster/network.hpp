@@ -1,0 +1,57 @@
+// Simulated cluster interconnection network (paper Figure 2: nodes joined
+// by an interconnection network, each node holding microprocessors and a
+// GPU).
+//
+// Model: full-bisection fabric; each node owns one NIC whose transmit and
+// receive sides serialize that node's traffic (the standard single-port
+// model). A message from node A to node B holds A's TX and B's RX for
+// bytes/bandwidth, after a per-message wire latency. Intra-node transfers
+// bypass the NIC and use the (faster) memory system.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "des/sim.hpp"
+#include "des/sync.hpp"
+
+namespace vgpu::cluster {
+
+struct NetworkSpec {
+  /// One-way wire latency per message.
+  SimDuration latency = microseconds(1.5);
+  /// Per-link bandwidth (DDR InfiniBand era: ~2.5 GB/s).
+  BytesPerSecond bandwidth = gb_per_s(2.5);
+  /// Intra-node (shared-memory) message path.
+  SimDuration local_latency = microseconds(0.3);
+  BytesPerSecond local_bandwidth = gb_per_s(8.0);
+};
+
+class Network {
+ public:
+  Network(des::Simulator& sim, NetworkSpec spec, int nodes);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int nodes() const { return static_cast<int>(tx_.size()); }
+  const NetworkSpec& spec() const { return spec_; }
+
+  /// Moves `bytes` from node `src` to node `dst`; completes when the last
+  /// byte lands. Same-node transfers take the local path.
+  des::Task<> transfer(int src, int dst, Bytes bytes);
+
+  /// Total bytes that crossed the fabric (excluding local traffic).
+  Bytes bytes_on_wire() const { return bytes_on_wire_; }
+  long messages_on_wire() const { return messages_on_wire_; }
+
+ private:
+  des::Simulator& sim_;
+  NetworkSpec spec_;
+  std::vector<std::unique_ptr<des::Semaphore>> tx_;
+  std::vector<std::unique_ptr<des::Semaphore>> rx_;
+  Bytes bytes_on_wire_ = 0;
+  long messages_on_wire_ = 0;
+};
+
+}  // namespace vgpu::cluster

@@ -1,0 +1,39 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Accepted forms: --name=value and --switch (boolean true). Anything else
+// is a positional argument (the unambiguous subset — a separated
+// "--name value" form cannot be told apart from a positional). No
+// registration step: callers query by name with a default.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vgpu {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback = "") const;
+  long get_long(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// --flag or --flag=true/1/yes => true; --flag=false/0/no => false.
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace vgpu {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::function<SimTime()> g_clock;
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void set_log_clock(std::function<SimTime()> now) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_clock = std::move(now);
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_clock) {
+    std::fprintf(stderr, "[%s @%s] %s\n", level_tag(level),
+                 format_time(g_clock()).c_str(), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  }
+}
+
+}  // namespace detail
+}  // namespace vgpu

@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// The simulator installs a "now" callback so log lines carry virtual time.
+// Logging defaults to kWarn so tests and benches stay quiet; set
+// set_log_level(LogLevel::kDebug) to trace protocol exchanges.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace vgpu {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Install a virtual-clock source; pass nullptr to revert to wall time.
+void set_log_clock(std::function<SimTime()> now);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+#define VGPU_LOG(level, expr)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::vgpu::log_level())) {                    \
+      std::ostringstream vgpu_oss_;                                 \
+      vgpu_oss_ << expr;                                            \
+      ::vgpu::detail::log_line(level, vgpu_oss_.str());             \
+    }                                                               \
+  } while (0)
+
+#define VGPU_DEBUG(expr) VGPU_LOG(::vgpu::LogLevel::kDebug, expr)
+#define VGPU_INFO(expr) VGPU_LOG(::vgpu::LogLevel::kInfo, expr)
+#define VGPU_WARN(expr) VGPU_LOG(::vgpu::LogLevel::kWarn, expr)
+#define VGPU_ERROR(expr) VGPU_LOG(::vgpu::LogLevel::kError, expr)
+
+}  // namespace vgpu

@@ -1,0 +1,33 @@
+// Integer and floating-point helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace vgpu {
+
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+template <typename T>
+constexpr T round_up(T a, T multiple) {
+  return ceil_div(a, multiple) * multiple;
+}
+
+inline bool almost_equal(double a, double b, double rel_tol = 1e-9,
+                         double abs_tol = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+/// Relative deviation |a - b| / |b| as a percentage (paper Table III).
+inline double deviation_percent(double experimental, double theoretical) {
+  if (theoretical == 0.0) return 0.0;
+  return std::fabs(experimental - theoretical) / std::fabs(theoretical) *
+         100.0;
+}
+
+}  // namespace vgpu

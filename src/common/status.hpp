@@ -1,0 +1,143 @@
+// Lightweight error handling used throughout vgpu.
+//
+// Libraries return Status / StatusOr<T> for recoverable conditions (resource
+// exhaustion, protocol violations); programming errors use VGPU_ASSERT which
+// aborts. This mirrors the convention of keeping exceptions out of the hot
+// simulation path.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vgpu {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
+  kInternal,
+};
+
+const char* error_code_name(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status OutOfMemory(std::string msg) {
+  return {ErrorCode::kOutOfMemory, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Value-or-error result. Minimal, move-friendly.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    check();
+    return *value_;
+  }
+  const T& value() const& {
+    check();
+    return *value_;
+  }
+  T&& value() && {
+    check();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void check() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "StatusOr accessed with error: %s\n",
+                   status_.to_string().c_str());
+      std::abort();
+    }
+  }
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define VGPU_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "VGPU_ASSERT failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define VGPU_ASSERT_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "VGPU_ASSERT failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Propagate a non-OK Status from the current function.
+#define VGPU_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::vgpu::Status vgpu_status_ = (expr);      \
+    if (!vgpu_status_.ok()) return vgpu_status_; \
+  } while (0)
+
+}  // namespace vgpu

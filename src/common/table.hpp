@@ -1,0 +1,39 @@
+// ASCII table / CSV emitter for bench harness output.
+//
+// Benches print the same rows/series the paper's tables and figures report;
+// TablePrinter keeps that output aligned and optionally mirrors it to CSV so
+// the series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vgpu {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders the table with a header rule to `os`.
+  void print(std::ostream& os) const;
+
+  /// Writes headers + rows as CSV to `path`. Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Figure 9 ... ==") used by every bench binary.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace vgpu

@@ -1,0 +1,41 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vgpu {
+
+std::string format_time(SimDuration d) {
+  char buf[64];
+  const double ad = std::abs(static_cast<double>(d));
+  if (ad >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", to_seconds(d));
+  } else if (ad >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", to_ms(d));
+  } else if (ad >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", to_us(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  const double ab = std::abs(static_cast<double>(b));
+  if (ab >= static_cast<double>(kGiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(b) / static_cast<double>(kGiB));
+  } else if (ab >= static_cast<double>(kMiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(b) / static_cast<double>(kMiB));
+  } else if (ab >= static_cast<double>(kKiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(b) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace vgpu

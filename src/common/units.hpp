@@ -1,0 +1,77 @@
+// Core unit types shared across the vgpu libraries.
+//
+// Simulated time is kept in integer nanoseconds (SimTime) so that the
+// discrete-event engine is exactly reproducible: no floating-point clock
+// drift, total ordering of events is well defined.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vgpu {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Durations share the representation of SimTime.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Largest representable instant; used as "never".
+constexpr SimTime kTimeInfinity = INT64_MAX;
+
+constexpr SimDuration nanoseconds(double ns) {
+  return static_cast<SimDuration>(ns);
+}
+constexpr SimDuration microseconds(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimDuration milliseconds(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimDuration seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_us(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_ms(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Byte counts. Signed so that size arithmetic (differences) is safe.
+using Bytes = std::int64_t;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+constexpr Bytes kKB = 1000;
+constexpr Bytes kMB = 1000 * kKB;
+constexpr Bytes kGB = 1000 * kMB;
+
+/// Bandwidth in bytes per second.
+using BytesPerSecond = double;
+
+constexpr BytesPerSecond gb_per_s(double v) { return v * 1e9; }
+
+/// Duration of moving `n` bytes at bandwidth `bw`; at least 1 ns for n > 0.
+constexpr SimDuration transfer_time(Bytes n, BytesPerSecond bw) {
+  if (n <= 0) return 0;
+  const double s = static_cast<double>(n) / bw;
+  const auto d = static_cast<SimDuration>(s * 1e9);
+  return d > 0 ? d : 1;
+}
+
+/// Human-readable formatting helpers (for logs and bench tables).
+std::string format_time(SimDuration d);
+std::string format_bytes(Bytes b);
+
+}  // namespace vgpu

@@ -1,0 +1,78 @@
+// Unbounded MPSC/MPMC message channel for DES processes.
+//
+// send() never blocks; receive() suspends the awaiting coroutine until a
+// message arrives. Delivery to a suspended receiver is scheduled at the
+// current virtual time (zero-delay event) so that all resumptions flow
+// through the simulator's deterministic event order.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "des/sim.hpp"
+
+namespace vgpu::des {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues a message; wakes the longest-waiting receiver, if any.
+  void send(T value) {
+    if (!waiters_.empty()) {
+      ReceiveAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot.emplace(std::move(value));
+      sim_.schedule(0, w->handle);
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  /// Awaitable that produces the next message (FIFO).
+  auto receive() { return ReceiveAwaiter{*this, {}, {}}; }
+
+  /// Non-suspending receive; empty optional if no message is queued.
+  std::optional<T> try_receive() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(items_.front()));
+    items_.pop_front();
+    return v;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiting_receivers() const { return waiters_.size(); }
+
+ private:
+  struct ReceiveAwaiter {
+    Channel& ch;
+    std::optional<T> slot;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (!ch.items_.empty()) {
+        slot.emplace(std::move(ch.items_.front()));
+        ch.items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch.waiters_.push_back(this);  // the awaiter lives in h's frame
+    }
+    T await_resume() { return std::move(*slot); }
+  };
+
+  Simulator& sim_;
+  std::deque<T> items_;
+  std::deque<ReceiveAwaiter*> waiters_;
+};
+
+}  // namespace vgpu::des

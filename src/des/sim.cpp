@@ -1,0 +1,92 @@
+#include "des/sim.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vgpu::des {
+
+Simulator::~Simulator() {
+  // Destroy any still-suspended root processes. Their frames own the inner
+  // task chain, so the whole coroutine tree unwinds here. Events left in the
+  // queue are dropped without resumption.
+  for (auto& [handle, alive] : roots_) {
+    if (*alive) handle.destroy();
+    delete alive;
+  }
+}
+
+void Simulator::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  VGPU_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, h, nullptr});
+}
+
+void Simulator::call_at(SimTime t, std::function<void()> fn) {
+  VGPU_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
+}
+
+Simulator::RootTask Simulator::run_root(Simulator& sim, Task<void> task) {
+  (void)sim;  // kept for symmetry; the promise carries the back-pointer
+  co_await std::move(task);
+}
+
+void Simulator::RootPromise::unhandled_exception() {
+  std::fprintf(stderr,
+               "vgpu::des: unhandled exception escaped a root process\n");
+  std::abort();
+}
+
+void Simulator::spawn(Task<void> task) {
+  // Opportunistically prune completed registry entries so long simulations
+  // that spawn many processes do not grow without bound.
+  if (roots_.size() > 64) {
+    auto it = std::remove_if(roots_.begin(), roots_.end(), [](auto& entry) {
+      if (!*entry.second) {
+        delete entry.second;
+        return true;
+      }
+      return false;
+    });
+    roots_.erase(it, roots_.end());
+  }
+
+  RootTask rt = run_root(*this, std::move(task));
+  auto handle = rt.handle;
+  auto* alive = new bool(true);
+  handle.promise().sim = this;
+  handle.promise().alive_flag = alive;
+  roots_.emplace_back(handle, alive);
+  ++live_processes_;
+  schedule_at(now_, handle);
+}
+
+void Simulator::dispatch(Event& ev) {
+  now_ = ev.time;
+  ++events_dispatched_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.fn();
+  }
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  return now_;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace vgpu::des

@@ -1,0 +1,140 @@
+// Deterministic discrete-event simulator.
+//
+// Events are (time, sequence) ordered: ties in virtual time resolve in
+// insertion order, so a given program produces a bit-identical schedule on
+// every run. "Processes" are coroutines spawned with Simulator::spawn; they
+// suspend on awaitables (delay, channel receive, semaphore acquire, barrier)
+// and are resumed by the event loop.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "des/task.hpp"
+
+namespace vgpu::des {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `h` to resume after `delay` (>= 0).
+  void schedule(SimDuration delay, std::coroutine_handle<> h) {
+    VGPU_ASSERT(delay >= 0);
+    schedule_at(now_ + delay, h);
+  }
+
+  /// Schedules `h` to resume at absolute time `t` (>= now).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+
+  /// Schedules a plain callback at absolute time `t`.
+  void call_at(SimTime t, std::function<void()> fn);
+  void call_after(SimDuration delay, std::function<void()> fn) {
+    VGPU_ASSERT(delay >= 0);
+    call_at(now_ + delay, std::move(fn));
+  }
+
+  /// Starts a detached root process. It runs when the event loop reaches the
+  /// current time slot; its coroutine frame is owned by the simulator and
+  /// destroyed on completion (or at simulator destruction if still live).
+  void spawn(Task<void> task);
+
+  /// Runs until the event queue drains. Returns the final virtual time.
+  SimTime run();
+
+  /// Runs events with time <= t; leaves later events queued.
+  void run_until(SimTime t);
+
+  /// Number of spawned root processes that have not yet completed.
+  std::size_t live_processes() const { return live_processes_; }
+
+  /// Total events dispatched so far (diagnostics / determinism tests).
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+  /// Awaitable: suspends the current coroutine for `d` virtual time.
+  auto delay(SimDuration d) {
+    struct Awaiter {
+      Simulator& sim;
+      SimDuration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sim.schedule(d, h); }
+      void await_resume() const noexcept {}
+    };
+    VGPU_ASSERT(d >= 0);
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable: yields to other events scheduled at the current time.
+  auto yield() { return delay(0); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;      // exactly one of handle / fn is set
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // min-heap: earlier insertion first
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  // Wrapper that owns a root coroutine and notifies completion.
+  struct RootPromise;
+  struct RootTask {
+    using promise_type = RootPromise;
+    std::coroutine_handle<RootPromise> handle;
+  };
+  struct RootPromise {
+    Simulator* sim = nullptr;
+    bool* alive_flag = nullptr;  // owned by sim's registry
+
+    RootTask get_return_object() {
+      return {std::coroutine_handle<RootPromise>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    // On completion: update the simulator's bookkeeping, then destroy the
+    // frame from within the final suspend point (the coroutine is suspended
+    // there, so self-destruction is well-defined).
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<RootPromise> h) noexcept {
+        auto& p = h.promise();
+        --p.sim->live_processes_;
+        *p.alive_flag = false;
+        h.destroy();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception();
+  };
+  static RootTask run_root(Simulator& sim, Task<void> task);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::size_t live_processes_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  // Registry of live root coroutines so ~Simulator can destroy them.
+  std::vector<std::pair<std::coroutine_handle<>, bool*>> roots_;
+};
+
+}  // namespace vgpu::des

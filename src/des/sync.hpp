@@ -1,0 +1,228 @@
+// Synchronization primitives for DES processes: counting semaphore,
+// reusable barrier, one-shot event and countdown latch.
+//
+// All wakeups are scheduled as zero-delay events so they pass through the
+// simulator's deterministic (time, sequence) ordering.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "des/sim.hpp"
+
+namespace vgpu::des {
+
+/// FIFO counting semaphore.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int initial) : sim_(sim), count_(initial) {
+    VGPU_ASSERT(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Awaitable: obtains one unit, suspending if none are available.
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() {
+        if (sem.count_ > 0) {
+          --sem.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Returns `n` units; wakes waiters FIFO. A woken waiter consumes its unit
+  /// directly (the unit is never added to count_), preserving fairness.
+  void release(int n = 1) {
+    VGPU_ASSERT(n > 0);
+    for (int i = 0; i < n; ++i) {
+      if (!waiters_.empty()) {
+        sim_.schedule(0, waiters_.front());
+        waiters_.pop_front();
+      } else {
+        ++count_;
+      }
+    }
+  }
+
+  int available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  int count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Reusable barrier for a fixed number of parties (cyclic, generational).
+class Barrier {
+ public:
+  Barrier(Simulator& sim, std::size_t parties)
+      : sim_(sim), parties_(parties) {
+    VGPU_ASSERT(parties >= 1);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Awaitable. The last arriving party releases everyone and proceeds
+  /// without suspending; earlier parties resume via zero-delay events.
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier& b;
+      bool await_ready() {
+        if (b.arrived_ + 1 == b.parties_) {
+          // Final arrival: release the cohort and start a new generation.
+          for (auto h : b.waiters_) b.sim_.schedule(0, h);
+          b.waiters_.clear();
+          b.arrived_ = 0;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++b.arrived_;
+        b.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t parties() const { return parties_; }
+  std::size_t arrived() const { return arrived_; }
+
+ private:
+  Simulator& sim_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot event: wait() suspends until set() is called; waits after set()
+/// complete immediately. wait_for() adds a deadline: it resumes on set() or
+/// when the timeout elapses, whichever comes first, and reports which.
+class OneShotEvent {
+ public:
+  explicit OneShotEvent(Simulator& sim) : sim_(sim) {}
+  OneShotEvent(const OneShotEvent&) = delete;
+  OneShotEvent& operator=(const OneShotEvent&) = delete;
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto& w : waiters_) {
+      if (w->resolved) continue;  // its timeout already fired
+      w->resolved = true;
+      w->event_fired = true;
+      sim_.schedule(0, w->handle);
+    }
+    waiters_.clear();
+  }
+
+  bool is_set() const { return set_; }
+
+  auto wait() {
+    struct Awaiter {
+      OneShotEvent& ev;
+      std::shared_ptr<Waiter> waiter;
+      bool await_ready() const { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        waiter = std::make_shared<Waiter>();
+        waiter->handle = h;
+        ev.waiters_.push_back(waiter);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, {}};
+  }
+
+  /// Awaitable<bool>: true if the event fired before `timeout`, false if
+  /// the deadline passed first. A later set() will not resume this waiter
+  /// again.
+  auto wait_for(SimDuration timeout) {
+    struct Awaiter {
+      OneShotEvent& ev;
+      SimDuration timeout;
+      std::shared_ptr<Waiter> waiter;
+      bool await_ready() const { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        waiter = std::make_shared<Waiter>();
+        waiter->handle = h;
+        ev.waiters_.push_back(waiter);
+        auto w = waiter;
+        Simulator& sim = ev.sim_;
+        ev.sim_.call_after(timeout, [w, &sim] {
+          if (w->resolved) return;  // the event got there first
+          w->resolved = true;
+          w->event_fired = false;
+          sim.schedule(0, w->handle);
+        });
+      }
+      bool await_resume() const {
+        return waiter == nullptr || waiter->event_fired;
+      }
+    };
+    VGPU_ASSERT(timeout >= 0);
+    return Awaiter{*this, timeout, {}};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool resolved = false;
+    bool event_fired = false;
+  };
+
+  Simulator& sim_;
+  bool set_ = false;
+  std::vector<std::shared_ptr<Waiter>> waiters_;
+};
+
+/// Countdown latch: wait() releases once count_down() has been called
+/// `count` times. Not reusable.
+class CountdownLatch {
+ public:
+  CountdownLatch(Simulator& sim, std::size_t count)
+      : event_(sim), remaining_(count) {
+    if (remaining_ == 0) event_.set();
+  }
+
+  void count_down() {
+    VGPU_ASSERT(remaining_ > 0);
+    if (--remaining_ == 0) event_.set();
+  }
+
+  auto wait() { return event_.wait(); }
+  std::size_t remaining() const { return remaining_; }
+
+ private:
+  OneShotEvent event_;
+  std::size_t remaining_;
+};
+
+/// Structured fan-out: runs every task concurrently (each as its own
+/// process) and completes when all have finished.
+inline Task<> when_all(Simulator& sim, std::vector<Task<>> tasks) {
+  auto latch = std::make_shared<CountdownLatch>(sim, tasks.size());
+  for (auto& task : tasks) {
+    sim.spawn([](Task<> t, std::shared_ptr<CountdownLatch> l) -> Task<> {
+      co_await std::move(t);
+      l->count_down();
+    }(std::move(task), latch));
+  }
+  co_await latch->wait();
+}
+
+}  // namespace vgpu::des

@@ -1,0 +1,138 @@
+// Coroutine task types for the discrete-event engine.
+//
+// Task<T> is a lazy coroutine: it starts when first awaited, and resumes its
+// awaiter on completion via symmetric transfer. Detached root processes are
+// spawned through Simulator::spawn (see sim.hpp) which wraps a Task<void>.
+//
+// Exceptions thrown inside a task propagate to the awaiter at co_await.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace vgpu::des {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase<T> {
+  std::optional<T> value;
+
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+
+  T take() {
+    if (this->exception) std::rethrow_exception(this->exception);
+    VGPU_ASSERT_MSG(value.has_value(), "task completed without a value");
+    return std::move(*value);
+  }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase<void> {
+  Task<void> get_return_object();
+  void return_void() {}
+
+  void take() {
+    if (this->exception) std::rethrow_exception(this->exception);
+  }
+};
+
+}  // namespace detail
+
+/// Lazy coroutine task; see file comment.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Releases ownership of the coroutine frame (used by Simulator::spawn).
+  Handle release() { return std::exchange(handle_, {}); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;  // symmetric transfer: start the child now
+      }
+      T await_resume() { return handle.promise().take(); }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace vgpu::des

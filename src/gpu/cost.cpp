@@ -1,0 +1,48 @@
+#include "gpu/cost.hpp"
+
+#include "common/math.hpp"
+#include "common/status.hpp"
+
+namespace vgpu::gpu {
+
+SimDuration chunk_duration(const DeviceSpec& spec, const KernelLaunch& launch,
+                           long n, double total_eff_demand,
+                           long total_blocks) {
+  VGPU_ASSERT(n >= 1);
+  VGPU_ASSERT(total_blocks >= n);
+  const double eff = std::clamp(launch.cost.efficiency, 1e-6, 1.0);
+  VGPU_ASSERT(total_eff_demand + 1e-9 >= static_cast<double>(n) * eff);
+
+  const double sms = static_cast<double>(spec.sm_count);
+  const double comp_slowdown = std::max(1.0, total_eff_demand / sms);
+  const double mem_slowdown =
+      std::max(1.0, static_cast<double>(total_blocks) / sms);
+
+  const double comp_natural_s =
+      launch.flops_per_block() / (spec.sm_flops() * eff);
+  const double mem_natural_s =
+      launch.bytes_per_block() * sms / spec.effective_dram_bw();
+
+  const double t_s = std::max(comp_natural_s * comp_slowdown,
+                              mem_natural_s * mem_slowdown);
+  const auto t = static_cast<SimDuration>(t_s * 1e9);
+  return std::max<SimDuration>(t, 1);
+}
+
+SimDuration solo_kernel_duration(const DeviceSpec& spec,
+                                 const KernelLaunch& launch) {
+  const Occupancy occ = compute_occupancy(spec, launch.geometry);
+  VGPU_ASSERT_MSG(occ.blocks_per_sm > 0, "kernel cannot be placed");
+  const long per_wave = occ.device_blocks(spec);
+  const double eff = std::clamp(launch.cost.efficiency, 1e-6, 1.0);
+  long remaining = launch.geometry.grid_blocks;
+  SimDuration total = 0;
+  while (remaining > 0) {
+    const long n = std::min(remaining, per_wave);
+    total += chunk_duration(spec, launch, n, static_cast<double>(n) * eff, n);
+    remaining -= n;
+  }
+  return total + spec.kernel_launch_overhead + launch.host_serial_time;
+}
+
+}  // namespace vgpu::gpu

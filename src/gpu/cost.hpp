@@ -1,0 +1,90 @@
+// Kernel cost descriptors and the chunk timing formula.
+//
+// The device executes kernels in *chunks*: a set of same-kernel blocks
+// placed together on the SM fabric. Timing follows a demand/saturation
+// model:
+//
+//  * A block's natural compute time is flops_block / (sm_rate * efficiency):
+//    `efficiency` is the fraction of one SM's throughput a single resident
+//    block can extract (latency-bound kernels like NPB EP sit well below 1).
+//  * Each resident block of kernel k contributes a compute demand of
+//    efficiency_k SM-units and a memory demand of one DRAM slice
+//    (dram_bw / sm_count). While total demand stays below the device's
+//    capacity, blocks run at their natural rate — co-resident kernels do
+//    not slow each other down (paper Figure 9's flat EP curve). Past
+//    saturation, every chunk placed is slowed by the oversubscription
+//    factor:
+//
+//      t = max(1ns,
+//              t_comp_natural * max(1, total_eff_demand / sm_count),
+//              t_mem_natural  * max(1, total_blocks     / sm_count))
+//
+//    where the totals are sampled at chunk placement (including the chunk
+//    itself). Both limbs conserve device throughput at full residency: a
+//    grid that fills the device alone executes in total_work / peak_rate.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "common/units.hpp"
+#include "gpu/occupancy.hpp"
+#include "gpu/spec.hpp"
+
+namespace vgpu::gpu {
+
+struct KernelCost {
+  double flops_per_thread = 0.0;
+  /// DRAM traffic per thread (bytes), after cache filtering.
+  double dram_bytes_per_thread = 0.0;
+  /// Fraction of one SM's peak throughput a single resident block extracts
+  /// (ILP, divergence, transcendental mix). 1.0 = saturating.
+  double efficiency = 1.0;
+};
+
+struct KernelLaunch {
+  std::string name;
+  KernelGeometry geometry;
+  KernelCost cost;
+  /// Host/driver-serial time consumed issuing this kernel (a descriptor may
+  /// stand for a chain of micro-launches with synchronizations, as in the
+  /// NPB class-S ports). This section occupies the device's single work
+  /// queue, so it serializes across streams — Fermi's well-known dispatch
+  /// bottleneck.
+  SimDuration host_serial_time = 0;
+
+  double flops_per_block() const {
+    return cost.flops_per_thread *
+           static_cast<double>(geometry.threads_per_block);
+  }
+  double bytes_per_block() const {
+    return cost.dram_bytes_per_thread *
+           static_cast<double>(geometry.threads_per_block);
+  }
+  double total_flops() const {
+    return flops_per_block() * static_cast<double>(geometry.grid_blocks);
+  }
+  double total_bytes() const {
+    return bytes_per_block() * static_cast<double>(geometry.grid_blocks);
+  }
+  /// Arithmetic intensity in flops/byte; infinity-ish for pure compute.
+  double intensity() const {
+    const double b = cost.dram_bytes_per_thread;
+    return b > 0 ? cost.flops_per_thread / b : 1e30;
+  }
+};
+
+/// Duration of a chunk of `n` blocks of `launch`, given the device-wide
+/// demand totals at placement time (both including this chunk):
+/// `total_eff_demand` = sum of n_i * efficiency_i over resident chunks,
+/// `total_blocks` = sum of n_i. See file comment for the formula.
+SimDuration chunk_duration(const DeviceSpec& spec, const KernelLaunch& launch,
+                           long n, double total_eff_demand,
+                           long total_blocks);
+
+/// Duration of a kernel running the whole grid alone on the device — the
+/// closed form the chunk scheduler must agree with for a solo kernel.
+SimDuration solo_kernel_duration(const DeviceSpec& spec,
+                                 const KernelLaunch& launch);
+
+}  // namespace vgpu::gpu

@@ -1,0 +1,368 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace vgpu::gpu {
+
+namespace {
+// Grace period before a context switch: lets a process that just completed
+// one stage of its task enqueue the next stage (scheduled at the same
+// virtual time) before the device decides the context is idle. Models the
+// driver's preference for the resident context.
+constexpr SimDuration kSwitchGrace = 1;  // 1 ns
+}  // namespace
+
+Device::Device(des::Simulator& sim, DeviceSpec spec)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      allocator_(spec_.global_mem),
+      driver_ready_event_(sim),
+      ctx_create_lock_(sim, 1),
+      h2d_engine_(sim, 1),
+      d2h_engine_(sim, 1),
+      dispatch_gate_(sim, 1),
+      exclusive_gate_(sim, 1),
+      kernel_slots_(sim, std::max(1, spec_.max_concurrent_kernels)) {
+  VGPU_ASSERT(spec_.sm_count > 0);
+  VGPU_ASSERT(spec_.copy_engines == 1 || spec_.copy_engines == 2);
+}
+
+// ---------------------------------------------------------------------------
+// Driver / context lifecycle
+// ---------------------------------------------------------------------------
+
+des::Task<> Device::init_driver() {
+  if (driver_ready_) co_return;
+  if (driver_initializing_) {
+    co_await driver_ready_event_.wait();
+    co_return;
+  }
+  driver_initializing_ = true;
+  co_await sim_.delay(spec_.device_init_time);
+  driver_ready_ = true;
+  driver_ready_event_.set();
+}
+
+Status Device::context_admission() const {
+  switch (spec_.compute_mode) {
+    case ComputeMode::kDefault:
+      return Status::Ok();
+    case ComputeMode::kExclusive:
+      if (!contexts_.empty()) {
+        return FailedPrecondition(
+            "exclusive compute mode: a context already exists");
+      }
+      return Status::Ok();
+    case ComputeMode::kProhibited:
+      return FailedPrecondition("prohibited compute mode");
+  }
+  return Internal("unknown compute mode");
+}
+
+des::Task<ContextId> Device::create_context() {
+  co_await init_driver();
+  co_await ctx_create_lock_.acquire();
+  if (!context_admission().ok()) {
+    ctx_create_lock_.release();
+    co_return kNullContext;
+  }
+  co_await sim_.delay(spec_.ctx_create_time);
+  const ContextId id = next_ctx_id_++;
+  contexts_.emplace(id, std::vector<DevPtr>{});
+  ++stats_.ctx_creates;
+  if (current_ctx_ == kNullContext) current_ctx_ = id;
+  ctx_create_lock_.release();
+  VGPU_DEBUG("device: created context " << id);
+  co_return id;
+}
+
+Status Device::destroy_context(ContextId ctx) {
+  auto it = contexts_.find(ctx);
+  if (it == contexts_.end()) return NotFound("destroy of unknown context");
+  if (ctx == current_ctx_ && active_ops_ > 0) {
+    return FailedPrecondition("context has in-flight operations");
+  }
+  for (DevPtr ptr : it->second) {
+    const Status st = allocator_.free(ptr);
+    VGPU_ASSERT_MSG(st.ok(), "context allocation table out of sync");
+  }
+  contexts_.erase(it);
+  if (current_ctx_ == ctx) {
+    current_ctx_ = kNullContext;
+    schedule_switch_check();
+  }
+  return Status::Ok();
+}
+
+StatusOr<DevPtr> Device::malloc_device(ContextId ctx, Bytes size) {
+  auto it = contexts_.find(ctx);
+  if (it == contexts_.end()) return NotFound("malloc on unknown context");
+  StatusOr<DevPtr> ptr = allocator_.allocate(size);
+  if (ptr.ok()) it->second.push_back(*ptr);
+  return ptr;
+}
+
+Status Device::free_device(ContextId ctx, DevPtr ptr) {
+  auto it = contexts_.find(ctx);
+  if (it == contexts_.end()) return NotFound("free on unknown context");
+  auto& list = it->second;
+  auto pos = std::find(list.begin(), list.end(), ptr);
+  if (pos == list.end()) return NotFound("pointer not owned by context");
+  list.erase(pos);
+  return allocator_.free(ptr);
+}
+
+// ---------------------------------------------------------------------------
+// Context arbitration
+// ---------------------------------------------------------------------------
+
+des::Task<> Device::acquire_context(ContextId ctx) {
+  VGPU_ASSERT_MSG(contexts_.count(ctx) > 0, "operation on unknown context");
+  if (can_enter(ctx)) {
+    current_ctx_ = ctx;
+    ++active_ops_;
+    co_return;
+  }
+
+  struct Awaiter {
+    Device& dev;
+    ContextId ctx;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      dev.ctx_waiters_.push_back({ctx, h});
+      if (dev.active_ops_ == 0) dev.schedule_switch_check();
+    }
+    void await_resume() const noexcept {}
+  };
+  co_await Awaiter{*this, ctx};
+
+  // Woken only after do_switch installed our context.
+  VGPU_ASSERT(current_ctx_ == ctx && !switching_);
+  ++active_ops_;
+}
+
+void Device::release_context() {
+  VGPU_ASSERT(active_ops_ > 0);
+  --active_ops_;
+  if (active_ops_ == 0 && !ctx_waiters_.empty()) schedule_switch_check();
+}
+
+void Device::schedule_switch_check() {
+  if (switch_check_scheduled_ || switching_) return;
+  switch_check_scheduled_ = true;
+  sim_.call_after(kSwitchGrace, [this] {
+    switch_check_scheduled_ = false;
+    maybe_switch();
+  });
+}
+
+void Device::maybe_switch() {
+  if (active_ops_ > 0 || switching_ || ctx_waiters_.empty()) return;
+  const ContextId next = ctx_waiters_.front().ctx;
+  switching_ = true;
+  sim_.spawn(do_switch(next));
+}
+
+des::Task<> Device::do_switch(ContextId next) {
+  // Switching from the null context (fresh device or destroyed current
+  // context) is free; swapping live context state costs ctx_switch_time.
+  if (current_ctx_ != kNullContext) {
+    co_await sim_.delay(spec_.ctx_switch_time);
+    ++stats_.ctx_switches;
+    if (timeline_ != nullptr) {
+      timeline_->record({"switch ctx " + std::to_string(current_ctx_) +
+                             " -> " + std::to_string(next),
+                         "context", "context",
+                         sim_.now() - spec_.ctx_switch_time, sim_.now()});
+    }
+  }
+  switching_ = false;
+  current_ctx_ = next;
+  VGPU_DEBUG("device: switched to context " << next);
+  for (auto it = ctx_waiters_.begin(); it != ctx_waiters_.end();) {
+    if (it->ctx == next) {
+      sim_.schedule(0, it->handle);
+      it = ctx_waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DMA transfers
+// ---------------------------------------------------------------------------
+
+des::Task<> Device::copy(ContextId ctx, Direction dir, Bytes bytes,
+                         bool pinned) {
+  VGPU_ASSERT(bytes >= 0);
+  co_await acquire_context(ctx);
+
+  // Route to an engine: with a single engine both directions share it.
+  des::Semaphore& engine =
+      (dir == Direction::kHostToDevice || spec_.copy_engines < 2)
+          ? h2d_engine_
+          : d2h_engine_;
+
+  if (!spec_.concurrent_copy_and_exec) co_await exclusive_gate_.acquire();
+  co_await engine.acquire();
+
+  const BytesPerSecond bw = (dir == Direction::kHostToDevice)
+                                ? spec_.pcie_h2d_pinned
+                                : spec_.pcie_d2h_pinned;
+  SimDuration t = spec_.memcpy_setup_time + transfer_time(bytes, bw);
+  if (!pinned) {
+    t = static_cast<SimDuration>(static_cast<double>(t) *
+                                 spec_.pageable_penalty);
+  }
+  co_await sim_.delay(t);
+
+  if (timeline_ != nullptr) {
+    const bool h2d = dir == Direction::kHostToDevice;
+    timeline_->record({(h2d ? "H2D " : "D2H ") + format_bytes(bytes),
+                       "copy", h2d ? "engine:h2d" : "engine:d2h",
+                       sim_.now() - t, sim_.now()});
+  }
+
+  ++stats_.copies;
+  if (dir == Direction::kHostToDevice) {
+    stats_.bytes_h2d += bytes;
+    stats_.h2d_busy += t;
+  } else {
+    stats_.bytes_d2h += bytes;
+    stats_.d2h_busy += t;
+  }
+
+  engine.release();
+  if (!spec_.concurrent_copy_and_exec) exclusive_gate_.release();
+  release_context();
+}
+
+des::Task<> Device::copy_d2d(ContextId ctx, Bytes bytes) {
+  VGPU_ASSERT(bytes >= 0);
+  co_await acquire_context(ctx);
+  // Read + write pass over DRAM.
+  const SimDuration t =
+      spec_.memcpy_setup_time +
+      transfer_time(2 * bytes, spec_.effective_dram_bw());
+  co_await sim_.delay(t);
+  stats_.bytes_d2d += bytes;
+  if (timeline_ != nullptr) {
+    timeline_->record({"D2D " + format_bytes(bytes), "copy", "device dram",
+                       sim_.now() - t, sim_.now()});
+  }
+  release_context();
+}
+
+des::Task<> Device::memset(ContextId ctx, Bytes bytes) {
+  VGPU_ASSERT(bytes >= 0);
+  co_await acquire_context(ctx);
+  const SimDuration t = spec_.memcpy_setup_time +
+                        transfer_time(bytes, spec_.effective_dram_bw());
+  co_await sim_.delay(t);
+  stats_.bytes_memset += bytes;
+  if (timeline_ != nullptr) {
+    timeline_->record({"memset " + format_bytes(bytes), "copy",
+                       "device dram", sim_.now() - t, sim_.now()});
+  }
+  release_context();
+}
+
+// ---------------------------------------------------------------------------
+// Kernel execution: chunked block placement
+// ---------------------------------------------------------------------------
+
+des::Task<> Device::launch_kernel(ContextId ctx, KernelLaunch launch) {
+  const Occupancy occ = compute_occupancy(spec_, launch.geometry);
+  VGPU_ASSERT_MSG(occ.blocks_per_sm > 0,
+                  "kernel geometry cannot be placed on this device");
+
+  co_await acquire_context(ctx);
+  co_await dispatch_gate_.acquire();
+  co_await sim_.delay(spec_.kernel_launch_overhead + launch.host_serial_time);
+  dispatch_gate_.release();
+
+  if (!spec_.concurrent_copy_and_exec) co_await exclusive_gate_.acquire();
+  co_await kernel_slots_.acquire();
+
+  OpenKernel k(sim_);
+  k.launch = std::move(launch);
+  k.occ = occ;
+  k.u = 1.0 / occ.blocks_per_sm;
+  k.pending = k.launch.geometry.grid_blocks;
+  open_.push_back(&k);
+  stats_.max_open_kernels =
+      std::max(stats_.max_open_kernels, static_cast<int>(open_.size()));
+
+  // Assign a rendering lane so overlapping kernels display side by side.
+  std::size_t lane = 0;
+  if (timeline_ != nullptr) {
+    while (lane < kernel_lanes_.size() && kernel_lanes_[lane]) ++lane;
+    if (lane == kernel_lanes_.size()) kernel_lanes_.push_back(false);
+    kernel_lanes_[lane] = true;
+  }
+  const SimTime kernel_begin = sim_.now();
+  try_place();
+  co_await k.done.wait();
+  if (timeline_ != nullptr) {
+    timeline_->record({k.launch.name + " (ctx " + std::to_string(ctx) + ")",
+                       "kernel", "kernel lane " + std::to_string(lane),
+                       kernel_begin, sim_.now()});
+    kernel_lanes_[lane] = false;
+  }
+
+  kernel_slots_.release();
+  if (!spec_.concurrent_copy_and_exec) exclusive_gate_.release();
+  ++stats_.kernels_completed;
+  release_context();
+}
+
+void Device::try_place() {
+  const double cap_total = static_cast<double>(spec_.sm_count);
+  for (OpenKernel* k : open_) {
+    while (k->pending > 0) {
+      const double free_cap = cap_total - cap_used_;
+      const long fit = static_cast<long>((free_cap + 1e-9) / k->u);
+      const long n = std::min(k->pending, fit);
+      if (n <= 0) break;  // full for this kernel; smaller blocks may still fit
+      k->pending -= n;
+      ++k->inflight_chunks;
+      const double cap = static_cast<double>(n) * k->u;
+      const double eff = std::clamp(k->launch.cost.efficiency, 1e-6, 1.0);
+      cap_used_ += cap;
+      blocks_resident_ += n;
+      eff_demand_ += static_cast<double>(n) * eff;
+      stats_.max_active_cap = std::max(stats_.max_active_cap, cap_used_);
+      ++stats_.chunks_executed;
+      const SimDuration dur =
+          chunk_duration(spec_, k->launch, n, eff_demand_, blocks_resident_);
+      stats_.kernel_busy += dur;
+      if (timeline_ != nullptr) {
+        timeline_->record({k->launch.name + " x" + std::to_string(n),
+                           "fabric", "SM fabric", sim_.now(),
+                           sim_.now() + dur});
+      }
+      sim_.call_after(dur, [this, k, cap, n] { on_chunk_done(k, cap, n); });
+    }
+  }
+}
+
+void Device::on_chunk_done(OpenKernel* k, double cap, long n) {
+  const double eff = std::clamp(k->launch.cost.efficiency, 1e-6, 1.0);
+  cap_used_ -= cap;
+  if (cap_used_ < 1e-9) cap_used_ = 0.0;
+  blocks_resident_ -= n;
+  eff_demand_ -= static_cast<double>(n) * eff;
+  if (eff_demand_ < 1e-9) eff_demand_ = 0.0;
+  --k->inflight_chunks;
+  if (k->pending == 0 && k->inflight_chunks == 0) {
+    open_.erase(std::find(open_.begin(), open_.end(), k));
+    k->done.set();
+  }
+  try_place();
+}
+
+}  // namespace vgpu::gpu

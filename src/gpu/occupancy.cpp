@@ -1,0 +1,76 @@
+#include "gpu/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+#include "common/status.hpp"
+
+namespace vgpu::gpu {
+
+const char* limiter_name(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::kBlocks:
+      return "blocks/SM";
+    case OccupancyLimiter::kWarps:
+      return "warps/SM";
+    case OccupancyLimiter::kThreads:
+      return "threads/SM";
+    case OccupancyLimiter::kRegisters:
+      return "registers/SM";
+    case OccupancyLimiter::kSharedMem:
+      return "shared memory/SM";
+  }
+  return "?";
+}
+
+long Occupancy::waves(const DeviceSpec& spec, long grid_blocks) const {
+  VGPU_ASSERT(blocks_per_sm > 0);
+  return ceil_div(grid_blocks, device_blocks(spec));
+}
+
+Occupancy compute_occupancy(const DeviceSpec& spec, const KernelGeometry& g) {
+  Occupancy occ;
+  VGPU_ASSERT(g.grid_blocks >= 1);
+  VGPU_ASSERT(g.threads_per_block >= 1);
+
+  occ.warps_per_block = ceil_div(g.threads_per_block, spec.warp_size);
+
+  // Candidate limits, Fermi allocation granularity: registers are allocated
+  // per warp (thread count rounded up to warp size).
+  struct Limit {
+    long value;
+    OccupancyLimiter kind;
+  };
+  Limit limits[5];
+  limits[0] = {static_cast<long>(spec.max_blocks_per_sm),
+               OccupancyLimiter::kBlocks};
+  limits[1] = {static_cast<long>(spec.max_warps_per_sm / occ.warps_per_block),
+               OccupancyLimiter::kWarps};
+  limits[2] = {static_cast<long>(spec.max_threads_per_sm / g.threads_per_block),
+               OccupancyLimiter::kThreads};
+  const long regs_per_block =
+      static_cast<long>(g.regs_per_thread) *
+      round_up(static_cast<long>(g.threads_per_block),
+               static_cast<long>(spec.warp_size));
+  limits[3] = {regs_per_block > 0 ? spec.regs_per_sm / regs_per_block
+                                  : static_cast<long>(spec.max_blocks_per_sm),
+               OccupancyLimiter::kRegisters};
+  limits[4] = {g.shmem_per_block > 0
+                   ? static_cast<long>(spec.shmem_per_sm / g.shmem_per_block)
+                   : static_cast<long>(spec.max_blocks_per_sm),
+               OccupancyLimiter::kSharedMem};
+
+  Limit best = limits[0];
+  for (const auto& lim : limits) {
+    if (lim.value < best.value) best = lim;
+  }
+  occ.blocks_per_sm = static_cast<int>(std::max(0L, best.value));
+  occ.limiter = best.kind;
+  occ.occupancy =
+      static_cast<double>(occ.blocks_per_sm * occ.warps_per_block) /
+      static_cast<double>(spec.max_warps_per_sm);
+  occ.occupancy = std::min(occ.occupancy, 1.0);
+  return occ;
+}
+
+}  // namespace vgpu::gpu

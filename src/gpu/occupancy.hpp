@@ -1,0 +1,49 @@
+// Fermi occupancy calculator.
+//
+// Given a kernel's launch geometry, computes how many blocks fit on one SM
+// simultaneously — the quantity that decides whether a kernel occupies the
+// whole GPU (no room for concurrent kernels from other processes) or only a
+// slice of it (the virtualization win case in the paper).
+#pragma once
+
+#include "common/units.hpp"
+#include "gpu/spec.hpp"
+
+namespace vgpu::gpu {
+
+struct KernelGeometry {
+  long grid_blocks = 1;        // total thread blocks in the grid
+  int threads_per_block = 256;
+  int regs_per_thread = 20;
+  Bytes shmem_per_block = 0;
+};
+
+enum class OccupancyLimiter { kBlocks, kWarps, kThreads, kRegisters, kSharedMem };
+
+const char* limiter_name(OccupancyLimiter limiter);
+
+struct Occupancy {
+  int blocks_per_sm = 0;        // max co-resident blocks of this kernel per SM
+  int warps_per_block = 0;
+  OccupancyLimiter limiter = OccupancyLimiter::kBlocks;
+  double occupancy = 0.0;       // resident warps / max warps, in [0, 1]
+
+  /// Device-wide co-resident block capacity for this kernel.
+  long device_blocks(const DeviceSpec& spec) const {
+    return static_cast<long>(blocks_per_sm) * spec.sm_count;
+  }
+  /// Number of full waves needed to drain `grid_blocks`.
+  long waves(const DeviceSpec& spec, long grid_blocks) const;
+  /// True if one grid of this kernel fills the device by itself (no spare
+  /// capacity for concurrent kernels).
+  bool fills_device(const DeviceSpec& spec, long grid_blocks) const {
+    return grid_blocks >= device_blocks(spec);
+  }
+};
+
+/// Computes occupancy; geometry must satisfy basic validity (threads in
+/// [1, 1024], shmem within per-SM capacity, registers within per-SM file).
+/// Returns blocks_per_sm == 0 if the kernel cannot run at all.
+Occupancy compute_occupancy(const DeviceSpec& spec, const KernelGeometry& g);
+
+}  // namespace vgpu::gpu

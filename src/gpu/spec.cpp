@@ -1,0 +1,61 @@
+#include "gpu/spec.hpp"
+
+namespace vgpu::gpu {
+
+const char* compute_mode_name(ComputeMode mode) {
+  switch (mode) {
+    case ComputeMode::kDefault:
+      return "Default";
+    case ComputeMode::kExclusive:
+      return "Exclusive";
+    case ComputeMode::kProhibited:
+      return "Prohibited";
+  }
+  return "?";
+}
+
+DeviceSpec tesla_c2070() {
+  DeviceSpec spec;
+  spec.name = "Tesla C2070";
+  return spec;  // defaults are the C2070 calibration
+}
+
+DeviceSpec tesla_c2050() {
+  DeviceSpec spec = tesla_c2070();
+  spec.name = "Tesla C2050";
+  spec.global_mem = 3 * kGB;
+  return spec;
+}
+
+DeviceSpec gtx480() {
+  DeviceSpec spec = tesla_c2070();
+  spec.name = "GeForce GTX 480";
+  spec.sm_count = 15;
+  spec.core_clock_ghz = 1.401;
+  spec.global_mem = static_cast<Bytes>(1.5 * static_cast<double>(kGB));
+  spec.dram_bw = gb_per_s(177.4);
+  spec.copy_engines = 1;
+  return spec;
+}
+
+DeviceSpec tesla_c1060() {
+  DeviceSpec spec;
+  spec.name = "Tesla C1060";
+  spec.sm_count = 30;
+  spec.sp_per_sm = 8;
+  spec.core_clock_ghz = 1.296;
+  spec.warp_size = 32;
+  spec.max_blocks_per_sm = 8;
+  spec.max_warps_per_sm = 32;
+  spec.max_threads_per_sm = 1024;
+  spec.regs_per_sm = 16384;
+  spec.shmem_per_sm = 16 * kKiB;
+  spec.global_mem = 4 * kGB;
+  spec.dram_bw = gb_per_s(102.0);
+  spec.copy_engines = 1;
+  spec.max_concurrent_kernels = 1;  // no concurrent kernel execution
+  spec.concurrent_copy_and_exec = false;
+  return spec;
+}
+
+}  // namespace vgpu::gpu

@@ -1,0 +1,101 @@
+// Device specifications for the simulated GPU.
+//
+// The model is Fermi-class (NVIDIA GF100/GF110): streaming multiprocessors
+// (SMs) with per-SM occupancy limits, a device-wide block scheduler, copy
+// engines (one per PCIe direction on Tesla C-series), concurrent kernel
+// execution restricted to a single context, and expensive context
+// create/switch operations — exactly the properties the paper's
+// virtualization argument rests on.
+//
+// Timing constants for the default TeslaC2070 spec are calibrated against
+// the paper's Table II microbenchmark profiles (see EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace vgpu::gpu {
+
+/// CUDA compute modes (nvidia-smi -c). The paper's baseline relies on
+/// kDefault ("sharing compute mode": multiple host processes may create
+/// contexts); kExclusive permits a single context — under which ONLY a
+/// GVM-style manager can serve multiple processes at all.
+enum class ComputeMode {
+  kDefault,     // any number of contexts
+  kExclusive,   // at most one context
+  kProhibited,  // no contexts
+};
+
+const char* compute_mode_name(ComputeMode mode);
+
+struct DeviceSpec {
+  std::string name;
+
+  // Compute fabric.
+  int sm_count = 14;               // C2070: 14 SMs
+  int sp_per_sm = 32;              // 32 CUDA cores per Fermi SM
+  double core_clock_ghz = 1.15;    // SP clock
+  double flops_per_sp_per_cycle = 2.0;  // FMA
+  int warp_size = 32;
+
+  // Per-SM occupancy limits (Fermi, compute capability 2.0).
+  int max_blocks_per_sm = 8;
+  int max_warps_per_sm = 48;
+  int max_threads_per_sm = 1536;
+  long regs_per_sm = 32768;
+  Bytes shmem_per_sm = 48 * kKiB;
+
+  // Memory system.
+  Bytes global_mem = 6 * kGB;                  // C2070: 6 GB GDDR5
+  BytesPerSecond dram_bw = gb_per_s(144.0);    // peak GDDR5 bandwidth
+  double dram_efficiency = 0.80;               // achievable fraction
+
+  // Host link (PCIe gen2 x16). Effective pinned bandwidths are fitted from
+  // the paper's Table II vector-addition profile (400 MB in / 135.9 ms,
+  // 200 MB out / 66.7 ms).
+  BytesPerSecond pcie_h2d_pinned = gb_per_s(2.944);
+  BytesPerSecond pcie_d2h_pinned = gb_per_s(3.001);
+  double pageable_penalty = 1.8;  // pageable staging slowdown factor
+  int copy_engines = 2;           // C2070: one DMA engine per direction
+
+  // Concurrency capabilities.
+  int max_concurrent_kernels = 16;  // Fermi limit, same context only
+  bool concurrent_copy_and_exec = true;
+  ComputeMode compute_mode = ComputeMode::kDefault;
+
+  // Driver / runtime overheads (calibrated to Table II; see EXPERIMENTS.md).
+  SimDuration device_init_time = milliseconds(1000.0);  // first CUDA call
+  SimDuration ctx_create_time = milliseconds(65.0);     // per context
+  SimDuration ctx_switch_time = milliseconds(185.0);    // between contexts
+  SimDuration kernel_launch_overhead = microseconds(7.0);
+  SimDuration memcpy_setup_time = microseconds(10.0);
+
+  // Derived rates.
+  double device_flops() const {
+    return static_cast<double>(sm_count) * sm_flops();
+  }
+  double sm_flops() const {
+    return static_cast<double>(sp_per_sm) * core_clock_ghz * 1e9 *
+           flops_per_sp_per_cycle;
+  }
+  BytesPerSecond effective_dram_bw() const {
+    return dram_bw * dram_efficiency;
+  }
+};
+
+/// NVIDIA Tesla C2070: the paper's testbed GPU (Fermi, 14 SMs, 6 GB).
+DeviceSpec tesla_c2070();
+
+/// NVIDIA Tesla C2050: same fabric, 3 GB memory.
+DeviceSpec tesla_c2050();
+
+/// GeForce GTX 480: consumer Fermi; 15 SMs, one copy engine, 1.5 GB.
+DeviceSpec gtx480();
+
+/// Pre-Fermi-style device: no concurrent kernels, one copy engine. Used by
+/// ablation benches to show what the virtualization layer can still save
+/// (context switches / init) when overlap hardware is absent.
+DeviceSpec tesla_c1060();
+
+}  // namespace vgpu::gpu

@@ -1,0 +1,73 @@
+#include "gpu/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace vgpu::gpu {
+
+void Timeline::record(TraceEvent event) {
+  VGPU_ASSERT(event.end >= event.begin);
+  events_.push_back(std::move(event));
+}
+
+SimDuration Timeline::busy_time(const std::string& category) const {
+  SimDuration total = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.category == category) total += e.duration();
+  }
+  return total;
+}
+
+int Timeline::max_concurrency(const std::string& category) const {
+  // Sweep line over begin/end edges.
+  std::vector<std::pair<SimTime, int>> edges;
+  for (const TraceEvent& e : events_) {
+    if (e.category != category) continue;
+    edges.emplace_back(e.begin, +1);
+    edges.emplace_back(e.end, -1);
+  }
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;  // close before open at the same instant
+  });
+  int current = 0, peak = 0;
+  for (const auto& [t, delta] : edges) {
+    current += delta;
+    peak = std::max(peak, current);
+  }
+  return peak;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Timeline::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Internal("cannot open trace file " + path);
+  out << "[\n";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+        << json_escape(e.category) << "\", \"ph\": \"X\", \"ts\": "
+        << to_us(e.begin) << ", \"dur\": " << to_us(e.duration())
+        << ", \"pid\": 0, \"tid\": \"" << json_escape(e.lane) << "\"}";
+  }
+  out << "\n]\n";
+  if (!out) return Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+}  // namespace vgpu::gpu

@@ -1,0 +1,49 @@
+// Execution timeline recording.
+//
+// The device (and the GVM above it) can record every operation as a timed
+// span on a named lane: copy engines, the kernel fabric, context ownership,
+// GVM staging. The timeline exports Chrome trace-event JSON, so a
+// reproduction of the paper's Figure 5/6 pipelines can be inspected in
+// chrome://tracing or Perfetto.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace vgpu::gpu {
+
+struct TraceEvent {
+  std::string name;      // e.g. "H2D 80 MB", "sgemm", "ctx switch 1->2"
+  std::string category;  // "copy" | "kernel" | "context" | "staging" | ...
+  std::string lane;      // rendering track, e.g. "engine:h2d", "client 3"
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  SimDuration duration() const { return end - begin; }
+};
+
+class Timeline {
+ public:
+  void record(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Sum of span durations in `category` (overlaps counted per event).
+  SimDuration busy_time(const std::string& category) const;
+
+  /// Maximum number of simultaneously-open spans in `category`.
+  int max_concurrency(const std::string& category) const;
+
+  /// Chrome trace-event JSON (complete "X" events, microsecond units).
+  Status write_chrome_trace(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace vgpu::gpu

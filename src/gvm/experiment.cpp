@@ -1,0 +1,228 @@
+#include "gvm/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hpp"
+#include "des/sync.hpp"
+#include "vcuda/runtime.hpp"
+
+namespace vgpu::gvm {
+
+namespace {
+
+SimDuration device_busy(const gpu::Device& dev) {
+  const gpu::DeviceStats& s = dev.stats();
+  return s.h2d_busy + s.kernel_busy + s.d2h_busy;
+}
+
+/// One baseline SPMD process: private context, synchronous task cycles.
+des::Task<> baseline_process(vcuda::Runtime& rt, const TaskPlan& plan,
+                             int rounds, des::CountdownLatch& done,
+                             SimDuration& finish_time) {
+  auto ctx = co_await rt.create_context();
+  vcuda::DeviceBuffer dev_in, dev_out;
+  if (plan.bytes_in > 0) {
+    auto buf = ctx->malloc(plan.bytes_in, plan.backed);
+    VGPU_ASSERT_MSG(buf.ok(), buf.status().to_string().c_str());
+    dev_in = *buf;
+  }
+  if (plan.bytes_out > 0) {
+    auto buf = ctx->malloc(plan.bytes_out, plan.backed);
+    VGPU_ASSERT_MSG(buf.ok(), buf.status().to_string().c_str());
+    dev_out = *buf;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    if (plan.bytes_in > 0) {
+      co_await ctx->memcpy_h2d(dev_in, plan.input, plan.bytes_in);
+    }
+    for (std::size_t i = 0; i < plan.kernels.size(); ++i) {
+      const bool last = (i + 1 == plan.kernels.size());
+      std::function<void()> body;
+      if (last && plan.kernel_body) {
+        body = [&] {
+          TaskBuffers buffers{&dev_in, &dev_out};
+          plan.kernel_body(buffers);
+        };
+      }
+      co_await ctx->launch_sync(plan.kernels[i], std::move(body));
+    }
+    if (plan.bytes_out > 0) {
+      co_await ctx->memcpy_d2h(plan.output, dev_out, plan.bytes_out);
+    }
+  }
+  finish_time = rt.sim().now();
+  done.count_down();
+  // SPMD processes keep their GPU context until the program exits: hold it
+  // until every process has finished so that context switches between
+  // still-live contexts are charged, as on real hardware.
+  co_await done.wait();
+}
+
+}  // namespace
+
+RunResult run_baseline(const gpu::DeviceSpec& spec, const TaskPlan& plan,
+                       int rounds, int nprocs, gpu::Timeline* timeline) {
+  VGPU_ASSERT(nprocs >= 1 && rounds >= 1);
+  des::Simulator sim;
+  gpu::Device device(sim, spec);
+  device.set_timeline(timeline);
+  vcuda::Runtime runtime(sim, device);
+  des::CountdownLatch done(sim, static_cast<std::size_t>(nprocs));
+
+  RunResult result;
+  result.per_process.resize(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) {
+    sim.spawn(baseline_process(runtime, plan, rounds, done,
+                               result.per_process[static_cast<std::size_t>(p)]));
+  }
+  sim.spawn([](des::Simulator& s, des::CountdownLatch& done,
+               RunResult& out) -> des::Task<> {
+    co_await done.wait();
+    out.turnaround = s.now();
+  }(sim, done, result));
+  sim.run();
+
+  result.pure_gpu_time = device_busy(device);
+  result.device = device.stats();
+  return result;
+}
+
+RunResult run_virtualized(const gpu::DeviceSpec& spec, GvmConfig config,
+                          const TaskPlan& plan, int rounds, int nprocs,
+                          gpu::Timeline* timeline) {
+  VGPU_ASSERT(nprocs >= 1 && rounds >= 1);
+  des::Simulator sim;
+  gpu::Device device(sim, spec);
+  device.set_timeline(timeline);
+  vcuda::Runtime runtime(sim, device);
+  config.expected_clients = nprocs;
+  Gvm gvm(sim, runtime, config);
+  gvm.start();
+
+  RunResult result;
+  std::vector<std::unique_ptr<VGpuClient>> clients;
+  for (int p = 0; p < nprocs; ++p) {
+    clients.push_back(std::make_unique<VGpuClient>(sim, gvm, p));
+  }
+
+  // Supervisor: wait for the GVM to come up (outside the measured window),
+  // then start all SPMD clients simultaneously.
+  sim.spawn([](des::Simulator& s, Gvm& gvm, gpu::Device& device,
+               std::vector<std::unique_ptr<VGpuClient>>& clients,
+               const TaskPlan& plan, int rounds,
+               RunResult& out) -> des::Task<> {
+    co_await gvm.ready().wait();
+    const SimTime t0 = s.now();
+    const SimDuration gpu0 = device_busy(device);
+    des::CountdownLatch done(s, clients.size());
+    out.per_process.resize(clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      s.spawn([](des::Simulator& s, VGpuClient& c, TaskPlan plan, int rounds,
+                 des::CountdownLatch& done, SimTime t0,
+                 SimDuration& finish) -> des::Task<> {
+        co_await c.run_task(std::move(plan), rounds);
+        finish = s.now() - t0;
+        done.count_down();
+      }(s, *clients[i], plan, rounds, done, t0, out.per_process[i]));
+    }
+    co_await done.wait();
+    out.turnaround = s.now() - t0;
+    out.pure_gpu_time = device_busy(device) - gpu0;
+    for (auto& client : clients) out.client_waits += client->waits_observed();
+  }(sim, gvm, device, clients, plan, rounds, result));
+  sim.run();
+
+  result.device = device.stats();
+  result.gvm = gvm.stats();
+  return result;
+}
+
+model::ExecutionProfile measure_profile(const gpu::DeviceSpec& spec,
+                                        const TaskPlan& plan, int nprocs,
+                                        const std::string& name) {
+  model::ExecutionProfile profile;
+  profile.name = name;
+
+  // Tinit: nprocs processes initialize the device and their contexts.
+  {
+    des::Simulator sim;
+    gpu::Device device(sim, spec);
+    vcuda::Runtime runtime(sim, device);
+    des::CountdownLatch done(sim, static_cast<std::size_t>(nprocs));
+    for (int p = 0; p < nprocs; ++p) {
+      sim.spawn([](vcuda::Runtime& rt, des::CountdownLatch& done)
+                    -> des::Task<> {
+        auto ctx = co_await rt.create_context();
+        done.count_down();
+      }(runtime, done));
+    }
+    sim.spawn([](des::Simulator& s, des::CountdownLatch& done,
+                 model::ExecutionProfile& p) -> des::Task<> {
+      co_await done.wait();
+      p.t_init = s.now();
+    }(sim, done, profile));
+    sim.run();
+  }
+
+  // Per-stage times of a single task cycle under one private context.
+  {
+    des::Simulator sim;
+    gpu::Device device(sim, spec);
+    vcuda::Runtime runtime(sim, device);
+    sim.spawn([](des::Simulator& s, vcuda::Runtime& rt, const TaskPlan& plan,
+                 model::ExecutionProfile& p) -> des::Task<> {
+      auto ctx = co_await rt.create_context();
+      vcuda::DeviceBuffer dev_in, dev_out;
+      if (plan.bytes_in > 0) dev_in = *ctx->malloc(plan.bytes_in);
+      if (plan.bytes_out > 0) dev_out = *ctx->malloc(plan.bytes_out);
+
+      SimTime t0 = s.now();
+      if (plan.bytes_in > 0) {
+        co_await ctx->memcpy_h2d(dev_in, nullptr, plan.bytes_in);
+      }
+      p.t_data_in = s.now() - t0;
+
+      t0 = s.now();
+      for (const auto& k : plan.kernels) co_await ctx->launch_sync(k);
+      p.t_comp = s.now() - t0;
+
+      t0 = s.now();
+      if (plan.bytes_out > 0) {
+        co_await ctx->memcpy_d2h(nullptr, dev_out, plan.bytes_out);
+      }
+      p.t_data_out = s.now() - t0;
+    }(sim, runtime, plan, profile));
+    sim.run();
+  }
+
+  // Tctx_switch: two contexts alternating a minimal operation; the switch
+  // cost is the measured total minus the operations themselves.
+  {
+    des::Simulator sim;
+    gpu::Device device(sim, spec);
+    vcuda::Runtime runtime(sim, device);
+    sim.spawn([](des::Simulator& s, vcuda::Runtime& rt,
+                 model::ExecutionProfile& p) -> des::Task<> {
+      auto ctx1 = co_await rt.create_context();
+      auto ctx2 = co_await rt.create_context();
+      auto b1 = *ctx1->malloc(256);
+      auto b2 = *ctx2->malloc(256);
+      // Warm: measure op cost with no switch.
+      SimTime t0 = s.now();
+      co_await ctx1->memcpy_h2d(b1, nullptr, 256);
+      const SimDuration op = s.now() - t0;
+      // Alternate contexts: each hop pays one switch plus the op.
+      t0 = s.now();
+      co_await ctx2->memcpy_h2d(b2, nullptr, 256);
+      co_await ctx1->memcpy_h2d(b1, nullptr, 256);
+      const SimDuration two_hops = s.now() - t0;
+      p.t_ctx_switch = (two_hops - 2 * op) / 2;
+    }(sim, runtime, profile));
+    sim.run();
+  }
+
+  return profile;
+}
+
+}  // namespace vgpu::gvm

@@ -1,0 +1,64 @@
+// Experiment driver: runs an SPMD workload with and without the GVM and
+// measures process turnaround time — the paper's Section VI methodology
+// ("the time for all processes to finish executing the benchmarks after
+// they start simultaneously").
+//
+// Baseline (no virtualization): every process creates its own GPU context
+// and issues synchronous H2D / kernel / D2H calls; the device serializes
+// across contexts with context-switch penalties (paper Figure 4).
+//
+// Virtualized: a pre-initialized GVM owns the single context; processes
+// drive their VGPU through REQ/SND/STR/STP/RCV/RLS (paper Figure 8).
+// Turnaround starts when the clients start, i.e. the GVM's one-time
+// initialization is outside the measured window — exactly the paper's
+// measurement (that is why even one process gains from virtualization).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "gpu/spec.hpp"
+#include "gvm/gvm.hpp"
+#include "model/model.hpp"
+
+namespace vgpu::gvm {
+
+struct RunResult {
+  SimDuration turnaround = 0;
+  SimDuration pure_gpu_time = 0;  // device busy time within the run
+  gpu::DeviceStats device;
+  GvmStats gvm;          // zero for baseline runs
+  long client_waits = 0;  // STP polls answered WAIT (virtualized only)
+  /// Per-process completion times relative to the simultaneous start —
+  /// the spread measures fairness across the SPMD wave.
+  std::vector<SimDuration> per_process;
+
+  SimDuration fairness_spread() const {
+    if (per_process.empty()) return 0;
+    const auto [lo, hi] =
+        std::minmax_element(per_process.begin(), per_process.end());
+    return *hi - *lo;
+  }
+};
+
+/// SPMD run without virtualization: `nprocs` processes, each executing
+/// `rounds` cycles of `plan` under its own context. If `timeline` is
+/// non-null, every device operation is recorded onto it.
+RunResult run_baseline(const gpu::DeviceSpec& spec, const TaskPlan& plan,
+                       int rounds, int nprocs,
+                       gpu::Timeline* timeline = nullptr);
+
+/// SPMD run through the GVM. `config.expected_clients` is overridden with
+/// `nprocs`.
+RunResult run_virtualized(const gpu::DeviceSpec& spec, GvmConfig config,
+                          const TaskPlan& plan, int rounds, int nprocs,
+                          gpu::Timeline* timeline = nullptr);
+
+/// Microbenchmark pass (paper Table II): measures Tinit (nprocs context
+/// initializations), per-stage Tdata_in / Tcomp / Tdata_out of one task
+/// cycle, and the observed context-switch time between two contexts.
+model::ExecutionProfile measure_profile(const gpu::DeviceSpec& spec,
+                                        const TaskPlan& plan, int nprocs,
+                                        const std::string& name);
+
+}  // namespace vgpu::gvm

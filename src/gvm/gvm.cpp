@@ -1,0 +1,461 @@
+#include "gvm/gvm.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace vgpu::gvm {
+
+const char* request_type_name(RequestType t) {
+  switch (t) {
+    case RequestType::kReq:
+      return "REQ";
+    case RequestType::kSnd:
+      return "SND";
+    case RequestType::kStr:
+      return "STR";
+    case RequestType::kStp:
+      return "STP";
+    case RequestType::kRcv:
+      return "RCV";
+    case RequestType::kRls:
+      return "RLS";
+    case RequestType::kSus:
+      return "SUS";
+    case RequestType::kRes:
+      return "RES";
+  }
+  return "?";
+}
+
+const char* response_type_name(ResponseType t) {
+  return t == ResponseType::kAck ? "ACK" : "WAIT";
+}
+
+// ---------------------------------------------------------------------------
+// Gvm
+// ---------------------------------------------------------------------------
+
+Gvm::Gvm(des::Simulator& sim, vcuda::Runtime& runtime, GvmConfig config)
+    : sim_(sim),
+      runtime_(runtime),
+      config_(config),
+      ready_(sim),
+      requests_(sim) {
+  VGPU_ASSERT(config_.expected_clients >= 1);
+}
+
+Gvm::~Gvm() = default;
+
+void Gvm::start() { sim_.spawn(run()); }
+
+des::Channel<Response>& Gvm::response_channel(int client) {
+  auto it = responses_.find(client);
+  if (it == responses_.end()) {
+    it = responses_
+             .emplace(client, std::make_unique<des::Channel<Response>>(sim_))
+             .first;
+  }
+  return *it->second;
+}
+
+SimDuration Gvm::gpu_time() const {
+  const gpu::DeviceStats& s = runtime_.device().stats();
+  return s.h2d_busy + s.kernel_busy + s.d2h_busy;
+}
+
+SimDuration Gvm::staging_time(Bytes bytes) const {
+  if (!config_.model_staging_copies) return 0;
+  return transfer_time(bytes, config_.host_memcpy_bw);
+}
+
+void Gvm::respond(int client, ResponseType type) {
+  response_channel(client).send(Response{type});
+}
+
+des::Task<> Gvm::run() {
+  // Initialization (paper Figure 8, left column): get the device, create
+  // the single GPU context. Per-client streams and memory objects are
+  // created lazily at REQ.
+  context_ = co_await runtime_.create_context();
+  ready_.set();
+  VGPU_INFO("GVM: ready, serving requests");
+  for (;;) {
+    Request request = co_await requests_.receive();
+    ++stats_.requests;
+    co_await handle(request);
+  }
+}
+
+des::Task<> Gvm::handle(Request request) {
+  const SimTime begin = sim_.now();
+  co_await dispatch(request);
+  if (auto* tl = runtime_.device().timeline()) {
+    tl->record({std::string(request_type_name(request.type)) + " client " +
+                    std::to_string(request.client),
+                "protocol", "GVM requests", begin, sim_.now()});
+  }
+}
+
+des::Task<> Gvm::dispatch(Request request) {
+  switch (request.type) {
+    case RequestType::kReq:
+      co_await handle_req(request.client);
+      break;
+    case RequestType::kSnd:
+      co_await handle_snd(request.client);
+      break;
+    case RequestType::kStr:
+      co_await handle_str(request.client);
+      break;
+    case RequestType::kStp:
+      co_await handle_stp(request.client);
+      break;
+    case RequestType::kRcv:
+      co_await handle_rcv(request.client);
+      break;
+    case RequestType::kRls:
+      co_await handle_rls(request.client);
+      break;
+    case RequestType::kSus:
+      co_await handle_sus(request.client);
+      break;
+    case RequestType::kRes:
+      co_await handle_res(request.client);
+      break;
+  }
+}
+
+des::Task<> Gvm::handle_req(int client) {
+  auto plan_it = pending_plans_.find(client);
+  VGPU_ASSERT_MSG(plan_it != pending_plans_.end(),
+                  "REQ without a registered task plan");
+  ClientState state;
+  state.plan = std::move(plan_it->second);
+  pending_plans_.erase(plan_it);
+
+  state.stream = &context_->create_stream();
+  // Page-locked staging for both directions (required for async overlap);
+  // bounded by the node's pinned-memory ledger.
+  if (config_.pinned_staging &&
+      state.plan.bytes_in + state.plan.bytes_out > 0) {
+    auto staging =
+        runtime_.alloc_pinned(state.plan.bytes_in + state.plan.bytes_out);
+    VGPU_ASSERT_MSG(staging.ok(), staging.status().to_string().c_str());
+    state.staging = std::move(*staging);
+  }
+  // Device memory: under pressure, make room by suspending idle clients
+  // before allocating (their snapshots restore transparently at flush).
+  const Bytes needed = state.plan.bytes_in + state.plan.bytes_out;
+  if (config_.auto_suspend_on_pressure && device_free() < needed) {
+    co_await relieve_pressure(needed, client);
+  }
+  if (state.plan.bytes_in > 0) {
+    auto buf = context_->malloc(state.plan.bytes_in, state.plan.backed);
+    VGPU_ASSERT_MSG(buf.ok(), buf.status().to_string().c_str());
+    state.dev_in = *buf;
+  }
+  if (state.plan.bytes_out > 0) {
+    auto buf = context_->malloc(state.plan.bytes_out, state.plan.backed);
+    VGPU_ASSERT_MSG(buf.ok(), buf.status().to_string().c_str());
+    state.dev_out = *buf;
+  }
+  clients_[client] = std::move(state);
+  respond(client, ResponseType::kAck);
+  co_return;
+}
+
+des::Task<> Gvm::handle_snd(int client) {
+  auto it = clients_.find(client);
+  VGPU_ASSERT_MSG(it != clients_.end(), "SND from unregistered client");
+  // Copy from the client's virtual shared memory into its pinned staging
+  // buffer. The GVM is a single process: these copies serialize here, which
+  // is the dominant source of virtualization overhead (Figure 10).
+  const Bytes n = it->second.plan.bytes_in;
+  stats_.bytes_staged_in += n;
+  const SimDuration t = staging_time(n);
+  co_await sim_.delay(t);
+  if (auto* tl = runtime_.device().timeline()) {
+    tl->record({"stage in, client " + std::to_string(client), "staging",
+                "GVM staging", sim_.now() - t, sim_.now()});
+  }
+  respond(client, ResponseType::kAck);
+}
+
+des::Task<> Gvm::handle_str(int client) {
+  auto it = clients_.find(client);
+  VGPU_ASSERT_MSG(it != clients_.end(), "STR from unregistered client");
+  if (!config_.use_barriers) {
+    co_await flush_stream(client, it->second);
+    ++stats_.flushes;
+    respond(client, ResponseType::kAck);
+    co_return;
+  }
+  VGPU_ASSERT_MSG(!it->second.str_pending, "duplicate STR before flush");
+  it->second.str_pending = true;
+  ++str_count_;
+  // Barrier: flush all streams together once every SPMD process has sent
+  // STR, then ACK every process (Figure 8's paired barriers).
+  if (str_count_ >= config_.expected_clients) {
+    co_await flush_all_streams();
+  }
+  co_return;
+}
+
+des::Task<> Gvm::flush_all_streams() {
+  ++stats_.flushes;
+  // Collect the pending cohort, order it per policy, then flush.
+  std::vector<std::pair<int, ClientState*>> cohort;
+  for (auto& [id, state] : clients_) {
+    if (state.str_pending) cohort.emplace_back(id, &state);
+  }
+  if (config_.flush_order != FlushOrder::kFifo) {
+    const bool ascending = config_.flush_order == FlushOrder::kSmallestFirst;
+    std::stable_sort(cohort.begin(), cohort.end(),
+                     [ascending](const auto& a, const auto& b) {
+                       const Bytes lhs = a.second->plan.bytes_in;
+                       const Bytes rhs = b.second->plan.bytes_in;
+                       return ascending ? lhs < rhs : lhs > rhs;
+                     });
+  }
+  for (auto& [id, state] : cohort) {
+    co_await flush_stream(id, *state);
+    state->str_pending = false;
+    respond(id, ResponseType::kAck);
+  }
+  str_count_ = 0;
+}
+
+des::Task<> Gvm::flush_stream(int client, ClientState& state) {
+  // A client suspended under memory pressure is transparently restored
+  // before its work flushes.
+  if (state.suspended) {
+    const Bytes needed = state.plan.bytes_in + state.plan.bytes_out;
+    if (device_free() < needed) {
+      co_await relieve_pressure(needed, client);
+    }
+    co_await resume_client(state);
+    ++stats_.pressure_resumes;
+  }
+  TaskPlan& plan = state.plan;
+  if (plan.bytes_in > 0) {
+    state.stream->memcpy_h2d_async(state.dev_in, plan.input, plan.bytes_in,
+                                   config_.pinned_staging);
+  }
+  for (std::size_t i = 0; i < plan.kernels.size(); ++i) {
+    const bool last = (i + 1 == plan.kernels.size());
+    std::function<void()> body;
+    if (last && plan.kernel_body) {
+      body = [&state] {
+        TaskBuffers buffers{&state.dev_in, &state.dev_out};
+        state.plan.kernel_body(buffers);
+      };
+    }
+    state.stream->launch(plan.kernels[i], std::move(body));
+  }
+  if (plan.bytes_out > 0) {
+    state.stream->memcpy_d2h_async(plan.output, state.dev_out, plan.bytes_out,
+                                   config_.pinned_staging);
+  }
+}
+
+des::Task<> Gvm::handle_stp(int client) {
+  auto it = clients_.find(client);
+  VGPU_ASSERT_MSG(it != clients_.end(), "STP from unregistered client");
+  if (!it->second.stream->idle()) {
+    ++stats_.waits_sent;
+    respond(client, ResponseType::kWait);
+    co_return;
+  }
+  // Round complete: copy results from pinned staging into the client's
+  // virtual shared memory before acknowledging.
+  const Bytes n = it->second.plan.bytes_out;
+  stats_.bytes_staged_out += n;
+  const SimDuration t = staging_time(n);
+  co_await sim_.delay(t);
+  if (auto* tl = runtime_.device().timeline()) {
+    tl->record({"stage out, client " + std::to_string(client), "staging",
+                "GVM staging", sim_.now() - t, sim_.now()});
+  }
+  respond(client, ResponseType::kAck);
+}
+
+des::Task<> Gvm::handle_rcv(int client) {
+  // Data is already in the client's virtual shared memory (placed at STP
+  // completion); RCV is the handshake that hands it over.
+  respond(client, ResponseType::kAck);
+  co_return;
+}
+
+des::Task<> Gvm::handle_rls(int client) {
+  auto it = clients_.find(client);
+  VGPU_ASSERT_MSG(it != clients_.end(), "RLS from unregistered client");
+  if (it->second.dev_in.valid()) {
+    VGPU_ASSERT(context_->free(it->second.dev_in).ok());
+  }
+  if (it->second.dev_out.valid()) {
+    VGPU_ASSERT(context_->free(it->second.dev_out).ok());
+  }
+  clients_.erase(it);
+  respond(client, ResponseType::kAck);
+  co_return;
+}
+
+des::Task<> Gvm::suspend_client(ClientState& state) {
+  VGPU_ASSERT_MSG(!state.suspended, "client already suspended");
+  VGPU_ASSERT(state.stream->idle());
+  // Snapshot device state to host (one D2H per buffer), then release the
+  // device allocation so other clients can use the memory.
+  auto snapshot = [&](vcuda::DeviceBuffer& buf,
+                      std::shared_ptr<std::vector<std::byte>>& saved)
+      -> des::Task<> {
+    if (!buf.valid()) co_return;
+    saved = std::make_shared<std::vector<std::byte>>(
+        static_cast<std::size_t>(buf.size));
+    state.stream->memcpy_d2h_async(saved->data(), buf, buf.size,
+                                   config_.pinned_staging);
+    co_await state.stream->synchronize();
+    VGPU_ASSERT(context_->free(buf).ok());
+  };
+  co_await snapshot(state.dev_in, state.saved_in);
+  co_await snapshot(state.dev_out, state.saved_out);
+  state.suspended = true;
+}
+
+des::Task<> Gvm::resume_client(ClientState& state) {
+  VGPU_ASSERT_MSG(state.suspended, "resume without a prior suspend");
+  auto restore = [&](vcuda::DeviceBuffer& buf, Bytes size,
+                     std::shared_ptr<std::vector<std::byte>>& saved)
+      -> des::Task<> {
+    if (size <= 0) co_return;
+    auto fresh = context_->malloc(size, state.plan.backed);
+    VGPU_ASSERT_MSG(fresh.ok(), fresh.status().to_string().c_str());
+    buf = *fresh;
+    if (saved) {
+      state.stream->memcpy_h2d_async(buf, saved->data(), size,
+                                     config_.pinned_staging);
+      co_await state.stream->synchronize();
+      saved.reset();
+    }
+  };
+  co_await restore(state.dev_in, state.plan.bytes_in, state.saved_in);
+  co_await restore(state.dev_out, state.plan.bytes_out, state.saved_out);
+  state.suspended = false;
+}
+
+Bytes Gvm::device_free() const {
+  const gpu::Device& device = runtime_.device();
+  return device.spec().global_mem - device.memory_used();
+}
+
+des::Task<> Gvm::relieve_pressure(Bytes needed, int except) {
+  // Suspend idle resident clients (ascending id: oldest admitted first)
+  // until the allocation fits or no candidates remain.
+  for (auto& [id, state] : clients_) {
+    if (device_free() >= needed) break;
+    if (id == except || state.suspended || state.str_pending) continue;
+    if (!state.stream->idle()) continue;
+    if (!state.dev_in.valid() && !state.dev_out.valid()) continue;
+    co_await suspend_client(state);
+    ++stats_.pressure_suspends;
+    VGPU_DEBUG("GVM: suspended client " << id << " under memory pressure");
+  }
+}
+
+des::Task<> Gvm::handle_sus(int client) {
+  auto it = clients_.find(client);
+  VGPU_ASSERT_MSG(it != clients_.end(), "SUS from unregistered client");
+  ClientState& state = it->second;
+  if (!state.stream->idle()) {
+    ++stats_.waits_sent;
+    respond(client, ResponseType::kWait);
+    co_return;
+  }
+  co_await suspend_client(state);
+  respond(client, ResponseType::kAck);
+}
+
+des::Task<> Gvm::handle_res(int client) {
+  auto it = clients_.find(client);
+  VGPU_ASSERT_MSG(it != clients_.end(), "RES from unregistered client");
+  co_await resume_client(it->second);
+  respond(client, ResponseType::kAck);
+}
+
+// ---------------------------------------------------------------------------
+// VGpuClient
+// ---------------------------------------------------------------------------
+
+VGpuClient::VGpuClient(des::Simulator& sim, Gvm& gvm, int id)
+    : sim_(sim), gvm_(gvm), id_(id) {}
+
+des::Task<Response> VGpuClient::call(RequestType type) {
+  co_await sim_.delay(gvm_.config().msg_latency);  // request queue hop
+  gvm_.submit(Request{type, id_});
+  Response response = co_await gvm_.response_channel(id_).receive();
+  co_await sim_.delay(gvm_.config().msg_latency);  // response queue hop
+  co_return response;
+}
+
+des::Task<> VGpuClient::req(TaskPlan plan) {
+  gvm_.register_plan(id_, std::move(plan));
+  const Response r = co_await call(RequestType::kReq);
+  VGPU_ASSERT(r.type == ResponseType::kAck);
+}
+
+des::Task<> VGpuClient::snd() {
+  const Response r = co_await call(RequestType::kSnd);
+  VGPU_ASSERT(r.type == ResponseType::kAck);
+}
+
+des::Task<> VGpuClient::str() {
+  const Response r = co_await call(RequestType::kStr);
+  VGPU_ASSERT(r.type == ResponseType::kAck);
+}
+
+des::Task<> VGpuClient::wait_done() {
+  for (;;) {
+    const Response r = co_await call(RequestType::kStp);
+    if (r.type == ResponseType::kAck) co_return;
+    ++waits_;
+    co_await sim_.delay(gvm_.config().poll_interval);
+  }
+}
+
+des::Task<> VGpuClient::rcv() {
+  const Response r = co_await call(RequestType::kRcv);
+  VGPU_ASSERT(r.type == ResponseType::kAck);
+}
+
+des::Task<> VGpuClient::rls() {
+  const Response r = co_await call(RequestType::kRls);
+  VGPU_ASSERT(r.type == ResponseType::kAck);
+}
+
+des::Task<> VGpuClient::suspend() {
+  for (;;) {
+    const Response r = co_await call(RequestType::kSus);
+    if (r.type == ResponseType::kAck) co_return;
+    ++waits_;
+    co_await sim_.delay(gvm_.config().poll_interval);
+  }
+}
+
+des::Task<> VGpuClient::resume() {
+  const Response r = co_await call(RequestType::kRes);
+  VGPU_ASSERT(r.type == ResponseType::kAck);
+}
+
+des::Task<> VGpuClient::run_task(TaskPlan plan, int rounds) {
+  VGPU_ASSERT(rounds >= 1);
+  co_await req(std::move(plan));
+  for (int round = 0; round < rounds; ++round) {
+    co_await snd();
+    co_await str();
+    co_await wait_done();
+    co_await rcv();
+  }
+  co_await rls();
+}
+
+}  // namespace vgpu::gvm

@@ -1,0 +1,191 @@
+// The GPU Virtualization Manager (GVM) — the paper's core contribution.
+//
+// A single run-time process owns the only GPU context and exposes one
+// Virtual GPU per client process. Per client it maintains a CUDA stream,
+// a device buffer pair and a pinned host staging buffer; data moves
+// client <-> virtual shared memory <-> pinned staging <-> device. Requests
+// arrive over a message queue; STR requests are barrier-synchronized so
+// that all clients' streams flush together — the precondition for
+// concurrent kernel execution and copy/compute overlap on Fermi.
+//
+// This is the deterministic (DES) implementation used for reproducing the
+// paper's figures; src/rt hosts the live POSIX shm/mq implementation of the
+// same protocol.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "des/channel.hpp"
+#include "des/sim.hpp"
+#include "des/sync.hpp"
+#include "gvm/protocol.hpp"
+#include "vcuda/runtime.hpp"
+
+namespace vgpu::gvm {
+
+/// Order in which the GVM flushes client streams at the STR barrier.
+/// Smallest-first fills the pipeline fastest (the first kernel starts as
+/// soon as the smallest transfer lands); FIFO is the paper's behaviour.
+enum class FlushOrder { kFifo, kSmallestFirst, kLargestFirst };
+
+struct GvmConfig {
+  /// STR barrier width: the SPMD process count. The GVM flushes all
+  /// streams when this many clients have sent STR.
+  int expected_clients = 1;
+
+  /// Host memcpy bandwidth for the vsm <-> pinned staging hops. The GVM is
+  /// a single process, so these copies serialize — the dominant
+  /// virtualization overhead (paper Figure 10).
+  BytesPerSecond host_memcpy_bw = gb_per_s(12.0);
+
+  /// One-way message-queue latency per protocol message.
+  SimDuration msg_latency = microseconds(5.0);
+
+  /// Client STP re-poll interval after a WAIT response.
+  SimDuration poll_interval = microseconds(20.0);
+
+  /// Ablation knobs.
+  bool use_barriers = true;     // false: flush each STR immediately
+  bool pinned_staging = true;   // false: pageable transfers (no overlap win)
+  bool model_staging_copies = true;  // false: zero-cost shm hops (Fig 10)
+  FlushOrder flush_order = FlushOrder::kFifo;
+
+  /// Memory-pressure handling: when a REQ cannot be satisfied because
+  /// device memory is oversubscribed, the GVM suspends idle clients
+  /// (snapshotting their device state to host) until the allocation fits.
+  /// A suspended client is transparently resumed before its next flush.
+  bool auto_suspend_on_pressure = false;
+};
+
+struct GvmStats {
+  long requests = 0;
+  long flushes = 0;
+  long waits_sent = 0;     // STP polls answered WAIT
+  Bytes bytes_staged_in = 0;
+  Bytes bytes_staged_out = 0;
+  long pressure_suspends = 0;  // auto-suspends due to memory pressure
+  long pressure_resumes = 0;   // transparent resumes before a flush
+};
+
+class Gvm {
+ public:
+  Gvm(des::Simulator& sim, vcuda::Runtime& runtime, GvmConfig config);
+  Gvm(const Gvm&) = delete;
+  Gvm& operator=(const Gvm&) = delete;
+  ~Gvm();
+
+  /// Spawns the GVM: driver init, context creation, then the serve loop.
+  /// Await `ready()` before starting clients.
+  void start();
+
+  des::OneShotEvent& ready() { return ready_; }
+  const GvmStats& stats() const { return stats_; }
+  const GvmConfig& config() const { return config_; }
+  vcuda::Context* context() { return context_.get(); }
+
+  /// Pure GPU time spent on behalf of clients (sum of device busy time);
+  /// the paper's Figure 10 baseline for overhead measurement.
+  SimDuration gpu_time() const;
+
+ private:
+  friend class VGpuClient;
+
+  struct ClientState {
+    TaskPlan plan;
+    vcuda::Stream* stream = nullptr;
+    vcuda::DeviceBuffer dev_in;
+    vcuda::DeviceBuffer dev_out;
+    vcuda::PinnedBuffer staging;  // page-locked staging for both directions
+    bool str_pending = false;  // buffered STR awaiting the barrier
+    bool suspended = false;
+    // Host-side snapshots of the device buffers while suspended.
+    std::shared_ptr<std::vector<std::byte>> saved_in;
+    std::shared_ptr<std::vector<std::byte>> saved_out;
+  };
+
+  /// Client-side hooks (called by VGpuClient).
+  void submit(Request request) { requests_.send(request); }
+  des::Channel<Response>& response_channel(int client);
+  void register_plan(int client, TaskPlan plan) {
+    pending_plans_[client] = std::move(plan);
+  }
+
+  des::Task<> run();
+  des::Task<> handle(Request request);   // traces, then dispatches
+  des::Task<> dispatch(Request request);
+  des::Task<> handle_req(int client);
+  des::Task<> handle_snd(int client);
+  des::Task<> handle_str(int client);
+  des::Task<> handle_stp(int client);
+  des::Task<> handle_rcv(int client);
+  des::Task<> handle_rls(int client);
+  des::Task<> handle_sus(int client);
+  des::Task<> handle_res(int client);
+  des::Task<> suspend_client(ClientState& state);
+  des::Task<> resume_client(ClientState& state);
+  /// Suspends idle clients (excluding `except`) until `needed` device
+  /// bytes are free or no candidates remain.
+  des::Task<> relieve_pressure(Bytes needed, int except);
+  Bytes device_free() const;
+  des::Task<> flush_all_streams();
+  des::Task<> flush_stream(int client, ClientState& state);
+  void respond(int client, ResponseType type);
+  SimDuration staging_time(Bytes bytes) const;
+
+  des::Simulator& sim_;
+  vcuda::Runtime& runtime_;
+  GvmConfig config_;
+  des::OneShotEvent ready_;
+  des::Channel<Request> requests_;
+  std::map<int, std::unique_ptr<des::Channel<Response>>> responses_;
+  std::map<int, TaskPlan> pending_plans_;  // handed over at REQ
+  std::map<int, ClientState> clients_;
+  int str_count_ = 0;
+  std::unique_ptr<vcuda::Context> context_;
+  GvmStats stats_;
+};
+
+/// The user-process API layer: exposes the VGPU abstraction over the
+/// GVM protocol, mirroring the paper's SND()/STR()/STP()/RCV()/RLS()
+/// routines. Each call is an awaitable DES task.
+class VGpuClient {
+ public:
+  VGpuClient(des::Simulator& sim, Gvm& gvm, int id);
+
+  int id() const { return id_; }
+
+  /// REQ: registers the task plan and obtains VGPU resources.
+  des::Task<> req(TaskPlan plan);
+  /// SND: input data (already in virtual shared memory) is staged.
+  des::Task<> snd();
+  /// STR: start execution; returns when the GVM has flushed the streams.
+  des::Task<> str();
+  /// STP polling loop: resends STP until the GVM answers ACK.
+  des::Task<> wait_done();
+  /// RCV: results are available in virtual shared memory.
+  des::Task<> rcv();
+  /// RLS: release VGPU resources.
+  des::Task<> rls();
+  /// SUS: snapshot device state to host and free the device allocation.
+  /// Polls (like STP) while the stream still has work in flight.
+  des::Task<> suspend();
+  /// RES: restore the snapshot onto freshly allocated device buffers.
+  des::Task<> resume();
+
+  /// Convenience: REQ + `rounds` x (SND, STR, STP..., RCV) + RLS.
+  des::Task<> run_task(TaskPlan plan, int rounds);
+
+  /// Number of STP polls that returned WAIT (diagnostics).
+  long waits_observed() const { return waits_; }
+
+ private:
+  des::Task<Response> call(RequestType type);
+
+  des::Simulator& sim_;
+  Gvm& gvm_;
+  int id_;
+  long waits_ = 0;
+};
+
+}  // namespace vgpu::gvm

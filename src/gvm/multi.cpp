@@ -1,0 +1,90 @@
+#include "gvm/multi.hpp"
+
+namespace vgpu::gvm {
+
+MultiGvm::MultiGvm(des::Simulator& sim,
+                   const std::vector<vcuda::Runtime*>& runtimes,
+                   GvmConfig base, int expected_clients) {
+  VGPU_ASSERT(!runtimes.empty());
+  VGPU_ASSERT(expected_clients >= 1);
+  const int ngpus = static_cast<int>(runtimes.size());
+  for (int g = 0; g < ngpus; ++g) {
+    GvmConfig config = base;
+    // Round-robin placement: device g serves clients g, g+ngpus, ...
+    config.expected_clients =
+        expected_clients / ngpus + (g < expected_clients % ngpus ? 1 : 0);
+    if (config.expected_clients == 0) config.expected_clients = 1;
+    gvms_.push_back(std::make_unique<Gvm>(
+        sim, *runtimes[static_cast<std::size_t>(g)], config));
+  }
+}
+
+void MultiGvm::start() {
+  for (auto& g : gvms_) g->start();
+}
+
+des::Task<> MultiGvm::wait_ready() {
+  for (auto& g : gvms_) co_await g->ready().wait();
+}
+
+RunResult run_virtualized_multi(const std::vector<gpu::DeviceSpec>& specs,
+                                GvmConfig config, const TaskPlan& plan,
+                                int rounds, int nprocs) {
+  VGPU_ASSERT(!specs.empty() && nprocs >= 1 && rounds >= 1);
+  des::Simulator sim;
+  std::vector<std::unique_ptr<gpu::Device>> devices;
+  std::vector<std::unique_ptr<vcuda::Runtime>> runtimes;
+  std::vector<vcuda::Runtime*> runtime_ptrs;
+  for (const gpu::DeviceSpec& spec : specs) {
+    devices.push_back(std::make_unique<gpu::Device>(sim, spec));
+    runtimes.push_back(std::make_unique<vcuda::Runtime>(sim, *devices.back()));
+    runtime_ptrs.push_back(runtimes.back().get());
+  }
+  MultiGvm multi(sim, runtime_ptrs, config, nprocs);
+  multi.start();
+
+  RunResult result;
+  sim.spawn([](des::Simulator& s, MultiGvm& multi, const TaskPlan& plan,
+               int rounds, int nprocs, RunResult& out) -> des::Task<> {
+    co_await multi.wait_ready();
+    const SimTime t0 = s.now();
+    des::CountdownLatch done(s, static_cast<std::size_t>(nprocs));
+    for (int p = 0; p < nprocs; ++p) {
+      s.spawn([](des::Simulator& s, Gvm& gvm, int id, TaskPlan plan,
+                 int rounds, des::CountdownLatch& done) -> des::Task<> {
+        VGpuClient client(s, gvm, id);
+        co_await client.run_task(std::move(plan), rounds);
+        done.count_down();
+      }(s, multi.gvm_for(p), p, plan, rounds, done));
+    }
+    co_await done.wait();
+    out.turnaround = s.now() - t0;
+  }(sim, multi, plan, rounds, nprocs, result));
+  sim.run();
+
+  for (std::size_t i = 0; i < multi.device_count(); ++i) {
+    const GvmStats& s = multi.gvm(i).stats();
+    result.gvm.requests += s.requests;
+    result.gvm.flushes += s.flushes;
+    result.gvm.waits_sent += s.waits_sent;
+    result.gvm.bytes_staged_in += s.bytes_staged_in;
+    result.gvm.bytes_staged_out += s.bytes_staged_out;
+  }
+  // Aggregate device stats (sum over devices).
+  for (const auto& dev : devices) {
+    const gpu::DeviceStats& s = dev->stats();
+    result.device.ctx_creates += s.ctx_creates;
+    result.device.ctx_switches += s.ctx_switches;
+    result.device.kernels_completed += s.kernels_completed;
+    result.device.chunks_executed += s.chunks_executed;
+    result.device.copies += s.copies;
+    result.device.bytes_h2d += s.bytes_h2d;
+    result.device.bytes_d2h += s.bytes_d2h;
+    result.device.max_open_kernels =
+        std::max(result.device.max_open_kernels, s.max_open_kernels);
+    result.pure_gpu_time += s.h2d_busy + s.kernel_busy + s.d2h_busy;
+  }
+  return result;
+}
+
+}  // namespace vgpu::gvm

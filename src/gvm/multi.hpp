@@ -1,0 +1,48 @@
+// Multi-GPU virtualization: an extension beyond the paper's single-GPU
+// evaluation. One GVM instance per physical device; SPMD clients are
+// partitioned round-robin, each GVM barriers over its own share — the
+// paper's "virtualized unity ratio" generalized to nodes with several GPUs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gvm/experiment.hpp"
+#include "gvm/gvm.hpp"
+
+namespace vgpu::gvm {
+
+class MultiGvm {
+ public:
+  /// One GVM per runtime; `expected_clients` is the total SPMD width,
+  /// split round-robin across devices.
+  MultiGvm(des::Simulator& sim,
+           const std::vector<vcuda::Runtime*>& runtimes, GvmConfig base,
+           int expected_clients);
+
+  /// Starts every GVM instance.
+  void start();
+
+  /// Awaitable: all GVMs initialized.
+  des::Task<> wait_ready();
+
+  /// The GVM serving SPMD client `id` (round-robin placement).
+  Gvm& gvm_for(int client_id) {
+    return *gvms_[static_cast<std::size_t>(client_id) % gvms_.size()];
+  }
+
+  std::size_t device_count() const { return gvms_.size(); }
+  Gvm& gvm(std::size_t i) { return *gvms_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Gvm>> gvms_;
+};
+
+/// Convenience driver mirroring run_virtualized for an N-GPU node: builds
+/// one simulated device per spec, routes `nprocs` clients across them, and
+/// measures the SPMD turnaround.
+RunResult run_virtualized_multi(const std::vector<gpu::DeviceSpec>& specs,
+                                GvmConfig config, const TaskPlan& plan,
+                                int rounds, int nprocs);
+
+}  // namespace vgpu::gvm

@@ -1,0 +1,67 @@
+// GVM wire protocol (paper Section V, Figure 8).
+//
+// Clients drive their Virtual GPU through six request types:
+//
+//   REQ  request VGPU resources (stream + device/pinned buffers)
+//   SND  input data is in the client's virtual shared memory; stage it
+//   STR  start executing the GPU program (barrier-synchronized)
+//   STP  query execution status (ACK when done, WAIT otherwise)
+//   RCV  retrieve results through the virtual shared memory
+//   RLS  release VGPU resources
+//
+// and the GVM answers with ACK or WAIT.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpu/cost.hpp"
+#include "vcuda/runtime.hpp"
+
+namespace vgpu::gvm {
+
+// kSus / kRes extend the paper's verb set with the suspend/resume facility
+// its related work (vCUDA [9]) provides: the GVM snapshots a client's
+// device state to host memory and releases the device allocation; resume
+// restores it. A suspended client's VGPU survives device-memory pressure
+// from other clients.
+enum class RequestType { kReq, kSnd, kStr, kStp, kRcv, kRls, kSus, kRes };
+enum class ResponseType { kAck, kWait };
+
+const char* request_type_name(RequestType t);
+const char* response_type_name(ResponseType t);
+
+/// What a client wants executed per round: input staging, an ordered kernel
+/// sequence, output retrieval. `input` / `output` optionally carry real
+/// host data for functional (verifiable) runs; `kernel_body` performs the
+/// functional computation when the final kernel completes.
+/// The device buffers the GVM allocated for a client; handed to the plan's
+/// functional body so it can read staged input and write results.
+struct TaskBuffers {
+  vcuda::DeviceBuffer* in = nullptr;
+  vcuda::DeviceBuffer* out = nullptr;
+};
+
+struct TaskPlan {
+  Bytes bytes_in = 0;
+  Bytes bytes_out = 0;
+  std::vector<gpu::KernelLaunch> kernels;
+  /// Optional functional computation, invoked when the round's last kernel
+  /// completes, with the client's device input/output buffers.
+  std::function<void(TaskBuffers&)> kernel_body;
+  const void* input = nullptr;  // optional functional input (host)
+  void* output = nullptr;       // optional functional output (host)
+  bool backed = false;          // allocate backed device buffers
+};
+
+struct Request {
+  RequestType type = RequestType::kReq;
+  int client = -1;
+};
+
+struct Response {
+  ResponseType type = ResponseType::kAck;
+};
+
+}  // namespace vgpu::gvm

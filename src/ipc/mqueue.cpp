@@ -1,0 +1,101 @@
+#include "ipc/mqueue.hpp"
+
+#include <cerrno>
+#include <ctime>
+#include <utility>
+
+namespace vgpu::ipc {
+
+namespace {
+Status errno_status(const std::string& what) {
+  return Internal(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+StatusOr<MessageQueueBase> MessageQueueBase::create_raw(
+    const std::string& name, long max_messages, long message_size) {
+  ::mq_unlink(name.c_str());  // remove stale queue, ignore errors
+  struct mq_attr attr {};
+  attr.mq_maxmsg = max_messages;
+  attr.mq_msgsize = message_size;
+  const mqd_t mq =
+      ::mq_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600, &attr);
+  if (mq == static_cast<mqd_t>(-1)) {
+    return errno_status("mq_open(create " + name + ")");
+  }
+  return MessageQueueBase(name, mq, /*owner=*/true);
+}
+
+StatusOr<MessageQueueBase> MessageQueueBase::open_raw(
+    const std::string& name) {
+  const mqd_t mq = ::mq_open(name.c_str(), O_RDWR);
+  if (mq == static_cast<mqd_t>(-1)) {
+    return errno_status("mq_open(" + name + ")");
+  }
+  return MessageQueueBase(name, mq, /*owner=*/false);
+}
+
+Status MessageQueueBase::send_raw(const void* data, std::size_t size) {
+  if (::mq_send(mq_, static_cast<const char*>(data), size, 0) != 0) {
+    return errno_status("mq_send(" + name_ + ")");
+  }
+  return Status::Ok();
+}
+
+Status MessageQueueBase::receive_raw(
+    void* data, std::size_t size,
+    std::optional<std::chrono::milliseconds> timeout) {
+  // mq_receive requires a buffer of at least mq_msgsize; callers use the
+  // exact message type, which matches the creation-time size.
+  ssize_t got;
+  if (timeout.has_value()) {
+    struct timespec ts {};
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    const auto ns = timeout->count() * 1'000'000LL;
+    ts.tv_sec += static_cast<time_t>((ts.tv_nsec + ns) / 1'000'000'000LL);
+    ts.tv_nsec = static_cast<long>((ts.tv_nsec + ns) % 1'000'000'000LL);
+    got = ::mq_timedreceive(mq_, static_cast<char*>(data), size, nullptr,
+                            &ts);
+    if (got < 0 && errno == ETIMEDOUT) {
+      return Unavailable("mq_receive timeout on " + name_);
+    }
+  } else {
+    got = ::mq_receive(mq_, static_cast<char*>(data), size, nullptr);
+  }
+  if (got < 0) return errno_status("mq_receive(" + name_ + ")");
+  if (static_cast<std::size_t>(got) != size) {
+    return Internal("mq_receive(" + name_ + "): size mismatch");
+  }
+  return Status::Ok();
+}
+
+MessageQueueBase::MessageQueueBase(MessageQueueBase&& other) noexcept
+    : name_(std::move(other.name_)),
+      mq_(std::exchange(other.mq_, static_cast<mqd_t>(-1))),
+      owner_(std::exchange(other.owner_, false)) {}
+
+MessageQueueBase& MessageQueueBase::operator=(
+    MessageQueueBase&& other) noexcept {
+  if (this != &other) {
+    reset();
+    name_ = std::move(other.name_);
+    mq_ = std::exchange(other.mq_, static_cast<mqd_t>(-1));
+    owner_ = std::exchange(other.owner_, false);
+  }
+  return *this;
+}
+
+MessageQueueBase::~MessageQueueBase() { reset(); }
+
+void MessageQueueBase::reset() {
+  if (mq_ != static_cast<mqd_t>(-1)) {
+    ::mq_close(mq_);
+    mq_ = static_cast<mqd_t>(-1);
+  }
+  if (owner_ && !name_.empty()) {
+    ::mq_unlink(name_.c_str());
+    owner_ = false;
+  }
+}
+
+}  // namespace vgpu::ipc

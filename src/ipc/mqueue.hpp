@@ -1,0 +1,93 @@
+// RAII wrapper for POSIX message queues — the request/response control
+// plane of the live GVM (paper Section V: two POSIX message queues stream
+// process requests into the manager and return handshakes).
+//
+// Messages are fixed-size PODs (type parameter), which matches the
+// protocol's small REQ/SND/STR/STP/RCV/RLS records and keeps mq_receive
+// buffers simple.
+#pragma once
+
+#include <mqueue.h>
+
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <type_traits>
+
+#include "common/status.hpp"
+
+namespace vgpu::ipc {
+
+class MessageQueueBase {
+ public:
+  MessageQueueBase() = default;
+  MessageQueueBase(MessageQueueBase&& other) noexcept;
+  MessageQueueBase& operator=(MessageQueueBase&& other) noexcept;
+  MessageQueueBase(const MessageQueueBase&) = delete;
+  MessageQueueBase& operator=(const MessageQueueBase&) = delete;
+  ~MessageQueueBase();
+
+  bool valid() const { return mq_ != static_cast<mqd_t>(-1); }
+  const std::string& name() const { return name_; }
+
+ protected:
+  static StatusOr<MessageQueueBase> create_raw(const std::string& name,
+                                               long max_messages,
+                                               long message_size);
+  static StatusOr<MessageQueueBase> open_raw(const std::string& name);
+
+  Status send_raw(const void* data, std::size_t size);
+  /// Blocks until a message arrives or `timeout` elapses (nullopt = block
+  /// forever). Returns kUnavailable on timeout.
+  Status receive_raw(void* data, std::size_t size,
+                     std::optional<std::chrono::milliseconds> timeout);
+
+  MessageQueueBase(std::string name, mqd_t mq, bool owner)
+      : name_(std::move(name)), mq_(mq), owner_(owner) {}
+
+  void reset();
+
+  std::string name_;
+  mqd_t mq_ = static_cast<mqd_t>(-1);
+  bool owner_ = false;
+};
+
+/// Typed POSIX message queue carrying trivially-copyable `T` records.
+template <typename T>
+class MessageQueue : public MessageQueueBase {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "queue messages must be trivially copyable");
+
+ public:
+  MessageQueue() = default;
+
+  static StatusOr<MessageQueue> create(const std::string& name,
+                                       long max_messages = 8) {
+    auto base = create_raw(name, max_messages, sizeof(T));
+    if (!base.ok()) return base.status();
+    return MessageQueue(std::move(*base));
+  }
+
+  static StatusOr<MessageQueue> open(const std::string& name) {
+    auto base = open_raw(name);
+    if (!base.ok()) return base.status();
+    return MessageQueue(std::move(*base));
+  }
+
+  Status send(const T& message) { return send_raw(&message, sizeof(T)); }
+
+  StatusOr<T> receive(
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt) {
+    T message;
+    const Status st = receive_raw(&message, sizeof(T), timeout);
+    if (!st.ok()) return st;
+    return message;
+  }
+
+ private:
+  explicit MessageQueue(MessageQueueBase base)
+      : MessageQueueBase(std::move(base)) {}
+};
+
+}  // namespace vgpu::ipc

@@ -1,0 +1,53 @@
+// Process-shared barrier placed in shared memory: the live GVM uses it to
+// release all SPMD clients simultaneously (the "start simultaneously"
+// condition of the paper's turnaround measurement).
+#pragma once
+
+#include <pthread.h>
+
+#include "common/status.hpp"
+
+namespace vgpu::ipc {
+
+/// A pthread barrier with PTHREAD_PROCESS_SHARED, embeddable in a
+/// SharedMemory region. The creating process calls init(); every
+/// participant (threads or forked processes) calls wait().
+class ProcessBarrier {
+ public:
+  ProcessBarrier() = default;
+  ProcessBarrier(const ProcessBarrier&) = delete;
+  ProcessBarrier& operator=(const ProcessBarrier&) = delete;
+
+  Status init(unsigned parties) {
+    pthread_barrierattr_t attr;
+    if (pthread_barrierattr_init(&attr) != 0) {
+      return Internal("barrierattr_init failed");
+    }
+    pthread_barrierattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+    const int rc = pthread_barrier_init(&barrier_, &attr, parties);
+    pthread_barrierattr_destroy(&attr);
+    if (rc != 0) return Internal("barrier_init failed");
+    initialized_ = true;
+    return Status::Ok();
+  }
+
+  /// Blocks until `parties` participants arrive. Returns true for exactly
+  /// one participant per generation (the "serial" thread).
+  bool wait() {
+    VGPU_ASSERT(initialized_);
+    return pthread_barrier_wait(&barrier_) == PTHREAD_BARRIER_SERIAL_THREAD;
+  }
+
+  void destroy() {
+    if (initialized_) {
+      pthread_barrier_destroy(&barrier_);
+      initialized_ = false;
+    }
+  }
+
+ private:
+  pthread_barrier_t barrier_;
+  bool initialized_ = false;
+};
+
+}  // namespace vgpu::ipc

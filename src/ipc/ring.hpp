@@ -1,0 +1,72 @@
+// Lock-free single-producer/single-consumer ring buffer, layout-stable so
+// it can be placed inside a shared-memory region and used across processes.
+//
+// The GVM's data plane uses one ring per direction per client when
+// streaming data larger than the staging buffer; it is also a useful
+// standalone primitive (and is stress-tested across threads).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+
+namespace vgpu::ipc {
+
+/// SPSC ring of `Capacity` trivially-copyable slots. One slot is kept
+/// empty to distinguish full from empty, so usable capacity is
+/// Capacity - 1.
+template <typename T, std::size_t Capacity>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring elements must be trivially copyable");
+  static_assert(Capacity >= 2, "ring needs at least two slots");
+
+ public:
+  SpscRing() : head_(0), tail_(0) {}
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool push(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = increment(head);
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    slots_[head] = value;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when no element is available.
+  std::optional<T> pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = slots_[tail];
+    tail_.store(increment(tail), std::memory_order_release);
+    return value;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : Capacity - tail + head;
+  }
+
+  static constexpr std::size_t capacity() { return Capacity - 1; }
+
+ private:
+  static std::size_t increment(std::size_t i) {
+    return (i + 1) % Capacity;
+  }
+
+  alignas(64) std::atomic<std::size_t> head_;  // producer-owned
+  alignas(64) std::atomic<std::size_t> tail_;  // consumer-owned
+  T slots_[Capacity];
+};
+
+}  // namespace vgpu::ipc

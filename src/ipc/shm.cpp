@@ -1,0 +1,86 @@
+#include "ipc/shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vgpu::ipc {
+
+namespace {
+Status errno_status(const std::string& what) {
+  return Internal(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+StatusOr<SharedMemory> SharedMemory::create(const std::string& name,
+                                            Bytes size) {
+  if (size <= 0) return InvalidArgument("shared memory size must be > 0");
+  ::shm_unlink(name.c_str());  // remove stale region, ignore errors
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return errno_status("shm_open(create " + name + ")");
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const Status st = errno_status("ftruncate(" + name + ")");
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return st;
+  }
+  void* data = ::mmap(nullptr, static_cast<std::size_t>(size),
+                      PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    const Status st = errno_status("mmap(" + name + ")");
+    ::shm_unlink(name.c_str());
+    return st;
+  }
+  std::memset(data, 0, static_cast<std::size_t>(size));
+  return SharedMemory(name, data, size, /*owner=*/true);
+}
+
+StatusOr<SharedMemory> SharedMemory::open(const std::string& name,
+                                          Bytes size) {
+  if (size <= 0) return InvalidArgument("shared memory size must be > 0");
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return errno_status("shm_open(" + name + ")");
+  void* data = ::mmap(nullptr, static_cast<std::size_t>(size),
+                      PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (data == MAP_FAILED) return errno_status("mmap(" + name + ")");
+  return SharedMemory(name, data, size, /*owner=*/false);
+}
+
+SharedMemory::SharedMemory(SharedMemory&& other) noexcept
+    : name_(std::move(other.name_)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      owner_(std::exchange(other.owner_, false)) {}
+
+SharedMemory& SharedMemory::operator=(SharedMemory&& other) noexcept {
+  if (this != &other) {
+    reset();
+    name_ = std::move(other.name_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    owner_ = std::exchange(other.owner_, false);
+  }
+  return *this;
+}
+
+SharedMemory::~SharedMemory() { reset(); }
+
+void SharedMemory::reset() {
+  if (data_ != nullptr) {
+    ::munmap(data_, static_cast<std::size_t>(size_));
+    data_ = nullptr;
+  }
+  if (owner_ && !name_.empty()) {
+    ::shm_unlink(name_.c_str());
+    owner_ = false;
+  }
+}
+
+}  // namespace vgpu::ipc

@@ -1,0 +1,61 @@
+// RAII wrappers for POSIX shared memory — the "virtual shared memory"
+// data plane of the live GVM (paper Section V: one POSIX shared-memory
+// region per process for data exchange with the manager).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace vgpu::ipc {
+
+/// A POSIX shared-memory region (shm_open + mmap). The creator owns the
+/// name and unlinks it on destruction; openers just unmap.
+class SharedMemory {
+ public:
+  /// Creates (O_CREAT | O_EXCL) a region of `size` bytes. Unlinks any
+  /// stale region with the same name first.
+  static StatusOr<SharedMemory> create(const std::string& name, Bytes size);
+
+  /// Opens an existing region. `size` must match the creator's size.
+  static StatusOr<SharedMemory> open(const std::string& name, Bytes size);
+
+  SharedMemory() = default;
+  SharedMemory(SharedMemory&& other) noexcept;
+  SharedMemory& operator=(SharedMemory&& other) noexcept;
+  SharedMemory(const SharedMemory&) = delete;
+  SharedMemory& operator=(const SharedMemory&) = delete;
+  ~SharedMemory();
+
+  bool valid() const { return data_ != nullptr; }
+  const std::string& name() const { return name_; }
+  Bytes size() const { return size_; }
+
+  std::byte* data() { return static_cast<std::byte*>(data_); }
+  const std::byte* data() const { return static_cast<const std::byte*>(data_); }
+  std::span<std::byte> bytes() {
+    return {data(), static_cast<std::size_t>(size_)};
+  }
+
+  template <typename T>
+  T* as() {
+    VGPU_ASSERT(static_cast<std::size_t>(size_) >= sizeof(T));
+    return reinterpret_cast<T*>(data_);
+  }
+
+ private:
+  SharedMemory(std::string name, void* data, Bytes size, bool owner)
+      : name_(std::move(name)), data_(data), size_(size), owner_(owner) {}
+
+  void reset();
+
+  std::string name_;
+  void* data_ = nullptr;
+  Bytes size_ = 0;
+  bool owner_ = false;  // creator unlinks on destruction
+};
+
+}  // namespace vgpu::ipc

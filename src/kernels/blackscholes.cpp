@@ -1,0 +1,59 @@
+#include "kernels/blackscholes.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace vgpu::kernels {
+
+float cnd(float d) {
+  // Abramowitz & Stegun 26.2.17, as used by the CUDA SDK sample.
+  constexpr float a1 = 0.31938153f;
+  constexpr float a2 = -0.356563782f;
+  constexpr float a3 = 1.781477937f;
+  constexpr float a4 = -1.821255978f;
+  constexpr float a5 = 1.330274429f;
+  constexpr float rsqrt2pi = 0.39894228040143267794f;
+
+  const float k = 1.0f / (1.0f + 0.2316419f * std::fabs(d));
+  float c = rsqrt2pi * std::exp(-0.5f * d * d) *
+            (k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5)))));
+  if (d > 0) c = 1.0f - c;
+  return c;
+}
+
+void black_scholes(const OptionBatch& batch, std::span<float> call,
+                   std::span<float> put) {
+  const std::size_t n = batch.stock_price.size();
+  VGPU_ASSERT(batch.strike_price.size() == n && batch.years.size() == n);
+  VGPU_ASSERT(call.size() == n && put.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float s = batch.stock_price[i];
+    const float x = batch.strike_price[i];
+    const float t = batch.years[i];
+    const float sqrt_t = std::sqrt(t);
+    const float d1 =
+        (std::log(s / x) +
+         (batch.riskfree + 0.5f * batch.volatility * batch.volatility) * t) /
+        (batch.volatility * sqrt_t);
+    const float d2 = d1 - batch.volatility * sqrt_t;
+    const float exp_rt = std::exp(-batch.riskfree * t);
+    call[i] = s * cnd(d1) - x * exp_rt * cnd(d2);
+    put[i] = x * exp_rt * cnd(-d2) - s * cnd(-d1);
+  }
+}
+
+gpu::KernelLaunch black_scholes_launch(long n_options) {
+  gpu::KernelLaunch l;
+  l.name = "black_scholes";
+  // The SDK kernel uses a fixed 480-block grid-stride loop (paper Table IV).
+  l.geometry = gpu::KernelGeometry{480, 128, /*regs*/ 20, /*shmem*/ 0};
+  const double opts_per_thread =
+      static_cast<double>(n_options) / (480.0 * 128.0);
+  // ~55 flops per option (exp/log/sqrt expanded), 5 floats in + 2 out.
+  l.cost = gpu::KernelCost{55.0 * opts_per_thread, 28.0 * opts_per_thread,
+                           /*efficiency*/ 0.5};
+  return l;
+}
+
+}  // namespace vgpu::kernels

@@ -1,0 +1,31 @@
+// Black-Scholes European option pricing (paper Table IV: 1M options,
+// Nit = 512 pricing rounds; adapted from the CUDA SDK benchmark [21]).
+#pragma once
+
+#include <span>
+
+#include "gpu/cost.hpp"
+
+namespace vgpu::kernels {
+
+struct OptionBatch {
+  std::span<const float> stock_price;   // S
+  std::span<const float> strike_price;  // X
+  std::span<const float> years;         // T
+  float riskfree = 0.02f;               // r
+  float volatility = 0.30f;             // v
+};
+
+/// Prices every option: call[i], put[i] from batch inputs.
+void black_scholes(const OptionBatch& batch, std::span<float> call,
+                   std::span<float> put);
+
+/// Cumulative normal distribution (polynomial approximation used by the
+/// CUDA SDK kernel); exposed for tests.
+float cnd(float d);
+
+/// Launch descriptor: grid of 480 blocks as in the paper (fills the C2070 —
+/// the reason BlackScholes barely benefits from concurrent kernels).
+gpu::KernelLaunch black_scholes_launch(long n_options);
+
+}  // namespace vgpu::kernels

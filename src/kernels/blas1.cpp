@@ -1,0 +1,81 @@
+#include "kernels/blas1.hpp"
+
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/status.hpp"
+
+namespace vgpu::kernels {
+
+void vecadd(std::span<const float> a, std::span<const float> b,
+            std::span<float> c) {
+  VGPU_ASSERT(a.size() == b.size() && a.size() == c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+}
+
+void saxpy(float alpha, std::span<const float> x, std::span<float> y) {
+  VGPU_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+namespace {
+
+float pairwise_sum(std::span<const float> x) {
+  if (x.size() <= 8) {
+    float s = 0.0f;
+    for (float v : x) s += v;
+    return s;
+  }
+  const std::size_t half = x.size() / 2;
+  return pairwise_sum(x.subspan(0, half)) + pairwise_sum(x.subspan(half));
+}
+
+}  // namespace
+
+float reduce_sum(std::span<const float> x) { return pairwise_sum(x); }
+
+float dot(std::span<const float> x, std::span<const float> y) {
+  VGPU_ASSERT(x.size() == y.size());
+  std::vector<float> prod(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) prod[i] = x[i] * y[i];
+  return pairwise_sum(prod);
+}
+
+gpu::KernelLaunch vecadd_launch(long n) {
+  gpu::KernelLaunch l;
+  l.name = "vecadd";
+  const int threads = 1024;  // paper: 50M elements -> 50K blocks
+  l.geometry = gpu::KernelGeometry{ceil_div(n, static_cast<long>(threads)),
+                                   threads, /*regs*/ 10, /*shmem*/ 0};
+  // Two 4-byte loads + one store per element; one add.
+  l.cost = gpu::KernelCost{/*flops*/ 1.0, /*dram bytes*/ 12.0,
+                           /*efficiency*/ 1.0};
+  return l;
+}
+
+gpu::KernelLaunch saxpy_launch(long n) {
+  gpu::KernelLaunch l;
+  l.name = "saxpy";
+  const int threads = 1024;
+  l.geometry = gpu::KernelGeometry{ceil_div(n, static_cast<long>(threads)),
+                                   threads, 12, 0};
+  l.cost = gpu::KernelCost{2.0, 12.0, 1.0};
+  return l;
+}
+
+gpu::KernelLaunch reduce_launch(long n) {
+  gpu::KernelLaunch l;
+  l.name = "reduce_sum";
+  const int threads = 256;
+  // Grid-stride reduction: cap the grid at full residency.
+  const long blocks = std::min<long>(1024, ceil_div(n, 4096L));
+  l.geometry = gpu::KernelGeometry{std::max(1L, blocks), threads, 16,
+                                   static_cast<Bytes>(threads) * 4};
+  const double elems_per_thread =
+      static_cast<double>(n) /
+      (static_cast<double>(l.geometry.grid_blocks) * threads);
+  l.cost = gpu::KernelCost{elems_per_thread, elems_per_thread * 4.0, 0.9};
+  return l;
+}
+
+}  // namespace vgpu::kernels

@@ -1,0 +1,43 @@
+// BLAS-1 style data-parallel kernels: vector addition (the paper's
+// I/O-intensive microbenchmark), SAXPY, sum-reduction and dot product.
+//
+// Each kernel has (a) a functional host implementation producing the exact
+// result the GPU kernel would, and (b) a launch descriptor carrying the
+// geometry and cost model used by the simulated device. The paper's vector
+// addition uses 50M floats and a 50K-block grid (Table II).
+#pragma once
+
+#include <span>
+
+#include "gpu/cost.hpp"
+
+namespace vgpu::kernels {
+
+// --- functional bodies -----------------------------------------------------
+
+/// c[i] = a[i] + b[i].
+void vecadd(std::span<const float> a, std::span<const float> b,
+            std::span<float> c);
+
+/// y[i] += alpha * x[i].
+void saxpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// Pairwise (tree) sum reduction — matches a GPU reduction's associativity
+/// more closely than a linear sum and is deterministic.
+float reduce_sum(std::span<const float> x);
+
+/// Pairwise dot product.
+float dot(std::span<const float> x, std::span<const float> y);
+
+// --- launch descriptors ------------------------------------------------------
+
+/// Vector addition over n elements; 1024-thread blocks as in the paper's
+/// 50M-element / 50K-block configuration.
+gpu::KernelLaunch vecadd_launch(long n);
+
+gpu::KernelLaunch saxpy_launch(long n);
+
+/// First-pass reduction kernel (grid-stride, one partial per block).
+gpu::KernelLaunch reduce_launch(long n);
+
+}  // namespace vgpu::kernels

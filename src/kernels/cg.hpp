@@ -1,0 +1,50 @@
+// NAS Parallel Benchmarks "CG" kernel: conjugate gradient on a random
+// sparse symmetric positive-definite matrix (paper Table IV: class S,
+// NA = 1400, 15 iterations, 8-block grid, compute-intensive).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpu/cost.hpp"
+
+namespace vgpu::kernels {
+
+/// Compressed sparse row matrix (square).
+struct CsrMatrix {
+  int n = 0;
+  std::vector<int> row_ptr;  // size n + 1
+  std::vector<int> col;      // size nnz
+  std::vector<double> val;   // size nnz
+
+  long nnz() const { return static_cast<long>(col.size()); }
+};
+
+/// Random sparse SPD matrix in NPB style: symmetric off-diagonal pattern
+/// with ~nz_per_row entries per row, made positive definite by a dominant
+/// diagonal shift.
+CsrMatrix cg_make_matrix(int n, int nz_per_row, double shift,
+                         std::uint64_t seed = 12345);
+
+/// y = A x.
+void spmv(const CsrMatrix& a, std::span<const double> x,
+          std::span<double> y);
+
+struct CgResult {
+  int iterations = 0;
+  double final_residual = 0.0;         // ||b - A x||
+  std::vector<double> residual_history;
+};
+
+/// Conjugate gradient for A x = b starting from x = 0; stops at max_iters
+/// or when the residual norm falls below tol.
+CgResult cg_solve(const CsrMatrix& a, std::span<const double> b,
+                  std::span<double> x, int max_iters, double tol = 0.0);
+
+/// Launch descriptor for one CG iteration (spmv + axpys + dots). Paper
+/// Table IV: an 8-block grid — tiny, so eight processes' CG iterations
+/// co-execute fully on the device.
+gpu::KernelLaunch cg_launch(int na, int nz_per_row);
+
+}  // namespace vgpu::kernels

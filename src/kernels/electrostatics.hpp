@@ -1,0 +1,44 @@
+// Direct Coulomb summation onto a regular lattice — the molecular
+// electrostatics kernel from VMD that the paper benchmarks (Table IV:
+// 100K atoms, 25 iterations, 288-block grid, compute-intensive,
+// device-filling).
+//
+// Each lattice point accumulates sum_i q_i / r_i over all atoms (a small
+// softening distance avoids the singularity at zero range, standard in the
+// VMD kernel family). One "iteration" computes one lattice slab, matching
+// the slice-by-slice structure of the VMD port.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpu/cost.hpp"
+
+namespace vgpu::kernels {
+
+struct Atom {
+  float x, y, z;  // position (Angstrom)
+  float q;        // charge
+};
+
+struct Lattice {
+  int nx = 0, ny = 0;
+  float spacing = 0.5f;  // grid spacing
+  float z = 0.0f;        // slab plane
+};
+
+/// Potential at every (ix, iy) lattice point of slab `lat`:
+/// out[iy*nx + ix] = sum_i q_i / sqrt(r2 + softening^2).
+void coulomb_slab(std::span<const Atom> atoms, const Lattice& lat,
+                  std::span<float> out, float softening = 0.05f);
+
+/// Deterministic random atom cloud in a box of side `box`.
+std::vector<Atom> make_atoms(long n, float box, std::uint64_t seed = 8675309);
+
+/// Launch descriptor for one slab iteration. Paper Table IV: a 288-block
+/// grid — large enough to fill the C2070 by itself, which is why
+/// electrostatics gains little from concurrent kernels and benefits mainly
+/// from eliminated context switching / initialization.
+gpu::KernelLaunch electrostatics_launch(long n_atoms, long lattice_points);
+
+}  // namespace vgpu::kernels

@@ -1,0 +1,71 @@
+// NAS Parallel Benchmarks "EP" (Embarrassingly Parallel) kernel — the
+// paper's compute-intensive microbenchmark (class B, M = 30, Table II).
+//
+// EP generates 2^M pairs of uniform deviates with the NPB linear
+// congruential generator, maps accepted pairs to independent Gaussian
+// deviates with the Marsaglia polar method, and tallies them into ten
+// square annuli. The generator supports O(log k) jump-ahead, which is what
+// lets a partitioned (GPU-grid-style) computation produce bit-identical
+// results to the sequential run — the property our tests verify.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "gpu/cost.hpp"
+
+namespace vgpu::kernels {
+
+/// NPB LCG: x_{k+1} = a * x_k mod 2^46, a = 5^13. Returns values in (0,1).
+class NpbRandom {
+ public:
+  static constexpr double kDefaultSeed = 271828183.0;
+
+  explicit NpbRandom(double seed = kDefaultSeed);
+
+  /// Next uniform deviate in (0, 1).
+  double next();
+
+  /// Advances the state by `k` steps in O(log k).
+  void skip(std::uint64_t k);
+
+  double state() const;
+
+ private:
+  std::uint64_t x_;  // 46-bit state
+};
+
+struct EpResult {
+  double sx = 0.0;                 // sum of Gaussian X deviates
+  double sy = 0.0;                 // sum of Gaussian Y deviates
+  std::array<long, 10> q{};        // annulus counts
+  long pairs_accepted = 0;
+
+  long total_counts() const {
+    long t = 0;
+    for (long c : q) t += c;
+    return t;
+  }
+};
+
+/// Sequential EP over 2^m pairs.
+EpResult ep_sequential(int m);
+
+/// EP partitioned into `chunks` contiguous ranges, each seeded by
+/// jump-ahead — the shape of the GPU-grid computation. Must equal
+/// ep_sequential bit-for-bit (up to summation order of the chunk partials,
+/// which we keep deterministic by combining in chunk order).
+EpResult ep_chunked(int m, int chunks);
+
+/// One chunk of the ep_chunked partition: the work SPMD rank `chunk` of
+/// `chunks` owns. Summing all chunks' results (in any order for the
+/// integer tallies) reproduces ep_sequential.
+EpResult ep_chunk_range(int m, int chunk, int chunks);
+
+/// Launch descriptor for class-sized runs. The paper launches EP with a
+/// deliberately tiny 4-block grid to expose concurrent kernel execution;
+/// cost is calibrated so class B (m = 30) computes in ~8.95 s on the C2070
+/// model (Table II).
+gpu::KernelLaunch ep_launch(int m);
+
+}  // namespace vgpu::kernels

@@ -1,0 +1,125 @@
+#include "kernels/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace vgpu::kernels {
+
+void fft1d(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  VGPU_ASSERT_MSG((n & (n - 1)) == 0 && n >= 1, "FFT size must be 2^k");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Complex& c : data) c *= scale;
+  }
+}
+
+void fft3d(Field3& field, bool inverse) {
+  const int n = field.n();
+  std::vector<Complex> line(static_cast<std::size_t>(n));
+  // Along x.
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) line[static_cast<std::size_t>(x)] = field.at(x, y, z);
+      fft1d(line, inverse);
+      for (int x = 0; x < n; ++x) field.at(x, y, z) = line[static_cast<std::size_t>(x)];
+    }
+  }
+  // Along y.
+  for (int z = 0; z < n; ++z) {
+    for (int x = 0; x < n; ++x) {
+      for (int y = 0; y < n; ++y) line[static_cast<std::size_t>(y)] = field.at(x, y, z);
+      fft1d(line, inverse);
+      for (int y = 0; y < n; ++y) field.at(x, y, z) = line[static_cast<std::size_t>(y)];
+    }
+  }
+  // Along z.
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      for (int z = 0; z < n; ++z) line[static_cast<std::size_t>(z)] = field.at(x, y, z);
+      fft1d(line, inverse);
+      for (int z = 0; z < n; ++z) field.at(x, y, z) = line[static_cast<std::size_t>(z)];
+    }
+  }
+}
+
+void ft_evolve(Field3& field, double t, double alpha) {
+  const int n = field.n();
+  auto fold = [n](int k) { return k >= n / 2 ? k - n : k; };
+  const double factor = -4.0 * alpha * std::numbers::pi * std::numbers::pi * t;
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const double k2 = static_cast<double>(fold(x)) * fold(x) +
+                          static_cast<double>(fold(y)) * fold(y) +
+                          static_cast<double>(fold(z)) * fold(z);
+        field.at(x, y, z) *= std::exp(factor * k2);
+      }
+    }
+  }
+}
+
+Field3 ft_make_field(int n, std::uint64_t seed) {
+  Field3 field(n);
+  Rng rng(seed);
+  for (Complex& c : field.data()) {
+    c = Complex(rng.next_double(), rng.next_double());
+  }
+  return field;
+}
+
+Complex ft_checksum(const Field3& field) {
+  const auto size = field.data().size();
+  Complex sum(0.0, 0.0);
+  for (std::size_t j = 1; j <= 1024; ++j) {
+    sum += field.data()[(j * 31) % size];
+  }
+  return sum;
+}
+
+gpu::KernelLaunch ft_launch(int n) {
+  gpu::KernelLaunch l;
+  l.name = "npb_ft_iter";
+  l.geometry = gpu::KernelGeometry{128, 128, /*regs*/ 32, /*shmem*/ 8 * kKiB};
+  // Like the other class-sized NPB ports, an FT iteration is a chain of
+  // micro-kernels (three transform passes with transposes) whose
+  // host-serial launch time dominates at small n.
+  l.host_serial_time = milliseconds(15.0);
+  const double cells = static_cast<double>(n) * n * n;
+  // One iteration = 3 FFT passes (5 n log2 n flops per line-point each
+  // direction) + the evolve pointwise pass; bandwidth-heavy.
+  const double flops = cells * (15.0 * std::log2(static_cast<double>(n)) + 20.0);
+  const double bytes = cells * 16.0 * 8.0;
+  const double threads = 128.0 * 128.0;
+  l.cost = gpu::KernelCost{flops / threads, bytes / threads,
+                           /*efficiency*/ 0.3};
+  return l;
+}
+
+}  // namespace vgpu::kernels

@@ -1,0 +1,61 @@
+// NAS Parallel Benchmarks "FT" kernel (extension workload; the paper's
+// suite draws EP/MG/CG from the same NPB family): a 3-D complex FFT used
+// to solve a partial differential equation spectrally.
+//
+// The functional implementation is an iterative radix-2 Cooley-Tukey
+// transform applied along each dimension, with the NPB evolve step
+// (pointwise multiplication by Gaussian decay factors) between transforms.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "gpu/cost.hpp"
+
+namespace vgpu::kernels {
+
+using Complex = std::complex<double>;
+
+/// In-place 1-D radix-2 FFT; `n` must be a power of two.
+/// `inverse` applies the conjugate transform and 1/n scaling.
+void fft1d(std::vector<Complex>& data, bool inverse);
+
+/// Dense n^3 complex field, row-major (x fastest).
+class Field3 {
+ public:
+  explicit Field3(int n) : n_(n), data_(static_cast<std::size_t>(n) * n * n) {}
+
+  int n() const { return n_; }
+  Complex& at(int x, int y, int z) { return data_[index(x, y, z)]; }
+  Complex at(int x, int y, int z) const { return data_[index(x, y, z)]; }
+  std::vector<Complex>& data() { return data_; }
+  const std::vector<Complex>& data() const { return data_; }
+
+ private:
+  std::size_t index(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * n_ + y) * n_ + x;
+  }
+  int n_;
+  std::vector<Complex> data_;
+};
+
+/// 3-D FFT: 1-D transforms along x, then y, then z (inverse reverses the
+/// scaling as in fft1d).
+void fft3d(Field3& field, bool inverse);
+
+/// NPB FT evolve step: multiply each mode (kx, ky, kz) by
+/// exp(-4 alpha pi^2 |k~|^2 t), with wavenumbers folded to [-n/2, n/2).
+void ft_evolve(Field3& field, double t, double alpha = 1e-6);
+
+/// Deterministic pseudo-random initial field.
+Field3 ft_make_field(int n, std::uint64_t seed = 271828);
+
+/// NPB-style checksum: sum of 1024 strided field elements.
+Complex ft_checksum(const Field3& field);
+
+/// Launch descriptor for one FT iteration (forward FFT + evolve + inverse)
+/// at size n^3; an extension workload, so the geometry follows the same
+/// partial-GPU pattern as the class-S NPB ports.
+gpu::KernelLaunch ft_launch(int n);
+
+}  // namespace vgpu::kernels

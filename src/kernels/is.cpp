@@ -1,0 +1,76 @@
+#include "kernels/is.hpp"
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace vgpu::kernels {
+
+std::vector<int> is_make_keys(long n, int max_key, std::uint64_t seed) {
+  VGPU_ASSERT(n >= 0 && max_key >= 1);
+  Rng rng(seed);
+  std::vector<int> keys(static_cast<std::size_t>(n));
+  for (int& k : keys) {
+    // Sum of four uniforms, as in NPB: a centered, bell-ish distribution.
+    const double u = (rng.next_double() + rng.next_double() +
+                      rng.next_double() + rng.next_double()) /
+                     4.0;
+    k = static_cast<int>(u * max_key);
+    if (k >= max_key) k = max_key - 1;
+  }
+  return keys;
+}
+
+std::vector<long> is_rank(std::span<const int> keys, int max_key) {
+  VGPU_ASSERT(max_key >= 1);
+  // Histogram.
+  std::vector<long> counts(static_cast<std::size_t>(max_key), 0);
+  for (int k : keys) {
+    VGPU_ASSERT(k >= 0 && k < max_key);
+    ++counts[static_cast<std::size_t>(k)];
+  }
+  // Exclusive prefix sum: start position of each key value.
+  long running = 0;
+  for (long& c : counts) {
+    const long count = c;
+    c = running;
+    running += count;
+  }
+  // Stable scatter.
+  std::vector<long> ranks(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ranks[i] = counts[static_cast<std::size_t>(keys[i])]++;
+  }
+  return ranks;
+}
+
+std::vector<int> is_apply_ranks(std::span<const int> keys,
+                                std::span<const long> ranks) {
+  VGPU_ASSERT(keys.size() == ranks.size());
+  std::vector<int> out(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto pos = static_cast<std::size_t>(ranks[i]);
+    VGPU_ASSERT(pos < out.size());
+    out[pos] = keys[i];
+  }
+  return out;
+}
+
+gpu::KernelLaunch is_launch(long n, int max_key) {
+  gpu::KernelLaunch l;
+  l.name = "npb_is_rank";
+  l.geometry = gpu::KernelGeometry{256, 256, /*regs*/ 16,
+                                   /*shmem*/ 16 * kKiB};
+  // Histogram + scan + scatter chain with host synchronizations.
+  l.host_serial_time = milliseconds(5.0);
+  const double keys_per_thread =
+      static_cast<double>(n) / (256.0 * 256.0);
+  // Histogram + scan + scatter: ~10 ops per key, heavy on irregular
+  // memory traffic; max_key adds the scan passes.
+  const double scan = static_cast<double>(max_key) / (256.0 * 256.0);
+  l.cost = gpu::KernelCost{10.0 * keys_per_thread + 4.0 * scan,
+                           16.0 * keys_per_thread + 8.0 * scan,
+                           /*efficiency*/ 0.25};
+  return l;
+}
+
+}  // namespace vgpu::kernels

@@ -1,0 +1,34 @@
+// NAS Parallel Benchmarks "IS" kernel (extension workload): integer
+// bucket sort / key ranking.
+//
+// NPB IS ranks N keys drawn from [0, max_key): rank[i] is the position of
+// keys[i] in the sorted order (stable for equal keys). The functional
+// implementation is a counting sort, exactly the algorithm GPU IS ports
+// use (histogram + prefix sum + scatter).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpu/cost.hpp"
+
+namespace vgpu::kernels {
+
+/// Deterministic key sequence in [0, max_key) (NPB uses a Gaussian-ish
+/// sum-of-uniforms distribution; we keep that shape).
+std::vector<int> is_make_keys(long n, int max_key,
+                              std::uint64_t seed = 314159);
+
+/// Stable counting-sort ranks: rank[i] = final position of keys[i].
+std::vector<long> is_rank(std::span<const int> keys, int max_key);
+
+/// Applies ranks: out[rank[i]] = keys[i]; out is sorted iff ranks are
+/// correct (used by the verification path).
+std::vector<int> is_apply_ranks(std::span<const int> keys,
+                                std::span<const long> ranks);
+
+/// Launch descriptor for one ranking pass over n keys.
+gpu::KernelLaunch is_launch(long n, int max_key);
+
+}  // namespace vgpu::kernels

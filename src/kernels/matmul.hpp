@@ -1,0 +1,24 @@
+// Single-precision dense matrix multiplication (the paper's "MM" benchmark:
+// 2048x2048, 4096-block grid of 32x32 tiles, Table IV).
+#pragma once
+
+#include <span>
+
+#include "gpu/cost.hpp"
+
+namespace vgpu::kernels {
+
+/// C = A * B for row-major n x n matrices. Cache-blocked host
+/// implementation mirroring the shared-memory-tiled GPU kernel.
+void sgemm(std::span<const float> a, std::span<const float> b,
+           std::span<float> c, int n);
+
+/// Naive triple loop, used as the test oracle for sgemm.
+void sgemm_reference(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, int n);
+
+/// Launch descriptor for the tiled kernel. For n = 2048 this produces the
+/// paper's 4096-block grid (64x64 tiles of 32x32 threads).
+gpu::KernelLaunch matmul_launch(int n);
+
+}  // namespace vgpu::kernels

@@ -1,0 +1,69 @@
+#include "model/model.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace vgpu::model {
+
+SimDuration total_time_no_virtualization(const ExecutionProfile& p,
+                                         int ntask) {
+  VGPU_ASSERT(ntask >= 1);
+  return static_cast<SimDuration>(ntask - 1) *
+             (p.t_ctx_switch + p.cycle()) +
+         p.t_init + p.cycle();
+}
+
+SimDuration total_time_virtualized(const ExecutionProfile& p, int ntask) {
+  VGPU_ASSERT(ntask >= 1);
+  const SimDuration io_max = std::max(p.t_data_in, p.t_data_out);
+  const SimDuration io_min = std::min(p.t_data_in, p.t_data_out);
+  return static_cast<SimDuration>(ntask) * io_max + p.t_comp + io_min;
+}
+
+double speedup(const ExecutionProfile& p, int ntask) {
+  return static_cast<double>(total_time_no_virtualization(p, ntask)) /
+         static_cast<double>(total_time_virtualized(p, ntask));
+}
+
+double max_speedup(const ExecutionProfile& p) {
+  const SimDuration io_max = std::max(p.t_data_in, p.t_data_out);
+  VGPU_ASSERT_MSG(io_max > 0, "Smax undefined for zero I/O time");
+  return static_cast<double>(p.t_ctx_switch + p.cycle()) /
+         static_cast<double>(io_max);
+}
+
+double speedup_excluding_ctx(const ExecutionProfile& p, int ntask) {
+  VGPU_ASSERT(ntask >= 1);
+  const SimDuration no_vt =
+      static_cast<SimDuration>(ntask - 1) * p.cycle() + p.t_init + p.cycle();
+  return static_cast<double>(no_vt) /
+         static_cast<double>(total_time_virtualized(p, ntask));
+}
+
+const char* workload_class_name(WorkloadClass c) {
+  switch (c) {
+    case WorkloadClass::kIoIntensive:
+      return "I/O-intensive";
+    case WorkloadClass::kComputeIntensive:
+      return "Comp-intensive";
+    case WorkloadClass::kIntermediate:
+      return "Intermediate";
+  }
+  return "?";
+}
+
+WorkloadClass classify(const ExecutionProfile& p) {
+  // The paper classifies "by evaluating I/O and computing time ratio"
+  // (Section VI). The operative distinction is overlap potential:
+  // I/O-intensive tasks are bounded by MAX(Tin, Tout) under the GVM;
+  // compute-intensive tasks have I/O so small (<5% of compute) that only
+  // kernel concurrency matters; everything between is intermediate — it
+  // benefits from I/O/compute overlap (the paper's MM case).
+  const double r = p.io_ratio();
+  if (r > 2.0) return WorkloadClass::kIoIntensive;
+  if (r < 0.05) return WorkloadClass::kComputeIntensive;
+  return WorkloadClass::kIntermediate;
+}
+
+}  // namespace vgpu::model

@@ -1,0 +1,65 @@
+// The paper's analytical execution model (Section IV, Table I, Eqs. 1-6).
+//
+// A process's GPU task cycle is init -> send data -> compute -> retrieve
+// (Figure 3). Without virtualization, N tasks serialize with a context
+// switch between tasks (Figure 4, Eq. 1). With virtualization, the GVM owns
+// the single context, so context switches vanish, initialization is paid
+// once by the GVM, and I/O / compute overlap per Figures 5-6 (Eqs. 2-4).
+// Eq. 5 is the predicted speedup and Eq. 6 its N -> infinity limit.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace vgpu::model {
+
+/// Stage times of one task cycle (the paper's Table I parameters; Table II
+/// and our bench/table2_profiles report these per benchmark).
+struct ExecutionProfile {
+  std::string name;
+  SimDuration t_init = 0;        // total init for all processes (Tinit)
+  SimDuration t_ctx_switch = 0;  // average context switch (Tctx_switch)
+  SimDuration t_data_in = 0;     // H2D per task (Tdata_in)
+  SimDuration t_comp = 0;        // kernel time per task (Tcomp)
+  SimDuration t_data_out = 0;    // D2H per task (Tdata_out)
+
+  SimDuration cycle() const { return t_data_in + t_comp + t_data_out; }
+  /// I/O-to-compute ratio used for the paper's Table IV classification.
+  double io_ratio() const {
+    return t_comp > 0 ? static_cast<double>(t_data_in + t_data_out) /
+                            static_cast<double>(t_comp)
+                      : 1e30;
+  }
+};
+
+/// Eq. (1): serialized execution under native sharing.
+///   T = (N-1)(Tctx + Tin + Tcomp + Tout) + Tinit + Tin + Tcomp + Tout
+SimDuration total_time_no_virtualization(const ExecutionProfile& p,
+                                         int ntask);
+
+/// Eq. (4) [= Eqs. (2)/(3) combined]: pipelined execution under the GVM.
+///   T = N * MAX(Tin, Tout) + Tcomp + MIN(Tin, Tout)
+SimDuration total_time_virtualized(const ExecutionProfile& p, int ntask);
+
+/// Eq. (5): predicted speedup of virtualization for N tasks.
+double speedup(const ExecutionProfile& p, int ntask);
+
+/// Eq. (6): N -> infinity upper bound,
+///   Smax = (Tctx + Tin + Tcomp + Tout) / MAX(Tin, Tout).
+double max_speedup(const ExecutionProfile& p);
+
+/// Variant of Eq. (5) with the context-switch term dropped from the
+/// numerator. The paper's Table III "theoretical" value for vector
+/// addition (2.721) matches this variant, not Eq. (5) as printed (3.62
+/// with Table II's numbers); see EXPERIMENTS.md.
+double speedup_excluding_ctx(const ExecutionProfile& p, int ntask);
+
+enum class WorkloadClass { kIoIntensive, kComputeIntensive, kIntermediate };
+
+const char* workload_class_name(WorkloadClass c);
+
+/// Paper Table IV classification by I/O-to-compute ratio.
+WorkloadClass classify(const ExecutionProfile& p);
+
+}  // namespace vgpu::model

@@ -1,0 +1,79 @@
+#include "rt/client.hpp"
+
+#include <thread>
+
+namespace vgpu::rt {
+
+StatusOr<RtClient> RtClient::connect(const std::string& prefix, int id,
+                                     Bytes bytes_in, Bytes bytes_out) {
+  const std::string suffix = std::to_string(id);
+  auto req = ipc::MessageQueue<RtRequest>::open(prefix + "_req");
+  if (!req.ok()) return req.status();
+  auto resp =
+      ipc::MessageQueue<RtResponse>::create(prefix + "_resp" + suffix);
+  if (!resp.ok()) return resp.status();
+  auto vsm = ipc::SharedMemory::create(prefix + "_vsm" + suffix,
+                                       std::max<Bytes>(bytes_in + bytes_out, 1));
+  if (!vsm.ok()) return vsm.status();
+  return RtClient(id, std::move(*req), std::move(*resp), std::move(*vsm),
+                  bytes_in, bytes_out);
+}
+
+StatusOr<RtAck> RtClient::call(RtRequest request) {
+  request.client = id_;
+  VGPU_RETURN_IF_ERROR(req_.send(request));
+  auto response = resp_.receive(std::chrono::milliseconds(10'000));
+  if (!response.ok()) return response.status();
+  if (response->ack == RtAck::kError) {
+    return Internal("GVM rejected the request");
+  }
+  return response->ack;
+}
+
+Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
+  RtRequest request;
+  request.op = RtOp::kReq;
+  request.kernel_id = kernel_id;
+  request.bytes_in = bytes_in_;
+  request.bytes_out = bytes_out_;
+  for (int i = 0; i < 4; ++i) request.params[i] = params[i];
+  auto ack = call(request);
+  if (!ack.ok()) return ack.status();
+  return Status::Ok();
+}
+
+Status RtClient::snd() {
+  auto ack = call(RtRequest{RtOp::kSnd});
+  if (!ack.ok()) return ack.status();
+  return Status::Ok();
+}
+
+Status RtClient::str() {
+  auto ack = call(RtRequest{RtOp::kStr});
+  if (!ack.ok()) return ack.status();
+  return Status::Ok();
+}
+
+Status RtClient::wait_done(std::chrono::microseconds poll) {
+  for (;;) {
+    auto ack = call(RtRequest{RtOp::kStp});
+    if (!ack.ok()) return ack.status();
+    if (*ack == RtAck::kAck) return Status::Ok();
+    ++waits_;
+    std::this_thread::sleep_for(poll);
+  }
+}
+
+Status RtClient::rcv() {
+  auto ack = call(RtRequest{RtOp::kRcv});
+  if (!ack.ok()) return ack.status();
+  return Status::Ok();
+}
+
+Status RtClient::rls() {
+  auto ack = call(RtRequest{RtOp::kRls});
+  if (!ack.ok()) return ack.status();
+  return Status::Ok();
+}
+
+}  // namespace vgpu::rt

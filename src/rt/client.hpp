@@ -1,0 +1,77 @@
+// Client-side API layer of the live GVM: exposes the paper's VGPU routines
+// (REQ/SND/STR/STP/RCV/RLS) over real POSIX IPC. The client owns its
+// response queue and its virtual-shared-memory region; input data is
+// written directly into the vsm (no extra client-side copy), as in the
+// paper's design.
+#pragma once
+
+#include <chrono>
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "ipc/mqueue.hpp"
+#include "ipc/shm.hpp"
+#include "rt/messages.hpp"
+
+namespace vgpu::rt {
+
+class RtClient {
+ public:
+  /// Creates the client's IPC resources and connects to the server at
+  /// `prefix`. `bytes_in` / `bytes_out` fix the vsm layout for this task.
+  static StatusOr<RtClient> connect(const std::string& prefix, int id,
+                                    Bytes bytes_in, Bytes bytes_out);
+
+  RtClient(RtClient&&) = default;
+  RtClient& operator=(RtClient&&) = default;
+
+  /// The vsm input area: write task input here before snd().
+  std::span<std::byte> input() {
+    return vsm_.bytes().subspan(0, static_cast<std::size_t>(bytes_in_));
+  }
+  /// The vsm output area: valid after rcv().
+  std::span<const std::byte> output() const {
+    return {vsm_.data() + bytes_in_, static_cast<std::size_t>(bytes_out_)};
+  }
+
+  /// REQ: acquire VGPU resources for `kernel_id` with scalar `params`.
+  Status req(int kernel_id, const std::int64_t params[4]);
+  /// SND: hand the input area to the GVM for staging.
+  Status snd();
+  /// STR: start execution (barrier-synchronized on the server).
+  Status str();
+  /// STP loop: polls until the GVM acknowledges completion.
+  Status wait_done(
+      std::chrono::microseconds poll = std::chrono::microseconds(200));
+  /// RCV: results are in the output area afterwards.
+  Status rcv();
+  /// RLS: release VGPU resources.
+  Status rls();
+
+  long waits_observed() const { return waits_; }
+
+ private:
+  RtClient(int id, ipc::MessageQueue<RtRequest> req,
+           ipc::MessageQueue<RtResponse> resp, ipc::SharedMemory vsm,
+           Bytes bytes_in, Bytes bytes_out)
+      : id_(id),
+        req_(std::move(req)),
+        resp_(std::move(resp)),
+        vsm_(std::move(vsm)),
+        bytes_in_(bytes_in),
+        bytes_out_(bytes_out) {}
+
+  StatusOr<RtAck> call(RtRequest request);
+
+  int id_;
+  ipc::MessageQueue<RtRequest> req_;
+  ipc::MessageQueue<RtResponse> resp_;
+  ipc::SharedMemory vsm_;
+  Bytes bytes_in_;
+  Bytes bytes_out_;
+  long waits_ = 0;
+};
+
+}  // namespace vgpu::rt

@@ -1,0 +1,39 @@
+// Wire format of the live GVM protocol: fixed-size POD records carried by
+// POSIX message queues (paper Figure 8's REQ/SND/STR/STP/RCV/RLS).
+#pragma once
+
+#include <cstdint>
+
+namespace vgpu::rt {
+
+enum class RtOp : std::int32_t {
+  kReq = 1,
+  kSnd,
+  kStr,
+  kStp,
+  kRcv,
+  kRls,
+  kShutdown,  // server-internal: posted by stop()
+};
+
+enum class RtAck : std::int32_t {
+  kAck = 1,
+  kWait,
+  kError,
+};
+
+struct RtRequest {
+  RtOp op = RtOp::kReq;
+  std::int32_t client = -1;
+  std::int32_t kernel_id = -1;      // REQ only
+  std::int32_t reserved = 0;
+  std::int64_t bytes_in = 0;        // REQ only
+  std::int64_t bytes_out = 0;       // REQ only
+  std::int64_t params[4] = {};      // forwarded to the kernel function
+};
+
+struct RtResponse {
+  RtAck ack = RtAck::kAck;
+};
+
+}  // namespace vgpu::rt

@@ -1,0 +1,161 @@
+#include "rt/registry.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "kernels/blackscholes.hpp"
+#include "kernels/blas1.hpp"
+#include "kernels/electrostatics.hpp"
+#include "kernels/ep.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/mg.hpp"
+
+namespace vgpu::rt {
+
+int KernelRegistry::add(std::string name, RtKernelFn fn) {
+  for (const Entry& e : entries_) {
+    VGPU_ASSERT_MSG(e.name != name, "duplicate kernel name");
+  }
+  entries_.push_back(Entry{std::move(name), std::move(fn)});
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+StatusOr<int> KernelRegistry::id_of(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return static_cast<int>(i);
+  }
+  return NotFound("kernel '" + name + "' not registered");
+}
+
+const RtKernelFn* KernelRegistry::find(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= entries_.size()) {
+    return nullptr;
+  }
+  return &entries_[static_cast<std::size_t>(id)].fn;
+}
+
+const std::string* KernelRegistry::name_of(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= entries_.size()) {
+    return nullptr;
+  }
+  return &entries_[static_cast<std::size_t>(id)].name;
+}
+
+namespace {
+
+template <typename T>
+std::span<const T> in_as(std::span<const std::byte> in, std::size_t count,
+                         std::size_t offset_elems = 0) {
+  VGPU_ASSERT((offset_elems + count) * sizeof(T) <= in.size());
+  return {reinterpret_cast<const T*>(in.data()) + offset_elems, count};
+}
+
+template <typename T>
+std::span<T> out_as(std::span<std::byte> out, std::size_t count,
+                    std::size_t offset_elems = 0) {
+  VGPU_ASSERT((offset_elems + count) * sizeof(T) <= out.size());
+  return {reinterpret_cast<T*>(out.data()) + offset_elems, count};
+}
+
+KernelRegistry make_builtins() {
+  KernelRegistry reg;
+
+  reg.add("vecadd", [](std::span<const std::byte> in,
+                       std::span<std::byte> out, const std::int64_t* p) {
+    const auto n = static_cast<std::size_t>(p[0]);
+    kernels::vecadd(in_as<float>(in, n), in_as<float>(in, n, n),
+                    out_as<float>(out, n));
+  });
+
+  reg.add("saxpy", [](std::span<const std::byte> in, std::span<std::byte> out,
+                      const std::int64_t* p) {
+    const auto n = static_cast<std::size_t>(p[0]);
+    auto y = out_as<float>(out, n);
+    auto yin = in_as<float>(in, n, n);
+    std::copy(yin.begin(), yin.end(), y.begin());
+    kernels::saxpy(2.0f, in_as<float>(in, n), y);
+  });
+
+  reg.add("blackscholes", [](std::span<const std::byte> in,
+                             std::span<std::byte> out,
+                             const std::int64_t* p) {
+    const auto n = static_cast<std::size_t>(p[0]);
+    kernels::OptionBatch batch{in_as<float>(in, n), in_as<float>(in, n, n),
+                               in_as<float>(in, n, 2 * n), 0.02f, 0.30f};
+    kernels::black_scholes(batch, out_as<float>(out, n),
+                           out_as<float>(out, n, n));
+  });
+
+  reg.add("sgemm", [](std::span<const std::byte> in, std::span<std::byte> out,
+                      const std::int64_t* p) {
+    const auto n = static_cast<int>(p[0]);
+    const auto nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    kernels::sgemm(in_as<float>(in, nn), in_as<float>(in, nn, nn),
+                   out_as<float>(out, nn), n);
+  });
+
+  reg.add("ep", [](std::span<const std::byte>, std::span<std::byte> out,
+                   const std::int64_t* p) {
+    auto result = out_as<kernels::EpResult>(out, 1);
+    result[0] = kernels::ep_chunked(static_cast<int>(p[0]),
+                                    static_cast<int>(p[1]));
+  });
+
+  reg.add("reduce_sum", [](std::span<const std::byte> in,
+                           std::span<std::byte> out, const std::int64_t* p) {
+    const auto n = static_cast<std::size_t>(p[0]);
+    out_as<float>(out, 1)[0] = kernels::reduce_sum(in_as<float>(in, n));
+  });
+
+  reg.add("dot", [](std::span<const std::byte> in, std::span<std::byte> out,
+                    const std::int64_t* p) {
+    const auto n = static_cast<std::size_t>(p[0]);
+    out_as<float>(out, 1)[0] =
+        kernels::dot(in_as<float>(in, n), in_as<float>(in, n, n));
+  });
+
+  reg.add("mg_vcycle", [](std::span<const std::byte> in,
+                          std::span<std::byte> out, const std::int64_t* p) {
+    const auto n = static_cast<int>(p[0]);
+    const auto iterations = static_cast<int>(p[1]);
+    const auto cells = static_cast<std::size_t>(n) * n * n;
+    kernels::Grid3 v(n), u(n);
+    auto vin = in_as<double>(in, cells);
+    std::copy(vin.begin(), vin.end(), v.data().begin());
+    u.fill(0.0);
+    for (int it = 0; it < iterations; ++it) kernels::mg_vcycle(u, v);
+    auto uout = out_as<double>(out, cells);
+    std::copy(u.data().begin(), u.data().end(), uout.begin());
+  });
+
+  reg.add("coulomb_slab", [](std::span<const std::byte> in,
+                             std::span<std::byte> out,
+                             const std::int64_t* p) {
+    const auto natoms = static_cast<std::size_t>(p[0]);
+    kernels::Lattice lat;
+    lat.nx = static_cast<int>(p[1]);
+    lat.ny = static_cast<int>(p[2]);
+    lat.spacing = 0.5f;
+    lat.z = 0.0f;
+    const auto points = static_cast<std::size_t>(lat.nx) *
+                        static_cast<std::size_t>(lat.ny);
+    kernels::coulomb_slab(in_as<kernels::Atom>(in, natoms), lat,
+                          out_as<float>(out, points));
+  });
+
+  reg.add("sleep_ms", [](std::span<const std::byte>, std::span<std::byte>,
+                         const std::int64_t* p) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(p[0]));
+  });
+
+  return reg;
+}
+
+}  // namespace
+
+KernelRegistry& builtin_registry() {
+  static KernelRegistry registry = make_builtins();
+  return registry;
+}
+
+}  // namespace vgpu::rt

@@ -1,0 +1,54 @@
+// Kernel registry for the live runtime.
+//
+// Function objects cannot travel across process boundaries, so clients name
+// kernels by registry id; the GVM server executes the matching function on
+// its worker pool. Client and server link the same registry (same binary or
+// same library), which keeps ids stable — the moral equivalent of the
+// paper's "GVM takes the requested CUDA kernel functions and prepares the
+// kernels when initialized".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vgpu::rt {
+
+/// A kernel: reads `in`, writes `out`; `params` carries up to four scalar
+/// arguments (problem sizes etc.) from the REQ message.
+using RtKernelFn = std::function<void(std::span<const std::byte> in,
+                                      std::span<std::byte> out,
+                                      const std::int64_t* params)>;
+
+class KernelRegistry {
+ public:
+  /// Registers and returns the kernel id. Names must be unique.
+  int add(std::string name, RtKernelFn fn);
+
+  StatusOr<int> id_of(const std::string& name) const;
+  const RtKernelFn* find(int id) const;
+  const std::string* name_of(int id) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    RtKernelFn fn;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Registry preloaded with the library's functional kernels:
+///   "vecadd"        params[0]=n        in: [A|B] floats   out: C floats
+///   "saxpy"         params[0]=n        in: [X|Y]          out: Y'
+///   "blackscholes"  params[0]=n        in: [S|X|T]        out: [call|put]
+///   "sgemm"         params[0]=n        in: [A|B]          out: C
+///   "ep"            params[0]=m,[1]=chunks  in: none      out: EpResult
+///   "sleep_ms"      params[0]=ms       (test helper: busy wait)
+KernelRegistry& builtin_registry();
+
+}  // namespace vgpu::rt

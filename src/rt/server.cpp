@@ -1,0 +1,179 @@
+#include "rt/server.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace vgpu::rt {
+
+RtServer::RtServer(RtServerConfig config, const KernelRegistry& registry)
+    : config_(std::move(config)), registry_(registry) {
+  VGPU_ASSERT(config_.expected_clients >= 1);
+}
+
+RtServer::~RtServer() { stop(); }
+
+Status RtServer::start() {
+  auto queue = ipc::MessageQueue<RtRequest>::create(config_.prefix + "_req",
+                                                    /*max_messages=*/8);
+  if (!queue.ok()) return queue.status();
+  requests_ = std::move(*queue);
+  pool_ = std::make_unique<ThreadPool>(config_.workers);
+  running_.store(true);
+  serve_thread_ = std::thread([this] { serve_loop(); });
+  return Status::Ok();
+}
+
+void RtServer::stop() {
+  if (!running_.exchange(false)) return;
+  RtRequest shutdown;
+  shutdown.op = RtOp::kShutdown;
+  (void)requests_.send(shutdown);
+  if (serve_thread_.joinable()) serve_thread_.join();
+  pool_.reset();  // drains in-flight jobs
+  clients_.clear();
+}
+
+void RtServer::serve_loop() {
+  for (;;) {
+    auto request = requests_.receive();
+    if (!request.ok()) {
+      VGPU_ERROR("rt server: receive failed: "
+                 << request.status().to_string());
+      return;
+    }
+    if (request->op == RtOp::kShutdown) return;
+    stats_.requests.fetch_add(1);
+    handle(*request);
+  }
+}
+
+void RtServer::respond(ClientState& client, RtAck ack) {
+  const Status st = client.resp.send(RtResponse{ack});
+  if (!st.ok()) {
+    VGPU_ERROR("rt server: response send failed: " << st.to_string());
+  }
+}
+
+void RtServer::handle(const RtRequest& request) {
+  if (request.op == RtOp::kReq) {
+    handle_req(request);
+    return;
+  }
+  auto it = clients_.find(request.client);
+  if (it == clients_.end()) {
+    VGPU_ERROR("rt server: request from unknown client " << request.client);
+    return;
+  }
+  ClientState& client = it->second;
+  switch (request.op) {
+    case RtOp::kSnd: {
+      // Stage input: virtual shared memory -> private ("pinned") buffer.
+      std::memcpy(client.staging_in.data(), client.vsm.data(),
+                  static_cast<std::size_t>(client.bytes_in));
+      respond(client, RtAck::kAck);
+      break;
+    }
+    case RtOp::kStr: {
+      client.str_pending = true;
+      ++str_count_;
+      if (str_count_ >= config_.expected_clients) flush_pending();
+      break;
+    }
+    case RtOp::kStp: {
+      if (!client.job_done->load(std::memory_order_acquire)) {
+        stats_.waits_sent.fetch_add(1);
+        respond(client, RtAck::kWait);
+        break;
+      }
+      // Result: staging buffer -> virtual shared memory (output area).
+      std::memcpy(client.vsm.data() + client.bytes_in,
+                  client.staging_out.data(),
+                  static_cast<std::size_t>(client.bytes_out));
+      respond(client, RtAck::kAck);
+      break;
+    }
+    case RtOp::kRcv: {
+      respond(client, RtAck::kAck);
+      break;
+    }
+    case RtOp::kRls: {
+      respond(client, RtAck::kAck);
+      clients_.erase(it);
+      break;
+    }
+    case RtOp::kReq:
+    case RtOp::kShutdown:
+      break;  // handled elsewhere
+  }
+}
+
+void RtServer::handle_req(const RtRequest& request) {
+  ClientState client;
+  const std::string suffix = std::to_string(request.client);
+  auto resp = ipc::MessageQueue<RtResponse>::open(config_.prefix + "_resp" +
+                                                  suffix);
+  if (!resp.ok()) {
+    VGPU_ERROR("rt server: cannot open response queue: "
+               << resp.status().to_string());
+    return;
+  }
+  client.resp = std::move(*resp);
+
+  // The client clamps an all-empty data plane to one byte; mirror that.
+  const Bytes vsm_size =
+      std::max<Bytes>(request.bytes_in + request.bytes_out, 1);
+  auto vsm =
+      ipc::SharedMemory::open(config_.prefix + "_vsm" + suffix, vsm_size);
+  if (!vsm.ok()) {
+    VGPU_ERROR("rt server: cannot open vsm: " << vsm.status().to_string());
+    respond(client, RtAck::kError);
+    return;
+  }
+  client.vsm = std::move(*vsm);
+
+  client.kernel = registry_.find(request.kernel_id);
+  if (client.kernel == nullptr) {
+    VGPU_ERROR("rt server: unknown kernel id " << request.kernel_id);
+    respond(client, RtAck::kError);
+    return;
+  }
+  std::memcpy(client.params, request.params, sizeof(client.params));
+  client.bytes_in = request.bytes_in;
+  client.bytes_out = request.bytes_out;
+  client.staging_in.resize(static_cast<std::size_t>(request.bytes_in));
+  client.staging_out.resize(static_cast<std::size_t>(request.bytes_out));
+
+  auto [it, inserted] =
+      clients_.insert_or_assign(request.client, std::move(client));
+  (void)inserted;
+  respond(it->second, RtAck::kAck);
+}
+
+void RtServer::flush_pending() {
+  stats_.flushes.fetch_add(1);
+  for (auto& [id, client] : clients_) {
+    if (!client.str_pending) continue;
+    client.str_pending = false;
+    client.job_done->store(false, std::memory_order_release);
+    // The job captures raw buffer pointers; ClientState outlives the job
+    // because RLS is only sent by clients after STP acknowledged
+    // completion, and stop() drains the pool before clearing clients_.
+    auto done = client.job_done;
+    const RtKernelFn* kernel = client.kernel;
+    std::span<const std::byte> in{client.staging_in.data(),
+                                  client.staging_in.size()};
+    std::span<std::byte> out{client.staging_out.data(),
+                             client.staging_out.size()};
+    const std::int64_t* params = client.params;
+    pool_->submit([this, kernel, in, out, params, done] {
+      (*kernel)(in, out, params);
+      stats_.jobs_run.fetch_add(1);
+      done->store(true, std::memory_order_release);
+    });
+    respond(client, RtAck::kAck);
+  }
+  str_count_ = 0;
+}
+
+}  // namespace vgpu::rt

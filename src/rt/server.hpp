@@ -1,0 +1,92 @@
+// The live GVM server: a user-space daemon owning the (functional) GPU
+// executor, serving VGPU requests from real processes or threads over
+// POSIX message queues and shared memory — the deployable counterpart of
+// the DES Gvm used for timing reproduction.
+//
+// Resource naming, for prefix P and client id k:
+//   request queue   P_req          (created by the server)
+//   response queue  P_resp<k>      (created by the client)
+//   data plane      P_vsm<k>       (created by the client; input area then
+//                                   output area, sizes fixed at REQ)
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "ipc/mqueue.hpp"
+#include "ipc/shm.hpp"
+#include "rt/messages.hpp"
+#include "rt/registry.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace vgpu::rt {
+
+struct RtServerConfig {
+  std::string prefix = "/vgpu";
+  /// STR barrier width (SPMD process count). 1 disables batching.
+  int expected_clients = 1;
+  /// Worker threads executing kernel functions.
+  int workers = 4;
+};
+
+struct RtServerStats {
+  std::atomic<long> requests{0};
+  std::atomic<long> flushes{0};
+  std::atomic<long> jobs_run{0};
+  std::atomic<long> waits_sent{0};
+};
+
+class RtServer {
+ public:
+  RtServer(RtServerConfig config, const KernelRegistry& registry);
+  RtServer(const RtServer&) = delete;
+  RtServer& operator=(const RtServer&) = delete;
+  ~RtServer();
+
+  /// Creates the request queue and starts the serve thread.
+  Status start();
+
+  /// Posts a shutdown message and joins the serve thread. Idempotent.
+  void stop();
+
+  const RtServerStats& stats() const { return stats_; }
+  const RtServerConfig& config() const { return config_; }
+
+ private:
+  struct ClientState {
+    ipc::SharedMemory vsm;
+    ipc::MessageQueue<RtResponse> resp;
+    std::vector<std::byte> staging_in;   // "pinned" staging buffers
+    std::vector<std::byte> staging_out;
+    const RtKernelFn* kernel = nullptr;
+    std::int64_t params[4] = {};
+    Bytes bytes_in = 0;
+    Bytes bytes_out = 0;
+    bool str_pending = false;
+    std::shared_ptr<std::atomic<bool>> job_done =
+        std::make_shared<std::atomic<bool>>(true);
+  };
+
+  void serve_loop();
+  void handle(const RtRequest& request);
+  void handle_req(const RtRequest& request);
+  void flush_pending();
+  void respond(ClientState& client, RtAck ack);
+
+  RtServerConfig config_;
+  const KernelRegistry& registry_;
+  ipc::MessageQueue<RtRequest> requests_;
+  std::map<int, ClientState> clients_;
+  int str_count_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread serve_thread_;
+  std::atomic<bool> running_{false};
+  RtServerStats stats_;
+};
+
+}  // namespace vgpu::rt

@@ -1,0 +1,73 @@
+// Minimal fixed-size thread pool used by the live GVM server to execute
+// kernel functions concurrently (the real-machine analogue of Fermi's
+// concurrent kernel execution).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vgpu::rt {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads) {
+    VGPU_ASSERT(threads >= 1);
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      VGPU_ASSERT_MSG(!stopping_, "submit after shutdown");
+      jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+  }
+
+  std::size_t workers() const { return workers_.size(); }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+        if (jobs_.empty()) {
+          if (stopping_) return;
+          continue;
+        }
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace vgpu::rt

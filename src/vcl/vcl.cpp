@@ -1,0 +1,38 @@
+#include "vcl/vcl.hpp"
+
+namespace vgpu::vcl {
+
+gpu::KernelGeometry ndrange_to_geometry(const NDRange& range,
+                                        int regs_per_item,
+                                        Bytes local_mem_per_group) {
+  VGPU_ASSERT(range.global >= 1);
+  VGPU_ASSERT(range.local >= 1 && range.local <= 1024);
+  gpu::KernelGeometry g;
+  g.grid_blocks = ceil_div(range.global, static_cast<long>(range.local));
+  g.threads_per_block = range.local;
+  g.regs_per_thread = regs_per_item;
+  g.shmem_per_block = local_mem_per_group;
+  return g;
+}
+
+void CommandQueue::enqueue_ndrange_kernel(const std::string& name,
+                                          const NDRange& range,
+                                          const gpu::KernelCost& cost,
+                                          std::function<void()> body,
+                                          int regs_per_item,
+                                          Bytes local_mem_per_group) {
+  gpu::KernelLaunch launch;
+  launch.name = name;
+  launch.geometry =
+      ndrange_to_geometry(range, regs_per_item, local_mem_per_group);
+  launch.cost = cost;
+  stream_->launch(std::move(launch), std::move(body));
+}
+
+des::Task<std::unique_ptr<VclContext>> VclContext::create(
+    vcuda::Runtime& runtime) {
+  auto context = co_await runtime.create_context();
+  co_return std::unique_ptr<VclContext>(new VclContext(std::move(context)));
+}
+
+}  // namespace vgpu::vcl

@@ -1,0 +1,110 @@
+// vcl: an OpenCL-flavored frontend over the vcuda runtime.
+//
+// The paper's background (Section III) frames both programming models as
+// equivalent SPMD hierarchies:
+//
+//   CUDA        OpenCL            here
+//   grid        NDRange           NDRange{global, local}
+//   block       work-group        local size
+//   thread      work-item         -
+//   stream      command queue     CommandQueue (in-order)
+//   cudaMemcpy  clEnqueue*Buffer  enqueue_write/read_buffer
+//
+// The mapping is intentionally thin: NDRange{global, local} becomes a
+// KernelGeometry with ceil(global/local) blocks of `local` threads, and an
+// in-order CommandQueue wraps one vcuda Stream — which is exactly how
+// OpenCL implementations sat on CUDA-class hardware in the Fermi era.
+#pragma once
+
+#include <memory>
+
+#include "common/math.hpp"
+#include "vcuda/runtime.hpp"
+
+namespace vgpu::vcl {
+
+using Buffer = vcuda::DeviceBuffer;  // clCreateBuffer result
+
+struct NDRange {
+  long global = 1;  // total work-items
+  int local = 64;   // work-group size
+};
+
+/// In-order command queue (clCreateCommandQueue without
+/// OUT_OF_ORDER_EXEC_MODE), bound to one context.
+class CommandQueue {
+ public:
+  /// clEnqueueWriteBuffer (non-blocking).
+  void enqueue_write_buffer(Buffer& buffer, const void* src, Bytes n,
+                            Bytes offset = 0) {
+    stream_->memcpy_h2d_async(buffer, src, n, /*pinned=*/true, offset);
+  }
+
+  /// clEnqueueReadBuffer (non-blocking).
+  void enqueue_read_buffer(void* dst, const Buffer& buffer, Bytes n,
+                           Bytes offset = 0) {
+    stream_->memcpy_d2h_async(dst, buffer, n, /*pinned=*/true, offset);
+  }
+
+  /// clEnqueueCopyBuffer.
+  void enqueue_copy_buffer(Buffer& dst, const Buffer& src, Bytes n) {
+    stream_->memcpy_d2d_async(dst, src, n);
+  }
+
+  /// clEnqueueNDRangeKernel: `range` fixes the geometry; `cost` the device
+  /// work per work-item; `body` the optional functional computation.
+  void enqueue_ndrange_kernel(const std::string& name, const NDRange& range,
+                              const gpu::KernelCost& cost,
+                              std::function<void()> body = {},
+                              int regs_per_item = 20,
+                              Bytes local_mem_per_group = 0);
+
+  /// clFinish: awaitable until the queue drains.
+  des::Task<> finish() { return stream_->synchronize(); }
+
+  /// clFlush is a no-op here (work is submitted eagerly); kept for API
+  /// parity.
+  void flush() {}
+
+  bool idle() const { return stream_->idle(); }
+
+ private:
+  friend class VclContext;
+  explicit CommandQueue(vcuda::Stream& stream) : stream_(&stream) {}
+  vcuda::Stream* stream_;
+};
+
+/// clCreateContext + clCreateBuffer + queue factory.
+class VclContext {
+ public:
+  /// Creates a context on the runtime's device (pays the usual driver
+  /// initialization and context-creation costs).
+  static des::Task<std::unique_ptr<VclContext>> create(
+      vcuda::Runtime& runtime);
+
+  /// clCreateBuffer; `backed` attaches host bytes for functional runs.
+  StatusOr<Buffer> create_buffer(Bytes size, bool backed = false) {
+    return context_->malloc(size, backed);
+  }
+
+  Status release_buffer(Buffer& buffer) { return context_->free(buffer); }
+
+  /// clCreateCommandQueue (in-order).
+  CommandQueue create_command_queue() {
+    return CommandQueue(context_->create_stream());
+  }
+
+  vcuda::Context& native() { return *context_; }
+
+ private:
+  explicit VclContext(std::unique_ptr<vcuda::Context> context)
+      : context_(std::move(context)) {}
+  std::unique_ptr<vcuda::Context> context_;
+};
+
+/// The Section III mapping, exposed for tests: NDRange -> KernelGeometry.
+gpu::KernelGeometry ndrange_to_geometry(const NDRange& range,
+                                        int regs_per_item,
+                                        Bytes local_mem_per_group);
+
+}  // namespace vgpu::vcl

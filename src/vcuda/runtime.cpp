@@ -1,0 +1,283 @@
+#include "vcuda/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace vgpu::vcuda {
+
+// ---------------------------------------------------------------------------
+// Stream
+// ---------------------------------------------------------------------------
+
+Stream::Stream(des::Simulator& sim, gpu::Device& device, gpu::ContextId ctx)
+    : sim_(sim), device_(device), ctx_(ctx) {}
+
+Stream::~Stream() {
+  VGPU_ASSERT_MSG(outstanding_ == 0,
+                  "stream destroyed with work in flight; synchronize first");
+}
+
+void Stream::enqueue(Op op) {
+  auto prev = tail_;
+  auto done = std::make_shared<des::OneShotEvent>(sim_);
+  tail_ = done;
+  ++outstanding_;
+  ++ops_enqueued_;
+  sim_.spawn(run_op(std::move(op), std::move(prev), std::move(done)));
+}
+
+des::Task<> Stream::run_op(Op op, std::shared_ptr<des::OneShotEvent> prev,
+                           std::shared_ptr<des::OneShotEvent> done) {
+  if (prev) co_await prev->wait();
+
+  switch (op.kind) {
+    case Op::Kind::kH2D: {
+      co_await device_.copy(ctx_, gpu::Direction::kHostToDevice, op.bytes,
+                            op.pinned);
+      if (op.host_src != nullptr && op.dst_buf != nullptr &&
+          op.dst_buf->backing) {
+        VGPU_ASSERT(op.offset + op.bytes <= op.dst_buf->size);
+        std::memcpy(op.dst_buf->backing->data() + op.offset, op.host_src,
+                    static_cast<std::size_t>(op.bytes));
+      }
+      break;
+    }
+    case Op::Kind::kD2H: {
+      co_await device_.copy(ctx_, gpu::Direction::kDeviceToHost, op.bytes,
+                            op.pinned);
+      if (op.host_dst != nullptr && op.src_buf != nullptr &&
+          op.src_buf->backing) {
+        VGPU_ASSERT(op.offset + op.bytes <= op.src_buf->size);
+        std::memcpy(op.host_dst, op.src_buf->backing->data() + op.offset,
+                    static_cast<std::size_t>(op.bytes));
+      }
+      break;
+    }
+    case Op::Kind::kD2D: {
+      co_await device_.copy_d2d(ctx_, op.bytes);
+      if (op.dst_buf != nullptr && op.dst_buf->backing &&
+          op.src_buf != nullptr && op.src_buf->backing) {
+        VGPU_ASSERT(op.offset + op.bytes <= op.dst_buf->size);
+        VGPU_ASSERT(op.src_offset + op.bytes <= op.src_buf->size);
+        std::memmove(op.dst_buf->backing->data() + op.offset,
+                     op.src_buf->backing->data() + op.src_offset,
+                     static_cast<std::size_t>(op.bytes));
+      }
+      break;
+    }
+    case Op::Kind::kMemset: {
+      co_await device_.memset(ctx_, op.bytes);
+      if (op.dst_buf != nullptr && op.dst_buf->backing) {
+        VGPU_ASSERT(op.offset + op.bytes <= op.dst_buf->size);
+        std::memset(op.dst_buf->backing->data() + op.offset,
+                    static_cast<int>(op.fill),
+                    static_cast<std::size_t>(op.bytes));
+      }
+      break;
+    }
+    case Op::Kind::kCallback: {
+      if (op.body) op.body();
+      break;
+    }
+    case Op::Kind::kKernel: {
+      co_await device_.launch_kernel(ctx_, std::move(op.launch));
+      if (op.body) op.body();
+      break;
+    }
+    case Op::Kind::kRecord: {
+      if (op.completion_out != nullptr) *op.completion_out = sim_.now();
+      op.event->set();
+      break;
+    }
+    case Op::Kind::kWaitEvent: {
+      co_await op.event->wait();
+      break;
+    }
+  }
+
+  --outstanding_;
+  done->set();
+}
+
+void Stream::memcpy_h2d_async(DeviceBuffer& dst, const void* src, Bytes n,
+                              bool pinned, Bytes dst_offset) {
+  VGPU_ASSERT(dst.valid());
+  VGPU_ASSERT(n >= 0 && dst_offset >= 0 && dst_offset + n <= dst.size);
+  Op op;
+  op.kind = Op::Kind::kH2D;
+  op.dst_buf = &dst;
+  op.host_src = src;
+  op.bytes = n;
+  op.offset = dst_offset;
+  op.pinned = pinned;
+  enqueue(std::move(op));
+}
+
+void Stream::memcpy_d2h_async(void* dst, const DeviceBuffer& src, Bytes n,
+                              bool pinned, Bytes src_offset) {
+  VGPU_ASSERT(src.valid());
+  VGPU_ASSERT(n >= 0 && src_offset >= 0 && src_offset + n <= src.size);
+  Op op;
+  op.kind = Op::Kind::kD2H;
+  op.src_buf = &src;
+  op.host_dst = dst;
+  op.bytes = n;
+  op.offset = src_offset;
+  op.pinned = pinned;
+  enqueue(std::move(op));
+}
+
+void Stream::memcpy_d2d_async(DeviceBuffer& dst, const DeviceBuffer& src,
+                              Bytes n, Bytes dst_offset, Bytes src_offset) {
+  VGPU_ASSERT(dst.valid() && src.valid());
+  VGPU_ASSERT(n >= 0 && dst_offset >= 0 && dst_offset + n <= dst.size);
+  VGPU_ASSERT(src_offset >= 0 && src_offset + n <= src.size);
+  Op op;
+  op.kind = Op::Kind::kD2D;
+  op.dst_buf = &dst;
+  op.src_buf = &src;
+  op.bytes = n;
+  op.offset = dst_offset;
+  op.src_offset = src_offset;
+  enqueue(std::move(op));
+}
+
+void Stream::memset_async(DeviceBuffer& dst, std::byte value, Bytes n,
+                          Bytes dst_offset) {
+  VGPU_ASSERT(dst.valid());
+  VGPU_ASSERT(n >= 0 && dst_offset >= 0 && dst_offset + n <= dst.size);
+  Op op;
+  op.kind = Op::Kind::kMemset;
+  op.dst_buf = &dst;
+  op.bytes = n;
+  op.offset = dst_offset;
+  op.fill = value;
+  enqueue(std::move(op));
+}
+
+void Stream::add_callback(std::function<void()> callback) {
+  Op op;
+  op.kind = Op::Kind::kCallback;
+  op.body = std::move(callback);
+  enqueue(std::move(op));
+}
+
+void Stream::launch(gpu::KernelLaunch launch, std::function<void()> body) {
+  Op op;
+  op.kind = Op::Kind::kKernel;
+  op.launch = std::move(launch);
+  op.body = std::move(body);
+  enqueue(std::move(op));
+}
+
+void Stream::record(Event& event) {
+  event.ev_ = std::make_shared<des::OneShotEvent>(sim_);
+  event.completion_time_ = -1;
+  Op op;
+  op.kind = Op::Kind::kRecord;
+  op.event = event.ev_;
+  op.completion_out = &event.completion_time_;
+  enqueue(std::move(op));
+}
+
+void Stream::wait_event(const Event& event) {
+  VGPU_ASSERT_MSG(event.recorded(), "waiting on an unrecorded event");
+  Op op;
+  op.kind = Op::Kind::kWaitEvent;
+  op.event = event.ev_;
+  enqueue(std::move(op));
+}
+
+des::Task<> Stream::synchronize() {
+  while (outstanding_ > 0) {
+    auto t = tail_;  // completion of the currently-last op
+    co_await t->wait();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+Context::Context(des::Simulator& sim, gpu::Device& device, gpu::ContextId ctx)
+    : sim_(sim), device_(device), ctx_(ctx) {
+  default_stream_.reset(new Stream(sim_, device_, ctx_));
+}
+
+Context::~Context() {
+  const Status st = device_.destroy_context(ctx_);
+  if (!st.ok()) {
+    VGPU_ERROR("context destruction failed: " << st.to_string());
+  }
+}
+
+StatusOr<DeviceBuffer> Context::malloc(Bytes size, bool backed) {
+  StatusOr<gpu::DevPtr> ptr = device_.malloc_device(ctx_, size);
+  if (!ptr.ok()) return ptr.status();
+  DeviceBuffer buf;
+  buf.ptr = *ptr;
+  buf.size = size;
+  if (backed) {
+    buf.backing = std::make_shared<std::vector<std::byte>>(
+        static_cast<std::size_t>(size));
+  }
+  return buf;
+}
+
+Status Context::free(DeviceBuffer& buffer) {
+  if (!buffer.valid()) return InvalidArgument("free of null device buffer");
+  VGPU_RETURN_IF_ERROR(device_.free_device(ctx_, buffer.ptr));
+  buffer = DeviceBuffer{};
+  return Status::Ok();
+}
+
+Stream& Context::create_stream() {
+  streams_.emplace_back(new Stream(sim_, device_, ctx_));
+  return *streams_.back();
+}
+
+des::Task<> Context::memcpy_h2d(DeviceBuffer& dst, const void* src, Bytes n,
+                                bool pinned) {
+  default_stream_->memcpy_h2d_async(dst, src, n, pinned);
+  co_await default_stream_->synchronize();
+}
+
+des::Task<> Context::memcpy_d2h(void* dst, const DeviceBuffer& src, Bytes n,
+                                bool pinned) {
+  default_stream_->memcpy_d2h_async(dst, src, n, pinned);
+  co_await default_stream_->synchronize();
+}
+
+des::Task<> Context::launch_sync(gpu::KernelLaunch launch,
+                                 std::function<void()> body) {
+  default_stream_->launch(std::move(launch), std::move(body));
+  co_await default_stream_->synchronize();
+}
+
+des::Task<> Context::synchronize() {
+  co_await default_stream_->synchronize();
+  for (auto& s : streams_) co_await s->synchronize();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+des::Task<std::unique_ptr<Context>> Runtime::create_context() {
+  const gpu::ContextId id = co_await device_.create_context();
+  VGPU_ASSERT_MSG(id != gpu::kNullContext,
+                  "context creation rejected by the compute mode");
+  co_return std::unique_ptr<Context>(new Context(sim_, device_, id));
+}
+
+des::Task<StatusOr<std::unique_ptr<Context>>> Runtime::try_create_context() {
+  const gpu::ContextId id = co_await device_.create_context();
+  if (id == gpu::kNullContext) {
+    Status st = device_.context_admission();
+    co_return st.ok() ? FailedPrecondition("context creation rejected") : st;
+  }
+  co_return std::unique_ptr<Context>(new Context(sim_, device_, id));
+}
+
+}  // namespace vgpu::vcuda

@@ -1,0 +1,295 @@
+// vcuda: a CUDA-runtime-style API over the simulated device.
+//
+// The shapes mirror the CUDA 3.2 runtime the paper's infrastructure was
+// written against:
+//
+//   Runtime  ~ the driver            (one per simulated node)
+//   Context  ~ cudaCtx / process ctx (create costs ctx_create_time)
+//   Stream   ~ cudaStream_t          (ordered async ops; cross-stream
+//                                     concurrency within one context)
+//   Event    ~ cudaEvent_t           (record / wait / query)
+//
+// Async memcpys and kernel launches are enqueued on a stream and execute in
+// stream order; different streams of the same context overlap according to
+// the device's copy-engine and concurrent-kernel rules. Synchronous
+// convenience calls wrap enqueue + synchronize.
+//
+// Functional execution: a DeviceBuffer may carry real backing bytes. Copies
+// then move real data and a kernel launch may carry a `body` callback which
+// runs at kernel completion — so end-to-end results are verifiable while
+// timing comes from the device model. Timing-only workloads simply pass
+// unbacked buffers and null bodies.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "des/sim.hpp"
+#include "des/sync.hpp"
+#include "gpu/device.hpp"
+
+namespace vgpu::vcuda {
+
+/// A device allocation, optionally backed by host bytes for functional runs.
+struct DeviceBuffer {
+  gpu::DevPtr ptr = 0;
+  Bytes size = 0;
+  std::shared_ptr<std::vector<std::byte>> backing;  // null => timing-only
+
+  bool valid() const { return ptr != 0; }
+  std::byte* data() { return backing ? backing->data() : nullptr; }
+  const std::byte* data() const { return backing ? backing->data() : nullptr; }
+
+  template <typename T>
+  T* as() {
+    return backing ? reinterpret_cast<T*>(backing->data()) : nullptr;
+  }
+  template <typename T>
+  const T* as() const {
+    return backing ? reinterpret_cast<const T*>(backing->data()) : nullptr;
+  }
+};
+
+class Context;
+class Stream;
+
+/// One-shot completion marker usable across streams (cudaEvent_t).
+class Event {
+ public:
+  Event() = default;
+
+  bool recorded() const { return static_cast<bool>(ev_); }
+  bool query() const { return ev_ && ev_->is_set(); }  // done?
+  SimTime completion_time() const { return completion_time_; }
+
+  /// cudaEventElapsedTime: milliseconds from `start` to `stop`; both events
+  /// must have completed.
+  static double elapsed_ms(const Event& start, const Event& stop) {
+    VGPU_ASSERT(start.query() && stop.query());
+    return to_ms(stop.completion_time_ - start.completion_time_);
+  }
+
+ private:
+  friend class Stream;
+  std::shared_ptr<des::OneShotEvent> ev_;
+  SimTime completion_time_ = -1;
+};
+
+class Stream {
+ public:
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+  ~Stream();
+
+  /// Async H2D copy of `n` bytes from `src` (may be null for timing-only)
+  /// into `dst` at `dst_offset`. `src` must stay valid until the op runs.
+  void memcpy_h2d_async(DeviceBuffer& dst, const void* src, Bytes n,
+                        bool pinned = true, Bytes dst_offset = 0);
+
+  /// Async D2H copy; `dst` may be null for timing-only.
+  void memcpy_d2h_async(void* dst, const DeviceBuffer& src, Bytes n,
+                        bool pinned = true, Bytes src_offset = 0);
+
+  /// Async device-to-device copy (cudaMemcpyDeviceToDevice).
+  void memcpy_d2d_async(DeviceBuffer& dst, const DeviceBuffer& src, Bytes n,
+                        Bytes dst_offset = 0, Bytes src_offset = 0);
+
+  /// Async memset (cudaMemsetAsync); fills backing bytes when present.
+  void memset_async(DeviceBuffer& dst, std::byte value, Bytes n,
+                    Bytes dst_offset = 0);
+
+  /// Async kernel launch; `body` (optional) performs the functional work and
+  /// runs exactly once, when the simulated kernel completes.
+  void launch(gpu::KernelLaunch launch, std::function<void()> body = {});
+
+  /// Host callback in stream order (cudaStreamAddCallback): runs after all
+  /// prior work on this stream, consuming no device time.
+  void add_callback(std::function<void()> callback);
+
+  /// Enqueues an event; it fires when all prior work on this stream is done.
+  void record(Event& event);
+
+  /// Makes subsequent work on this stream wait for `event`
+  /// (cudaStreamWaitEvent).
+  void wait_event(const Event& event);
+
+  /// Awaitable: completes when every op enqueued so far has executed.
+  des::Task<> synchronize();
+
+  /// True when no enqueued work remains (cudaStreamQuery == cudaSuccess).
+  bool idle() const { return outstanding_ == 0; }
+
+  std::size_t ops_enqueued() const { return ops_enqueued_; }
+
+ private:
+  friend class Context;
+  Stream(des::Simulator& sim, gpu::Device& device, gpu::ContextId ctx);
+
+  struct Op {
+    enum class Kind {
+      kH2D,
+      kD2H,
+      kD2D,
+      kMemset,
+      kKernel,
+      kRecord,
+      kWaitEvent,
+      kCallback,
+    } kind;
+    // copies / memset
+    DeviceBuffer* dst_buf = nullptr;
+    const DeviceBuffer* src_buf = nullptr;
+    const void* host_src = nullptr;
+    void* host_dst = nullptr;
+    Bytes bytes = 0;
+    Bytes offset = 0;       // destination offset
+    Bytes src_offset = 0;   // source offset (D2D)
+    std::byte fill{};       // memset value
+    bool pinned = true;
+    // kernel
+    gpu::KernelLaunch launch;
+    std::function<void()> body;
+    // events
+    std::shared_ptr<des::OneShotEvent> event;
+    SimTime* completion_out = nullptr;
+  };
+
+  void enqueue(Op op);
+  des::Task<> run_op(Op op, std::shared_ptr<des::OneShotEvent> prev,
+                     std::shared_ptr<des::OneShotEvent> done);
+
+  des::Simulator& sim_;
+  gpu::Device& device_;
+  gpu::ContextId ctx_;
+  std::shared_ptr<des::OneShotEvent> tail_;  // completion of last enqueued op
+  std::size_t outstanding_ = 0;
+  std::size_t ops_enqueued_ = 0;
+};
+
+class Context {
+ public:
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+  ~Context();
+
+  gpu::ContextId id() const { return ctx_; }
+  gpu::Device& device() { return device_; }
+
+  /// Allocates device memory; `backed` attaches host bytes for functional
+  /// execution (zero-initialized).
+  StatusOr<DeviceBuffer> malloc(Bytes size, bool backed = false);
+  Status free(DeviceBuffer& buffer);
+
+  /// The context's default stream (stream 0).
+  Stream& default_stream() { return *default_stream_; }
+
+  /// Additional streams (the GVM creates one per client process).
+  Stream& create_stream();
+  std::size_t stream_count() const { return streams_.size(); }
+
+  /// Synchronous convenience wrappers on the default stream.
+  des::Task<> memcpy_h2d(DeviceBuffer& dst, const void* src, Bytes n,
+                         bool pinned = true);
+  des::Task<> memcpy_d2h(void* dst, const DeviceBuffer& src, Bytes n,
+                         bool pinned = true);
+  des::Task<> launch_sync(gpu::KernelLaunch launch,
+                          std::function<void()> body = {});
+
+  /// Awaits completion of all streams (cudaCtxSynchronize).
+  des::Task<> synchronize();
+
+ private:
+  friend class Runtime;
+  Context(des::Simulator& sim, gpu::Device& device, gpu::ContextId ctx);
+
+  des::Simulator& sim_;
+  gpu::Device& device_;
+  gpu::ContextId ctx_;
+  std::unique_ptr<Stream> default_stream_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+/// A page-locked host allocation (cudaHostAlloc). RAII: releases its
+/// reservation from the runtime's pinned ledger on destruction. Pinned
+/// memory is what the device's async copy engines require for overlap.
+class PinnedBuffer {
+ public:
+  PinnedBuffer() = default;
+  PinnedBuffer(PinnedBuffer&& other) noexcept
+      : ledger_(std::exchange(other.ledger_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  PinnedBuffer& operator=(PinnedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      ledger_ = std::exchange(other.ledger_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  PinnedBuffer(const PinnedBuffer&) = delete;
+  PinnedBuffer& operator=(const PinnedBuffer&) = delete;
+  ~PinnedBuffer() { release(); }
+
+  bool valid() const { return ledger_ != nullptr; }
+  Bytes size() const { return size_; }
+
+ private:
+  friend class Runtime;
+  PinnedBuffer(gpu::PinnedHostLedger* ledger, Bytes size)
+      : ledger_(ledger), size_(size) {}
+  void release() {
+    if (ledger_ != nullptr) {
+      ledger_->release(size_);
+      ledger_ = nullptr;
+      size_ = 0;
+    }
+  }
+  gpu::PinnedHostLedger* ledger_ = nullptr;
+  Bytes size_ = 0;
+};
+
+/// Entry point: pairs a simulator with a device, hands out contexts.
+class Runtime {
+ public:
+  /// `host_memory` bounds total page-locked allocations (the paper's node
+  /// has 48 GB of system memory).
+  Runtime(des::Simulator& sim, gpu::Device& device,
+          Bytes host_memory = 48 * kGB)
+      : sim_(sim), device_(device), pinned_ledger_(host_memory) {}
+
+  /// Creates a context (pays driver init on first use + ctx_create_time).
+  /// Aborts if the device's compute mode rejects the creation; use
+  /// try_create_context for the recoverable form.
+  des::Task<std::unique_ptr<Context>> create_context();
+
+  /// Like create_context, but returns the admission error (exclusive /
+  /// prohibited compute mode) instead of aborting.
+  des::Task<StatusOr<std::unique_ptr<Context>>> try_create_context();
+
+  /// cudaHostAlloc: reserves page-locked host memory against the node's
+  /// ledger; fails with kOutOfMemory once host memory is exhausted.
+  StatusOr<PinnedBuffer> alloc_pinned(Bytes size) {
+    VGPU_RETURN_IF_ERROR(pinned_ledger_.reserve(size));
+    return PinnedBuffer(&pinned_ledger_, size);
+  }
+
+  const gpu::PinnedHostLedger& pinned_ledger() const {
+    return pinned_ledger_;
+  }
+
+  gpu::Device& device() { return device_; }
+  des::Simulator& sim() { return sim_; }
+
+ private:
+  des::Simulator& sim_;
+  gpu::Device& device_;
+  gpu::PinnedHostLedger pinned_ledger_;
+};
+
+}  // namespace vgpu::vcuda

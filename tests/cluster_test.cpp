@@ -1,0 +1,254 @@
+// Tests for the cluster substrate: network timing, MPI-like point-to-point
+// and collectives, and the full cluster SPMD experiment with exact
+// functional verification against sequential EP.
+#include <gtest/gtest.h>
+
+#include "cluster/comm.hpp"
+#include "cluster/experiment.hpp"
+#include "cluster/network.hpp"
+#include "kernels/ep.hpp"
+
+namespace vgpu::cluster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+TEST(Network, TransferTimeIsLatencyPlusBytesOverBandwidth) {
+  des::Simulator sim;
+  NetworkSpec spec;
+  spec.latency = microseconds(2.0);
+  spec.bandwidth = gb_per_s(1.0);
+  Network net(sim, spec, 2);
+  SimDuration elapsed = 0;
+  sim.spawn([](des::Simulator& s, Network& net,
+               SimDuration& out) -> des::Task<> {
+    const SimTime t0 = s.now();
+    co_await net.transfer(0, 1, 1'000'000);  // 1 MB at 1 GB/s = 1 ms
+    out = s.now() - t0;
+  }(sim, net, elapsed));
+  sim.run();
+  EXPECT_EQ(elapsed, microseconds(2.0) + milliseconds(1.0));
+  EXPECT_EQ(net.bytes_on_wire(), 1'000'000);
+}
+
+TEST(Network, SameSourceTransfersSerializeOnTheNic) {
+  des::Simulator sim;
+  NetworkSpec spec;
+  spec.latency = 0;
+  spec.bandwidth = gb_per_s(1.0);
+  Network net(sim, spec, 3);
+  SimDuration elapsed = 0;
+  sim.spawn([](des::Simulator& s, Network& net,
+               SimDuration& out) -> des::Task<> {
+    const SimTime t0 = s.now();
+    des::CountdownLatch done(s, 2);
+    for (int dst : {1, 2}) {
+      s.spawn([](Network& net, int dst, des::CountdownLatch& l) -> des::Task<> {
+        co_await net.transfer(0, dst, 1'000'000);
+        l.count_down();
+      }(net, dst, done));
+    }
+    co_await done.wait();
+    out = s.now() - t0;
+  }(sim, net, elapsed));
+  sim.run();
+  EXPECT_GE(elapsed, milliseconds(2.0));  // node 0's TX serializes
+}
+
+TEST(Network, DistinctPairsRunConcurrently) {
+  des::Simulator sim;
+  NetworkSpec spec;
+  spec.latency = 0;
+  spec.bandwidth = gb_per_s(1.0);
+  Network net(sim, spec, 4);
+  SimDuration elapsed = 0;
+  sim.spawn([](des::Simulator& s, Network& net,
+               SimDuration& out) -> des::Task<> {
+    const SimTime t0 = s.now();
+    des::CountdownLatch done(s, 2);
+    s.spawn([](Network& n, des::CountdownLatch& l) -> des::Task<> {
+      co_await n.transfer(0, 1, 1'000'000);
+      l.count_down();
+    }(net, done));
+    s.spawn([](Network& n, des::CountdownLatch& l) -> des::Task<> {
+      co_await n.transfer(2, 3, 1'000'000);
+      l.count_down();
+    }(net, done));
+    co_await done.wait();
+    out = s.now() - t0;
+  }(sim, net, elapsed));
+  sim.run();
+  EXPECT_LT(elapsed, milliseconds(1.2));  // full bisection: ~1 ms, not 2
+}
+
+TEST(Network, IntraNodeUsesLocalPath) {
+  des::Simulator sim;
+  Network net(sim, NetworkSpec{}, 2);
+  sim.spawn([](Network& n) -> des::Task<> {
+    co_await n.transfer(1, 1, 1'000'000);
+  }(net));
+  sim.run();
+  EXPECT_EQ(net.bytes_on_wire(), 0);  // never touched the fabric
+}
+
+// ---------------------------------------------------------------------------
+// Communicator
+// ---------------------------------------------------------------------------
+
+/// Spawns `n` ranks running `body(comm)` and runs the simulation.
+template <typename Body>
+void run_ranks(int nodes, int ranks, Body body) {
+  des::Simulator sim;
+  Network net(sim, NetworkSpec{}, nodes);
+  ClusterComm world(sim, net, ranks);
+  for (int r = 0; r < ranks; ++r) {
+    sim.spawn(body(world.communicator(r)));
+  }
+  sim.run();
+}
+
+TEST(Comm, SendRecvCarriesPayload) {
+  std::vector<double> received;
+  run_ranks(2, 2, [&](Communicator comm) -> des::Task<> {
+    if (comm.rank() == 0) {
+      const std::vector<double> data{1.5, 2.5, 3.5};
+      co_await comm.send(1, Message::of<double>(7, {data.data(), 3}));
+    } else {
+      const Message m = co_await comm.recv(0, 7);
+      received = m.as<double>();
+      EXPECT_EQ(m.source, 0);
+    }
+  });
+  EXPECT_EQ(received, (std::vector<double>{1.5, 2.5, 3.5}));
+}
+
+TEST(Comm, TagsMatchIndependently) {
+  std::vector<int> order;
+  run_ranks(1, 2, [&](Communicator comm) -> des::Task<> {
+    if (comm.rank() == 0) {
+      const double a = 1, b = 2;
+      co_await comm.send(1, Message::of<double>(/*tag*/ 20, {&a, 1}));
+      co_await comm.send(1, Message::of<double>(/*tag*/ 10, {&b, 1}));
+    } else {
+      // Receive in the opposite tag order: matching is per tag.
+      const Message ten = co_await comm.recv(0, 10);
+      order.push_back(static_cast<int>(ten.as<double>()[0]));
+      const Message twenty = co_await comm.recv(0, 20);
+      order.push_back(static_cast<int>(twenty.as<double>()[0]));
+    }
+    co_return;
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+class CommCollective : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommCollective, BarrierHoldsEveryoneUntilLastArrival) {
+  const int ranks = GetParam();
+  std::vector<SimTime> release_times(static_cast<std::size_t>(ranks));
+  des::Simulator sim;
+  Network net(sim, NetworkSpec{}, 2);
+  ClusterComm world(sim, net, ranks);
+  for (int r = 0; r < ranks; ++r) {
+    sim.spawn([](des::Simulator& s, Communicator comm,
+                 std::vector<SimTime>& out) -> des::Task<> {
+      co_await s.delay(milliseconds(comm.rank() * 3.0));  // staggered
+      co_await comm.barrier();
+      out[static_cast<std::size_t>(comm.rank())] = s.now();
+    }(sim, world.communicator(r), release_times));
+  }
+  sim.run();
+  const SimTime last_arrival = milliseconds((ranks - 1) * 3.0);
+  for (SimTime t : release_times) EXPECT_GE(t, last_arrival);
+}
+
+TEST_P(CommCollective, BcastDeliversRootPayloadToAll) {
+  const int ranks = GetParam();
+  std::vector<double> got(static_cast<std::size_t>(ranks), 0.0);
+  const int root = ranks > 2 ? 2 : 0;
+  run_ranks(2, ranks, [&, root](Communicator comm) -> des::Task<> {
+    Message m;
+    if (comm.rank() == root) {
+      const double v = 42.25;
+      m = Message::of<double>(0, {&v, 1});
+    }
+    const Message out = co_await comm.bcast(root, std::move(m));
+    got[static_cast<std::size_t>(comm.rank())] = out.as<double>()[0];
+  });
+  for (double v : got) EXPECT_EQ(v, 42.25);
+}
+
+TEST_P(CommCollective, AllreduceSumsAcrossRanks) {
+  const int ranks = GetParam();
+  std::vector<std::vector<double>> results(
+      static_cast<std::size_t>(ranks));
+  run_ranks(2, ranks, [&](Communicator comm) -> des::Task<> {
+    std::vector<double> mine{static_cast<double>(comm.rank()), 1.0};
+    results[static_cast<std::size_t>(comm.rank())] =
+        co_await comm.allreduce_sum(std::move(mine));
+  });
+  const double expect0 = ranks * (ranks - 1) / 2.0;
+  for (const auto& r : results) {
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_DOUBLE_EQ(r[0], expect0);
+    EXPECT_DOUBLE_EQ(r[1], static_cast<double>(ranks));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommCollective,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Cluster SPMD experiment
+// ---------------------------------------------------------------------------
+
+TEST(ClusterExperiment, AllreducedEpMatchesSequentialExactly) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.cores_per_node = 4;
+  const int m = 16;
+  const ClusterResult r = run_cluster_ep(config, m);
+  const kernels::EpResult expect = kernels::ep_sequential(m);
+  EXPECT_EQ(r.reduced.q, expect.q);  // exact integer tallies through the
+                                     // whole GPU + GVM + MPI stack
+  EXPECT_EQ(r.reduced.pairs_accepted, expect.pairs_accepted);
+  EXPECT_NEAR(r.reduced.sx, expect.sx, 1e-7);
+  EXPECT_NEAR(r.reduced.sy, expect.sy, 1e-7);
+  EXPECT_GT(r.bytes_on_wire, 0);
+}
+
+TEST(ClusterExperiment, VirtualizationWinsAtClusterScaleToo) {
+  ClusterConfig virt;
+  virt.nodes = 2;
+  virt.cores_per_node = 8;
+  ClusterConfig native = virt;
+  native.virtualized = false;
+  const int m = 24;
+  const ClusterResult rv = run_cluster_ep(virt, m);
+  const ClusterResult rn = run_cluster_ep(native, m);
+  EXPECT_LT(rv.turnaround, rn.turnaround);
+  EXPECT_EQ(rv.ctx_switches, 0);
+  EXPECT_GT(rn.ctx_switches, 0);
+  // Both compute identical physics.
+  EXPECT_EQ(rv.reduced.q, rn.reduced.q);
+}
+
+TEST(ClusterExperiment, MoreNodesShortenCommputePhase) {
+  ClusterConfig two;
+  two.nodes = 2;
+  two.cores_per_node = 4;
+  ClusterConfig four = two;
+  four.nodes = 4;  // same total parallelism per node count rises
+  const int m = 22;
+  const ClusterResult r2 = run_cluster_ep(two, m);
+  const ClusterResult r4 = run_cluster_ep(four, m);
+  // Twice the GPUs for the same per-rank partitioning: the compute phase
+  // spreads; turnaround must not grow.
+  EXPECT_LE(r4.turnaround, r2.turnaround + milliseconds(5.0));
+  EXPECT_EQ(r2.reduced.q, r4.reduced.q);
+}
+
+}  // namespace
+}  // namespace vgpu::cluster

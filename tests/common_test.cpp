@@ -1,0 +1,220 @@
+// Unit tests for src/common: units, status, rng, stats, table, math.
+// Also compiles the umbrella header as a smoke check of the public API.
+#include <gtest/gtest.h>
+
+#include "vgpu.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace vgpu {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(milliseconds(1.0), 1'000'000);
+  EXPECT_EQ(seconds(1.0), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_ms(milliseconds(123.5)), 123.5);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.0)), 2.0);
+  EXPECT_EQ(microseconds(1.0), 1000);
+}
+
+TEST(Units, TransferTime) {
+  // 1 GB at 1 GB/s = 1 s.
+  EXPECT_EQ(transfer_time(1'000'000'000, gb_per_s(1.0)), kSecond);
+  // Zero bytes take zero time.
+  EXPECT_EQ(transfer_time(0, gb_per_s(1.0)), 0);
+  // Tiny transfers still advance time by >= 1 ns.
+  EXPECT_GE(transfer_time(1, gb_per_s(100.0)), 1);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_time(milliseconds(1.5)), "1.500 ms");
+  EXPECT_EQ(format_time(seconds(2.25)), "2.250 s");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MiB");
+}
+
+TEST(Status, OkAndErrors) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.to_string(), "OK");
+
+  Status err = InvalidArgument("bad grid");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(err.to_string().find("bad grid"), std::string::npos);
+}
+
+TEST(Status, StatusOrValueAndError) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+
+  StatusOr<int> e = NotFound("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), ErrorCode::kNotFound);
+}
+
+Status fails() { return Internal("boom"); }
+Status propagates() {
+  VGPU_RETURN_IF_ERROR(fails());
+  return Status::Ok();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_EQ(propagates().code(), ErrorCode::kInternal);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(99);
+  RunningStat st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.05);
+}
+
+TEST(Stats, RunningStatBasics) {
+  RunningStat st;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) st.add(x);
+  EXPECT_EQ(st.count(), 4u);
+  EXPECT_DOUBLE_EQ(st.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 4.0);
+  EXPECT_NEAR(st.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps to bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Table, AlignedOutput) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRoundTrip) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"x,y", "2"});
+  const std::string path = ::testing::TempDir() + "/vgpu_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",2");
+}
+
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog",        "--procs=8",   "--size=1000",
+                        "--verbose",   "positional1", "--rate=2.5",
+                        "--quiet=false"};
+  Flags flags(7, argv);
+  EXPECT_EQ(flags.program(), "prog");
+  EXPECT_EQ(flags.get_long("procs", 1), 8);
+  EXPECT_EQ(flags.get_long("size", 1), 1000);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_FALSE(flags.get_bool("quiet", true));
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional1");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, argv);
+  EXPECT_EQ(flags.get_long("missing", 42), 42);
+  EXPECT_EQ(flags.get_string("missing", "fallback"), "fallback");
+  EXPECT_FALSE(flags.get_bool("missing"));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, BareSwitchBeforeAnotherFlag) {
+  const char* argv[] = {"prog", "--a", "--b=2"};
+  Flags flags(3, argv);
+  EXPECT_TRUE(flags.get_bool("a"));
+  EXPECT_EQ(flags.get_long("b", 0), 2);
+}
+
+TEST(Flags, SeparatedValueIsPositionalNotFlagValue) {
+  const char* argv[] = {"prog", "--size", "1000"};
+  Flags flags(3, argv);
+  EXPECT_TRUE(flags.get_bool("size"));          // bare switch
+  EXPECT_EQ(flags.get_long("size", 7), 7);      // empty value -> fallback
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "1000");
+}
+
+TEST(Math, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(round_up(10, 8), 16);
+  EXPECT_EQ(round_up(16, 8), 16);
+}
+
+TEST(Math, DeviationPercent) {
+  EXPECT_NEAR(deviation_percent(2.3, 2.721), 15.47, 0.1);
+  EXPECT_DOUBLE_EQ(deviation_percent(5.0, 5.0), 0.0);
+}
+
+TEST(Math, AlmostEqual) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+}
+
+}  // namespace
+}  // namespace vgpu

@@ -1,0 +1,425 @@
+// Unit tests for the discrete-event engine: scheduling order, coroutine
+// tasks, channels, semaphores, barriers, events, determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "des/channel.hpp"
+#include "des/sim.hpp"
+#include "des/sync.hpp"
+#include "des/task.hpp"
+
+namespace vgpu::des {
+namespace {
+
+TEST(Sim, TimeAdvancesThroughDelays) {
+  Simulator sim;
+  std::vector<SimTime> stamps;
+  sim.spawn([](Simulator& s, std::vector<SimTime>& out) -> Task<> {
+    out.push_back(s.now());
+    co_await s.delay(10);
+    out.push_back(s.now());
+    co_await s.delay(5);
+    out.push_back(s.now());
+  }(sim, stamps));
+  const SimTime end = sim.run();
+  EXPECT_EQ(end, 15);
+  EXPECT_EQ(stamps, (std::vector<SimTime>{0, 10, 15}));
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(Sim, SameTimeEventsRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.call_at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sim, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.call_at(10, [&] { ++fired; });
+  sim.call_at(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Sim, NestedTasksReturnValues) {
+  Simulator sim;
+  int result = 0;
+  sim.spawn([](Simulator& s, int& out) -> Task<> {
+    auto child = [](Simulator& s2, int x) -> Task<int> {
+      co_await s2.delay(3);
+      co_return x * 2;
+    };
+    const int a = co_await child(s, 21);
+    const int b = co_await child(s, a);
+    out = b;
+  }(sim, result));
+  sim.run();
+  EXPECT_EQ(result, 84);
+  EXPECT_EQ(sim.now(), 6);
+}
+
+TEST(Sim, ManyProcessesAllComplete) {
+  Simulator sim;
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    sim.spawn([](Simulator& s, int& d, int delay) -> Task<> {
+      co_await s.delay(delay);
+      ++d;
+    }(sim, done, i % 17));
+  }
+  sim.run();
+  EXPECT_EQ(done, 200);
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(Sim, DeterministicEventCount) {
+  auto run_once = [] {
+    Simulator sim;
+    Channel<int> ch(sim);
+    for (int i = 0; i < 10; ++i) {
+      sim.spawn([](Simulator& s, Channel<int>& c, int i) -> Task<> {
+        co_await s.delay(i * 7 % 13);
+        c.send(i);
+        co_await s.yield();
+      }(sim, ch, i));
+    }
+    sim.spawn([](Simulator& s, Channel<int>& c) -> Task<> {
+      for (int i = 0; i < 10; ++i) {
+        (void)co_await c.receive();
+        co_await s.delay(1);
+      }
+    }(sim, ch));
+    sim.run();
+    return sim.events_dispatched();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Sim, DestructorCleansUpSuspendedProcesses) {
+  // A process suspended forever must be destroyed without leaks or crashes.
+  auto sim = std::make_unique<Simulator>();
+  auto* ch = new Channel<int>(*sim);
+  sim->spawn([](Channel<int>& c) -> Task<> {
+    (void)co_await c.receive();  // never satisfied
+  }(*ch));
+  sim->run();
+  EXPECT_EQ(sim->live_processes(), 1u);
+  sim.reset();  // must not crash
+  delete ch;
+}
+
+TEST(Channel, BufferedSendThenReceive) {
+  Simulator sim;
+  Channel<std::string> ch(sim);
+  ch.send("a");
+  ch.send("b");
+  std::vector<std::string> got;
+  sim.spawn([](Channel<std::string>& c, std::vector<std::string>& out)
+                -> Task<> {
+    out.push_back(co_await c.receive());
+    out.push_back(co_await c.receive());
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Channel, BlockedReceiverWakesOnSend) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  SimTime recv_time = -1;
+  sim.spawn([](Channel<int>& c, Simulator& s, SimTime& t) -> Task<> {
+    (void)co_await c.receive();
+    t = s.now();
+  }(ch, sim, recv_time));
+  sim.spawn([](Channel<int>& c, Simulator& s) -> Task<> {
+    co_await s.delay(42);
+    c.send(1);
+  }(ch, sim));
+  sim.run();
+  EXPECT_EQ(recv_time, 42);
+}
+
+TEST(Channel, FifoAmongMultipleReceivers) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<std::pair<int, int>> got;  // (receiver, value)
+  for (int r = 0; r < 3; ++r) {
+    sim.spawn([](Channel<int>& c, std::vector<std::pair<int, int>>& out,
+                 int r) -> Task<> {
+      const int v = co_await c.receive();
+      out.emplace_back(r, v);
+    }(ch, got, r));
+  }
+  sim.spawn([](Channel<int>& c, Simulator& s) -> Task<> {
+    co_await s.delay(1);
+    c.send(100);
+    c.send(200);
+    c.send(300);
+  }(ch, sim));
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  // Receivers registered 0,1,2 get values in FIFO order.
+  EXPECT_EQ(got[0], (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{1, 200}));
+  EXPECT_EQ(got[2], (std::pair<int, int>{2, 300}));
+}
+
+TEST(Channel, TryReceive) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_FALSE(ch.try_receive().has_value());
+  ch.send(5);
+  auto v = ch.try_receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int active = 0, peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim.spawn([](Simulator& s, Semaphore& sm, int& act, int& pk) -> Task<> {
+      co_await sm.acquire();
+      ++act;
+      pk = std::max(pk, act);
+      co_await s.delay(10);
+      --act;
+      sm.release();
+    }(sim, sem, active, peak));
+  }
+  sim.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(sim.now(), 30);  // 6 jobs, 2 at a time, 10 each
+}
+
+TEST(Semaphore, FifoWakeOrder) {
+  Simulator sim;
+  Semaphore sem(sim, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Semaphore& sm, std::vector<int>& out, int i) -> Task<> {
+      co_await sm.acquire();
+      out.push_back(i);
+    }(sem, order, i));
+  }
+  sim.spawn([](Simulator& s, Semaphore& sm) -> Task<> {
+    co_await s.delay(5);
+    sm.release(4);
+  }(sim, sem));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Barrier, ReleasesAllPartiesTogether) {
+  Simulator sim;
+  Barrier bar(sim, 3);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Simulator& s, Barrier& b, std::vector<SimTime>& out,
+                 int i) -> Task<> {
+      co_await s.delay(i * 10);  // staggered arrivals at 0, 10, 20
+      co_await b.arrive_and_wait();
+      out.push_back(s.now());
+    }(sim, bar, times, i));
+  }
+  sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  for (auto t : times) EXPECT_EQ(t, 20);
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Simulator sim;
+  Barrier bar(sim, 2);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Simulator& s, Barrier& b, std::vector<SimTime>& out,
+                 int i) -> Task<> {
+      for (int round = 0; round < 3; ++round) {
+        co_await s.delay(i == 0 ? 1 : 3);
+        co_await b.arrive_and_wait();
+        if (i == 0) out.push_back(s.now());
+      }
+    }(sim, bar, times, i));
+  }
+  sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  // Every round completes when the slower party (3 ticks) arrives.
+  EXPECT_EQ(times[0], 3);
+  EXPECT_EQ(times[1], 6);
+  EXPECT_EQ(times[2], 9);
+}
+
+TEST(OneShotEvent, WaitBeforeAndAfterSet) {
+  Simulator sim;
+  OneShotEvent ev(sim);
+  std::vector<SimTime> times;
+  sim.spawn([](Simulator& s, OneShotEvent& e,
+               std::vector<SimTime>& out) -> Task<> {
+    co_await e.wait();  // waits for set at t=7
+    out.push_back(s.now());
+    co_await e.wait();  // already set: immediate
+    out.push_back(s.now());
+  }(sim, ev, times));
+  sim.spawn([](Simulator& s, OneShotEvent& e) -> Task<> {
+    co_await s.delay(7);
+    e.set();
+  }(sim, ev));
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{7, 7}));
+}
+
+
+
+TEST(WhenAll, CompletesWhenSlowestFinishes) {
+  Simulator sim;
+  int done = 0;
+  SimTime finished = -1;
+  sim.spawn([](Simulator& s, int& done, SimTime& finished) -> Task<> {
+    std::vector<Task<>> tasks;
+    for (int delay : {5, 30, 10}) {
+      tasks.push_back([](Simulator& s2, int& d, int delay) -> Task<> {
+        co_await s2.delay(delay);
+        ++d;
+      }(s, done, delay));
+    }
+    co_await when_all(s, std::move(tasks));
+    finished = s.now();
+  }(sim, done, finished));
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(finished, 30);
+}
+
+TEST(WhenAll, EmptySetCompletesImmediately) {
+  Simulator sim;
+  SimTime finished = -1;
+  sim.spawn([](Simulator& s, SimTime& finished) -> Task<> {
+    co_await when_all(s, {});
+    finished = s.now();
+  }(sim, finished));
+  sim.run();
+  EXPECT_EQ(finished, 0);
+}
+
+TEST(OneShotEvent, WaitForReturnsTrueWhenEventWins) {
+  Simulator sim;
+  OneShotEvent ev(sim);
+  bool fired = false;
+  SimTime when = -1;
+  sim.spawn([](Simulator& s, OneShotEvent& e, bool& fired,
+               SimTime& when) -> Task<> {
+    fired = co_await e.wait_for(100);
+    when = s.now();
+  }(sim, ev, fired, when));
+  sim.call_at(30, [&ev] { ev.set(); });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(when, 30);
+}
+
+TEST(OneShotEvent, WaitForReturnsFalseOnTimeout) {
+  Simulator sim;
+  OneShotEvent ev(sim);
+  bool fired = true;
+  SimTime when = -1;
+  sim.spawn([](Simulator& s, OneShotEvent& e, bool& fired,
+               SimTime& when) -> Task<> {
+    fired = co_await e.wait_for(100);
+    when = s.now();
+  }(sim, ev, fired, when));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(when, 100);
+}
+
+TEST(OneShotEvent, LateSetAfterTimeoutDoesNotResumeTwice) {
+  Simulator sim;
+  OneShotEvent ev(sim);
+  int resumes = 0;
+  sim.spawn([](OneShotEvent& e, int& resumes) -> Task<> {
+    (void)co_await e.wait_for(10);
+    ++resumes;
+  }(ev, resumes));
+  sim.call_at(500, [&ev] { ev.set(); });  // long after the timeout
+  sim.run();
+  EXPECT_EQ(resumes, 1);
+}
+
+TEST(OneShotEvent, WaitForOnAlreadySetEventIsImmediate) {
+  Simulator sim;
+  OneShotEvent ev(sim);
+  ev.set();
+  bool fired = false;
+  SimTime when = -1;
+  sim.spawn([](Simulator& s, OneShotEvent& e, bool& fired,
+               SimTime& when) -> Task<> {
+    fired = co_await e.wait_for(100);
+    when = s.now();
+  }(sim, ev, fired, when));
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(when, 0);
+}
+
+TEST(OneShotEvent, MixedWaitersAllServedOnSet) {
+  Simulator sim;
+  OneShotEvent ev(sim);
+  int plain = 0, timed_true = 0, timed_false = 0;
+  sim.spawn([](OneShotEvent& e, int& plain) -> Task<> {
+    co_await e.wait();
+    ++plain;
+  }(ev, plain));
+  sim.spawn([](OneShotEvent& e, int& t, int& f) -> Task<> {
+    (co_await e.wait_for(1000)) ? ++t : ++f;
+  }(ev, timed_true, timed_false));
+  sim.spawn([](OneShotEvent& e, int& t, int& f) -> Task<> {
+    (co_await e.wait_for(5)) ? ++t : ++f;  // times out before set at 50
+  }(ev, timed_true, timed_false));
+  sim.call_at(50, [&ev] { ev.set(); });
+  sim.run();
+  EXPECT_EQ(plain, 1);
+  EXPECT_EQ(timed_true, 1);
+  EXPECT_EQ(timed_false, 1);
+}
+
+TEST(CountdownLatch, ReleasesAtZero) {
+  Simulator sim;
+  CountdownLatch latch(sim, 3);
+  SimTime released = -1;
+  sim.spawn([](Simulator& s, CountdownLatch& l, SimTime& t) -> Task<> {
+    co_await l.wait();
+    t = s.now();
+  }(sim, latch, released));
+  for (int i = 1; i <= 3; ++i) {
+    sim.call_at(i * 10, [&latch] { latch.count_down(); });
+  }
+  sim.run();
+  EXPECT_EQ(released, 30);
+}
+
+TEST(CountdownLatch, ZeroCountIsImmediatelyOpen) {
+  Simulator sim;
+  CountdownLatch latch(sim, 0);
+  bool passed = false;
+  sim.spawn([](CountdownLatch& l, bool& p) -> Task<> {
+    co_await l.wait();
+    p = true;
+  }(latch, passed));
+  sim.run();
+  EXPECT_TRUE(passed);
+}
+
+}  // namespace
+}  // namespace vgpu::des

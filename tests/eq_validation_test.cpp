@@ -1,0 +1,137 @@
+// Validates the simulator against the paper's execution-model equations on
+// synthetic workloads with exactly controlled stage times:
+//
+//   Eq. 1 (Figure 4):  native sharing serializes task cycles with context
+//                      switches between them;
+//   Eq. 2 (Figure 5a / 6a, Tin >= Tout):  T = N*Tin + Tcomp + Tout;
+//   Eq. 3 (Figure 5b / 6b, Tout >  Tin):  T = N*Tout + Tcomp + Tin;
+//   Eq. 4 combines 2 and 3.
+//
+// Staging-copy modeling is disabled so the GVM run isolates the quantities
+// the equations describe.
+#include <gtest/gtest.h>
+
+#include "gvm/experiment.hpp"
+#include "model/model.hpp"
+
+namespace vgpu::gvm {
+namespace {
+
+constexpr double kH2D = 2.944e9;  // calibrated PCIe rates (spec defaults)
+constexpr double kD2H = 3.001e9;
+
+/// A kernel of ~`duration` that stays fully concurrent across 8 clients:
+/// 4 blocks at efficiency 0.1 -> total demand 3.2 of 14 SMs.
+gpu::KernelLaunch kernel_for(SimDuration duration,
+                             const gpu::DeviceSpec& spec) {
+  gpu::KernelLaunch l;
+  l.name = "synthetic";
+  l.geometry = gpu::KernelGeometry{4, 128, 16, 0};
+  l.cost.efficiency = 0.1;
+  l.cost.flops_per_thread =
+      to_seconds(duration) * spec.sm_flops() * l.cost.efficiency / 128.0;
+  return l;
+}
+
+TaskPlan plan_for(SimDuration t_in, SimDuration t_comp, SimDuration t_out,
+                  const gpu::DeviceSpec& spec) {
+  TaskPlan plan;
+  plan.bytes_in = static_cast<Bytes>(to_seconds(t_in) * kH2D);
+  plan.bytes_out = static_cast<Bytes>(to_seconds(t_out) * kD2H);
+  plan.kernels = {kernel_for(t_comp, spec)};
+  return plan;
+}
+
+GvmConfig eq_config() {
+  GvmConfig config;
+  config.model_staging_copies = false;  // the equations ignore staging
+  config.poll_interval = microseconds(5.0);
+  return config;
+}
+
+void expect_close(SimDuration actual, SimDuration expected,
+                  double tolerance = 0.03) {
+  EXPECT_NEAR(static_cast<double>(actual), static_cast<double>(expected),
+              tolerance * static_cast<double>(expected));
+}
+
+TEST(EqValidation, Eq2InputDominatedPipeline) {
+  // Tin = 20 ms > Tout = 10 ms, Tcomp = 50 ms, N = 6:
+  // T = 6*20 + 50 + 10 = 180 ms (Figure 5a staircase).
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  const TaskPlan plan = plan_for(milliseconds(20.0), milliseconds(50.0),
+                                 milliseconds(10.0), spec);
+  const RunResult r = run_virtualized(spec, eq_config(), plan, 1, 6);
+  expect_close(r.turnaround, milliseconds(180.0));
+}
+
+TEST(EqValidation, Eq3OutputDominatedPipeline) {
+  // Tin = 10 ms < Tout = 25 ms, Tcomp = 50 ms, N = 6:
+  // T = 6*25 + 50 + 10 = 210 ms (Figure 5b: computes wait on retrieves).
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  const TaskPlan plan = plan_for(milliseconds(10.0), milliseconds(50.0),
+                                 milliseconds(25.0), spec);
+  const RunResult r = run_virtualized(spec, eq_config(), plan, 1, 6);
+  expect_close(r.turnaround, milliseconds(210.0));
+}
+
+TEST(EqValidation, Eq4ComputeDominatedIsFlat) {
+  // Negligible I/O, Tcomp = 100 ms, N = 8: T ~ Tcomp.
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  TaskPlan plan;
+  plan.kernels = {kernel_for(milliseconds(100.0), spec)};
+  const RunResult r = run_virtualized(spec, eq_config(), plan, 1, 8);
+  expect_close(r.turnaround, milliseconds(100.0));
+}
+
+TEST(EqValidation, Eq4MatchesModelAcrossProcessCounts) {
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  const SimDuration t_in = milliseconds(15.0);
+  const SimDuration t_comp = milliseconds(40.0);
+  const SimDuration t_out = milliseconds(8.0);
+  const TaskPlan plan = plan_for(t_in, t_comp, t_out, spec);
+  model::ExecutionProfile p;
+  p.t_data_in = t_in;
+  p.t_comp = t_comp;
+  p.t_data_out = t_out;
+  for (int n = 1; n <= 8; ++n) {
+    const RunResult r = run_virtualized(spec, eq_config(), plan, 1, n);
+    expect_close(r.turnaround, model::total_time_virtualized(p, n), 0.04);
+  }
+}
+
+TEST(EqValidation, Eq1NativeSerializationStructure) {
+  // Native sharing: the DES matches Eq. 1 up to the create/compute overlap
+  // it legitimately models (context creations proceed while earlier
+  // processes already execute), which Eq. 1's serial-init assumption lacks.
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  const SimDuration t_in = milliseconds(12.0);
+  const SimDuration t_comp = milliseconds(30.0);
+  const SimDuration t_out = milliseconds(6.0);
+  const TaskPlan plan = plan_for(t_in, t_comp, t_out, spec);
+  model::ExecutionProfile p;
+  p.t_init = spec.device_init_time + 4 * spec.ctx_create_time;
+  p.t_ctx_switch = spec.ctx_switch_time;
+  p.t_data_in = t_in;
+  p.t_comp = t_comp;
+  p.t_data_out = t_out;
+  const SimDuration eq1 = model::total_time_no_virtualization(p, 4);
+  const RunResult r = run_baseline(spec, plan, 1, 4);
+  EXPECT_LE(r.turnaround, eq1);
+  // The overlap can hide at most the last N-1 context creations.
+  EXPECT_GE(r.turnaround, eq1 - 4 * spec.ctx_create_time);
+}
+
+TEST(EqValidation, Eq1SlopeIsCyclePlusSwitch) {
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  const TaskPlan plan = plan_for(milliseconds(12.0), milliseconds(30.0),
+                                 milliseconds(6.0), spec);
+  const RunResult r5 = run_baseline(spec, plan, 1, 5);
+  const RunResult r7 = run_baseline(spec, plan, 1, 7);
+  const double slope = to_ms(r7.turnaround - r5.turnaround) / 2.0;
+  // Eq. 1 slope: Tctx + Tin + Tcomp + Tout = 185 + 48 = 233 ms.
+  EXPECT_NEAR(slope, 233.0, 8.0);
+}
+
+}  // namespace
+}  // namespace vgpu::gvm

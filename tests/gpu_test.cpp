@@ -1,0 +1,589 @@
+// Unit tests for the simulated Fermi device: occupancy, cost model, memory
+// allocator, context arbitration, copy engines, concurrent kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/sim.hpp"
+#include "gpu/cost.hpp"
+#include "gpu/device.hpp"
+#include "gpu/memory.hpp"
+#include "gpu/occupancy.hpp"
+#include "gpu/spec.hpp"
+
+namespace vgpu::gpu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Occupancy
+// ---------------------------------------------------------------------------
+
+TEST(Occupancy, WarpLimited256Threads) {
+  const DeviceSpec spec = tesla_c2070();
+  KernelGeometry g{/*grid*/ 100, /*threads*/ 256, /*regs*/ 20, /*shmem*/ 0};
+  const Occupancy occ = compute_occupancy(spec, g);
+  EXPECT_EQ(occ.blocks_per_sm, 6);  // 48 warps / 8 warps-per-block
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kWarps);
+  EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+  EXPECT_EQ(occ.device_blocks(spec), 6 * 14);
+}
+
+TEST(Occupancy, LargeBlocksGetOnePerSm) {
+  const DeviceSpec spec = tesla_c2070();
+  KernelGeometry g{10, 1024, 20, 0};
+  const Occupancy occ = compute_occupancy(spec, g);
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_EQ(occ.warps_per_block, 32);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const DeviceSpec spec = tesla_c2070();
+  KernelGeometry g{10, 64, 16, 24 * kKiB};
+  const Occupancy occ = compute_occupancy(spec, g);
+  EXPECT_EQ(occ.blocks_per_sm, 2);  // 48 KiB / 24 KiB
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMem);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const DeviceSpec spec = tesla_c2070();
+  KernelGeometry g{10, 256, 63, 0};
+  const Occupancy occ = compute_occupancy(spec, g);
+  EXPECT_EQ(occ.blocks_per_sm, 2);  // 32768 / (63 * 256) = 2
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+}
+
+TEST(Occupancy, BlockCapLimited) {
+  const DeviceSpec spec = tesla_c2070();
+  KernelGeometry g{10, 32, 8, 0};  // tiny blocks
+  const Occupancy occ = compute_occupancy(spec, g);
+  EXPECT_EQ(occ.blocks_per_sm, 8);  // Fermi hard cap
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kBlocks);
+}
+
+TEST(Occupancy, WavesAndFillsDevice) {
+  const DeviceSpec spec = tesla_c2070();
+  KernelGeometry g{200, 256, 20, 0};  // 84 blocks resident
+  const Occupancy occ = compute_occupancy(spec, g);
+  EXPECT_EQ(occ.waves(spec, 200), 3);  // ceil(200 / 84)
+  EXPECT_TRUE(occ.fills_device(spec, 200));
+  EXPECT_FALSE(occ.fills_device(spec, 50));
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+DeviceSpec simple_spec() {
+  DeviceSpec spec = tesla_c2070();
+  spec.name = "unit-test device";
+  spec.sm_count = 4;
+  spec.sp_per_sm = 32;
+  spec.core_clock_ghz = 1.0;
+  spec.flops_per_sp_per_cycle = 1.0;  // device_flops = 128 GF
+  spec.dram_bw = gb_per_s(100.0);
+  spec.dram_efficiency = 1.0;
+  spec.kernel_launch_overhead = 0;
+  spec.memcpy_setup_time = 0;
+  return spec;
+}
+
+KernelLaunch make_launch(long grid, int threads, double flops,
+                         double bytes) {
+  KernelLaunch l;
+  l.name = "test";
+  l.geometry = KernelGeometry{grid, threads, 16, 0};
+  l.cost = KernelCost{flops, bytes, 1.0};
+  return l;
+}
+
+TEST(Cost, ComputeBoundFullDeviceChunk) {
+  const DeviceSpec spec = simple_spec();
+  // 256-thread blocks: 6/SM on Fermi limits; 4 SMs -> 24 blocks resident.
+  const KernelLaunch l = make_launch(24, 256, 1e6, 0.0);
+  const Occupancy occ = compute_occupancy(spec, l.geometry);
+  ASSERT_EQ(occ.blocks_per_sm, 6);
+  // Full wave: share = 1; t = 24 blocks * 256 thr * 1e6 flops / 128 GF.
+  const double expect_s = 24.0 * 256.0 * 1e6 / 128e9;
+  const SimDuration t = chunk_duration(spec, l, 24, 24.0, 24);
+  EXPECT_NEAR(to_seconds(t), expect_s, expect_s * 1e-9);
+}
+
+TEST(Cost, SmallGridRunsAtPerSmSpeed) {
+  const DeviceSpec spec = simple_spec();
+  // 2 blocks on a 4-SM device: below saturation, each block runs at its
+  // natural (full-SM) rate.
+  const KernelLaunch l = make_launch(2, 256, 1e6, 0.0);
+  const SimDuration t = chunk_duration(spec, l, 2, 2.0, 2);
+  const double expect_s = 256.0 * 1e6 / 32e9;  // block flops / SM rate
+  EXPECT_NEAR(to_seconds(t), expect_s, expect_s * 1e-9);
+}
+
+TEST(Cost, MemoryBoundChunkUsesDramBandwidth) {
+  const DeviceSpec spec = simple_spec();
+  // 24 blocks fully resident, 4 KB per thread: mem-bound.
+  const KernelLaunch l = make_launch(24, 256, 1.0, 4096.0);
+  const SimDuration t = chunk_duration(spec, l, 24, 24.0, 24);
+  const double bytes = 24.0 * 256.0 * 4096.0;
+  EXPECT_NEAR(to_seconds(t), bytes / 100e9, 1e-9);
+}
+
+TEST(Cost, SaturationSlowsChunk) {
+  const DeviceSpec spec = simple_spec();
+  const KernelLaunch l = make_launch(24, 256, 1e6, 0.0);
+  // Same chunk, but co-resident with an equal-demand competitor.
+  const SimDuration alone = chunk_duration(spec, l, 12, 12.0, 12);
+  const SimDuration contended = chunk_duration(spec, l, 12, 24.0, 24);
+  EXPECT_GT(contended, alone);
+  EXPECT_NEAR(static_cast<double>(contended) / static_cast<double>(alone),
+              2.0, 0.01);
+}
+
+TEST(Cost, SoloKernelSumsWaves) {
+  const DeviceSpec spec = simple_spec();
+  // 48 blocks = exactly 2 full waves of 24.
+  const KernelLaunch l = make_launch(48, 256, 1e6, 0.0);
+  const SimDuration two_waves = solo_kernel_duration(spec, l);
+  const KernelLaunch half = make_launch(24, 256, 1e6, 0.0);
+  const SimDuration one_wave = solo_kernel_duration(spec, half);
+  EXPECT_NEAR(static_cast<double>(two_waves),
+              2.0 * static_cast<double>(one_wave), 10.0);
+}
+
+TEST(Cost, ChunkDurationNeverZero) {
+  const DeviceSpec spec = simple_spec();
+  const KernelLaunch l = make_launch(1, 32, 1.0, 0.0);
+  const SimDuration t = chunk_duration(spec, l, 1, 1.0, 1);
+  EXPECT_GE(t, 1);
+}
+
+TEST(Cost, HostSerialTimeAddsToSoloDuration) {
+  const DeviceSpec spec = simple_spec();
+  KernelLaunch l = make_launch(24, 256, 1e6, 0.0);
+  const SimDuration base = solo_kernel_duration(spec, l);
+  l.host_serial_time = milliseconds(25.0);
+  EXPECT_EQ(solo_kernel_duration(spec, l) - base, milliseconds(25.0));
+}
+
+// ---------------------------------------------------------------------------
+// Device memory allocator
+// ---------------------------------------------------------------------------
+
+TEST(Allocator, AllocateFreeReuse) {
+  DeviceMemoryAllocator alloc(1 * kMiB);
+  auto a = alloc.allocate(1000);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(alloc.used(), 1024);  // rounded to 256
+  auto b = alloc.allocate(2000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  ASSERT_TRUE(alloc.free(*a).ok());
+  auto c = alloc.allocate(500);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // first fit reuses the hole
+}
+
+TEST(Allocator, OutOfMemory) {
+  DeviceMemoryAllocator alloc(4096);
+  auto a = alloc.allocate(4096);
+  ASSERT_TRUE(a.ok());
+  auto b = alloc.allocate(1);
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), ErrorCode::kOutOfMemory);
+}
+
+TEST(Allocator, CoalescingMergesNeighbors) {
+  DeviceMemoryAllocator alloc(64 * kKiB);
+  std::vector<DevPtr> ptrs;
+  for (int i = 0; i < 8; ++i) {
+    auto p = alloc.allocate(4096);
+    ASSERT_TRUE(p.ok());
+    ptrs.push_back(*p);
+  }
+  // Free in an interleaved order; everything must coalesce back to one
+  // extent.
+  for (int i : {1, 3, 5, 7, 0, 2, 4, 6}) {
+    ASSERT_TRUE(alloc.free(ptrs[static_cast<std::size_t>(i)]).ok());
+  }
+  EXPECT_EQ(alloc.used(), 0);
+  EXPECT_EQ(alloc.free_extents(), 1u);
+  // A full-capacity allocation must now succeed.
+  EXPECT_TRUE(alloc.allocate(64 * kKiB).ok());
+}
+
+TEST(Allocator, DoubleFreeRejected) {
+  DeviceMemoryAllocator alloc(1 * kMiB);
+  auto a = alloc.allocate(100);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(alloc.free(*a).ok());
+  EXPECT_EQ(alloc.free(*a).code(), ErrorCode::kNotFound);
+}
+
+TEST(Allocator, FragmentationThenCompactionViaCoalesce) {
+  DeviceMemoryAllocator alloc(10 * 256);
+  auto a = alloc.allocate(256);
+  auto b = alloc.allocate(256);
+  auto c = alloc.allocate(256);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(alloc.free(*b).ok());
+  // 256-byte hole exists but 512 does not fit there; it comes from the tail.
+  auto d = alloc.allocate(512);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(*d, *c);
+}
+
+// ---------------------------------------------------------------------------
+// Device behaviour
+// ---------------------------------------------------------------------------
+
+DeviceSpec fast_spec() {
+  DeviceSpec spec = simple_spec();
+  spec.device_init_time = milliseconds(100.0);
+  spec.ctx_create_time = milliseconds(10.0);
+  spec.ctx_switch_time = milliseconds(50.0);
+  spec.pcie_h2d_pinned = gb_per_s(1.0);
+  spec.pcie_d2h_pinned = gb_per_s(1.0);
+  return spec;
+}
+
+TEST(Device, DriverInitPaidOnce) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Device& d, des::Simulator& s,
+                 std::vector<SimTime>& out) -> des::Task<> {
+      (void)co_await d.create_context();
+      out.push_back(s.now());
+    }(dev, sim, done));
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  // init (100 ms) paid once, then three serialized 10 ms creations.
+  EXPECT_EQ(done[0], milliseconds(110.0));
+  EXPECT_EQ(done[1], milliseconds(120.0));
+  EXPECT_EQ(done[2], milliseconds(130.0));
+  EXPECT_EQ(dev.stats().ctx_creates, 3);
+}
+
+TEST(Device, ContextSwitchChargedBetweenContexts) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());
+  SimTime end = 0;
+  sim.spawn([](Device& d, des::Simulator& s, SimTime& out) -> des::Task<> {
+    const ContextId c1 = co_await d.create_context();
+    const ContextId c2 = co_await d.create_context();
+    // Process 1 task on c1, then process 2 task on c2.
+    co_await d.copy(c1, Direction::kHostToDevice, 1000000, true);
+    co_await d.copy(c2, Direction::kHostToDevice, 1000000, true);
+    out = s.now();
+  }(dev, sim, end));
+  sim.run();
+  EXPECT_EQ(dev.stats().ctx_switches, 1);
+  // init 100 + create 20 + copy 1 ms + switch 50 + copy 1 ms (+ 2 ns grace).
+  const SimTime expect = milliseconds(100.0 + 20.0 + 1.0 + 50.0 + 1.0);
+  EXPECT_NEAR(static_cast<double>(end), static_cast<double>(expect), 100.0);
+}
+
+TEST(Device, StickyContextAvoidsMidTaskSwitch) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());
+  // Two processes, each: H2D -> kernel -> D2H on its own context. The
+  // device must switch exactly once (after P1's full task), not per-op.
+  std::vector<ContextId> ctxs(2);
+  des::Barrier ready(sim, 2);
+  for (int p = 0; p < 2; ++p) {
+    sim.spawn([](Device& d, des::Barrier& bar,
+                 std::vector<ContextId>& ctxs, int p) -> des::Task<> {
+      ctxs[static_cast<std::size_t>(p)] = co_await d.create_context();
+      co_await bar.arrive_and_wait();  // start tasks simultaneously
+      const ContextId ctx = ctxs[static_cast<std::size_t>(p)];
+      co_await d.copy(ctx, Direction::kHostToDevice, 500000, true);
+      KernelLaunch l;
+      l.name = "t";
+      l.geometry = KernelGeometry{8, 256, 16, 0};
+      l.cost = KernelCost{1e5, 0.0, 1.0};
+      co_await d.launch_kernel(ctx, l);
+      co_await d.copy(ctx, Direction::kDeviceToHost, 500000, true);
+    }(dev, ready, ctxs, p));
+  }
+  sim.run();
+  EXPECT_EQ(dev.stats().ctx_switches, 1);
+}
+
+TEST(Device, SameContextKernelsRunConcurrently) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());
+  SimTime end = 0;
+  // Two small kernels (2 blocks each on a 4-SM device) from one context:
+  // they fit side by side, so total time ~= one kernel time.
+  sim.spawn([](Device& d, des::Simulator& s, SimTime& out) -> des::Task<> {
+    const ContextId ctx = co_await d.create_context();
+    const SimTime start = s.now();
+    KernelLaunch l;
+    l.name = "small";
+    l.geometry = KernelGeometry{2, 256, 16, 0};
+    l.cost = KernelCost{1e6, 0.0, 1.0};
+    des::CountdownLatch latch(s, 2);
+    for (int i = 0; i < 2; ++i) {
+      s.spawn([](Device& d, ContextId ctx, KernelLaunch l,
+                 des::CountdownLatch& latch) -> des::Task<> {
+        co_await d.launch_kernel(ctx, l);
+        latch.count_down();
+      }(d, ctx, l, latch));
+    }
+    co_await latch.wait();
+    out = s.now() - start;
+  }(dev, sim, end));
+  sim.run();
+  EXPECT_EQ(dev.stats().max_open_kernels, 2);
+  // Each kernel alone: 256 thr * 1e6 flops / 32 GF(SM rate) = 8 ms.
+  const double one = 256.0 * 1e6 / 32e9;
+  EXPECT_LT(to_seconds(end), 1.5 * one);
+}
+
+TEST(Device, CrossContextKernelsSerialize) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());
+  SimTime end = 0;
+  sim.spawn([](Device& d, des::Simulator& s, SimTime& out) -> des::Task<> {
+    const ContextId c1 = co_await d.create_context();
+    const ContextId c2 = co_await d.create_context();
+    const SimTime start = s.now();
+    KernelLaunch l;
+    l.name = "small";
+    l.geometry = KernelGeometry{2, 256, 16, 0};
+    l.cost = KernelCost{1e6, 0.0, 1.0};
+    des::CountdownLatch latch(s, 2);
+    s.spawn([](Device& d, ContextId ctx, KernelLaunch l,
+               des::CountdownLatch& latch) -> des::Task<> {
+      co_await d.launch_kernel(ctx, l);
+      latch.count_down();
+    }(d, c1, l, latch));
+    s.spawn([](Device& d, ContextId ctx, KernelLaunch l,
+               des::CountdownLatch& latch) -> des::Task<> {
+      co_await d.launch_kernel(ctx, l);
+      latch.count_down();
+    }(d, c2, l, latch));
+    co_await latch.wait();
+    out = s.now() - start;
+  }(dev, sim, end));
+  sim.run();
+  EXPECT_EQ(dev.stats().max_open_kernels, 1);
+  EXPECT_EQ(dev.stats().ctx_switches, 1);
+  const double one = 256.0 * 1e6 / 32e9;
+  // Serial: two kernels + one 50 ms switch.
+  EXPECT_GT(to_seconds(end), 2.0 * one + 0.049);
+}
+
+TEST(Device, ConcurrentKernelCapRespected) {
+  des::Simulator sim;
+  DeviceSpec spec = fast_spec();
+  spec.max_concurrent_kernels = 4;
+  Device dev(sim, spec);
+  sim.spawn([](Device& d, des::Simulator& s) -> des::Task<> {
+    const ContextId ctx = co_await d.create_context();
+    KernelLaunch l;
+    l.name = "tiny";
+    l.geometry = KernelGeometry{1, 32, 8, 0};
+    l.cost = KernelCost{1e5, 0.0, 1.0};
+    des::CountdownLatch latch(s, 10);
+    for (int i = 0; i < 10; ++i) {
+      s.spawn([](Device& d, ContextId ctx, KernelLaunch l,
+                 des::CountdownLatch& latch) -> des::Task<> {
+        co_await d.launch_kernel(ctx, l);
+        latch.count_down();
+      }(d, ctx, l, latch));
+    }
+    co_await latch.wait();
+  }(dev, sim));
+  sim.run();
+  EXPECT_LE(dev.stats().max_open_kernels, 4);
+  EXPECT_EQ(dev.stats().kernels_completed, 10);
+}
+
+TEST(Device, CopyEnginesOverlapOppositeDirections) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());  // 2 engines, 1 GB/s each way
+  SimTime end = 0;
+  sim.spawn([](Device& d, des::Simulator& s, SimTime& out) -> des::Task<> {
+    const ContextId ctx = co_await d.create_context();
+    const SimTime start = s.now();
+    des::CountdownLatch latch(s, 2);
+    s.spawn([](Device& d, ContextId ctx, des::CountdownLatch& l) -> des::Task<> {
+      co_await d.copy(ctx, Direction::kHostToDevice, 100 * kMB, true);
+      l.count_down();
+    }(d, ctx, latch));
+    s.spawn([](Device& d, ContextId ctx, des::CountdownLatch& l) -> des::Task<> {
+      co_await d.copy(ctx, Direction::kDeviceToHost, 100 * kMB, true);
+      l.count_down();
+    }(d, ctx, latch));
+    co_await latch.wait();
+    out = s.now() - start;
+  }(dev, sim, end));
+  sim.run();
+  // Each copy takes 100 ms at 1 GB/s; overlapped they finish in ~100 ms.
+  EXPECT_LT(to_ms(end), 120.0);
+}
+
+TEST(Device, SingleCopyEngineSerializesDirections) {
+  des::Simulator sim;
+  DeviceSpec spec = fast_spec();
+  spec.copy_engines = 1;
+  Device dev(sim, spec);
+  SimTime end = 0;
+  sim.spawn([](Device& d, des::Simulator& s, SimTime& out) -> des::Task<> {
+    const ContextId ctx = co_await d.create_context();
+    const SimTime start = s.now();
+    des::CountdownLatch latch(s, 2);
+    s.spawn([](Device& d, ContextId ctx, des::CountdownLatch& l) -> des::Task<> {
+      co_await d.copy(ctx, Direction::kHostToDevice, 100 * kMB, true);
+      l.count_down();
+    }(d, ctx, latch));
+    s.spawn([](Device& d, ContextId ctx, des::CountdownLatch& l) -> des::Task<> {
+      co_await d.copy(ctx, Direction::kDeviceToHost, 100 * kMB, true);
+      l.count_down();
+    }(d, ctx, latch));
+    co_await latch.wait();
+    out = s.now() - start;
+  }(dev, sim, end));
+  sim.run();
+  EXPECT_GT(to_ms(end), 195.0);
+}
+
+TEST(Device, SameDirectionCopiesSerialize) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());
+  SimTime end = 0;
+  sim.spawn([](Device& d, des::Simulator& s, SimTime& out) -> des::Task<> {
+    const ContextId ctx = co_await d.create_context();
+    const SimTime start = s.now();
+    des::CountdownLatch latch(s, 2);
+    for (int i = 0; i < 2; ++i) {
+      s.spawn([](Device& d, ContextId ctx,
+                 des::CountdownLatch& l) -> des::Task<> {
+        co_await d.copy(ctx, Direction::kHostToDevice, 100 * kMB, true);
+        l.count_down();
+      }(d, ctx, latch));
+    }
+    co_await latch.wait();
+    out = s.now() - start;
+  }(dev, sim, end));
+  sim.run();
+  EXPECT_GT(to_ms(end), 195.0);  // paper assumption: no intra-direction overlap
+}
+
+TEST(Device, PageablePaysPenalty) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());
+  SimDuration pinned_t = 0, pageable_t = 0;
+  sim.spawn([](Device& d, des::Simulator& s, SimDuration& pt,
+               SimDuration& gt) -> des::Task<> {
+    const ContextId ctx = co_await d.create_context();
+    SimTime t0 = s.now();
+    co_await d.copy(ctx, Direction::kHostToDevice, 100 * kMB, true);
+    pt = s.now() - t0;
+    t0 = s.now();
+    co_await d.copy(ctx, Direction::kHostToDevice, 100 * kMB, false);
+    gt = s.now() - t0;
+  }(dev, sim, pinned_t, pageable_t));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(pageable_t) / static_cast<double>(pinned_t),
+              1.8, 0.01);
+}
+
+TEST(Device, NoOverlapDeviceSerializesCopyAndKernel) {
+  des::Simulator sim;
+  DeviceSpec spec = fast_spec();
+  spec.concurrent_copy_and_exec = false;
+  spec.max_concurrent_kernels = 1;
+  Device dev(sim, spec);
+  SimTime end = 0;
+  sim.spawn([](Device& d, des::Simulator& s, SimTime& out) -> des::Task<> {
+    const ContextId ctx = co_await d.create_context();
+    const SimTime start = s.now();
+    des::CountdownLatch latch(s, 2);
+    s.spawn([](Device& d, ContextId ctx, des::CountdownLatch& l) -> des::Task<> {
+      co_await d.copy(ctx, Direction::kHostToDevice, 100 * kMB, true);
+      l.count_down();
+    }(d, ctx, latch));
+    s.spawn([](Device& d, ContextId ctx, des::CountdownLatch& l) -> des::Task<> {
+      KernelLaunch k;
+      k.name = "t";
+      k.geometry = KernelGeometry{8, 256, 16, 0};
+      k.cost = KernelCost{1e7, 0.0, 1.0};  // ~51.2 ms total (full device)
+      co_await d.launch_kernel(ctx, k);
+      l.count_down();
+    }(d, ctx, latch));
+    co_await latch.wait();
+    out = s.now() - start;
+  }(dev, sim, end));
+  sim.run();
+  // Copy 100 ms + kernel 16 ms must not overlap.
+  EXPECT_GT(to_ms(end), 112.0);
+}
+
+
+TEST(Device, ExclusiveComputeModeAdmitsOneContext) {
+  des::Simulator sim;
+  DeviceSpec spec = fast_spec();
+  spec.compute_mode = ComputeMode::kExclusive;
+  Device dev(sim, spec);
+  sim.spawn([](Device& d) -> des::Task<> {
+    const ContextId first = co_await d.create_context();
+    EXPECT_NE(first, kNullContext);
+    const ContextId second = co_await d.create_context();
+    EXPECT_EQ(second, kNullContext);  // rejected: exclusive mode
+    // Releasing the first context re-opens admission.
+    VGPU_ASSERT(d.destroy_context(first).ok());
+    const ContextId third = co_await d.create_context();
+    EXPECT_NE(third, kNullContext);
+  }(dev));
+  sim.run();
+}
+
+TEST(Device, ProhibitedComputeModeRejectsAll) {
+  des::Simulator sim;
+  DeviceSpec spec = fast_spec();
+  spec.compute_mode = ComputeMode::kProhibited;
+  Device dev(sim, spec);
+  sim.spawn([](Device& d) -> des::Task<> {
+    EXPECT_FALSE(d.context_admission().ok());
+    const ContextId ctx = co_await d.create_context();
+    EXPECT_EQ(ctx, kNullContext);
+  }(dev));
+  sim.run();
+  EXPECT_EQ(dev.stats().ctx_creates, 0);
+}
+
+TEST(Device, ComputeModeNames) {
+  EXPECT_STREQ(compute_mode_name(ComputeMode::kDefault), "Default");
+  EXPECT_STREQ(compute_mode_name(ComputeMode::kExclusive), "Exclusive");
+  EXPECT_STREQ(compute_mode_name(ComputeMode::kProhibited), "Prohibited");
+}
+
+TEST(Device, DestroyContextFreesMemory) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());
+  sim.spawn([](Device& d) -> des::Task<> {
+    const ContextId ctx = co_await d.create_context();
+    auto p1 = d.malloc_device(ctx, 10 * kMB);
+    auto p2 = d.malloc_device(ctx, 20 * kMB);
+    VGPU_ASSERT(p1.ok() && p2.ok());
+    EXPECT_GT(d.memory_used(), 0);
+    VGPU_ASSERT(d.destroy_context(ctx).ok());
+    EXPECT_EQ(d.memory_used(), 0);
+    EXPECT_FALSE(d.context_exists(ctx));
+  }(dev));
+  sim.run();
+}
+
+TEST(Device, MallocOnUnknownContextFails) {
+  des::Simulator sim;
+  Device dev(sim, fast_spec());
+  auto r = dev.malloc_device(42, 100);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace vgpu::gpu

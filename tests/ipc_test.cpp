@@ -1,0 +1,247 @@
+// Tests for the POSIX IPC substrate: shared memory, message queues, the
+// SPSC ring (including a cross-thread stress test) and the process barrier.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "ipc/mqueue.hpp"
+#include "ipc/process_barrier.hpp"
+#include "ipc/ring.hpp"
+#include "ipc/shm.hpp"
+
+namespace vgpu::ipc {
+namespace {
+
+std::string unique_name(const char* base) {
+  return std::string("/vgpu_test_") + base + "_" + std::to_string(::getpid());
+}
+
+// ---------------------------------------------------------------------------
+// SharedMemory
+// ---------------------------------------------------------------------------
+
+TEST(Shm, CreateWriteOpenRead) {
+  const std::string name = unique_name("shm1");
+  auto creator = SharedMemory::create(name, 4096);
+  ASSERT_TRUE(creator.ok()) << creator.status().to_string();
+  std::strcpy(reinterpret_cast<char*>(creator->data()), "hello vgpu");
+
+  auto opener = SharedMemory::open(name, 4096);
+  ASSERT_TRUE(opener.ok()) << opener.status().to_string();
+  EXPECT_STREQ(reinterpret_cast<const char*>(opener->data()), "hello vgpu");
+
+  // Writes through the opener are visible to the creator.
+  opener->data()[0] = std::byte{'H'};
+  EXPECT_EQ(creator->data()[0], std::byte{'H'});
+}
+
+TEST(Shm, CreatorUnlinksOnDestruction) {
+  const std::string name = unique_name("shm2");
+  {
+    auto creator = SharedMemory::create(name, 1024);
+    ASSERT_TRUE(creator.ok());
+  }
+  auto opener = SharedMemory::open(name, 1024);
+  EXPECT_FALSE(opener.ok());
+}
+
+TEST(Shm, OpenerDoesNotUnlink) {
+  const std::string name = unique_name("shm3");
+  auto creator = SharedMemory::create(name, 1024);
+  ASSERT_TRUE(creator.ok());
+  {
+    auto opener = SharedMemory::open(name, 1024);
+    ASSERT_TRUE(opener.ok());
+  }
+  auto opener2 = SharedMemory::open(name, 1024);
+  EXPECT_TRUE(opener2.ok());
+}
+
+TEST(Shm, ZeroInitialized) {
+  auto shm = SharedMemory::create(unique_name("shm4"), 8192);
+  ASSERT_TRUE(shm.ok());
+  for (std::byte b : shm->bytes()) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(Shm, InvalidSizeRejected) {
+  auto shm = SharedMemory::create(unique_name("shm5"), 0);
+  EXPECT_FALSE(shm.ok());
+  EXPECT_EQ(shm.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Shm, MoveTransfersOwnership) {
+  const std::string name = unique_name("shm6");
+  auto a = SharedMemory::create(name, 1024);
+  ASSERT_TRUE(a.ok());
+  SharedMemory b = std::move(*a);
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a->valid());
+  b.data()[0] = std::byte{42};
+}
+
+// ---------------------------------------------------------------------------
+// MessageQueue
+// ---------------------------------------------------------------------------
+
+struct TestMsg {
+  int type;
+  int client;
+  long payload;
+};
+
+TEST(Mqueue, SendReceiveRoundTrip) {
+  auto q = MessageQueue<TestMsg>::create(unique_name("mq1"));
+  ASSERT_TRUE(q.ok()) << q.status().to_string();
+  ASSERT_TRUE(q->send({1, 7, 123456789L}).ok());
+  auto msg = q->receive();
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, 1);
+  EXPECT_EQ(msg->client, 7);
+  EXPECT_EQ(msg->payload, 123456789L);
+}
+
+TEST(Mqueue, FifoOrder) {
+  auto q = MessageQueue<TestMsg>::create(unique_name("mq2"));
+  ASSERT_TRUE(q.ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q->send({i, 0, 0}).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto msg = q->receive();
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->type, i);
+  }
+}
+
+TEST(Mqueue, TimeoutOnEmptyQueue) {
+  auto q = MessageQueue<TestMsg>::create(unique_name("mq3"));
+  ASSERT_TRUE(q.ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto msg = q->receive(std::chrono::milliseconds(50));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), ErrorCode::kUnavailable);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+}
+
+TEST(Mqueue, CrossThreadDelivery) {
+  auto server = MessageQueue<TestMsg>::create(unique_name("mq4"));
+  ASSERT_TRUE(server.ok());
+  std::thread producer([&] {
+    auto client = MessageQueue<TestMsg>::open(server->name());
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(client->send({i, 0, i * 10L}).ok());
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    auto msg = server->receive(std::chrono::milliseconds(2000));
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->type, i);
+    EXPECT_EQ(msg->payload, i * 10L);
+  }
+  producer.join();
+}
+
+TEST(Mqueue, OpenNonexistentFails) {
+  auto q = MessageQueue<TestMsg>::open(unique_name("mq_nope"));
+  EXPECT_FALSE(q.ok());
+}
+
+// ---------------------------------------------------------------------------
+// SpscRing
+// ---------------------------------------------------------------------------
+
+TEST(Ring, PushPopBasics) {
+  SpscRing<int, 8> ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 7u);
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.pop(), 1);
+  EXPECT_EQ(ring.pop(), 2);
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(Ring, FullRejectsPush) {
+  SpscRing<int, 4> ring;  // capacity 3
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_TRUE(ring.push(3));
+  EXPECT_FALSE(ring.push(4));
+  EXPECT_EQ(ring.pop(), 1);
+  EXPECT_TRUE(ring.push(4));
+}
+
+TEST(Ring, WrapsAround) {
+  SpscRing<int, 4> ring;
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_TRUE(ring.push(round));
+    EXPECT_EQ(ring.pop(), round);
+  }
+}
+
+TEST(Ring, CrossThreadStress) {
+  static SpscRing<long, 1024> ring;  // static: layout-stable like in shm
+  constexpr long kCount = 200000;
+  std::thread producer([&] {
+    for (long i = 0; i < kCount; ++i) {
+      while (!ring.push(i)) std::this_thread::yield();
+    }
+  });
+  long expect = 0;
+  while (expect < kCount) {
+    auto v = ring.pop();
+    if (v.has_value()) {
+      ASSERT_EQ(*v, expect);  // FIFO, no loss, no duplication
+      ++expect;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, WorksInsideSharedMemory) {
+  using Ring = SpscRing<int, 16>;
+  auto shm = SharedMemory::create(unique_name("ring"), sizeof(Ring));
+  ASSERT_TRUE(shm.ok());
+  auto* ring = new (shm->data()) Ring();
+  EXPECT_TRUE(ring->push(99));
+  // A second mapping of the same region sees the element.
+  auto other = SharedMemory::open(shm->name(), sizeof(Ring));
+  ASSERT_TRUE(other.ok());
+  auto* view = other->as<Ring>();
+  EXPECT_EQ(view->pop(), 99);
+  ring->~Ring();
+}
+
+// ---------------------------------------------------------------------------
+// ProcessBarrier
+// ---------------------------------------------------------------------------
+
+TEST(ProcessBarrierTest, ReleasesAllThreadsTogether) {
+  ProcessBarrier barrier;
+  ASSERT_TRUE(barrier.init(4).ok());
+  std::atomic<int> arrived{0};
+  std::atomic<int> serial{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      arrived.fetch_add(1);
+      if (barrier.wait()) serial.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(arrived.load(), 4);
+  EXPECT_EQ(serial.load(), 1);  // exactly one serial thread
+  barrier.destroy();
+}
+
+}  // namespace
+}  // namespace vgpu::ipc

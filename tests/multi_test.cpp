@@ -1,0 +1,76 @@
+// Tests for the multi-GPU virtualization extension (MultiGvm).
+#include <gtest/gtest.h>
+
+#include "gvm/multi.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vgpu::gvm {
+namespace {
+
+gpu::DeviceSpec spec() { return gpu::tesla_c2070(); }
+
+TEST(MultiGvm, SingleGpuMatchesPlainVirtualizedRun) {
+  const workloads::Workload w = workloads::vector_add(5'000'000);
+  const RunResult plain =
+      run_virtualized(spec(), GvmConfig{}, w.plan, w.rounds, 4);
+  const RunResult multi =
+      run_virtualized_multi({spec()}, GvmConfig{}, w.plan, w.rounds, 4);
+  EXPECT_EQ(plain.turnaround, multi.turnaround);
+}
+
+TEST(MultiGvm, TwoGpusHalveDeviceFillingWork) {
+  const workloads::Workload w = workloads::matmul(1024);
+  const RunResult one =
+      run_virtualized_multi({spec()}, GvmConfig{}, w.plan, w.rounds, 8);
+  const RunResult two = run_virtualized_multi({spec(), spec()}, GvmConfig{},
+                                              w.plan, w.rounds, 8);
+  const double ratio = static_cast<double>(one.turnaround) /
+                       static_cast<double>(two.turnaround);
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 2.3);
+}
+
+TEST(MultiGvm, LatencyBoundWorkGainsNothingFromMoreGpus) {
+  const workloads::Workload w = workloads::npb_ep(24);
+  const RunResult one =
+      run_virtualized_multi({spec()}, GvmConfig{}, w.plan, w.rounds, 8);
+  const RunResult two = run_virtualized_multi({spec(), spec()}, GvmConfig{},
+                                              w.plan, w.rounds, 8);
+  EXPECT_NEAR(static_cast<double>(two.turnaround),
+              static_cast<double>(one.turnaround),
+              0.02 * static_cast<double>(one.turnaround));
+}
+
+TEST(MultiGvm, OneContextPerDeviceNoSwitches) {
+  const workloads::Workload w = workloads::vector_add(2'000'000);
+  const RunResult r = run_virtualized_multi({spec(), spec(), spec()},
+                                            GvmConfig{}, w.plan, w.rounds, 6);
+  EXPECT_EQ(r.device.ctx_creates, 3);   // one GVM context per device
+  EXPECT_EQ(r.device.ctx_switches, 0);
+  // 6 clients x (REQ,SND,STR,STP...,RCV,RLS); STP may repeat (WAIT polls).
+  EXPECT_GE(r.gvm.requests, 6 * 6);
+}
+
+TEST(MultiGvm, UnevenClientSplitStillCompletes) {
+  const workloads::Workload w = workloads::vector_add(1'000'000);
+  // 5 clients over 2 devices: 3 + 2.
+  const RunResult r = run_virtualized_multi({spec(), spec()}, GvmConfig{},
+                                            w.plan, w.rounds, 5);
+  EXPECT_GT(r.turnaround, 0);
+  EXPECT_EQ(r.device.kernels_completed, 5);
+  EXPECT_EQ(r.gvm.bytes_staged_in, 5 * w.plan.bytes_in);
+}
+
+TEST(MultiGvm, HeterogeneousDevicesWork) {
+  const workloads::Workload w = workloads::npb_ep(22);
+  const RunResult r = run_virtualized_multi(
+      {spec(), gpu::tesla_c1060()}, GvmConfig{}, w.plan, w.rounds, 4);
+  EXPECT_EQ(r.device.kernels_completed, 4);
+  // The C1060 runs EP slower; turnaround is bounded by the slower device.
+  const RunResult fermi_only =
+      run_virtualized_multi({spec()}, GvmConfig{}, w.plan, w.rounds, 4);
+  EXPECT_GE(r.turnaround, fermi_only.turnaround);
+}
+
+}  // namespace
+}  // namespace vgpu::gvm

@@ -1,0 +1,334 @@
+// Property-based tests: parameterized sweeps over seeds and configurations
+// checking invariants of the model, the DES engine, the device and the GVM
+// rather than specific values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "des/channel.hpp"
+#include "des/sim.hpp"
+#include "des/sync.hpp"
+#include "gpu/cost.hpp"
+#include "gpu/device.hpp"
+#include "gvm/experiment.hpp"
+#include "model/model.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vgpu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Analytical model properties (random profiles)
+// ---------------------------------------------------------------------------
+
+class ModelProperty : public ::testing::TestWithParam<int> {};
+
+model::ExecutionProfile random_profile(Rng& rng) {
+  model::ExecutionProfile p;
+  p.name = "random";
+  p.t_init = milliseconds(rng.uniform(0.0, 3000.0));
+  p.t_ctx_switch = milliseconds(rng.uniform(0.0, 400.0));
+  p.t_data_in = milliseconds(rng.uniform(0.001, 500.0));
+  p.t_comp = milliseconds(rng.uniform(0.0, 5000.0));
+  p.t_data_out = milliseconds(rng.uniform(0.001, 500.0));
+  return p;
+}
+
+TEST_P(ModelProperty, VirtualizedTimeNeverExceedsNative) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const model::ExecutionProfile p = random_profile(rng);
+    for (int n : {1, 2, 5, 8, 33, 128}) {
+      EXPECT_LE(model::total_time_virtualized(p, n),
+                model::total_time_no_virtualization(p, n))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST_P(ModelProperty, BothTotalsMonotoneInProcessCount) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  for (int trial = 0; trial < 50; ++trial) {
+    const model::ExecutionProfile p = random_profile(rng);
+    SimDuration prev_vt = 0, prev_no = 0;
+    for (int n = 1; n <= 16; ++n) {
+      const SimDuration vt = model::total_time_virtualized(p, n);
+      const SimDuration no = model::total_time_no_virtualization(p, n);
+      EXPECT_GE(vt, prev_vt);
+      EXPECT_GE(no, prev_no);
+      prev_vt = vt;
+      prev_no = no;
+    }
+  }
+}
+
+TEST_P(ModelProperty, SpeedupConvergesToMaxSpeedup) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const model::ExecutionProfile p = random_profile(rng);
+    const double smax = model::max_speedup(p);
+    const double s_inf = model::speedup(p, 10'000'000);
+    EXPECT_NEAR(s_inf, smax, smax * 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// DES determinism (random actor soups)
+// ---------------------------------------------------------------------------
+
+class DesDeterminism : public ::testing::TestWithParam<int> {};
+
+std::pair<std::uint64_t, SimTime> run_soup(std::uint64_t seed) {
+  des::Simulator sim;
+  Rng rng(seed);
+  auto channels = std::make_shared<std::vector<
+      std::unique_ptr<des::Channel<int>>>>();
+  for (int i = 0; i < 4; ++i) {
+    channels->push_back(std::make_unique<des::Channel<int>>(sim));
+  }
+  // Producers with random schedules.
+  for (int p = 0; p < 10; ++p) {
+    const auto target = rng.next_below(4);
+    const auto delay = static_cast<SimDuration>(rng.next_below(50));
+    const int messages = 1 + static_cast<int>(rng.next_below(5));
+    sim.spawn([](des::Simulator& s,
+                 std::shared_ptr<std::vector<
+                     std::unique_ptr<des::Channel<int>>>> chans,
+                 std::size_t target, SimDuration delay,
+                 int messages) -> des::Task<> {
+      for (int m = 0; m < messages; ++m) {
+        co_await s.delay(delay);
+        (*chans)[target]->send(m);
+      }
+    }(sim, channels, target, delay, messages));
+  }
+  // Consumers drain a fixed count.
+  for (int c = 0; c < 4; ++c) {
+    sim.spawn([](std::shared_ptr<std::vector<
+                     std::unique_ptr<des::Channel<int>>>> chans,
+                 std::size_t idx) -> des::Task<> {
+      for (int i = 0; i < 3; ++i) {
+        (void)co_await (*chans)[idx]->receive();
+      }
+    }(channels, static_cast<std::size_t>(c)));
+  }
+  const SimTime end = sim.run();
+  return {sim.events_dispatched(), end};
+}
+
+TEST_P(DesDeterminism, IdenticalRunsProduceIdenticalTraces) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto first = run_soup(seed);
+  const auto second = run_soup(seed);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesDeterminism,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Occupancy and cost-model properties
+// ---------------------------------------------------------------------------
+
+class CostProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostProperty, OccupancyMonotoneInResourceDemand) {
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 7);
+  for (int trial = 0; trial < 100; ++trial) {
+    gpu::KernelGeometry g;
+    g.grid_blocks = 1 + static_cast<long>(rng.next_below(10000));
+    g.threads_per_block = 32 * (1 + static_cast<int>(rng.next_below(32)));
+    // Keep the base geometry feasible: <= 31 regs/thread fits even a
+    // 1024-thread block in the 32K register file.
+    g.regs_per_thread = 8 + static_cast<int>(rng.next_below(24));
+    g.shmem_per_block = static_cast<Bytes>(rng.next_below(32 * 1024));
+    const gpu::Occupancy base = gpu::compute_occupancy(spec, g);
+    ASSERT_GE(base.blocks_per_sm, 1);
+    EXPECT_LE(base.occupancy, 1.0);
+
+    gpu::KernelGeometry heavier = g;
+    heavier.regs_per_thread += 8;
+    heavier.shmem_per_block += 4096;
+    const gpu::Occupancy heavy = gpu::compute_occupancy(spec, heavier);
+    EXPECT_LE(heavy.blocks_per_sm, base.blocks_per_sm);
+  }
+}
+
+TEST_P(CostProperty, ChunkDurationRespectsDeviceThroughput) {
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  for (int trial = 0; trial < 100; ++trial) {
+    gpu::KernelLaunch l;
+    l.name = "prop";
+    l.geometry = gpu::KernelGeometry{
+        1 + static_cast<long>(rng.next_below(500)),
+        32 * (1 + static_cast<int>(rng.next_below(8))), 20, 0};
+    l.cost.flops_per_thread = rng.uniform(10.0, 1e7);
+    l.cost.dram_bytes_per_thread = rng.uniform(0.0, 1e4);
+    l.cost.efficiency = rng.uniform(0.01, 1.0);
+    const long n = l.geometry.grid_blocks;
+    const double eff = l.cost.efficiency;
+    const SimDuration t =
+        gpu::chunk_duration(spec, l, n, static_cast<double>(n) * eff, n);
+    // Aggregate compute rate never exceeds device peak.
+    const double flops = l.flops_per_block() * static_cast<double>(n);
+    EXPECT_LE(flops / to_seconds(t), spec.device_flops() * 1.001);
+    // Aggregate DRAM rate never exceeds effective bandwidth.
+    const double bytes = l.bytes_per_block() * static_cast<double>(n);
+    if (bytes > 0) {
+      EXPECT_LE(bytes / to_seconds(t), spec.effective_dram_bw() * 1.001);
+    }
+    // More co-residents never speeds a chunk up.
+    const SimDuration contended = gpu::chunk_duration(
+        spec, l, n, static_cast<double>(2 * n) * eff, 2 * n);
+    EXPECT_GE(contended, t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostProperty, ::testing::Values(5, 6));
+
+// ---------------------------------------------------------------------------
+// GVM end-to-end invariants over random workloads
+// ---------------------------------------------------------------------------
+
+class GvmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GvmProperty, VirtualizationInvariantsHoldOnRandomWorkloads) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 31337);
+  gpu::DeviceSpec spec = gpu::tesla_c2070();
+  for (int trial = 0; trial < 8; ++trial) {
+    gvm::TaskPlan plan;
+    plan.bytes_in = static_cast<Bytes>(rng.next_below(8 * 1024 * 1024));
+    plan.bytes_out = static_cast<Bytes>(rng.next_below(4 * 1024 * 1024));
+    const int nkernels = 1 + static_cast<int>(rng.next_below(3));
+    for (int k = 0; k < nkernels; ++k) {
+      gpu::KernelLaunch l;
+      l.name = "rand" + std::to_string(k);
+      l.geometry = gpu::KernelGeometry{
+          1 + static_cast<long>(rng.next_below(2000)),
+          32 * (1 + static_cast<int>(rng.next_below(8))),
+          8 + static_cast<int>(rng.next_below(32)), 0};
+      l.cost.flops_per_thread = rng.uniform(100.0, 1e6);
+      l.cost.dram_bytes_per_thread = rng.uniform(0.0, 100.0);
+      l.cost.efficiency = rng.uniform(0.05, 1.0);
+      plan.kernels.push_back(l);
+    }
+    const int rounds = 1 + static_cast<int>(rng.next_below(3));
+    const int nprocs = 1 + static_cast<int>(rng.next_below(8));
+
+    const gvm::RunResult base =
+        gvm::run_baseline(spec, plan, rounds, nprocs);
+    const gvm::RunResult virt = gvm::run_virtualized(
+        spec, gvm::GvmConfig{}, plan, rounds, nprocs);
+
+    // The central claim, as an invariant.
+    EXPECT_LE(virt.turnaround, base.turnaround)
+        << "trial " << trial << " nprocs " << nprocs;
+    // Single context: never a switch under the GVM.
+    EXPECT_EQ(virt.device.ctx_switches, 0);
+    // Barriered SPMD: one flush per round.
+    EXPECT_EQ(virt.gvm.flushes, rounds);
+    // Conservation: every kernel launched retires exactly once.
+    EXPECT_EQ(virt.device.kernels_completed,
+              static_cast<long>(nkernels) * rounds * nprocs);
+    // All staged bytes match the plan.
+    EXPECT_EQ(virt.gvm.bytes_staged_in,
+              plan.bytes_in * rounds * nprocs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GvmProperty, ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Device fuzz: random op storms keep internal accounting consistent
+// ---------------------------------------------------------------------------
+
+class DeviceFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeviceFuzz, RandomOpStormsLeaveDeviceConsistent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  des::Simulator sim;
+  gpu::DeviceSpec spec = gpu::tesla_c2070();
+  spec.device_init_time = milliseconds(1.0);
+  spec.ctx_create_time = milliseconds(1.0);
+  spec.ctx_switch_time = milliseconds(2.0);
+  gpu::Device dev(sim, spec);
+
+  const int nprocs = 4;
+  long launched_total = 0;
+  des::CountdownLatch done(sim, nprocs);
+  for (int p = 0; p < nprocs; ++p) {
+    const std::uint64_t seed = rng.next_u64();
+    sim.spawn([](des::Simulator&, gpu::Device& d, std::uint64_t seed,
+                 long& launched, des::CountdownLatch& done) -> des::Task<> {
+      Rng local(seed);
+      const gpu::ContextId ctx = co_await d.create_context();
+      std::vector<gpu::DevPtr> ptrs;
+      for (int op = 0; op < 30; ++op) {
+        switch (local.next_below(5)) {
+          case 0: {
+            auto ptr = d.malloc_device(ctx, 1 + static_cast<Bytes>(
+                                                local.next_below(1 << 20)));
+            if (ptr.ok()) ptrs.push_back(*ptr);
+            break;
+          }
+          case 1: {
+            if (!ptrs.empty()) {
+              VGPU_ASSERT(d.free_device(ctx, ptrs.back()).ok());
+              ptrs.pop_back();
+            }
+            break;
+          }
+          case 2: {
+            co_await d.copy(ctx, gpu::Direction::kHostToDevice,
+                            static_cast<Bytes>(local.next_below(1 << 22)),
+                            local.next_below(2) == 0);
+            break;
+          }
+          case 3: {
+            co_await d.copy(ctx, gpu::Direction::kDeviceToHost,
+                            static_cast<Bytes>(local.next_below(1 << 22)),
+                            true);
+            break;
+          }
+          default: {
+            gpu::KernelLaunch l;
+            l.name = "fuzz";
+            l.geometry = gpu::KernelGeometry{
+                1 + static_cast<long>(local.next_below(300)),
+                32 * (1 + static_cast<int>(local.next_below(8))), 16, 0};
+            l.cost.flops_per_thread = local.uniform(10.0, 1e5);
+            l.cost.efficiency = local.uniform(0.05, 1.0);
+            co_await d.launch_kernel(ctx, l);
+            ++launched;
+            break;
+          }
+        }
+      }
+      for (gpu::DevPtr ptr : ptrs) {
+        VGPU_ASSERT(d.free_device(ctx, ptr).ok());
+      }
+      done.count_down();
+      co_await done.wait();  // keep context alive until all finish
+    }(sim, dev, seed, launched_total, done));
+  }
+  sim.run();
+
+  EXPECT_EQ(dev.active_ops(), 0);
+  EXPECT_EQ(dev.open_kernels(), 0);
+  EXPECT_EQ(dev.stats().kernels_completed, launched_total);
+  EXPECT_EQ(dev.memory_used(), 0);
+  EXPECT_LE(dev.stats().max_active_cap,
+            static_cast<double>(spec.sm_count) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviceFuzz,
+                         ::testing::Values(7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace vgpu

@@ -1,0 +1,86 @@
+// Headline-reproduction regression tests: pin the paper-facing results so
+// calibration drift is caught immediately. These duplicate (cheaply) what
+// the bench binaries print, as assertions.
+#include <gtest/gtest.h>
+
+#include "gvm/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vgpu {
+namespace {
+
+double speedup_at8(const workloads::Workload& w) {
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  const auto base = gvm::run_baseline(spec, w.plan, w.rounds, 8);
+  const auto virt =
+      gvm::run_virtualized(spec, gvm::GvmConfig{}, w.plan, w.rounds, 8);
+  return static_cast<double>(base.turnaround) /
+         static_cast<double>(virt.turnaround);
+}
+
+TEST(Reproduction, TableIIProfilesMatchPaper) {
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  const auto vec = gvm::measure_profile(
+      spec, workloads::vector_add().plan, 8, "VectorAdd");
+  EXPECT_NEAR(to_ms(vec.t_init), 1519.4, 5.0);
+  EXPECT_NEAR(to_ms(vec.t_data_in), 135.87, 1.0);
+  EXPECT_NEAR(to_ms(vec.t_data_out), 66.66, 1.0);
+  // Documented divergence: physically consistent value, not the paper's
+  // 0.038 ms (see EXPERIMENTS.md).
+  EXPECT_NEAR(to_ms(vec.t_comp), 5.2, 0.5);
+
+  const auto ep =
+      gvm::measure_profile(spec, workloads::npb_ep(30).plan, 8, "EP");
+  EXPECT_NEAR(to_ms(ep.t_comp), 8951.3, 100.0);  // paper: 8951.346
+  EXPECT_EQ(ep.t_data_in, 0);
+}
+
+TEST(Reproduction, Figure16BandAndOrdering) {
+  // Paper: application speedups between 1.4 and 4.1 at 8 processes, with
+  // the partial-GPU compute-intensive kernels (MG, CG) on top and the
+  // device-filling / I/O-bound ones at the bottom.
+  const double mm = speedup_at8(workloads::matmul());
+  const double mg = speedup_at8(workloads::npb_mg());
+  const double bs = speedup_at8(workloads::black_scholes());
+  const double cg = speedup_at8(workloads::npb_cg());
+  const double electro = speedup_at8(workloads::electrostatics());
+
+  for (double s : {mm, mg, bs, cg, electro}) {
+    EXPECT_GE(s, 1.3);
+    EXPECT_LE(s, 5.0);
+  }
+  EXPECT_GT(mg, cg);       // MG leads (paper: ~4.1)
+  EXPECT_GT(cg, mm);       // compute-intensive partial-GPU beat MM
+  EXPECT_GT(mm, electro);  // device-filling compute
+  EXPECT_GT(electro, bs);  // BlackScholes lowest (paper: ~1.4)
+}
+
+TEST(Reproduction, ClassificationsMatchTableIV) {
+  const gpu::DeviceSpec spec = gpu::tesla_c2070();
+  const std::pair<workloads::Workload, model::WorkloadClass> cases[] = {
+      {workloads::matmul(), model::WorkloadClass::kIntermediate},
+      {workloads::npb_mg(), model::WorkloadClass::kComputeIntensive},
+      {workloads::black_scholes(), model::WorkloadClass::kIoIntensive},
+      {workloads::npb_cg(), model::WorkloadClass::kComputeIntensive},
+      {workloads::electrostatics(), model::WorkloadClass::kComputeIntensive},
+  };
+  for (const auto& [w, expect] : cases) {
+    const auto p = gvm::measure_profile(spec, w.plan, 8, w.name);
+    EXPECT_EQ(model::classify(p), expect) << w.name;
+    EXPECT_EQ(w.paper_class, expect) << w.name;
+  }
+}
+
+TEST(Reproduction, Figure10OverheadUnder25Percent) {
+  // 400 MB of input data through the GVM, one process: the paper's bound.
+  const workloads::Workload w = workloads::vector_add(50'000'000);
+  const auto r = gvm::run_virtualized(gpu::tesla_c2070(), gvm::GvmConfig{},
+                                      w.plan, 1, 1);
+  const double overhead =
+      to_ms(r.turnaround) - to_ms(r.pure_gpu_time);
+  EXPECT_LT(overhead / to_ms(r.pure_gpu_time), 0.25);
+  EXPECT_GT(overhead, 0.0);
+}
+
+}  // namespace
+}  // namespace vgpu

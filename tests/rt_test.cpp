@@ -1,0 +1,311 @@
+// Integration tests for the live GVM runtime: real POSIX message queues and
+// shared memory, a server thread with a worker pool, and concurrent clients
+// running the full REQ/SND/STR/STP/RCV/RLS protocol with functional kernels.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/ep.hpp"
+#include "kernels/mg.hpp"
+#include "rt/client.hpp"
+#include "rt/registry.hpp"
+#include "rt/server.hpp"
+
+namespace vgpu::rt {
+namespace {
+
+std::string unique_prefix(const char* tag) {
+  return std::string("/vgpu_rt_") + tag + "_" + std::to_string(::getpid());
+}
+
+/// Runs one full vecadd task through a client; returns true if the result
+/// that came back through the vsm is correct.
+bool run_vecadd_client(const std::string& prefix, int id, long n) {
+  auto client = RtClient::connect(prefix, id, 2 * n * 4, n * 4);
+  if (!client.ok()) return false;
+
+  const auto un = static_cast<std::size_t>(n);
+  auto* in = reinterpret_cast<float*>(client->input().data());
+  Rng rng(static_cast<std::uint64_t>(id) + 1);
+  for (std::size_t i = 0; i < 2 * un; ++i) {
+    in[i] = static_cast<float>(rng.uniform(-4.0, 4.0));
+  }
+
+  auto kid = builtin_registry().id_of("vecadd");
+  if (!kid.ok()) return false;
+  const std::int64_t params[4] = {n, 0, 0, 0};
+  if (!client->req(*kid, params).ok()) return false;
+  if (!client->snd().ok()) return false;
+  if (!client->str().ok()) return false;
+  if (!client->wait_done().ok()) return false;
+  if (!client->rcv().ok()) return false;
+
+  const auto* out = reinterpret_cast<const float*>(client->output().data());
+  for (std::size_t i = 0; i < un; ++i) {
+    if (out[i] != in[i] + in[un + i]) return false;
+  }
+  return client->rls().ok();
+}
+
+TEST(RtRegistry, BuiltinsRegisteredWithStableIds) {
+  KernelRegistry& reg = builtin_registry();
+  EXPECT_GE(reg.size(), 6u);
+  auto id = reg.id_of("vecadd");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*reg.name_of(*id), "vecadd");
+  EXPECT_NE(reg.find(*id), nullptr);
+  EXPECT_EQ(reg.find(9999), nullptr);
+  EXPECT_FALSE(reg.id_of("no_such_kernel").ok());
+}
+
+TEST(RtServer, SingleClientVecaddRoundTrip) {
+  const std::string prefix = unique_prefix("single");
+  RtServer server({prefix, /*expected_clients=*/1, /*workers=*/2},
+                  builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_TRUE(run_vecadd_client(prefix, 0, 1024));
+  server.stop();
+  EXPECT_EQ(server.stats().jobs_run.load(), 1);
+  EXPECT_EQ(server.stats().flushes.load(), 1);
+}
+
+TEST(RtServer, FourConcurrentClientThreads) {
+  const std::string prefix = unique_prefix("four");
+  constexpr int kClients = 4;
+  RtServer server({prefix, kClients, /*workers=*/4}, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+
+  std::vector<std::thread> threads;
+  std::vector<bool> ok(kClients, false);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ok[static_cast<std::size_t>(c)] = run_vecadd_client(prefix, c, 2048);
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(c)]) << "client " << c;
+  }
+  EXPECT_EQ(server.stats().jobs_run.load(), kClients);
+  // Barrier: one flush for the whole SPMD wave.
+  EXPECT_EQ(server.stats().flushes.load(), 1);
+}
+
+TEST(RtServer, SlowKernelYieldsWaits) {
+  const std::string prefix = unique_prefix("slow");
+  RtServer server({prefix, 1, 1}, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  auto client = RtClient::connect(prefix, 0, 0, 0);
+  ASSERT_TRUE(client.ok());
+  auto kid = builtin_registry().id_of("sleep_ms");
+  ASSERT_TRUE(kid.ok());
+  const std::int64_t params[4] = {50, 0, 0, 0};  // 50 ms busy kernel
+  ASSERT_TRUE(client->req(*kid, params).ok());
+  ASSERT_TRUE(client->snd().ok());
+  ASSERT_TRUE(client->str().ok());
+  ASSERT_TRUE(client->wait_done(std::chrono::microseconds(1000)).ok());
+  EXPECT_GT(client->waits_observed(), 0);
+  ASSERT_TRUE(client->rls().ok());
+  server.stop();
+}
+
+TEST(RtServer, EpKernelMatchesSequentialReference) {
+  const std::string prefix = unique_prefix("ep");
+  RtServer server({prefix, 1, 2}, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  auto client =
+      RtClient::connect(prefix, 0, 0, sizeof(kernels::EpResult));
+  ASSERT_TRUE(client.ok());
+  auto kid = builtin_registry().id_of("ep");
+  ASSERT_TRUE(kid.ok());
+  const int m = 14;
+  const std::int64_t params[4] = {m, 4, 0, 0};
+  ASSERT_TRUE(client->req(*kid, params).ok());
+  ASSERT_TRUE(client->snd().ok());
+  ASSERT_TRUE(client->str().ok());
+  ASSERT_TRUE(client->wait_done().ok());
+  ASSERT_TRUE(client->rcv().ok());
+  kernels::EpResult got;
+  std::memcpy(&got, client->output().data(), sizeof(got));
+  const kernels::EpResult expect = kernels::ep_sequential(m);
+  EXPECT_EQ(got.q, expect.q);
+  EXPECT_EQ(got.pairs_accepted, expect.pairs_accepted);
+  EXPECT_NEAR(got.sx, expect.sx, 1e-9);
+  ASSERT_TRUE(client->rls().ok());
+  server.stop();
+}
+
+TEST(RtServer, MultiRoundReusesResources) {
+  const std::string prefix = unique_prefix("rounds");
+  RtServer server({prefix, 1, 2}, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  const long n = 256;
+  auto client = RtClient::connect(prefix, 0, 2 * n * 4, n * 4);
+  ASSERT_TRUE(client.ok());
+  auto kid = builtin_registry().id_of("vecadd");
+  const std::int64_t params[4] = {n, 0, 0, 0};
+  ASSERT_TRUE(client->req(*kid, params).ok());
+  auto* in = reinterpret_cast<float*>(client->input().data());
+  for (int round = 0; round < 5; ++round) {
+    for (long i = 0; i < 2 * n; ++i) {
+      in[i] = static_cast<float>(i + round);
+    }
+    ASSERT_TRUE(client->snd().ok());
+    ASSERT_TRUE(client->str().ok());
+    ASSERT_TRUE(client->wait_done().ok());
+    ASSERT_TRUE(client->rcv().ok());
+    const auto* out =
+        reinterpret_cast<const float*>(client->output().data());
+    for (long i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], in[i] + in[n + i]) << "round " << round;
+    }
+  }
+  ASSERT_TRUE(client->rls().ok());
+  server.stop();
+  EXPECT_EQ(server.stats().jobs_run.load(), 5);
+}
+
+TEST(RtServer, ForkedProcessClients) {
+  const std::string prefix = unique_prefix("fork");
+  constexpr int kClients = 2;
+  RtServer server({prefix, kClients, 2}, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+
+  std::vector<pid_t> children;
+  for (int c = 0; c < kClients; ++c) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: real separate process driving its VGPU.
+      const bool ok = run_vecadd_client(prefix, c, 512);
+      ::_exit(ok ? 0 : 1);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().jobs_run.load(), kClients);
+}
+
+
+TEST(RtServer, UnknownKernelIdRejected) {
+  const std::string prefix = unique_prefix("badkid");
+  RtServer server({prefix, 1, 1}, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  auto client = RtClient::connect(prefix, 0, 16, 16);
+  ASSERT_TRUE(client.ok());
+  const std::int64_t params[4] = {};
+  const Status st = client->req(/*kernel_id=*/9999, params);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kInternal);
+  server.stop();
+}
+
+TEST(RtServer, TwoServersOnDistinctPrefixesCoexist) {
+  const std::string p1 = unique_prefix("coex1");
+  const std::string p2 = unique_prefix("coex2");
+  RtServer s1({p1, 1, 1}, builtin_registry());
+  RtServer s2({p2, 1, 1}, builtin_registry());
+  ASSERT_TRUE(s1.start().ok());
+  ASSERT_TRUE(s2.start().ok());
+  EXPECT_TRUE(run_vecadd_client(p1, 0, 256));
+  EXPECT_TRUE(run_vecadd_client(p2, 0, 256));
+  s1.stop();
+  s2.stop();
+  EXPECT_EQ(s1.stats().jobs_run.load(), 1);
+  EXPECT_EQ(s2.stats().jobs_run.load(), 1);
+}
+
+TEST(RtServer, ReduceAndDotKernels) {
+  const std::string prefix = unique_prefix("reduce");
+  RtServer server({prefix, 1, 1}, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  const long n = 1000;
+  auto client = RtClient::connect(prefix, 0, 2 * n * 4, 4);
+  ASSERT_TRUE(client.ok());
+  auto* in = reinterpret_cast<float*>(client->input().data());
+  double expect_sum = 0.0, expect_dot = 0.0;
+  for (long i = 0; i < n; ++i) {
+    in[i] = static_cast<float>(i % 17) * 0.25f;
+    in[n + i] = 1.0f;
+    expect_sum += in[i];
+    expect_dot += in[i] * in[n + i];
+  }
+  auto run_kernel = [&](const char* name) -> float {
+    auto kid = builtin_registry().id_of(name);
+    EXPECT_TRUE(kid.ok());
+    const std::int64_t params[4] = {n, 0, 0, 0};
+    EXPECT_TRUE(client->req(*kid, params).ok());
+    EXPECT_TRUE(client->snd().ok());
+    EXPECT_TRUE(client->str().ok());
+    EXPECT_TRUE(client->wait_done().ok());
+    EXPECT_TRUE(client->rcv().ok());
+    float out = 0.0f;
+    std::memcpy(&out, client->output().data(), 4);
+    return out;
+  };
+  EXPECT_NEAR(run_kernel("reduce_sum"), expect_sum, 1e-2);
+  EXPECT_NEAR(run_kernel("dot"), expect_dot, 1e-2);
+  ASSERT_TRUE(client->rls().ok());
+  server.stop();
+}
+
+TEST(RtServer, MgVcycleKernelReducesResidual) {
+  const std::string prefix = unique_prefix("mg");
+  RtServer server({prefix, 1, 1}, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  const int n = 8;
+  const auto cells = static_cast<std::size_t>(n) * n * n;
+  auto client = RtClient::connect(prefix, 0,
+                                  static_cast<Bytes>(cells) * 8,
+                                  static_cast<Bytes>(cells) * 8);
+  ASSERT_TRUE(client.ok());
+  const kernels::Grid3 rhs = kernels::mg_make_rhs(n);
+  std::memcpy(client->input().data(), rhs.data().data(), cells * 8);
+  auto kid = builtin_registry().id_of("mg_vcycle");
+  ASSERT_TRUE(kid.ok());
+  const std::int64_t params[4] = {n, 3, 0, 0};
+  ASSERT_TRUE(client->req(*kid, params).ok());
+  ASSERT_TRUE(client->snd().ok());
+  ASSERT_TRUE(client->str().ok());
+  ASSERT_TRUE(client->wait_done().ok());
+  ASSERT_TRUE(client->rcv().ok());
+  kernels::Grid3 u(n), zero(n);
+  std::memcpy(u.data().data(), client->output().data(), cells * 8);
+  zero.fill(0.0);
+  EXPECT_LT(kernels::mg_residual_norm(u, rhs),
+            0.5 * kernels::mg_residual_norm(zero, rhs));
+  ASSERT_TRUE(client->rls().ok());
+  server.stop();
+}
+
+TEST(RtServer, StopIsIdempotentAndRestartable) {
+  const std::string prefix = unique_prefix("restart");
+  {
+    RtServer server({prefix, 1, 1}, builtin_registry());
+    ASSERT_TRUE(server.start().ok());
+    server.stop();
+    server.stop();  // no-op
+  }
+  // Fresh server on the same prefix works.
+  RtServer server({prefix, 1, 1}, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_TRUE(run_vecadd_client(prefix, 0, 128));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace vgpu::rt

@@ -1,0 +1,134 @@
+// Tests for the OpenCL-flavored frontend: the NDRange mapping and the
+// command-queue semantics over the simulated device.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/blas1.hpp"
+#include "vcl/vcl.hpp"
+
+namespace vgpu::vcl {
+namespace {
+
+gpu::DeviceSpec test_spec() {
+  gpu::DeviceSpec spec = gpu::tesla_c2070();
+  spec.device_init_time = milliseconds(5.0);
+  spec.ctx_create_time = milliseconds(1.0);
+  return spec;
+}
+
+TEST(Vcl, NdrangeMapsToGridAndBlock) {
+  const gpu::KernelGeometry g =
+      ndrange_to_geometry(NDRange{1'000'000, 256}, 20, 1024);
+  EXPECT_EQ(g.grid_blocks, 3907);  // ceil(1e6 / 256)
+  EXPECT_EQ(g.threads_per_block, 256);
+  EXPECT_EQ(g.regs_per_thread, 20);
+  EXPECT_EQ(g.shmem_per_block, 1024);
+}
+
+TEST(Vcl, ExactMultipleNeedsNoExtraGroup) {
+  const gpu::KernelGeometry g = ndrange_to_geometry(NDRange{512, 64}, 16, 0);
+  EXPECT_EQ(g.grid_blocks, 8);
+}
+
+TEST(Vcl, WriteKernelReadRoundTrip) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  vcuda::Runtime rt(sim, dev);
+  sim.spawn([](vcuda::Runtime& rt) -> des::Task<> {
+    auto ctx = co_await VclContext::create(rt);
+    const long n = 1024;
+    auto in = ctx->create_buffer(2 * n * 4, /*backed=*/true);
+    auto out = ctx->create_buffer(n * 4, /*backed=*/true);
+    VGPU_ASSERT(in.ok() && out.ok());
+
+    std::vector<float> host(2 * n);
+    for (long i = 0; i < 2 * n; ++i) host[static_cast<std::size_t>(i)] = i;
+
+    CommandQueue queue = ctx->create_command_queue();
+    queue.enqueue_write_buffer(*in, host.data(), 2 * n * 4);
+    gpu::KernelCost cost{1.0, 12.0, 1.0};
+    Buffer& in_ref = *in;
+    Buffer& out_ref = *out;
+    queue.enqueue_ndrange_kernel("vecadd", NDRange{n, 128}, cost, [&] {
+      const float* a = in_ref.as<float>();
+      kernels::vecadd({a, static_cast<std::size_t>(n)},
+                      {a + n, static_cast<std::size_t>(n)},
+                      {out_ref.as<float>(), static_cast<std::size_t>(n)});
+    });
+    std::vector<float> result(n);
+    queue.enqueue_read_buffer(result.data(), *out, n * 4);
+    co_await queue.finish();
+
+    for (long i = 0; i < n; ++i) {
+      EXPECT_EQ(result[static_cast<std::size_t>(i)],
+                host[static_cast<std::size_t>(i)] +
+                    host[static_cast<std::size_t>(n + i)]);
+    }
+    VGPU_ASSERT(ctx->release_buffer(*in).ok());
+    VGPU_ASSERT(ctx->release_buffer(*out).ok());
+  }(rt));
+  sim.run();
+  EXPECT_EQ(dev.stats().kernels_completed, 1);
+}
+
+TEST(Vcl, InOrderQueueSemantics) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  vcuda::Runtime rt(sim, dev);
+  std::vector<int> order;
+  sim.spawn([](vcuda::Runtime& rt, std::vector<int>& order) -> des::Task<> {
+    auto ctx = co_await VclContext::create(rt);
+    CommandQueue queue = ctx->create_command_queue();
+    gpu::KernelCost cost{1e4, 0.0, 1.0};
+    for (int i = 0; i < 4; ++i) {
+      queue.enqueue_ndrange_kernel("k", NDRange{256, 64}, cost,
+                                   [&order, i] { order.push_back(i); });
+    }
+    co_await queue.finish();
+  }(rt, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Vcl, TwoQueuesOverlapLikeStreams) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  vcuda::Runtime rt(sim, dev);
+  sim.spawn([](vcuda::Runtime& rt) -> des::Task<> {
+    auto ctx = co_await VclContext::create(rt);
+    CommandQueue q1 = ctx->create_command_queue();
+    CommandQueue q2 = ctx->create_command_queue();
+    gpu::KernelCost cost{1e6, 0.0, 1.0};
+    q1.enqueue_ndrange_kernel("a", NDRange{512, 128}, cost);
+    q2.enqueue_ndrange_kernel("b", NDRange{512, 128}, cost);
+    co_await q1.finish();
+    co_await q2.finish();
+  }(rt));
+  sim.run();
+  EXPECT_GE(dev.stats().max_open_kernels, 2);
+}
+
+TEST(Vcl, CopyBufferMovesDeviceData) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  vcuda::Runtime rt(sim, dev);
+  sim.spawn([](vcuda::Runtime& rt) -> des::Task<> {
+    auto ctx = co_await VclContext::create(rt);
+    auto a = ctx->create_buffer(64, true);
+    auto b = ctx->create_buffer(64, true);
+    VGPU_ASSERT(a.ok() && b.ok());
+    CommandQueue queue = ctx->create_command_queue();
+    const double v = 2.718281828;
+    queue.enqueue_write_buffer(*a, &v, 8);
+    queue.enqueue_copy_buffer(*b, *a, 64);
+    double out = 0.0;
+    queue.enqueue_read_buffer(&out, *b, 8);
+    co_await queue.finish();
+    EXPECT_EQ(out, v);
+  }(rt));
+  sim.run();
+}
+
+}  // namespace
+}  // namespace vgpu::vcl

@@ -1,0 +1,415 @@
+// Unit tests for the vcuda runtime: contexts, streams, ordering, events,
+// functional data movement and kernel bodies.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "des/sim.hpp"
+#include "gpu/device.hpp"
+#include "vcuda/runtime.hpp"
+
+namespace vgpu::vcuda {
+namespace {
+
+gpu::DeviceSpec test_spec() {
+  gpu::DeviceSpec spec = gpu::tesla_c2070();
+  spec.sm_count = 4;
+  spec.device_init_time = milliseconds(10.0);
+  spec.ctx_create_time = milliseconds(1.0);
+  spec.ctx_switch_time = milliseconds(5.0);
+  spec.pcie_h2d_pinned = gb_per_s(1.0);
+  spec.pcie_d2h_pinned = gb_per_s(1.0);
+  return spec;
+}
+
+gpu::KernelLaunch tiny_kernel(const char* name) {
+  gpu::KernelLaunch l;
+  l.name = name;
+  l.geometry = gpu::KernelGeometry{2, 128, 16, 0};
+  l.cost = gpu::KernelCost{1e5, 16.0, 1.0};
+  return l;
+}
+
+TEST(Vcuda, ContextCreationAndTeardown) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt, gpu::Device& dev) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    EXPECT_TRUE(dev.context_exists(ctx->id()));
+    const gpu::ContextId id = ctx->id();
+    ctx.reset();
+    EXPECT_FALSE(dev.context_exists(id));
+  }(rt, dev));
+  sim.run();
+  EXPECT_EQ(dev.stats().ctx_creates, 1);
+}
+
+TEST(Vcuda, FunctionalCopyRoundTrip) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    auto buf = ctx->malloc(1024, /*backed=*/true);
+    VGPU_ASSERT(buf.ok());
+    std::vector<std::byte> src(1024), dst(1024);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      src[i] = static_cast<std::byte>(i * 7);
+    }
+    co_await ctx->memcpy_h2d(*buf, src.data(), 1024);
+    co_await ctx->memcpy_d2h(dst.data(), *buf, 1024);
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), 1024), 0);
+    VGPU_ASSERT(ctx->free(*buf).ok());
+  }(rt));
+  sim.run();
+}
+
+TEST(Vcuda, KernelBodyRunsExactlyOnceAtCompletion) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  int runs = 0;
+  SimTime body_time = -1;
+  sim.spawn([](Runtime& rt, des::Simulator& s, int& runs,
+               SimTime& bt) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    const SimTime before = s.now();
+    co_await ctx->launch_sync(tiny_kernel("k"), [&] {
+      ++runs;
+      bt = s.now();
+    });
+    EXPECT_GT(s.now(), before);  // kernel consumed simulated time
+  }(rt, sim, runs, body_time));
+  sim.run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_GT(body_time, 0);
+}
+
+TEST(Vcuda, StreamOrderingIsFifo) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  std::vector<int> order;
+  sim.spawn([](Runtime& rt, std::vector<int>& order) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    Stream& s = ctx->default_stream();
+    for (int i = 0; i < 5; ++i) {
+      s.launch(tiny_kernel("k"), [&order, i] { order.push_back(i); });
+    }
+    co_await s.synchronize();
+  }(rt, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Vcuda, TwoStreamsOverlapKernels) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  SimDuration serial = 0, parallel = 0;
+  sim.spawn([](Runtime& rt, des::Simulator& s, SimDuration& serial,
+               SimDuration& parallel) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    // Serial: two kernels on one stream.
+    SimTime t0 = s.now();
+    ctx->default_stream().launch(tiny_kernel("a"));
+    ctx->default_stream().launch(tiny_kernel("b"));
+    co_await ctx->default_stream().synchronize();
+    serial = s.now() - t0;
+    // Parallel: one kernel on each of two streams.
+    Stream& s1 = ctx->create_stream();
+    Stream& s2 = ctx->create_stream();
+    t0 = s.now();
+    s1.launch(tiny_kernel("a"));
+    s2.launch(tiny_kernel("b"));
+    co_await ctx->synchronize();
+    parallel = s.now() - t0;
+  }(rt, sim, serial, parallel));
+  sim.run();
+  EXPECT_LT(parallel, serial);
+  EXPECT_GE(dev.stats().max_open_kernels, 2);
+}
+
+TEST(Vcuda, CopyComputeOverlapAcrossStreams) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  SimDuration elapsed = 0;
+  sim.spawn([](Runtime& rt, des::Simulator& s,
+               SimDuration& elapsed) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    auto buf = ctx->malloc(100 * kMB);
+    VGPU_ASSERT(buf.ok());
+    Stream& s1 = ctx->create_stream();
+    Stream& s2 = ctx->create_stream();
+    const SimTime t0 = s.now();
+    // 100 ms copy on s1 overlaps a long kernel on s2.
+    s1.memcpy_h2d_async(*buf, nullptr, 100 * kMB);
+    gpu::KernelLaunch big = tiny_kernel("big");
+    big.geometry.grid_blocks = 24;    // fills the 4-SM device
+    // ~100 ms of compute: 24 blocks * 128 threads * flops / 294.4 GF.
+    big.cost.flops_per_thread = 9.58e6;
+    s2.launch(big);
+    co_await ctx->synchronize();
+    elapsed = s.now() - t0;
+  }(rt, sim, elapsed));
+  sim.run();
+  // Full overlap: total well below the 200 ms serial sum.
+  EXPECT_LT(to_ms(elapsed), 140.0);
+}
+
+TEST(Vcuda, EventRecordAndQuery) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    Event ev;
+    EXPECT_FALSE(ev.recorded());
+    ctx->default_stream().launch(tiny_kernel("k"));
+    ctx->default_stream().record(ev);
+    EXPECT_TRUE(ev.recorded());
+    co_await ctx->default_stream().synchronize();
+    EXPECT_TRUE(ev.query());
+    EXPECT_GT(ev.completion_time(), 0);
+  }(rt));
+  sim.run();
+}
+
+TEST(Vcuda, StreamWaitEventOrdersAcrossStreams) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  std::vector<int> order;
+  sim.spawn([](Runtime& rt, std::vector<int>& order) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    Stream& s1 = ctx->create_stream();
+    Stream& s2 = ctx->create_stream();
+    Event ev;
+    s1.launch(tiny_kernel("first"), [&order] { order.push_back(1); });
+    s1.record(ev);
+    s2.wait_event(ev);
+    s2.launch(tiny_kernel("second"), [&order] { order.push_back(2); });
+    co_await ctx->synchronize();
+  }(rt, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Vcuda, SynchronizeIdleStreamReturnsImmediately) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt, des::Simulator& s) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    const SimTime t0 = s.now();
+    EXPECT_TRUE(ctx->default_stream().idle());
+    co_await ctx->default_stream().synchronize();
+    EXPECT_EQ(s.now(), t0);
+  }(rt, sim));
+  sim.run();
+}
+
+TEST(Vcuda, OffsetCopiesTargetSubranges) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    auto buf = ctx->malloc(16, /*backed=*/true);
+    VGPU_ASSERT(buf.ok());
+    const std::uint32_t a = 0xdeadbeef, b = 0xcafef00d;
+    Stream& s = ctx->default_stream();
+    s.memcpy_h2d_async(*buf, &a, 4, true, /*dst_offset=*/0);
+    s.memcpy_h2d_async(*buf, &b, 4, true, /*dst_offset=*/8);
+    co_await s.synchronize();
+    std::uint32_t out = 0;
+    s.memcpy_d2h_async(&out, *buf, 4, true, /*src_offset=*/8);
+    co_await s.synchronize();
+    EXPECT_EQ(out, b);
+  }(rt));
+  sim.run();
+}
+
+TEST(Vcuda, ManyOpsAcrossManyStreamsComplete) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  int completed = 0;
+  sim.spawn([](Runtime& rt, int& completed) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    std::vector<Stream*> streams;
+    for (int i = 0; i < 8; ++i) streams.push_back(&ctx->create_stream());
+    for (int round = 0; round < 5; ++round) {
+      for (Stream* s : streams) {
+        s->launch(tiny_kernel("k"), [&completed] { ++completed; });
+      }
+    }
+    co_await ctx->synchronize();
+  }(rt, completed));
+  sim.run();
+  EXPECT_EQ(completed, 40);
+  EXPECT_EQ(dev.stats().kernels_completed, 40);
+}
+
+
+TEST(Vcuda, MemsetFillsBacking) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    auto buf = ctx->malloc(64, /*backed=*/true);
+    VGPU_ASSERT(buf.ok());
+    Stream& s = ctx->default_stream();
+    s.memset_async(*buf, std::byte{0xAB}, 64);
+    s.memset_async(*buf, std::byte{0x00}, 16, /*dst_offset=*/8);
+    co_await s.synchronize();
+    const std::byte* p = buf->data();
+    EXPECT_EQ(p[0], std::byte{0xAB});
+    EXPECT_EQ(p[8], std::byte{0x00});
+    EXPECT_EQ(p[23], std::byte{0x00});
+    EXPECT_EQ(p[24], std::byte{0xAB});
+  }(rt));
+  sim.run();
+  EXPECT_EQ(dev.stats().bytes_memset, 80);
+}
+
+TEST(Vcuda, DeviceToDeviceCopyMovesBackingBytes) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt, des::Simulator& s) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    auto a = ctx->malloc(256, true);
+    auto b = ctx->malloc(256, true);
+    VGPU_ASSERT(a.ok() && b.ok());
+    const std::uint64_t magic = 0x1122334455667788ULL;
+    Stream& st = ctx->default_stream();
+    st.memcpy_h2d_async(*a, &magic, 8, true, /*dst_offset=*/32);
+    const SimTime before = s.now();
+    st.memcpy_d2d_async(*b, *a, 8, /*dst_offset=*/0, /*src_offset=*/32);
+    co_await st.synchronize();
+    EXPECT_GT(s.now(), before);  // D2D consumed device time
+    std::uint64_t out = 0;
+    st.memcpy_d2h_async(&out, *b, 8);
+    co_await st.synchronize();
+    EXPECT_EQ(out, magic);
+  }(rt, sim));
+  sim.run();
+  EXPECT_EQ(dev.stats().bytes_d2d, 8);
+}
+
+TEST(Vcuda, StreamCallbackRunsInOrderWithoutDeviceTime) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  std::vector<int> order;
+  sim.spawn([](Runtime& rt, std::vector<int>& order) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    Stream& s = ctx->default_stream();
+    s.launch(tiny_kernel("k1"), [&order] { order.push_back(1); });
+    s.add_callback([&order] { order.push_back(2); });
+    s.launch(tiny_kernel("k2"), [&order] { order.push_back(3); });
+    co_await s.synchronize();
+  }(rt, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Vcuda, EventElapsedMeasuresKernelTime) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  double elapsed = -1.0;
+  sim.spawn([](Runtime& rt, double& elapsed) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    Stream& s = ctx->default_stream();
+    Event start, stop;
+    s.record(start);
+    s.launch(tiny_kernel("k"));
+    s.record(stop);
+    co_await s.synchronize();
+    elapsed = Event::elapsed_ms(start, stop);
+  }(rt, elapsed));
+  sim.run();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_LT(elapsed, 10.0);
+}
+
+
+TEST(Vcuda, PinnedLedgerTracksReservations) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev, /*host_memory=*/1 * kMB);
+  auto a = rt.alloc_pinned(400 * kKB);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(rt.pinned_ledger().used(), 400 * kKB);
+  {
+    auto b = rt.alloc_pinned(500 * kKB);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(rt.pinned_ledger().used(), 900 * kKB);
+    // Exhausted: a third reservation fails.
+    auto c = rt.alloc_pinned(200 * kKB);
+    EXPECT_FALSE(c.ok());
+    EXPECT_EQ(c.status().code(), ErrorCode::kOutOfMemory);
+  }
+  // b released on scope exit.
+  EXPECT_EQ(rt.pinned_ledger().used(), 400 * kKB);
+  auto d = rt.alloc_pinned(600 * kKB);
+  EXPECT_TRUE(d.ok());
+}
+
+TEST(Vcuda, PinnedBufferMoveTransfersOwnership) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev, 1 * kMB);
+  auto a = rt.alloc_pinned(100 * kKB);
+  ASSERT_TRUE(a.ok());
+  PinnedBuffer moved = std::move(*a);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(a->valid());
+  EXPECT_EQ(rt.pinned_ledger().used(), 100 * kKB);
+}
+
+
+TEST(Vcuda, TryCreateContextReportsAdmissionErrors) {
+  des::Simulator sim;
+  gpu::DeviceSpec spec = test_spec();
+  spec.compute_mode = gpu::ComputeMode::kExclusive;
+  gpu::Device dev(sim, spec);
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt) -> des::Task<> {
+    auto first = co_await rt.try_create_context();
+    EXPECT_TRUE(first.ok());
+    auto second = co_await rt.try_create_context();
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(second.status().code(), ErrorCode::kFailedPrecondition);
+  }(rt));
+  sim.run();
+}
+
+TEST(Vcuda, DestroyBusyContextRejected) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt, gpu::Device& dev, des::Simulator& s)
+                -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    gpu::KernelLaunch slow = tiny_kernel("slow");
+    slow.cost.flops_per_thread = 1e8;
+    ctx->default_stream().launch(slow);
+    co_await s.delay(microseconds(50.0));  // kernel now in flight
+    EXPECT_EQ(dev.destroy_context(ctx->id()).code(),
+              ErrorCode::kFailedPrecondition);
+    co_await ctx->default_stream().synchronize();
+    // Context destruction succeeds once idle (via ~Context at scope end).
+  }(rt, dev, sim));
+  sim.run();
+}
+
+}  // namespace
+}  // namespace vgpu::vcuda

@@ -1,0 +1,133 @@
+// vgpu-sim: single-command driver for sharing experiments.
+//
+//   vgpu-sim --workload=<name> [--procs=8] [--mode=<m>] [--device=<d>]
+//            [--rounds=N] [--all-modes] [--model]
+//
+//   workloads: vecadd ep mm mg blackscholes cg electrostatics
+//   modes:     native | virt | remote | remote10g | vm | merge
+//   devices:   c2070 (default) | c2050 | gtx480 | c1060
+//
+// Examples:
+//   vgpu-sim --workload=ep --procs=8 --all-modes
+//   vgpu-sim --workload=vecadd --mode=virt --procs=4 --model
+#include <cstdio>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "common/flags.hpp"
+#include "gvm/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+workloads::Workload select_workload(const std::string& name) {
+  if (name == "vecadd") return workloads::vector_add();
+  if (name == "ep") return workloads::npb_ep();
+  if (name == "mm") return workloads::matmul();
+  if (name == "mg") return workloads::npb_mg();
+  if (name == "blackscholes") return workloads::black_scholes();
+  if (name == "cg") return workloads::npb_cg();
+  if (name == "electrostatics") return workloads::electrostatics();
+  std::fprintf(stderr,
+               "unknown workload '%s' (try: vecadd ep mm mg blackscholes "
+               "cg electrostatics)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+gpu::DeviceSpec select_device(const std::string& name) {
+  if (name == "c2070") return gpu::tesla_c2070();
+  if (name == "c2050") return gpu::tesla_c2050();
+  if (name == "gtx480") return gpu::gtx480();
+  if (name == "c1060") return gpu::tesla_c1060();
+  std::fprintf(stderr,
+               "unknown device '%s' (try: c2070 c2050 gtx480 c1060)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+SimDuration run_mode(const std::string& mode, const gpu::DeviceSpec& spec,
+                     const workloads::Workload& w, int rounds, int procs) {
+  if (mode == "native") {
+    return gvm::run_baseline(spec, w.plan, rounds, procs).turnaround;
+  }
+  if (mode == "virt") {
+    return gvm::run_virtualized(spec, gvm::GvmConfig{}, w.plan, rounds,
+                                procs)
+        .turnaround;
+  }
+  if (mode == "remote" || mode == "remote10g") {
+    baselines::RemoteGpuConfig config;
+    if (mode == "remote10g") config.network_bw = 1.25e9;
+    return baselines::run_remote_gpu(spec, config, w.plan, rounds, procs)
+        .turnaround;
+  }
+  if (mode == "vm") {
+    return baselines::run_vm_passthrough(spec, baselines::VmConfig{},
+                                         w.plan, rounds, procs)
+        .turnaround;
+  }
+  if (mode == "merge") {
+    return baselines::run_kernel_merge(spec, w.plan, rounds, procs)
+        .turnaround;
+  }
+  std::fprintf(stderr,
+               "unknown mode '%s' (try: native virt remote remote10g vm "
+               "merge)\n",
+               mode.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (!flags.has("workload")) {
+    std::printf(
+        "usage: %s --workload=<vecadd|ep|mm|mg|blackscholes|cg|"
+        "electrostatics>\n"
+        "          [--procs=8] [--rounds=<default>] [--device=c2070]\n"
+        "          [--mode=native|virt|remote|remote10g|vm|merge]\n"
+        "          [--all-modes] [--model]\n",
+        flags.program().c_str());
+    return flags.positional().empty() && argc <= 1 ? 0 : 2;
+  }
+
+  const workloads::Workload w =
+      select_workload(flags.get_string("workload"));
+  const gpu::DeviceSpec spec =
+      select_device(flags.get_string("device", "c2070"));
+  const int procs = static_cast<int>(flags.get_long("procs", 8));
+  const int rounds = static_cast<int>(flags.get_long("rounds", w.rounds));
+
+  std::printf("workload %s, %d processes, %d round(s), device %s\n",
+              w.name.c_str(), procs, rounds, spec.name.c_str());
+
+  if (flags.get_bool("all-modes")) {
+    const SimDuration native = run_mode("native", spec, w, rounds, procs);
+    std::printf("  %-10s %10.1f ms\n", "native", to_ms(native));
+    for (const char* mode : {"virt", "merge", "vm", "remote10g", "remote"}) {
+      const SimDuration t = run_mode(mode, spec, w, rounds, procs);
+      std::printf("  %-10s %10.1f ms  (%.2fx vs native)\n", mode, to_ms(t),
+                  static_cast<double>(native) / static_cast<double>(t));
+    }
+  } else {
+    const std::string mode = flags.get_string("mode", "virt");
+    const SimDuration t = run_mode(mode, spec, w, rounds, procs);
+    std::printf("  %-10s %10.1f ms\n", mode.c_str(), to_ms(t));
+  }
+
+  if (flags.get_bool("model")) {
+    const model::ExecutionProfile p =
+        gvm::measure_profile(spec, w.plan, procs, w.name);
+    std::printf("model: Tin %.2f ms, Tcomp %.2f ms, Tout %.2f ms, Tctx "
+                "%.1f ms, Tinit %.1f ms -> S(%d) = %.2f, Smax = %.2f [%s]\n",
+                to_ms(p.t_data_in), to_ms(p.t_comp), to_ms(p.t_data_out),
+                to_ms(p.t_ctx_switch), to_ms(p.t_init), procs,
+                model::speedup(p, procs), model::max_speedup(p),
+                model::workload_class_name(model::classify(p)));
+  }
+  return 0;
+}
