@@ -5,6 +5,7 @@
 //    pinned host memory (paper Section V);
 //  * shared-memory staging copies on/off — the dominant source of the
 //    Figure 10 overhead.
+#include <algorithm>
 #include <iostream>
 
 #include "support.hpp"
@@ -13,14 +14,33 @@ using namespace vgpu;
 
 namespace {
 
-void run_variant(TablePrinter& table, const char* name,
-                 const gvm::GvmConfig& config,
-                 const workloads::Workload& w, int nprocs) {
+bool invariants_ok = true;
+
+void check(bool condition, const char* what, const char* variant) {
+  if (condition) return;
+  std::cout << "INVARIANT VIOLATION (" << variant << "): " << what << "\n";
+  invariants_ok = false;
+}
+
+gvm::RunResult run_variant(TablePrinter& table, const char* name,
+                           const gvm::GvmConfig& config,
+                           const workloads::Workload& w, int nprocs) {
   const gvm::RunResult r = gvm::run_virtualized(bench::paper_device(), config,
                                                 w.plan, w.rounds, nprocs);
   table.add_row({name, w.name, TablePrinter::num(to_seconds(r.turnaround)),
                  std::to_string(r.device.max_open_kernels),
                  std::to_string(r.gvm.flushes)});
+  // Flush accounting across the barrier ablation: with barriers each SPMD
+  // round is one cohort co-flush; without them (routed through
+  // BarrierCoFlush at width 1) every client's STR flushes individually.
+  check(r.turnaround > 0, "non-positive turnaround", name);
+  const long expected_flushes =
+      config.use_barriers ? w.rounds
+                          : static_cast<long>(w.rounds) * nprocs;
+  check(r.gvm.flushes == expected_flushes, "flush count mismatch", name);
+  check(r.sched.grants == static_cast<long>(w.rounds) * nprocs,
+        "scheduler grants != rounds x clients", name);
+  return r;
 }
 
 }  // namespace
@@ -36,11 +56,21 @@ int main() {
 
   for (const auto& w : {io, comp}) {
     gvm::GvmConfig base = bench::paper_gvm_config();
-    run_variant(table, "paper configuration", base, w, kProcs);
+    const gvm::RunResult paper =
+        run_variant(table, "paper configuration", base, w, kProcs);
 
     gvm::GvmConfig no_barrier = base;
     no_barrier.use_barriers = false;
-    run_variant(table, "no STR barrier", no_barrier, w, kProcs);
+    const gvm::RunResult solo =
+        run_variant(table, "no STR barrier", no_barrier, w, kProcs);
+    // Paper claim: for a uniform SPMD wave (everyone arrives together) the
+    // barrier costs nothing — co-flushing the cohort and flushing each STR
+    // on arrival land within 1% of each other in turnaround.
+    const double ratio = static_cast<double>(solo.turnaround) /
+                         static_cast<double>(paper.turnaround);
+    check(ratio > 0.99 && ratio < 1.01,
+          "barrier vs width-1 turnaround diverges on a uniform wave",
+          w.name.c_str());
 
     gvm::GvmConfig pageable = base;
     pageable.pinned_staging = false;
@@ -52,5 +82,5 @@ int main() {
   }
 
   bench::emit(table, "ablation_gvm");
-  return 0;
+  return invariants_ok ? 0 : 1;
 }

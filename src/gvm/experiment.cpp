@@ -135,6 +135,70 @@ RunResult run_virtualized(const gpu::DeviceSpec& spec, GvmConfig config,
 
   result.device = device.stats();
   result.gvm = gvm.stats();
+  result.sched = gvm.scheduler().stats();
+  result.admission = gvm.admission().stats();
+  return result;
+}
+
+RunResult run_mixed(const gpu::DeviceSpec& spec, GvmConfig config,
+                    const std::vector<MixedClient>& mix,
+                    gpu::Timeline* timeline) {
+  VGPU_ASSERT(!mix.empty());
+  des::Simulator sim;
+  gpu::Device device(sim, spec);
+  device.set_timeline(timeline);
+  vcuda::Runtime runtime(sim, device);
+  config.expected_clients = static_cast<int>(mix.size());
+  // A strict-width barrier deadlocks once the first client retires while
+  // others still have rounds left (the cohort can never fill again), which
+  // can only happen when round counts differ. Only then cap the cohort at
+  // the currently admitted population; with uniform rounds the strict
+  // paper barrier is safe and its cohort-formation cost stays observable.
+  bool uniform_rounds = true;
+  for (const MixedClient& m : mix) {
+    uniform_rounds = uniform_rounds && m.rounds == mix.front().rounds;
+  }
+  if (!uniform_rounds) config.sched.dynamic_width = true;
+  Gvm gvm(sim, runtime, config);
+  gvm.start();
+
+  RunResult result;
+  std::vector<std::unique_ptr<VGpuClient>> clients;
+  for (std::size_t p = 0; p < mix.size(); ++p) {
+    clients.push_back(
+        std::make_unique<VGpuClient>(sim, gvm, static_cast<int>(p)));
+  }
+
+  sim.spawn([](des::Simulator& s, Gvm& gvm, gpu::Device& device,
+               std::vector<std::unique_ptr<VGpuClient>>& clients,
+               const std::vector<MixedClient>& mix,
+               RunResult& out) -> des::Task<> {
+    co_await gvm.ready().wait();
+    const SimTime t0 = s.now();
+    const SimDuration gpu0 = device_busy(device);
+    des::CountdownLatch done(s, clients.size());
+    out.per_process.resize(clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      s.spawn([](des::Simulator& s, VGpuClient& c, const MixedClient& m,
+                 des::CountdownLatch& done, SimTime t0,
+                 SimDuration& finish) -> des::Task<> {
+        co_await s.delay(m.arrival);
+        co_await c.run_task(m.plan, m.rounds);
+        finish = s.now() - t0;
+        done.count_down();
+      }(s, *clients[i], mix[i], done, t0, out.per_process[i]));
+    }
+    co_await done.wait();
+    out.turnaround = s.now() - t0;
+    out.pure_gpu_time = device_busy(device) - gpu0;
+    for (auto& client : clients) out.client_waits += client->waits_observed();
+  }(sim, gvm, device, clients, mix, result));
+  sim.run();
+
+  result.device = device.stats();
+  result.gvm = gvm.stats();
+  result.sched = gvm.scheduler().stats();
+  result.admission = gvm.admission().stats();
   return result;
 }
 

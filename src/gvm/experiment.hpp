@@ -28,6 +28,8 @@ struct RunResult {
   SimDuration pure_gpu_time = 0;  // device busy time within the run
   gpu::DeviceStats device;
   GvmStats gvm;          // zero for baseline runs
+  sched::SchedStats sched;  // scheduler counters (virtualized only)
+  sched::AdmissionStats admission;  // admission counters (virtualized only)
   long client_waits = 0;  // STP polls answered WAIT (virtualized only)
   /// Per-process completion times relative to the simultaneous start —
   /// the spread measures fairness across the SPMD wave.
@@ -53,6 +55,24 @@ RunResult run_baseline(const gpu::DeviceSpec& spec, const TaskPlan& plan,
 RunResult run_virtualized(const gpu::DeviceSpec& spec, GvmConfig config,
                           const TaskPlan& plan, int rounds, int nprocs,
                           gpu::Timeline* timeline = nullptr);
+
+/// One client of a heterogeneous (non-SPMD) mix: its own plan, round
+/// count and staggered arrival time.
+struct MixedClient {
+  TaskPlan plan;
+  int rounds = 1;
+  SimDuration arrival = 0;
+};
+
+/// Heterogeneous run through the GVM: clients with different plans,
+/// round counts and arrival offsets — the scheduling-ablation workload.
+/// `config.expected_clients` is overridden with the client count. When
+/// round counts differ across the mix the barrier policy is forced to run
+/// width-capped (dynamic_width) so staggered departures cannot deadlock
+/// the cohort; with uniform rounds the strict barrier runs as configured.
+RunResult run_mixed(const gpu::DeviceSpec& spec, GvmConfig config,
+                    const std::vector<MixedClient>& mix,
+                    gpu::Timeline* timeline = nullptr);
 
 /// Microbenchmark pass (paper Table II): measures Tinit (nprocs context
 /// initializations), per-stage Tdata_in / Tcomp / Tdata_out of one task

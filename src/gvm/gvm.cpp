@@ -29,19 +29,57 @@ const char* request_type_name(RequestType t) {
 }
 
 const char* response_type_name(ResponseType t) {
-  return t == ResponseType::kAck ? "ACK" : "WAIT";
+  switch (t) {
+    case ResponseType::kAck:
+      return "ACK";
+    case ResponseType::kWait:
+      return "WAIT";
+    case ResponseType::kRetry:
+      return "RETRY";
+    case ResponseType::kDenied:
+      return "DENIED";
+  }
+  return "?";
 }
 
 // ---------------------------------------------------------------------------
 // Gvm
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// The effective scheduler configuration: for the default barrier
+/// co-flush policy the barrier width and flush order come from the
+/// legacy GvmConfig knobs, so pre-subsystem configurations reproduce
+/// their exact behaviour (use_barriers=false is a width-1 barrier).
+sched::SchedulerConfig effective_sched_config(const GvmConfig& config) {
+  sched::SchedulerConfig sc = config.sched;
+  if (sc.policy == sched::Policy::kBarrierCoFlush) {
+    sc.barrier_width = config.use_barriers ? config.expected_clients : 1;
+    sc.flush_order = config.flush_order;
+  }
+  return sc;
+}
+
+sched::AdmissionConfig admission_config(vcuda::Runtime& runtime,
+                                        const GvmConfig& config) {
+  sched::AdmissionConfig ac;
+  ac.capacity = runtime.device().spec().global_mem;
+  ac.per_client_quota = config.per_client_quota;
+  ac.oversubscribe = config.auto_suspend_on_pressure;
+  return ac;
+}
+
+}  // namespace
+
 Gvm::Gvm(des::Simulator& sim, vcuda::Runtime& runtime, GvmConfig config)
     : sim_(sim),
       runtime_(runtime),
       config_(config),
       ready_(sim),
-      requests_(sim) {
+      requests_(sim),
+      scheduler_(sched::Scheduler::make(effective_sched_config(config))),
+      admission_(admission_config(runtime, config)) {
   VGPU_ASSERT(config_.expected_clients >= 1);
 }
 
@@ -89,6 +127,9 @@ des::Task<> Gvm::run() {
 
 des::Task<> Gvm::handle(Request request) {
   const SimTime begin = sim_.now();
+  if (auto it = clients_.find(request.client); it != clients_.end()) {
+    it->second.last_active = begin;  // LRU order for eviction planning
+  }
   co_await dispatch(request);
   if (auto* tl = runtime_.device().timeline()) {
     tl->record({std::string(request_type_name(request.type)) + " client " +
@@ -130,9 +171,37 @@ des::Task<> Gvm::handle_req(int client) {
   auto plan_it = pending_plans_.find(client);
   VGPU_ASSERT_MSG(plan_it != pending_plans_.end(),
                   "REQ without a registered task plan");
+  // The plan stays registered until the request is admitted: a
+  // backpressured client re-sends the same REQ after a poll interval.
+  const TaskPlan& plan = plan_it->second;
+  const Bytes needed = plan.bytes_in + plan.bytes_out;
+  sched::AdmitDecision decision =
+      admission_.admit(needed, device_free(), victims(client));
+  if (decision.action == sched::AdmitAction::kReject) {
+    VGPU_DEBUG("GVM: denied REQ from client " << client << " (" << needed
+                                              << " bytes over quota)");
+    respond(client, ResponseType::kDenied);
+    co_return;
+  }
+  if (decision.action == sched::AdmitAction::kRetry) {
+    ++stats_.waits_sent;
+    respond(client, ResponseType::kRetry);
+    co_return;
+  }
+  // Admitted: make room first (oversubscription evicts idle residents'
+  // device state to host through SUS, charging the PCIe swap cost).
+  for (int victim : decision.evict) {
+    auto vit = clients_.find(victim);
+    VGPU_ASSERT_MSG(vit != clients_.end(), "evicting unknown client");
+    co_await suspend_client(vit->second);
+    ++stats_.pressure_suspends;
+    VGPU_DEBUG("GVM: suspended client " << victim << " under memory pressure");
+  }
+
   ClientState state;
   state.plan = std::move(plan_it->second);
   pending_plans_.erase(plan_it);
+  state.last_active = sim_.now();
 
   state.stream = &context_->create_stream();
   // Page-locked staging for both directions (required for async overlap);
@@ -144,12 +213,6 @@ des::Task<> Gvm::handle_req(int client) {
     VGPU_ASSERT_MSG(staging.ok(), staging.status().to_string().c_str());
     state.staging = std::move(*staging);
   }
-  // Device memory: under pressure, make room by suspending idle clients
-  // before allocating (their snapshots restore transparently at flush).
-  const Bytes needed = state.plan.bytes_in + state.plan.bytes_out;
-  if (config_.auto_suspend_on_pressure && device_free() < needed) {
-    co_await relieve_pressure(needed, client);
-  }
   if (state.plan.bytes_in > 0) {
     auto buf = context_->malloc(state.plan.bytes_in, state.plan.backed);
     VGPU_ASSERT_MSG(buf.ok(), buf.status().to_string().c_str());
@@ -160,6 +223,16 @@ des::Task<> Gvm::handle_req(int client) {
     VGPU_ASSERT_MSG(buf.ok(), buf.status().to_string().c_str());
     state.dev_out = *buf;
   }
+  sched::ClientRequest request;
+  request.client = client;
+  request.bytes_in = state.plan.bytes_in;
+  request.bytes_out = state.plan.bytes_out;
+  for (const auto& k : state.plan.kernels) {
+    request.compute_cost += k.total_flops();
+  }
+  request.priority = state.plan.priority;
+  request.weight = state.plan.weight;
+  scheduler_->admit(request, sim_.now());
   clients_[client] = std::move(state);
   respond(client, ResponseType::kAck);
   co_return;
@@ -185,45 +258,67 @@ des::Task<> Gvm::handle_snd(int client) {
 des::Task<> Gvm::handle_str(int client) {
   auto it = clients_.find(client);
   VGPU_ASSERT_MSG(it != clients_.end(), "STR from unregistered client");
-  if (!config_.use_barriers) {
-    co_await flush_stream(client, it->second);
-    ++stats_.flushes;
-    respond(client, ResponseType::kAck);
-    co_return;
-  }
   VGPU_ASSERT_MSG(!it->second.str_pending, "duplicate STR before flush");
   it->second.str_pending = true;
-  ++str_count_;
-  // Barrier: flush all streams together once every SPMD process has sent
-  // STR, then ACK every process (Figure 8's paired barriers).
-  if (str_count_ >= config_.expected_clients) {
-    co_await flush_all_streams();
-  }
-  co_return;
+  // Hand the STR to the scheduler; the pump flushes whatever it grants.
+  // Under the barrier policy nothing is granted until the full SPMD
+  // cohort has sent STR (Figure 8's paired barriers); the time-quantum /
+  // fair-share / priority policies grant according to their own state.
+  scheduler_->enqueue(client, sim_.now());
+  co_await pump();
 }
 
-des::Task<> Gvm::flush_all_streams() {
-  ++stats_.flushes;
-  // Collect the pending cohort, order it per policy, then flush.
-  std::vector<std::pair<int, ClientState*>> cohort;
-  for (auto& [id, state] : clients_) {
-    if (state.str_pending) cohort.emplace_back(id, &state);
+des::Task<> Gvm::pump() {
+  for (;;) {
+    const std::vector<int> batch = scheduler_->pick_next(sim_.now());
+    if (batch.empty()) break;
+    // One flush per granted batch: the barrier policy's cohort co-flush
+    // counts once, matching the paper's flush accounting.
+    ++stats_.flushes;
+    for (int id : batch) {
+      auto it = clients_.find(id);
+      VGPU_ASSERT_MSG(it != clients_.end(), "grant for unregistered client");
+      ClientState& state = it->second;
+      const SimTime granted = sim_.now();
+      co_await flush_stream(id, state);
+      state.str_pending = false;
+      state.last_active = sim_.now();
+      respond(id, ResponseType::kAck);
+      sim_.spawn(watch_round(id, state.stream, granted));
+    }
   }
-  if (config_.flush_order != FlushOrder::kFifo) {
-    const bool ascending = config_.flush_order == FlushOrder::kSmallestFirst;
-    std::stable_sort(cohort.begin(), cohort.end(),
-                     [ascending](const auto& a, const auto& b) {
-                       const Bytes lhs = a.second->plan.bytes_in;
-                       const Bytes rhs = b.second->plan.bytes_in;
-                       return ascending ? lhs < rhs : lhs > rhs;
-                     });
+  arm_wakeup();
+}
+
+des::Task<> Gvm::watch_round(int client, vcuda::Stream* stream,
+                             SimTime granted) {
+  co_await stream->synchronize();
+  scheduler_->on_complete(client, sim_.now());
+  // Scheduler lane in the timeline — but never under the default barrier
+  // policy, whose traces are byte-compared against the pre-subsystem GVM.
+  if (scheduler_->config().policy != sched::Policy::kBarrierCoFlush) {
+    if (auto* tl = runtime_.device().timeline()) {
+      tl->record({"round client " + std::to_string(client), "sched",
+                  "GVM scheduler", granted, sim_.now()});
+    }
   }
-  for (auto& [id, state] : cohort) {
-    co_await flush_stream(id, *state);
-    state->str_pending = false;
-    respond(id, ResponseType::kAck);
+  // A completed round may unblock the next grant (quantum rotation,
+  // fair-share round advance).
+  co_await pump();
+}
+
+void Gvm::arm_wakeup() {
+  const SimTime at = scheduler_->next_wakeup(sim_.now());
+  if (at == kTimeInfinity) return;
+  if (armed_wakeup_ != kTimeInfinity && armed_wakeup_ <= at &&
+      armed_wakeup_ > sim_.now()) {
+    return;  // an earlier pending timer already covers this wakeup
   }
-  str_count_ = 0;
+  armed_wakeup_ = at;
+  sim_.call_at(at, [this, at] {
+    if (armed_wakeup_ == at) armed_wakeup_ = kTimeInfinity;
+    sim_.spawn(pump());
+  });
 }
 
 des::Task<> Gvm::flush_stream(int client, ClientState& state) {
@@ -297,8 +392,10 @@ des::Task<> Gvm::handle_rls(int client) {
     VGPU_ASSERT(context_->free(it->second.dev_out).ok());
   }
   clients_.erase(it);
+  scheduler_->on_release(client, sim_.now());
   respond(client, ResponseType::kAck);
-  co_return;
+  // A departure can unblock grants (e.g. a released quantum holder).
+  co_await pump();
 }
 
 des::Task<> Gvm::suspend_client(ClientState& state) {
@@ -348,15 +445,31 @@ Bytes Gvm::device_free() const {
   return device.spec().global_mem - device.memory_used();
 }
 
-des::Task<> Gvm::relieve_pressure(Bytes needed, int except) {
-  // Suspend idle resident clients (ascending id: oldest admitted first)
-  // until the allocation fits or no candidates remain.
-  for (auto& [id, state] : clients_) {
-    if (device_free() >= needed) break;
+std::vector<sched::AdmissionController::Victim> Gvm::victims(
+    int except) const {
+  std::vector<sched::AdmissionController::Victim> out;
+  for (const auto& [id, state] : clients_) {
     if (id == except || state.suspended || state.str_pending) continue;
     if (!state.stream->idle()) continue;
     if (!state.dev_in.valid() && !state.dev_out.valid()) continue;
-    co_await suspend_client(state);
+    sched::AdmissionController::Victim v;
+    v.client = id;
+    v.bytes = (state.dev_in.valid() ? state.dev_in.size : 0) +
+              (state.dev_out.valid() ? state.dev_out.size : 0);
+    v.last_active = state.last_active;
+    out.push_back(v);
+  }
+  return out;
+}
+
+des::Task<> Gvm::relieve_pressure(Bytes needed, int except) {
+  // Suspend idle resident clients (least recently active first) until
+  // the allocation fits; the admission controller plans the victim set.
+  for (int id :
+       admission_.plan_eviction(needed, device_free(), victims(except))) {
+    auto it = clients_.find(id);
+    VGPU_ASSERT_MSG(it != clients_.end(), "evicting unknown client");
+    co_await suspend_client(it->second);
     ++stats_.pressure_suspends;
     VGPU_DEBUG("GVM: suspended client " << id << " under memory pressure");
   }
@@ -397,10 +510,19 @@ des::Task<Response> VGpuClient::call(RequestType type) {
   co_return response;
 }
 
-des::Task<> VGpuClient::req(TaskPlan plan) {
+des::Task<Status> VGpuClient::req(TaskPlan plan) {
   gvm_.register_plan(id_, std::move(plan));
-  const Response r = co_await call(RequestType::kReq);
-  VGPU_ASSERT(r.type == ResponseType::kAck);
+  for (;;) {
+    const Response r = co_await call(RequestType::kReq);
+    if (r.type == ResponseType::kAck) co_return Status::Ok();
+    if (r.type == ResponseType::kDenied) {
+      gvm_.drop_plan(id_);
+      co_return ResourceExhausted("REQ denied: over device-memory quota");
+    }
+    VGPU_ASSERT(r.type == ResponseType::kRetry);
+    ++waits_;  // transient pressure: poll like STP
+    co_await sim_.delay(gvm_.config().poll_interval);
+  }
 }
 
 des::Task<> VGpuClient::snd() {
@@ -448,7 +570,8 @@ des::Task<> VGpuClient::resume() {
 
 des::Task<> VGpuClient::run_task(TaskPlan plan, int rounds) {
   VGPU_ASSERT(rounds >= 1);
-  co_await req(std::move(plan));
+  const Status admitted = co_await req(std::move(plan));
+  VGPU_ASSERT_MSG(admitted.ok(), admitted.to_string().c_str());
   for (int round = 0; round < rounds; ++round) {
     co_await snd();
     co_await str();

@@ -16,10 +16,13 @@
 #include <map>
 #include <memory>
 
+#include "common/status.hpp"
 #include "des/channel.hpp"
 #include "des/sim.hpp"
 #include "des/sync.hpp"
 #include "gvm/protocol.hpp"
+#include "sched/admission.hpp"
+#include "sched/scheduler.hpp"
 #include "vcuda/runtime.hpp"
 
 namespace vgpu::gvm {
@@ -27,7 +30,8 @@ namespace vgpu::gvm {
 /// Order in which the GVM flushes client streams at the STR barrier.
 /// Smallest-first fills the pipeline fastest (the first kernel starts as
 /// soon as the smallest transfer lands); FIFO is the paper's behaviour.
-enum class FlushOrder { kFifo, kSmallestFirst, kLargestFirst };
+/// (Now owned by src/sched; aliased here for existing call sites.)
+using FlushOrder = sched::FlushOrder;
 
 struct GvmConfig {
   /// STR barrier width: the SPMD process count. The GVM flushes all
@@ -55,7 +59,18 @@ struct GvmConfig {
   /// device memory is oversubscribed, the GVM suspends idle clients
   /// (snapshotting their device state to host) until the allocation fits.
   /// A suspended client is transparently resumed before its next flush.
+  /// Routed through the admission controller's oversubscription mode.
   bool auto_suspend_on_pressure = false;
+
+  /// Scheduling policy (src/sched). For the default kBarrierCoFlush
+  /// policy the barrier width and flush order are derived from the legacy
+  /// `expected_clients` / `use_barriers` / `flush_order` knobs above, so
+  /// existing configurations behave exactly as before.
+  sched::SchedulerConfig sched;
+
+  /// Per-client device-memory quota enforced at REQ; 0 = unlimited.
+  /// Requests over quota are permanently denied (kDenied).
+  Bytes per_client_quota = 0;
 };
 
 struct GvmStats {
@@ -83,6 +98,8 @@ class Gvm {
   const GvmStats& stats() const { return stats_; }
   const GvmConfig& config() const { return config_; }
   vcuda::Context* context() { return context_.get(); }
+  const sched::Scheduler& scheduler() const { return *scheduler_; }
+  const sched::AdmissionController& admission() const { return admission_; }
 
   /// Pure GPU time spent on behalf of clients (sum of device busy time);
   /// the paper's Figure 10 baseline for overhead measurement.
@@ -97,8 +114,9 @@ class Gvm {
     vcuda::DeviceBuffer dev_in;
     vcuda::DeviceBuffer dev_out;
     vcuda::PinnedBuffer staging;  // page-locked staging for both directions
-    bool str_pending = false;  // buffered STR awaiting the barrier
+    bool str_pending = false;  // buffered STR awaiting a scheduler grant
     bool suspended = false;
+    SimTime last_active = 0;  // last protocol message (LRU eviction order)
     // Host-side snapshots of the device buffers while suspended.
     std::shared_ptr<std::vector<std::byte>> saved_in;
     std::shared_ptr<std::vector<std::byte>> saved_out;
@@ -110,6 +128,7 @@ class Gvm {
   void register_plan(int client, TaskPlan plan) {
     pending_plans_[client] = std::move(plan);
   }
+  void drop_plan(int client) { pending_plans_.erase(client); }
 
   des::Task<> run();
   des::Task<> handle(Request request);   // traces, then dispatches
@@ -125,10 +144,24 @@ class Gvm {
   des::Task<> suspend_client(ClientState& state);
   des::Task<> resume_client(ClientState& state);
   /// Suspends idle clients (excluding `except`) until `needed` device
-  /// bytes are free or no candidates remain.
+  /// bytes are free or no candidates remain (LRU order, via the
+  /// admission controller's eviction planner).
   des::Task<> relieve_pressure(Bytes needed, int except);
   Bytes device_free() const;
-  des::Task<> flush_all_streams();
+  /// Evictable residents for the admission controller (excluding
+  /// `except`): idle streams with valid device buffers, not suspended,
+  /// not awaiting a grant.
+  std::vector<sched::AdmissionController::Victim> victims(int except) const;
+  /// Drains scheduler grants: flushes every granted client's stream and
+  /// ACKs its STR, repeating until the scheduler has nothing runnable.
+  des::Task<> pump();
+  /// Awaits a granted round's completion, then notifies the scheduler
+  /// and pumps again (e.g. to hand a freed time quantum to the next
+  /// client).
+  des::Task<> watch_round(int client, vcuda::Stream* stream, SimTime granted);
+  /// Arms a timer at the scheduler's next requested wakeup (time-quantum
+  /// expiry), if any.
+  void arm_wakeup();
   des::Task<> flush_stream(int client, ClientState& state);
   void respond(int client, ResponseType type);
   SimDuration staging_time(Bytes bytes) const;
@@ -141,8 +174,10 @@ class Gvm {
   std::map<int, std::unique_ptr<des::Channel<Response>>> responses_;
   std::map<int, TaskPlan> pending_plans_;  // handed over at REQ
   std::map<int, ClientState> clients_;
-  int str_count_ = 0;
   std::unique_ptr<vcuda::Context> context_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  sched::AdmissionController admission_;
+  SimTime armed_wakeup_ = kTimeInfinity;  // earliest pending pump timer
   GvmStats stats_;
 };
 
@@ -155,8 +190,10 @@ class VGpuClient {
 
   int id() const { return id_; }
 
-  /// REQ: registers the task plan and obtains VGPU resources.
-  des::Task<> req(TaskPlan plan);
+  /// REQ: registers the task plan and obtains VGPU resources. Under
+  /// transient memory pressure (kRetry) the client re-polls like STP;
+  /// a permanent denial (over quota) returns kResourceExhausted.
+  des::Task<Status> req(TaskPlan plan);
   /// SND: input data (already in virtual shared memory) is staged.
   des::Task<> snd();
   /// STR: start execution; returns when the GVM has flushed the streams.

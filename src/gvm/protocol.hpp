@@ -27,7 +27,11 @@ namespace vgpu::gvm {
 // restores it. A suspended client's VGPU survives device-memory pressure
 // from other clients.
 enum class RequestType { kReq, kSnd, kStr, kStp, kRcv, kRls, kSus, kRes };
-enum class ResponseType { kAck, kWait };
+// kRetry / kDenied are REQ backpressure from admission control: kRetry is
+// transient device-memory pressure (re-send REQ after a poll interval);
+// kDenied is permanent (the request exceeds the per-client quota or the
+// device itself).
+enum class ResponseType { kAck, kWait, kRetry, kDenied };
 
 const char* request_type_name(RequestType t);
 const char* response_type_name(ResponseType t);
@@ -53,6 +57,11 @@ struct TaskPlan {
   const void* input = nullptr;  // optional functional input (host)
   void* output = nullptr;       // optional functional output (host)
   bool backed = false;          // allocate backed device buffers
+  /// Scheduling hints: only the priority-aging policy reads `priority`
+  /// (higher runs first) and only fair-share reads `weight` (share of the
+  /// device round-robin quantum).
+  int priority = 0;
+  double weight = 1.0;
 };
 
 struct Request {

@@ -26,7 +26,7 @@ struct RtRequest {
   RtOp op = RtOp::kReq;
   std::int32_t client = -1;
   std::int32_t kernel_id = -1;      // REQ only
-  std::int32_t reserved = 0;
+  std::int32_t priority = 0;        // REQ only (priority-aging scheduler)
   std::int64_t bytes_in = 0;        // REQ only
   std::int64_t bytes_out = 0;       // REQ only
   std::int64_t params[4] = {};      // forwarded to the kernel function

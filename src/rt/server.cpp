@@ -1,14 +1,49 @@
 #include "rt/server.hpp"
 
 #include <cstring>
+#include <limits>
 
 #include "common/log.hpp"
 
 namespace vgpu::rt {
 
+namespace {
+
+/// Like the DES GVM: for the default barrier policy the width comes from
+/// the legacy `expected_clients` knob, so the two paths configure the
+/// shared policy objects identically.
+sched::SchedulerConfig effective_sched_config(const RtServerConfig& config) {
+  sched::SchedulerConfig sc = config.sched;
+  if (sc.policy == sched::Policy::kBarrierCoFlush) {
+    sc.barrier_width = config.expected_clients;
+  }
+  return sc;
+}
+
+sched::AdmissionConfig admission_config(const RtServerConfig& config) {
+  sched::AdmissionConfig ac;
+  // The live executor runs in host memory; only the per-client quota is
+  // enforced here (no device capacity to model).
+  ac.capacity = std::numeric_limits<Bytes>::max();
+  ac.per_client_quota = config.per_client_quota;
+  return ac;
+}
+
+}  // namespace
+
 RtServer::RtServer(RtServerConfig config, const KernelRegistry& registry)
-    : config_(std::move(config)), registry_(registry) {
+    : config_(std::move(config)),
+      registry_(registry),
+      scheduler_(sched::Scheduler::make(effective_sched_config(config_))),
+      admission_(
+          std::make_unique<sched::AdmissionController>(admission_config(config_))) {
   VGPU_ASSERT(config_.expected_clients >= 1);
+}
+
+SimTime RtServer::rt_now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
 }
 
 RtServer::~RtServer() { stop(); }
@@ -19,6 +54,7 @@ Status RtServer::start() {
   if (!queue.ok()) return queue.status();
   requests_ = std::move(*queue);
   pool_ = std::make_unique<ThreadPool>(config_.workers);
+  start_time_ = std::chrono::steady_clock::now();
   running_.store(true);
   serve_thread_ = std::thread([this] { serve_loop(); });
   return Status::Ok();
@@ -35,17 +71,35 @@ void RtServer::stop() {
 }
 
 void RtServer::serve_loop() {
+  // A short receive timeout keeps the loop ticking: worker-thread job
+  // completions are fed back into the scheduler here (it is serve-thread
+  // only), and time-based policies (quantum expiry, anti-thrash
+  // hysteresis) are polled at this granularity.
   for (;;) {
-    auto request = requests_.receive();
+    auto request = requests_.receive(std::chrono::milliseconds(1));
     if (!request.ok()) {
-      VGPU_ERROR("rt server: receive failed: "
-                 << request.status().to_string());
-      return;
+      if (request.status().code() != ErrorCode::kUnavailable) {
+        VGPU_ERROR("rt server: receive failed: "
+                   << request.status().to_string());
+        return;
+      }
+    } else {
+      if (request->op == RtOp::kShutdown) return;
+      stats_.requests.fetch_add(1);
+      handle(*request);
     }
-    if (request->op == RtOp::kShutdown) return;
-    stats_.requests.fetch_add(1);
-    handle(*request);
+    drain_completions();
+    pump();
   }
+}
+
+void RtServer::drain_completions() {
+  std::vector<int> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    done.swap(completions_);
+  }
+  for (int id : done) scheduler_->on_complete(id, rt_now());
 }
 
 void RtServer::respond(ClientState& client, RtAck ack) {
@@ -76,9 +130,8 @@ void RtServer::handle(const RtRequest& request) {
     }
     case RtOp::kStr: {
       client.str_pending = true;
-      ++str_count_;
-      if (str_count_ >= config_.expected_clients) flush_pending();
-      break;
+      scheduler_->enqueue(request.client, rt_now());
+      break;  // the serve loop pumps grants after every message
     }
     case RtOp::kStp: {
       if (!client.job_done->load(std::memory_order_acquire)) {
@@ -100,6 +153,7 @@ void RtServer::handle(const RtRequest& request) {
     case RtOp::kRls: {
       respond(client, RtAck::kAck);
       clients_.erase(it);
+      scheduler_->on_release(request.client, rt_now());
       break;
     }
     case RtOp::kReq:
@@ -119,6 +173,17 @@ void RtServer::handle_req(const RtRequest& request) {
     return;
   }
   client.resp = std::move(*resp);
+
+  // Admission: enforce the per-client quota before binding any resources.
+  const auto decision = admission_->admit(request.bytes_in + request.bytes_out,
+                                          std::numeric_limits<Bytes>::max(),
+                                          {});
+  if (decision.action != sched::AdmitAction::kAdmit) {
+    VGPU_ERROR("rt server: denied client " << request.client
+                                           << " (over device-memory quota)");
+    respond(client, RtAck::kError);
+    return;
+  }
 
   // The client clamps an all-empty data plane to one byte; mirror that.
   const Bytes vsm_size =
@@ -144,36 +209,62 @@ void RtServer::handle_req(const RtRequest& request) {
   client.staging_in.resize(static_cast<std::size_t>(request.bytes_in));
   client.staging_out.resize(static_cast<std::size_t>(request.bytes_out));
 
+  // A client may re-REQ after a crash/reconnect; retire the stale
+  // registration before admitting the new one.
+  if (clients_.find(request.client) != clients_.end()) {
+    scheduler_->on_release(request.client, rt_now());
+  }
+  sched::ClientRequest sreq;
+  sreq.client = request.client;
+  sreq.bytes_in = request.bytes_in;
+  sreq.bytes_out = request.bytes_out;
+  sreq.priority = request.priority;
+  scheduler_->admit(sreq, rt_now());
+
   auto [it, inserted] =
       clients_.insert_or_assign(request.client, std::move(client));
   (void)inserted;
   respond(it->second, RtAck::kAck);
 }
 
-void RtServer::flush_pending() {
-  stats_.flushes.fetch_add(1);
-  for (auto& [id, client] : clients_) {
-    if (!client.str_pending) continue;
-    client.str_pending = false;
-    client.job_done->store(false, std::memory_order_release);
-    // The job captures raw buffer pointers; ClientState outlives the job
-    // because RLS is only sent by clients after STP acknowledged
-    // completion, and stop() drains the pool before clearing clients_.
-    auto done = client.job_done;
-    const RtKernelFn* kernel = client.kernel;
-    std::span<const std::byte> in{client.staging_in.data(),
-                                  client.staging_in.size()};
-    std::span<std::byte> out{client.staging_out.data(),
-                             client.staging_out.size()};
-    const std::int64_t* params = client.params;
-    pool_->submit([this, kernel, in, out, params, done] {
-      (*kernel)(in, out, params);
-      stats_.jobs_run.fetch_add(1);
-      done->store(true, std::memory_order_release);
-    });
-    respond(client, RtAck::kAck);
+void RtServer::pump() {
+  for (;;) {
+    const std::vector<int> batch = scheduler_->pick_next(rt_now());
+    if (batch.empty()) break;
+    // One flush per granted batch, matching the DES GVM's accounting
+    // (a barrier cohort co-flush counts once).
+    stats_.flushes.fetch_add(1);
+    for (int id : batch) dispatch(id);
   }
-  str_count_ = 0;
+}
+
+void RtServer::dispatch(int client_id) {
+  auto it = clients_.find(client_id);
+  VGPU_ASSERT_MSG(it != clients_.end(), "grant for unregistered client");
+  ClientState& client = it->second;
+  VGPU_ASSERT_MSG(client.str_pending, "grant without a pending STR");
+  client.str_pending = false;
+  client.job_done->store(false, std::memory_order_release);
+  // The job captures raw buffer pointers; ClientState outlives the job
+  // because RLS is only sent by clients after STP acknowledged
+  // completion, and stop() drains the pool before clearing clients_.
+  auto done = client.job_done;
+  const RtKernelFn* kernel = client.kernel;
+  std::span<const std::byte> in{client.staging_in.data(),
+                                client.staging_in.size()};
+  std::span<std::byte> out{client.staging_out.data(),
+                           client.staging_out.size()};
+  const std::int64_t* params = client.params;
+  pool_->submit([this, kernel, in, out, params, done, client_id] {
+    (*kernel)(in, out, params);
+    stats_.jobs_run.fetch_add(1);
+    done->store(true, std::memory_order_release);
+    // Feed the completion back to the serve thread, which owns the
+    // scheduler; it drains this on its next tick.
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_.push_back(client_id);
+  });
+  respond(client, RtAck::kAck);
 }
 
 }  // namespace vgpu::rt

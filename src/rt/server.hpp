@@ -11,10 +11,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/status.hpp"
 #include "common/units.hpp"
@@ -23,6 +26,8 @@
 #include "rt/messages.hpp"
 #include "rt/registry.hpp"
 #include "rt/thread_pool.hpp"
+#include "sched/admission.hpp"
+#include "sched/scheduler.hpp"
 
 namespace vgpu::rt {
 
@@ -32,6 +37,13 @@ struct RtServerConfig {
   int expected_clients = 1;
   /// Worker threads executing kernel functions.
   int workers = 4;
+  /// Scheduling policy (src/sched) — the same policy objects the DES GVM
+  /// uses, so the live and simulated paths cannot drift. For the default
+  /// kBarrierCoFlush policy the width is `expected_clients`.
+  sched::SchedulerConfig sched;
+  /// Per-client cap on bytes_in + bytes_out at REQ; 0 = unlimited.
+  /// Over-quota requests are rejected with RtAck::kError.
+  Bytes per_client_quota = 0;
 };
 
 struct RtServerStats {
@@ -56,6 +68,10 @@ class RtServer {
 
   const RtServerStats& stats() const { return stats_; }
   const RtServerConfig& config() const { return config_; }
+  /// Scheduler counters; read after stop() (the serve thread owns the
+  /// scheduler while running).
+  const sched::Scheduler& scheduler() const { return *scheduler_; }
+  const sched::AdmissionController& admission() const { return *admission_; }
 
  private:
   struct ClientState {
@@ -75,14 +91,26 @@ class RtServer {
   void serve_loop();
   void handle(const RtRequest& request);
   void handle_req(const RtRequest& request);
-  void flush_pending();
+  /// Drains scheduler grants: dispatches every granted client's job to
+  /// the worker pool and ACKs its STR.
+  void pump();
+  void dispatch(int client_id);
+  /// Feeds worker-thread job completions back into the scheduler (serve
+  /// thread only).
+  void drain_completions();
   void respond(ClientState& client, RtAck ack);
+  /// Monotonic nanoseconds since server start — the scheduler's clock.
+  SimTime rt_now() const;
 
   RtServerConfig config_;
   const KernelRegistry& registry_;
   ipc::MessageQueue<RtRequest> requests_;
   std::map<int, ClientState> clients_;
-  int str_count_ = 0;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::unique_ptr<sched::AdmissionController> admission_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::mutex completions_mutex_;
+  std::vector<int> completions_;  // worker -> serve thread job completions
   std::unique_ptr<ThreadPool> pool_;
   std::thread serve_thread_;
   std::atomic<bool> running_{false};

@@ -1,0 +1,74 @@
+#include "sched/admission.hpp"
+
+#include <algorithm>
+
+namespace vgpu::sched {
+
+namespace {
+
+/// Least-recently-active victims first: the longer a client has been
+/// idle, the less likely its working set is needed soon.
+void sort_lru(std::vector<AdmissionController::Victim>& victims) {
+  std::stable_sort(victims.begin(), victims.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.last_active != b.last_active) {
+                       return a.last_active < b.last_active;
+                     }
+                     return a.client < b.client;
+                   });
+}
+
+std::vector<int> pick_victims(
+    Bytes needed, Bytes device_free,
+    std::vector<AdmissionController::Victim> victims) {
+  sort_lru(victims);
+  std::vector<int> chosen;
+  Bytes freed = 0;
+  for (const auto& v : victims) {
+    if (device_free + freed >= needed) break;
+    chosen.push_back(v.client);
+    freed += v.bytes;
+  }
+  if (device_free + freed < needed) chosen.clear();  // cannot make room yet
+  return chosen;
+}
+
+}  // namespace
+
+AdmitDecision AdmissionController::admit(Bytes bytes, Bytes device_free,
+                                         std::vector<Victim> victims) {
+  AdmitDecision decision;
+  if (bytes > config_.capacity ||
+      (config_.per_client_quota > 0 && bytes > config_.per_client_quota)) {
+    decision.action = AdmitAction::kReject;
+    ++stats_.rejected;
+    return decision;
+  }
+  if (bytes <= device_free) {
+    decision.action = AdmitAction::kAdmit;
+    ++stats_.admitted;
+    return decision;
+  }
+  if (config_.oversubscribe) {
+    decision.evict = pick_victims(bytes, device_free, std::move(victims));
+    if (!decision.evict.empty()) {
+      decision.action = AdmitAction::kAdmit;
+      ++stats_.admitted;
+      stats_.evictions += static_cast<long>(decision.evict.size());
+      return decision;
+    }
+  }
+  // Fits the device but not right now: backpressure until residents
+  // release (or, oversubscribed, until someone becomes evictable).
+  decision.action = AdmitAction::kRetry;
+  ++stats_.backpressured;
+  return decision;
+}
+
+std::vector<int> AdmissionController::plan_eviction(
+    Bytes needed, Bytes device_free, std::vector<Victim> victims) const {
+  if (needed <= device_free) return {};
+  return pick_victims(needed, device_free, std::move(victims));
+}
+
+}  // namespace vgpu::sched

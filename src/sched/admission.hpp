@@ -1,0 +1,79 @@
+// Admission control for device memory: per-client quotas plus an
+// oversubscription mode that makes room by evicting idle clients' device
+// state to host (through the GVM's existing SUS/RES machinery, so the
+// swap cost is charged through the PCIe model).
+//
+// Like the Scheduler, this is pure policy: the caller reports how much
+// device memory is free and which residents are currently evictable, and
+// receives a decision (admit / retry later / reject) plus the ordered
+// victim list to suspend first. The caller performs the suspends and the
+// allocation.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace vgpu::sched {
+
+struct AdmissionConfig {
+  /// Total device memory; requests larger than this are permanently
+  /// rejected.
+  Bytes capacity = 0;
+  /// Per-client cap on requested device bytes; 0 = unlimited.
+  Bytes per_client_quota = 0;
+  /// Admit aggregate footprints beyond capacity by evicting idle
+  /// residents to host. Off: requests that do not currently fit are
+  /// backpressured until residents release.
+  bool oversubscribe = false;
+};
+
+enum class AdmitAction {
+  kAdmit,   // allocate now (after suspending `evict`, in order)
+  kRetry,   // transient pressure: ask again later (backpressure)
+  kReject,  // permanent: over quota or larger than the device
+};
+
+struct AdmitDecision {
+  AdmitAction action = AdmitAction::kAdmit;
+  std::vector<int> evict;
+};
+
+struct AdmissionStats {
+  long admitted = 0;
+  long rejected = 0;       // permanent rejections (quota / capacity)
+  long backpressured = 0;  // transient kRetry responses
+  long evictions = 0;      // victims named in kAdmit decisions
+};
+
+class AdmissionController {
+ public:
+  /// A resident client that could be suspended to make room.
+  struct Victim {
+    int client = -1;
+    Bytes bytes = 0;
+    SimTime last_active = 0;
+  };
+
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  /// Admission of a new client requesting `bytes` of device memory.
+  AdmitDecision admit(Bytes bytes, Bytes device_free,
+                      std::vector<Victim> victims);
+
+  /// Room-making for a client that is already admitted (a suspended
+  /// client's transparent resume before its flush): no quota check, and
+  /// eviction is allowed regardless of the oversubscription mode — the
+  /// bytes were admitted before, so they must be able to come back.
+  std::vector<int> plan_eviction(Bytes needed, Bytes device_free,
+                                 std::vector<Victim> victims) const;
+
+  const AdmissionConfig& config() const { return config_; }
+  const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  AdmissionConfig config_;
+  AdmissionStats stats_;
+};
+
+}  // namespace vgpu::sched

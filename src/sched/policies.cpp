@@ -1,0 +1,206 @@
+#include "sched/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace vgpu::sched {
+
+// ---------------------------------------------------------------------------
+// BarrierCoFlush
+// ---------------------------------------------------------------------------
+
+std::vector<int> BarrierCoFlush::do_pick(SimTime) {
+  if (clients_.empty()) return {};
+  int width = config_.barrier_width;
+  if (config_.dynamic_width) {
+    width = std::min(width, static_cast<int>(clients_.size()));
+  }
+  width = std::max(width, 1);
+
+  std::vector<int> cohort;
+  for (const auto& [id, client] : clients_) {
+    if (client.pending) cohort.push_back(id);
+  }
+  if (static_cast<int>(cohort.size()) < width) return {};
+  if (config_.flush_order != FlushOrder::kFifo) {
+    const bool ascending = config_.flush_order == FlushOrder::kSmallestFirst;
+    std::stable_sort(cohort.begin(), cohort.end(),
+                     [this, ascending](int a, int b) {
+                       const Bytes lhs = find(a)->request.bytes_in;
+                       const Bytes rhs = find(b)->request.bytes_in;
+                       return ascending ? lhs < rhs : lhs > rhs;
+                     });
+  }
+  return cohort;
+}
+
+// ---------------------------------------------------------------------------
+// TimeQuantum
+// ---------------------------------------------------------------------------
+
+void TimeQuantum::do_release(int client, SimTime) {
+  if (holder_ == client) holder_ = -1;
+  std::erase(queue_, client);
+}
+
+void TimeQuantum::do_enqueue(Client& client, SimTime now) {
+  if (client.request.client == holder_) {
+    last_activity_ = now;
+    return;
+  }
+  queue_.push_back(client.request.client);
+}
+
+void TimeQuantum::take_ownership(int client, SimTime now) {
+  holder_ = client;
+  window_end_ = now + config_.quantum;
+  last_activity_ = now;
+  ++stats_.quanta_granted;
+}
+
+void TimeQuantum::rotate(SimTime now) {
+  VGPU_ASSERT(!queue_.empty());
+  if (holder_ != -1) {
+    Client* old = find(holder_);
+    if (old != nullptr && old->pending) queue_.push_back(holder_);
+    ++stats_.rotations;
+  }
+  const int next = queue_.front();
+  queue_.pop_front();
+  take_ownership(next, now);
+}
+
+SimTime TimeQuantum::release_time() const {
+  return std::min(window_end_, last_activity_ + config_.hysteresis);
+}
+
+std::vector<int> TimeQuantum::do_pick(SimTime now) {
+  if (holder_ == -1) {
+    if (queue_.empty()) return {};
+    const int next = queue_.front();
+    queue_.pop_front();
+    take_ownership(next, now);
+  }
+  Client* h = find(holder_);
+  VGPU_ASSERT(h != nullptr);
+  if (h->pending) {
+    // The holder dispatches freely within its window, and keeps the device
+    // past expiry while nobody else waits (work conservation).
+    if (now < window_end_ || queue_.empty()) {
+      last_activity_ = now;
+      return {holder_};
+    }
+    // Window over with waiters queued: rotate once the in-flight round
+    // drains (rounds are not preemptible).
+    if (in_flight_ > 0) return {};
+    rotate(now);
+    return {holder_};
+  }
+  // Holder has nothing pending.
+  if (in_flight_ > 0 || queue_.empty()) return {};
+  // Anti-thrash: give the idle holder a grace period to submit its next
+  // round before ownership (and, under memory pressure, its working set)
+  // moves. next_wakeup() re-polls us when the grace expires.
+  if (now < release_time()) return {};
+  rotate(now);
+  return {holder_};
+}
+
+void TimeQuantum::do_complete(int, SimTime now) { last_activity_ = now; }
+
+SimTime TimeQuantum::next_wakeup(SimTime now) const {
+  if (holder_ == -1 || in_flight_ > 0 || queue_.empty()) return kTimeInfinity;
+  const auto it = clients_.find(holder_);
+  if (it != clients_.end() && it->second.pending) return kTimeInfinity;
+  return std::max(release_time(), now);
+}
+
+// ---------------------------------------------------------------------------
+// FairShare
+// ---------------------------------------------------------------------------
+
+double FairShare::deficit(int client) const {
+  const auto it = clients_.find(client);
+  return it == clients_.end() ? 0.0 : it->second.deficit;
+}
+
+void FairShare::do_release(int client, SimTime) {
+  const auto it = std::find(ring_.begin(), ring_.end(), client);
+  if (it != ring_.end()) {
+    if (static_cast<std::size_t>(it - ring_.begin()) < next_) --next_;
+    ring_.erase(it);
+  }
+}
+
+void FairShare::do_enqueue(Client& client, SimTime) {
+  ring_.push_back(client.request.client);
+}
+
+std::vector<int> FairShare::do_pick(SimTime) {
+  if (ring_.empty()) return {};
+  // Number of whole passes until at least one pending round is affordable
+  // (a pass credits `drr_quantum * weight` to every waiter). Computing the
+  // minimum directly makes one pick_next() equivalent to running the DRR
+  // wheel however many times progress needs.
+  long passes = -1;
+  for (int id : ring_) {
+    const Client* c = find(id);
+    const double quantum = config_.drr_quantum * c->request.weight;
+    const double missing = round_cost(*c) - c->deficit;
+    const long need =
+        missing <= 0 ? 0 : static_cast<long>(std::ceil(missing / quantum));
+    if (passes < 0 || need < passes) passes = need;
+  }
+  std::vector<int> grants;
+  if (next_ >= ring_.size()) next_ = 0;
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    const std::size_t i = (next_ + step) % ring_.size();
+    Client* c = find(ring_[i]);
+    c->deficit += static_cast<double>(passes) * config_.drr_quantum *
+                  c->request.weight;
+    if (c->deficit >= round_cost(*c)) grants.push_back(ring_[i]);
+  }
+  next_ = (next_ + 1) % std::max<std::size_t>(ring_.size(), 1);
+  return grants;
+}
+
+void FairShare::on_granted(Client& client, SimTime now) {
+  client.deficit = 0.0;  // idle flows bank no credit (classic DRR)
+  do_release(client.request.client, now);  // drop from the active ring
+}
+
+// ---------------------------------------------------------------------------
+// PriorityAging
+// ---------------------------------------------------------------------------
+
+std::vector<int> PriorityAging::do_pick(SimTime now) {
+  // Strict priority is exclusive: one round at a time, so a late
+  // high-priority arrival never queues behind more than one round.
+  if (in_flight_ > 0) return {};
+  const double interval =
+      std::max<double>(static_cast<double>(config_.aging_interval), 1.0);
+  int best = -1, base_best = -1;
+  double best_eff = 0.0;
+  int best_base = 0;
+  for (const auto& [id, client] : clients_) {
+    if (!client.pending) continue;
+    const double aged =
+        static_cast<double>(now - client.enqueue_time) / interval;
+    const double eff = static_cast<double>(client.request.priority) + aged;
+    if (best == -1 || eff > best_eff) {
+      best = id;
+      best_eff = eff;
+    }
+    if (base_best == -1 || client.request.priority > best_base) {
+      base_best = id;
+      best_base = client.request.priority;
+    }
+  }
+  if (best == -1) return {};
+  if (best != base_best) ++stats_.aging_promotions;
+  return {best};
+}
+
+}  // namespace vgpu::sched

@@ -1,0 +1,96 @@
+// The four concrete scheduling policies. Most callers go through
+// Scheduler::make(); the concrete types are exposed for unit tests that
+// poke policy internals (DRR deficits, quantum ownership).
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace vgpu::sched {
+
+/// The paper's SPMD barrier: hold every STR until `barrier_width` clients
+/// are pending, then dispatch the whole cohort at once, ordered by the
+/// configured FlushOrder. Width 1 degenerates to immediate per-STR
+/// dispatch (the GVM's historical `use_barriers=false` ablation).
+class BarrierCoFlush : public Scheduler {
+ public:
+  explicit BarrierCoFlush(SchedulerConfig config)
+      : Scheduler(std::move(config)) {}
+  const char* name() const override { return "barrier"; }
+
+ protected:
+  std::vector<int> do_pick(SimTime now) override;
+};
+
+/// nvshare-style exclusive windows: one client owns the device for up to
+/// `quantum`; within its window it dispatches rounds freely while everyone
+/// else queues FCFS. An idle holder keeps ownership for `hysteresis`
+/// (anti-thrash) before the window rotates.
+class TimeQuantum : public Scheduler {
+ public:
+  explicit TimeQuantum(SchedulerConfig config)
+      : Scheduler(std::move(config)) {}
+  const char* name() const override { return "tq"; }
+
+  SimTime next_wakeup(SimTime now) const override;
+  int holder() const { return holder_; }
+
+ protected:
+  void do_release(int client, SimTime now) override;
+  void do_enqueue(Client& client, SimTime now) override;
+  std::vector<int> do_pick(SimTime now) override;
+  void do_complete(int client, SimTime now) override;
+
+ private:
+  void take_ownership(int client, SimTime now);
+  void rotate(SimTime now);
+  /// When an idle holder loses the device: hysteresis after its last
+  /// activity, but never beyond its window.
+  SimTime release_time() const;
+
+  int holder_ = -1;
+  SimTime window_end_ = 0;
+  SimTime last_activity_ = 0;
+  std::deque<int> queue_;  // pending clients other than the holder, FCFS
+};
+
+/// Deficit round-robin over pending rounds. Each pass credits every
+/// waiting client `drr_quantum * weight` cost units; a round dispatches
+/// once its client's deficit covers its cost (bytes moved + scaled
+/// compute), so heavy rounds wait proportionally more passes — shares are
+/// resource-true rather than round-count-true.
+class FairShare : public Scheduler {
+ public:
+  explicit FairShare(SchedulerConfig config) : Scheduler(std::move(config)) {}
+  const char* name() const override { return "fair"; }
+
+  /// Test hook: the client's accumulated, not-yet-spent credit.
+  double deficit(int client) const;
+
+ protected:
+  void do_release(int client, SimTime now) override;
+  void do_enqueue(Client& client, SimTime now) override;
+  std::vector<int> do_pick(SimTime now) override;
+  void on_granted(Client& client, SimTime now) override;
+
+ private:
+  std::vector<int> ring_;    // active (pending) clients, round-robin order
+  std::size_t next_ = 0;     // ring_ index where the next pass starts
+};
+
+/// Strict priority with aging: the pending client with the highest
+/// effective priority (base + waited/aging_interval) runs next, one round
+/// at a time. Aging guarantees starvation freedom: any waiter's effective
+/// priority eventually exceeds every base priority.
+class PriorityAging : public Scheduler {
+ public:
+  explicit PriorityAging(SchedulerConfig config)
+      : Scheduler(std::move(config)) {}
+  const char* name() const override { return "prio"; }
+
+ protected:
+  std::vector<int> do_pick(SimTime now) override;
+};
+
+}  // namespace vgpu::sched

@@ -1,17 +1,24 @@
 // vgpu-sim: single-command driver for sharing experiments.
 //
 //   vgpu-sim --workload=<name> [--procs=8] [--mode=<m>] [--device=<d>]
-//            [--rounds=N] [--all-modes] [--model]
+//            [--rounds=N] [--sched=<p>] [--quota-mb=N] [--all-modes]
+//            [--model]
 //
-//   workloads: vecadd ep mm mg blackscholes cg electrostatics
-//   modes:     native | virt | remote | remote10g | vm | merge
-//   devices:   c2070 (default) | c2050 | gtx480 | c1060
+//   workloads:  vecadd ep mm mg blackscholes cg electrostatics
+//   modes:      native | virt | remote | remote10g | vm | merge
+//   devices:    c2070 (default) | c2050 | gtx480 | c1060
+//   schedulers: barrier (default) | tq | fair | prio
+//
+// `--sched` and `--quota-mb` only affect virtualized runs; any value other
+// than the default barrier policy also prints the scheduler counter block.
 //
 // Examples:
 //   vgpu-sim --workload=ep --procs=8 --all-modes
 //   vgpu-sim --workload=vecadd --mode=virt --procs=4 --model
+//   vgpu-sim --workload=mm --mode=virt --sched=tq --quota-mb=512
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "baselines/baselines.hpp"
 #include "common/flags.hpp"
@@ -48,15 +55,22 @@ gpu::DeviceSpec select_device(const std::string& name) {
   std::exit(2);
 }
 
+/// Runs one sharing mode. For "virt" the full result (scheduler and
+/// admission counters included) is copied into `*virt_result` when the
+/// caller asks for it.
 SimDuration run_mode(const std::string& mode, const gpu::DeviceSpec& spec,
-                     const workloads::Workload& w, int rounds, int procs) {
+                     const gvm::GvmConfig& gvm_config,
+                     const workloads::Workload& w, int rounds, int procs,
+                     gvm::RunResult* virt_result = nullptr) {
   if (mode == "native") {
     return gvm::run_baseline(spec, w.plan, rounds, procs).turnaround;
   }
   if (mode == "virt") {
-    return gvm::run_virtualized(spec, gvm::GvmConfig{}, w.plan, rounds,
-                                procs)
-        .turnaround;
+    gvm::RunResult r =
+        gvm::run_virtualized(spec, gvm_config, w.plan, rounds, procs);
+    const SimDuration turnaround = r.turnaround;
+    if (virt_result != nullptr) *virt_result = std::move(r);
+    return turnaround;
   }
   if (mode == "remote" || mode == "remote10g") {
     baselines::RemoteGpuConfig config;
@@ -80,6 +94,20 @@ SimDuration run_mode(const std::string& mode, const gpu::DeviceSpec& spec,
   std::exit(2);
 }
 
+void print_sched_counters(const gvm::RunResult& r, sched::Policy policy) {
+  const sched::SchedStats& s = r.sched;
+  const sched::AdmissionStats& a = r.admission;
+  std::printf("scheduler [%s]: %ld grants in %ld batches, mean wait "
+              "%.2f ms, p95 wait %.2f ms\n",
+              sched::policy_name(policy), s.grants, s.batches,
+              s.mean_wait() * 1e3, s.wait_percentile(0.95) * 1e3);
+  std::printf("  quanta %ld, rotations %ld, aging promotions %ld\n",
+              s.quanta_granted, s.rotations, s.aging_promotions);
+  std::printf("admission: %ld admitted, %ld rejected (over quota), "
+              "%ld backpressured, %ld evictions\n",
+              a.admitted, a.rejected, a.backpressured, a.evictions);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,6 +118,7 @@ int main(int argc, char** argv) {
         "electrostatics>\n"
         "          [--procs=8] [--rounds=<default>] [--device=c2070]\n"
         "          [--mode=native|virt|remote|remote10g|vm|merge]\n"
+        "          [--sched=barrier|tq|fair|prio] [--quota-mb=<N>]\n"
         "          [--all-modes] [--model]\n",
         flags.program().c_str());
     return flags.positional().empty() && argc <= 1 ? 0 : 2;
@@ -102,21 +131,46 @@ int main(int argc, char** argv) {
   const int procs = static_cast<int>(flags.get_long("procs", 8));
   const int rounds = static_cast<int>(flags.get_long("rounds", w.rounds));
 
+  gvm::GvmConfig gvm_config;
+  const std::string sched_name = flags.get_string("sched", "barrier");
+  if (!sched::parse_policy(sched_name, &gvm_config.sched.policy)) {
+    std::fprintf(stderr,
+                 "unknown scheduler '%s' (try: barrier tq fair prio)\n",
+                 sched_name.c_str());
+    return 2;
+  }
+  gvm_config.per_client_quota =
+      static_cast<Bytes>(flags.get_long("quota-mb", 0)) * kMiB;
+  // The counter block is noise for the default paper configuration; print
+  // it whenever the user picked a policy, a quota, or asked for virt.
+  const bool show_sched_counters =
+      flags.has("sched") || flags.has("quota-mb");
+
   std::printf("workload %s, %d processes, %d round(s), device %s\n",
               w.name.c_str(), procs, rounds, spec.name.c_str());
 
+  gvm::RunResult virt_result;
+  bool ran_virt = false;
   if (flags.get_bool("all-modes")) {
-    const SimDuration native = run_mode("native", spec, w, rounds, procs);
+    const SimDuration native =
+        run_mode("native", spec, gvm_config, w, rounds, procs);
     std::printf("  %-10s %10.1f ms\n", "native", to_ms(native));
     for (const char* mode : {"virt", "merge", "vm", "remote10g", "remote"}) {
-      const SimDuration t = run_mode(mode, spec, w, rounds, procs);
+      const SimDuration t =
+          run_mode(mode, spec, gvm_config, w, rounds, procs, &virt_result);
+      if (std::string(mode) == "virt") ran_virt = true;
       std::printf("  %-10s %10.1f ms  (%.2fx vs native)\n", mode, to_ms(t),
                   static_cast<double>(native) / static_cast<double>(t));
     }
   } else {
     const std::string mode = flags.get_string("mode", "virt");
-    const SimDuration t = run_mode(mode, spec, w, rounds, procs);
+    const SimDuration t =
+        run_mode(mode, spec, gvm_config, w, rounds, procs, &virt_result);
+    ran_virt = mode == "virt";
     std::printf("  %-10s %10.1f ms\n", mode.c_str(), to_ms(t));
+  }
+  if (ran_virt && show_sched_counters) {
+    print_sched_counters(virt_result, gvm_config.sched.policy);
   }
 
   if (flags.get_bool("model")) {
