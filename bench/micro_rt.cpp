@@ -1,6 +1,6 @@
 // Microbenchmarks of the live GVM runtime: protocol round-trip latency and
-// end-to-end task throughput through real POSIX message queues, shared
-// memory and the worker pool.
+// end-to-end task throughput, swept across the control-plane transport
+// (message queue vs shm ring) and the data plane (staged vs zero-copy).
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
@@ -17,14 +17,47 @@ std::string unique_prefix(const char* tag) {
   return std::string("/vgpu_mrt_") + tag + "_" + std::to_string(::getpid());
 }
 
+rt::RtServerConfig make_config(const std::string& prefix, int clients,
+                               int workers, std::int64_t transport,
+                               std::int64_t data_plane) {
+  rt::RtServerConfig config;
+  config.prefix = prefix;
+  config.expected_clients = clients;
+  config.workers = workers;
+  config.transport = transport != 0 ? ipc::TransportKind::kShmRing
+                                    : ipc::TransportKind::kMessageQueue;
+  config.data_plane = data_plane != 0 ? rt::DataPlane::kZeroCopy
+                                      : rt::DataPlane::kStaged;
+  return config;
+}
+
+rt::RtClientOptions client_options(std::int64_t transport) {
+  rt::RtClientOptions options;
+  options.transport = transport != 0 ? ipc::TransportKind::kShmRing
+                                     : ipc::TransportKind::kMessageQueue;
+  return options;
+}
+
+void report_server_stats(benchmark::State& state,
+                         const rt::RtServerStats& stats) {
+  state.counters["bytes_copied"] = static_cast<double>(stats.bytes_copied);
+  state.counters["syscalls_saved"] =
+      static_cast<double>(stats.syscalls_saved);
+  state.counters["ring_requests"] = static_cast<double>(stats.ring_requests);
+}
+
+// Arg 0: transport (0 = mqueue, 1 = shm ring).
 void BM_ProtocolRoundTrip(benchmark::State& state) {
+  const std::int64_t transport = state.range(0);
   const std::string prefix = unique_prefix("rtt");
-  rt::RtServer server({prefix, 1, 1}, rt::builtin_registry());
+  rt::RtServer server(make_config(prefix, 1, 1, transport, 0),
+                      rt::builtin_registry());
   if (!server.start().ok()) {
     state.SkipWithError("server start failed");
     return;
   }
-  auto client = rt::RtClient::connect(prefix, 0, 64, 64);
+  auto client =
+      rt::RtClient::connect(prefix, 0, 64, 64, client_options(transport));
   if (!client.ok()) {
     state.SkipWithError("client connect failed");
     return;
@@ -39,18 +72,27 @@ void BM_ProtocolRoundTrip(benchmark::State& state) {
   (void)client->rls();
   server.stop();
   state.SetItemsProcessed(state.iterations());
+  state.SetLabel(ipc::transport_name(client->transport()));
+  report_server_stats(state, server.stats());
 }
-BENCHMARK(BM_ProtocolRoundTrip);
+BENCHMARK(BM_ProtocolRoundTrip)->Arg(0)->Arg(1)->ArgNames({"shm"});
 
+// Arg 0: vecadd n, Arg 1: transport, Arg 2: data plane (0 = staged,
+// 1 = zero-copy). The acceptance check for the zero-copy plane is the
+// bytes_copied counter staying at 0 on the job path.
 void BM_FullTaskCycle(benchmark::State& state) {
   const long n = state.range(0);
+  const std::int64_t transport = state.range(1);
+  const std::int64_t data_plane = state.range(2);
   const std::string prefix = unique_prefix("task");
-  rt::RtServer server({prefix, 1, 2}, rt::builtin_registry());
+  rt::RtServer server(make_config(prefix, 1, 2, transport, data_plane),
+                      rt::builtin_registry());
   if (!server.start().ok()) {
     state.SkipWithError("server start failed");
     return;
   }
-  auto client = rt::RtClient::connect(prefix, 0, 2 * n * 4, n * 4);
+  auto client = rt::RtClient::connect(prefix, 0, 2 * n * 4, n * 4,
+                                      client_options(transport));
   if (!client.ok()) {
     state.SkipWithError("client connect failed");
     return;
@@ -70,8 +112,14 @@ void BM_FullTaskCycle(benchmark::State& state) {
   (void)client->rls();
   server.stop();
   state.SetBytesProcessed(state.iterations() * 3 * n * 4);
+  state.SetLabel(std::string(ipc::transport_name(client->transport())) +
+                 "/" +
+                 rt::data_plane_name(server.config().data_plane));
+  report_server_stats(state, server.stats());
 }
-BENCHMARK(BM_FullTaskCycle)->Arg(1024)->Arg(262144);
+BENCHMARK(BM_FullTaskCycle)
+    ->ArgsProduct({{1024, 262144}, {0, 1}, {0, 1}})
+    ->ArgNames({"n", "shm", "zc"});
 
 }  // namespace
 

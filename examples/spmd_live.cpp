@@ -72,8 +72,11 @@ int main(int argc, char** argv) {
   const int nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
   const std::string prefix = "/vgpu_live_" + std::to_string(::getpid());
 
-  rt::RtServer server({prefix, nprocs, /*workers=*/4},
-                      rt::builtin_registry());
+  rt::RtServerConfig config;
+  config.prefix = prefix;
+  config.expected_clients = nprocs;
+  config.workers = 4;
+  rt::RtServer server(config, rt::builtin_registry());
   const Status st = server.start();
   if (!st.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", st.to_string().c_str());

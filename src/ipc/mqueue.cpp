@@ -49,18 +49,41 @@ Status MessageQueueBase::receive_raw(
   // exact message type, which matches the creation-time size.
   ssize_t got;
   if (timeout.has_value()) {
-    struct timespec ts {};
-    ::clock_gettime(CLOCK_REALTIME, &ts);
-    const auto ns = timeout->count() * 1'000'000LL;
-    ts.tv_sec += static_cast<time_t>((ts.tv_nsec + ns) / 1'000'000'000LL);
-    ts.tv_nsec = static_cast<long>((ts.tv_nsec + ns) % 1'000'000'000LL);
-    got = ::mq_timedreceive(mq_, static_cast<char*>(data), size, nullptr,
-                            &ts);
-    if (got < 0 && errno == ETIMEDOUT) {
-      return Unavailable("mq_receive timeout on " + name_);
+    // POSIX pins mq_timedreceive's absolute deadline to CLOCK_REALTIME,
+    // so a naive "realtime now + timeout" stretches or shrinks with
+    // wall-clock jumps (NTP steps, manual date changes). Anchor the true
+    // deadline on CLOCK_MONOTONIC and re-derive the realtime timespec on
+    // every retry: an EINTR or a jump-induced early ETIMEDOUT just
+    // re-arms from the monotonic remainder.
+    const auto deadline = std::chrono::steady_clock::now() + *timeout;
+    for (;;) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              deadline - std::chrono::steady_clock::now());
+      struct timespec ts {};
+      if (remaining.count() > 0) {
+        ::clock_gettime(CLOCK_REALTIME, &ts);
+        const auto ns = remaining.count();
+        ts.tv_sec +=
+            static_cast<time_t>((ts.tv_nsec + ns) / 1'000'000'000LL);
+        ts.tv_nsec = static_cast<long>((ts.tv_nsec + ns) % 1'000'000'000LL);
+      }
+      // remaining <= 0 leaves ts at the epoch: one final non-blocking
+      // attempt, then timeout.
+      got = ::mq_timedreceive(mq_, static_cast<char*>(data), size, nullptr,
+                              &ts);
+      if (got >= 0) break;
+      if (errno == EINTR) continue;
+      if (errno == ETIMEDOUT) {
+        if (remaining.count() > 0) continue;  // wall clock jumped; re-arm
+        return Unavailable("mq_receive timeout on " + name_);
+      }
+      break;  // real error
     }
   } else {
-    got = ::mq_receive(mq_, static_cast<char*>(data), size, nullptr);
+    do {
+      got = ::mq_receive(mq_, static_cast<char*>(data), size, nullptr);
+    } while (got < 0 && errno == EINTR);
   }
   if (got < 0) return errno_status("mq_receive(" + name_ + ")");
   if (static_cast<std::size_t>(got) != size) {

@@ -39,7 +39,13 @@ class MessageQueueBase {
 
   Status send_raw(const void* data, std::size_t size);
   /// Blocks until a message arrives or `timeout` elapses (nullopt = block
-  /// forever). Returns kUnavailable on timeout.
+  /// forever; 0 = non-blocking poll). Returns kUnavailable on timeout.
+  ///
+  /// The timeout is measured against CLOCK_MONOTONIC even though the
+  /// underlying mq_timedreceive only accepts CLOCK_REALTIME deadlines:
+  /// the implementation re-derives the realtime timespec from the
+  /// monotonic remainder across EINTR retries and wall-clock jumps, so a
+  /// stepped system clock can neither truncate nor extend the wait.
   Status receive_raw(void* data, std::size_t size,
                      std::optional<std::chrono::milliseconds> timeout);
 

@@ -1,9 +1,14 @@
 // Lock-free single-producer/single-consumer ring buffer, layout-stable so
 // it can be placed inside a shared-memory region and used across processes.
 //
-// The GVM's data plane uses one ring per direction per client when
-// streaming data larger than the staging buffer; it is also a useful
-// standalone primitive (and is stress-tested across threads).
+// The GVM's transport layer embeds one ring per direction per client in
+// the vsm region (see ipc/transport.hpp); it is also a useful standalone
+// primitive (and is stress-tested across threads and forked processes).
+//
+// Fast-path design: capacity is a power of two so index wrap is a mask
+// (no division), and each side caches the opposite index so the common
+// case of push/pop touches only its own cache line — the acquire load of
+// the peer index happens only when the cached snapshot says full/empty.
 #pragma once
 
 #include <atomic>
@@ -21,6 +26,9 @@ class SpscRing {
   static_assert(std::is_trivially_copyable_v<T>,
                 "ring elements must be trivially copyable");
   static_assert(Capacity >= 2, "ring needs at least two slots");
+  static_assert((Capacity & (Capacity - 1)) == 0,
+                "ring capacity must be a power of two (index wrap is a "
+                "mask, not a modulo)");
 
  public:
   SpscRing() : head_(0), tail_(0) {}
@@ -30,8 +38,11 @@ class SpscRing {
   /// Producer side. Returns false when full.
   bool push(const T& value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t next = increment(head);
-    if (next == tail_.load(std::memory_order_acquire)) return false;
+    const std::size_t next = (head + 1) & kMask;
+    if (next == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (next == cached_tail_) return false;
+    }
     slots_[head] = value;
     head_.store(next, std::memory_order_release);
     return true;
@@ -40,9 +51,12 @@ class SpscRing {
   /// Consumer side. Empty optional when no element is available.
   std::optional<T> pop() {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return std::nullopt;
+    }
     T value = slots_[tail];
-    tail_.store(increment(tail), std::memory_order_release);
+    tail_.store((tail + 1) & kMask, std::memory_order_release);
     return value;
   }
 
@@ -60,12 +74,15 @@ class SpscRing {
   static constexpr std::size_t capacity() { return Capacity - 1; }
 
  private:
-  static std::size_t increment(std::size_t i) {
-    return (i + 1) % Capacity;
-  }
+  static constexpr std::size_t kMask = Capacity - 1;
 
+  // Each index shares a cache line with its owner's snapshot of the
+  // opposite index; zero-initialized state (fresh shared memory) is a
+  // valid empty ring.
   alignas(64) std::atomic<std::size_t> head_;  // producer-owned
+  std::size_t cached_tail_ = 0;                // producer's tail snapshot
   alignas(64) std::atomic<std::size_t> tail_;  // consumer-owned
+  std::size_t cached_head_ = 0;                // consumer's head snapshot
   T slots_[Capacity];
 };
 

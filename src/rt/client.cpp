@@ -1,28 +1,62 @@
 #include "rt/client.hpp"
 
+#include <algorithm>
+#include <new>
 #include <thread>
+#include <utility>
 
 namespace vgpu::rt {
 
 StatusOr<RtClient> RtClient::connect(const std::string& prefix, int id,
-                                     Bytes bytes_in, Bytes bytes_out) {
+                                     Bytes bytes_in, Bytes bytes_out,
+                                     RtClientOptions options) {
   const std::string suffix = std::to_string(id);
   auto req = ipc::MessageQueue<RtRequest>::open(prefix + "_req");
   if (!req.ok()) return req.status();
   auto resp =
       ipc::MessageQueue<RtResponse>::create(prefix + "_resp" + suffix);
   if (!resp.ok()) return resp.status();
-  auto vsm = ipc::SharedMemory::create(prefix + "_vsm" + suffix,
-                                       std::max<Bytes>(bytes_in + bytes_out, 1));
+
+  // Advertise the ring capability only when the server's doorbell region
+  // is reachable; otherwise degrade to mqueue-only (e.g. a pre-transport
+  // server that never published one).
+  std::uint32_t caps = ipc::kTransportCapMqueue;
+  ipc::SharedMemory door;
+  if (options.transport == ipc::TransportKind::kShmRing) {
+    auto opened =
+        ipc::SharedMemory::open(prefix + "_door", ipc::kDoorbellRegionSize);
+    if (opened.ok()) {
+      door = std::move(*opened);
+      caps |= ipc::kTransportCapShmRing;
+    }
+  }
+
+  auto vsm = ipc::SharedMemory::create(
+      prefix + "_vsm" + suffix, vsm_region_size(caps, bytes_in, bytes_out));
   if (!vsm.ok()) return vsm.status();
-  return RtClient(id, std::move(*req), std::move(*resp), std::move(*vsm),
-                  bytes_in, bytes_out);
+  RtChannel* channel = nullptr;
+  if ((caps & ipc::kTransportCapShmRing) != 0) {
+    // Construct and publish the channel block before the server can see
+    // the REQ that names this region.
+    channel = new (vsm->data()) RtChannel();
+    channel->publish();
+  }
+
+  return RtClient(
+      id,
+      std::make_unique<ipc::MessageQueue<RtRequest>>(std::move(*req)),
+      std::make_unique<ipc::MessageQueue<RtResponse>>(std::move(*resp)),
+      std::move(*vsm), std::move(door), channel, caps, bytes_in, bytes_out,
+      options);
 }
 
 StatusOr<RtAck> RtClient::call(RtRequest request) {
   request.client = id_;
-  VGPU_RETURN_IF_ERROR(req_.send(request));
-  auto response = resp_.receive(std::chrono::milliseconds(10'000));
+  if (chan_ == nullptr) {
+    return FailedPrecondition("protocol op before REQ negotiated a transport");
+  }
+  VGPU_RETURN_IF_ERROR(chan_->send(request));
+  auto response = chan_->receive(std::chrono::milliseconds(10'000));
   if (!response.ok()) return response.status();
   if (response->ack == RtAck::kError) {
     return Internal("GVM rejected the request");
@@ -33,12 +67,31 @@ StatusOr<RtAck> RtClient::call(RtRequest request) {
 Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
   RtRequest request;
   request.op = RtOp::kReq;
+  request.client = id_;
   request.kernel_id = kernel_id;
+  request.transport_caps = caps_;
   request.bytes_in = bytes_in_;
   request.bytes_out = bytes_out_;
   for (int i = 0; i < 4; ++i) request.params[i] = params[i];
-  auto ack = call(request);
-  if (!ack.ok()) return ack.status();
+  // The handshake always travels over the message queues; only afterwards
+  // does traffic switch to whatever the server selected.
+  VGPU_RETURN_IF_ERROR(req_->send(request));
+  auto response = resp_->receive(std::chrono::milliseconds(10'000));
+  if (!response.ok()) return response.status();
+  if (response->ack == RtAck::kError) {
+    return Internal("GVM rejected the request");
+  }
+  const auto selected = static_cast<ipc::TransportKind>(response->transport);
+  if (selected == ipc::TransportKind::kShmRing &&
+      (caps_ & ipc::kTransportCapShmRing) != 0 && channel_ != nullptr) {
+    active_ = ipc::TransportKind::kShmRing;
+    chan_ = std::make_unique<ipc::RingClientTransport<RtRequest, RtResponse>>(
+        channel_, door_.as<ipc::Doorbell::Word>(), options_.wait);
+  } else {
+    active_ = ipc::TransportKind::kMessageQueue;
+    chan_ = std::make_unique<ipc::MqClientTransport<RtRequest, RtResponse>>(
+        req_.get(), resp_.get());
+  }
   return Status::Ok();
 }
 
@@ -55,12 +108,29 @@ Status RtClient::str() {
 }
 
 Status RtClient::wait_done(std::chrono::microseconds poll) {
+  // On the ring transport an STP round trip costs no syscalls, so the
+  // first re-polls are immediate (they catch microsecond-scale jobs), then
+  // back off exponentially to `poll`. The mqueue path keeps the paper
+  // client's fixed sleep so its timing behaviour is unchanged.
+  int fast_polls = 0;
+  std::chrono::microseconds delay{0};
   for (;;) {
     auto ack = call(RtRequest{RtOp::kStp});
     if (!ack.ok()) return ack.status();
     if (*ack == RtAck::kAck) return Status::Ok();
     ++waits_;
-    std::this_thread::sleep_for(poll);
+    if (active_ != ipc::TransportKind::kShmRing) {
+      std::this_thread::sleep_for(poll);
+      continue;
+    }
+    if (fast_polls < 64) {
+      ++fast_polls;
+      std::this_thread::yield();
+      continue;
+    }
+    delay = delay.count() == 0 ? std::chrono::microseconds(1)
+                               : std::min(poll, delay * 2);
+    std::this_thread::sleep_for(delay);
   }
 }
 

@@ -3,9 +3,15 @@
 // response queue and its virtual-shared-memory region; input data is
 // written directly into the vsm (no extra client-side copy), as in the
 // paper's design.
+//
+// REQ negotiates the control-plane transport: the client advertises what
+// it can speak (message queue always; shm ring when it could map the
+// server's doorbell), the server answers with its selection, and every
+// later verb travels over that transport (see docs/transport.md).
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -13,36 +19,53 @@
 #include "common/units.hpp"
 #include "ipc/mqueue.hpp"
 #include "ipc/shm.hpp"
+#include "ipc/transport.hpp"
 #include "rt/messages.hpp"
 
 namespace vgpu::rt {
+
+struct RtClientOptions {
+  /// Preferred control-plane transport; the server may negotiate down to
+  /// the message queue. kMessageQueue here skips advertising the ring
+  /// capability entirely (paper-faithful wire behaviour).
+  ipc::TransportKind transport = ipc::TransportKind::kShmRing;
+  /// Wait strategy for ring receives.
+  ipc::WaitConfig wait;
+};
 
 class RtClient {
  public:
   /// Creates the client's IPC resources and connects to the server at
   /// `prefix`. `bytes_in` / `bytes_out` fix the vsm layout for this task.
   static StatusOr<RtClient> connect(const std::string& prefix, int id,
-                                    Bytes bytes_in, Bytes bytes_out);
+                                    Bytes bytes_in, Bytes bytes_out,
+                                    RtClientOptions options = {});
 
   RtClient(RtClient&&) = default;
   RtClient& operator=(RtClient&&) = default;
 
   /// The vsm input area: write task input here before snd().
   std::span<std::byte> input() {
-    return vsm_.bytes().subspan(0, static_cast<std::size_t>(bytes_in_));
+    return vsm_.bytes().subspan(data_offset_,
+                                static_cast<std::size_t>(bytes_in_));
   }
   /// The vsm output area: valid after rcv().
   std::span<const std::byte> output() const {
-    return {vsm_.data() + bytes_in_, static_cast<std::size_t>(bytes_out_)};
+    return {vsm_.data() + data_offset_ + bytes_in_,
+            static_cast<std::size_t>(bytes_out_)};
   }
 
   /// REQ: acquire VGPU resources for `kernel_id` with scalar `params`.
+  /// Also performs the transport negotiation.
   Status req(int kernel_id, const std::int64_t params[4]);
   /// SND: hand the input area to the GVM for staging.
   Status snd();
   /// STR: start execution (barrier-synchronized on the server).
   Status str();
-  /// STP loop: polls until the GVM acknowledges completion.
+  /// STP loop: polls until the GVM acknowledges completion. On the ring
+  /// transport the poll is adaptive (immediate re-polls, then exponential
+  /// backoff capped at `poll`); on the message queue it sleeps `poll`
+  /// between attempts, as the paper's client does.
   Status wait_done(
       std::chrono::microseconds poll = std::chrono::microseconds(200));
   /// RCV: results are in the output area afterwards.
@@ -51,26 +74,44 @@ class RtClient {
   Status rls();
 
   long waits_observed() const { return waits_; }
+  /// The negotiated control-plane transport (valid after req()).
+  ipc::TransportKind transport() const { return active_; }
 
  private:
-  RtClient(int id, ipc::MessageQueue<RtRequest> req,
-           ipc::MessageQueue<RtResponse> resp, ipc::SharedMemory vsm,
-           Bytes bytes_in, Bytes bytes_out)
+  RtClient(int id, std::unique_ptr<ipc::MessageQueue<RtRequest>> req,
+           std::unique_ptr<ipc::MessageQueue<RtResponse>> resp,
+           ipc::SharedMemory vsm, ipc::SharedMemory door,
+           RtChannel* channel, std::uint32_t caps, Bytes bytes_in,
+           Bytes bytes_out, RtClientOptions options)
       : id_(id),
         req_(std::move(req)),
         resp_(std::move(resp)),
         vsm_(std::move(vsm)),
+        door_(std::move(door)),
+        channel_(channel),
+        caps_(caps),
+        data_offset_(vsm_data_offset(caps)),
         bytes_in_(bytes_in),
-        bytes_out_(bytes_out) {}
+        bytes_out_(bytes_out),
+        options_(options) {}
 
   StatusOr<RtAck> call(RtRequest request);
 
   int id_;
-  ipc::MessageQueue<RtRequest> req_;
-  ipc::MessageQueue<RtResponse> resp_;
+  // Heap-held queues so transport endpoints can keep stable pointers to
+  // them across RtClient moves.
+  std::unique_ptr<ipc::MessageQueue<RtRequest>> req_;
+  std::unique_ptr<ipc::MessageQueue<RtResponse>> resp_;
   ipc::SharedMemory vsm_;
+  ipc::SharedMemory door_;    // server doorbell region (ring caps only)
+  RtChannel* channel_ = nullptr;  // inside vsm_, when ring caps advertised
+  std::unique_ptr<ipc::ClientTransport<RtRequest, RtResponse>> chan_;
+  std::uint32_t caps_;
+  std::size_t data_offset_;
+  ipc::TransportKind active_ = ipc::TransportKind::kMessageQueue;
   Bytes bytes_in_;
   Bytes bytes_out_;
+  RtClientOptions options_;
   long waits_ = 0;
 };
 

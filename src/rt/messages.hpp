@@ -1,8 +1,14 @@
 // Wire format of the live GVM protocol: fixed-size POD records carried by
-// POSIX message queues (paper Figure 8's REQ/SND/STR/STP/RCV/RLS).
+// the negotiated control-plane transport (paper Figure 8's
+// REQ/SND/STR/STP/RCV/RLS over POSIX message queues, or the same records
+// over per-client shared-memory rings — see ipc/transport.hpp and
+// docs/transport.md).
 #pragma once
 
 #include <cstdint>
+
+#include "common/units.hpp"
+#include "ipc/transport.hpp"
 
 namespace vgpu::rt {
 
@@ -25,8 +31,12 @@ enum class RtAck : std::int32_t {
 struct RtRequest {
   RtOp op = RtOp::kReq;
   std::int32_t client = -1;
-  std::int32_t kernel_id = -1;      // REQ only
-  std::int32_t priority = 0;        // REQ only (priority-aging scheduler)
+  std::int32_t kernel_id = -1;  // REQ only
+  std::int32_t priority = 0;    // REQ only (priority-aging scheduler)
+  /// REQ only: transports the client can speak (ipc::kTransportCap*).
+  /// Zero (a pre-negotiation client) means mqueue-only.
+  std::uint32_t transport_caps = ipc::kTransportCapMqueue;
+  std::uint32_t reserved = 0;       // keep params 8-byte aligned
   std::int64_t bytes_in = 0;        // REQ only
   std::int64_t bytes_out = 0;       // REQ only
   std::int64_t params[4] = {};      // forwarded to the kernel function
@@ -34,6 +44,31 @@ struct RtRequest {
 
 struct RtResponse {
   RtAck ack = RtAck::kAck;
+  /// REQ ack only: the transport the server selected for this client's
+  /// post-REQ traffic (a static_cast of ipc::TransportKind).
+  std::int32_t transport =
+      static_cast<std::int32_t>(ipc::TransportKind::kMessageQueue);
 };
+
+/// The control-plane channel embedded at the head of the vsm region when
+/// the client advertises the shm-ring capability.
+using RtChannel = ipc::ShmChannelBlock<RtRequest, RtResponse>;
+
+/// Byte offset of the data area (input then output) inside P_vsm<k>. The
+/// layout depends only on the *advertised* capabilities — not on the
+/// negotiated result — so both sides can compute it from the REQ message.
+constexpr std::size_t vsm_data_offset(std::uint32_t transport_caps) {
+  return (transport_caps & ipc::kTransportCapShmRing) != 0
+             ? sizeof(RtChannel)
+             : 0;
+}
+
+/// Total size of P_vsm<k> for a given capability set and data-plane
+/// footprint (an all-empty data plane is clamped to one byte).
+constexpr Bytes vsm_region_size(std::uint32_t transport_caps, Bytes bytes_in,
+                                Bytes bytes_out) {
+  const Bytes data = bytes_in + bytes_out > 0 ? bytes_in + bytes_out : 1;
+  return static_cast<Bytes>(vsm_data_offset(transport_caps)) + data;
+}
 
 }  // namespace vgpu::rt

@@ -1,7 +1,9 @@
 #include "rt/server.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
+#include <new>
 
 #include "common/log.hpp"
 
@@ -31,6 +33,37 @@ sched::AdmissionConfig admission_config(const RtServerConfig& config) {
 
 }  // namespace
 
+const char* data_plane_name(DataPlane plane) {
+  switch (plane) {
+    case DataPlane::kStaged:
+      return "staged";
+    case DataPlane::kZeroCopy:
+      return "zero_copy";
+  }
+  return "unknown";
+}
+
+bool parse_data_plane(const std::string& text, DataPlane* out) {
+  if (text == "staged" || text == "pinned") {
+    *out = DataPlane::kStaged;
+    return true;
+  }
+  if (text == "zero_copy" || text == "zerocopy" || text == "zc") {
+    *out = DataPlane::kZeroCopy;
+    return true;
+  }
+  return false;
+}
+
+void RtServerStats::record_batch(std::size_t depth) {
+  if (depth == 0) return;
+  int bucket = 0;  // floor(log2(depth)), capped at the last bucket
+  while (bucket + 1 < kBatchBuckets && (depth >> (bucket + 1)) != 0) {
+    ++bucket;
+  }
+  batch_depth[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
 RtServer::RtServer(RtServerConfig config, const KernelRegistry& registry)
     : config_(std::move(config)),
       registry_(registry),
@@ -49,6 +82,13 @@ SimTime RtServer::rt_now() const {
 RtServer::~RtServer() { stop(); }
 
 Status RtServer::start() {
+  // Doorbell first: it must exist before any client can learn the server
+  // is up (which it does by opening the request queue).
+  auto door = ipc::SharedMemory::create(config_.prefix + "_door",
+                                        ipc::kDoorbellRegionSize);
+  if (!door.ok()) return door.status();
+  door_shm_ = std::move(*door);
+  new (door_shm_.data()) ipc::Doorbell::Word();
   auto queue = ipc::MessageQueue<RtRequest>::create(config_.prefix + "_req",
                                                     /*max_messages=*/8);
   if (!queue.ok()) return queue.status();
@@ -68,29 +108,116 @@ void RtServer::stop() {
   if (serve_thread_.joinable()) serve_thread_.join();
   pool_.reset();  // drains in-flight jobs
   clients_.clear();
+  ring_lanes_ = 0;
 }
 
-void RtServer::serve_loop() {
-  // A short receive timeout keeps the loop ticking: worker-thread job
-  // completions are fed back into the scheduler here (it is serve-thread
-  // only), and time-based policies (quantum expiry, anti-thrash
-  // hysteresis) are polled at this granularity.
+bool RtServer::ring_request_pending() {
+  for (auto& [id, client] : clients_) {
+    if (client.channel != nullptr && !client.channel->requests.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t RtServer::drain_requests(bool* shutdown) {
+  std::size_t handled = 0;
+  // Sweep the shared message queue dry without blocking.
   for (;;) {
-    auto request = requests_.receive(std::chrono::milliseconds(1));
+    auto request = requests_.receive(std::chrono::milliseconds(0));
     if (!request.ok()) {
       if (request.status().code() != ErrorCode::kUnavailable) {
         VGPU_ERROR("rt server: receive failed: "
                    << request.status().to_string());
-        return;
+        *shutdown = true;
       }
-    } else {
-      if (request->op == RtOp::kShutdown) return;
-      stats_.requests.fetch_add(1);
-      handle(*request);
+      break;
     }
+    if (request->op == RtOp::kShutdown) {
+      *shutdown = true;
+      return handled;
+    }
+    stats_.requests.fetch_add(1);
+    handle(*request);
+    ++handled;
+  }
+  if (ring_lanes_ == 0) return handled;
+  // Collect every pending ring request before handling any: handle() may
+  // erase a client (RLS), which would invalidate the map iteration.
+  ring_batch_.clear();
+  for (auto& [id, client] : clients_) {
+    if (client.lane == nullptr ||
+        client.lane->kind() != ipc::TransportKind::kShmRing) {
+      continue;
+    }
+    while (auto request = client.lane->try_receive()) {
+      ring_batch_.push_back(*request);
+    }
+  }
+  for (const RtRequest& request : ring_batch_) {
+    stats_.requests.fetch_add(1);
+    stats_.ring_requests.fetch_add(1);
+    // client mq_send + server mq_timedreceive + server mq_send + client
+    // mq_receive, all elided by the ring round trip.
+    stats_.syscalls_saved.fetch_add(4);
+    handle(request);
+    ++handled;
+  }
+  return handled;
+}
+
+void RtServer::serve_loop() {
+  ipc::WaitStrategy waiter(config_.wait);
+  ipc::Doorbell door(door_shm_.as<ipc::Doorbell::Word>());
+  for (;;) {
+    bool shutdown = false;
+    const std::size_t handled = drain_requests(&shutdown);
+    if (handled > 0) stats_.record_batch(handled);
+    if (shutdown) break;
     drain_completions();
     pump();
+    if (handled > 0) continue;  // stay hot while requests keep arriving
+    // Idle. Bound the park so time-based policies (quantum expiry,
+    // anti-thrash hysteresis) are still polled promptly.
+    auto park = std::chrono::microseconds(1000);
+    const SimTime wake = scheduler_->next_wakeup(rt_now());
+    if (wake != kTimeInfinity) {
+      const SimTime now = rt_now();
+      const SimTime delta_ns = wake > now ? wake - now : 0;
+      park = std::min(park, std::chrono::microseconds(delta_ns / 1000 + 1));
+    }
+    if (ring_lanes_ == 0) {
+      // Pure-mqueue mode: block inside the kernel on the shared queue,
+      // exactly like the paper's timed-receive serve loop.
+      auto request = requests_.receive(std::chrono::milliseconds(
+          std::max<long>(1, park.count() / 1000)));
+      if (request.ok()) {
+        if (request->op == RtOp::kShutdown) break;
+        stats_.requests.fetch_add(1);
+        handle(*request);
+        stats_.record_batch(1);
+        drain_completions();
+        pump();
+      } else if (request.status().code() != ErrorCode::kUnavailable) {
+        VGPU_ERROR("rt server: receive failed: "
+                   << request.status().to_string());
+        break;
+      }
+    } else {
+      // Ring mode: adaptive spin -> yield -> futex park on the doorbell.
+      // Workers ring it on completion, ring clients on every request; the
+      // mqueue is re-polled at least every `park`.
+      waiter.wait(
+          [this] {
+            return ring_request_pending() ||
+                   pending_completions_.load(std::memory_order_acquire) > 0;
+          },
+          &door, std::chrono::steady_clock::now() + park);
+    }
   }
+  stats_.spin_wakeups.store(waiter.stats().spin_hits +
+                            waiter.stats().yield_hits);
+  stats_.doorbell_blocks.store(waiter.stats().blocks);
 }
 
 void RtServer::drain_completions() {
@@ -98,12 +225,18 @@ void RtServer::drain_completions() {
   {
     std::lock_guard<std::mutex> lock(completions_mutex_);
     done.swap(completions_);
+    pending_completions_.store(0, std::memory_order_release);
   }
   for (int id : done) scheduler_->on_complete(id, rt_now());
 }
 
 void RtServer::respond(ClientState& client, RtAck ack) {
-  const Status st = client.resp.send(RtResponse{ack});
+  const ipc::TransportKind kind = client.lane != nullptr
+                                      ? client.lane->kind()
+                                      : ipc::TransportKind::kMessageQueue;
+  const RtResponse response{ack, static_cast<std::int32_t>(kind)};
+  const Status st = client.lane != nullptr ? client.lane->send(response)
+                                           : client.resp.send(response);
   if (!st.ok()) {
     VGPU_ERROR("rt server: response send failed: " << st.to_string());
   }
@@ -122,16 +255,21 @@ void RtServer::handle(const RtRequest& request) {
   ClientState& client = it->second;
   switch (request.op) {
     case RtOp::kSnd: {
-      // Stage input: virtual shared memory -> private ("pinned") buffer.
-      std::memcpy(client.staging_in.data(), client.vsm.data(),
-                  static_cast<std::size_t>(client.bytes_in));
+      if (config_.data_plane == DataPlane::kStaged) {
+        // Stage input: virtual shared memory -> private ("pinned") buffer.
+        std::memcpy(client.staging_in.data(), client.input_area().data(),
+                    static_cast<std::size_t>(client.bytes_in));
+        stats_.bytes_copied.fetch_add(client.bytes_in);
+      }
+      // Zero-copy plane: the kernel reads the vsm directly; SND is a pure
+      // protocol ack.
       respond(client, RtAck::kAck);
       break;
     }
     case RtOp::kStr: {
       client.str_pending = true;
       scheduler_->enqueue(request.client, rt_now());
-      break;  // the serve loop pumps grants after every message
+      break;  // the serve loop pumps grants after every drain
     }
     case RtOp::kStp: {
       if (!client.job_done->load(std::memory_order_acquire)) {
@@ -139,10 +277,12 @@ void RtServer::handle(const RtRequest& request) {
         respond(client, RtAck::kWait);
         break;
       }
-      // Result: staging buffer -> virtual shared memory (output area).
-      std::memcpy(client.vsm.data() + client.bytes_in,
-                  client.staging_out.data(),
-                  static_cast<std::size_t>(client.bytes_out));
+      if (config_.data_plane == DataPlane::kStaged) {
+        // Result: staging buffer -> virtual shared memory (output area).
+        std::memcpy(client.output_area().data(), client.staging_out.data(),
+                    static_cast<std::size_t>(client.bytes_out));
+        stats_.bytes_copied.fetch_add(client.bytes_out);
+      }
       respond(client, RtAck::kAck);
       break;
     }
@@ -152,6 +292,10 @@ void RtServer::handle(const RtRequest& request) {
     }
     case RtOp::kRls: {
       respond(client, RtAck::kAck);
+      if (client.lane != nullptr &&
+          client.lane->kind() == ipc::TransportKind::kShmRing) {
+        --ring_lanes_;
+      }
       clients_.erase(it);
       scheduler_->on_release(request.client, rt_now());
       break;
@@ -185,9 +329,14 @@ void RtServer::handle_req(const RtRequest& request) {
     return;
   }
 
-  // The client clamps an all-empty data plane to one byte; mirror that.
+  // The vsm layout is a pure function of the *advertised* capabilities, so
+  // both sides compute it from the REQ message alone.
+  const std::uint32_t caps =
+      request.transport_caps != 0 ? request.transport_caps
+                                  : ipc::kTransportCapMqueue;
+  client.data_offset = vsm_data_offset(caps);
   const Bytes vsm_size =
-      std::max<Bytes>(request.bytes_in + request.bytes_out, 1);
+      vsm_region_size(caps, request.bytes_in, request.bytes_out);
   auto vsm =
       ipc::SharedMemory::open(config_.prefix + "_vsm" + suffix, vsm_size);
   if (!vsm.ok()) {
@@ -206,12 +355,37 @@ void RtServer::handle_req(const RtRequest& request) {
   std::memcpy(client.params, request.params, sizeof(client.params));
   client.bytes_in = request.bytes_in;
   client.bytes_out = request.bytes_out;
-  client.staging_in.resize(static_cast<std::size_t>(request.bytes_in));
-  client.staging_out.resize(static_cast<std::size_t>(request.bytes_out));
+  if (config_.data_plane == DataPlane::kStaged) {
+    client.staging_in.resize(static_cast<std::size_t>(request.bytes_in));
+    client.staging_out.resize(static_cast<std::size_t>(request.bytes_out));
+  }
+
+  // Transport negotiation: take the ring when the server offers it, the
+  // client advertised it, and the channel block checks out (magic +
+  // version); otherwise fall back to the message queue. The data offset
+  // keeps the advertised layout either way.
+  bool use_ring = config_.transport == ipc::TransportKind::kShmRing &&
+                  (caps & ipc::kTransportCapShmRing) != 0;
+  if (use_ring) {
+    auto* channel = reinterpret_cast<RtChannel*>(client.vsm.data());
+    if (channel->valid()) {
+      client.channel = channel;
+    } else {
+      VGPU_ERROR("rt server: client " << request.client
+                                      << " advertised a ring but its channel "
+                                         "block is invalid; using mqueue");
+      use_ring = false;
+    }
+  }
 
   // A client may re-REQ after a crash/reconnect; retire the stale
   // registration before admitting the new one.
-  if (clients_.find(request.client) != clients_.end()) {
+  auto stale = clients_.find(request.client);
+  if (stale != clients_.end()) {
+    if (stale->second.lane != nullptr &&
+        stale->second.lane->kind() == ipc::TransportKind::kShmRing) {
+      --ring_lanes_;
+    }
     scheduler_->on_release(request.client, rt_now());
   }
   sched::ClientRequest sreq;
@@ -224,7 +398,26 @@ void RtServer::handle_req(const RtRequest& request) {
   auto [it, inserted] =
       clients_.insert_or_assign(request.client, std::move(client));
   (void)inserted;
-  respond(it->second, RtAck::kAck);
+  ClientState& placed = it->second;
+  ipc::TransportKind selected = ipc::TransportKind::kMessageQueue;
+  if (use_ring) {
+    placed.lane =
+        std::make_unique<ipc::RingServerLane<RtRequest, RtResponse>>(
+            placed.channel);
+    selected = ipc::TransportKind::kShmRing;
+    ++ring_lanes_;
+  } else {
+    placed.channel = nullptr;
+    placed.lane = std::make_unique<ipc::MqServerLane<RtRequest, RtResponse>>(
+        &placed.resp);
+  }
+  // The REQ handshake always answers on the response queue — the client
+  // only switches to the negotiated transport after reading this ack.
+  const RtResponse ack{RtAck::kAck, static_cast<std::int32_t>(selected)};
+  const Status st = placed.resp.send(ack);
+  if (!st.ok()) {
+    VGPU_ERROR("rt server: response send failed: " << st.to_string());
+  }
 }
 
 void RtServer::pump() {
@@ -234,14 +427,23 @@ void RtServer::pump() {
     // One flush per granted batch, matching the DES GVM's accounting
     // (a barrier cohort co-flush counts once).
     stats_.flushes.fetch_add(1);
-    for (int id : batch) dispatch(id);
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(batch.size());
+    std::vector<ClientState*> granted;
+    granted.reserve(batch.size());
+    for (int id : batch) {
+      auto it = clients_.find(id);
+      VGPU_ASSERT_MSG(it != clients_.end(), "grant for unregistered client");
+      jobs.push_back(make_job(id, it->second));
+      granted.push_back(&it->second);
+    }
+    // One lock + one wakeup for the whole cohort.
+    pool_->submit_batch(std::move(jobs));
+    for (ClientState* client : granted) respond(*client, RtAck::kAck);
   }
 }
 
-void RtServer::dispatch(int client_id) {
-  auto it = clients_.find(client_id);
-  VGPU_ASSERT_MSG(it != clients_.end(), "grant for unregistered client");
-  ClientState& client = it->second;
+std::function<void()> RtServer::make_job(int client_id, ClientState& client) {
   VGPU_ASSERT_MSG(client.str_pending, "grant without a pending STR");
   client.str_pending = false;
   client.job_done->store(false, std::memory_order_release);
@@ -250,21 +452,32 @@ void RtServer::dispatch(int client_id) {
   // completion, and stop() drains the pool before clearing clients_.
   auto done = client.job_done;
   const RtKernelFn* kernel = client.kernel;
-  std::span<const std::byte> in{client.staging_in.data(),
-                                client.staging_in.size()};
-  std::span<std::byte> out{client.staging_out.data(),
-                           client.staging_out.size()};
+  std::span<const std::byte> in;
+  std::span<std::byte> out;
+  if (config_.data_plane == DataPlane::kZeroCopy) {
+    // Kernels run directly on the client's vsm region: no staging copies
+    // on the job path at all.
+    in = client.input_area();
+    out = client.output_area();
+  } else {
+    in = {client.staging_in.data(), client.staging_in.size()};
+    out = {client.staging_out.data(), client.staging_out.size()};
+  }
   const std::int64_t* params = client.params;
-  pool_->submit([this, kernel, in, out, params, done, client_id] {
+  ipc::Doorbell door(door_shm_.as<ipc::Doorbell::Word>());
+  return [this, kernel, in, out, params, done, client_id, door]() mutable {
     (*kernel)(in, out, params);
     stats_.jobs_run.fetch_add(1);
     done->store(true, std::memory_order_release);
     // Feed the completion back to the serve thread, which owns the
-    // scheduler; it drains this on its next tick.
-    std::lock_guard<std::mutex> lock(completions_mutex_);
-    completions_.push_back(client_id);
-  });
-  respond(client, RtAck::kAck);
+    // scheduler, then ring its doorbell so a parked loop reacts now.
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.push_back(client_id);
+      pending_completions_.fetch_add(1, std::memory_order_release);
+    }
+    door.ring();
+  };
 }
 
 }  // namespace vgpu::rt

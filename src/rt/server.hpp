@@ -1,20 +1,27 @@
 // The live GVM server: a user-space daemon owning the (functional) GPU
-// executor, serving VGPU requests from real processes or threads over
-// POSIX message queues and shared memory — the deployable counterpart of
-// the DES Gvm used for timing reproduction.
+// executor, serving VGPU requests from real processes or threads over the
+// negotiated IPC transport — the deployable counterpart of the DES Gvm
+// used for timing reproduction.
 //
 // Resource naming, for prefix P and client id k:
-//   request queue   P_req          (created by the server)
-//   response queue  P_resp<k>      (created by the client)
-//   data plane      P_vsm<k>       (created by the client; input area then
-//                                   output area, sizes fixed at REQ)
+//   request queue   P_req          (created by the server; carries REQ,
+//                                   mqueue-mode ops and shutdown)
+//   doorbell        P_door         (created by the server; ring clients
+//                                   and workers wake the serve loop here)
+//   response queue  P_resp<k>      (created by the client; REQ handshake
+//                                   and mqueue-mode responses)
+//   data plane      P_vsm<k>       (created by the client; optional ring
+//                                   channel block, then input area, then
+//                                   output area — layout fixed at REQ)
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +30,7 @@
 #include "common/units.hpp"
 #include "ipc/mqueue.hpp"
 #include "ipc/shm.hpp"
+#include "ipc/transport.hpp"
 #include "rt/messages.hpp"
 #include "rt/registry.hpp"
 #include "rt/thread_pool.hpp"
@@ -30,6 +38,21 @@
 #include "sched/scheduler.hpp"
 
 namespace vgpu::rt {
+
+/// How job data crosses the client/server boundary.
+enum class DataPlane : std::int32_t {
+  /// Paper-faithful: SND copies vsm -> pinned staging, STP copies staging
+  /// -> vsm (the Figure 10 "data in/out" overhead, reproduced live).
+  kStaged = 0,
+  /// Kernels execute directly on spans into the client's vsm region; the
+  /// job path moves zero bytes. Relies on the protocol's discipline (the
+  /// client only touches the data area between RCV and SND).
+  kZeroCopy = 1,
+};
+
+const char* data_plane_name(DataPlane plane);
+/// Parses the CLI spelling ("staged" | "zero_copy").
+bool parse_data_plane(const std::string& text, DataPlane* out);
 
 struct RtServerConfig {
   std::string prefix = "/vgpu";
@@ -44,6 +67,14 @@ struct RtServerConfig {
   /// Per-client cap on bytes_in + bytes_out at REQ; 0 = unlimited.
   /// Over-quota requests are rejected with RtAck::kError.
   Bytes per_client_quota = 0;
+  /// Control-plane transport offered to clients. REQ negotiates: the
+  /// selected transport is the best both sides speak, falling back to the
+  /// paper-faithful message queue.
+  ipc::TransportKind transport = ipc::TransportKind::kMessageQueue;
+  /// Data plane for kernel execution (see DataPlane).
+  DataPlane data_plane = DataPlane::kStaged;
+  /// Serve-loop wait strategy (spin -> yield -> doorbell park).
+  ipc::WaitConfig wait;
 };
 
 struct RtServerStats {
@@ -51,6 +82,26 @@ struct RtServerStats {
   std::atomic<long> flushes{0};
   std::atomic<long> jobs_run{0};
   std::atomic<long> waits_sent{0};
+  /// Requests that arrived via a shm-ring lane (no syscalls).
+  std::atomic<long> ring_requests{0};
+  /// Data-plane bytes memcpy'd on the job path (staged mode only; the
+  /// zero-copy plane keeps this at 0).
+  std::atomic<long> bytes_copied{0};
+  /// Kernel entries avoided versus the mqueue control plane: 4 per ring
+  /// round trip (client mq_send + server mq_timedreceive + server mq_send
+  /// + client mq_receive), doorbell futexes not deducted (the spin phase
+  /// elides most of them; see spin_wakeups).
+  std::atomic<long> syscalls_saved{0};
+  /// Serve-loop idle waits satisfied while spinning (no futex park).
+  std::atomic<long> spin_wakeups{0};
+  /// Serve-loop futex parks.
+  std::atomic<long> doorbell_blocks{0};
+  /// Histogram of requests handled per serve-loop wakeup; bucket i counts
+  /// wakeups that drained a batch of depth in [2^i, 2^(i+1)).
+  static constexpr int kBatchBuckets = 8;  // 1,2-3,4-7,...,128+
+  std::atomic<long> batch_depth[kBatchBuckets] = {};
+
+  void record_batch(std::size_t depth);
 };
 
 class RtServer {
@@ -60,7 +111,8 @@ class RtServer {
   RtServer& operator=(const RtServer&) = delete;
   ~RtServer();
 
-  /// Creates the request queue and starts the serve thread.
+  /// Creates the request queue and doorbell region, then starts the serve
+  /// thread.
   Status start();
 
   /// Posts a shutdown message and joins the serve thread. Idempotent.
@@ -76,8 +128,13 @@ class RtServer {
  private:
   struct ClientState {
     ipc::SharedMemory vsm;
+    /// REQ handshake and mqueue-mode responses (client-created).
     ipc::MessageQueue<RtResponse> resp;
-    std::vector<std::byte> staging_in;   // "pinned" staging buffers
+    /// Post-negotiation response path (and, for rings, request source).
+    std::unique_ptr<ipc::ServerLane<RtRequest, RtResponse>> lane;
+    RtChannel* channel = nullptr;      // ring transport only; inside vsm
+    std::size_t data_offset = 0;       // data area offset inside vsm
+    std::vector<std::byte> staging_in;   // staged data plane only
     std::vector<std::byte> staging_out;
     const RtKernelFn* kernel = nullptr;
     std::int64_t params[4] = {};
@@ -86,31 +143,52 @@ class RtServer {
     bool str_pending = false;
     std::shared_ptr<std::atomic<bool>> job_done =
         std::make_shared<std::atomic<bool>>(true);
+
+    std::span<std::byte> input_area() {
+      return vsm.bytes().subspan(data_offset,
+                                 static_cast<std::size_t>(bytes_in));
+    }
+    std::span<std::byte> output_area() {
+      return vsm.bytes().subspan(
+          data_offset + static_cast<std::size_t>(bytes_in),
+          static_cast<std::size_t>(bytes_out));
+    }
   };
 
   void serve_loop();
+  /// One non-blocking sweep over the shared queue and every ring lane.
+  /// Returns the number of requests handled; sets *shutdown when the
+  /// shutdown message was seen.
+  std::size_t drain_requests(bool* shutdown);
   void handle(const RtRequest& request);
   void handle_req(const RtRequest& request);
-  /// Drains scheduler grants: dispatches every granted client's job to
-  /// the worker pool and ACKs its STR.
+  /// Drains scheduler grants: dispatches every granted client's job batch
+  /// to the worker pool and ACKs the STRs.
   void pump();
-  void dispatch(int client_id);
+  /// Builds the worker-pool job for a granted client (marks it busy).
+  std::function<void()> make_job(int client_id, ClientState& client);
   /// Feeds worker-thread job completions back into the scheduler (serve
   /// thread only).
   void drain_completions();
   void respond(ClientState& client, RtAck ack);
+  /// True when any ring lane holds an unread request.
+  bool ring_request_pending();
   /// Monotonic nanoseconds since server start — the scheduler's clock.
   SimTime rt_now() const;
 
   RtServerConfig config_;
   const KernelRegistry& registry_;
   ipc::MessageQueue<RtRequest> requests_;
+  ipc::SharedMemory door_shm_;  // serve-loop doorbell (P_door)
   std::map<int, ClientState> clients_;
+  int ring_lanes_ = 0;  // clients negotiated onto the ring transport
+  std::vector<RtRequest> ring_batch_;  // drain_requests scratch
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::unique_ptr<sched::AdmissionController> admission_;
   std::chrono::steady_clock::time_point start_time_;
   std::mutex completions_mutex_;
   std::vector<int> completions_;  // worker -> serve thread job completions
+  std::atomic<int> pending_completions_{0};
   std::unique_ptr<ThreadPool> pool_;
   std::thread serve_thread_;
   std::atomic<bool> running_{false};

@@ -43,6 +43,24 @@ class ThreadPool {
     cv_.notify_one();
   }
 
+  /// Enqueues a whole batch under one lock acquisition and one broadcast —
+  /// the server's pump() uses this so a barrier cohort's worth of kernel
+  /// jobs costs one wakeup, not one per client.
+  void submit_batch(std::vector<std::function<void()>> jobs) {
+    if (jobs.empty()) return;
+    const bool single = jobs.size() == 1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      VGPU_ASSERT_MSG(!stopping_, "submit after shutdown");
+      for (auto& job : jobs) jobs_.push_back(std::move(job));
+    }
+    if (single) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+  }
+
   std::size_t workers() const { return workers_.size(); }
 
  private:

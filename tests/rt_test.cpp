@@ -25,10 +25,26 @@ std::string unique_prefix(const char* tag) {
   return std::string("/vgpu_rt_") + tag + "_" + std::to_string(::getpid());
 }
 
+RtServerConfig server_config(
+    const std::string& prefix, int clients, int workers,
+    ipc::TransportKind transport = ipc::TransportKind::kMessageQueue,
+    DataPlane data_plane = DataPlane::kStaged) {
+  RtServerConfig config;
+  config.prefix = prefix;
+  config.expected_clients = clients;
+  config.workers = workers;
+  config.transport = transport;
+  config.data_plane = data_plane;
+  return config;
+}
+
 /// Runs one full vecadd task through a client; returns true if the result
-/// that came back through the vsm is correct.
-bool run_vecadd_client(const std::string& prefix, int id, long n) {
-  auto client = RtClient::connect(prefix, id, 2 * n * 4, n * 4);
+/// that came back through the vsm is correct. `negotiated` (optional)
+/// receives the transport the REQ handshake selected.
+bool run_vecadd_client(const std::string& prefix, int id, long n,
+                       RtClientOptions options = {},
+                       ipc::TransportKind* negotiated = nullptr) {
+  auto client = RtClient::connect(prefix, id, 2 * n * 4, n * 4, options);
   if (!client.ok()) return false;
 
   const auto un = static_cast<std::size_t>(n);
@@ -42,6 +58,7 @@ bool run_vecadd_client(const std::string& prefix, int id, long n) {
   if (!kid.ok()) return false;
   const std::int64_t params[4] = {n, 0, 0, 0};
   if (!client->req(*kid, params).ok()) return false;
+  if (negotiated != nullptr) *negotiated = client->transport();
   if (!client->snd().ok()) return false;
   if (!client->str().ok()) return false;
   if (!client->wait_done().ok()) return false;
@@ -67,7 +84,7 @@ TEST(RtRegistry, BuiltinsRegisteredWithStableIds) {
 
 TEST(RtServer, SingleClientVecaddRoundTrip) {
   const std::string prefix = unique_prefix("single");
-  RtServer server({prefix, /*expected_clients=*/1, /*workers=*/2},
+  RtServer server(server_config(prefix, /*expected_clients=*/1, /*workers=*/2),
                   builtin_registry());
   ASSERT_TRUE(server.start().ok());
   EXPECT_TRUE(run_vecadd_client(prefix, 0, 1024));
@@ -79,7 +96,7 @@ TEST(RtServer, SingleClientVecaddRoundTrip) {
 TEST(RtServer, FourConcurrentClientThreads) {
   const std::string prefix = unique_prefix("four");
   constexpr int kClients = 4;
-  RtServer server({prefix, kClients, /*workers=*/4}, builtin_registry());
+  RtServer server(server_config(prefix, kClients, /*workers=*/4), builtin_registry());
   ASSERT_TRUE(server.start().ok());
 
   std::vector<std::thread> threads;
@@ -101,7 +118,7 @@ TEST(RtServer, FourConcurrentClientThreads) {
 
 TEST(RtServer, SlowKernelYieldsWaits) {
   const std::string prefix = unique_prefix("slow");
-  RtServer server({prefix, 1, 1}, builtin_registry());
+  RtServer server(server_config(prefix, 1, 1), builtin_registry());
   ASSERT_TRUE(server.start().ok());
   auto client = RtClient::connect(prefix, 0, 0, 0);
   ASSERT_TRUE(client.ok());
@@ -119,7 +136,7 @@ TEST(RtServer, SlowKernelYieldsWaits) {
 
 TEST(RtServer, EpKernelMatchesSequentialReference) {
   const std::string prefix = unique_prefix("ep");
-  RtServer server({prefix, 1, 2}, builtin_registry());
+  RtServer server(server_config(prefix, 1, 2), builtin_registry());
   ASSERT_TRUE(server.start().ok());
   auto client =
       RtClient::connect(prefix, 0, 0, sizeof(kernels::EpResult));
@@ -145,7 +162,7 @@ TEST(RtServer, EpKernelMatchesSequentialReference) {
 
 TEST(RtServer, MultiRoundReusesResources) {
   const std::string prefix = unique_prefix("rounds");
-  RtServer server({prefix, 1, 2}, builtin_registry());
+  RtServer server(server_config(prefix, 1, 2), builtin_registry());
   ASSERT_TRUE(server.start().ok());
   const long n = 256;
   auto client = RtClient::connect(prefix, 0, 2 * n * 4, n * 4);
@@ -176,7 +193,7 @@ TEST(RtServer, MultiRoundReusesResources) {
 TEST(RtServer, ForkedProcessClients) {
   const std::string prefix = unique_prefix("fork");
   constexpr int kClients = 2;
-  RtServer server({prefix, kClients, 2}, builtin_registry());
+  RtServer server(server_config(prefix, kClients, 2), builtin_registry());
   ASSERT_TRUE(server.start().ok());
 
   std::vector<pid_t> children;
@@ -203,7 +220,7 @@ TEST(RtServer, ForkedProcessClients) {
 
 TEST(RtServer, UnknownKernelIdRejected) {
   const std::string prefix = unique_prefix("badkid");
-  RtServer server({prefix, 1, 1}, builtin_registry());
+  RtServer server(server_config(prefix, 1, 1), builtin_registry());
   ASSERT_TRUE(server.start().ok());
   auto client = RtClient::connect(prefix, 0, 16, 16);
   ASSERT_TRUE(client.ok());
@@ -217,8 +234,8 @@ TEST(RtServer, UnknownKernelIdRejected) {
 TEST(RtServer, TwoServersOnDistinctPrefixesCoexist) {
   const std::string p1 = unique_prefix("coex1");
   const std::string p2 = unique_prefix("coex2");
-  RtServer s1({p1, 1, 1}, builtin_registry());
-  RtServer s2({p2, 1, 1}, builtin_registry());
+  RtServer s1(server_config(p1, 1, 1), builtin_registry());
+  RtServer s2(server_config(p2, 1, 1), builtin_registry());
   ASSERT_TRUE(s1.start().ok());
   ASSERT_TRUE(s2.start().ok());
   EXPECT_TRUE(run_vecadd_client(p1, 0, 256));
@@ -231,7 +248,7 @@ TEST(RtServer, TwoServersOnDistinctPrefixesCoexist) {
 
 TEST(RtServer, ReduceAndDotKernels) {
   const std::string prefix = unique_prefix("reduce");
-  RtServer server({prefix, 1, 1}, builtin_registry());
+  RtServer server(server_config(prefix, 1, 1), builtin_registry());
   ASSERT_TRUE(server.start().ok());
   const long n = 1000;
   auto client = RtClient::connect(prefix, 0, 2 * n * 4, 4);
@@ -265,7 +282,7 @@ TEST(RtServer, ReduceAndDotKernels) {
 
 TEST(RtServer, MgVcycleKernelReducesResidual) {
   const std::string prefix = unique_prefix("mg");
-  RtServer server({prefix, 1, 1}, builtin_registry());
+  RtServer server(server_config(prefix, 1, 1), builtin_registry());
   ASSERT_TRUE(server.start().ok());
   const int n = 8;
   const auto cells = static_cast<std::size_t>(n) * n * n;
@@ -292,16 +309,133 @@ TEST(RtServer, MgVcycleKernelReducesResidual) {
   server.stop();
 }
 
+TEST(RtServer, ParseDataPlaneSpellings) {
+  DataPlane plane = DataPlane::kStaged;
+  EXPECT_TRUE(parse_data_plane("zero_copy", &plane));
+  EXPECT_EQ(plane, DataPlane::kZeroCopy);
+  EXPECT_TRUE(parse_data_plane("staged", &plane));
+  EXPECT_EQ(plane, DataPlane::kStaged);
+  EXPECT_FALSE(parse_data_plane("teleport", &plane));
+  EXPECT_STREQ(data_plane_name(DataPlane::kStaged), "staged");
+  EXPECT_STREQ(data_plane_name(DataPlane::kZeroCopy), "zero_copy");
+}
+
+TEST(RtServer, ShmRingTransportNegotiatedAndCorrect) {
+  const std::string prefix = unique_prefix("ring");
+  RtServer server(
+      server_config(prefix, 1, 2, ipc::TransportKind::kShmRing),
+      builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  RtClientOptions options;
+  options.transport = ipc::TransportKind::kShmRing;
+  ipc::TransportKind negotiated = ipc::TransportKind::kMessageQueue;
+  EXPECT_TRUE(run_vecadd_client(prefix, 0, 1024, options, &negotiated));
+  server.stop();
+  EXPECT_EQ(negotiated, ipc::TransportKind::kShmRing);
+  EXPECT_EQ(server.stats().jobs_run.load(), 1);
+  EXPECT_EQ(server.stats().flushes.load(), 1);
+  // Everything after the REQ handshake travelled over the ring.
+  EXPECT_GT(server.stats().ring_requests.load(), 0);
+  EXPECT_GT(server.stats().syscalls_saved.load(), 0);
+}
+
+TEST(RtServer, MqueueOnlyClientFallsBackAgainstRingServer) {
+  const std::string prefix = unique_prefix("mixed");
+  RtServer server(
+      server_config(prefix, 1, 2, ipc::TransportKind::kShmRing),
+      builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  RtClientOptions options;
+  options.transport = ipc::TransportKind::kMessageQueue;
+  ipc::TransportKind negotiated = ipc::TransportKind::kShmRing;
+  EXPECT_TRUE(run_vecadd_client(prefix, 0, 512, options, &negotiated));
+  server.stop();
+  EXPECT_EQ(negotiated, ipc::TransportKind::kMessageQueue);
+  EXPECT_EQ(server.stats().ring_requests.load(), 0);
+  EXPECT_EQ(server.stats().jobs_run.load(), 1);
+}
+
+TEST(RtServer, RingCapableClientAgainstMqueueServerStaysOnMqueue) {
+  const std::string prefix = unique_prefix("down");
+  RtServer server(server_config(prefix, 1, 2), builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  RtClientOptions options;
+  options.transport = ipc::TransportKind::kShmRing;
+  ipc::TransportKind negotiated = ipc::TransportKind::kShmRing;
+  EXPECT_TRUE(run_vecadd_client(prefix, 0, 512, options, &negotiated));
+  server.stop();
+  EXPECT_EQ(negotiated, ipc::TransportKind::kMessageQueue);
+  EXPECT_EQ(server.stats().ring_requests.load(), 0);
+}
+
+TEST(RtServer, ZeroCopyPlaneMovesNoBytesOnJobPath) {
+  const std::string prefix = unique_prefix("zc");
+  RtServer server(server_config(prefix, 1, 2, ipc::TransportKind::kShmRing,
+                                DataPlane::kZeroCopy),
+                  builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  RtClientOptions options;
+  options.transport = ipc::TransportKind::kShmRing;
+  EXPECT_TRUE(run_vecadd_client(prefix, 0, 4096, options));
+  server.stop();
+  EXPECT_EQ(server.stats().bytes_copied.load(), 0);
+  EXPECT_EQ(server.stats().jobs_run.load(), 1);
+}
+
+TEST(RtServer, StagedPlaneAccountsCopiedBytes) {
+  const std::string prefix = unique_prefix("staged");
+  const long n = 1024;
+  RtServer server(server_config(prefix, 1, 2), builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_TRUE(run_vecadd_client(prefix, 0, n));
+  server.stop();
+  // SND staged 2n floats in, STP staged n floats out.
+  EXPECT_EQ(server.stats().bytes_copied.load(), 3 * n * 4);
+}
+
+TEST(RtServer, RingTransportForkedProcessClients) {
+  const std::string prefix = unique_prefix("rfork");
+  constexpr int kClients = 2;
+  RtServer server(
+      server_config(prefix, kClients, 2, ipc::TransportKind::kShmRing),
+      builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  std::vector<pid_t> children;
+  for (int c = 0; c < kClients; ++c) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: separate process, ring control plane over shared memory
+      // and a cross-process futex doorbell.
+      RtClientOptions options;
+      options.transport = ipc::TransportKind::kShmRing;
+      ipc::TransportKind negotiated = ipc::TransportKind::kMessageQueue;
+      const bool ok = run_vecadd_client(prefix, c, 512, options, &negotiated);
+      ::_exit(ok && negotiated == ipc::TransportKind::kShmRing ? 0 : 1);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().jobs_run.load(), kClients);
+  EXPECT_GT(server.stats().ring_requests.load(), 0);
+}
+
 TEST(RtServer, StopIsIdempotentAndRestartable) {
   const std::string prefix = unique_prefix("restart");
   {
-    RtServer server({prefix, 1, 1}, builtin_registry());
+    RtServer server(server_config(prefix, 1, 1), builtin_registry());
     ASSERT_TRUE(server.start().ok());
     server.stop();
     server.stop();  // no-op
   }
   // Fresh server on the same prefix works.
-  RtServer server({prefix, 1, 1}, builtin_registry());
+  RtServer server(server_config(prefix, 1, 1), builtin_registry());
   ASSERT_TRUE(server.start().ok());
   EXPECT_TRUE(run_vecadd_client(prefix, 0, 128));
   server.stop();

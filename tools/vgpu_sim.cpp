@@ -5,24 +5,42 @@
 //            [--model]
 //
 //   workloads:  vecadd ep mm mg blackscholes cg electrostatics
-//   modes:      native | virt | remote | remote10g | vm | merge
+//   modes:      native | virt | remote | remote10g | vm | merge | live
 //   devices:    c2070 (default) | c2050 | gtx480 | c1060
 //   schedulers: barrier (default) | tq | fair | prio
 //
 // `--sched` and `--quota-mb` only affect virtualized runs; any value other
 // than the default barrier policy also prints the scheduler counter block.
 //
+// `--mode=live` runs the workload's kernel for real: an in-process GVM
+// server plus `--procs` forked client processes speaking the six-verb
+// protocol over actual POSIX IPC. `--transport=mq|shm` picks the control
+// plane and `--data-plane=staged|zero_copy` the data plane (both default
+// to the paper-faithful setting); the run prints the transport counters.
+//
 // Examples:
 //   vgpu-sim --workload=ep --procs=8 --all-modes
 //   vgpu-sim --workload=vecadd --mode=virt --procs=4 --model
 //   vgpu-sim --workload=mm --mode=virt --sched=tq --quota-mb=512
+//   vgpu-sim --workload=vecadd --mode=live --procs=4 --transport=shm
+//            --data-plane=zero_copy
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "baselines/baselines.hpp"
 #include "common/flags.hpp"
 #include "gvm/experiment.hpp"
+#include "kernels/electrostatics.hpp"
+#include "kernels/ep.hpp"
+#include "rt/client.hpp"
+#include "rt/registry.hpp"
+#include "rt/server.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace vgpu;
@@ -94,6 +112,179 @@ SimDuration run_mode(const std::string& mode, const gpu::DeviceSpec& spec,
   std::exit(2);
 }
 
+/// What one live client runs: a builtin kernel with its params and data
+/// footprint, sized so a full --procs wave finishes in well under a second.
+struct LiveKernelPlan {
+  const char* kernel = nullptr;
+  std::int64_t params[4] = {};
+  Bytes bytes_in = 0;
+  Bytes bytes_out = 0;
+};
+
+LiveKernelPlan live_plan(const std::string& workload) {
+  LiveKernelPlan plan;
+  if (workload == "vecadd") {
+    const long n = 1 << 20;
+    plan = {"vecadd", {n, 0, 0, 0}, 2 * n * 4, n * 4};
+  } else if (workload == "mm") {
+    const long n = 256;
+    plan = {"sgemm", {n, 0, 0, 0}, 2 * n * n * 4, n * n * 4};
+  } else if (workload == "mg") {
+    const long n = 32;
+    const Bytes cells = static_cast<Bytes>(n) * n * n;
+    plan = {"mg_vcycle", {n, 2, 0, 0}, cells * 8, cells * 8};
+  } else if (workload == "blackscholes") {
+    const long n = 1 << 18;
+    plan = {"blackscholes", {n, 0, 0, 0}, 3 * n * 4, 2 * n * 4};
+  } else if (workload == "ep") {
+    plan = {"ep", {16, 8, 0, 0}, 0,
+            static_cast<Bytes>(sizeof(kernels::EpResult))};
+  } else if (workload == "electrostatics") {
+    const long natoms = 1024, nx = 64, ny = 64;
+    plan = {"coulomb_slab",
+            {natoms, nx, ny, 0},
+            natoms * static_cast<Bytes>(sizeof(kernels::Atom)),
+            nx * ny * 4};
+  } else {
+    std::fprintf(stderr,
+                 "workload '%s' has no live kernel (try: vecadd mm mg "
+                 "blackscholes ep electrostatics)\n",
+                 workload.c_str());
+    std::exit(2);
+  }
+  return plan;
+}
+
+/// One forked client process: connect, REQ, then `rounds` full
+/// SND/STR/STP/RCV cycles, RLS. Exits 0 on success.
+int run_live_client(const std::string& prefix, int id,
+                    const LiveKernelPlan& plan, int rounds,
+                    ipc::TransportKind transport) {
+  rt::RtClientOptions options;
+  options.transport = transport;
+  auto client = rt::RtClient::connect(prefix, id, plan.bytes_in,
+                                      plan.bytes_out, options);
+  if (!client.ok()) return 1;
+  auto kid = rt::builtin_registry().id_of(plan.kernel);
+  if (!kid.ok()) return 1;
+  // Deterministic input pattern; mg_vcycle reads doubles, the rest floats.
+  if (plan.bytes_in > 0) {
+    if (std::string(plan.kernel) == "mg_vcycle") {
+      auto* in = reinterpret_cast<double*>(client->input().data());
+      for (Bytes i = 0; i < plan.bytes_in / 8; ++i) {
+        in[i] = 0.001 * static_cast<double>(i % 1000);
+      }
+    } else {
+      auto* in = reinterpret_cast<float*>(client->input().data());
+      for (Bytes i = 0; i < plan.bytes_in / 4; ++i) {
+        in[i] = 0.25f * static_cast<float>(i % 64 + 1);
+      }
+    }
+  }
+  if (!client->req(*kid, plan.params).ok()) return 1;
+  for (int round = 0; round < rounds; ++round) {
+    if (!client->snd().ok()) return 1;
+    if (!client->str().ok()) return 1;
+    if (!client->wait_done().ok()) return 1;
+    if (!client->rcv().ok()) return 1;
+  }
+  return client->rls().ok() ? 0 : 1;
+}
+
+void print_live_stats(const rt::RtServer& server) {
+  const rt::RtServerStats& s = server.stats();
+  std::printf("  requests %ld (ring %ld), flushes %ld, jobs %ld, "
+              "waits %ld\n",
+              s.requests.load(), s.ring_requests.load(), s.flushes.load(),
+              s.jobs_run.load(), s.waits_sent.load());
+  std::printf("  bytes_copied %ld, syscalls_saved %ld, spin_wakeups %ld, "
+              "doorbell_blocks %ld\n",
+              s.bytes_copied.load(), s.syscalls_saved.load(),
+              s.spin_wakeups.load(), s.doorbell_blocks.load());
+  std::printf("  batch depth:");
+  for (int b = 0; b < rt::RtServerStats::kBatchBuckets; ++b) {
+    const long count = s.batch_depth[b].load();
+    if (count == 0) continue;
+    const int lo = 1 << b;
+    std::printf(" [%d..%d]=%ld", lo, 2 * lo - 1, count);
+  }
+  std::printf("\n");
+}
+
+/// Real-machine run: forked clients against an in-process GVM server.
+int run_live(const Flags& flags, const std::string& workload_name, int procs,
+             int rounds, const gvm::GvmConfig& gvm_config) {
+  ipc::TransportKind transport = ipc::TransportKind::kMessageQueue;
+  if (flags.has("transport") &&
+      !ipc::parse_transport(flags.get_string("transport"), &transport)) {
+    std::fprintf(stderr, "unknown transport '%s' (try: mq shm)\n",
+                 flags.get_string("transport").c_str());
+    return 2;
+  }
+  rt::DataPlane data_plane = rt::DataPlane::kStaged;
+  if (flags.has("data-plane") &&
+      !rt::parse_data_plane(flags.get_string("data-plane"), &data_plane)) {
+    std::fprintf(stderr,
+                 "unknown data plane '%s' (try: staged zero_copy)\n",
+                 flags.get_string("data-plane").c_str());
+    return 2;
+  }
+  const LiveKernelPlan plan = live_plan(workload_name);
+
+  rt::RtServerConfig config;
+  config.prefix = "/vgpu_live_" + std::to_string(::getpid());
+  config.expected_clients = procs;
+  config.workers = procs < 4 ? procs : 4;
+  config.sched = gvm_config.sched;
+  config.per_client_quota = gvm_config.per_client_quota;
+  config.transport = transport;
+  config.data_plane = data_plane;
+  rt::RtServer server(config, rt::builtin_registry());
+  const Status st = server.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "live server start failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<pid_t> children;
+  for (int c = 0; c < procs; ++c) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      ::_exit(run_live_client(config.prefix, c, plan, rounds, transport));
+    }
+    children.push_back(pid);
+  }
+  bool ok = true;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ok = false;
+    }
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  server.stop();
+
+  std::printf("  %-10s %10.1f ms  [%s/%s, kernel %s]\n", "live", wall_ms,
+              ipc::transport_name(transport), rt::data_plane_name(data_plane),
+              plan.kernel);
+  print_live_stats(server);
+  if (!ok) {
+    std::fprintf(stderr, "live run failed: a client exited non-zero\n");
+    return 1;
+  }
+  return 0;
+}
+
 void print_sched_counters(const gvm::RunResult& r, sched::Policy policy) {
   const sched::SchedStats& s = r.sched;
   const sched::AdmissionStats& a = r.admission;
@@ -117,8 +308,9 @@ int main(int argc, char** argv) {
         "usage: %s --workload=<vecadd|ep|mm|mg|blackscholes|cg|"
         "electrostatics>\n"
         "          [--procs=8] [--rounds=<default>] [--device=c2070]\n"
-        "          [--mode=native|virt|remote|remote10g|vm|merge]\n"
+        "          [--mode=native|virt|remote|remote10g|vm|merge|live]\n"
         "          [--sched=barrier|tq|fair|prio] [--quota-mb=<N>]\n"
+        "          [--transport=mq|shm] [--data-plane=staged|zero_copy]\n"
         "          [--all-modes] [--model]\n",
         flags.program().c_str());
     return flags.positional().empty() && argc <= 1 ? 0 : 2;
@@ -148,6 +340,12 @@ int main(int argc, char** argv) {
 
   std::printf("workload %s, %d processes, %d round(s), device %s\n",
               w.name.c_str(), procs, rounds, spec.name.c_str());
+
+  if (flags.get_string("mode", "virt") == "live" &&
+      !flags.get_bool("all-modes")) {
+    return run_live(flags, flags.get_string("workload"), procs, rounds,
+                    gvm_config);
+  }
 
   gvm::RunResult virt_result;
   bool ran_virt = false;
