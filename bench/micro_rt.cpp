@@ -3,6 +3,8 @@
 // (message queue vs shm ring) and the data plane (staged vs zero-copy).
 #include <benchmark/benchmark.h>
 
+#include "support.hpp"
+
 #include <unistd.h>
 
 #include "rt/client.hpp"
@@ -75,7 +77,7 @@ void BM_ProtocolRoundTrip(benchmark::State& state) {
   state.SetLabel(ipc::transport_name(client->transport()));
   report_server_stats(state, server.stats());
 }
-BENCHMARK(BM_ProtocolRoundTrip)->Arg(0)->Arg(1)->ArgNames({"shm"});
+VGPU_MICRO_BENCHMARK(BM_ProtocolRoundTrip)->Arg(0)->Arg(1)->ArgNames({"shm"});
 
 // Arg 0: vecadd n, Arg 1: transport, Arg 2: data plane (0 = staged,
 // 1 = zero-copy). The acceptance check for the zero-copy plane is the
@@ -117,10 +119,10 @@ void BM_FullTaskCycle(benchmark::State& state) {
                  rt::data_plane_name(server.config().data_plane));
   report_server_stats(state, server.stats());
 }
-BENCHMARK(BM_FullTaskCycle)
+VGPU_MICRO_BENCHMARK(BM_FullTaskCycle)
     ->ArgsProduct({{1024, 262144}, {0, 1}, {0, 1}})
     ->ArgNames({"n", "shm", "zc"});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VGPU_MICRO_MAIN()

@@ -5,6 +5,8 @@
 // beat the message-queue transport by well over 5x on a spin-phase hit.
 #include <benchmark/benchmark.h>
 
+#include "support.hpp"
+
 #include <unistd.h>
 
 #include <atomic>
@@ -61,7 +63,7 @@ void BM_MqueueInlineRoundTrip(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MqueueInlineRoundTrip);
+VGPU_MICRO_BENCHMARK(BM_MqueueInlineRoundTrip);
 
 void BM_ShmRingInlineRoundTrip(benchmark::State& state) {
   using Block = ipc::ShmChannelBlock<Req, Resp>;
@@ -89,7 +91,7 @@ void BM_ShmRingInlineRoundTrip(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ShmRingInlineRoundTrip);
+VGPU_MICRO_BENCHMARK(BM_ShmRingInlineRoundTrip);
 
 void BM_MqueueTransportRoundTrip(benchmark::State& state) {
   auto req_q = ipc::MessageQueue<Req>::create(unique_name("req"));
@@ -122,7 +124,7 @@ void BM_MqueueTransportRoundTrip(benchmark::State& state) {
   echo.join();
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MqueueTransportRoundTrip);
+VGPU_MICRO_BENCHMARK(BM_MqueueTransportRoundTrip);
 
 // Arg 0: spin iterations of the echo side's wait strategy. 0 parks on the
 // doorbell immediately (every round trip pays two futex syscalls); the
@@ -177,11 +179,11 @@ void BM_ShmRingTransportRoundTrip(benchmark::State& state) {
       static_cast<double>(chan.wait_stats().spin_hits);
   state.counters["blocks"] = static_cast<double>(chan.wait_stats().blocks);
 }
-BENCHMARK(BM_ShmRingTransportRoundTrip)
+VGPU_MICRO_BENCHMARK(BM_ShmRingTransportRoundTrip)
     ->Arg(4096)   // default spin budget: syscall-free hot path
     ->Arg(0)      // park-only: isolates the futex cost
     ->ArgNames({"spin"});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VGPU_MICRO_MAIN()

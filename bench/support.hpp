@@ -38,3 +38,97 @@ void turnaround_sweep(const workloads::Workload& w, int max_procs,
 void emit(TablePrinter& table, const std::string& csv_name);
 
 }  // namespace vgpu::bench
+
+// Micro-bench (google-benchmark) helpers. Header-only, and only compiled
+// when the including binary already pulled in <benchmark/benchmark.h>, so
+// the table/figure benches (which do not link google-benchmark) are
+// unaffected. Micro benches include benchmark.h first, then this header.
+#ifdef BENCHMARK_BENCHMARK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace vgpu::bench {
+
+/// p-th percentile (0..1) by linear interpolation between order statistics
+/// (the convention the sched/transport stats code uses).
+inline double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+inline double p95_statistic(const std::vector<double>& samples) {
+  return percentile(samples, 0.95);
+}
+
+/// Runs every registered micro benchmark with warmup + K repetitions,
+/// reporting aggregates (median, p95 via VGPU_MICRO_BENCHMARK, ...) only.
+/// `--reps=K` picks the repetition count (default `default_reps`); every
+/// other flag passes through to google-benchmark untouched, and explicit
+/// --benchmark_repetitions= / --benchmark_min_warmup_time= flags win over
+/// the injected defaults.
+inline int run_micro_benchmarks(int argc, char** argv,
+                                int default_reps = 5) {
+  int reps = default_reps;
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 3);
+  bool explicit_reps = false;
+  bool explicit_warmup = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::max(1, std::atoi(argv[i] + 7));
+      continue;  // ours, not google-benchmark's
+    }
+    if (std::strncmp(argv[i], "--benchmark_repetitions=", 24) == 0) {
+      explicit_reps = true;
+    }
+    if (std::strncmp(argv[i], "--benchmark_min_warmup_time=", 28) == 0) {
+      explicit_warmup = true;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!explicit_reps) {
+    storage.push_back("--benchmark_repetitions=" + std::to_string(reps));
+  }
+  if (!explicit_warmup) {
+    // One timed-but-discarded window before measurement: mqueue/shm paths
+    // fault in pages and warm the doorbell futex word.
+    storage.push_back("--benchmark_min_warmup_time=0.05");
+  }
+  if (reps > 1) {
+    storage.push_back("--benchmark_report_aggregates_only=true");
+  }
+  for (std::string& s : storage) args.push_back(s.data());
+  int effective_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&effective_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(effective_argc,
+                                               args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace vgpu::bench
+
+/// BENCHMARK() plus a p95 aggregate across repetitions (median/mean/stddev
+/// come from google-benchmark itself once --reps > 1).
+#define VGPU_MICRO_BENCHMARK(fn) \
+  BENCHMARK(fn)->ComputeStatistics("p95", ::vgpu::bench::p95_statistic)
+
+/// BENCHMARK_MAIN() replacement wiring in --reps= warmup/median/p95.
+#define VGPU_MICRO_MAIN()                                   \
+  int main(int argc, char** argv) {                         \
+    return ::vgpu::bench::run_micro_benchmarks(argc, argv); \
+  }
+
+#endif  // BENCHMARK_BENCHMARK_H_

@@ -1,9 +1,10 @@
 // Live SPMD demo: REAL processes sharing a GVM daemon over POSIX IPC.
 //
-//   $ ./examples/spmd_live [nprocs]
+//   $ ./examples/spmd_live [nprocs] [--exec=serial|sharded] [--workers=N]
 //
 // The parent starts the GVM server (message-queue control plane, worker
-// pool as the functional executor), then fork()s `nprocs` child processes.
+// pool — or, with --exec=sharded, the src/exec work-stealing engine — as
+// the functional executor), then fork()s `nprocs` child processes.
 // Each child connects to its Virtual GPU, writes a distinct vector-addition
 // problem into its virtual shared memory, runs the full
 // REQ/SND/STR/STP/RCV/RLS protocol, and verifies the result that came back.
@@ -69,13 +70,30 @@ int run_child(const std::string& prefix, int id) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
+  int nprocs = 4;
+  rt::ExecMode exec = rt::ExecMode::kSerial;
+  int workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--exec=", 0) == 0) {
+      if (!rt::parse_exec_mode(arg.substr(7), &exec)) {
+        std::fprintf(stderr, "unknown exec mode '%s' (try: serial sharded)\n",
+                     arg.substr(7).c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::atoi(arg.c_str() + 10);
+    } else {
+      nprocs = std::atoi(arg.c_str());
+    }
+  }
   const std::string prefix = "/vgpu_live_" + std::to_string(::getpid());
 
   rt::RtServerConfig config;
   config.prefix = prefix;
   config.expected_clients = nprocs;
-  config.workers = 4;
+  config.workers = workers;
+  config.exec = exec;
   rt::RtServer server(config, rt::builtin_registry());
   const Status st = server.start();
   if (!st.ok()) {
@@ -108,5 +126,13 @@ int main(int argc, char** argv) {
               "%d/%d processes OK\n",
               server.stats().requests.load(), server.stats().jobs_run.load(),
               server.stats().flushes.load(), nprocs - failures, nprocs);
+  if (exec == rt::ExecMode::kSharded) {
+    const rt::RtExecCounters& e = server.exec_counters();
+    std::printf("exec [%s, %d workers]: %ld launches, %ld shards, %ld "
+                "steals, overlap %ld B\n",
+                rt::exec_mode_name(exec), workers, e.launches,
+                e.shards_executed, e.steals,
+                server.stats().overlap_bytes.load());
+  }
   return failures == 0 ? 0 : 1;
 }

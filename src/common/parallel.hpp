@@ -1,0 +1,37 @@
+// Vocabulary types for range-parallel kernel bodies.
+//
+// Kernels expose their grid-parallel work as (block_begin, block_end)
+// range functions; an executor decides how the range is partitioned and
+// on which threads the pieces run. `ParallelFor` is the seam between the
+// two: kernel bodies accept one and call it per grid-shaped stage, and
+// callers bind either the serial executor below (the oracle path) or the
+// work-stealing engine in src/exec. Keeping the seam here — not in
+// src/exec — lets src/kernels stay free of any executor dependency.
+#pragma once
+
+#include <functional>
+
+namespace vgpu {
+
+/// One shard of a grid: executes blocks [begin, end). Implementations
+/// must be safe to run concurrently with other shards of the same range.
+using RangeFn = std::function<void(long begin, long end)>;
+
+/// Runs `fn` over [0, total), possibly split across threads; must not
+/// return until every block has executed. total <= 0 is a no-op.
+using ParallelFor = std::function<void(long total, const RangeFn& fn)>;
+
+/// The trivial executor: the whole range as one shard on the calling
+/// thread. Kernel entry points default to this, which keeps the serial
+/// paths byte-identical to the pre-engine implementations.
+inline void serial_for(long total, const RangeFn& fn) {
+  if (total > 0) fn(0, total);
+}
+
+/// A ParallelFor bound to serial_for (handy as a default argument).
+inline const ParallelFor& serial_executor() {
+  static const ParallelFor pf = serial_for;
+  return pf;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,96 @@
+// Chase-Lev work-stealing deque (fixed capacity, lock-free).
+//
+// One owner thread pushes and pops at the bottom (LIFO, cache-warm);
+// any number of thieves steal from the top (FIFO, oldest shard first —
+// the biggest remaining chunk of a recursively split range). Memory
+// ordering follows Lê/Pop/Cohen/Nardelli, "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP'13), restricted to a
+// fixed power-of-two buffer: a full deque rejects the push and the
+// caller overflows to the engine's global queue instead of growing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <optional>
+
+namespace vgpu::exec {
+
+template <typename T, std::size_t Capacity = 1024>
+class StealDeque {
+  static_assert((Capacity & (Capacity - 1)) == 0, "capacity must be 2^k");
+
+ public:
+  /// Owner only. Returns false when the deque is full (caller overflows
+  /// to a shared queue; nothing is dropped).
+  bool push_bottom(const T& value) {
+    const long b = bottom_.load(std::memory_order_relaxed);
+    const long t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<long>(Capacity)) return false;
+    slot(b) = value;
+    // Publish the element before the new bottom becomes visible to
+    // thieves reading bottom with acquire.
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only: most recently pushed element, if any.
+  std::optional<T> pop_bottom() {
+    long b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    // Full fence: the bottom store must be visible to thieves before we
+    // read top, or a concurrent steal of the last element could be
+    // double-taken.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    long t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was already empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = slot(b);
+    if (t == b) {
+      // Last element: race the thieves for it via top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        // A thief won; the deque is empty.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return value;
+    }
+    return value;  // more than one element: no race possible
+  }
+
+  /// Any thread: oldest element, if the race for it is won.
+  std::optional<T> steal() {
+    long t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const long b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    T value = slot(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost to the owner or another thief
+    }
+    return value;
+  }
+
+  /// Approximate (racy) — for wait predicates and stats only.
+  bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  T& slot(long i) {
+    return buffer_[static_cast<std::size_t>(i) & (Capacity - 1)];
+  }
+
+  alignas(64) std::atomic<long> top_{0};
+  alignas(64) std::atomic<long> bottom_{0};
+  alignas(64) std::array<T, Capacity> buffer_{};
+};
+
+}  // namespace vgpu::exec

@@ -1,7 +1,9 @@
 #include "kernels/blackscholes.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/math.hpp"
 #include "common/status.hpp"
 
 namespace vgpu::kernels {
@@ -22,12 +24,17 @@ float cnd(float d) {
   return c;
 }
 
-void black_scholes(const OptionBatch& batch, std::span<float> call,
-                   std::span<float> put) {
-  const std::size_t n = batch.stock_price.size();
-  VGPU_ASSERT(batch.strike_price.size() == n && batch.years.size() == n);
-  VGPU_ASSERT(call.size() == n && put.size() == n);
-  for (std::size_t i = 0; i < n; ++i) {
+long black_scholes_blocks(long n_options) {
+  return ceil_div(n_options, kBsBlock);
+}
+
+void black_scholes_blocks(const OptionBatch& batch, std::span<float> call,
+                          std::span<float> put, long block_begin,
+                          long block_end) {
+  const auto n = static_cast<long>(batch.stock_price.size());
+  const auto lo = static_cast<std::size_t>(std::min(n, block_begin * kBsBlock));
+  const auto hi = static_cast<std::size_t>(std::min(n, block_end * kBsBlock));
+  for (std::size_t i = lo; i < hi; ++i) {
     const float s = batch.stock_price[i];
     const float x = batch.strike_price[i];
     const float t = batch.years[i];
@@ -41,6 +48,16 @@ void black_scholes(const OptionBatch& batch, std::span<float> call,
     call[i] = s * cnd(d1) - x * exp_rt * cnd(d2);
     put[i] = x * exp_rt * cnd(-d2) - s * cnd(-d1);
   }
+}
+
+void black_scholes(const OptionBatch& batch, std::span<float> call,
+                   std::span<float> put, const ParallelFor& pf) {
+  const std::size_t n = batch.stock_price.size();
+  VGPU_ASSERT(batch.strike_price.size() == n && batch.years.size() == n);
+  VGPU_ASSERT(call.size() == n && put.size() == n);
+  pf(black_scholes_blocks(static_cast<long>(n)), [&](long begin, long end) {
+    black_scholes_blocks(batch, call, put, begin, end);
+  });
 }
 
 gpu::KernelLaunch black_scholes_launch(long n_options) {

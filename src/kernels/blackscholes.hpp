@@ -4,6 +4,7 @@
 
 #include <span>
 
+#include "common/parallel.hpp"
 #include "gpu/cost.hpp"
 
 namespace vgpu::kernels {
@@ -16,9 +17,23 @@ struct OptionBatch {
   float volatility = 0.30f;             // v
 };
 
+/// Options per range block for the sharded kernel (one 128-thread block's
+/// worth of the SDK grid-stride loop).
+inline constexpr long kBsBlock = 128;
+
+/// Number of kBsBlock-sized range blocks covering n options.
+long black_scholes_blocks(long n_options);
+
+/// Prices options in blocks [block_begin, block_end) of kBsBlock each.
+/// Elementwise, so any partition prices bitwise-identically.
+void black_scholes_blocks(const OptionBatch& batch, std::span<float> call,
+                          std::span<float> put, long block_begin,
+                          long block_end);
+
 /// Prices every option: call[i], put[i] from batch inputs.
 void black_scholes(const OptionBatch& batch, std::span<float> call,
-                   std::span<float> put);
+                   std::span<float> put,
+                   const ParallelFor& pf = serial_executor());
 
 /// Cumulative normal distribution (polynomial approximation used by the
 /// CUDA SDK kernel); exposed for tests.

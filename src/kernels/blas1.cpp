@@ -1,5 +1,6 @@
 #include "kernels/blas1.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/math.hpp"
@@ -7,15 +8,40 @@
 
 namespace vgpu::kernels {
 
-void vecadd(std::span<const float> a, std::span<const float> b,
-            std::span<float> c) {
-  VGPU_ASSERT(a.size() == b.size() && a.size() == c.size());
-  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+void vecadd_blocks(std::span<const float> a, std::span<const float> b,
+                   std::span<float> c, long block_begin, long block_end) {
+  const auto n = static_cast<long>(a.size());
+  const std::size_t lo = static_cast<std::size_t>(
+      std::min(n, block_begin * kVecBlock));
+  const std::size_t hi =
+      static_cast<std::size_t>(std::min(n, block_end * kVecBlock));
+  for (std::size_t i = lo; i < hi; ++i) c[i] = a[i] + b[i];
 }
 
-void saxpy(float alpha, std::span<const float> x, std::span<float> y) {
+void vecadd(std::span<const float> a, std::span<const float> b,
+            std::span<float> c, const ParallelFor& pf) {
+  VGPU_ASSERT(a.size() == b.size() && a.size() == c.size());
+  const long blocks = ceil_div(static_cast<long>(a.size()), kVecBlock);
+  pf(blocks, [&](long begin, long end) { vecadd_blocks(a, b, c, begin, end); });
+}
+
+void saxpy_blocks(float alpha, std::span<const float> x, std::span<float> y,
+                  long block_begin, long block_end) {
+  const auto n = static_cast<long>(x.size());
+  const std::size_t lo = static_cast<std::size_t>(
+      std::min(n, block_begin * kVecBlock));
+  const std::size_t hi =
+      static_cast<std::size_t>(std::min(n, block_end * kVecBlock));
+  for (std::size_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+}
+
+void saxpy(float alpha, std::span<const float> x, std::span<float> y,
+           const ParallelFor& pf) {
   VGPU_ASSERT(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const long blocks = ceil_div(static_cast<long>(x.size()), kVecBlock);
+  pf(blocks, [&](long begin, long end) {
+    saxpy_blocks(alpha, x, y, begin, end);
+  });
 }
 
 namespace {
@@ -30,15 +56,66 @@ float pairwise_sum(std::span<const float> x) {
   return pairwise_sum(x.subspan(0, half)) + pairwise_sum(x.subspan(half));
 }
 
+float pairwise_dot(std::span<const float> x, std::span<const float> y) {
+  if (x.size() <= 8) {
+    float s = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+    return s;
+  }
+  const std::size_t half = x.size() / 2;
+  return pairwise_dot(x.subspan(0, half), y.subspan(0, half)) +
+         pairwise_dot(x.subspan(half), y.subspan(half));
+}
+
+/// Balanced contiguous split of [0, n) into `blocks` pieces.
+std::pair<std::size_t, std::size_t> block_range(long n, long blocks, long b) {
+  return {static_cast<std::size_t>(n * b / blocks),
+          static_cast<std::size_t>(n * (b + 1) / blocks)};
+}
+
 }  // namespace
 
+long reduce_blocks(long n) {
+  return std::max(1L, std::min<long>(1024, ceil_div(n, 4096L)));
+}
+
 float reduce_sum(std::span<const float> x) { return pairwise_sum(x); }
+
+float reduce_sum(std::span<const float> x, const ParallelFor& pf) {
+  const auto n = static_cast<long>(x.size());
+  const long blocks = reduce_blocks(n);
+  std::vector<float> partials(static_cast<std::size_t>(blocks), 0.0f);
+  pf(blocks, [&](long begin, long end) {
+    for (long b = begin; b < end; ++b) {
+      const auto [lo, hi] = block_range(n, blocks, b);
+      partials[static_cast<std::size_t>(b)] =
+          pairwise_sum(x.subspan(lo, hi - lo));
+    }
+  });
+  return pairwise_sum(partials);
+}
 
 float dot(std::span<const float> x, std::span<const float> y) {
   VGPU_ASSERT(x.size() == y.size());
   std::vector<float> prod(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) prod[i] = x[i] * y[i];
   return pairwise_sum(prod);
+}
+
+float dot(std::span<const float> x, std::span<const float> y,
+          const ParallelFor& pf) {
+  VGPU_ASSERT(x.size() == y.size());
+  const auto n = static_cast<long>(x.size());
+  const long blocks = reduce_blocks(n);
+  std::vector<float> partials(static_cast<std::size_t>(blocks), 0.0f);
+  pf(blocks, [&](long begin, long end) {
+    for (long b = begin; b < end; ++b) {
+      const auto [lo, hi] = block_range(n, blocks, b);
+      partials[static_cast<std::size_t>(b)] =
+          pairwise_dot(x.subspan(lo, hi - lo), y.subspan(lo, hi - lo));
+    }
+  });
+  return pairwise_sum(partials);
 }
 
 gpu::KernelLaunch vecadd_launch(long n) {

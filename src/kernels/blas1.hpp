@@ -5,29 +5,64 @@
 // result the GPU kernel would, and (b) a launch descriptor carrying the
 // geometry and cost model used by the simulated device. The paper's vector
 // addition uses 50M floats and a 50K-block grid (Table II).
+//
+// The elementwise kernels additionally expose `_blocks` range functions —
+// the launch grid's blocks are the unit — and ParallelFor-aware overloads
+// so the execution engine can shard one launch across cores. Elementwise
+// blocks write disjoint ranges, so sharded results are bitwise equal to
+// the serial path; the block-partitioned reductions combine one partial
+// per block and match the serial pairwise sum to a few ULP.
 #pragma once
 
 #include <span>
 
+#include "common/parallel.hpp"
 #include "gpu/cost.hpp"
 
 namespace vgpu::kernels {
 
 // --- functional bodies -----------------------------------------------------
 
+/// Elements per launch block for vecadd/saxpy (1024-thread blocks).
+inline constexpr long kVecBlock = 1024;
+
+/// c[i] = a[i] + b[i] for i in blocks [block_begin, block_end) of
+/// kVecBlock elements each.
+void vecadd_blocks(std::span<const float> a, std::span<const float> b,
+                   std::span<float> c, long block_begin, long block_end);
+
 /// c[i] = a[i] + b[i].
 void vecadd(std::span<const float> a, std::span<const float> b,
-            std::span<float> c);
+            std::span<float> c, const ParallelFor& pf = serial_executor());
+
+/// y[i] += alpha * x[i] for blocks [block_begin, block_end).
+void saxpy_blocks(float alpha, std::span<const float> x, std::span<float> y,
+                  long block_begin, long block_end);
 
 /// y[i] += alpha * x[i].
-void saxpy(float alpha, std::span<const float> x, std::span<float> y);
+void saxpy(float alpha, std::span<const float> x, std::span<float> y,
+           const ParallelFor& pf = serial_executor());
 
 /// Pairwise (tree) sum reduction — matches a GPU reduction's associativity
 /// more closely than a linear sum and is deterministic.
 float reduce_sum(std::span<const float> x);
 
+/// Block-partitioned reduction: one pairwise partial per contiguous block
+/// (reduce_blocks(n) of them), partials combined pairwise. Deterministic
+/// for a given n, equal to reduce_sum within a few ULP.
+float reduce_sum(std::span<const float> x, const ParallelFor& pf);
+
 /// Pairwise dot product.
 float dot(std::span<const float> x, std::span<const float> y);
+
+/// Block-partitioned dot product (same structure as the sharded
+/// reduce_sum; products never materialize as a full vector).
+float dot(std::span<const float> x, std::span<const float> y,
+          const ParallelFor& pf);
+
+/// Number of partial-producing blocks the sharded reductions use for n
+/// elements — mirrors reduce_launch's grid.
+long reduce_blocks(long n);
 
 // --- launch descriptors ------------------------------------------------------
 

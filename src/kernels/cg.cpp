@@ -51,19 +51,21 @@ CsrMatrix cg_make_matrix(int n, int nz_per_row, double shift,
   return a;
 }
 
-void spmv(const CsrMatrix& a, std::span<const double> x,
-          std::span<double> y) {
+void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y,
+          const ParallelFor& pf) {
   VGPU_ASSERT(static_cast<int>(x.size()) == a.n &&
               static_cast<int>(y.size()) == a.n);
-  for (int i = 0; i < a.n; ++i) {
-    double acc = 0.0;
-    for (int e = a.row_ptr[static_cast<std::size_t>(i)];
-         e < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++e) {
-      acc += a.val[static_cast<std::size_t>(e)] *
-             x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(e)])];
+  pf(a.n, [&](long row_begin, long row_end) {
+    for (long i = row_begin; i < row_end; ++i) {
+      double acc = 0.0;
+      for (int e = a.row_ptr[static_cast<std::size_t>(i)];
+           e < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++e) {
+        acc += a.val[static_cast<std::size_t>(e)] *
+               x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(e)])];
+      }
+      y[static_cast<std::size_t>(i)] = acc;
     }
-    y[static_cast<std::size_t>(i)] = acc;
-  }
+  });
 }
 
 namespace {
@@ -75,7 +77,8 @@ double dot_d(std::span<const double> a, std::span<const double> b) {
 }  // namespace
 
 CgResult cg_solve(const CsrMatrix& a, std::span<const double> b,
-                  std::span<double> x, int max_iters, double tol) {
+                  std::span<double> x, int max_iters, double tol,
+                  const ParallelFor& pf) {
   const auto n = static_cast<std::size_t>(a.n);
   VGPU_ASSERT(b.size() == n && x.size() == n);
   std::fill(x.begin(), x.end(), 0.0);
@@ -90,15 +93,23 @@ CgResult cg_solve(const CsrMatrix& a, std::span<const double> b,
 
   for (int it = 0; it < max_iters; ++it) {
     if (std::sqrt(rho) <= tol) break;
-    spmv(a, p, ap);
+    spmv(a, p, ap, pf);
     const double alpha = rho / dot_d(p, ap);
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-    }
+    pf(static_cast<long>(n), [&](long begin, long end) {
+      for (long i = begin; i < end; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        x[idx] += alpha * p[idx];
+        r[idx] -= alpha * ap[idx];
+      }
+    });
     const double rho_next = dot_d(r, r);
     const double beta = rho_next / rho;
-    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    pf(static_cast<long>(n), [&](long begin, long end) {
+      for (long i = begin; i < end; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        p[idx] = r[idx] + beta * p[idx];
+      }
+    });
     rho = rho_next;
     ++result.iterations;
     result.residual_history.push_back(std::sqrt(rho));

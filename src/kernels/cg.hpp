@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "gpu/cost.hpp"
 
 namespace vgpu::kernels {
@@ -27,9 +28,10 @@ struct CsrMatrix {
 CsrMatrix cg_make_matrix(int n, int nz_per_row, double shift,
                          std::uint64_t seed = 12345);
 
-/// y = A x.
-void spmv(const CsrMatrix& a, std::span<const double> x,
-          std::span<double> y);
+/// y = A x. `pf` shards the row loop (rows write disjoint outputs, so
+/// sharding is bitwise-exact).
+void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y,
+          const ParallelFor& pf = serial_executor());
 
 struct CgResult {
   int iterations = 0;
@@ -38,9 +40,12 @@ struct CgResult {
 };
 
 /// Conjugate gradient for A x = b starting from x = 0; stops at max_iters
-/// or when the residual norm falls below tol.
+/// or when the residual norm falls below tol. `pf` shards spmv and the
+/// axpy updates; the dot products stay serial (a fixed reduction order),
+/// so sharded runs are bitwise identical to serial ones.
 CgResult cg_solve(const CsrMatrix& a, std::span<const double> b,
-                  std::span<double> x, int max_iters, double tol = 0.0);
+                  std::span<double> x, int max_iters, double tol = 0.0,
+                  const ParallelFor& pf = serial_executor());
 
 /// Launch descriptor for one CG iteration (spmv + axpys + dots). Paper
 /// Table IV: an 8-block grid — tiny, so eight processes' CG iterations

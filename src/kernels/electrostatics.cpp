@@ -7,12 +7,11 @@
 
 namespace vgpu::kernels {
 
-void coulomb_slab(std::span<const Atom> atoms, const Lattice& lat,
-                  std::span<float> out, float softening) {
-  VGPU_ASSERT(out.size() ==
-              static_cast<std::size_t>(lat.nx) * static_cast<std::size_t>(lat.ny));
+void coulomb_rows(std::span<const Atom> atoms, const Lattice& lat,
+                  std::span<float> out, float softening, long row_begin,
+                  long row_end) {
   const float soft2 = softening * softening;
-  for (int iy = 0; iy < lat.ny; ++iy) {
+  for (long iy = row_begin; iy < row_end; ++iy) {
     const float y = static_cast<float>(iy) * lat.spacing;
     for (int ix = 0; ix < lat.nx; ++ix) {
       const float x = static_cast<float>(ix) * lat.spacing;
@@ -27,6 +26,16 @@ void coulomb_slab(std::span<const Atom> atoms, const Lattice& lat,
       out[static_cast<std::size_t>(iy) * lat.nx + ix] = potential;
     }
   }
+}
+
+void coulomb_slab(std::span<const Atom> atoms, const Lattice& lat,
+                  std::span<float> out, float softening,
+                  const ParallelFor& pf) {
+  VGPU_ASSERT(out.size() == static_cast<std::size_t>(lat.nx) *
+                                static_cast<std::size_t>(lat.ny));
+  pf(lat.ny, [&](long begin, long end) {
+    coulomb_rows(atoms, lat, out, softening, begin, end);
+  });
 }
 
 std::vector<Atom> make_atoms(long n, float box, std::uint64_t seed) {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "gpu/cost.hpp"
 
 namespace vgpu::kernels {
@@ -27,10 +28,17 @@ struct Lattice {
   float z = 0.0f;        // slab plane
 };
 
+/// Computes lattice rows [row_begin, row_end) of the slab (one row = one
+/// range block; rows write disjoint output, so sharding is bitwise-exact).
+void coulomb_rows(std::span<const Atom> atoms, const Lattice& lat,
+                  std::span<float> out, float softening, long row_begin,
+                  long row_end);
+
 /// Potential at every (ix, iy) lattice point of slab `lat`:
 /// out[iy*nx + ix] = sum_i q_i / sqrt(r2 + softening^2).
 void coulomb_slab(std::span<const Atom> atoms, const Lattice& lat,
-                  std::span<float> out, float softening = 0.05f);
+                  std::span<float> out, float softening = 0.05f,
+                  const ParallelFor& pf = serial_executor());
 
 /// Deterministic random atom cloud in a box of side `box`.
 std::vector<Atom> make_atoms(long n, float box, std::uint64_t seed = 8675309);

@@ -1,6 +1,7 @@
 #include "kernels/ep.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "common/status.hpp"
 
@@ -114,6 +115,30 @@ EpResult ep_chunked(int m, int chunks) {
   EpResult result;
   for (int c = 0; c < chunks; ++c) {
     const EpResult partial = ep_chunk_range(m, c, chunks);
+    result.sx += partial.sx;
+    result.sy += partial.sy;
+    for (std::size_t i = 0; i < result.q.size(); ++i) {
+      result.q[i] += partial.q[i];
+    }
+    result.pairs_accepted += partial.pairs_accepted;
+  }
+  return result;
+}
+
+EpResult ep_chunked(int m, int chunks, const ParallelFor& pf) {
+  VGPU_ASSERT(m >= 1 && m <= 36);
+  VGPU_ASSERT(chunks >= 1);
+  std::vector<EpResult> partials(static_cast<std::size_t>(chunks));
+  pf(chunks, [&](long begin, long end) {
+    for (long c = begin; c < end; ++c) {
+      partials[static_cast<std::size_t>(c)] =
+          ep_chunk_range(m, static_cast<int>(c), chunks);
+    }
+  });
+  // Combine in chunk order: the double sums then accumulate in exactly
+  // the order the serial ep_chunked uses.
+  EpResult result;
+  for (const EpResult& partial : partials) {
     result.sx += partial.sx;
     result.sy += partial.sy;
     for (std::size_t i = 0; i < result.q.size(); ++i) {

@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/parallel.hpp"
 #include "gpu/cost.hpp"
 
 namespace vgpu::kernels {
@@ -56,6 +57,12 @@ EpResult ep_sequential(int m);
 /// ep_sequential bit-for-bit (up to summation order of the chunk partials,
 /// which we keep deterministic by combining in chunk order).
 EpResult ep_chunked(int m, int chunks);
+
+/// ep_chunked with the chunks distributed by `pf` (one chunk = one range
+/// block). Partials are still combined in chunk order, so the result is
+/// bit-identical to the serial ep_chunked — and to ep_sequential for the
+/// tallies — however the chunk grid is sharded.
+EpResult ep_chunked(int m, int chunks, const ParallelFor& pf);
 
 /// One chunk of the ep_chunked partition: the work SPMD rank `chunk` of
 /// `chunks` owns. Summing all chunks' results (in any order for the

@@ -40,49 +40,60 @@ void fft1d(std::vector<Complex>& data, bool inverse) {
   }
 }
 
-void fft3d(Field3& field, bool inverse) {
+void fft3d(Field3& field, bool inverse, const ParallelFor& pf) {
   const int n = field.n();
-  std::vector<Complex> line(static_cast<std::size_t>(n));
-  // Along x.
-  for (int z = 0; z < n; ++z) {
-    for (int y = 0; y < n; ++y) {
+  const long lines = static_cast<long>(n) * n;  // per pass: n^2 lines
+  // Along x. Line index l = z * n + y.
+  pf(lines, [&](long begin, long end) {
+    std::vector<Complex> line(static_cast<std::size_t>(n));
+    for (long l = begin; l < end; ++l) {
+      const int z = static_cast<int>(l / n);
+      const int y = static_cast<int>(l % n);
       for (int x = 0; x < n; ++x) line[static_cast<std::size_t>(x)] = field.at(x, y, z);
       fft1d(line, inverse);
       for (int x = 0; x < n; ++x) field.at(x, y, z) = line[static_cast<std::size_t>(x)];
     }
-  }
-  // Along y.
-  for (int z = 0; z < n; ++z) {
-    for (int x = 0; x < n; ++x) {
+  });
+  // Along y. Line index l = z * n + x.
+  pf(lines, [&](long begin, long end) {
+    std::vector<Complex> line(static_cast<std::size_t>(n));
+    for (long l = begin; l < end; ++l) {
+      const int z = static_cast<int>(l / n);
+      const int x = static_cast<int>(l % n);
       for (int y = 0; y < n; ++y) line[static_cast<std::size_t>(y)] = field.at(x, y, z);
       fft1d(line, inverse);
       for (int y = 0; y < n; ++y) field.at(x, y, z) = line[static_cast<std::size_t>(y)];
     }
-  }
-  // Along z.
-  for (int y = 0; y < n; ++y) {
-    for (int x = 0; x < n; ++x) {
+  });
+  // Along z. Line index l = y * n + x.
+  pf(lines, [&](long begin, long end) {
+    std::vector<Complex> line(static_cast<std::size_t>(n));
+    for (long l = begin; l < end; ++l) {
+      const int y = static_cast<int>(l / n);
+      const int x = static_cast<int>(l % n);
       for (int z = 0; z < n; ++z) line[static_cast<std::size_t>(z)] = field.at(x, y, z);
       fft1d(line, inverse);
       for (int z = 0; z < n; ++z) field.at(x, y, z) = line[static_cast<std::size_t>(z)];
     }
-  }
+  });
 }
 
-void ft_evolve(Field3& field, double t, double alpha) {
+void ft_evolve(Field3& field, double t, double alpha, const ParallelFor& pf) {
   const int n = field.n();
   auto fold = [n](int k) { return k >= n / 2 ? k - n : k; };
   const double factor = -4.0 * alpha * std::numbers::pi * std::numbers::pi * t;
-  for (int z = 0; z < n; ++z) {
-    for (int y = 0; y < n; ++y) {
-      for (int x = 0; x < n; ++x) {
-        const double k2 = static_cast<double>(fold(x)) * fold(x) +
-                          static_cast<double>(fold(y)) * fold(y) +
-                          static_cast<double>(fold(z)) * fold(z);
-        field.at(x, y, z) *= std::exp(factor * k2);
+  pf(n, [&](long plane_begin, long plane_end) {
+    for (int z = static_cast<int>(plane_begin); z < plane_end; ++z) {
+      for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+          const double k2 = static_cast<double>(fold(x)) * fold(x) +
+                            static_cast<double>(fold(y)) * fold(y) +
+                            static_cast<double>(fold(z)) * fold(z);
+          field.at(x, y, z) *= std::exp(factor * k2);
+        }
       }
     }
-  }
+  });
 }
 
 Field3 ft_make_field(int n, std::uint64_t seed) {

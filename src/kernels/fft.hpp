@@ -10,6 +10,7 @@
 #include <complex>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "gpu/cost.hpp"
 
 namespace vgpu::kernels {
@@ -40,12 +41,17 @@ class Field3 {
 };
 
 /// 3-D FFT: 1-D transforms along x, then y, then z (inverse reverses the
-/// scaling as in fft1d).
-void fft3d(Field3& field, bool inverse);
+/// scaling as in fft1d). Each pass shards its n^2 independent lines via
+/// `pf` (per-shard line scratch); lines are independent, so sharded runs
+/// are bitwise identical to serial ones.
+void fft3d(Field3& field, bool inverse,
+           const ParallelFor& pf = serial_executor());
 
 /// NPB FT evolve step: multiply each mode (kx, ky, kz) by
 /// exp(-4 alpha pi^2 |k~|^2 t), with wavenumbers folded to [-n/2, n/2).
-void ft_evolve(Field3& field, double t, double alpha = 1e-6);
+/// `pf` shards the z-planes (pointwise, bitwise-exact under sharding).
+void ft_evolve(Field3& field, double t, double alpha = 1e-6,
+               const ParallelFor& pf = serial_executor());
 
 /// Deterministic pseudo-random initial field.
 Field3 ft_make_field(int n, std::uint64_t seed = 271828);

@@ -1,5 +1,7 @@
 #include "kernels/is.hpp"
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "common/status.hpp"
 
@@ -40,6 +42,57 @@ std::vector<long> is_rank(std::span<const int> keys, int max_key) {
   for (std::size_t i = 0; i < keys.size(); ++i) {
     ranks[i] = counts[static_cast<std::size_t>(keys[i])]++;
   }
+  return ranks;
+}
+
+long is_rank_blocks(long n) {
+  return std::max(1L, std::min(16L, (n + 4095) / 4096));
+}
+
+std::vector<long> is_rank(std::span<const int> keys, int max_key,
+                          const ParallelFor& pf) {
+  VGPU_ASSERT(max_key >= 1);
+  const auto n = static_cast<long>(keys.size());
+  const long blocks = is_rank_blocks(n);
+  const auto mk = static_cast<std::size_t>(max_key);
+  auto block_lo = [&](long b) {
+    return static_cast<std::size_t>(n * b / blocks);
+  };
+  // Per-block histograms.
+  std::vector<std::vector<long>> counts(
+      static_cast<std::size_t>(blocks), std::vector<long>(mk, 0));
+  pf(blocks, [&](long begin, long end) {
+    for (long b = begin; b < end; ++b) {
+      auto& c = counts[static_cast<std::size_t>(b)];
+      for (std::size_t i = block_lo(b); i < block_lo(b + 1); ++i) {
+        const int k = keys[i];
+        VGPU_ASSERT(k >= 0 && k < max_key);
+        ++c[static_cast<std::size_t>(k)];
+      }
+    }
+  });
+  // Serial scan: offsets[b][k] = global start of key k + keys of value k
+  // in earlier blocks — exactly where the serial stable scatter would put
+  // block b's first k.
+  std::vector<std::vector<long>> offsets(
+      static_cast<std::size_t>(blocks), std::vector<long>(mk, 0));
+  long running = 0;
+  for (std::size_t k = 0; k < mk; ++k) {
+    for (long b = 0; b < blocks; ++b) {
+      offsets[static_cast<std::size_t>(b)][k] = running;
+      running += counts[static_cast<std::size_t>(b)][k];
+    }
+  }
+  // Per-block stable scatter.
+  std::vector<long> ranks(keys.size());
+  pf(blocks, [&](long begin, long end) {
+    for (long b = begin; b < end; ++b) {
+      auto local = offsets[static_cast<std::size_t>(b)];  // copy: mutated
+      for (std::size_t i = block_lo(b); i < block_lo(b + 1); ++i) {
+        ranks[i] = local[static_cast<std::size_t>(keys[i])]++;
+      }
+    }
+  });
   return ranks;
 }
 

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "gpu/cost.hpp"
 
 namespace vgpu::kernels {
@@ -22,6 +23,17 @@ std::vector<int> is_make_keys(long n, int max_key,
 
 /// Stable counting-sort ranks: rank[i] = final position of keys[i].
 std::vector<long> is_rank(std::span<const int> keys, int max_key);
+
+/// Number of key blocks the sharded is_rank partitions the input into
+/// (bounded so per-block histograms stay small).
+long is_rank_blocks(long n);
+
+/// Sharded stable ranks: per-block histograms, a serial global scan
+/// assigning each block its per-key offsets, then a per-block stable
+/// scatter. Identical output to is_rank for any partition — the GPU
+/// histogram/scan/scatter chain, block-decomposed.
+std::vector<long> is_rank(std::span<const int> keys, int max_key,
+                          const ParallelFor& pf);
 
 /// Applies ranks: out[rank[i]] = keys[i]; out is sorted iff ranks are
 /// correct (used by the verification path).

@@ -12,28 +12,48 @@ namespace {
 constexpr int kTile = 32;  // matches the GPU kernel's 32x32 tile
 }
 
-void sgemm(std::span<const float> a, std::span<const float> b,
-           std::span<float> c, int n) {
-  const auto nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
-  VGPU_ASSERT(a.size() == nn && b.size() == nn && c.size() == nn);
-  std::memset(c.data(), 0, nn * sizeof(float));
-  for (int ii = 0; ii < n; ii += kTile) {
+long sgemm_tiles(int n) {
+  return ceil_div(static_cast<long>(n), static_cast<long>(kTile));
+}
+
+void sgemm_blocks(std::span<const float> a, std::span<const float> b,
+                  std::span<float> c, int n, long block_begin,
+                  long block_end) {
+  const long tiles = sgemm_tiles(n);
+  for (long blk = block_begin; blk < block_end; ++blk) {
+    const int ii = static_cast<int>(blk / tiles) * kTile;
+    const int jj = static_cast<int>(blk % tiles) * kTile;
+    const int imax = std::min(ii + kTile, n);
+    const int jmax = std::min(jj + kTile, n);
+    for (int i = ii; i < imax; ++i) {
+      std::memset(&c[static_cast<std::size_t>(i) * n + jj], 0,
+                  static_cast<std::size_t>(jmax - jj) * sizeof(float));
+    }
+    // k-tiles ascending: each C element accumulates its products in the
+    // same order as the serial kernel, so results are bitwise identical
+    // regardless of how the tile grid is partitioned.
     for (int kk = 0; kk < n; kk += kTile) {
-      for (int jj = 0; jj < n; jj += kTile) {
-        const int imax = std::min(ii + kTile, n);
-        const int kmax = std::min(kk + kTile, n);
-        const int jmax = std::min(jj + kTile, n);
-        for (int i = ii; i < imax; ++i) {
-          for (int k = kk; k < kmax; ++k) {
-            const float aik = a[static_cast<std::size_t>(i) * n + k];
-            const float* brow = &b[static_cast<std::size_t>(k) * n + jj];
-            float* crow = &c[static_cast<std::size_t>(i) * n + jj];
-            for (int j = 0; j < jmax - jj; ++j) crow[j] += aik * brow[j];
-          }
+      const int kmax = std::min(kk + kTile, n);
+      for (int i = ii; i < imax; ++i) {
+        for (int k = kk; k < kmax; ++k) {
+          const float aik = a[static_cast<std::size_t>(i) * n + k];
+          const float* brow = &b[static_cast<std::size_t>(k) * n + jj];
+          float* crow = &c[static_cast<std::size_t>(i) * n + jj];
+          for (int j = 0; j < jmax - jj; ++j) crow[j] += aik * brow[j];
         }
       }
     }
   }
+}
+
+void sgemm(std::span<const float> a, std::span<const float> b,
+           std::span<float> c, int n, const ParallelFor& pf) {
+  const auto nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  VGPU_ASSERT(a.size() == nn && b.size() == nn && c.size() == nn);
+  const long tiles = sgemm_tiles(n);
+  pf(tiles * tiles, [&](long begin, long end) {
+    sgemm_blocks(a, b, c, n, begin, end);
+  });
 }
 
 void sgemm_reference(std::span<const float> a, std::span<const float> b,
@@ -54,7 +74,7 @@ gpu::KernelLaunch matmul_launch(int n) {
   VGPU_ASSERT(n >= 1);
   gpu::KernelLaunch l;
   l.name = "sgemm";
-  const long tiles = ceil_div(static_cast<long>(n), static_cast<long>(kTile));
+  const long tiles = sgemm_tiles(n);
   l.geometry = gpu::KernelGeometry{
       tiles * tiles, kTile * kTile, /*regs*/ 24,
       /*shmem: two 32x32 float tiles*/ 2 * kTile * kTile * 4};

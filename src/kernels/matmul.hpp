@@ -4,14 +4,29 @@
 
 #include <span>
 
+#include "common/parallel.hpp"
 #include "gpu/cost.hpp"
 
 namespace vgpu::kernels {
 
+/// Grid side of the tiled kernel: ceil(n / 32) tiles per dimension; the
+/// launch grid (and the range functions' block space) is sgemm_tiles^2.
+long sgemm_tiles(int n);
+
+/// Executes grid blocks [block_begin, block_end) of the tiled kernel:
+/// block b owns C tile (b / tiles, b % tiles) and accumulates its k-tiles
+/// in ascending order, so any partition of the grid produces bitwise the
+/// same C as the serial run.
+void sgemm_blocks(std::span<const float> a, std::span<const float> b,
+                  std::span<float> c, int n, long block_begin,
+                  long block_end);
+
 /// C = A * B for row-major n x n matrices. Cache-blocked host
-/// implementation mirroring the shared-memory-tiled GPU kernel.
+/// implementation mirroring the shared-memory-tiled GPU kernel; `pf`
+/// distributes the tile grid (serial by default — the oracle path).
 void sgemm(std::span<const float> a, std::span<const float> b,
-           std::span<float> c, int n);
+           std::span<float> c, int n,
+           const ParallelFor& pf = serial_executor());
 
 /// Naive triple loop, used as the test oracle for sgemm.
 void sgemm_reference(std::span<const float> a, std::span<const float> b,

@@ -12,10 +12,12 @@ Stencil27 mg_smoother_c() {
   return {-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0};
 }
 
-void apply_stencil(const Stencil27& s, const Grid3& in, Grid3& out) {
+void apply_stencil(const Stencil27& s, const Grid3& in, Grid3& out,
+                   const ParallelFor& pf) {
   VGPU_ASSERT(in.n() == out.n());
   const int n = in.n();
-  for (int i = 0; i < n; ++i) {
+  pf(n, [&](long plane_begin, long plane_end) {
+  for (int i = static_cast<int>(plane_begin); i < plane_end; ++i) {
     for (int j = 0; j < n; ++j) {
       for (int k = 0; k < n; ++k) {
         double faces = 0.0, edges = 0.0, corners = 0.0;
@@ -40,40 +42,47 @@ void apply_stencil(const Stencil27& s, const Grid3& in, Grid3& out) {
       }
     }
   }
+  });
 }
 
-void mg_resid(const Grid3& u, const Grid3& v, Grid3& r) {
+void mg_resid(const Grid3& u, const Grid3& v, Grid3& r,
+              const ParallelFor& pf) {
   VGPU_ASSERT(u.n() == v.n() && u.n() == r.n());
   Grid3 au(u.n());
-  apply_stencil(mg_operator_a(), u, au);
+  apply_stencil(mg_operator_a(), u, au, pf);
   const int n = u.n();
-  for (int i = 0; i < n; ++i) {
+  pf(n, [&](long plane_begin, long plane_end) {
+  for (int i = static_cast<int>(plane_begin); i < plane_end; ++i) {
     for (int j = 0; j < n; ++j) {
       for (int k = 0; k < n; ++k) {
         r.at(i, j, k) = v.at(i, j, k) - au.at(i, j, k);
       }
     }
   }
+  });
 }
 
-void mg_psinv(const Grid3& r, Grid3& u) {
+void mg_psinv(const Grid3& r, Grid3& u, const ParallelFor& pf) {
   VGPU_ASSERT(r.n() == u.n());
   Grid3 sr(r.n());
-  apply_stencil(mg_smoother_c(), r, sr);
+  apply_stencil(mg_smoother_c(), r, sr, pf);
   const int n = r.n();
-  for (int i = 0; i < n; ++i) {
+  pf(n, [&](long plane_begin, long plane_end) {
+  for (int i = static_cast<int>(plane_begin); i < plane_end; ++i) {
     for (int j = 0; j < n; ++j) {
       for (int k = 0; k < n; ++k) {
         u.at(i, j, k) += sr.at(i, j, k);
       }
     }
   }
+  });
 }
 
-void mg_rprj3(const Grid3& fine, Grid3& coarse) {
+void mg_rprj3(const Grid3& fine, Grid3& coarse, const ParallelFor& pf) {
   VGPU_ASSERT(fine.n() == 2 * coarse.n());
   const int nc = coarse.n();
-  for (int i = 0; i < nc; ++i) {
+  pf(nc, [&](long plane_begin, long plane_end) {
+  for (int i = static_cast<int>(plane_begin); i < plane_end; ++i) {
     for (int j = 0; j < nc; ++j) {
       for (int k = 0; k < nc; ++k) {
         const int fi = 2 * i, fj = 2 * j, fk = 2 * k;
@@ -99,14 +108,16 @@ void mg_rprj3(const Grid3& fine, Grid3& coarse) {
       }
     }
   }
+  });
 }
 
-void mg_interp(const Grid3& coarse, Grid3& fine) {
+void mg_interp(const Grid3& coarse, Grid3& fine, const ParallelFor& pf) {
   VGPU_ASSERT(fine.n() == 2 * coarse.n());
   const int nc = coarse.n();
   // Trilinear prolongation: each fine point receives the average of the
   // 1, 2, 4 or 8 coarse points it sits between.
-  for (int i = 0; i < nc; ++i) {
+  pf(nc, [&](long plane_begin, long plane_end) {
+  for (int i = static_cast<int>(plane_begin); i < plane_end; ++i) {
     for (int j = 0; j < nc; ++j) {
       for (int k = 0; k < nc; ++k) {
         for (int di = 0; di <= 1; ++di) {
@@ -130,6 +141,7 @@ void mg_interp(const Grid3& coarse, Grid3& fine) {
       }
     }
   }
+  });
 }
 
 double mg_residual_norm(const Grid3& u, const Grid3& v) {
@@ -157,41 +169,43 @@ Grid3 mg_make_rhs(int n, int charges, std::uint64_t seed) {
 namespace {
 
 /// Recursive V-cycle on residual r, producing correction z (NPB mg3P).
-void vcycle_correct(const Grid3& r, Grid3& z) {
+void vcycle_correct(const Grid3& r, Grid3& z, const ParallelFor& pf) {
   const int n = r.n();
   z.fill(0.0);
   if (n <= 4) {
-    mg_psinv(r, z);  // coarsest level: one smoothing pass
+    mg_psinv(r, z, pf);  // coarsest level: one smoothing pass
     return;
   }
   // Restrict residual, solve coarse, prolongate.
   Grid3 rc(n / 2);
-  mg_rprj3(r, rc);
+  mg_rprj3(r, rc, pf);
   Grid3 zc(n / 2);
-  vcycle_correct(rc, zc);
-  mg_interp(zc, z);
+  vcycle_correct(rc, zc, pf);
+  mg_interp(zc, z, pf);
   // Post-smoothing: r' = r - A z; z += S r'.
   Grid3 rf(n);
-  mg_resid(z, r, rf);
-  mg_psinv(rf, z);
+  mg_resid(z, r, rf, pf);
+  mg_psinv(rf, z, pf);
 }
 
 }  // namespace
 
-void mg_vcycle(Grid3& u, const Grid3& v) {
+void mg_vcycle(Grid3& u, const Grid3& v, const ParallelFor& pf) {
   VGPU_ASSERT(u.n() == v.n());
   Grid3 r(u.n());
-  mg_resid(u, v, r);
+  mg_resid(u, v, r, pf);
   Grid3 z(u.n());
-  vcycle_correct(r, z);
+  vcycle_correct(r, z, pf);
   const int n = u.n();
-  for (int i = 0; i < n; ++i) {
+  pf(n, [&](long plane_begin, long plane_end) {
+  for (int i = static_cast<int>(plane_begin); i < plane_end; ++i) {
     for (int j = 0; j < n; ++j) {
       for (int k = 0; k < n; ++k) {
         u.at(i, j, k) += z.at(i, j, k);
       }
     }
   }
+  });
 }
 
 gpu::KernelLaunch mg_launch(int n) {

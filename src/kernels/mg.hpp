@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "gpu/cost.hpp"
 
 namespace vgpu::kernels {
@@ -53,20 +54,30 @@ struct Stencil27 {
 Stencil27 mg_operator_a();
 Stencil27 mg_smoother_c();
 
+// Every stage takes a ParallelFor (serial by default). The block unit is
+// an i-plane of the output grid; planes write disjoint cells, so sharded
+// runs are bitwise identical to the serial ones.
+
 /// out = stencil applied to in (periodic).
-void apply_stencil(const Stencil27& s, const Grid3& in, Grid3& out);
+void apply_stencil(const Stencil27& s, const Grid3& in, Grid3& out,
+                   const ParallelFor& pf = serial_executor());
 
 /// r = v - A u.
-void mg_resid(const Grid3& u, const Grid3& v, Grid3& r);
+void mg_resid(const Grid3& u, const Grid3& v, Grid3& r,
+              const ParallelFor& pf = serial_executor());
 
 /// u += S r.
-void mg_psinv(const Grid3& r, Grid3& u);
+void mg_psinv(const Grid3& r, Grid3& u,
+              const ParallelFor& pf = serial_executor());
 
 /// Full-weighting restriction: coarse (n/2) from fine (n).
-void mg_rprj3(const Grid3& fine, Grid3& coarse);
+void mg_rprj3(const Grid3& fine, Grid3& coarse,
+              const ParallelFor& pf = serial_executor());
 
-/// Trilinear prolongation: fine += P(coarse).
-void mg_interp(const Grid3& coarse, Grid3& fine);
+/// Trilinear prolongation: fine += P(coarse). Block unit: coarse i-planes
+/// (coarse plane i writes fine planes 2i and 2i+1 — disjoint per plane).
+void mg_interp(const Grid3& coarse, Grid3& fine,
+               const ParallelFor& pf = serial_executor());
 
 /// L2 norm of v - A u.
 double mg_residual_norm(const Grid3& u, const Grid3& v);
@@ -75,8 +86,11 @@ double mg_residual_norm(const Grid3& u, const Grid3& v);
 /// `charges` cells (deterministic for a given seed).
 Grid3 mg_make_rhs(int n, int charges = 10, std::uint64_t seed = 314159265);
 
-/// One V-cycle of u += M^k (v - A u), recursing down to 4^3.
-void mg_vcycle(Grid3& u, const Grid3& v);
+/// One V-cycle of u += M^k (v - A u), recursing down to 4^3. The stage
+/// chain runs in order (each stage is a barrier); `pf` shards each
+/// stage's plane loop.
+void mg_vcycle(Grid3& u, const Grid3& v,
+               const ParallelFor& pf = serial_executor());
 
 /// Launch descriptor for one class-sized V-cycle iteration (paper: grid 64).
 gpu::KernelLaunch mg_launch(int n);

@@ -1,8 +1,10 @@
 #include "rt/registry.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
+#include "common/math.hpp"
 #include "kernels/blackscholes.hpp"
 #include "kernels/blas1.hpp"
 #include "kernels/electrostatics.hpp"
@@ -12,12 +14,24 @@
 
 namespace vgpu::rt {
 
-int KernelRegistry::add(std::string name, RtKernelFn fn) {
+int KernelRegistry::add(std::string name, RtKernelFn fn,
+                        RtShardedKernelFn sharded, RtGeometryFn geometry) {
   for (const Entry& e : entries_) {
     VGPU_ASSERT_MSG(e.name != name, "duplicate kernel name");
   }
-  entries_.push_back(Entry{std::move(name), std::move(fn)});
+  Entry entry;
+  entry.name = std::move(name);
+  entry.fn = std::move(fn);
+  entry.sharded = std::move(sharded);
+  entry.geometry = std::move(geometry);
+  entries_.push_back(std::move(entry));
   return static_cast<int>(entries_.size()) - 1;
+}
+
+void KernelRegistry::set_stream(int id, RtStream stream) {
+  VGPU_ASSERT(id >= 0 && static_cast<std::size_t>(id) < entries_.size());
+  entries_[static_cast<std::size_t>(id)].stream = std::move(stream);
+  entries_[static_cast<std::size_t>(id)].has_stream = true;
 }
 
 StatusOr<int> KernelRegistry::id_of(const std::string& name) const {
@@ -32,6 +46,30 @@ const RtKernelFn* KernelRegistry::find(int id) const {
     return nullptr;
   }
   return &entries_[static_cast<std::size_t>(id)].fn;
+}
+
+const RtShardedKernelFn* KernelRegistry::find_sharded(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= entries_.size()) {
+    return nullptr;
+  }
+  const Entry& e = entries_[static_cast<std::size_t>(id)];
+  return e.sharded ? &e.sharded : nullptr;
+}
+
+const RtGeometryFn* KernelRegistry::find_geometry(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= entries_.size()) {
+    return nullptr;
+  }
+  const Entry& e = entries_[static_cast<std::size_t>(id)];
+  return e.geometry ? &e.geometry : nullptr;
+}
+
+const RtStream* KernelRegistry::find_stream(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= entries_.size()) {
+    return nullptr;
+  }
+  const Entry& e = entries_[static_cast<std::size_t>(id)];
+  return e.has_stream ? &e.stream : nullptr;
 }
 
 const std::string* KernelRegistry::name_of(int id) const {
@@ -57,91 +95,296 @@ std::span<T> out_as(std::span<std::byte> out, std::size_t count,
   return {reinterpret_cast<T*>(out.data()) + offset_elems, count};
 }
 
+/// Element range [lo, hi) covered by blocks [begin, end) of `block` items
+/// over an n-element space.
+std::pair<std::size_t, std::size_t> elem_range(long n, long block, long begin,
+                                               long end) {
+  return {static_cast<std::size_t>(std::min(n, begin * block)),
+          static_cast<std::size_t>(std::min(n, end * block))};
+}
+
 KernelRegistry make_builtins() {
   KernelRegistry reg;
 
-  reg.add("vecadd", [](std::span<const std::byte> in,
-                       std::span<std::byte> out, const std::int64_t* p) {
-    const auto n = static_cast<std::size_t>(p[0]);
-    kernels::vecadd(in_as<float>(in, n), in_as<float>(in, n, n),
-                    out_as<float>(out, n));
-  });
+  const int vecadd_id = reg.add(
+      "vecadd",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        kernels::vecadd(in_as<float>(in, n), in_as<float>(in, n, n),
+                        out_as<float>(out, n));
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        kernels::vecadd(in_as<float>(in, n), in_as<float>(in, n, n),
+                        out_as<float>(out, n), pf);
+      },
+      [](const std::int64_t* p) { return kernels::vecadd_launch(p[0]).geometry; });
+  {
+    RtStream s;
+    s.grid = [](const std::int64_t* p) {
+      return ceil_div(p[0], kernels::kVecBlock);
+    };
+    s.run = [](std::span<const std::byte> in, std::span<std::byte> out,
+               const std::int64_t* p, long begin, long end) {
+      const auto n = static_cast<std::size_t>(p[0]);
+      kernels::vecadd_blocks(in_as<float>(in, n), in_as<float>(in, n, n),
+                             out_as<float>(out, n), begin, end);
+    };
+    s.input_slices = [](const std::int64_t* p, long begin, long end) {
+      const auto [lo, hi] = elem_range(p[0], kernels::kVecBlock, begin, end);
+      const auto n = static_cast<std::size_t>(p[0]);
+      RtStreamView v;
+      v.count = 2;
+      v.slices[0] = {lo * sizeof(float), (hi - lo) * sizeof(float)};  // A
+      v.slices[1] = {(n + lo) * sizeof(float), (hi - lo) * sizeof(float)};
+      return v;
+    };
+    reg.set_stream(vecadd_id, std::move(s));
+  }
 
-  reg.add("saxpy", [](std::span<const std::byte> in, std::span<std::byte> out,
-                      const std::int64_t* p) {
-    const auto n = static_cast<std::size_t>(p[0]);
-    auto y = out_as<float>(out, n);
-    auto yin = in_as<float>(in, n, n);
-    std::copy(yin.begin(), yin.end(), y.begin());
-    kernels::saxpy(2.0f, in_as<float>(in, n), y);
-  });
+  const int saxpy_id = reg.add(
+      "saxpy",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        auto y = out_as<float>(out, n);
+        auto yin = in_as<float>(in, n, n);
+        std::copy(yin.begin(), yin.end(), y.begin());
+        kernels::saxpy(2.0f, in_as<float>(in, n), y);
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        auto y = out_as<float>(out, n);
+        auto yin = in_as<float>(in, n, n);
+        auto x = in_as<float>(in, n);
+        pf(ceil_div(static_cast<long>(n), kernels::kVecBlock),
+           [&](long begin, long end) {
+             const auto [lo, hi] = elem_range(static_cast<long>(n),
+                                              kernels::kVecBlock, begin, end);
+             std::copy(yin.begin() + static_cast<std::ptrdiff_t>(lo),
+                       yin.begin() + static_cast<std::ptrdiff_t>(hi),
+                       y.begin() + static_cast<std::ptrdiff_t>(lo));
+             kernels::saxpy_blocks(2.0f, x, y, begin, end);
+           });
+      },
+      [](const std::int64_t* p) { return kernels::saxpy_launch(p[0]).geometry; });
+  {
+    RtStream s;
+    s.grid = [](const std::int64_t* p) {
+      return ceil_div(p[0], kernels::kVecBlock);
+    };
+    s.run = [](std::span<const std::byte> in, std::span<std::byte> out,
+               const std::int64_t* p, long begin, long end) {
+      const auto n = static_cast<std::size_t>(p[0]);
+      auto y = out_as<float>(out, n);
+      auto yin = in_as<float>(in, n, n);
+      const auto [lo, hi] =
+          elem_range(static_cast<long>(n), kernels::kVecBlock, begin, end);
+      std::copy(yin.begin() + static_cast<std::ptrdiff_t>(lo),
+                yin.begin() + static_cast<std::ptrdiff_t>(hi),
+                y.begin() + static_cast<std::ptrdiff_t>(lo));
+      kernels::saxpy_blocks(2.0f, in_as<float>(in, n), y, begin, end);
+    };
+    s.input_slices = [](const std::int64_t* p, long begin, long end) {
+      const auto [lo, hi] = elem_range(p[0], kernels::kVecBlock, begin, end);
+      const auto n = static_cast<std::size_t>(p[0]);
+      RtStreamView v;
+      v.count = 2;
+      v.slices[0] = {lo * sizeof(float), (hi - lo) * sizeof(float)};  // X
+      v.slices[1] = {(n + lo) * sizeof(float), (hi - lo) * sizeof(float)};
+      return v;
+    };
+    reg.set_stream(saxpy_id, std::move(s));
+  }
 
-  reg.add("blackscholes", [](std::span<const std::byte> in,
-                             std::span<std::byte> out,
-                             const std::int64_t* p) {
-    const auto n = static_cast<std::size_t>(p[0]);
-    kernels::OptionBatch batch{in_as<float>(in, n), in_as<float>(in, n, n),
-                               in_as<float>(in, n, 2 * n), 0.02f, 0.30f};
-    kernels::black_scholes(batch, out_as<float>(out, n),
-                           out_as<float>(out, n, n));
-  });
+  const int bs_id = reg.add(
+      "blackscholes",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        kernels::OptionBatch batch{in_as<float>(in, n), in_as<float>(in, n, n),
+                                   in_as<float>(in, n, 2 * n), 0.02f, 0.30f};
+        kernels::black_scholes(batch, out_as<float>(out, n),
+                               out_as<float>(out, n, n));
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        kernels::OptionBatch batch{in_as<float>(in, n), in_as<float>(in, n, n),
+                                   in_as<float>(in, n, 2 * n), 0.02f, 0.30f};
+        kernels::black_scholes(batch, out_as<float>(out, n),
+                               out_as<float>(out, n, n), pf);
+      },
+      [](const std::int64_t* p) {
+        return kernels::black_scholes_launch(p[0]).geometry;
+      });
+  {
+    RtStream s;
+    s.grid = [](const std::int64_t* p) {
+      return kernels::black_scholes_blocks(p[0]);
+    };
+    s.run = [](std::span<const std::byte> in, std::span<std::byte> out,
+               const std::int64_t* p, long begin, long end) {
+      const auto n = static_cast<std::size_t>(p[0]);
+      kernels::OptionBatch batch{in_as<float>(in, n), in_as<float>(in, n, n),
+                                 in_as<float>(in, n, 2 * n), 0.02f, 0.30f};
+      kernels::black_scholes_blocks(batch, out_as<float>(out, n),
+                                    out_as<float>(out, n, n), begin, end);
+    };
+    s.input_slices = [](const std::int64_t* p, long begin, long end) {
+      const auto [lo, hi] = elem_range(p[0], kernels::kBsBlock, begin, end);
+      const auto n = static_cast<std::size_t>(p[0]);
+      RtStreamView v;
+      v.count = 3;  // S, X, T
+      for (int op = 0; op < 3; ++op) {
+        v.slices[op] = {(static_cast<std::size_t>(op) * n + lo) * sizeof(float),
+                        (hi - lo) * sizeof(float)};
+      }
+      return v;
+    };
+    reg.set_stream(bs_id, std::move(s));
+  }
 
-  reg.add("sgemm", [](std::span<const std::byte> in, std::span<std::byte> out,
-                      const std::int64_t* p) {
-    const auto n = static_cast<int>(p[0]);
-    const auto nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
-    kernels::sgemm(in_as<float>(in, nn), in_as<float>(in, nn, nn),
-                   out_as<float>(out, nn), n);
-  });
+  reg.add(
+      "sgemm",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        const auto n = static_cast<int>(p[0]);
+        const auto nn =
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+        kernels::sgemm(in_as<float>(in, nn), in_as<float>(in, nn, nn),
+                       out_as<float>(out, nn), n);
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        const auto n = static_cast<int>(p[0]);
+        const auto nn =
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+        kernels::sgemm(in_as<float>(in, nn), in_as<float>(in, nn, nn),
+                       out_as<float>(out, nn), n, pf);
+      },
+      [](const std::int64_t* p) {
+        return kernels::matmul_launch(static_cast<int>(p[0])).geometry;
+      });
 
-  reg.add("ep", [](std::span<const std::byte>, std::span<std::byte> out,
-                   const std::int64_t* p) {
-    auto result = out_as<kernels::EpResult>(out, 1);
-    result[0] = kernels::ep_chunked(static_cast<int>(p[0]),
-                                    static_cast<int>(p[1]));
-  });
+  reg.add(
+      "ep",
+      [](std::span<const std::byte>, std::span<std::byte> out,
+         const std::int64_t* p) {
+        auto result = out_as<kernels::EpResult>(out, 1);
+        result[0] = kernels::ep_chunked(static_cast<int>(p[0]),
+                                        static_cast<int>(p[1]));
+      },
+      [](std::span<const std::byte>, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        auto result = out_as<kernels::EpResult>(out, 1);
+        result[0] = kernels::ep_chunked(static_cast<int>(p[0]),
+                                        static_cast<int>(p[1]), pf);
+      },
+      [](const std::int64_t* p) {
+        return kernels::ep_launch(static_cast<int>(p[0])).geometry;
+      });
 
-  reg.add("reduce_sum", [](std::span<const std::byte> in,
-                           std::span<std::byte> out, const std::int64_t* p) {
-    const auto n = static_cast<std::size_t>(p[0]);
-    out_as<float>(out, 1)[0] = kernels::reduce_sum(in_as<float>(in, n));
-  });
+  reg.add(
+      "reduce_sum",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        out_as<float>(out, 1)[0] = kernels::reduce_sum(in_as<float>(in, n));
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        out_as<float>(out, 1)[0] = kernels::reduce_sum(in_as<float>(in, n), pf);
+      },
+      [](const std::int64_t* p) {
+        return kernels::reduce_launch(p[0]).geometry;
+      });
 
-  reg.add("dot", [](std::span<const std::byte> in, std::span<std::byte> out,
-                    const std::int64_t* p) {
-    const auto n = static_cast<std::size_t>(p[0]);
-    out_as<float>(out, 1)[0] =
-        kernels::dot(in_as<float>(in, n), in_as<float>(in, n, n));
-  });
+  reg.add(
+      "dot",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        out_as<float>(out, 1)[0] =
+            kernels::dot(in_as<float>(in, n), in_as<float>(in, n, n));
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        const auto n = static_cast<std::size_t>(p[0]);
+        out_as<float>(out, 1)[0] =
+            kernels::dot(in_as<float>(in, n), in_as<float>(in, n, n), pf);
+      },
+      [](const std::int64_t* p) {
+        return kernels::reduce_launch(p[0]).geometry;
+      });
 
-  reg.add("mg_vcycle", [](std::span<const std::byte> in,
-                          std::span<std::byte> out, const std::int64_t* p) {
-    const auto n = static_cast<int>(p[0]);
-    const auto iterations = static_cast<int>(p[1]);
-    const auto cells = static_cast<std::size_t>(n) * n * n;
-    kernels::Grid3 v(n), u(n);
-    auto vin = in_as<double>(in, cells);
-    std::copy(vin.begin(), vin.end(), v.data().begin());
-    u.fill(0.0);
-    for (int it = 0; it < iterations; ++it) kernels::mg_vcycle(u, v);
-    auto uout = out_as<double>(out, cells);
-    std::copy(u.data().begin(), u.data().end(), uout.begin());
-  });
+  reg.add(
+      "mg_vcycle",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        const auto n = static_cast<int>(p[0]);
+        const auto iterations = static_cast<int>(p[1]);
+        const auto cells = static_cast<std::size_t>(n) * n * n;
+        kernels::Grid3 v(n), u(n);
+        auto vin = in_as<double>(in, cells);
+        std::copy(vin.begin(), vin.end(), v.data().begin());
+        u.fill(0.0);
+        for (int it = 0; it < iterations; ++it) kernels::mg_vcycle(u, v);
+        auto uout = out_as<double>(out, cells);
+        std::copy(u.data().begin(), u.data().end(), uout.begin());
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        const auto n = static_cast<int>(p[0]);
+        const auto iterations = static_cast<int>(p[1]);
+        const auto cells = static_cast<std::size_t>(n) * n * n;
+        kernels::Grid3 v(n), u(n);
+        auto vin = in_as<double>(in, cells);
+        std::copy(vin.begin(), vin.end(), v.data().begin());
+        u.fill(0.0);
+        for (int it = 0; it < iterations; ++it) kernels::mg_vcycle(u, v, pf);
+        auto uout = out_as<double>(out, cells);
+        std::copy(u.data().begin(), u.data().end(), uout.begin());
+      },
+      [](const std::int64_t* p) {
+        return kernels::mg_launch(static_cast<int>(p[0])).geometry;
+      });
 
-  reg.add("coulomb_slab", [](std::span<const std::byte> in,
-                             std::span<std::byte> out,
-                             const std::int64_t* p) {
-    const auto natoms = static_cast<std::size_t>(p[0]);
-    kernels::Lattice lat;
-    lat.nx = static_cast<int>(p[1]);
-    lat.ny = static_cast<int>(p[2]);
-    lat.spacing = 0.5f;
-    lat.z = 0.0f;
-    const auto points = static_cast<std::size_t>(lat.nx) *
-                        static_cast<std::size_t>(lat.ny);
-    kernels::coulomb_slab(in_as<kernels::Atom>(in, natoms), lat,
-                          out_as<float>(out, points));
-  });
+  reg.add(
+      "coulomb_slab",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        const auto natoms = static_cast<std::size_t>(p[0]);
+        kernels::Lattice lat;
+        lat.nx = static_cast<int>(p[1]);
+        lat.ny = static_cast<int>(p[2]);
+        lat.spacing = 0.5f;
+        lat.z = 0.0f;
+        const auto points = static_cast<std::size_t>(lat.nx) *
+                            static_cast<std::size_t>(lat.ny);
+        kernels::coulomb_slab(in_as<kernels::Atom>(in, natoms), lat,
+                              out_as<float>(out, points));
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        const auto natoms = static_cast<std::size_t>(p[0]);
+        kernels::Lattice lat;
+        lat.nx = static_cast<int>(p[1]);
+        lat.ny = static_cast<int>(p[2]);
+        lat.spacing = 0.5f;
+        lat.z = 0.0f;
+        const auto points = static_cast<std::size_t>(lat.nx) *
+                            static_cast<std::size_t>(lat.ny);
+        kernels::coulomb_slab(in_as<kernels::Atom>(in, natoms), lat,
+                              out_as<float>(out, points), 0.05f, pf);
+      },
+      [](const std::int64_t* p) {
+        return kernels::electrostatics_launch(p[0], p[1] * p[2]).geometry;
+      });
 
   reg.add("sleep_ms", [](std::span<const std::byte>, std::span<std::byte>,
                          const std::int64_t* p) {

@@ -6,6 +6,7 @@
 #include <new>
 
 #include "common/log.hpp"
+#include "common/math.hpp"
 
 namespace vgpu::rt {
 
@@ -55,6 +56,28 @@ bool parse_data_plane(const std::string& text, DataPlane* out) {
   return false;
 }
 
+const char* exec_mode_name(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kSerial:
+      return "serial";
+    case ExecMode::kSharded:
+      return "sharded";
+  }
+  return "unknown";
+}
+
+bool parse_exec_mode(const std::string& text, ExecMode* out) {
+  if (text == "serial") {
+    *out = ExecMode::kSerial;
+    return true;
+  }
+  if (text == "sharded" || text == "shard") {
+    *out = ExecMode::kSharded;
+    return true;
+  }
+  return false;
+}
+
 void RtServerStats::record_batch(std::size_t depth) {
   if (depth == 0) return;
   int bucket = 0;  // floor(log2(depth)), capped at the last bucket
@@ -93,7 +116,21 @@ Status RtServer::start() {
                                                     /*max_messages=*/8);
   if (!queue.ok()) return queue.status();
   requests_ = std::move(*queue);
-  pool_ = std::make_unique<ThreadPool>(config_.workers);
+  if (config_.exec == ExecMode::kSharded) {
+    exec::ExecConfig ec;
+    ec.workers = config_.workers;
+    ec.oversubscribe = config_.shard_oversubscribe;
+    engine_ = std::make_unique<exec::ExecEngine>(ec);
+  } else {
+    pool_ = std::make_unique<ThreadPool>(
+        config_.workers,
+        [this](const char* what) {
+          // Jobs catch their own exceptions; this backstop only fires for
+          // throws outside the kernel try-block.
+          stats_.jobs_failed.fetch_add(1);
+          VGPU_ERROR("rt server: worker job threw: " << what);
+        });
+  }
   start_time_ = std::chrono::steady_clock::now();
   running_.store(true);
   serve_thread_ = std::thread([this] { serve_loop(); });
@@ -107,6 +144,22 @@ void RtServer::stop() {
   (void)requests_.send(shutdown);
   if (serve_thread_.joinable()) serve_thread_.join();
   pool_.reset();  // drains in-flight jobs
+  if (engine_ != nullptr) {
+    // Jobs have completed (clients RLS before stop in the protocol, and
+    // the engine drains before exit); snapshot the counters for printing.
+    engine_->shutdown();
+    const exec::ExecStats& es = engine_->stats();
+    exec_counters_.launches = es.launches.load();
+    exec_counters_.shards_executed = es.shards_executed.load();
+    exec_counters_.steals = es.steals.load();
+    exec_counters_.overflow_pushes = es.overflow_pushes.load();
+    exec_counters_.external_jobs = es.external_jobs.load();
+    exec_counters_.worker_shards.clear();
+    for (int i = 0; i <= engine_->workers(); ++i) {
+      exec_counters_.worker_shards.push_back(engine_->worker_shards(i));
+    }
+    engine_.reset();
+  }
   clients_.clear();
   ring_lanes_ = 0;
 }
@@ -255,14 +308,17 @@ void RtServer::handle(const RtRequest& request) {
   ClientState& client = it->second;
   switch (request.op) {
     case RtOp::kSnd: {
-      if (config_.data_plane == DataPlane::kStaged) {
+      if (config_.data_plane == DataPlane::kStaged &&
+          config_.exec == ExecMode::kSerial) {
         // Stage input: virtual shared memory -> private ("pinned") buffer.
         std::memcpy(client.staging_in.data(), client.input_area().data(),
                     static_cast<std::size_t>(client.bytes_in));
         stats_.bytes_copied.fetch_add(client.bytes_in);
       }
-      // Zero-copy plane: the kernel reads the vsm directly; SND is a pure
-      // protocol ack.
+      // Sharded mode defers the staging copy into the job itself, where it
+      // is chunked and overlapped with compute (the serve thread never
+      // blocks on a memcpy). Zero-copy plane: the kernel reads the vsm
+      // directly; SND is a pure protocol ack either way.
       respond(client, RtAck::kAck);
       break;
     }
@@ -277,8 +333,16 @@ void RtServer::handle(const RtRequest& request) {
         respond(client, RtAck::kWait);
         break;
       }
-      if (config_.data_plane == DataPlane::kStaged) {
+      if (client.job_failed->load(std::memory_order_acquire)) {
+        // The kernel threw; surface the failure instead of handing back
+        // stale output bytes.
+        respond(client, RtAck::kError);
+        break;
+      }
+      if (config_.data_plane == DataPlane::kStaged &&
+          config_.exec == ExecMode::kSerial) {
         // Result: staging buffer -> virtual shared memory (output area).
+        // (Sharded jobs already wrote back, chunked, before completing.)
         std::memcpy(client.output_area().data(), client.staging_out.data(),
                     static_cast<std::size_t>(client.bytes_out));
         stats_.bytes_copied.fetch_add(client.bytes_out);
@@ -347,6 +411,7 @@ void RtServer::handle_req(const RtRequest& request) {
   client.vsm = std::move(*vsm);
 
   client.kernel = registry_.find(request.kernel_id);
+  client.kernel_id = request.kernel_id;
   if (client.kernel == nullptr) {
     VGPU_ERROR("rt server: unknown kernel id " << request.kernel_id);
     respond(client, RtAck::kError);
@@ -438,7 +503,18 @@ void RtServer::pump() {
       granted.push_back(&it->second);
     }
     // One lock + one wakeup for the whole cohort.
-    pool_->submit_batch(std::move(jobs));
+    Status submitted = Status::Ok();
+    if (engine_ != nullptr) {
+      for (auto& job : jobs) {
+        Status st = engine_->submit(std::move(job));
+        if (!st.ok()) submitted = std::move(st);
+      }
+    } else {
+      submitted = pool_->submit_batch(std::move(jobs));
+    }
+    if (!submitted.ok()) {
+      VGPU_ERROR("rt server: job submit failed: " << submitted.to_string());
+    }
     for (ClientState* client : granted) respond(*client, RtAck::kAck);
   }
 }
@@ -447,10 +523,14 @@ std::function<void()> RtServer::make_job(int client_id, ClientState& client) {
   VGPU_ASSERT_MSG(client.str_pending, "grant without a pending STR");
   client.str_pending = false;
   client.job_done->store(false, std::memory_order_release);
-  // The job captures raw buffer pointers; ClientState outlives the job
-  // because RLS is only sent by clients after STP acknowledged
-  // completion, and stop() drains the pool before clearing clients_.
+  client.job_failed->store(false, std::memory_order_release);
+  // The job captures raw buffer pointers (and, in sharded mode, the
+  // ClientState pointer — stable: map nodes don't move); ClientState
+  // outlives the job because RLS is only sent by clients after STP
+  // acknowledged completion, and stop() drains the pool before clearing
+  // clients_.
   auto done = client.job_done;
+  auto failed = client.job_failed;
   const RtKernelFn* kernel = client.kernel;
   std::span<const std::byte> in;
   std::span<std::byte> out;
@@ -464,9 +544,31 @@ std::function<void()> RtServer::make_job(int client_id, ClientState& client) {
     out = {client.staging_out.data(), client.staging_out.size()};
   }
   const std::int64_t* params = client.params;
+  ClientState* state = &client;
+  const bool sharded = engine_ != nullptr;
   ipc::Doorbell door(door_shm_.as<ipc::Doorbell::Word>());
-  return [this, kernel, in, out, params, done, client_id, door]() mutable {
-    (*kernel)(in, out, params);
+  return [this, kernel, in, out, params, done, failed, client_id, door,
+          state, sharded]() mutable {
+    jobs_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    bool error = false;
+    try {
+      if (sharded) {
+        run_sharded_job(*state);
+      } else {
+        (*kernel)(in, out, params);
+      }
+    } catch (const std::exception& e) {
+      VGPU_ERROR("rt server: kernel job for client " << client_id
+                                                     << " threw: " << e.what());
+      error = true;
+    } catch (...) {
+      VGPU_ERROR("rt server: kernel job for client " << client_id
+                                                     << " threw");
+      error = true;
+    }
+    jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (error) stats_.jobs_failed.fetch_add(1);
+    failed->store(error, std::memory_order_release);
     stats_.jobs_run.fetch_add(1);
     done->store(true, std::memory_order_release);
     // Feed the completion back to the serve thread, which owns the
@@ -478,6 +580,134 @@ std::function<void()> RtServer::make_job(int client_id, ClientState& client) {
     }
     door.ring();
   };
+}
+
+void RtServer::copy_chunked(std::byte* dst, const std::byte* src,
+                            Bytes total) {
+  if (total <= 0) return;
+  const Bytes chunk = std::max<Bytes>(1, config_.copy_chunk);
+  const long nchunks = ceil_div(total, chunk);
+  // Overlap accounting: another job computing while these chunks copy is
+  // exactly the copy/compute overlap the serial path cannot have.
+  const bool overlapped = jobs_in_flight_.load(std::memory_order_acquire) > 1;
+  const Status st = engine_->parallel_for(nchunks, [&](long begin, long end) {
+    for (long k = begin; k < end; ++k) {
+      const Bytes off = k * chunk;
+      const Bytes len = std::min(chunk, total - off);
+      std::memcpy(dst + off, src + off, static_cast<std::size_t>(len));
+    }
+  });
+  if (!st.ok()) throw std::runtime_error(st.to_string());
+  stats_.bytes_copied.fetch_add(total);
+  if (overlapped) stats_.overlap_bytes.fetch_add(total);
+}
+
+void RtServer::run_streamed(ClientState& client, const RtStream& stream,
+                            long cap) {
+  const long grid = stream.grid(client.params);
+  std::span<const std::byte> in{client.staging_in.data(),
+                                client.staging_in.size()};
+  std::span<std::byte> out{client.staging_out.data(),
+                           client.staging_out.size()};
+  std::span<std::byte> vsm_in = client.input_area();
+  // Chunk count: aim for copy_chunk-sized input pieces, at least two so
+  // the pipeline has something to overlap, never more than the grid.
+  const long by_bytes =
+      ceil_div(std::max<Bytes>(1, client.bytes_in),
+               std::max<Bytes>(1, config_.copy_chunk));
+  const long nchunks = std::clamp(by_bytes, 2L, grid);
+  if (grid <= 1 || nchunks < 2) {
+    // Degenerate grid: plain chunked stage-in, then the whole kernel.
+    copy_chunked(client.staging_in.data(), vsm_in.data(), client.bytes_in);
+    stream.run(in, out, client.params, 0, grid);
+    copy_chunked(client.output_area().data(), client.staging_out.data(),
+                 client.bytes_out);
+    return;
+  }
+  auto chunk_begin = [&](long k) { return grid * k / nchunks; };
+  auto copy_in_chunk = [&](long k) {
+    const RtStreamView view =
+        stream.input_slices(client.params, chunk_begin(k), chunk_begin(k + 1));
+    Bytes bytes = 0;
+    for (int s = 0; s < view.count; ++s) {
+      const RtStreamSlice& slice = view.slices[s];
+      if (slice.len == 0) continue;
+      std::memcpy(client.staging_in.data() + slice.offset,
+                  vsm_in.data() + slice.offset, slice.len);
+      bytes += static_cast<Bytes>(slice.len);
+    }
+    stats_.bytes_copied.fetch_add(bytes);
+    return bytes;
+  };
+  // Double-buffered pipeline: while chunk k computes, one engine shard
+  // copies chunk k+1's input slices in.
+  copy_in_chunk(0);
+  for (long k = 0; k < nchunks; ++k) {
+    exec::ExecEngine::Group copy_group;
+    Bytes next_bytes = 0;
+    if (k + 1 < nchunks) {
+      const long next = k + 1;
+      const Status st = engine_->launch(
+          copy_group, 1,
+          [&, next](long, long) { next_bytes = copy_in_chunk(next); });
+      if (!st.ok()) throw std::runtime_error(st.to_string());
+    }
+    const long begin = chunk_begin(k);
+    const long blocks = chunk_begin(k + 1) - begin;
+    const Status st = engine_->parallel_for(
+        blocks,
+        [&](long b0, long b1) {
+          stream.run(in, out, client.params, begin + b0, begin + b1);
+        },
+        cap);
+    if (!st.ok()) throw std::runtime_error(st.to_string());
+    engine_->wait(copy_group);
+    if (engine_->workers() > 1 && next_bytes > 0) {
+      stats_.overlap_bytes.fetch_add(next_bytes);
+    }
+  }
+  copy_chunked(client.output_area().data(), client.staging_out.data(),
+               client.bytes_out);
+}
+
+void RtServer::run_sharded_job(ClientState& client) {
+  const bool staged = config_.data_plane == DataPlane::kStaged;
+  // Occupancy cap: the launch fans out to at most the number of blocks of
+  // this kernel's geometry the modeled device can co-schedule.
+  long cap = 0;
+  if (const RtGeometryFn* geometry = registry_.find_geometry(client.kernel_id);
+      geometry != nullptr) {
+    cap = exec::occupancy_shard_cap(config_.device, (*geometry)(client.params));
+  }
+  if (staged) {
+    if (const RtStream* stream = registry_.find_stream(client.kernel_id);
+        stream != nullptr) {
+      run_streamed(client, *stream, cap);
+      return;
+    }
+  }
+  std::span<const std::byte> in;
+  std::span<std::byte> out;
+  if (staged) {
+    copy_chunked(client.staging_in.data(), client.input_area().data(),
+                 client.bytes_in);
+    in = {client.staging_in.data(), client.staging_in.size()};
+    out = {client.staging_out.data(), client.staging_out.size()};
+  } else {
+    in = client.input_area();
+    out = client.output_area();
+  }
+  if (const RtShardedKernelFn* sharded =
+          registry_.find_sharded(client.kernel_id);
+      sharded != nullptr) {
+    (*sharded)(in, out, client.params, engine_->executor(cap));
+  } else {
+    (*client.kernel)(in, out, client.params);
+  }
+  if (staged) {
+    copy_chunked(client.output_area().data(), client.staging_out.data(),
+                 client.bytes_out);
+  }
 }
 
 }  // namespace vgpu::rt

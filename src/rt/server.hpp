@@ -28,6 +28,8 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "exec/engine.hpp"
+#include "gpu/spec.hpp"
 #include "ipc/mqueue.hpp"
 #include "ipc/shm.hpp"
 #include "ipc/transport.hpp"
@@ -54,6 +56,21 @@ const char* data_plane_name(DataPlane plane);
 /// Parses the CLI spelling ("staged" | "zero_copy").
 bool parse_data_plane(const std::string& text, DataPlane* out);
 
+/// How granted kernels execute on the worker pool.
+enum class ExecMode : std::int32_t {
+  /// One serial job per granted kernel (pre-engine behaviour; a launch
+  /// never uses more than one core).
+  kSerial = 0,
+  /// Grid-sharded execution on the work-stealing engine: each launch fans
+  /// out into block-range shards capped by modeled SM occupancy, and the
+  /// staged data plane's copies are chunked and overlapped with compute.
+  kSharded = 1,
+};
+
+const char* exec_mode_name(ExecMode mode);
+/// Parses the CLI spelling ("serial" | "sharded").
+bool parse_exec_mode(const std::string& text, ExecMode* out);
+
 struct RtServerConfig {
   std::string prefix = "/vgpu";
   /// STR barrier width (SPMD process count). 1 disables batching.
@@ -73,6 +90,16 @@ struct RtServerConfig {
   ipc::TransportKind transport = ipc::TransportKind::kMessageQueue;
   /// Data plane for kernel execution (see DataPlane).
   DataPlane data_plane = DataPlane::kStaged;
+  /// Execution mode for granted kernels (see ExecMode).
+  ExecMode exec = ExecMode::kSerial;
+  /// Sharded mode: target shards per worker per launch (engine
+  /// oversubscription; stealing evens out shard-cost skew).
+  int shard_oversubscribe = 4;
+  /// Sharded + staged: copy-chunk granularity for the overlapped
+  /// stage-in/write-back path.
+  Bytes copy_chunk = 256 * kKiB;
+  /// Modeled device for occupancy shard caps (sharded mode).
+  gpu::DeviceSpec device = gpu::tesla_c2070();
   /// Serve-loop wait strategy (spin -> yield -> doorbell park).
   ipc::WaitConfig wait;
 };
@@ -96,12 +123,32 @@ struct RtServerStats {
   std::atomic<long> spin_wakeups{0};
   /// Serve-loop futex parks.
   std::atomic<long> doorbell_blocks{0};
+  /// Data-plane bytes whose copy ran while the engine had other compute
+  /// in flight (sharded mode: the chunked-overlap payoff; 0 in serial
+  /// mode, where every copy serializes against compute).
+  std::atomic<long> overlap_bytes{0};
+  /// Kernel jobs that raised an exception (surfaced to the client as an
+  /// RtAck::kError at STP instead of terminating the server).
+  std::atomic<long> jobs_failed{0};
   /// Histogram of requests handled per serve-loop wakeup; bucket i counts
   /// wakeups that drained a batch of depth in [2^i, 2^(i+1)).
   static constexpr int kBatchBuckets = 8;  // 1,2-3,4-7,...,128+
   std::atomic<long> batch_depth[kBatchBuckets] = {};
 
   void record_batch(std::size_t depth);
+};
+
+/// Snapshot of the execution engine's counters, captured at stop() (the
+/// engine itself is torn down with the serve loop).
+struct RtExecCounters {
+  long launches = 0;
+  long shards_executed = 0;
+  long steals = 0;
+  long overflow_pushes = 0;
+  long external_jobs = 0;
+  /// Shards executed per worker; the last entry counts non-worker
+  /// participants (threads inside engine waits).
+  std::vector<long> worker_shards;
 };
 
 class RtServer {
@@ -120,6 +167,9 @@ class RtServer {
 
   const RtServerStats& stats() const { return stats_; }
   const RtServerConfig& config() const { return config_; }
+  /// Execution-engine counters; meaningful after stop() in sharded mode
+  /// (all zeros in serial mode).
+  const RtExecCounters& exec_counters() const { return exec_counters_; }
   /// Scheduler counters; read after stop() (the serve thread owns the
   /// scheduler while running).
   const sched::Scheduler& scheduler() const { return *scheduler_; }
@@ -137,12 +187,16 @@ class RtServer {
     std::vector<std::byte> staging_in;   // staged data plane only
     std::vector<std::byte> staging_out;
     const RtKernelFn* kernel = nullptr;
+    int kernel_id = -1;
     std::int64_t params[4] = {};
     Bytes bytes_in = 0;
     Bytes bytes_out = 0;
     bool str_pending = false;
     std::shared_ptr<std::atomic<bool>> job_done =
         std::make_shared<std::atomic<bool>>(true);
+    /// Set by the job when the kernel threw; STP answers kError.
+    std::shared_ptr<std::atomic<bool>> job_failed =
+        std::make_shared<std::atomic<bool>>(false);
 
     std::span<std::byte> input_area() {
       return vsm.bytes().subspan(data_offset,
@@ -167,6 +221,15 @@ class RtServer {
   void pump();
   /// Builds the worker-pool job for a granted client (marks it busy).
   std::function<void()> make_job(int client_id, ClientState& client);
+  /// Job body for sharded mode: chunked stage-in, engine-sharded kernel,
+  /// chunked write-back (runs on an engine worker).
+  void run_sharded_job(ClientState& client);
+  /// Pipelined elementwise path: copy chunk k+1's input slices while
+  /// chunk k computes (double-buffered copy/compute overlap).
+  void run_streamed(ClientState& client, const RtStream& stream, long cap);
+  /// Chunked memcpy on the engine; counts overlap when other jobs are in
+  /// flight.
+  void copy_chunked(std::byte* dst, const std::byte* src, Bytes total);
   /// Feeds worker-thread job completions back into the scheduler (serve
   /// thread only).
   void drain_completions();
@@ -189,7 +252,10 @@ class RtServer {
   std::mutex completions_mutex_;
   std::vector<int> completions_;  // worker -> serve thread job completions
   std::atomic<int> pending_completions_{0};
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_;             // serial mode
+  std::unique_ptr<exec::ExecEngine> engine_;     // sharded mode
+  std::atomic<int> jobs_in_flight_{0};
+  RtExecCounters exec_counters_;
   std::thread serve_thread_;
   std::atomic<bool> running_{false};
   RtServerStats stats_;

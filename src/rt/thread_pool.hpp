@@ -10,13 +10,20 @@
 #include <thread>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/status.hpp"
 
 namespace vgpu::rt {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(int threads) {
+  /// Called when a job escapes with an exception (jobs should catch their
+  /// own; this is the backstop that keeps a throw from std::terminate-ing
+  /// the server). Runs on the worker thread.
+  using ErrorHandler = std::function<void(const char* what)>;
+
+  explicit ThreadPool(int threads, ErrorHandler on_error = nullptr)
+      : on_error_(std::move(on_error)) {
     VGPU_ASSERT(threads >= 1);
     for (int i = 0; i < threads; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -25,33 +32,46 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
+  ~ThreadPool() { shutdown(); }
+
+  /// Stops accepting jobs and joins the workers once the queue drains.
+  /// Idempotent; submits racing with (or after) shutdown get
+  /// kFailedPrecondition instead of an assertion failure.
+  void shutdown() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
       stopping_ = true;
     }
     cv_.notify_all();
-    for (auto& w : workers_) w.join();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
   }
 
-  void submit(std::function<void()> job) {
+  [[nodiscard]] Status submit(std::function<void()> job) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      VGPU_ASSERT_MSG(!stopping_, "submit after shutdown");
+      if (stopping_) {
+        return FailedPrecondition("thread pool is shut down");
+      }
       jobs_.push_back(std::move(job));
     }
     cv_.notify_one();
+    return Status::Ok();
   }
 
   /// Enqueues a whole batch under one lock acquisition and one broadcast —
   /// the server's pump() uses this so a barrier cohort's worth of kernel
   /// jobs costs one wakeup, not one per client.
-  void submit_batch(std::vector<std::function<void()>> jobs) {
-    if (jobs.empty()) return;
+  [[nodiscard]] Status submit_batch(std::vector<std::function<void()>> jobs) {
+    if (jobs.empty()) return Status::Ok();
     const bool single = jobs.size() == 1;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      VGPU_ASSERT_MSG(!stopping_, "submit after shutdown");
+      if (stopping_) {
+        return FailedPrecondition("thread pool is shut down");
+      }
       for (auto& job : jobs) jobs_.push_back(std::move(job));
     }
     if (single) {
@@ -59,6 +79,7 @@ class ThreadPool {
     } else {
       cv_.notify_all();
     }
+    return Status::Ok();
   }
 
   std::size_t workers() const { return workers_.size(); }
@@ -77,10 +98,25 @@ class ThreadPool {
         job = std::move(jobs_.front());
         jobs_.pop_front();
       }
-      job();
+      try {
+        job();
+      } catch (const std::exception& e) {
+        if (on_error_ != nullptr) {
+          on_error_(e.what());
+        } else {
+          VGPU_ERROR("thread pool job threw: " << e.what());
+        }
+      } catch (...) {
+        if (on_error_ != nullptr) {
+          on_error_("unknown exception");
+        } else {
+          VGPU_ERROR("thread pool job threw a non-std exception");
+        }
+      }
     }
   }
 
+  ErrorHandler on_error_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> jobs_;

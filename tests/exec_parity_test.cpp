@@ -1,0 +1,275 @@
+// Parity suite for the grid-sharded kernels: every kernel in src/kernels/
+// executed through a ParallelFor must match its serial oracle — bitwise
+// for the kernels whose shards write disjoint outputs (and whose
+// reductions keep a fixed combine order), within tight ULP bounds for the
+// pairwise float reductions. Each kernel runs under:
+//   * a real ExecEngine at several worker counts (including workers >
+//     blocks and 1-block grids), and
+//   * an adversarial serial executor that splits the grid into uneven
+//     chunks and runs them in REVERSE order — shard scheduling order must
+//     never leak into results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "exec/engine.hpp"
+#include "kernels/blackscholes.hpp"
+#include "kernels/blas1.hpp"
+#include "kernels/cg.hpp"
+#include "kernels/electrostatics.hpp"
+#include "kernels/ep.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/is.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/mg.hpp"
+
+namespace vgpu::kernels {
+namespace {
+
+/// Uneven chunks, executed back-to-front: catches any dependence on shard
+/// order or on balanced shard sizes (tail shards included by design).
+ParallelFor reversed_executor(long chunk) {
+  return [chunk](long total, const RangeFn& fn) {
+    std::vector<std::pair<long, long>> ranges;
+    for (long b = 0; b < total; b += chunk) {
+      ranges.emplace_back(b, std::min(total, b + chunk));
+    }
+    for (auto it = ranges.rbegin(); it != ranges.rend(); ++it) {
+      fn(it->first, it->second);
+    }
+  };
+}
+
+/// Runs `check(pf)` under every executor shape the parity suite cares
+/// about: engine with 1 worker, engine with 3 workers (blocks < workers
+/// for small grids), and uneven reversed serial splits of 1 and 3.
+template <typename Check>
+void for_each_executor(const Check& check) {
+  for (const int workers : {1, 3}) {
+    exec::ExecConfig config;
+    config.workers = workers;
+    exec::ExecEngine engine(config);
+    check(engine.executor());
+    engine.shutdown();
+  }
+  check(reversed_executor(1));
+  check(reversed_executor(3));
+}
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed,
+                                 double lo = -4.0, double hi = 4.0) {
+  std::vector<float> v(n);
+  Rng rng(seed);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return v;
+}
+
+TEST(ExecParity, SgemmBitwise) {
+  // 33 -> 2x2 tiles with tail tiles; 32 -> a 1-tile grid; 96 -> 3x3.
+  for (const int n : {32, 33, 96}) {
+    const auto un = static_cast<std::size_t>(n) * n;
+    const auto a = random_floats(un, 1);
+    const auto b = random_floats(un, 2);
+    std::vector<float> expected(un);
+    sgemm(a, b, expected, n);
+    for_each_executor([&](const ParallelFor& pf) {
+      std::vector<float> c(un, -1.0f);
+      sgemm(a, b, c, n, pf);
+      ASSERT_EQ(std::memcmp(c.data(), expected.data(),
+                            un * sizeof(float)),
+                0)
+          << "sgemm n=" << n;
+    });
+  }
+}
+
+TEST(ExecParity, VecaddSaxpyBitwise) {
+  // 1 element: a 1-block grid; 1025: a tail block.
+  for (const long n : {1L, 1024L, 1025L, 10000L}) {
+    const auto un = static_cast<std::size_t>(n);
+    const auto a = random_floats(un, 3);
+    const auto b = random_floats(un, 4);
+    std::vector<float> expected_add(un);
+    vecadd(a, b, expected_add);
+    std::vector<float> expected_saxpy = b;
+    saxpy(2.5f, a, expected_saxpy);
+    for_each_executor([&](const ParallelFor& pf) {
+      std::vector<float> c(un);
+      vecadd(a, b, c, pf);
+      ASSERT_EQ(std::memcmp(c.data(), expected_add.data(),
+                            un * sizeof(float)),
+                0)
+          << "vecadd n=" << n;
+      std::vector<float> y = b;
+      saxpy(2.5f, a, y, pf);
+      ASSERT_EQ(std::memcmp(y.data(), expected_saxpy.data(),
+                            un * sizeof(float)),
+                0)
+          << "saxpy n=" << n;
+    });
+  }
+}
+
+TEST(ExecParity, ReduceAndDotDeterministicAcrossPartitions) {
+  // The sharded reduction fixes its combine order (per-block pairwise
+  // partials merged in block order), so every partition yields the SAME
+  // float — and it must sit within a tight bound of the serial oracle.
+  for (const long n : {1L, 4095L, 100000L}) {
+    const auto un = static_cast<std::size_t>(n);
+    const auto x = random_floats(un, 5);
+    const auto y = random_floats(un, 6);
+    const float serial_sum = reduce_sum(x);
+    const float serial_dot = dot(x, y);
+    float first_sum = 0.0f;
+    float first_dot = 0.0f;
+    bool have_first = false;
+    for_each_executor([&](const ParallelFor& pf) {
+      const float s = reduce_sum(x, pf);
+      const float d = dot(x, y, pf);
+      if (!have_first) {
+        first_sum = s;
+        first_dot = d;
+        have_first = true;
+      } else {
+        ASSERT_EQ(s, first_sum) << "reduce_sum partition-dependent, n=" << n;
+        ASSERT_EQ(d, first_dot) << "dot partition-dependent, n=" << n;
+      }
+      ASSERT_NEAR(s, serial_sum,
+                  1e-4 * std::max(1.0, std::abs(static_cast<double>(serial_sum))) +
+                      1e-3 * std::sqrt(static_cast<double>(n)))
+          << "reduce_sum n=" << n;
+      ASSERT_NEAR(d, serial_dot,
+                  1e-4 * std::max(1.0, std::abs(static_cast<double>(serial_dot))) +
+                      1e-3 * std::sqrt(static_cast<double>(n)))
+          << "dot n=" << n;
+    });
+  }
+}
+
+TEST(ExecParity, BlackScholesBitwise) {
+  for (const long n : {1L, 127L, 128L, 5000L}) {
+    const auto un = static_cast<std::size_t>(n);
+    const auto spot = random_floats(un, 7, 10.0, 100.0);
+    const auto strike = random_floats(un, 8, 10.0, 100.0);
+    const auto years = random_floats(un, 9, 0.1, 5.0);
+    OptionBatch batch;
+    batch.stock_price = spot;
+    batch.strike_price = strike;
+    batch.years = years;
+    std::vector<float> expected_call(un);
+    std::vector<float> expected_put(un);
+    black_scholes(batch, expected_call, expected_put);
+    for_each_executor([&](const ParallelFor& pf) {
+      std::vector<float> call(un);
+      std::vector<float> put(un);
+      black_scholes(batch, call, put, pf);
+      ASSERT_EQ(std::memcmp(call.data(), expected_call.data(),
+                            un * sizeof(float)),
+                0)
+          << "bs call n=" << n;
+      ASSERT_EQ(std::memcmp(put.data(), expected_put.data(),
+                            un * sizeof(float)),
+                0)
+          << "bs put n=" << n;
+    });
+  }
+}
+
+TEST(ExecParity, EpChunkedBitwise) {
+  // 5 chunks: more chunks than a 3-worker engine's natural split; also a
+  // 1-chunk grid.
+  for (const int chunks : {1, 5}) {
+    const EpResult expected = ep_chunked(12, chunks);
+    for_each_executor([&](const ParallelFor& pf) {
+      const EpResult got = ep_chunked(12, chunks, pf);
+      ASSERT_EQ(got.sx, expected.sx) << "chunks=" << chunks;
+      ASSERT_EQ(got.sy, expected.sy);
+      ASSERT_EQ(got.q, expected.q);
+      ASSERT_EQ(got.pairs_accepted, expected.pairs_accepted);
+    });
+  }
+}
+
+TEST(ExecParity, MgVcycleBitwise) {
+  const int n = 16;
+  const Grid3 v = mg_make_rhs(n);
+  Grid3 expected(n);
+  expected.fill(0.0);
+  mg_vcycle(expected, v);
+  for_each_executor([&](const ParallelFor& pf) {
+    Grid3 u(n);
+    u.fill(0.0);
+    mg_vcycle(u, v, pf);
+    ASSERT_EQ(u.data(), expected.data());
+  });
+}
+
+TEST(ExecParity, CgSolveBitwise) {
+  const int n = 64;
+  const CsrMatrix a = cg_make_matrix(n, 6, 10.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> expected_x(b.size(), 0.0);
+  const CgResult expected = cg_solve(a, b, expected_x, 15);
+  for_each_executor([&](const ParallelFor& pf) {
+    std::vector<double> x(b.size(), 0.0);
+    const CgResult got = cg_solve(a, b, x, 15, 0.0, pf);
+    ASSERT_EQ(x, expected_x);
+    ASSERT_EQ(got.final_residual, expected.final_residual);
+    ASSERT_EQ(got.iterations, expected.iterations);
+  });
+}
+
+TEST(ExecParity, Fft3dAndEvolveBitwise) {
+  const int n = 8;  // 64 lines per pass
+  Field3 expected = ft_make_field(n);
+  fft3d(expected, false);
+  ft_evolve(expected, 2.0);
+  fft3d(expected, true);
+  for_each_executor([&](const ParallelFor& pf) {
+    Field3 field = ft_make_field(n);
+    fft3d(field, false, pf);
+    ft_evolve(field, 2.0, 1e-6, pf);
+    fft3d(field, true, pf);
+    ASSERT_EQ(field.data(), expected.data());
+  });
+}
+
+TEST(ExecParity, IsRankExact) {
+  for (const long n : {1L, 4095L, 50000L}) {
+    const int max_key = 512;
+    const std::vector<int> keys = is_make_keys(n, max_key);
+    const std::vector<long> expected = is_rank(keys, max_key);
+    for_each_executor([&](const ParallelFor& pf) {
+      const std::vector<long> got = is_rank(keys, max_key, pf);
+      ASSERT_EQ(got, expected) << "is_rank n=" << n;
+    });
+    // Stable ranks applied to the keys must produce a sorted sequence.
+    const std::vector<int> sorted = is_apply_ranks(keys, expected);
+    ASSERT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  }
+}
+
+TEST(ExecParity, CoulombSlabBitwise) {
+  const auto atoms = make_atoms(64, 16.0f);
+  Lattice lat;
+  lat.nx = 24;
+  lat.ny = 7;  // 7 rows: blocks > 3-worker split, with a tail under 2
+  std::vector<float> expected(static_cast<std::size_t>(lat.nx) * lat.ny);
+  coulomb_slab(atoms, lat, expected);
+  for_each_executor([&](const ParallelFor& pf) {
+    std::vector<float> out(expected.size());
+    coulomb_slab(atoms, lat, out, 0.05f, pf);
+    ASSERT_EQ(std::memcmp(out.data(), expected.data(),
+                          out.size() * sizeof(float)),
+              0);
+  });
+}
+
+}  // namespace
+}  // namespace vgpu::kernels

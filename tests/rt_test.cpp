@@ -6,8 +6,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -17,6 +21,7 @@
 #include "rt/client.hpp"
 #include "rt/registry.hpp"
 #include "rt/server.hpp"
+#include "rt/thread_pool.hpp"
 
 namespace vgpu::rt {
 namespace {
@@ -424,6 +429,162 @@ TEST(RtServer, RingTransportForkedProcessClients) {
   server.stop();
   EXPECT_EQ(server.stats().jobs_run.load(), kClients);
   EXPECT_GT(server.stats().ring_requests.load(), 0);
+}
+
+TEST(RtThreadPool, SubmitAfterShutdownReturnsFailedPrecondition) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(pool.submit([&] { ran.store(true); }).ok());
+  pool.shutdown();
+  EXPECT_TRUE(ran.load());  // shutdown drains queued jobs
+  const Status st = pool.submit([] {});
+  EXPECT_EQ(st.code(), ErrorCode::kFailedPrecondition);
+  std::vector<std::function<void()>> batch;
+  batch.emplace_back([] {});
+  EXPECT_EQ(pool.submit_batch(std::move(batch)).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(RtThreadPool, JobExceptionReachesHandlerNotTerminate) {
+  std::atomic<int> errors{0};
+  std::string what;
+  std::mutex mu;
+  {
+    ThreadPool pool(1, [&](const char* w) {
+      std::lock_guard<std::mutex> lock(mu);
+      what = w;
+      errors.fetch_add(1);
+    });
+    ASSERT_TRUE(
+        pool.submit([] { throw std::runtime_error("job boom"); }).ok());
+    pool.shutdown();
+  }
+  EXPECT_EQ(errors.load(), 1);
+  EXPECT_EQ(what, "job boom");
+}
+
+/// Sharded-mode servers must serve the same protocol with the same
+/// results, on both transports and both data planes.
+TEST(RtServer, ShardedExecServesClientsCorrectly) {
+  for (const auto transport :
+       {ipc::TransportKind::kMessageQueue, ipc::TransportKind::kShmRing}) {
+    for (const auto plane : {DataPlane::kStaged, DataPlane::kZeroCopy}) {
+      const std::string prefix = unique_prefix("shardex");
+      RtServerConfig config = server_config(prefix, 2, 2, transport, plane);
+      config.exec = ExecMode::kSharded;
+      RtServer server(config, builtin_registry());
+      ASSERT_TRUE(server.start().ok());
+      std::vector<std::thread> threads;
+      std::atomic<int> ok_count{0};
+      RtClientOptions options;
+      options.transport = transport;
+      for (int id = 0; id < 2; ++id) {
+        threads.emplace_back([&, id] {
+          if (run_vecadd_client(prefix, id, 100000, options)) {
+            ok_count.fetch_add(1);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      server.stop();
+      EXPECT_EQ(ok_count.load(), 2)
+          << ipc::transport_name(transport) << "/" << data_plane_name(plane);
+      const RtExecCounters& e = server.exec_counters();
+      EXPECT_GT(e.shards_executed, 0);
+      long histogram_sum = 0;
+      for (const long c : e.worker_shards) histogram_sum += c;
+      EXPECT_EQ(histogram_sum, e.shards_executed);
+      if (plane == DataPlane::kStaged) {
+        EXPECT_GT(server.stats().bytes_copied.load(), 0);
+      } else {
+        EXPECT_EQ(server.stats().bytes_copied.load(), 0);
+      }
+    }
+  }
+}
+
+TEST(RtServer, ShardedSgemmMatchesSerialOracle) {
+  const int n = 96;
+  const auto un = static_cast<std::size_t>(n) * n;
+  std::vector<float> a(un);
+  std::vector<float> b(un);
+  Rng rng(77);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  auto kid = builtin_registry().id_of("sgemm");
+  ASSERT_TRUE(kid.ok());
+  const std::int64_t params[4] = {n, 0, 0, 0};
+
+  auto run_mode = [&](ExecMode mode, std::vector<float>* out) {
+    const std::string prefix =
+        unique_prefix(mode == ExecMode::kSharded ? "gemm_s" : "gemm_0");
+    RtServerConfig config = server_config(prefix, 1, 2);
+    config.exec = mode;
+    RtServer server(config, builtin_registry());
+    ASSERT_TRUE(server.start().ok());
+    auto client = RtClient::connect(prefix, 0, 2 * un * 4, un * 4);
+    ASSERT_TRUE(client.ok());
+    auto* in = reinterpret_cast<float*>(client->input().data());
+    std::memcpy(in, a.data(), un * sizeof(float));
+    std::memcpy(in + un, b.data(), un * sizeof(float));
+    ASSERT_TRUE(client->req(*kid, params).ok());
+    ASSERT_TRUE(client->snd().ok());
+    ASSERT_TRUE(client->str().ok());
+    ASSERT_TRUE(client->wait_done().ok());
+    ASSERT_TRUE(client->rcv().ok());
+    out->resize(un);
+    std::memcpy(out->data(), client->output().data(), un * sizeof(float));
+    ASSERT_TRUE(client->rls().ok());
+    server.stop();
+  };
+  std::vector<float> serial_out;
+  std::vector<float> sharded_out;
+  run_mode(ExecMode::kSerial, &serial_out);
+  run_mode(ExecMode::kSharded, &sharded_out);
+  ASSERT_EQ(std::memcmp(serial_out.data(), sharded_out.data(),
+                        un * sizeof(float)),
+            0);
+}
+
+TEST(RtServer, KernelExceptionSurfacesAsClientErrorNotCrash) {
+  for (const auto mode : {ExecMode::kSerial, ExecMode::kSharded}) {
+    KernelRegistry registry;
+    const int boom = registry.add(
+        "boom", [](std::span<const std::byte>, std::span<std::byte>,
+                   const std::int64_t*) {
+          throw std::runtime_error("kernel boom");
+        });
+    const std::string prefix =
+        unique_prefix(mode == ExecMode::kSharded ? "boom_s" : "boom_0");
+    RtServerConfig config = server_config(prefix, 1, 1);
+    config.exec = mode;
+    RtServer server(config, registry);
+    ASSERT_TRUE(server.start().ok());
+    {
+      auto client = RtClient::connect(prefix, 0, 64, 64);
+      ASSERT_TRUE(client.ok());
+      const std::int64_t params[4] = {0, 0, 0, 0};
+      ASSERT_TRUE(client->req(boom, params).ok());
+      ASSERT_TRUE(client->snd().ok());
+      ASSERT_TRUE(client->str().ok());
+      const Status done = client->wait_done();
+      EXPECT_FALSE(done.ok()) << exec_mode_name(mode);
+      ASSERT_TRUE(client->rls().ok());
+    }
+    server.stop();
+    EXPECT_EQ(server.stats().jobs_failed.load(), 1) << exec_mode_name(mode);
+  }
+}
+
+TEST(RtServer, ParseExecModeSpellings) {
+  ExecMode mode = ExecMode::kSerial;
+  EXPECT_TRUE(parse_exec_mode("sharded", &mode));
+  EXPECT_EQ(mode, ExecMode::kSharded);
+  EXPECT_TRUE(parse_exec_mode("serial", &mode));
+  EXPECT_EQ(mode, ExecMode::kSerial);
+  EXPECT_FALSE(parse_exec_mode("warp", &mode));
+  EXPECT_STREQ(exec_mode_name(ExecMode::kSharded), "sharded");
+  EXPECT_STREQ(exec_mode_name(ExecMode::kSerial), "serial");
 }
 
 TEST(RtServer, StopIsIdempotentAndRestartable) {

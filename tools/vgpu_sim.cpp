@@ -17,6 +17,9 @@
 // protocol over actual POSIX IPC. `--transport=mq|shm` picks the control
 // plane and `--data-plane=staged|zero_copy` the data plane (both default
 // to the paper-faithful setting); the run prints the transport counters.
+// `--exec=serial|sharded` picks the kernel execution mode (sharded fans
+// each launch out over `--workers` via the src/exec engine and prints the
+// exec counter block: shards, steals, overlap bytes, per-worker shares).
 //
 // Examples:
 //   vgpu-sim --workload=ep --procs=8 --all-modes
@@ -24,6 +27,7 @@
 //   vgpu-sim --workload=mm --mode=virt --sched=tq --quota-mb=512
 //   vgpu-sim --workload=vecadd --mode=live --procs=4 --transport=shm
 //            --data-plane=zero_copy
+//   vgpu-sim --workload=mm --mode=live --procs=2 --exec=sharded --workers=4
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -209,6 +213,22 @@ void print_live_stats(const rt::RtServer& server) {
     std::printf(" [%d..%d]=%ld", lo, 2 * lo - 1, count);
   }
   std::printf("\n");
+  if (server.config().exec == rt::ExecMode::kSharded) {
+    const rt::RtExecCounters& e = server.exec_counters();
+    std::printf("  exec: %ld launches, %ld shards, %ld steals, "
+                "%ld overflow, %ld external jobs, overlap %ld B\n",
+                e.launches, e.shards_executed, e.steals, e.overflow_pushes,
+                e.external_jobs, s.overlap_bytes.load());
+    std::printf("  worker shards:");
+    for (std::size_t i = 0; i < e.worker_shards.size(); ++i) {
+      if (i + 1 == e.worker_shards.size()) {
+        std::printf(" ext=%ld", e.worker_shards[i]);
+      } else {
+        std::printf(" w%zu=%ld", i, e.worker_shards[i]);
+      }
+    }
+    std::printf("\n");
+  }
 }
 
 /// Real-machine run: forked clients against an in-process GVM server.
@@ -229,16 +249,27 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
                  flags.get_string("data-plane").c_str());
     return 2;
   }
+  rt::ExecMode exec = rt::ExecMode::kSerial;
+  if (flags.has("exec") &&
+      !rt::parse_exec_mode(flags.get_string("exec"), &exec)) {
+    std::fprintf(stderr, "unknown exec mode '%s' (try: serial sharded)\n",
+                 flags.get_string("exec").c_str());
+    return 2;
+  }
   const LiveKernelPlan plan = live_plan(workload_name);
 
   rt::RtServerConfig config;
   config.prefix = "/vgpu_live_" + std::to_string(::getpid());
   config.expected_clients = procs;
   config.workers = procs < 4 ? procs : 4;
+  if (flags.has("workers")) {
+    config.workers = static_cast<int>(flags.get_long("workers", config.workers));
+  }
   config.sched = gvm_config.sched;
   config.per_client_quota = gvm_config.per_client_quota;
   config.transport = transport;
   config.data_plane = data_plane;
+  config.exec = exec;
   rt::RtServer server(config, rt::builtin_registry());
   const Status st = server.start();
   if (!st.ok()) {
@@ -311,6 +342,7 @@ int main(int argc, char** argv) {
         "          [--mode=native|virt|remote|remote10g|vm|merge|live]\n"
         "          [--sched=barrier|tq|fair|prio] [--quota-mb=<N>]\n"
         "          [--transport=mq|shm] [--data-plane=staged|zero_copy]\n"
+        "          [--exec=serial|sharded] [--workers=<N>]\n"
         "          [--all-modes] [--model]\n",
         flags.program().c_str());
     return flags.positional().empty() && argc <= 1 ? 0 : 2;
