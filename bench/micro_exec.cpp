@@ -142,6 +142,8 @@ void BM_FullTaskCycle(benchmark::State& state) {
       static_cast<double>(server.exec_counters().shards_executed);
   state.counters["steals"] =
       static_cast<double>(server.exec_counters().steals);
+  // Registry snapshot (rt.*/exec.*/sched.* after stop()) into the JSON.
+  bench::report_registry(state, server.obs().metrics());
 }
 VGPU_MICRO_BENCHMARK(BM_FullTaskCycle)
     ->Arg(0)

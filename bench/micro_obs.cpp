@@ -1,0 +1,66 @@
+// Microbenchmarks of the observability subsystem's hot paths: the costs
+// the instrumented runtime pays per event.
+//
+//   BM_CounterAdd        relaxed atomic add on a pre-registered handle
+//   BM_HistogramObserve  linear bucket scan + two adds (8 pow2 buckets)
+//   BM_TracerSpan        begin_span + end_span, tracing off vs on — the
+//                        off cost is what every disabled-observability
+//                        run pays at each span site
+//
+// Run with --reps=K for warmup + K-repetition median/p95 aggregates.
+#include <benchmark/benchmark.h>
+
+#include "support.hpp"
+
+#include "obs/obs.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter* counter = registry.counter("bench.counter");
+  for (auto _ : state) {
+    counter->add();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+VGPU_MICRO_BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Histogram* hist =
+      registry.histogram("bench.hist", obs::pow2_bounds(8));
+  double v = 0.0;
+  for (auto _ : state) {
+    hist->observe(v);
+    v = v < 256.0 ? v + 1.0 : 0.0;
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+VGPU_MICRO_BENCHMARK(BM_HistogramObserve);
+
+// Arg 0: tracing on/off.
+void BM_TracerSpan(benchmark::State& state) {
+  obs::TracerConfig config;
+  config.enabled = state.range(0) != 0;
+  obs::Tracer tracer(config);
+  tracer.ensure_thread();
+  for (auto _ : state) {
+    const SimTime t0 = tracer.begin_span();
+    tracer.end_span(t0, obs::Phase::kKernel, /*lane=*/0, /*aux=*/1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(config.enabled ? "tracing" : "disabled");
+  if (config.enabled) {
+    state.counters["dropped"] = static_cast<double>(tracer.dropped());
+  }
+}
+VGPU_MICRO_BENCHMARK(BM_TracerSpan)->Arg(0)->Arg(1)->ArgNames({"trace"});
+
+}  // namespace
+
+VGPU_MICRO_MAIN()

@@ -40,12 +40,15 @@ rt::RtClientOptions client_options(std::int64_t transport) {
   return options;
 }
 
-void report_server_stats(benchmark::State& state,
-                         const rt::RtServerStats& stats) {
+void report_server_stats(benchmark::State& state, const rt::RtServer& server) {
+  const rt::RtServerStats& stats = server.stats();
   state.counters["bytes_copied"] = static_cast<double>(stats.bytes_copied);
   state.counters["syscalls_saved"] =
       static_cast<double>(stats.syscalls_saved);
   state.counters["ring_requests"] = static_cast<double>(stats.ring_requests);
+  // Full registry snapshot (rt.*/sched.*/admission.* after stop()) into
+  // the JSON the bench jobs upload.
+  bench::report_registry(state, server.obs().metrics());
 }
 
 // Arg 0: transport (0 = mqueue, 1 = shm ring).
@@ -75,7 +78,7 @@ void BM_ProtocolRoundTrip(benchmark::State& state) {
   server.stop();
   state.SetItemsProcessed(state.iterations());
   state.SetLabel(ipc::transport_name(client->transport()));
-  report_server_stats(state, server.stats());
+  report_server_stats(state, server);
 }
 VGPU_MICRO_BENCHMARK(BM_ProtocolRoundTrip)->Arg(0)->Arg(1)->ArgNames({"shm"});
 
@@ -117,11 +120,59 @@ void BM_FullTaskCycle(benchmark::State& state) {
   state.SetLabel(std::string(ipc::transport_name(client->transport())) +
                  "/" +
                  rt::data_plane_name(server.config().data_plane));
-  report_server_stats(state, server.stats());
+  report_server_stats(state, server);
 }
 VGPU_MICRO_BENCHMARK(BM_FullTaskCycle)
     ->ArgsProduct({{1024, 262144}, {0, 1}, {0, 1}})
     ->ArgNames({"n", "shm", "zc"});
+
+// Arg 0: span tracing on/off. The observability overhead gate: the CI
+// bench-obs job compares the two medians and fails the build if tracing
+// off is more than noise away from BM_FullTaskCycle, or tracing on costs
+// more than the budgeted ring writes (shm ring + staged plane, n = 1024,
+// like the BENCH_rt baseline row).
+void BM_FullTaskCycleObs(benchmark::State& state) {
+  const std::int64_t tracing = state.range(0);
+  const long n = 1024;
+  const std::string prefix = unique_prefix("obs");
+  rt::RtServerConfig config = make_config(prefix, 1, 2, 1, 0);
+  config.obs.tracing = tracing != 0;
+  rt::RtServer server(config, rt::builtin_registry());
+  if (!server.start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  auto client =
+      rt::RtClient::connect(prefix, 0, 2 * n * 4, n * 4, client_options(1));
+  if (!client.ok()) {
+    state.SkipWithError("client connect failed");
+    return;
+  }
+  auto kid = rt::builtin_registry().id_of("vecadd");
+  const std::int64_t params[4] = {n, 0, 0, 0};
+  (void)client->req(*kid, params);
+  auto* in = reinterpret_cast<float*>(client->input().data());
+  for (long i = 0; i < 2 * n; ++i) in[i] = static_cast<float>(i);
+  for (auto _ : state) {
+    bool ok = client->snd().ok();
+    ok = ok && client->str().ok();
+    ok = ok && client->wait_done(std::chrono::microseconds(50)).ok();
+    ok = ok && client->rcv().ok();
+    benchmark::DoNotOptimize(ok);
+  }
+  (void)client->rls();
+  server.stop();
+  state.SetLabel(tracing != 0 ? "tracing" : "no-tracing");
+  state.counters["spans"] = static_cast<double>(
+      tracing != 0 ? server.obs().tracer().collect().size() : 0);
+  state.counters["spans_dropped"] =
+      static_cast<double>(server.obs().tracer().dropped());
+  report_server_stats(state, server);
+}
+VGPU_MICRO_BENCHMARK(BM_FullTaskCycleObs)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"trace"});
 
 }  // namespace
 

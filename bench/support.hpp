@@ -50,22 +50,63 @@ void emit(TablePrinter& table, const std::string& csv_name);
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace vgpu::bench {
 
-/// p-th percentile (0..1) by linear interpolation between order statistics
-/// (the convention the sched/transport stats code uses).
+/// Order statistics over one sample set: sorts once at construction, then
+/// answers any number of percentile queries without re-sorting or copying
+/// (the old free-function percentile() copied and sorted per call).
+class SampleStats {
+ public:
+  explicit SampleStats(std::vector<double> samples)
+      : sorted_(std::move(samples)) {
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+
+  /// p-th percentile (0..1) by linear interpolation between order
+  /// statistics (the convention the sched/transport stats code uses).
+  double percentile(double p) const {
+    if (sorted_.empty()) return 0.0;
+    const double rank = p * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
+  }
+  double median() const { return percentile(0.5); }
+  std::size_t count() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// One-shot convenience; for repeated queries over the same samples build
+/// a SampleStats instead.
 inline double percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double rank = p * static_cast<double>(samples.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+  return SampleStats(std::move(samples)).percentile(p);
 }
 
 inline double p95_statistic(const std::vector<double>& samples) {
   return percentile(samples, 0.95);
+}
+
+/// Mirrors an obs registry snapshot into the benchmark's user counters, so
+/// the JSON the CI bench jobs upload carries the subsystem counters next
+/// to the timing aggregates. Histograms report their total count under
+/// "<name>.count".
+inline void report_registry(::benchmark::State& state,
+                            const obs::Registry& registry) {
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    state.counters[name] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    state.counters[name] = value;
+  }
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    state.counters[h.name + ".count"] = static_cast<double>(h.count);
+  }
 }
 
 /// Runs every registered micro benchmark with warmup + K repetitions,

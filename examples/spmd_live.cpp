@@ -1,6 +1,7 @@
 // Live SPMD demo: REAL processes sharing a GVM daemon over POSIX IPC.
 //
 //   $ ./examples/spmd_live [nprocs] [--exec=serial|sharded] [--workers=N]
+//                          [--trace-out=<file>]
 //
 // The parent starts the GVM server (message-queue control plane, worker
 // pool — or, with --exec=sharded, the src/exec work-stealing engine — as
@@ -8,6 +9,10 @@
 // Each child connects to its Virtual GPU, writes a distinct vector-addition
 // problem into its virtual shared memory, runs the full
 // REQ/SND/STR/STP/RCV/RLS protocol, and verifies the result that came back.
+//
+// With --trace-out= the server records per-client Tin/Tcomp/Tout phase
+// spans, writes them as a Chrome/Perfetto trace, and prints the
+// measured-vs-model residual report (docs/observability.md).
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/residuals.hpp"
 #include "rt/client.hpp"
 #include "rt/registry.hpp"
 #include "rt/server.hpp"
@@ -73,6 +79,7 @@ int main(int argc, char** argv) {
   int nprocs = 4;
   rt::ExecMode exec = rt::ExecMode::kSerial;
   int workers = 4;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--exec=", 0) == 0) {
@@ -83,6 +90,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
     } else {
       nprocs = std::atoi(arg.c_str());
     }
@@ -94,6 +103,7 @@ int main(int argc, char** argv) {
   config.expected_clients = nprocs;
   config.workers = workers;
   config.exec = exec;
+  config.obs.tracing = !trace_path.empty();
   rt::RtServer server(config, rt::builtin_registry());
   const Status st = server.start();
   if (!st.ok()) {
@@ -133,6 +143,28 @@ int main(int argc, char** argv) {
                 rt::exec_mode_name(exec), workers, e.launches,
                 e.shards_executed, e.steals,
                 server.stats().overlap_bytes.load());
+  }
+  if (!trace_path.empty()) {
+    const auto kernel_name = [](int id) {
+      const std::string* name = rt::builtin_registry().name_of(id);
+      return name != nullptr ? *name : "kernel " + std::to_string(id);
+    };
+    const Status ts = server.obs().tracer().write_chrome_trace(
+        trace_path, [&kernel_name](const obs::SpanRecord& span) {
+          if (span.phase == obs::Phase::kKernel) return kernel_name(span.aux);
+          return std::string();
+        });
+    if (!ts.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", ts.to_string().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                trace_path.c_str());
+    std::fputs(obs::format_residuals(
+                   obs::compute_residuals(server.obs().tracer().collect(),
+                                          kernel_name))
+                   .c_str(),
+               stdout);
   }
   return failures == 0 ? 0 : 1;
 }

@@ -1,14 +1,20 @@
 #include "common/log.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace vgpu {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+std::once_flag g_env_once;
 std::function<SimTime()> g_clock;
+LogSink g_sink;
 std::mutex g_mutex;
+
+thread_local std::string t_scope;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -28,23 +34,74 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  // An explicit call wins over (and suppresses a later first-use read of)
+  // the environment default.
+  std::call_once(g_env_once, [] {});
+  g_level = level;
+}
+
+LogLevel log_level() {
+  std::call_once(g_env_once, [] { init_log_level_from_env(); });
+  return g_level;
+}
+
+bool parse_log_level(const std::string& text, LogLevel* out) {
+  std::string lower(text.size(), '\0');
+  std::transform(text.begin(), text.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") *out = LogLevel::kDebug;
+  else if (lower == "info") *out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") *out = LogLevel::kWarn;
+  else if (lower == "error") *out = LogLevel::kError;
+  else if (lower == "off" || lower == "none") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("VGPU_LOG");
+  if (env == nullptr) return;
+  LogLevel level;
+  if (parse_log_level(env, &level)) g_level = level;
+}
 
 void set_log_clock(std::function<SimTime()> now) {
   std::lock_guard<std::mutex> lock(g_mutex);
   g_clock = std::move(now);
 }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void set_log_scope(std::string scope) { t_scope = std::move(scope); }
+
+const std::string& log_scope() { return t_scope; }
+
 namespace detail {
 
 void log_line(LogLevel level, const std::string& msg) {
   std::lock_guard<std::mutex> lock(g_mutex);
+  std::string line = "[";
+  line += level_tag(level);
   if (g_clock) {
-    std::fprintf(stderr, "[%s @%s] %s\n", level_tag(level),
-                 format_time(g_clock()).c_str(), msg.c_str());
+    line += " @";
+    line += format_time(g_clock());
+  }
+  line += "]";
+  if (!t_scope.empty()) {
+    line += "[";
+    line += t_scope;
+    line += "]";
+  }
+  line += " ";
+  line += msg;
+  if (g_sink) {
+    g_sink(level, line);
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

@@ -2,7 +2,15 @@
 //
 // The simulator installs a "now" callback so log lines carry virtual time.
 // Logging defaults to kWarn so tests and benches stay quiet; set
-// set_log_level(LogLevel::kDebug) to trace protocol exchanges.
+// set_log_level(LogLevel::kDebug) — or run with VGPU_LOG=debug in the
+// environment — to trace protocol exchanges.
+//
+// Formatted lines go to stderr unless a sink is installed
+// (set_log_sink()); the obs subsystem uses that hook to count lines per
+// level in its metrics registry (obs::install_log_capture). Live-path
+// code tags its thread with set_log_scope("client 3") so interleaved
+// multi-client logs stay attributable: lines then render as
+// "[W][client 3] message".
 #pragma once
 
 #include <functional>
@@ -18,8 +26,27 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses a level name ("debug", "info", "warn", "error", "off").
+bool parse_log_level(const std::string& text, LogLevel* out);
+
+/// Applies the VGPU_LOG environment variable (if set and parseable) to
+/// the process log level. Runs automatically before the first log_level()
+/// read; exposed for tests and for re-reading after setenv().
+void init_log_level_from_env();
+
 /// Install a virtual-clock source; pass nullptr to revert to wall time.
 void set_log_clock(std::function<SimTime()> now);
+
+/// Receives each fully formatted line (no trailing newline) instead of
+/// the default stderr write; pass nullptr to restore stderr output.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+/// Thread-local attribution tag prepended to this thread's log lines
+/// ("client 3", "gvm"); empty clears it. Thread-local so an in-process
+/// server thread and client threads stay separately attributed.
+void set_log_scope(std::string scope);
+const std::string& log_scope();
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

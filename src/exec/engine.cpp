@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace vgpu::exec {
 
@@ -118,11 +119,20 @@ Status ExecEngine::launch(Group& group, long total_blocks, RangeFn fn,
 
 void ExecEngine::run_shard(const Shard& shard, int slot) {
   Group* group = shard.group;
+  // Shard span: blocks [begin, end) on this participant's lane. Waiters
+  // (slot == workers()) share the last worker lane + 1.
+  const SimTime t0 =
+      config_.tracer != nullptr ? config_.tracer->begin_span()
+                                : obs::kSpanDisabled;
   try {
     group->fn_(shard.begin, shard.end);
   } catch (...) {
     std::lock_guard<std::mutex> lock(group->error_mutex_);
     if (group->error_ == nullptr) group->error_ = std::current_exception();
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->end_span(t0, obs::Phase::kShard, obs::worker_lane(slot),
+                             static_cast<std::int32_t>(shard.end - shard.begin));
   }
   stats_.shards_executed.fetch_add(1, std::memory_order_relaxed);
   participant_shards_[static_cast<std::size_t>(slot)].fetch_add(
@@ -241,6 +251,7 @@ ParallelFor ExecEngine::executor(long max_shards) {
 void ExecEngine::worker_loop(int index) {
   tls_engine = this;
   tls_worker = index;
+  if (config_.tracer != nullptr) config_.tracer->ensure_thread();
   ipc::WaitStrategy waiter(config_.wait);
   ipc::Doorbell door(&door_word_);
   for (;;) {

@@ -40,6 +40,10 @@
 
 #include "exec/steal_deque.hpp"
 
+namespace vgpu::obs {
+class Tracer;
+}
+
 namespace vgpu::exec {
 
 struct ExecConfig {
@@ -50,6 +54,9 @@ struct ExecConfig {
   int oversubscribe = 4;
   /// Idle-worker parking policy (spin -> yield -> doorbell futex).
   ipc::WaitConfig wait;
+  /// Optional span tracer (not owned; must outlive the engine). When set
+  /// and enabled, every shard records a kShard span on its worker's lane.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ExecStats {

@@ -1,0 +1,38 @@
+#include "obs/log_capture.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace vgpu::obs {
+
+void install_log_capture(Registry& registry) {
+  Counter* debug = registry.counter("log.lines.debug");
+  Counter* info = registry.counter("log.lines.info");
+  Counter* warn = registry.counter("log.lines.warn");
+  Counter* error = registry.counter("log.lines.error");
+  set_log_sink([debug, info, warn, error](LogLevel level,
+                                          const std::string& line) {
+    switch (level) {
+      case LogLevel::kDebug:
+        debug->add();
+        break;
+      case LogLevel::kInfo:
+        info->add();
+        break;
+      case LogLevel::kWarn:
+        warn->add();
+        break;
+      case LogLevel::kError:
+        error->add();
+        break;
+      case LogLevel::kOff:
+        break;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+  });
+}
+
+void uninstall_log_capture() { set_log_sink(nullptr); }
+
+}  // namespace vgpu::obs

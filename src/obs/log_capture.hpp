@@ -1,0 +1,20 @@
+// Bridges common/log.hpp into the metrics registry: installing a capture
+// counts every emitted line per level (log.lines.debug/info/warn/error)
+// while still forwarding the formatted line to stderr. The counters make
+// warn/error bursts visible in --metrics-json output without scraping
+// logs. Process-global (the log sink is), so install at most one.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace vgpu::obs {
+
+/// Routes the global log sink into `registry`'s log.lines.* counters.
+/// Lines keep going to stderr. Call uninstall_log_capture() (or install a
+/// new capture) before `registry` is destroyed.
+void install_log_capture(Registry& registry);
+
+/// Restores the default stderr-only sink.
+void uninstall_log_capture();
+
+}  // namespace vgpu::obs

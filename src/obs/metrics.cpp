@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace vgpu::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  VGPU_ASSERT_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bounds must ascend");
+}
+
+void Histogram::observe(double value) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::add_count(std::size_t bucket, long n) {
+  VGPU_ASSERT(bucket < counts_.size());
+  counts_[bucket].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::vector<double> pow2_bounds(int n) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) bounds.push_back(static_cast<double>(1L << i));
+  return bounds;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.get() : nullptr;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.get() : nullptr;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.counts.reserve(h->buckets());
+    for (std::size_t i = 0; i < h->buckets(); ++i) {
+      hs.counts.push_back(h->bucket_count(i));
+    }
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+namespace {
+
+void append_number(std::ostringstream& out, double v) {
+  // Integral values print without a trailing ".0" so counters stay longs.
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    out << static_cast<long long>(v);
+  } else {
+    out << v;
+  }
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  const RegistrySnapshot snap = snapshot();
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << snap.counters[i].first
+        << "\": " << snap.counters[i].second;
+  }
+  out << (snap.counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << snap.gauges[i].first
+        << "\": ";
+    append_number(out, snap.gauges[i].second);
+  }
+  out << (snap.gauges.empty() ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
+        << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out << ", ";
+      append_number(out, h.bounds[b]);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out << ", ";
+      out << h.counts[b];
+    }
+    out << "], \"count\": " << h.count << ", \"sum\": ";
+    append_number(out, h.sum);
+    out << "}";
+  }
+  out << (snap.histograms.empty() ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+Status Registry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Internal("cannot open metrics file " + path);
+  out << to_json();
+  if (!out) return Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+}  // namespace vgpu::obs

@@ -1,0 +1,129 @@
+// Lock-light metrics registry for the observability subsystem.
+//
+// Instruments are registered once, by name, and return stable handles; the
+// hot path is then a relaxed atomic add on a pre-registered handle — no
+// allocation, no map lookup, no lock. Registration (cold) takes a mutex;
+// re-registering a name returns the existing instrument, so independent
+// subsystems can share one counter without coordinating.
+//
+// Three instrument kinds, mirroring the usual production taxonomy:
+//
+//   Counter     monotone long  (requests served, bytes copied, steals)
+//   Gauge       last-write-wins double (worker shard share, mean wait ms)
+//   Histogram   fixed bucket boundaries chosen at registration; observe()
+//               is a short linear scan plus one relaxed add per sample
+//
+// Snapshots are name-sorted (deterministic output) and exportable as JSON
+// for the vgpu-sim --metrics-json= flag and the CI bench artifacts.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vgpu::obs {
+
+class Counter {
+ public:
+  void add(long n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Snapshot-migration write (e.g. syncing a legacy atomic at stop()).
+  void set(long v) { value_.store(v, std::memory_order_relaxed); }
+  long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram: bucket i counts samples <= bounds[i]; one
+/// extra overflow bucket counts everything above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+  /// Merges `n` pre-bucketed samples into bucket `i` (legacy-histogram
+  /// migration and trace merging; not a hot-path API). Does not touch the
+  /// sum, since the original samples are gone.
+  void add_count(std::size_t bucket, long n);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 (the overflow bucket).
+  std::size_t buckets() const { return counts_.size(); }
+  long bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;  // ascending
+  std::vector<std::atomic<long>> counts_;
+  std::atomic<long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Ascending power-of-two boundaries 1, 2, 4, ..., 2^(n-1) — the shape of
+/// the serve loop's legacy batch-depth buckets.
+std::vector<double> pow2_bounds(int n);
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<long> counts;  // bounds.size() + 1 entries
+  long count = 0;
+  double sum = 0.0;
+};
+
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, long>> counters;    // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;    // name-sorted
+  std::vector<HistogramSnapshot> histograms;             // name-sorted
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registration is idempotent: the first call creates the instrument,
+  /// later calls (any thread) return the same handle. Handles stay valid
+  /// for the registry's lifetime.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// `bounds` is only consulted on first registration.
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Read-side lookups; null when the name was never registered.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  RegistrySnapshot snapshot() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  std::string to_json() const;
+  Status write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;  // registration + snapshot enumeration only
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace vgpu::obs

@@ -1,0 +1,35 @@
+// Umbrella header of the observability subsystem: one Hub bundles the
+// metrics registry and the span tracer, so instrumented subsystems
+// (rt::RtServer, exec::ExecEngine, the vgpu-sim driver) share a single
+// pair of sinks. See docs/observability.md.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vgpu::obs {
+
+struct ObsConfig {
+  /// Record spans (kQueueWait/kCopyIn/kKernel/... into per-thread rings).
+  /// The registry is always live — counter updates are too cheap to gate.
+  bool tracing = false;
+  /// Per-thread span-ring capacity (records).
+  std::size_t ring_capacity = 1 << 15;
+};
+
+class Hub {
+ public:
+  explicit Hub(ObsConfig config = {})
+      : tracer_(TracerConfig{config.ring_capacity, config.tracing}) {}
+
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+ private:
+  Registry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace vgpu::obs

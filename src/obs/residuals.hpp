@@ -1,0 +1,70 @@
+// Analytical-model residuals: measured per-phase times vs Eqs. 1-6.
+//
+// The source paper's journal extension validates the execution model by
+// profiling per-phase times (Tin, Tcomp, Tout) on the running system and
+// comparing measured turnaround against the model's prediction. This
+// module closes that loop for the live GVM: it aggregates the tracer's
+// phase spans per kernel, builds a measured model::ExecutionProfile from
+// the phase medians, and reports predicted-vs-measured turnaround (Eq. 4)
+// and the measured Smax bound (Eq. 6) with relative errors.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "model/model.hpp"
+#include "obs/trace.hpp"
+
+namespace vgpu::obs {
+
+/// Per-(kernel, N) residual row. N is the number of distinct client lanes
+/// that ran the kernel; `tasks` the total rounds (kernel spans) measured.
+struct KernelResidual {
+  int kernel_id = -1;
+  std::string kernel;
+  int clients = 0;
+  long tasks = 0;
+
+  /// Measured per-task phase medians (ns). Zero-copy runs have no copy
+  /// spans, so t_in/t_out may be 0 — Eq. 4 degenerates to Tcomp then.
+  SimDuration queue_wait_med = 0;
+  SimDuration t_in_med = 0;
+  SimDuration t_comp_med = 0;
+  SimDuration t_out_med = 0;
+
+  /// Wall extent of this kernel's phase spans (first begin -> last end).
+  SimDuration measured_turnaround = 0;
+  /// Eq. 4 with the measured medians for an N = `clients` cohort, scaled
+  /// by the number of rounds (tasks / clients) observed.
+  SimDuration predicted_turnaround = 0;
+  /// Eq. 6 from the measured profile (0 when I/O time is 0).
+  double smax = 0.0;
+
+  /// (measured - predicted) / predicted; 0 when predicted is 0.
+  double relative_error() const {
+    if (predicted_turnaround <= 0) return 0.0;
+    return (static_cast<double>(measured_turnaround) -
+            static_cast<double>(predicted_turnaround)) /
+           static_cast<double>(predicted_turnaround);
+  }
+
+  /// The measured profile the predictions came from (for callers that
+  /// want Eq. 1/5 variants too).
+  model::ExecutionProfile profile() const;
+};
+
+/// Builds per-kernel residual rows from collected spans. Only the phase
+/// spans (kQueueWait/kCopyIn/kKernel/kCopyOut with a client lane) are
+/// consulted; `kernel_name` resolves span aux (kernel id) to a name and
+/// may be null.
+std::vector<KernelResidual> compute_residuals(
+    const std::vector<SpanRecord>& spans,
+    const std::function<std::string(int)>& kernel_name = nullptr);
+
+/// Human-readable report (one block per kernel): measured phase medians,
+/// predicted vs measured turnaround with relative error, and Smax.
+std::string format_residuals(const std::vector<KernelResidual>& rows);
+
+}  // namespace vgpu::obs

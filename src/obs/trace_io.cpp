@@ -1,0 +1,216 @@
+#include "obs/trace_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace vgpu::obs {
+
+namespace {
+
+/// Minimal recursive-descent scanner for the flat-object-array subset the
+/// Timeline writer emits. Values are strings or numbers; unknown keys are
+/// kept (and ignored by the converter), so traces from other tools that
+/// follow the same shape still load.
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  StatusOr<std::vector<std::map<std::string, std::string>>> parse() {
+    std::vector<std::map<std::string, std::string>> objects;
+    skip_ws();
+    if (!consume('[')) return error("expected '[' at start of trace");
+    skip_ws();
+    if (consume(']')) return objects;
+    for (;;) {
+      auto object = parse_object();
+      if (!object.ok()) return object.status();
+      objects.push_back(std::move(*object));
+      skip_ws();
+      if (consume(',')) {
+        skip_ws();
+        continue;
+      }
+      if (consume(']')) return objects;
+      return error("expected ',' or ']' after event object");
+    }
+  }
+
+ private:
+  StatusOr<std::map<std::string, std::string>> parse_object() {
+    std::map<std::string, std::string> fields;
+    if (!consume('{')) return error("expected '{'");
+    skip_ws();
+    if (consume('}')) return fields;
+    for (;;) {
+      auto key = parse_string();
+      if (!key.ok()) return key.status();
+      skip_ws();
+      if (!consume(':')) return error("expected ':' after key");
+      skip_ws();
+      auto value = parse_value();
+      if (!value.ok()) return value.status();
+      fields[*key] = std::move(*value);
+      skip_ws();
+      if (consume(',')) {
+        skip_ws();
+        continue;
+      }
+      if (consume('}')) return fields;
+      return error("expected ',' or '}' in event object");
+    }
+  }
+
+  StatusOr<std::string> parse_value() {
+    if (peek() == '"') return parse_string();
+    // Number (also accepts bare true/false/null, stored verbatim).
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']' && !std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected a value");
+    return text_.substr(start, pos_ - start);
+  }
+
+  StatusOr<std::string> parse_string() {
+    if (!consume('"')) return error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        out.push_back(text_[pos_++]);  // \" and \\ — all the writer emits
+        continue;
+      }
+      out.push_back(c);
+    }
+    return error("unterminated string");
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+  Status error(const std::string& what) const {
+    return InvalidArgument("trace JSON line " + std::to_string(line_) + ": " +
+                           what);
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+StatusOr<double> to_number(const std::string& text, const char* field) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size() || !std::isfinite(v)) throw std::exception();
+    return v;
+  } catch (...) {
+    return InvalidArgument(std::string("non-numeric \"") + field +
+                           "\": " + text);
+  }
+}
+
+}  // namespace
+
+StatusOr<gpu::Timeline> load_chrome_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFound("cannot open trace file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Parser parser(buffer.str());
+  auto objects = parser.parse();
+  if (!objects.ok()) {
+    return Status(objects.status().code(),
+                  path + ": " + objects.status().message());
+  }
+  gpu::Timeline timeline;
+  for (const auto& fields : *objects) {
+    auto field = [&](const char* key) -> const std::string* {
+      auto it = fields.find(key);
+      return it != fields.end() ? &it->second : nullptr;
+    };
+    const std::string* ph = field("ph");
+    if (ph != nullptr && *ph != "X") continue;  // only complete events
+    gpu::TraceEvent event;
+    if (const std::string* name = field("name")) event.name = *name;
+    if (const std::string* cat = field("cat")) event.category = *cat;
+    if (const std::string* tid = field("tid")) event.lane = *tid;
+    double ts = 0.0, dur = 0.0;
+    if (const std::string* v = field("ts")) {
+      auto n = to_number(*v, "ts");
+      if (!n.ok()) return n.status();
+      ts = *n;
+    }
+    if (const std::string* v = field("dur")) {
+      auto n = to_number(*v, "dur");
+      if (!n.ok()) return n.status();
+      dur = *n;
+    }
+    event.begin = static_cast<SimTime>(ts * static_cast<double>(kMicrosecond));
+    event.end = event.begin +
+                static_cast<SimDuration>(dur * static_cast<double>(kMicrosecond));
+    if (event.end < event.begin) {
+      return InvalidArgument(path + ": event \"" + event.name +
+                             "\" has negative duration");
+    }
+    timeline.record(std::move(event));
+  }
+  return timeline;
+}
+
+Status validate_chrome_trace(const std::string& path) {
+  auto timeline = load_chrome_trace(path);
+  if (!timeline.ok()) return timeline.status();
+  for (const gpu::TraceEvent& event : timeline->events()) {
+    if (event.name.empty()) {
+      return InvalidArgument(path + ": event with empty name");
+    }
+    if (event.category.empty()) {
+      return InvalidArgument(path + ": event \"" + event.name +
+                             "\" has empty category");
+    }
+  }
+  return Status::Ok();
+}
+
+gpu::Timeline merge_timelines(const std::vector<gpu::Timeline>& traces,
+                              const std::vector<std::string>& labels) {
+  VGPU_ASSERT(labels.size() == traces.size());
+  gpu::Timeline merged;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    SimTime t0 = std::numeric_limits<SimTime>::max();
+    for (const gpu::TraceEvent& event : traces[i].events()) {
+      t0 = std::min(t0, event.begin);
+    }
+    if (traces[i].events().empty()) continue;
+    for (const gpu::TraceEvent& event : traces[i].events()) {
+      gpu::TraceEvent shifted = event;
+      shifted.begin = event.begin - t0;
+      shifted.end = event.end - t0;
+      shifted.lane = labels[i] + "/" + event.lane;
+      merged.record(std::move(shifted));
+    }
+  }
+  return merged;
+}
+
+}  // namespace vgpu::obs

@@ -1,0 +1,35 @@
+// Chrome trace-event JSON I/O for the observability tooling.
+//
+// gpu::Timeline writes complete ("ph": "X") events with microsecond
+// timestamps; this module reads that shape back — from DES runs and live
+// runs alike — so tools/vgpu-trace can analyse and merge traces, and the
+// test suite can round-trip/schema-check every trace the system emits.
+// The parser is deliberately small: it accepts a JSON array of flat
+// objects with string and number values (fields in any order) and
+// rejects anything else with a line-accurate error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gpu/trace.hpp"
+
+namespace vgpu::obs {
+
+/// Parses a Chrome trace-event JSON file (array-of-"X"-events form) back
+/// into a Timeline. Event "ts"/"dur" microseconds become TraceEvent
+/// begin/end nanoseconds; "tid" becomes the lane.
+StatusOr<gpu::Timeline> load_chrome_trace(const std::string& path);
+
+/// Schema check: the file parses, every event has a name and category,
+/// and no event has end < begin.
+Status validate_chrome_trace(const std::string& path);
+
+/// Merges traces onto one timebase: each input is shifted so its earliest
+/// event starts at t=0, and its lanes are prefixed with `labels[i]` so
+/// the sources stay distinguishable in Perfetto.
+gpu::Timeline merge_timelines(const std::vector<gpu::Timeline>& traces,
+                              const std::vector<std::string>& labels);
+
+}  // namespace vgpu::obs

@@ -5,11 +5,16 @@
 #include <thread>
 #include <utility>
 
+#include "common/log.hpp"
+
 namespace vgpu::rt {
 
 StatusOr<RtClient> RtClient::connect(const std::string& prefix, int id,
                                      Bytes bytes_in, Bytes bytes_out,
                                      RtClientOptions options) {
+  // Tag this thread's log lines so interleaved multi-client output stays
+  // attributable ("[W][client 3] ...").
+  set_log_scope("client " + std::to_string(id));
   const std::string suffix = std::to_string(id);
   auto req = ipc::MessageQueue<RtRequest>::open(prefix + "_req");
   if (!req.ok()) return req.status();
@@ -55,8 +60,15 @@ StatusOr<RtAck> RtClient::call(RtRequest request) {
   if (chan_ == nullptr) {
     return FailedPrecondition("protocol op before REQ negotiated a transport");
   }
+  obs::Tracer* tracer = options_.tracer;
+  const SimTime t0 =
+      tracer != nullptr ? tracer->begin_span() : obs::kSpanDisabled;
   VGPU_RETURN_IF_ERROR(chan_->send(request));
   auto response = chan_->receive(std::chrono::milliseconds(10'000));
+  if (tracer != nullptr) {
+    tracer->end_span(t0, obs::Phase::kClientVerb, id_,
+                     static_cast<std::int32_t>(request.op));
+  }
   if (!response.ok()) return response.status();
   if (response->ack == RtAck::kError) {
     return Internal("GVM rejected the request");

@@ -20,6 +20,7 @@
 #include "ipc/mqueue.hpp"
 #include "ipc/shm.hpp"
 #include "ipc/transport.hpp"
+#include "obs/trace.hpp"
 #include "rt/messages.hpp"
 
 namespace vgpu::rt {
@@ -31,6 +32,12 @@ struct RtClientOptions {
   ipc::TransportKind transport = ipc::TransportKind::kShmRing;
   /// Wait strategy for ring receives.
   ipc::WaitConfig wait;
+  /// Optional span tracer (not owned; must outlive the client). When set,
+  /// every verb round trip records a kClientVerb span on this client's
+  /// lane (aux = the RtOp) — the client-observed latency next to the
+  /// server-side phase spans. In-process harnesses pass the server's own
+  /// tracer so both ends share one timebase.
+  obs::Tracer* tracer = nullptr;
 };
 
 class RtClient {

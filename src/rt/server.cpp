@@ -92,7 +92,8 @@ RtServer::RtServer(RtServerConfig config, const KernelRegistry& registry)
       registry_(registry),
       scheduler_(sched::Scheduler::make(effective_sched_config(config_))),
       admission_(
-          std::make_unique<sched::AdmissionController>(admission_config(config_))) {
+          std::make_unique<sched::AdmissionController>(admission_config(config_))),
+      obs_(config_.obs) {
   VGPU_ASSERT(config_.expected_clients >= 1);
 }
 
@@ -120,6 +121,7 @@ Status RtServer::start() {
     exec::ExecConfig ec;
     ec.workers = config_.workers;
     ec.oversubscribe = config_.shard_oversubscribe;
+    ec.tracer = &obs_.tracer();
     engine_ = std::make_unique<exec::ExecEngine>(ec);
   } else {
     pool_ = std::make_unique<ThreadPool>(
@@ -132,6 +134,8 @@ Status RtServer::start() {
         });
   }
   start_time_ = std::chrono::steady_clock::now();
+  // Span timestamps and scheduler timestamps share one zero point.
+  obs_.tracer().set_epoch(start_time_);
   running_.store(true);
   serve_thread_ = std::thread([this] { serve_loop(); });
   return Status::Ok();
@@ -162,6 +166,71 @@ void RtServer::stop() {
   }
   clients_.clear();
   ring_lanes_ = 0;
+  export_obs();
+}
+
+void RtServer::export_obs() {
+  obs::Registry& reg = obs_.metrics();
+  const auto set = [&reg](const char* name, long v) {
+    reg.counter(name)->set(v);
+  };
+  set("rt.requests", stats_.requests.load());
+  set("rt.flushes", stats_.flushes.load());
+  set("rt.jobs_run", stats_.jobs_run.load());
+  set("rt.jobs_failed", stats_.jobs_failed.load());
+  set("rt.waits_sent", stats_.waits_sent.load());
+  set("rt.ring_requests", stats_.ring_requests.load());
+  set("rt.bytes_copied", stats_.bytes_copied.load());
+  set("rt.overlap_bytes", stats_.overlap_bytes.load());
+  set("rt.syscalls_saved", stats_.syscalls_saved.load());
+  set("rt.spin_wakeups", stats_.spin_wakeups.load());
+  set("rt.doorbell_blocks", stats_.doorbell_blocks.load());
+  // Legacy bucket i counted wakeup depths in [2^i, 2^(i+1)); histogram
+  // bucket i counts samples <= bounds[i], so bound i = 2^(i+1) - 1 maps
+  // the buckets one-to-one (the overflow bucket is the legacy "128+").
+  std::vector<double> depth_bounds;
+  for (int i = 0; i + 1 < RtServerStats::kBatchBuckets; ++i) {
+    depth_bounds.push_back(static_cast<double>((2L << i) - 1));
+  }
+  obs::Histogram* depth =
+      reg.histogram("rt.batch_depth", std::move(depth_bounds));
+  for (int i = 0; i < RtServerStats::kBatchBuckets; ++i) {
+    const long have = stats_.batch_depth[i].load();
+    const long exported =
+        depth->bucket_count(static_cast<std::size_t>(i));
+    if (have > exported) {
+      depth->add_count(static_cast<std::size_t>(i), have - exported);
+    }
+  }
+  set("exec.launches", exec_counters_.launches);
+  set("exec.shards_executed", exec_counters_.shards_executed);
+  set("exec.steals", exec_counters_.steals);
+  set("exec.overflow_pushes", exec_counters_.overflow_pushes);
+  set("exec.external_jobs", exec_counters_.external_jobs);
+  for (std::size_t i = 0; i < exec_counters_.worker_shards.size(); ++i) {
+    const std::string name =
+        i + 1 == exec_counters_.worker_shards.size()
+            ? "exec.worker_shards.external"
+            : "exec.worker_shards." + std::to_string(i);
+    reg.counter(name)->set(exec_counters_.worker_shards[i]);
+  }
+  const sched::SchedStats& ss = scheduler_->stats();
+  set("sched.admitted", ss.admitted);
+  set("sched.released", ss.released);
+  set("sched.enqueued", ss.enqueued);
+  set("sched.grants", ss.grants);
+  set("sched.batches", ss.batches);
+  set("sched.quanta_granted", ss.quanta_granted);
+  set("sched.rotations", ss.rotations);
+  set("sched.aging_promotions", ss.aging_promotions);
+  reg.gauge("sched.mean_wait_ms")->set(ss.mean_wait() * 1e3);
+  reg.gauge("sched.p95_wait_ms")->set(ss.wait_percentile(0.95) * 1e3);
+  const sched::AdmissionStats& as = admission_->stats();
+  set("admission.admitted", as.admitted);
+  set("admission.rejected", as.rejected);
+  set("admission.backpressured", as.backpressured);
+  set("admission.evictions", as.evictions);
+  set("obs.spans_dropped", obs_.tracer().dropped());
 }
 
 bool RtServer::ring_request_pending() {
@@ -220,12 +289,19 @@ std::size_t RtServer::drain_requests(bool* shutdown) {
 }
 
 void RtServer::serve_loop() {
+  obs::Tracer& tracer = obs_.tracer();
+  tracer.ensure_thread();
   ipc::WaitStrategy waiter(config_.wait);
   ipc::Doorbell door(door_shm_.as<ipc::Doorbell::Word>());
   for (;;) {
     bool shutdown = false;
+    const SimTime drain_begin = tracer.begin_span();
     const std::size_t handled = drain_requests(&shutdown);
-    if (handled > 0) stats_.record_batch(handled);
+    if (handled > 0) {
+      stats_.record_batch(handled);
+      tracer.end_span(drain_begin, obs::Phase::kBatchDrain, obs::kLaneServer,
+                      static_cast<std::int32_t>(handled));
+    }
     if (shutdown) break;
     drain_completions();
     pump();
@@ -239,11 +315,13 @@ void RtServer::serve_loop() {
       const SimTime delta_ns = wake > now ? wake - now : 0;
       park = std::min(park, std::chrono::microseconds(delta_ns / 1000 + 1));
     }
+    const SimTime park_begin = tracer.begin_span();
     if (ring_lanes_ == 0) {
       // Pure-mqueue mode: block inside the kernel on the shared queue,
       // exactly like the paper's timed-receive serve loop.
       auto request = requests_.receive(std::chrono::milliseconds(
           std::max<long>(1, park.count() / 1000)));
+      tracer.end_span(park_begin, obs::Phase::kPark, obs::kLaneServer);
       if (request.ok()) {
         if (request->op == RtOp::kShutdown) break;
         stats_.requests.fetch_add(1);
@@ -266,6 +344,7 @@ void RtServer::serve_loop() {
                    pending_completions_.load(std::memory_order_acquire) > 0;
           },
           &door, std::chrono::steady_clock::now() + park);
+      tracer.end_span(park_begin, obs::Phase::kPark, obs::kLaneServer);
     }
   }
   stats_.spin_wakeups.store(waiter.stats().spin_hits +
@@ -311,8 +390,11 @@ void RtServer::handle(const RtRequest& request) {
       if (config_.data_plane == DataPlane::kStaged &&
           config_.exec == ExecMode::kSerial) {
         // Stage input: virtual shared memory -> private ("pinned") buffer.
+        const SimTime t0 = obs_.tracer().begin_span();
         std::memcpy(client.staging_in.data(), client.input_area().data(),
                     static_cast<std::size_t>(client.bytes_in));
+        obs_.tracer().end_span(t0, obs::Phase::kCopyIn, client.id,
+                               client.kernel_id);
         stats_.bytes_copied.fetch_add(client.bytes_in);
       }
       // Sharded mode defers the staging copy into the job itself, where it
@@ -324,6 +406,7 @@ void RtServer::handle(const RtRequest& request) {
     }
     case RtOp::kStr: {
       client.str_pending = true;
+      client.str_begin = obs_.tracer().begin_span();
       scheduler_->enqueue(request.client, rt_now());
       break;  // the serve loop pumps grants after every drain
     }
@@ -343,8 +426,11 @@ void RtServer::handle(const RtRequest& request) {
           config_.exec == ExecMode::kSerial) {
         // Result: staging buffer -> virtual shared memory (output area).
         // (Sharded jobs already wrote back, chunked, before completing.)
+        const SimTime t0 = obs_.tracer().begin_span();
         std::memcpy(client.output_area().data(), client.staging_out.data(),
                     static_cast<std::size_t>(client.bytes_out));
+        obs_.tracer().end_span(t0, obs::Phase::kCopyOut, client.id,
+                               client.kernel_id);
         stats_.bytes_copied.fetch_add(client.bytes_out);
       }
       respond(client, RtAck::kAck);
@@ -371,7 +457,11 @@ void RtServer::handle(const RtRequest& request) {
 }
 
 void RtServer::handle_req(const RtRequest& request) {
+  // The admission span covers the whole REQ handling: queue/vsm binding,
+  // the quota verdict, and transport negotiation.
+  const SimTime adm_begin = obs_.tracer().begin_span();
   ClientState client;
+  client.id = request.client;
   const std::string suffix = std::to_string(request.client);
   auto resp = ipc::MessageQueue<RtResponse>::open(config_.prefix + "_resp" +
                                                   suffix);
@@ -390,6 +480,8 @@ void RtServer::handle_req(const RtRequest& request) {
     VGPU_ERROR("rt server: denied client " << request.client
                                            << " (over device-memory quota)");
     respond(client, RtAck::kError);
+    obs_.tracer().end_span(adm_begin, obs::Phase::kAdmission, request.client,
+                           request.kernel_id);
     return;
   }
 
@@ -483,6 +575,8 @@ void RtServer::handle_req(const RtRequest& request) {
   if (!st.ok()) {
     VGPU_ERROR("rt server: response send failed: " << st.to_string());
   }
+  obs_.tracer().end_span(adm_begin, obs::Phase::kAdmission, request.client,
+                         request.kernel_id);
 }
 
 void RtServer::pump() {
@@ -496,11 +590,27 @@ void RtServer::pump() {
     jobs.reserve(batch.size());
     std::vector<ClientState*> granted;
     granted.reserve(batch.size());
+    SimTime barrier_begin = kTimeInfinity;  // earliest STR in the cohort
     for (int id : batch) {
       auto it = clients_.find(id);
       VGPU_ASSERT_MSG(it != clients_.end(), "grant for unregistered client");
-      jobs.push_back(make_job(id, it->second));
-      granted.push_back(&it->second);
+      ClientState& state = it->second;
+      // The queue-wait span closes here: STR arrival -> scheduler grant.
+      if (state.str_begin >= 0) {
+        obs_.tracer().end_span(state.str_begin, obs::Phase::kQueueWait, id,
+                               state.kernel_id);
+        barrier_begin = std::min(barrier_begin, state.str_begin);
+        state.str_begin = obs::kSpanDisabled;
+      }
+      jobs.push_back(make_job(id, state));
+      granted.push_back(&state);
+    }
+    if (barrier_begin != kTimeInfinity && obs_.tracer().enabled()) {
+      // Cohort co-flush: first member's STR -> this grant (the barrier
+      // formation time the DES GVM models as the flush window).
+      obs_.tracer().record(obs::Phase::kFlushBarrier, obs::kLaneServer,
+                           static_cast<std::int32_t>(batch.size()),
+                           barrier_begin, obs_.tracer().now());
     }
     // One lock + one wakeup for the whole cohort.
     Status submitted = Status::Ok();
@@ -544,18 +654,21 @@ std::function<void()> RtServer::make_job(int client_id, ClientState& client) {
     out = {client.staging_out.data(), client.staging_out.size()};
   }
   const std::int64_t* params = client.params;
+  const int kernel_id = client.kernel_id;
   ClientState* state = &client;
   const bool sharded = engine_ != nullptr;
   ipc::Doorbell door(door_shm_.as<ipc::Doorbell::Word>());
-  return [this, kernel, in, out, params, done, failed, client_id, door,
-          state, sharded]() mutable {
+  return [this, kernel, in, out, params, done, failed, client_id, kernel_id,
+          door, state, sharded]() mutable {
     jobs_in_flight_.fetch_add(1, std::memory_order_acq_rel);
     bool error = false;
     try {
       if (sharded) {
         run_sharded_job(*state);
       } else {
+        const SimTime t0 = obs_.tracer().begin_span();
         (*kernel)(in, out, params);
+        obs_.tracer().end_span(t0, obs::Phase::kKernel, client_id, kernel_id);
       }
     } catch (const std::exception& e) {
       VGPU_ERROR("rt server: kernel job for client " << client_id
@@ -616,16 +729,26 @@ void RtServer::run_streamed(ClientState& client, const RtStream& stream,
       ceil_div(std::max<Bytes>(1, client.bytes_in),
                std::max<Bytes>(1, config_.copy_chunk));
   const long nchunks = std::clamp(by_bytes, 2L, grid);
+  obs::Tracer& tracer = obs_.tracer();
   if (grid <= 1 || nchunks < 2) {
     // Degenerate grid: plain chunked stage-in, then the whole kernel.
+    const SimTime i0 = tracer.begin_span();
     copy_chunked(client.staging_in.data(), vsm_in.data(), client.bytes_in);
+    tracer.end_span(i0, obs::Phase::kCopyIn, client.id, client.kernel_id);
+    const SimTime k0 = tracer.begin_span();
     stream.run(in, out, client.params, 0, grid);
+    tracer.end_span(k0, obs::Phase::kKernel, client.id, client.kernel_id);
+    const SimTime o0 = tracer.begin_span();
     copy_chunked(client.output_area().data(), client.staging_out.data(),
                  client.bytes_out);
+    tracer.end_span(o0, obs::Phase::kCopyOut, client.id, client.kernel_id);
     return;
   }
   auto chunk_begin = [&](long k) { return grid * k / nchunks; };
   auto copy_in_chunk = [&](long k) {
+    // Per-chunk copy-in span: these overlap the kernel span below — the
+    // trace shows exactly which copies hid under compute.
+    const SimTime t0 = tracer.begin_span();
     const RtStreamView view =
         stream.input_slices(client.params, chunk_begin(k), chunk_begin(k + 1));
     Bytes bytes = 0;
@@ -636,12 +759,14 @@ void RtServer::run_streamed(ClientState& client, const RtStream& stream,
                   vsm_in.data() + slice.offset, slice.len);
       bytes += static_cast<Bytes>(slice.len);
     }
+    tracer.end_span(t0, obs::Phase::kCopyIn, client.id, client.kernel_id);
     stats_.bytes_copied.fetch_add(bytes);
     return bytes;
   };
   // Double-buffered pipeline: while chunk k computes, one engine shard
   // copies chunk k+1's input slices in.
   copy_in_chunk(0);
+  const SimTime kernel_begin = tracer.begin_span();
   for (long k = 0; k < nchunks; ++k) {
     exec::ExecEngine::Group copy_group;
     Bytes next_bytes = 0;
@@ -666,8 +791,14 @@ void RtServer::run_streamed(ClientState& client, const RtStream& stream,
       stats_.overlap_bytes.fetch_add(next_bytes);
     }
   }
+  // One kernel span for the whole pipelined grid; the per-chunk copy-in
+  // spans above nest inside it (that is the overlap, rendered).
+  tracer.end_span(kernel_begin, obs::Phase::kKernel, client.id,
+                  client.kernel_id);
+  const SimTime o0 = tracer.begin_span();
   copy_chunked(client.output_area().data(), client.staging_out.data(),
                client.bytes_out);
+  tracer.end_span(o0, obs::Phase::kCopyOut, client.id, client.kernel_id);
 }
 
 void RtServer::run_sharded_job(ClientState& client) {
@@ -686,17 +817,21 @@ void RtServer::run_sharded_job(ClientState& client) {
       return;
     }
   }
+  obs::Tracer& tracer = obs_.tracer();
   std::span<const std::byte> in;
   std::span<std::byte> out;
   if (staged) {
+    const SimTime t0 = tracer.begin_span();
     copy_chunked(client.staging_in.data(), client.input_area().data(),
                  client.bytes_in);
+    tracer.end_span(t0, obs::Phase::kCopyIn, client.id, client.kernel_id);
     in = {client.staging_in.data(), client.staging_in.size()};
     out = {client.staging_out.data(), client.staging_out.size()};
   } else {
     in = client.input_area();
     out = client.output_area();
   }
+  const SimTime k0 = tracer.begin_span();
   if (const RtShardedKernelFn* sharded =
           registry_.find_sharded(client.kernel_id);
       sharded != nullptr) {
@@ -704,9 +839,12 @@ void RtServer::run_sharded_job(ClientState& client) {
   } else {
     (*client.kernel)(in, out, client.params);
   }
+  tracer.end_span(k0, obs::Phase::kKernel, client.id, client.kernel_id);
   if (staged) {
+    const SimTime t0 = tracer.begin_span();
     copy_chunked(client.output_area().data(), client.staging_out.data(),
                  client.bytes_out);
+    tracer.end_span(t0, obs::Phase::kCopyOut, client.id, client.kernel_id);
   }
 }
 

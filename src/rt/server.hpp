@@ -33,6 +33,7 @@
 #include "ipc/mqueue.hpp"
 #include "ipc/shm.hpp"
 #include "ipc/transport.hpp"
+#include "obs/obs.hpp"
 #include "rt/messages.hpp"
 #include "rt/registry.hpp"
 #include "rt/thread_pool.hpp"
@@ -102,6 +103,10 @@ struct RtServerConfig {
   gpu::DeviceSpec device = gpu::tesla_c2070();
   /// Serve-loop wait strategy (spin -> yield -> doorbell park).
   ipc::WaitConfig wait;
+  /// Observability: span tracing (per-job queue/Tin/Tcomp/Tout phases)
+  /// and ring sizing. The metrics registry is always on; stop() exports
+  /// every legacy counter into it (see docs/observability.md).
+  obs::ObsConfig obs;
 };
 
 struct RtServerStats {
@@ -174,6 +179,10 @@ class RtServer {
   /// scheduler while running).
   const sched::Scheduler& scheduler() const { return *scheduler_; }
   const sched::AdmissionController& admission() const { return *admission_; }
+  /// The observability hub: metrics registry (fully populated after
+  /// stop(), via export_obs) and the span tracer.
+  obs::Hub& obs() { return obs_; }
+  const obs::Hub& obs() const { return obs_; }
 
  private:
   struct ClientState {
@@ -187,7 +196,11 @@ class RtServer {
     std::vector<std::byte> staging_in;   // staged data plane only
     std::vector<std::byte> staging_out;
     const RtKernelFn* kernel = nullptr;
+    int id = -1;         // client id (the span lane)
     int kernel_id = -1;
+    /// STR arrival per the tracer clock; closes the kQueueWait span at
+    /// grant time (kSpanDisabled while tracing is off).
+    SimTime str_begin = obs::kSpanDisabled;
     std::int64_t params[4] = {};
     Bytes bytes_in = 0;
     Bytes bytes_out = 0;
@@ -238,6 +251,9 @@ class RtServer {
   bool ring_request_pending();
   /// Monotonic nanoseconds since server start — the scheduler's clock.
   SimTime rt_now() const;
+  /// Syncs every legacy stats_/exec_counters_/sched counter into the obs
+  /// registry (the single source print paths read from). Runs at stop().
+  void export_obs();
 
   RtServerConfig config_;
   const KernelRegistry& registry_;
@@ -259,6 +275,7 @@ class RtServer {
   std::thread serve_thread_;
   std::atomic<bool> running_{false};
   RtServerStats stats_;
+  obs::Hub obs_;
 };
 
 }  // namespace vgpu::rt

@@ -18,6 +18,8 @@
 #include "common/rng.hpp"
 #include "kernels/ep.hpp"
 #include "kernels/mg.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/client.hpp"
 #include "rt/registry.hpp"
 #include "rt/server.hpp"
@@ -600,6 +602,131 @@ TEST(RtServer, StopIsIdempotentAndRestartable) {
   ASSERT_TRUE(server.start().ok());
   EXPECT_TRUE(run_vecadd_client(prefix, 0, 128));
   server.stop();
+}
+
+// With tracing on, every completed job must carry the full phase chain
+// queue -> Tin -> Tcomp -> Tout on its client lane, with monotone
+// non-overlapping timestamps. Sharded + staged sgemm keeps the three data
+// phases strictly sequential inside the job (no streamed overlap), so the
+// ordering assertion is exact.
+TEST(RtServer, TracedJobCarriesFullSpanChain) {
+  const int n = 64;
+  const auto un = static_cast<std::size_t>(n) * n;
+  const int clients = 2;
+  const std::string prefix = unique_prefix("spans");
+  RtServerConfig config = server_config(prefix, clients, 2);
+  config.exec = ExecMode::kSharded;
+  config.obs.tracing = true;
+  RtServer server(config, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+
+  auto kid = builtin_registry().id_of("sgemm");
+  ASSERT_TRUE(kid.ok());
+  RtClientOptions options;
+  options.tracer = &server.obs().tracer();  // client verbs join the trace
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int id = 0; id < clients; ++id) {
+    threads.emplace_back([&, id] {
+      auto client =
+          RtClient::connect(prefix, id, 2 * un * 4, un * 4, options);
+      if (!client.ok()) return;
+      auto* in = reinterpret_cast<float*>(client->input().data());
+      for (std::size_t i = 0; i < 2 * un; ++i) {
+        in[i] = static_cast<float>(i % 7) * 0.25f;
+      }
+      const std::int64_t params[4] = {n, 0, 0, 0};
+      bool ok = client->req(*kid, params).ok();
+      ok = ok && client->snd().ok();
+      ok = ok && client->str().ok();
+      ok = ok && client->wait_done().ok();
+      ok = ok && client->rcv().ok();
+      ok = ok && client->rls().ok();
+      if (ok) ok_count.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+  ASSERT_EQ(ok_count.load(), clients);
+
+  const std::vector<obs::SpanRecord> spans = server.obs().tracer().collect();
+  EXPECT_EQ(server.obs().tracer().dropped(), 0);
+  int barriers = 0;
+  int verbs = 0;
+  for (int id = 0; id < clients; ++id) {
+    const obs::SpanRecord* queue = nullptr;
+    const obs::SpanRecord* copy_in = nullptr;
+    const obs::SpanRecord* kernel = nullptr;
+    const obs::SpanRecord* copy_out = nullptr;
+    for (const obs::SpanRecord& span : spans) {
+      EXPECT_GE(span.begin, 0);
+      EXPECT_GE(span.end, span.begin);
+      if (span.lane == obs::kLaneServer &&
+          span.phase == obs::Phase::kFlushBarrier && id == 0) {
+        ++barriers;
+      }
+      if (span.lane != id) continue;
+      if (span.phase == obs::Phase::kClientVerb && id == 0) ++verbs;
+      auto take = [&](const obs::SpanRecord*& slot) {
+        EXPECT_EQ(slot, nullptr) << "duplicate phase span on lane " << id;
+        EXPECT_EQ(span.aux, static_cast<std::int32_t>(*kid));
+        slot = &span;
+      };
+      switch (span.phase) {
+        case obs::Phase::kQueueWait: take(queue); break;
+        case obs::Phase::kCopyIn: take(copy_in); break;
+        case obs::Phase::kKernel: take(kernel); break;
+        case obs::Phase::kCopyOut: take(copy_out); break;
+        default: break;
+      }
+    }
+    ASSERT_NE(queue, nullptr) << "lane " << id;
+    ASSERT_NE(copy_in, nullptr) << "lane " << id;
+    ASSERT_NE(kernel, nullptr) << "lane " << id;
+    ASSERT_NE(copy_out, nullptr) << "lane " << id;
+    // queue ends at the scheduler grant, before the job's data phases;
+    // the three data phases neither overlap nor reorder.
+    EXPECT_LE(queue->end, copy_in->begin) << "lane " << id;
+    EXPECT_LE(copy_in->end, kernel->begin) << "lane " << id;
+    EXPECT_LE(kernel->end, copy_out->begin) << "lane " << id;
+  }
+  EXPECT_GE(barriers, 1);   // the cohort co-flush span on the server lane
+  EXPECT_GE(verbs, 5);      // REQ/SND/STR/RCV/RLS round trips, client 0
+}
+
+// After stop(), the legacy RtServerStats atomics and the obs registry must
+// agree: the registry is the single code path vgpu-sim prints from.
+TEST(RtServer, RegistryMirrorsLegacyCountersAfterStop) {
+  const std::string prefix = unique_prefix("mirror");
+  RtServer server(server_config(prefix, 1, 2), builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_TRUE(run_vecadd_client(prefix, 0, 4096));
+  server.stop();
+
+  const obs::Registry& metrics = server.obs().metrics();
+  auto counter = [&](const char* name) {
+    const obs::Counter* c = metrics.find_counter(name);
+    return c != nullptr ? c->value() : -1;
+  };
+  const RtServerStats& stats = server.stats();
+  EXPECT_EQ(counter("rt.requests"), stats.requests.load());
+  EXPECT_EQ(counter("rt.jobs_run"), stats.jobs_run.load());
+  EXPECT_EQ(counter("rt.flushes"), stats.flushes.load());
+  EXPECT_EQ(counter("rt.bytes_copied"), stats.bytes_copied.load());
+  EXPECT_EQ(counter("rt.jobs_failed"), 0);
+  // The batch-depth histogram carries one sample per non-empty drain
+  // sweep, so its total count sits between 1 and the request count.
+  const obs::Histogram* depth = metrics.find_histogram("rt.batch_depth");
+  ASSERT_NE(depth, nullptr);
+  const long drains = depth->count();
+  EXPECT_GE(drains, 1);
+  EXPECT_LE(drains, stats.requests.load());
+  // Tracing was off: no spans, and the disabled tracer recorded nothing.
+  EXPECT_TRUE(server.obs().tracer().collect().empty());
+  // Stop is idempotent for the export too: a second stop() must not
+  // double-count the delta-synced histogram.
+  server.stop();
+  EXPECT_EQ(depth->count(), drains);
 }
 
 }  // namespace

@@ -20,6 +20,9 @@
 // `--exec=serial|sharded` picks the kernel execution mode (sharded fans
 // each launch out over `--workers` via the src/exec engine and prints the
 // exec counter block: shards, steals, overlap bytes, per-worker shares).
+// `--metrics-json=<file>` dumps the obs registry; `--trace-out=<file>`
+// enables span tracing and writes a Chrome/Perfetto trace plus the
+// measured-vs-model residual report (docs/observability.md).
 //
 // Examples:
 //   vgpu-sim --workload=ep --procs=8 --all-modes
@@ -40,6 +43,8 @@
 #include "baselines/baselines.hpp"
 #include "common/flags.hpp"
 #include "gvm/experiment.hpp"
+#include "obs/obs.hpp"
+#include "obs/residuals.hpp"
 #include "kernels/electrostatics.hpp"
 #include "kernels/ep.hpp"
 #include "rt/client.hpp"
@@ -195,36 +200,48 @@ int run_live_client(const std::string& prefix, int id,
   return client->rls().ok() ? 0 : 1;
 }
 
+/// Prints the live counter blocks from the obs registry — the single
+/// source the server's stop() exported every legacy counter into. The
+/// field names match the pre-registry output byte-for-byte.
 void print_live_stats(const rt::RtServer& server) {
-  const rt::RtServerStats& s = server.stats();
+  const obs::Registry& reg = server.obs().metrics();
+  const auto cnt = [&reg](const char* name) {
+    const obs::Counter* c = reg.find_counter(name);
+    return c != nullptr ? c->value() : 0L;
+  };
   std::printf("  requests %ld (ring %ld), flushes %ld, jobs %ld, "
               "waits %ld\n",
-              s.requests.load(), s.ring_requests.load(), s.flushes.load(),
-              s.jobs_run.load(), s.waits_sent.load());
+              cnt("rt.requests"), cnt("rt.ring_requests"), cnt("rt.flushes"),
+              cnt("rt.jobs_run"), cnt("rt.waits_sent"));
   std::printf("  bytes_copied %ld, syscalls_saved %ld, spin_wakeups %ld, "
               "doorbell_blocks %ld\n",
-              s.bytes_copied.load(), s.syscalls_saved.load(),
-              s.spin_wakeups.load(), s.doorbell_blocks.load());
+              cnt("rt.bytes_copied"), cnt("rt.syscalls_saved"),
+              cnt("rt.spin_wakeups"), cnt("rt.doorbell_blocks"));
   std::printf("  batch depth:");
-  for (int b = 0; b < rt::RtServerStats::kBatchBuckets; ++b) {
-    const long count = s.batch_depth[b].load();
-    if (count == 0) continue;
-    const int lo = 1 << b;
-    std::printf(" [%d..%d]=%ld", lo, 2 * lo - 1, count);
+  if (const obs::Histogram* depth = reg.find_histogram("rt.batch_depth");
+      depth != nullptr) {
+    for (std::size_t b = 0; b < depth->buckets(); ++b) {
+      const long count = depth->bucket_count(b);
+      if (count == 0) continue;
+      const long lo = 1L << b;
+      std::printf(" [%ld..%ld]=%ld", lo, 2 * lo - 1, count);
+    }
   }
   std::printf("\n");
   if (server.config().exec == rt::ExecMode::kSharded) {
     const rt::RtExecCounters& e = server.exec_counters();
     std::printf("  exec: %ld launches, %ld shards, %ld steals, "
                 "%ld overflow, %ld external jobs, overlap %ld B\n",
-                e.launches, e.shards_executed, e.steals, e.overflow_pushes,
-                e.external_jobs, s.overlap_bytes.load());
+                cnt("exec.launches"), cnt("exec.shards_executed"),
+                cnt("exec.steals"), cnt("exec.overflow_pushes"),
+                cnt("exec.external_jobs"), cnt("rt.overlap_bytes"));
     std::printf("  worker shards:");
     for (std::size_t i = 0; i < e.worker_shards.size(); ++i) {
       if (i + 1 == e.worker_shards.size()) {
-        std::printf(" ext=%ld", e.worker_shards[i]);
+        std::printf(" ext=%ld", cnt("exec.worker_shards.external"));
       } else {
-        std::printf(" w%zu=%ld", i, e.worker_shards[i]);
+        std::printf(" w%zu=%ld",
+                    i, cnt(("exec.worker_shards." + std::to_string(i)).c_str()));
       }
     }
     std::printf("\n");
@@ -270,6 +287,10 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
   config.transport = transport;
   config.data_plane = data_plane;
   config.exec = exec;
+  const std::string metrics_path = flags.get_string("metrics-json", "");
+  const std::string trace_path = flags.get_string("trace-out", "");
+  // Span tracing is opt-in: a trace file request (or --trace) turns it on.
+  config.obs.tracing = !trace_path.empty() || flags.get_bool("trace");
   rt::RtServer server(config, rt::builtin_registry());
   const Status st = server.start();
   if (!st.ok()) {
@@ -309,6 +330,52 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
               ipc::transport_name(transport), rt::data_plane_name(data_plane),
               plan.kernel);
   print_live_stats(server);
+  const auto kernel_name = [](int id) {
+    const std::string* name = rt::builtin_registry().name_of(id);
+    return name != nullptr ? *name : "kernel " + std::to_string(id);
+  };
+  if (config.obs.tracing) {
+    // Phase spans carry the kernel id in aux; name the trace events and
+    // residual rows after the kernel they measured.
+    const obs::Tracer::NameFn name_fn =
+        [&kernel_name](const obs::SpanRecord& span) -> std::string {
+      switch (span.phase) {
+        case obs::Phase::kCopyIn:
+        case obs::Phase::kKernel:
+        case obs::Phase::kCopyOut:
+        case obs::Phase::kQueueWait:
+          return std::string(obs::phase_name(span.phase)) + " " +
+                 kernel_name(span.aux);
+        default:
+          return "";
+      }
+    };
+    if (!trace_path.empty()) {
+      const Status ts = server.obs().tracer().write_chrome_trace(trace_path,
+                                                                 name_fn);
+      if (!ts.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     ts.to_string().c_str());
+        return 1;
+      }
+      std::printf("  trace: %s (%zu spans, %ld dropped)\n",
+                  trace_path.c_str(),
+                  server.obs().tracer().collect().size(),
+                  server.obs().tracer().dropped());
+    }
+    const std::vector<obs::KernelResidual> residuals =
+        obs::compute_residuals(server.obs().tracer().collect(), kernel_name);
+    std::fputs(obs::format_residuals(residuals).c_str(), stdout);
+  }
+  if (!metrics_path.empty()) {
+    const Status ms = server.obs().metrics().write_json(metrics_path);
+    if (!ms.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   ms.to_string().c_str());
+      return 1;
+    }
+    std::printf("  metrics: %s\n", metrics_path.c_str());
+  }
   if (!ok) {
     std::fprintf(stderr, "live run failed: a client exited non-zero\n");
     return 1;
@@ -343,6 +410,7 @@ int main(int argc, char** argv) {
         "          [--sched=barrier|tq|fair|prio] [--quota-mb=<N>]\n"
         "          [--transport=mq|shm] [--data-plane=staged|zero_copy]\n"
         "          [--exec=serial|sharded] [--workers=<N>]\n"
+        "          [--metrics-json=<file>] [--trace-out=<file>]\n"
         "          [--all-modes] [--model]\n",
         flags.program().c_str());
     return flags.positional().empty() && argc <= 1 ? 0 : 2;

@@ -1,0 +1,141 @@
+// vgpu-trace: analyse and merge Chrome trace JSON files emitted by the
+// DES timeline (gpu::Timeline) and the live tracer (obs::Tracer).
+//
+//   vgpu-trace <trace.json> [more.json ...]
+//             [--validate] [--merge-out=<file>]
+//
+// For each input, prints the span count, wall extent, and the per-category
+// busy time and max concurrency (the same Timeline::busy_time /
+// max_concurrency analysis the DES tests assert on). With several inputs
+// the traces are merged onto one timebase (each shifted to t=0, lanes
+// prefixed with the file's basename) and the combined analysis is printed;
+// --merge-out= writes the merged trace for side-by-side Perfetto viewing.
+// --validate only schema-checks each file (non-zero exit on the first bad
+// one) — the CI trace-artifact gate.
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpu/trace.hpp"
+#include "obs/trace_io.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  return base;
+}
+
+void print_analysis(const gpu::Timeline& timeline) {
+  const std::vector<gpu::TraceEvent>& events = timeline.events();
+  if (events.empty()) {
+    std::printf("  (no events)\n");
+    return;
+  }
+  SimTime begin = events.front().begin;
+  SimTime end = events.front().end;
+  std::set<std::string> categories;
+  std::set<std::string> lanes;
+  for (const gpu::TraceEvent& e : events) {
+    begin = std::min(begin, e.begin);
+    end = std::max(end, e.end);
+    categories.insert(e.category);
+    lanes.insert(e.lane);
+  }
+  std::printf("  %zu events on %zu lanes, wall %.3f ms\n", events.size(),
+              lanes.size(), to_ms(end - begin));
+  std::printf("  %-12s %12s %8s %6s\n", "category", "busy ms", "busy %",
+              "maxcc");
+  for (const std::string& category : categories) {
+    const SimDuration busy = timeline.busy_time(category);
+    const double share =
+        end > begin ? 100.0 * static_cast<double>(busy) /
+                          static_cast<double>(end - begin)
+                    : 0.0;
+    std::printf("  %-12s %12.3f %7.1f%% %6d\n", category.c_str(),
+                to_ms(busy), share, timeline.max_concurrency(category));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string merge_out;
+  bool validate_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate_only = true;
+    } else if (arg.rfind("--merge-out=", 0) == 0) {
+      merge_out = arg.substr(12);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::printf(
+        "usage: %s <trace.json> [more.json ...] [--validate] "
+        "[--merge-out=<file>]\n",
+        argv[0]);
+    return argc <= 1 ? 0 : 2;
+  }
+
+  if (validate_only) {
+    for (const std::string& path : paths) {
+      const Status st = obs::validate_chrome_trace(path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                     st.to_string().c_str());
+        return 1;
+      }
+      std::printf("%s: ok\n", path.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<gpu::Timeline> timelines;
+  std::vector<std::string> labels;
+  for (const std::string& path : paths) {
+    auto timeline = obs::load_chrome_trace(path);
+    if (!timeline.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   timeline.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s:\n", path.c_str());
+    print_analysis(*timeline);
+    timelines.push_back(std::move(*timeline));
+    labels.push_back(basename_of(path));
+  }
+
+  if (timelines.size() > 1 || !merge_out.empty()) {
+    const gpu::Timeline merged = obs::merge_timelines(timelines, labels);
+    if (timelines.size() > 1) {
+      std::printf("merged (%zu traces, common t=0):\n", timelines.size());
+      print_analysis(merged);
+    }
+    if (!merge_out.empty()) {
+      const Status st = merged.write_chrome_trace(merge_out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "merge write failed: %s\n",
+                     st.to_string().c_str());
+        return 1;
+      }
+      std::printf("merged trace written to %s\n", merge_out.c_str());
+    }
+  }
+  return 0;
+}
