@@ -22,6 +22,8 @@ const char* error_code_name(ErrorCode code) {
       return "UNAVAILABLE";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kTimedOut:
+      return "TIMED_OUT";
   }
   return "UNKNOWN";
 }

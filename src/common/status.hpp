@@ -24,6 +24,7 @@ enum class ErrorCode {
   kResourceExhausted,
   kUnavailable,
   kInternal,
+  kTimedOut,
 };
 
 const char* error_code_name(ErrorCode code);
@@ -73,6 +74,9 @@ inline Status Unavailable(std::string msg) {
 }
 inline Status Internal(std::string msg) {
   return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status TimedOut(std::string msg) {
+  return {ErrorCode::kTimedOut, std::move(msg)};
 }
 
 /// Value-or-error result. Minimal, move-friendly.

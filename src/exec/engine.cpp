@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace vgpu::exec {
@@ -119,6 +120,9 @@ Status ExecEngine::launch(Group& group, long total_blocks, RangeFn fn,
 
 void ExecEngine::run_shard(const Shard& shard, int slot) {
   Group* group = shard.group;
+  if (config_.fault != nullptr) {
+    config_.fault->maybe_stall(fault::Point::kExecShard);
+  }
   // Shard span: blocks [begin, end) on this participant's lane. Waiters
   // (slot == workers()) share the last worker lane + 1.
   const SimTime t0 =

@@ -44,6 +44,10 @@ namespace vgpu::obs {
 class Tracer;
 }
 
+namespace vgpu::fault {
+class Injector;
+}
+
 namespace vgpu::exec {
 
 struct ExecConfig {
@@ -57,6 +61,10 @@ struct ExecConfig {
   /// Optional span tracer (not owned; must outlive the engine). When set
   /// and enabled, every shard records a kShard span on its worker's lane.
   obs::Tracer* tracer = nullptr;
+  /// Optional fault injector (not owned). When set, every shard consults
+  /// the kExecShard point before running — a stall rule there models a
+  /// straggler SM. Null costs one pointer compare per shard.
+  fault::Injector* fault = nullptr;
 };
 
 struct ExecStats {

@@ -1,0 +1,272 @@
+#include "fault/fault.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace vgpu::fault {
+
+namespace {
+
+struct PointEntry {
+  Point point;
+  const char* name;
+};
+
+constexpr PointEntry kPointTable[] = {
+    {Point::kCtrlSend, "ctrl.send"},
+    {Point::kCtrlRecv, "ctrl.recv"},
+    {Point::kClientAfterReq, "client.after_req"},
+    {Point::kClientAfterSnd, "client.after_snd"},
+    {Point::kClientAfterStr, "client.after_str"},
+    {Point::kClientAfterStp, "client.after_stp"},
+    {Point::kClientAfterRcv, "client.after_rcv"},
+    {Point::kServerHandle, "server.handle"},
+    {Point::kServerRespond, "server.respond"},
+    {Point::kExecShard, "exec.shard"},
+    {Point::kDeviceAlloc, "device.alloc"},
+};
+static_assert(sizeof(kPointTable) / sizeof(kPointTable[0]) ==
+                  static_cast<std::size_t>(kPointCount),
+              "point table out of sync with the Point enum");
+
+struct ActionEntry {
+  Action action;
+  const char* name;
+};
+
+constexpr ActionEntry kActionTable[] = {
+    {Action::kNone, "none"},   {Action::kDrop, "drop"},
+    {Action::kDelay, "delay"}, {Action::kDuplicate, "dup"},
+    {Action::kKill, "kill"},   {Action::kStall, "stall"},
+    {Action::kFail, "fail"},
+};
+static_assert(sizeof(kActionTable) / sizeof(kActionTable[0]) ==
+                  static_cast<std::size_t>(kActionCount),
+              "action table out of sync with the Action enum");
+
+/// Uniform [0, 1) draw from a pure hash of (seed, point, occurrence): each
+/// coordinate is pre-mixed with a distinct odd constant so adjacent
+/// occurrences (and adjacent points) land far apart in the hash space.
+double probability_draw(std::uint64_t seed, Point point, long occurrence) {
+  std::uint64_t mix = seed;
+  mix ^= (static_cast<std::uint64_t>(point) + 1) * 0x9e3779b97f4a7c15ULL;
+  mix ^= (static_cast<std::uint64_t>(occurrence) + 1) * 0xbf58476d1ce4e5b9ULL;
+  SplitMix64 sm(mix);
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+Status parse_number(const std::string& text, long* out) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return InvalidArgument("fault plan: bad number '" + text + "'");
+  }
+  *out = value;
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* point_name(Point point) {
+  const auto index = static_cast<std::size_t>(point);
+  if (index >= static_cast<std::size_t>(kPointCount)) return "?";
+  return kPointTable[index].name;
+}
+
+bool parse_point(const std::string& text, Point* out) {
+  for (const PointEntry& entry : kPointTable) {
+    if (text == entry.name) {
+      *out = entry.point;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Point> all_points() {
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(kPointCount));
+  for (const PointEntry& entry : kPointTable) points.push_back(entry.point);
+  return points;
+}
+
+const char* action_name(Action action) {
+  const auto index = static_cast<std::size_t>(action);
+  if (index >= static_cast<std::size_t>(kActionCount)) return "?";
+  return kActionTable[index].name;
+}
+
+bool parse_action(const std::string& text, Action* out) {
+  for (const ActionEntry& entry : kActionTable) {
+    if (text == entry.name) {
+      *out = entry.action;
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& item : split(spec, ',')) {
+    if (item.empty()) {
+      return InvalidArgument("fault plan: empty item in '" + spec + "'");
+    }
+    if (item.rfind("seed=", 0) == 0) {
+      long seed = 0;
+      VGPU_RETURN_IF_ERROR(parse_number(item.substr(5), &seed));
+      plan.seed_ = static_cast<std::uint64_t>(seed);
+      continue;
+    }
+    const std::vector<std::string> fields = split(item, ':');
+    const std::size_t at = fields[0].find('@');
+    if (at == std::string::npos) {
+      return InvalidArgument("fault plan: expected action@point, got '" +
+                             fields[0] + "'");
+    }
+    Rule rule;
+    const std::string action = fields[0].substr(0, at);
+    const std::string point = fields[0].substr(at + 1);
+    if (!parse_action(action, &rule.action) || rule.action == Action::kNone) {
+      return InvalidArgument("fault plan: unknown action '" + action + "'");
+    }
+    if (!parse_point(point, &rule.point)) {
+      return InvalidArgument("fault plan: unknown point '" + point + "'");
+    }
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const std::size_t eq = fields[i].find('=');
+      if (eq == std::string::npos) {
+        return InvalidArgument("fault plan: expected key=value, got '" +
+                               fields[i] + "'");
+      }
+      const std::string key = fields[i].substr(0, eq);
+      const std::string value = fields[i].substr(eq + 1);
+      if (key == "p") {
+        char* end = nullptr;
+        rule.probability = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || rule.probability < 0.0 ||
+            rule.probability > 1.0) {
+          return InvalidArgument("fault plan: bad probability '" + value +
+                                 "'");
+        }
+      } else if (key == "after") {
+        VGPU_RETURN_IF_ERROR(parse_number(value, &rule.after));
+      } else if (key == "limit") {
+        VGPU_RETURN_IF_ERROR(parse_number(value, &rule.limit));
+      } else if (key == "delay_us") {
+        long us = 0;
+        VGPU_RETURN_IF_ERROR(parse_number(value, &us));
+        rule.delay = std::chrono::microseconds(us);
+      } else {
+        return InvalidArgument("fault plan: unknown option '" + key + "'");
+      }
+    }
+    plan.rules_.push_back(rule);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  out << "seed=" << seed_;
+  for (const Rule& rule : rules_) {
+    out << ',' << action_name(rule.action) << '@' << point_name(rule.point);
+    if (rule.probability != 1.0) out << ":p=" << rule.probability;
+    if (rule.after != 0) out << ":after=" << rule.after;
+    if (rule.limit >= 0) out << ":limit=" << rule.limit;
+    if (rule.delay.count() != 0) out << ":delay_us=" << rule.delay.count();
+  }
+  return out.str();
+}
+
+Decision FaultPlan::decide(Point point, long occurrence) const {
+  for (const Rule& rule : rules_) {
+    if (rule.point != point) continue;
+    if (occurrence < rule.after) continue;
+    if (rule.limit >= 0 && occurrence >= rule.after + rule.limit) continue;
+    if (rule.probability < 1.0 &&
+        probability_draw(seed_, point, occurrence) >= rule.probability) {
+      continue;
+    }
+    return Decision{rule.action, rule.delay};
+  }
+  return {};
+}
+
+Decision Injector::on(Point point) {
+  if (!enabled_) return {};
+  const long occurrence =
+      occurrences_[static_cast<std::size_t>(point)].fetch_add(
+          1, std::memory_order_relaxed);
+  const Decision decision = plan_.decide(point, occurrence);
+  if (decision) {
+    fired_[static_cast<std::size_t>(decision.action)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+bool Injector::should_fail(Point point) {
+  if (!enabled_) return false;
+  return on(point).action == Action::kFail;
+}
+
+void Injector::maybe_stall(Point point) {
+  if (!enabled_) return;
+  const Decision decision = on(point);
+  if (decision.action == Action::kStall || decision.action == Action::kDelay) {
+    std::this_thread::sleep_for(decision.delay);
+  }
+}
+
+void Injector::maybe_kill(Point point) {
+  if (!enabled_) return;
+  if (on(point).action == Action::kKill) {
+    ::raise(SIGKILL);
+  }
+}
+
+long Injector::occurrences(Point point) const {
+  return occurrences_[static_cast<std::size_t>(point)].load(
+      std::memory_order_relaxed);
+}
+
+long Injector::fired(Action action) const {
+  return fired_[static_cast<std::size_t>(action)].load(
+      std::memory_order_relaxed);
+}
+
+void Injector::export_metrics(obs::Registry& registry) const {
+  for (const PointEntry& entry : kPointTable) {
+    registry.counter(std::string("fault.occurrences.") + entry.name)
+        ->set(occurrences(entry.point));
+  }
+  for (const ActionEntry& entry : kActionTable) {
+    if (entry.action == Action::kNone) continue;
+    registry.counter(std::string("fault.fired.") + entry.name)
+        ->set(fired(entry.action));
+  }
+}
+
+}  // namespace vgpu::fault

@@ -1,0 +1,164 @@
+// Deterministic fault injection for the live GVM.
+//
+// A FaultPlan is a seeded, replayable schedule of failures at named
+// injection points: drop/delay/duplicate a control message, kill a client
+// between two protocol verbs, stall an engine shard, fail a device-model
+// allocation. The decision function is *pure* — the same
+// (seed, point, occurrence) triple always yields the same verdict, with no
+// generator state shared between points — so a schedule replays bit-exactly
+// regardless of thread interleaving, and a failing chaos seed reprints as a
+// `--fault-plan=` spec anyone can re-run (see docs/fault.md).
+//
+// The Injector wraps a plan behind zero-cost-when-disabled hooks: subsystem
+// call sites hold a nullable `fault::Injector*` and a disabled injector
+// (or a null pointer) reduces every hook to a branch on a bool. Occurrence
+// counters are atomics, so concurrent call sites (engine shards, forked
+// clients) each draw their own deterministic occurrence index.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vgpu::obs {
+class Registry;
+}
+
+namespace vgpu::fault {
+
+/// The injection-point registry. Client points sit on the verb boundaries
+/// of the REQ/SND/STR/STP/RCV/RLS protocol ("after_req" fires between REQ
+/// and SND, and so on through "after_rcv" between RCV and RLS).
+enum class Point : std::int32_t {
+  kCtrlSend = 0,    // client-side control-message send
+  kCtrlRecv,        // client-side control-message receive
+  kClientAfterReq,  // verb boundary REQ -> SND
+  kClientAfterSnd,  // verb boundary SND -> STR
+  kClientAfterStr,  // verb boundary STR -> STP
+  kClientAfterStp,  // verb boundary STP -> RCV
+  kClientAfterRcv,  // verb boundary RCV -> RLS
+  kServerHandle,    // serve-loop request dispatch
+  kServerRespond,   // serve-loop response send
+  kExecShard,       // exec::ExecEngine shard body
+  kDeviceAlloc,     // device-model memory allocation
+  kCount,
+};
+
+inline constexpr int kPointCount = static_cast<int>(Point::kCount);
+
+/// Spec spelling of a point ("ctrl.send", "client.after_req", ...).
+const char* point_name(Point point);
+bool parse_point(const std::string& text, Point* out);
+/// Every point, in enum order (the registry the tests iterate).
+std::vector<Point> all_points();
+
+enum class Action : std::int32_t {
+  kNone = 0,
+  kDrop,       // swallow the message
+  kDelay,      // sleep `delay` before proceeding
+  kDuplicate,  // send the message twice
+  kKill,       // raise(SIGKILL) — forked clients only
+  kStall,      // sleep `delay` inside the instrumented region
+  kFail,       // make the operation report failure
+  kCount,
+};
+
+inline constexpr int kActionCount = static_cast<int>(Action::kCount);
+
+const char* action_name(Action action);
+bool parse_action(const std::string& text, Action* out);
+
+/// One injection rule: fire `action` at `point` with `probability`, for
+/// occurrences in [after, after + limit) (limit < 0 = unbounded).
+struct Rule {
+  Point point = Point::kCtrlSend;
+  Action action = Action::kNone;
+  double probability = 1.0;
+  long after = 0;
+  long limit = -1;
+  std::chrono::microseconds delay{0};
+};
+
+/// Verdict for one occurrence of one point.
+struct Decision {
+  Action action = Action::kNone;
+  std::chrono::microseconds delay{0};
+  explicit operator bool() const { return action != Action::kNone; }
+};
+
+/// A seeded set of rules with a pure decision function. Spec grammar
+/// (comma-separated, whitespace-free):
+///
+///   seed=42,kill@client.after_snd,drop@ctrl.send:p=0.5:after=2:limit=1,
+///   stall@exec.shard:delay_us=500
+///
+/// `seed=` may appear once; every other item is `action@point` with
+/// optional `:key=value` options (p, after, limit, delay_us). to_string()
+/// round-trips through parse().
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  static StatusOr<FaultPlan> parse(const std::string& spec);
+  std::string to_string() const;
+
+  void add(Rule rule) { rules_.push_back(rule); }
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  bool empty() const { return rules_.empty(); }
+
+  /// Pure: hashes (seed, point, occurrence) into the probability draw, so
+  /// the verdict for any occurrence is independent of evaluation order.
+  /// The first rule for `point` whose window contains `occurrence` and
+  /// whose draw passes wins.
+  Decision decide(Point point, long occurrence) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<Rule> rules_;
+};
+
+/// Thread-safe occurrence counting around a FaultPlan. A
+/// default-constructed Injector is disabled: every hook returns
+/// immediately without touching a counter.
+class Injector {
+ public:
+  Injector() = default;
+  explicit Injector(FaultPlan plan)
+      : enabled_(!plan.empty()), plan_(std::move(plan)) {}
+
+  bool enabled() const { return enabled_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Draws the next occurrence of `point` and returns the plan's verdict.
+  Decision on(Point point);
+
+  /// True when this occurrence should report failure (Action::kFail).
+  bool should_fail(Point point);
+  /// Sleeps through a kStall/kDelay verdict; no-op otherwise.
+  void maybe_stall(Point point);
+  /// raise(SIGKILL) on a kKill verdict — call only from processes whose
+  /// death is the experiment (forked chaos clients).
+  void maybe_kill(Point point);
+
+  long occurrences(Point point) const;
+  long fired(Action action) const;
+
+  /// Exports fault.occurrences.<point> and fault.fired.<action> counters.
+  void export_metrics(obs::Registry& registry) const;
+
+ private:
+  bool enabled_ = false;
+  FaultPlan plan_;
+  std::array<std::atomic<long>, kPointCount> occurrences_{};
+  std::array<std::atomic<long>, kActionCount> fired_{};
+};
+
+}  // namespace vgpu::fault

@@ -1,0 +1,72 @@
+// Fault-injecting decorator for the client side of an ipc transport.
+//
+// Wraps any ClientTransport and consults an Injector on every send
+// (kCtrlSend: drop / delay / duplicate) and receive (kCtrlRecv: drop a
+// response, delay delivery). Lives in src/fault rather than src/ipc so the
+// transport layer itself stays fault-free; the RtClient installs the
+// decorator only when its options carry an injector.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "ipc/transport.hpp"
+
+namespace vgpu::fault {
+
+template <typename Req, typename Resp>
+class FaultyClientTransport final : public ipc::ClientTransport<Req, Resp> {
+ public:
+  FaultyClientTransport(
+      std::unique_ptr<ipc::ClientTransport<Req, Resp>> inner,
+      Injector* injector)
+      : inner_(std::move(inner)), injector_(injector) {}
+
+  ipc::TransportKind kind() const override { return inner_->kind(); }
+
+  Status send(const Req& request) override {
+    const Decision decision = injector_ != nullptr
+                                  ? injector_->on(Point::kCtrlSend)
+                                  : Decision{};
+    switch (decision.action) {
+      case Action::kDrop:
+        return Status::Ok();  // silently lost in transit
+      case Action::kDelay:
+        std::this_thread::sleep_for(decision.delay);
+        break;
+      case Action::kDuplicate: {
+        const Status first = inner_->send(request);
+        if (!first.ok()) return first;
+        break;  // fall through to the second copy
+      }
+      default:
+        break;
+    }
+    return inner_->send(request);
+  }
+
+  StatusOr<Resp> receive(std::chrono::milliseconds timeout) override {
+    const Decision decision = injector_ != nullptr
+                                  ? injector_->on(Point::kCtrlRecv)
+                                  : Decision{};
+    if (decision.action == Action::kDelay) {
+      std::this_thread::sleep_for(decision.delay);
+    }
+    if (decision.action == Action::kDrop) {
+      // Swallow one response, then deliver whatever follows (the caller's
+      // retry will re-elicit it).
+      auto dropped = inner_->receive(timeout);
+      if (!dropped.ok()) return dropped.status();
+    }
+    return inner_->receive(timeout);
+  }
+
+ private:
+  std::unique_ptr<ipc::ClientTransport<Req, Resp>> inner_;
+  Injector* injector_;
+};
+
+}  // namespace vgpu::fault

@@ -17,6 +17,9 @@ DeviceMemoryAllocator::DeviceMemoryAllocator(Bytes capacity)
 
 StatusOr<DevPtr> DeviceMemoryAllocator::allocate(Bytes size) {
   if (size <= 0) return InvalidArgument("allocation size must be positive");
+  if (fail_hook_ && fail_hook_()) {
+    return OutOfMemory("device memory: allocation failed (fault injection)");
+  }
   const Bytes need = round_up(size, kAlignment);
   // First fit: lowest-address extent that can hold the request.
   for (auto it = free_.begin(); it != free_.end(); ++it) {

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <utility>
 
 #include "common/status.hpp"
 #include "common/units.hpp"
@@ -28,6 +30,14 @@ class DeviceMemoryAllocator {
   /// kOutOfMemory when no free extent fits.
   StatusOr<DevPtr> allocate(Bytes size);
 
+  /// Installs a hook consulted at the top of allocate(); returning true
+  /// fails that allocation with kOutOfMemory. A plain std::function (not a
+  /// fault::Injector) keeps the device model free of upward dependencies;
+  /// chaos harnesses bind `injector.should_fail(Point::kDeviceAlloc)` here.
+  void set_fail_hook(std::function<bool()> hook) {
+    fail_hook_ = std::move(hook);
+  }
+
   /// Frees a pointer previously returned by allocate. Fails with kNotFound
   /// for unknown or already-freed pointers.
   Status free(DevPtr ptr);
@@ -44,6 +54,7 @@ class DeviceMemoryAllocator {
  private:
   Bytes capacity_;
   Bytes used_ = 0;
+  std::function<bool()> fail_hook_;    // fault injection; empty = disabled
   std::map<DevPtr, Bytes> free_;       // addr -> extent size
   std::map<DevPtr, Bytes> allocated_;  // addr -> allocation size
 };

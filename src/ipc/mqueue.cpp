@@ -42,6 +42,27 @@ Status MessageQueueBase::send_raw(const void* data, std::size_t size) {
   return Status::Ok();
 }
 
+Status MessageQueueBase::try_send_raw(const void* data, std::size_t size) {
+  // An epoch deadline makes mq_timedsend a non-blocking attempt without
+  // toggling O_NONBLOCK on the shared descriptor.
+  struct timespec ts {};
+  int rc;
+  do {
+    rc = ::mq_timedsend(mq_, static_cast<const char*>(data), size, 0, &ts);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno == ETIMEDOUT || errno == EAGAIN) {
+      return Unavailable("mq_send would block on " + name_);
+    }
+    return errno_status("mq_send(" + name_ + ")");
+  }
+  return Status::Ok();
+}
+
+void MessageQueueBase::unlink(const std::string& name) {
+  ::mq_unlink(name.c_str());
+}
+
 Status MessageQueueBase::receive_raw(
     void* data, std::size_t size,
     std::optional<std::chrono::milliseconds> timeout) {

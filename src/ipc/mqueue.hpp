@@ -31,6 +31,11 @@ class MessageQueueBase {
   bool valid() const { return mq_ != static_cast<mqd_t>(-1); }
   const std::string& name() const { return name_; }
 
+  /// Removes `name` from the namespace regardless of ownership (missing
+  /// names are ignored) — the reclamation path for queues whose creator
+  /// died without running its destructor.
+  static void unlink(const std::string& name);
+
  protected:
   static StatusOr<MessageQueueBase> create_raw(const std::string& name,
                                                long max_messages,
@@ -38,6 +43,10 @@ class MessageQueueBase {
   static StatusOr<MessageQueueBase> open_raw(const std::string& name);
 
   Status send_raw(const void* data, std::size_t size);
+  /// Non-blocking send: kUnavailable when the queue is full. Server-side
+  /// response paths use this so a dead client that stopped draining its
+  /// queue can never wedge the serve loop.
+  Status try_send_raw(const void* data, std::size_t size);
   /// Blocks until a message arrives or `timeout` elapses (nullopt = block
   /// forever; 0 = non-blocking poll). Returns kUnavailable on timeout.
   ///
@@ -82,6 +91,11 @@ class MessageQueue : public MessageQueueBase {
   }
 
   Status send(const T& message) { return send_raw(&message, sizeof(T)); }
+
+  /// Non-blocking send: kUnavailable when the queue is full.
+  Status try_send(const T& message) {
+    return try_send_raw(&message, sizeof(T));
+  }
 
   StatusOr<T> receive(
       std::optional<std::chrono::milliseconds> timeout = std::nullopt) {

@@ -53,6 +53,10 @@ StatusOr<SharedMemory> SharedMemory::open(const std::string& name,
   return SharedMemory(name, data, size, /*owner=*/false);
 }
 
+void SharedMemory::unlink(const std::string& name) {
+  ::shm_unlink(name.c_str());
+}
+
 SharedMemory::SharedMemory(SharedMemory&& other) noexcept
     : name_(std::move(other.name_)),
       data_(std::exchange(other.data_, nullptr)),

@@ -23,6 +23,12 @@ class SharedMemory {
   /// Opens an existing region. `size` must match the creator's size.
   static StatusOr<SharedMemory> open(const std::string& name, Bytes size);
 
+  /// Removes `name` from the namespace regardless of ownership (missing
+  /// names are ignored). Reclamation path: when a region's creator died
+  /// without running its destructor, someone else must unlink the name or
+  /// it leaks until reboot. Existing mappings stay valid.
+  static void unlink(const std::string& name);
+
   SharedMemory() = default;
   SharedMemory(SharedMemory&& other) noexcept;
   SharedMemory& operator=(SharedMemory&& other) noexcept;

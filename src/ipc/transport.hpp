@@ -277,7 +277,11 @@ class MqServerLane final : public ServerLane<Req, Resp> {
   TransportKind kind() const override { return TransportKind::kMessageQueue; }
   std::optional<Req> try_receive() override { return std::nullopt; }
   Status send(const Resp& response) override {
-    return response_queue_->send(response);
+    // Non-blocking, like the ring lane's push: a client that stopped
+    // draining its queue (crashed mid-protocol) must not be able to wedge
+    // the serve loop; a full queue reports kUnavailable and the client's
+    // retry re-elicits the response.
+    return response_queue_->try_send(response);
   }
 
  private:

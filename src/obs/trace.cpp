@@ -26,6 +26,8 @@ const char* phase_name(Phase phase) {
       return "shard";
     case Phase::kClientVerb:
       return "verb";
+    case Phase::kLeaseExpiry:
+      return "lease_expiry";
     case Phase::kCount:
       break;
   }
@@ -44,6 +46,7 @@ const char* phase_category(Phase phase) {
     case Phase::kKernel:
       return "kernel";
     case Phase::kFlushBarrier:
+    case Phase::kLeaseExpiry:
       return "gvm";
     case Phase::kBatchDrain:
     case Phase::kPark:

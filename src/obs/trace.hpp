@@ -48,6 +48,7 @@ enum class Phase : std::uint8_t {
   kPark,           // serve-loop idle wait (spin/yield/futex)
   kShard,          // one engine shard (aux = block count)
   kClientVerb,     // client-observed verb round trip (aux = RtOp)
+  kLeaseExpiry,    // silent window that expired a client lease (aux = pid)
   kCount,
 };
 

@@ -1,13 +1,30 @@
 #include "rt/client.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <new>
 #include <thread>
 #include <utility>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
+#include "fault/transport_fault.hpp"
 
 namespace vgpu::rt {
+
+namespace {
+
+constexpr std::chrono::microseconds kBackoffCap{100'000};
+
+/// Sleeps the current backoff and doubles it (bounded exponential).
+void back_off(std::chrono::microseconds* backoff) {
+  if (backoff->count() > 0) std::this_thread::sleep_for(*backoff);
+  *backoff = std::min(kBackoffCap,
+                      *backoff * 2 + std::chrono::microseconds(1));
+}
+
+}  // namespace
 
 StatusOr<RtClient> RtClient::connect(const std::string& prefix, int id,
                                      Bytes bytes_in, Bytes bytes_out,
@@ -57,23 +74,58 @@ StatusOr<RtClient> RtClient::connect(const std::string& prefix, int id,
 
 StatusOr<RtAck> RtClient::call(RtRequest request) {
   request.client = id_;
+  request.seq = ++seq_;
   if (chan_ == nullptr) {
     return FailedPrecondition("protocol op before REQ negotiated a transport");
   }
   obs::Tracer* tracer = options_.tracer;
   const SimTime t0 =
       tracer != nullptr ? tracer->begin_span() : obs::kSpanDisabled;
-  VGPU_RETURN_IF_ERROR(chan_->send(request));
-  auto response = chan_->receive(std::chrono::milliseconds(10'000));
-  if (tracer != nullptr) {
-    tracer->end_span(t0, obs::Phase::kClientVerb, id_,
-                     static_cast<std::int32_t>(request.op));
+  const auto finish = [&] {
+    if (tracer != nullptr) {
+      tracer->end_span(t0, obs::Phase::kClientVerb, id_,
+                       static_cast<std::int32_t>(request.op));
+    }
+  };
+  // Bounded at-least-once RPC: resend under the same seq on timeout (the
+  // server replays its recorded answer, so a retry never re-runs the
+  // verb), discard stale responses from earlier attempts, and surface
+  // kTimedOut once the retry budget is spent — a dead server becomes an
+  // error, not a hang.
+  std::chrono::microseconds backoff = options_.retry_backoff;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) back_off(&backoff);
+    const Status sent = chan_->send(request);
+    if (!sent.ok()) {
+      if (sent.code() != ErrorCode::kUnavailable) {
+        finish();
+        return sent;
+      }
+      continue;  // full ring/queue: back off and resend
+    }
+    for (;;) {
+      auto response = chan_->receive(options_.op_timeout);
+      if (!response.ok()) {
+        if (response.status().code() != ErrorCode::kUnavailable) {
+          finish();
+          return response.status();
+        }
+        break;  // round-trip deadline expired: resend
+      }
+      if (response->seq != 0 && response->seq < request.seq) {
+        continue;  // stale answer to a superseded attempt
+      }
+      finish();
+      if (response->ack == RtAck::kError) {
+        return Internal("GVM rejected the request");
+      }
+      return response->ack;
+    }
   }
-  if (!response.ok()) return response.status();
-  if (response->ack == RtAck::kError) {
-    return Internal("GVM rejected the request");
-  }
-  return response->ack;
+  finish();
+  return TimedOut("GVM did not answer op " +
+                  std::to_string(static_cast<int>(request.op)) + " after " +
+                  std::to_string(options_.max_retries + 1) + " attempts");
 }
 
 Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
@@ -82,18 +134,59 @@ Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
   request.client = id_;
   request.kernel_id = kernel_id;
   request.transport_caps = caps_;
+  request.pid = static_cast<std::int32_t>(::getpid());
+  request.seq = ++seq_;
   request.bytes_in = bytes_in_;
   request.bytes_out = bytes_out_;
   for (int i = 0; i < 4; ++i) request.params[i] = params[i];
   // The handshake always travels over the message queues; only afterwards
-  // does traffic switch to whatever the server selected.
-  VGPU_RETURN_IF_ERROR(req_->send(request));
-  auto response = resp_->receive(std::chrono::milliseconds(10'000));
-  if (!response.ok()) return response.status();
-  if (response->ack == RtAck::kError) {
-    return Internal("GVM rejected the request");
+  // does traffic switch to whatever the server selected. REQ is an
+  // idempotent re-attach (the server retires a stale registration for the
+  // same id), so timeouts and kWait backpressure both resend it whole.
+  std::chrono::microseconds backoff = options_.retry_backoff;
+  bool backpressured = false;
+  RtResponse granted;
+  bool have_grant = false;
+  for (int attempt = 0; attempt <= options_.max_retries && !have_grant;
+       ++attempt) {
+    if (attempt > 0) back_off(&backoff);
+    const Status sent = req_->send(request);
+    if (!sent.ok()) {
+      if (sent.code() != ErrorCode::kUnavailable) return sent;
+      continue;
+    }
+    for (;;) {
+      auto response = resp_->receive(options_.op_timeout);
+      if (!response.ok()) {
+        if (response.status().code() != ErrorCode::kUnavailable) {
+          return response.status();
+        }
+        break;  // handshake deadline expired: re-attach
+      }
+      if (response->seq != 0 && response->seq < request.seq) continue;
+      if (response->ack == RtAck::kWait) {
+        // Admission backpressure: back off, then re-attach.
+        backpressured = true;
+        break;
+      }
+      if (response->ack == RtAck::kError) {
+        return Internal("GVM rejected the request");
+      }
+      granted = *response;
+      have_grant = true;
+      break;
+    }
   }
-  const auto selected = static_cast<ipc::TransportKind>(response->transport);
+  if (!have_grant) {
+    if (backpressured) {
+      return Unavailable("GVM admission backpressure persisted across " +
+                         std::to_string(options_.max_retries + 1) +
+                         " attempts");
+    }
+    return TimedOut("GVM did not answer REQ after " +
+                    std::to_string(options_.max_retries + 1) + " attempts");
+  }
+  const auto selected = static_cast<ipc::TransportKind>(granted.transport);
   if (selected == ipc::TransportKind::kShmRing &&
       (caps_ & ipc::kTransportCapShmRing) != 0 && channel_ != nullptr) {
     active_ = ipc::TransportKind::kShmRing;
@@ -104,18 +197,30 @@ Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
     chan_ = std::make_unique<ipc::MqClientTransport<RtRequest, RtResponse>>(
         req_.get(), resp_.get());
   }
+  if (options_.fault != nullptr) {
+    chan_ =
+        std::make_unique<fault::FaultyClientTransport<RtRequest, RtResponse>>(
+            std::move(chan_), options_.fault);
+    options_.fault->maybe_kill(fault::Point::kClientAfterReq);
+  }
   return Status::Ok();
 }
 
 Status RtClient::snd() {
   auto ack = call(RtRequest{RtOp::kSnd});
   if (!ack.ok()) return ack.status();
+  if (options_.fault != nullptr) {
+    options_.fault->maybe_kill(fault::Point::kClientAfterSnd);
+  }
   return Status::Ok();
 }
 
 Status RtClient::str() {
   auto ack = call(RtRequest{RtOp::kStr});
   if (!ack.ok()) return ack.status();
+  if (options_.fault != nullptr) {
+    options_.fault->maybe_kill(fault::Point::kClientAfterStr);
+  }
   return Status::Ok();
 }
 
@@ -124,13 +229,23 @@ Status RtClient::wait_done(std::chrono::microseconds poll) {
   // first re-polls are immediate (they catch microsecond-scale jobs), then
   // back off exponentially to `poll`. The mqueue path keeps the paper
   // client's fixed sleep so its timing behaviour is unchanged.
+  const bool bounded = options_.done_timeout.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + options_.done_timeout;
   int fast_polls = 0;
   std::chrono::microseconds delay{0};
   for (;;) {
     auto ack = call(RtRequest{RtOp::kStp});
     if (!ack.ok()) return ack.status();
-    if (*ack == RtAck::kAck) return Status::Ok();
+    if (*ack == RtAck::kAck) {
+      if (options_.fault != nullptr) {
+        options_.fault->maybe_kill(fault::Point::kClientAfterStp);
+      }
+      return Status::Ok();
+    }
     ++waits_;
+    if (bounded && std::chrono::steady_clock::now() >= deadline) {
+      return TimedOut("job did not complete within done_timeout");
+    }
     if (active_ != ipc::TransportKind::kShmRing) {
       std::this_thread::sleep_for(poll);
       continue;
@@ -149,6 +264,9 @@ Status RtClient::wait_done(std::chrono::microseconds poll) {
 Status RtClient::rcv() {
   auto ack = call(RtRequest{RtOp::kRcv});
   if (!ack.ok()) return ack.status();
+  if (options_.fault != nullptr) {
+    options_.fault->maybe_kill(fault::Point::kClientAfterRcv);
+  }
   return Status::Ok();
 }
 

@@ -23,6 +23,10 @@
 #include "obs/trace.hpp"
 #include "rt/messages.hpp"
 
+namespace vgpu::fault {
+class Injector;
+}
+
 namespace vgpu::rt {
 
 struct RtClientOptions {
@@ -38,6 +42,23 @@ struct RtClientOptions {
   /// server-side phase spans. In-process harnesses pass the server's own
   /// tracer so both ends share one timebase.
   obs::Tracer* tracer = nullptr;
+  /// Deadline for one control-plane round trip. A verb whose response
+  /// does not arrive within this window is resent (same seq: the server
+  /// replays its recorded answer, so the retry is side-effect free).
+  std::chrono::milliseconds op_timeout{2500};
+  /// Resends after the first attempt before the verb fails kTimedOut —
+  /// the bound that turns a dead server into an error instead of a hang.
+  int max_retries = 3;
+  /// First retry backoff; doubles per attempt (capped at 100 ms).
+  std::chrono::microseconds retry_backoff{500};
+  /// Overall bound on wait_done() (STP polling); 0 = unlimited, matching
+  /// the paper client's poll-forever loop.
+  std::chrono::milliseconds done_timeout{0};
+  /// Optional fault injector (not owned). Drives the client-side points:
+  /// kill-between-verbs (client.after_*) and the ctrl.send / ctrl.recv
+  /// message faults on the negotiated transport. ONLY configure kill
+  /// rules in expendable (forked) clients — they SIGKILL the process.
+  fault::Injector* fault = nullptr;
 };
 
 class RtClient {
@@ -120,6 +141,9 @@ class RtClient {
   Bytes bytes_out_;
   RtClientOptions options_;
   long waits_ = 0;
+  /// Monotone per-client sequence number stamped on every request; the
+  /// retry layer resends under the same seq and discards stale responses.
+  std::int64_t seq_ = 0;
 };
 
 }  // namespace vgpu::rt

@@ -36,7 +36,16 @@ struct RtRequest {
   /// REQ only: transports the client can speak (ipc::kTransportCap*).
   /// Zero (a pre-negotiation client) means mqueue-only.
   std::uint32_t transport_caps = ipc::kTransportCapMqueue;
-  std::uint32_t reserved = 0;       // keep params 8-byte aligned
+  /// REQ only: the client's OS process id — the lease layer's liveness
+  /// probe target. 0 (a pre-lease client) disables the pid probe; the
+  /// deadline expiry still applies.
+  std::int32_t pid = 0;
+  /// Per-client monotone sequence number, stamped on every verb. Makes the
+  /// control plane safe under at-least-once delivery: the server replays
+  /// its recorded response for a repeated seq instead of re-executing the
+  /// verb, and the client discards responses for superseded seqs. 0 (a
+  /// pre-seq client) opts out of duplicate detection.
+  std::int64_t seq = 0;
   std::int64_t bytes_in = 0;        // REQ only
   std::int64_t bytes_out = 0;       // REQ only
   std::int64_t params[4] = {};      // forwarded to the kernel function
@@ -48,6 +57,9 @@ struct RtResponse {
   /// post-REQ traffic (a static_cast of ipc::TransportKind).
   std::int32_t transport =
       static_cast<std::int32_t>(ipc::TransportKind::kMessageQueue);
+  /// Echo of the request seq this response answers (0 from pre-seq
+  /// servers); the client's retry loop matches on it.
+  std::int64_t seq = 0;
 };
 
 /// The control-plane channel embedded at the head of the vsm region when

@@ -1,12 +1,17 @@
 #include "rt/server.hpp"
 
+#include <signal.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <limits>
 #include <new>
+#include <thread>
 
 #include "common/log.hpp"
 #include "common/math.hpp"
+#include "fault/fault.hpp"
 
 namespace vgpu::rt {
 
@@ -25,11 +30,18 @@ sched::SchedulerConfig effective_sched_config(const RtServerConfig& config) {
 
 sched::AdmissionConfig admission_config(const RtServerConfig& config) {
   sched::AdmissionConfig ac;
-  // The live executor runs in host memory; only the per-client quota is
-  // enforced here (no device capacity to model).
-  ac.capacity = std::numeric_limits<Bytes>::max();
+  // The live executor runs in host memory; total_capacity (when set)
+  // models the device memory the paper's admission path guards, and the
+  // per-client quota applies on top.
+  ac.capacity = config.total_capacity > 0 ? config.total_capacity
+                                          : std::numeric_limits<Bytes>::max();
   ac.per_client_quota = config.per_client_quota;
   return ac;
+}
+
+/// Nanoseconds for a millisecond config knob (SimTime is ns).
+SimTime to_ns(std::chrono::milliseconds ms) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(ms).count();
 }
 
 }  // namespace
@@ -122,6 +134,7 @@ Status RtServer::start() {
     ec.workers = config_.workers;
     ec.oversubscribe = config_.shard_oversubscribe;
     ec.tracer = &obs_.tracer();
+    ec.fault = config_.fault;
     engine_ = std::make_unique<exec::ExecEngine>(ec);
   } else {
     pool_ = std::make_unique<ThreadPool>(
@@ -185,6 +198,13 @@ void RtServer::export_obs() {
   set("rt.syscalls_saved", stats_.syscalls_saved.load());
   set("rt.spin_wakeups", stats_.spin_wakeups.load());
   set("rt.doorbell_blocks", stats_.doorbell_blocks.load());
+  set("rt.leases_expired", stats_.leases_expired.load());
+  set("rt.clients_reclaimed", stats_.clients_reclaimed.load());
+  set("rt.reclaimed_bytes", stats_.reclaimed_bytes.load());
+  set("rt.backpressure", stats_.backpressure.load());
+  set("rt.denials", stats_.denials.load());
+  set("rt.duplicates_absorbed", stats_.duplicates_absorbed.load());
+  set("rt.responses_dropped", stats_.responses_dropped.load());
   // Legacy bucket i counted wakeup depths in [2^i, 2^(i+1)); histogram
   // bucket i counts samples <= bounds[i], so bound i = 2^(i+1) - 1 maps
   // the buckets one-to-one (the overflow bucket is the legacy "128+").
@@ -223,6 +243,7 @@ void RtServer::export_obs() {
   set("sched.quanta_granted", ss.quanta_granted);
   set("sched.rotations", ss.rotations);
   set("sched.aging_promotions", ss.aging_promotions);
+  set("sched.failures", ss.failures);
   reg.gauge("sched.mean_wait_ms")->set(ss.mean_wait() * 1e3);
   reg.gauge("sched.p95_wait_ms")->set(ss.wait_percentile(0.95) * 1e3);
   const sched::AdmissionStats& as = admission_->stats();
@@ -231,6 +252,7 @@ void RtServer::export_obs() {
   set("admission.backpressured", as.backpressured);
   set("admission.evictions", as.evictions);
   set("obs.spans_dropped", obs_.tracer().dropped());
+  if (config_.fault != nullptr) config_.fault->export_metrics(reg);
 }
 
 bool RtServer::ring_request_pending() {
@@ -304,6 +326,7 @@ void RtServer::serve_loop() {
     }
     if (shutdown) break;
     drain_completions();
+    check_leases();
     pump();
     if (handled > 0) continue;  // stay hot while requests keep arriving
     // Idle. Bound the park so time-based policies (quantum expiry,
@@ -366,15 +389,132 @@ void RtServer::respond(ClientState& client, RtAck ack) {
   const ipc::TransportKind kind = client.lane != nullptr
                                       ? client.lane->kind()
                                       : ipc::TransportKind::kMessageQueue;
-  const RtResponse response{ack, static_cast<std::int32_t>(kind)};
+  RtResponse response;
+  response.ack = ack;
+  response.transport = static_cast<std::int32_t>(kind);
+  response.seq = client.last_seq;
+  send_response(client, response);
+}
+
+void RtServer::send_response(ClientState& client, const RtResponse& response) {
+  // Record before sending: a duplicate of this request replays exactly
+  // this answer, whether or not the send below reaches the client.
+  client.last_response = response;
+  client.has_last_response = true;
+  if (config_.fault != nullptr) {
+    if (const fault::Decision d =
+            config_.fault->on(fault::Point::kServerRespond)) {
+      if (d.action == fault::Action::kDrop) return;  // lost response
+      if (d.delay.count() > 0) std::this_thread::sleep_for(d.delay);
+    }
+  }
   const Status st = client.lane != nullptr ? client.lane->send(response)
                                            : client.resp.send(response);
   if (!st.ok()) {
-    VGPU_ERROR("rt server: response send failed: " << st.to_string());
+    if (st.code() == ErrorCode::kUnavailable) {
+      // Full queue/ring: the client is likely dead and no longer draining.
+      // Never block the serve loop on it; the lease sweep reclaims it.
+      stats_.responses_dropped.fetch_add(1);
+    } else {
+      VGPU_ERROR("rt server: response send failed: " << st.to_string());
+    }
   }
 }
 
+void RtServer::check_leases() {
+  const SimTime now = rt_now();
+  if (now - last_lease_check_ < to_ns(config_.lease_check_interval)) return;
+  last_lease_check_ = now;
+  const SimTime lease_ns = to_ns(config_.lease_timeout);
+  const SimTime linger_ns = to_ns(config_.release_linger);
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    ClientState& client = it->second;
+    if (client.released) {
+      // Normal RLS: quota and scheduler state already returned; the entry
+      // lingered only to answer duplicate RLS retries.
+      if (now - client.released_at >= linger_ns) {
+        it = reclaim(it);
+      } else {
+        ++it;
+      }
+      continue;
+    }
+    if (!client.doomed && lease_ns > 0) {
+      bool dead = false;
+      if (client.pid > 0 && ::kill(client.pid, 0) != 0 && errno == ESRCH) {
+        dead = true;  // the client process is gone
+      } else if (!client.str_pending &&
+                 client.job_done->load(std::memory_order_acquire) &&
+                 now - client.last_seen > lease_ns) {
+        // Silent past the deadline with nothing queued or running. A
+        // client whose STR is queued or whose job is executing is exempt:
+        // it is legitimately idle at the barrier, not dead.
+        dead = true;
+      }
+      if (dead) expire_lease(client, now);
+    }
+    if (client.doomed && client.job_done->load(std::memory_order_acquire)) {
+      // The in-flight job (if any) has drained; nothing references the
+      // vsm mapping or staging buffers any more.
+      it = reclaim(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+void RtServer::expire_lease(ClientState& client, SimTime now) {
+  VGPU_WARN("rt server: lease expired for client "
+            << client.id << (client.pid > 0 ? " (pid probe)" : "")
+            << "; reclaiming");
+  // Dequeue first: a pending STR leaves the scheduler here, and for the
+  // barrier policy the cohort width shrinks so the survivors' flush
+  // proceeds without the dead member.
+  scheduler_->on_failure(client.id, now);
+  if (client.admitted_bytes > 0) {
+    admitted_total_ -= client.admitted_bytes;
+    stats_.reclaimed_bytes.fetch_add(client.admitted_bytes);
+    client.admitted_bytes = 0;
+  }
+  backpressure_counts_.erase(client.id);
+  stats_.leases_expired.fetch_add(1);
+  if (obs_.tracer().enabled()) {
+    // The silent window itself is the span: last heartbeat -> expiry.
+    obs_.tracer().record(obs::Phase::kLeaseExpiry, client.id, client.pid,
+                         client.last_seen, now);
+  }
+  client.str_pending = false;
+  client.doomed = true;
+}
+
+std::map<int, RtServer::ClientState>::iterator RtServer::reclaim(
+    std::map<int, ClientState>::iterator it) {
+  ClientState& client = it->second;
+  if (client.lane != nullptr &&
+      client.lane->kind() == ipc::TransportKind::kShmRing) {
+    --ring_lanes_;
+  }
+  if (!client.released) {
+    // Crashed client: unlink the kernel names it can no longer clean up.
+    // The server's own mappings stay valid until the handles close; a
+    // released client unlinks its own names, so skip those (a fresh
+    // incarnation may already have recreated them).
+    const std::string suffix = std::to_string(client.id);
+    ipc::SharedMemory::unlink(config_.prefix + "_vsm" + suffix);
+    ipc::MessageQueueBase::unlink(config_.prefix + "_resp" + suffix);
+    stats_.clients_reclaimed.fetch_add(1);
+  }
+  return clients_.erase(it);
+}
+
 void RtServer::handle(const RtRequest& request) {
+  if (config_.fault != nullptr) {
+    if (const fault::Decision d =
+            config_.fault->on(fault::Point::kServerHandle)) {
+      if (d.action == fault::Action::kDrop) return;  // lost control message
+      if (d.delay.count() > 0) std::this_thread::sleep_for(d.delay);
+    }
+  }
   if (request.op == RtOp::kReq) {
     handle_req(request);
     return;
@@ -385,6 +525,23 @@ void RtServer::handle(const RtRequest& request) {
     return;
   }
   ClientState& client = it->second;
+  client.last_seen = rt_now();
+  // At-least-once delivery: a repeat of the last seq is a client retry
+  // after a lost response — replay the recorded answer instead of running
+  // the verb's side effects twice. Anything older is a stale duplicate.
+  if (request.seq != 0 && client.last_seq != 0) {
+    if (request.seq == client.last_seq) {
+      if (client.has_last_response) {
+        stats_.duplicates_absorbed.fetch_add(1);
+        send_response(client, client.last_response);
+      }
+      return;
+    }
+    if (request.seq < client.last_seq) return;
+  }
+  if (client.released) return;  // lingering entry: replays only
+  client.last_seq = request.seq;
+  client.has_last_response = false;
   switch (request.op) {
     case RtOp::kSnd: {
       if (config_.data_plane == DataPlane::kStaged &&
@@ -405,6 +562,13 @@ void RtServer::handle(const RtRequest& request) {
       break;
     }
     case RtOp::kStr: {
+      if (client.str_pending ||
+          !client.job_done->load(std::memory_order_acquire)) {
+        // Duplicate STR (pre-seq client, or delivery raced the grant ack)
+        // while one is already queued or running: the grant/completion
+        // path answers both. Re-enqueueing would corrupt the scheduler.
+        break;
+      }
       client.str_pending = true;
       client.str_begin = obs_.tracer().begin_span();
       scheduler_->enqueue(request.client, rt_now());
@@ -442,12 +606,16 @@ void RtServer::handle(const RtRequest& request) {
     }
     case RtOp::kRls: {
       respond(client, RtAck::kAck);
-      if (client.lane != nullptr &&
-          client.lane->kind() == ipc::TransportKind::kShmRing) {
-        --ring_lanes_;
-      }
-      clients_.erase(it);
       scheduler_->on_release(request.client, rt_now());
+      if (client.admitted_bytes > 0) {
+        admitted_total_ -= client.admitted_bytes;
+        client.admitted_bytes = 0;
+      }
+      backpressure_counts_.erase(request.client);
+      // The entry lingers (release_linger) so a duplicate RLS retry gets
+      // its replay; check_leases() garbage-collects it.
+      client.released = true;
+      client.released_at = rt_now();
       break;
     }
     case RtOp::kReq:
@@ -462,6 +630,8 @@ void RtServer::handle_req(const RtRequest& request) {
   const SimTime adm_begin = obs_.tracer().begin_span();
   ClientState client;
   client.id = request.client;
+  client.pid = request.pid;
+  client.last_seq = request.seq;
   const std::string suffix = std::to_string(request.client);
   auto resp = ipc::MessageQueue<RtResponse>::open(config_.prefix + "_resp" +
                                                   suffix);
@@ -472,18 +642,64 @@ void RtServer::handle_req(const RtRequest& request) {
   }
   client.resp = std::move(*resp);
 
-  // Admission: enforce the per-client quota before binding any resources.
-  const auto decision = admission_->admit(request.bytes_in + request.bytes_out,
-                                          std::numeric_limits<Bytes>::max(),
-                                          {});
-  if (decision.action != sched::AdmitAction::kAdmit) {
-    VGPU_ERROR("rt server: denied client " << request.client
-                                           << " (over device-memory quota)");
+  // Re-attach while the previous incarnation's job is still executing:
+  // that job references the old vsm mapping and staging buffers, so the
+  // registration cannot be replaced yet. Ask the client to back off.
+  if (auto busy = clients_.find(request.client);
+      busy != clients_.end() &&
+      !busy->second.job_done->load(std::memory_order_acquire)) {
+    respond(client, RtAck::kWait);
+    obs_.tracer().end_span(adm_begin, obs::Phase::kAdmission, request.client,
+                           request.kernel_id);
+    return;
+  }
+
+  // Fault: a device-memory allocation failure at binding time.
+  if (config_.fault != nullptr &&
+      config_.fault->should_fail(fault::Point::kDeviceAlloc)) {
+    VGPU_WARN("rt server: injected allocation failure for client "
+              << request.client);
     respond(client, RtAck::kError);
     obs_.tracer().end_span(adm_begin, obs::Phase::kAdmission, request.client,
                            request.kernel_id);
     return;
   }
+
+  // Admission: per-client quota plus (when configured) the shared
+  // capacity already charged to registered clients. A transient shortfall
+  // answers kWait — the client backs off and re-attaches — and sustained
+  // overload degrades to a firm DENIED so the client stops burning
+  // retries on a server that cannot take it.
+  const Bytes ask = request.bytes_in + request.bytes_out;
+  const Bytes capacity = config_.total_capacity > 0
+                             ? config_.total_capacity
+                             : std::numeric_limits<Bytes>::max();
+  const Bytes charged = std::min(capacity, admitted_total_);
+  const auto decision = admission_->admit(ask, capacity - charged, {});
+  if (decision.action != sched::AdmitAction::kAdmit) {
+    bool deny = decision.action != sched::AdmitAction::kRetry;
+    if (!deny) {
+      stats_.backpressure.fetch_add(1);
+      int& strikes = backpressure_counts_[request.client];
+      if (config_.deny_after_backpressure > 0 &&
+          ++strikes >= config_.deny_after_backpressure) {
+        deny = true;
+      }
+    }
+    if (deny) {
+      VGPU_WARN("rt server: denied client " << request.client
+                                            << " (admission)");
+      backpressure_counts_.erase(request.client);
+      stats_.denials.fetch_add(1);
+      respond(client, RtAck::kError);
+    } else {
+      respond(client, RtAck::kWait);
+    }
+    obs_.tracer().end_span(adm_begin, obs::Phase::kAdmission, request.client,
+                           request.kernel_id);
+    return;
+  }
+  backpressure_counts_.erase(request.client);
 
   // The vsm layout is a pure function of the *advertised* capabilities, so
   // both sides compute it from the REQ message alone.
@@ -535,16 +751,27 @@ void RtServer::handle_req(const RtRequest& request) {
     }
   }
 
-  // A client may re-REQ after a crash/reconnect; retire the stale
-  // registration before admitting the new one.
+  // A client may re-REQ after a crash/reconnect (the idempotent re-attach
+  // the retry layer depends on); retire the stale registration before
+  // admitting the new one. on_failure (not on_release): the stale
+  // incarnation may have died with a STR still queued.
   auto stale = clients_.find(request.client);
   if (stale != clients_.end()) {
     if (stale->second.lane != nullptr &&
         stale->second.lane->kind() == ipc::TransportKind::kShmRing) {
       --ring_lanes_;
     }
-    scheduler_->on_release(request.client, rt_now());
+    if (!stale->second.released && !stale->second.doomed) {
+      scheduler_->on_failure(request.client, rt_now());
+    }
+    if (stale->second.admitted_bytes > 0) {
+      admitted_total_ -= stale->second.admitted_bytes;
+      stale->second.admitted_bytes = 0;
+    }
   }
+  client.last_seen = rt_now();
+  client.admitted_bytes = ask;
+  admitted_total_ += ask;
   sched::ClientRequest sreq;
   sreq.client = request.client;
   sreq.bytes_in = request.bytes_in;
@@ -570,7 +797,12 @@ void RtServer::handle_req(const RtRequest& request) {
   }
   // The REQ handshake always answers on the response queue — the client
   // only switches to the negotiated transport after reading this ack.
-  const RtResponse ack{RtAck::kAck, static_cast<std::int32_t>(selected)};
+  RtResponse ack;
+  ack.ack = RtAck::kAck;
+  ack.transport = static_cast<std::int32_t>(selected);
+  ack.seq = request.seq;
+  placed.last_response = ack;
+  placed.has_last_response = true;
   const Status st = placed.resp.send(ack);
   if (!st.ok()) {
     VGPU_ERROR("rt server: response send failed: " << st.to_string());

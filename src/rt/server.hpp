@@ -40,6 +40,10 @@
 #include "sched/admission.hpp"
 #include "sched/scheduler.hpp"
 
+namespace vgpu::fault {
+class Injector;
+}
+
 namespace vgpu::rt {
 
 /// How job data crosses the client/server boundary.
@@ -107,6 +111,30 @@ struct RtServerConfig {
   /// and ring sizing. The metrics registry is always on; stop() exports
   /// every legacy counter into it (see docs/observability.md).
   obs::ObsConfig obs;
+  /// Lease: a registered client whose process is gone (pid probe), or that
+  /// stays silent for this long while nothing of its is queued or running,
+  /// is declared dead and fully reclaimed (vsm, rings, queues, quota,
+  /// scheduler state — the barrier wave releases for the survivors).
+  /// Zero disables client-death detection entirely.
+  std::chrono::milliseconds lease_timeout{5000};
+  /// How often the serve loop sweeps leases (and the pid probes run).
+  std::chrono::milliseconds lease_check_interval{50};
+  /// Released clients linger this long before their state is dropped, so
+  /// a duplicate RLS (retry after a lost ack) still gets its replay.
+  std::chrono::milliseconds release_linger{100};
+  /// Admission capacity across all registered clients (bytes_in +
+  /// bytes_out summed); 0 = unlimited. When new work does not fit, REQ
+  /// answers kWait (backpressure: the client backs off and re-attaches).
+  Bytes total_capacity = 0;
+  /// After this many consecutive kWait answers to the same client id, the
+  /// server degrades to DENIED (kError) instead of stringing the client
+  /// along — graceful degradation under sustained overload. 0 disables.
+  int deny_after_backpressure = 16;
+  /// Optional fault injector (not owned; must outlive the server). Drives
+  /// the server-side points (server.handle, server.respond, device.alloc)
+  /// and is forwarded to the exec engine (exec.shard). Null (the default)
+  /// costs one pointer compare per hook.
+  fault::Injector* fault = nullptr;
 };
 
 struct RtServerStats {
@@ -135,6 +163,20 @@ struct RtServerStats {
   /// Kernel jobs that raised an exception (surfaced to the client as an
   /// RtAck::kError at STP instead of terminating the server).
   std::atomic<long> jobs_failed{0};
+  /// Client leases expired (pid probe or silent deadline).
+  std::atomic<long> leases_expired{0};
+  /// Dead clients fully reclaimed (segments, queues, quota, scheduler).
+  std::atomic<long> clients_reclaimed{0};
+  /// Admitted quota bytes returned by reclamation.
+  std::atomic<long> reclaimed_bytes{0};
+  /// REQ answered kWait (admission backpressure under memory pressure).
+  std::atomic<long> backpressure{0};
+  /// REQ answered kError after sustained backpressure (DENIED).
+  std::atomic<long> denials{0};
+  /// Repeated-seq requests absorbed by replaying the recorded response.
+  std::atomic<long> duplicates_absorbed{0};
+  /// Responses dropped on a full (likely dead) client queue or ring.
+  std::atomic<long> responses_dropped{0};
   /// Histogram of requests handled per serve-loop wakeup; bucket i counts
   /// wakeups that drained a batch of depth in [2^i, 2^(i+1)).
   static constexpr int kBatchBuckets = 8;  // 1,2-3,4-7,...,128+
@@ -210,6 +252,27 @@ class RtServer {
     /// Set by the job when the kernel threw; STP answers kError.
     std::shared_ptr<std::atomic<bool>> job_failed =
         std::make_shared<std::atomic<bool>>(false);
+    /// Lease bookkeeping. `pid` is the client's process id from REQ (0 for
+    /// in-process clients: no liveness probe). `last_seen` is the tracer-
+    /// clock time of the client's last control message.
+    int pid = 0;
+    SimTime last_seen = 0;
+    /// Lease expired; resources are reclaimed once the in-flight job (if
+    /// any) drains — the job still references vsm and the staging buffers.
+    bool doomed = false;
+    /// RLS handled; state lingers for release_linger so duplicate RLS
+    /// retries get their replay instead of "unknown client".
+    bool released = false;
+    SimTime released_at = 0;
+    /// At-least-once RPC: highest request seq seen and the response it
+    /// got. A repeat of last_seq replays last_response verbatim (the
+    /// request side effects must not run twice); seq 0 opts out.
+    std::int64_t last_seq = 0;
+    RtResponse last_response{};
+    bool has_last_response = false;
+    /// Quota charged against total_capacity at admission (returned on
+    /// release or reclamation).
+    Bytes admitted_bytes = 0;
 
     std::span<std::byte> input_area() {
       return vsm.bytes().subspan(data_offset,
@@ -247,6 +310,22 @@ class RtServer {
   /// thread only).
   void drain_completions();
   void respond(ClientState& client, RtAck ack);
+  /// Records the response for duplicate replay, applies the
+  /// server.respond fault point, and sends without ever blocking the
+  /// serve loop (a full dead-client queue counts responses_dropped).
+  void send_response(ClientState& client, const RtResponse& response);
+  /// Lease sweep (rate-limited by lease_check_interval): pid probes,
+  /// silent-deadline expiry, deferred reclamation of doomed clients whose
+  /// jobs drained, and garbage collection of lingering released clients.
+  void check_leases();
+  /// Declares a client dead: dequeues it from the scheduler (releasing
+  /// the barrier wave for survivors), records the kLeaseExpiry span, and
+  /// marks it doomed for reclamation.
+  void expire_lease(ClientState& client, SimTime now);
+  /// Tears down one client's resources: ring lane, quota bytes, and the
+  /// orphaned P_vsm / P_resp names. Returns the next map iterator.
+  std::map<int, ClientState>::iterator reclaim(
+      std::map<int, ClientState>::iterator it);
   /// True when any ring lane holds an unread request.
   bool ring_request_pending();
   /// Monotonic nanoseconds since server start — the scheduler's clock.
@@ -261,6 +340,9 @@ class RtServer {
   ipc::SharedMemory door_shm_;  // serve-loop doorbell (P_door)
   std::map<int, ClientState> clients_;
   int ring_lanes_ = 0;  // clients negotiated onto the ring transport
+  Bytes admitted_total_ = 0;     // quota charged across live clients
+  SimTime last_lease_check_ = 0;
+  std::map<int, int> backpressure_counts_;  // consecutive kWait per client
   std::vector<RtRequest> ring_batch_;  // drain_requests scratch
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::unique_ptr<sched::AdmissionController> admission_;

@@ -11,9 +11,20 @@ namespace vgpu::sched {
 // BarrierCoFlush
 // ---------------------------------------------------------------------------
 
+void BarrierCoFlush::do_admit(Client&, SimTime) {
+  // A new member (typically the crashed rank re-attaching) restores one
+  // unit of discounted width.
+  if (failures_ > 0) --failures_;
+}
+
+void BarrierCoFlush::do_failure(int client, SimTime now) {
+  do_release(client, now);
+  ++failures_;
+}
+
 std::vector<int> BarrierCoFlush::do_pick(SimTime) {
   if (clients_.empty()) return {};
-  int width = config_.barrier_width;
+  int width = config_.barrier_width - failures_;
   if (config_.dynamic_width) {
     width = std::min(width, static_cast<int>(clients_.size()));
   }

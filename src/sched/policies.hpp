@@ -13,14 +13,29 @@ namespace vgpu::sched {
 /// are pending, then dispatch the whole cohort at once, ordered by the
 /// configured FlushOrder. Width 1 degenerates to immediate per-STR
 /// dispatch (the GVM's historical `use_barriers=false` ablation).
+///
+/// Failure semantics: each on_failure() shrinks the effective width by one
+/// (floored at 1), so a wave that lost a member to a crash still releases
+/// for the survivors; a subsequent admission (the crashed rank
+/// re-attaching, or a replacement) restores the width. This keeps the
+/// strict SPMD default — unlike dynamic_width it only reacts to observed
+/// deaths, never to clients that merely have not arrived yet.
 class BarrierCoFlush : public Scheduler {
  public:
   explicit BarrierCoFlush(SchedulerConfig config)
       : Scheduler(std::move(config)) {}
   const char* name() const override { return "barrier"; }
 
+  /// Test hook: dead members currently discounted from the barrier width.
+  int failures() const { return failures_; }
+
  protected:
+  void do_admit(Client& client, SimTime now) override;
+  void do_failure(int client, SimTime now) override;
   std::vector<int> do_pick(SimTime now) override;
+
+ private:
+  int failures_ = 0;
 };
 
 /// nvshare-style exclusive windows: one client owns the device for up to

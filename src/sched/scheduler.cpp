@@ -82,6 +82,19 @@ void Scheduler::on_release(int client, SimTime now) {
   ++stats_.released;
 }
 
+void Scheduler::on_failure(int client, SimTime now) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  // Unlike on_release, a pending round is legal here: the client died
+  // before its STR could be granted. Drop it so do_pick never grants a
+  // ghost. An already-granted in-flight round is left alone — the job
+  // completes server-side and its on_complete balances in_flight_.
+  it->second.pending = false;
+  do_failure(client, now);
+  clients_.erase(it);
+  ++stats_.failures;
+}
+
 void Scheduler::enqueue(int client, SimTime now) {
   Client* c = find(client);
   VGPU_ASSERT_MSG(c != nullptr, "enqueue from unadmitted client");
@@ -138,6 +151,9 @@ double Scheduler::round_cost(const Client& client) const {
 
 void Scheduler::do_admit(Client&, SimTime) {}
 void Scheduler::do_release(int, SimTime) {}
+void Scheduler::do_failure(int client, SimTime now) {
+  do_release(client, now);
+}
 void Scheduler::do_enqueue(Client&, SimTime) {}
 void Scheduler::do_complete(int, SimTime) {}
 void Scheduler::on_granted(Client&, SimTime) {}

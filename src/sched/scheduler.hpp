@@ -16,6 +16,11 @@
 //   pick_next(now)         -> ordered batch of clients to dispatch now
 //   on_complete(client)    a dispatched round finished (stream drained)
 //   on_release(client)     client deregistered (RLS)
+//   on_failure(client)     client died (lease expiry / crash): any pending
+//                          round is dropped and the client is deregistered;
+//                          unlike on_release this is legal mid-round, and
+//                          BarrierCoFlush shrinks its effective width so
+//                          the surviving cohort's wave still releases
 //   next_wakeup(now)       absolute time to poll pick_next() again even if
 //                          no event arrives (time-quantum expiry); callers
 //                          arm a timer when this is finite
@@ -93,6 +98,7 @@ struct SchedulerConfig {
 struct SchedStats {
   long admitted = 0;
   long released = 0;
+  long failures = 0;          // on_failure() removals (dead clients)
   long enqueued = 0;
   long grants = 0;            // rounds dispatched
   long batches = 0;           // non-empty pick_next() results
@@ -117,6 +123,10 @@ class Scheduler {
 
   void admit(const ClientRequest& request, SimTime now);
   void on_release(int client, SimTime now);
+  /// Removes a dead client. Tolerates any state (pending round, never
+  /// enqueued, already gone); an in-flight round stays counted until its
+  /// on_complete arrives (the device-side work finishes regardless).
+  void on_failure(int client, SimTime now);
   void enqueue(int client, SimTime now);
   /// Ordered batch of clients whose pending round should be dispatched
   /// now; empty when the policy wants to hold. Grant bookkeeping (wait
@@ -151,6 +161,9 @@ class Scheduler {
   // Policy hooks.
   virtual void do_admit(Client& client, SimTime now);
   virtual void do_release(int client, SimTime now);
+  /// Failure hook; the default forwards to do_release (queue scrubbing is
+  /// the same), policies override to add failure-specific bookkeeping.
+  virtual void do_failure(int client, SimTime now);
   virtual void do_enqueue(Client& client, SimTime now);
   virtual std::vector<int> do_pick(SimTime now) = 0;
   virtual void do_complete(int client, SimTime now);

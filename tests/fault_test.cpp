@@ -1,0 +1,346 @@
+// Unit tests for the deterministic fault-injection layer: plan parsing and
+// replay determinism, the injection-point registry, the disabled-mode
+// zero-cost contract, the transport decorator, and the device-model
+// allocation hook.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/transport_fault.hpp"
+#include "gpu/memory.hpp"
+#include "obs/metrics.hpp"
+
+namespace vgpu::fault {
+namespace {
+
+FaultPlan must_parse(const std::string& spec) {
+  auto plan = FaultPlan::parse(spec);
+  EXPECT_TRUE(plan.ok()) << spec << ": " << plan.status().to_string();
+  return plan.ok() ? *plan : FaultPlan{};
+}
+
+/// Full decision schedule of one point for `n` occurrences.
+std::vector<Action> schedule(const FaultPlan& plan, Point point, long n) {
+  std::vector<Action> actions;
+  for (long i = 0; i < n; ++i) actions.push_back(plan.decide(point, i).action);
+  return actions;
+}
+
+TEST(FaultPlan, SameSeedYieldsIdenticalSchedule) {
+  const std::string spec = "seed=42,drop@ctrl.send:p=0.3,kill@client.after_snd:p=0.1";
+  const FaultPlan a = must_parse(spec);
+  const FaultPlan b = must_parse(spec);
+  for (const Point point : all_points()) {
+    EXPECT_EQ(schedule(a, point, 500), schedule(b, point, 500))
+        << point_name(point);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsYieldDifferentSchedules) {
+  const FaultPlan a = must_parse("seed=1,drop@ctrl.send:p=0.5");
+  const FaultPlan b = must_parse("seed=2,drop@ctrl.send:p=0.5");
+  EXPECT_NE(schedule(a, Point::kCtrlSend, 500),
+            schedule(b, Point::kCtrlSend, 500));
+}
+
+TEST(FaultPlan, DecisionIsPureAcrossEvaluationOrder) {
+  // decide(point, k) must not depend on which occurrences were evaluated
+  // before it — the property that makes schedules interleaving-proof.
+  const FaultPlan plan = must_parse("seed=7,delay@exec.shard:p=0.4:delay_us=3");
+  const std::vector<Action> forward = schedule(plan, Point::kExecShard, 200);
+  std::vector<Action> backward(200);
+  for (long i = 199; i >= 0; --i) {
+    backward[static_cast<std::size_t>(i)] =
+        plan.decide(Point::kExecShard, i).action;
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(FaultPlan, SpecRoundTripsThroughToString) {
+  const std::string spec =
+      "seed=42,kill@client.after_snd,drop@ctrl.send:p=0.5:after=2:limit=1,"
+      "stall@exec.shard:delay_us=500";
+  const FaultPlan plan = must_parse(spec);
+  EXPECT_EQ(plan.to_string(), spec);
+  // And the rendered spec parses back to the same schedule.
+  const FaultPlan reparsed = must_parse(plan.to_string());
+  for (const Point point : all_points()) {
+    EXPECT_EQ(schedule(plan, point, 100), schedule(reparsed, point, 100));
+  }
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::parse("seed=x").ok());
+  EXPECT_FALSE(FaultPlan::parse("drop").ok());
+  EXPECT_FALSE(FaultPlan::parse("teleport@ctrl.send").ok());
+  EXPECT_FALSE(FaultPlan::parse("none@ctrl.send").ok());
+  EXPECT_FALSE(FaultPlan::parse("drop@nowhere").ok());
+  EXPECT_FALSE(FaultPlan::parse("drop@ctrl.send:p=1.5").ok());
+  EXPECT_FALSE(FaultPlan::parse("drop@ctrl.send:p=-0.1").ok());
+  EXPECT_FALSE(FaultPlan::parse("drop@ctrl.send:volume=11").ok());
+  EXPECT_FALSE(FaultPlan::parse("drop@ctrl.send,").ok());
+  for (const auto& bad : {"seed=x", "drop@nowhere"}) {
+    EXPECT_EQ(FaultPlan::parse(bad).status().code(),
+              ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(FaultPlan, EmptySpecParsesToEmptyPlan) {
+  const FaultPlan plan = must_parse("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.decide(Point::kCtrlSend, 0));
+}
+
+TEST(FaultPlan, PointRegistryRoundTrips) {
+  const std::vector<Point> points = all_points();
+  ASSERT_EQ(points.size(), static_cast<std::size_t>(kPointCount));
+  for (const Point point : points) {
+    Point parsed = Point::kCount;
+    EXPECT_TRUE(parse_point(point_name(point), &parsed)) << point_name(point);
+    EXPECT_EQ(parsed, point);
+  }
+  Point out = Point::kCtrlSend;
+  EXPECT_FALSE(parse_point("no.such.point", &out));
+}
+
+TEST(FaultPlan, ActionNamesRoundTrip) {
+  for (int i = 0; i < kActionCount; ++i) {
+    const auto action = static_cast<Action>(i);
+    Action parsed = Action::kCount;
+    EXPECT_TRUE(parse_action(action_name(action), &parsed));
+    EXPECT_EQ(parsed, action);
+  }
+  Action out = Action::kNone;
+  EXPECT_FALSE(parse_action("explode", &out));
+}
+
+TEST(FaultPlan, ProbabilityZeroNeverFiresAndOneAlwaysFires) {
+  const FaultPlan never = must_parse("seed=3,drop@ctrl.send:p=0");
+  const FaultPlan always = must_parse("seed=3,drop@ctrl.send:p=1");
+  for (long i = 0; i < 200; ++i) {
+    EXPECT_FALSE(never.decide(Point::kCtrlSend, i));
+    EXPECT_EQ(always.decide(Point::kCtrlSend, i).action, Action::kDrop);
+  }
+}
+
+TEST(FaultPlan, FractionalProbabilityFiresProportionally) {
+  const FaultPlan plan = must_parse("seed=11,drop@ctrl.send:p=0.25");
+  long fired = 0;
+  const long n = 4000;
+  for (long i = 0; i < n; ++i) {
+    if (plan.decide(Point::kCtrlSend, i)) ++fired;
+  }
+  EXPECT_GT(fired, n / 8);      // well above zero
+  EXPECT_LT(fired, n * 3 / 8);  // well below half
+}
+
+TEST(FaultPlan, AfterAndLimitBoundTheWindow) {
+  const FaultPlan plan = must_parse("seed=0,kill@client.after_snd:after=2:limit=3");
+  for (long i = 0; i < 10; ++i) {
+    const bool inside = i >= 2 && i < 5;
+    EXPECT_EQ(static_cast<bool>(plan.decide(Point::kClientAfterSnd, i)),
+              inside)
+        << "occurrence " << i;
+  }
+}
+
+TEST(FaultPlan, FirstMatchingRuleWins) {
+  FaultPlan plan = must_parse("seed=0,delay@ctrl.send:limit=1:delay_us=7,drop@ctrl.send");
+  EXPECT_EQ(plan.decide(Point::kCtrlSend, 0).action, Action::kDelay);
+  EXPECT_EQ(plan.decide(Point::kCtrlSend, 0).delay.count(), 7);
+  EXPECT_EQ(plan.decide(Point::kCtrlSend, 1).action, Action::kDrop);
+}
+
+TEST(FaultInjector, DisabledInjectorIsInertAndCountsNothing) {
+  Injector injector;  // default: disabled
+  EXPECT_FALSE(injector.enabled());
+  for (const Point point : all_points()) {
+    EXPECT_FALSE(injector.on(point));
+    EXPECT_FALSE(injector.should_fail(point));
+    injector.maybe_stall(point);
+    injector.maybe_kill(point);  // must NOT raise
+  }
+  for (const Point point : all_points()) {
+    EXPECT_EQ(injector.occurrences(point), 0) << point_name(point);
+  }
+  for (int a = 0; a < kActionCount; ++a) {
+    EXPECT_EQ(injector.fired(static_cast<Action>(a)), 0);
+  }
+}
+
+TEST(FaultInjector, EmptyPlanInjectorStaysDisabled) {
+  Injector injector{FaultPlan{/*seed=*/99}};
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.on(Point::kCtrlSend));
+  EXPECT_EQ(injector.occurrences(Point::kCtrlSend), 0);
+}
+
+TEST(FaultInjector, CountsOccurrencesAndFiredActions) {
+  Injector injector{must_parse("seed=5,drop@ctrl.send:limit=2")};
+  ASSERT_TRUE(injector.enabled());
+  for (int i = 0; i < 6; ++i) (void)injector.on(Point::kCtrlSend);
+  (void)injector.on(Point::kCtrlRecv);
+  EXPECT_EQ(injector.occurrences(Point::kCtrlSend), 6);
+  EXPECT_EQ(injector.occurrences(Point::kCtrlRecv), 1);
+  EXPECT_EQ(injector.fired(Action::kDrop), 2);  // limit=2
+  EXPECT_EQ(injector.fired(Action::kKill), 0);
+}
+
+TEST(FaultInjector, ShouldFailFollowsThePlanWindow) {
+  Injector injector{must_parse("seed=5,fail@device.alloc:after=1:limit=1")};
+  EXPECT_FALSE(injector.should_fail(Point::kDeviceAlloc));  // occurrence 0
+  EXPECT_TRUE(injector.should_fail(Point::kDeviceAlloc));   // occurrence 1
+  EXPECT_FALSE(injector.should_fail(Point::kDeviceAlloc));  // occurrence 2
+}
+
+TEST(FaultInjector, MaybeStallSleepsThroughTheVerdict) {
+  Injector injector{must_parse("seed=5,stall@exec.shard:limit=1:delay_us=2000")};
+  const auto t0 = std::chrono::steady_clock::now();
+  injector.maybe_stall(Point::kExecShard);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::microseconds(2000));
+  EXPECT_EQ(injector.fired(Action::kStall), 1);
+}
+
+TEST(FaultInjector, ConcurrentOccurrenceDrawsNeverLoseCounts) {
+  Injector injector{must_parse("seed=5,drop@ctrl.send:p=0.5")};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) (void)injector.on(Point::kCtrlSend);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(injector.occurrences(Point::kCtrlSend), kThreads * kPerThread);
+}
+
+TEST(FaultInjector, ExportMetricsPublishesCounters) {
+  Injector injector{must_parse("seed=5,drop@ctrl.send:limit=1")};
+  (void)injector.on(Point::kCtrlSend);
+  (void)injector.on(Point::kCtrlSend);
+  obs::Registry registry;
+  injector.export_metrics(registry);
+  const obs::Counter* occurrences =
+      registry.find_counter("fault.occurrences.ctrl.send");
+  ASSERT_NE(occurrences, nullptr);
+  EXPECT_EQ(occurrences->value(), 2);
+  const obs::Counter* fired = registry.find_counter("fault.fired.drop");
+  ASSERT_NE(fired, nullptr);
+  EXPECT_EQ(fired->value(), 1);
+}
+
+TEST(FaultInjector, MaybeKillKillsAForkedChild) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    Injector injector{FaultPlan::parse("seed=0,kill@client.after_snd").value()};
+    injector.maybe_kill(Point::kClientAfterSnd);
+    ::_exit(0);  // unreachable when the kill fires
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+TEST(DeviceMemory, FailHookFailsAllocationsOnDemand) {
+  gpu::DeviceMemoryAllocator allocator(1 * kMiB);
+  Injector injector{must_parse("seed=0,fail@device.alloc:after=1:limit=1")};
+  allocator.set_fail_hook(
+      [&] { return injector.should_fail(Point::kDeviceAlloc); });
+  EXPECT_TRUE(allocator.allocate(1024).ok());  // occurrence 0: passes
+  const auto failed = allocator.allocate(1024);
+  EXPECT_FALSE(failed.ok());  // occurrence 1: injected failure
+  EXPECT_EQ(failed.status().code(), ErrorCode::kOutOfMemory);
+  EXPECT_TRUE(allocator.allocate(1024).ok());  // occurrence 2: passes again
+  EXPECT_EQ(allocator.live_allocations(), 2u);
+}
+
+/// In-memory ClientTransport so the decorator is testable without IPC.
+struct FakeTransport final : ipc::ClientTransport<int, int> {
+  std::vector<int> sent;
+  std::deque<int> responses;
+
+  ipc::TransportKind kind() const override {
+    return ipc::TransportKind::kMessageQueue;
+  }
+  Status send(const int& request) override {
+    sent.push_back(request);
+    return Status::Ok();
+  }
+  StatusOr<int> receive(std::chrono::milliseconds) override {
+    if (responses.empty()) return Unavailable("empty");
+    const int value = responses.front();
+    responses.pop_front();
+    return value;
+  }
+};
+
+TEST(FaultTransport, PassthroughWithoutInjector) {
+  auto fake = std::make_unique<FakeTransport>();
+  FakeTransport* inner = fake.get();
+  FaultyClientTransport<int, int> transport(std::move(fake), nullptr);
+  EXPECT_EQ(transport.kind(), ipc::TransportKind::kMessageQueue);
+  ASSERT_TRUE(transport.send(7).ok());
+  EXPECT_EQ(inner->sent, std::vector<int>({7}));
+  inner->responses.push_back(9);
+  auto got = transport.receive(std::chrono::milliseconds(1));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 9);
+}
+
+TEST(FaultTransport, DropSwallowsTheSend) {
+  Injector injector{must_parse("seed=0,drop@ctrl.send:limit=1")};
+  auto fake = std::make_unique<FakeTransport>();
+  FakeTransport* inner = fake.get();
+  FaultyClientTransport<int, int> transport(std::move(fake), &injector);
+  ASSERT_TRUE(transport.send(1).ok());  // dropped: reported Ok, never sent
+  ASSERT_TRUE(transport.send(2).ok());
+  EXPECT_EQ(inner->sent, std::vector<int>({2}));
+  EXPECT_EQ(injector.fired(Action::kDrop), 1);
+}
+
+TEST(FaultTransport, DuplicateSendsTwice) {
+  Injector injector{must_parse("seed=0,dup@ctrl.send:limit=1")};
+  auto fake = std::make_unique<FakeTransport>();
+  FakeTransport* inner = fake.get();
+  FaultyClientTransport<int, int> transport(std::move(fake), &injector);
+  ASSERT_TRUE(transport.send(5).ok());
+  EXPECT_EQ(inner->sent, std::vector<int>({5, 5}));
+}
+
+TEST(FaultTransport, RecvDropSwallowsOneResponse) {
+  Injector injector{must_parse("seed=0,drop@ctrl.recv:limit=1")};
+  auto fake = std::make_unique<FakeTransport>();
+  FakeTransport* inner = fake.get();
+  FaultyClientTransport<int, int> transport(std::move(fake), &injector);
+  inner->responses = {10, 11};
+  auto got = transport.receive(std::chrono::milliseconds(1));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 11);  // 10 was swallowed by the injected drop
+}
+
+TEST(FaultTransport, DelaySleepsThenDelivers) {
+  Injector injector{must_parse("seed=0,delay@ctrl.send:limit=1:delay_us=1500")};
+  auto fake = std::make_unique<FakeTransport>();
+  FakeTransport* inner = fake.get();
+  FaultyClientTransport<int, int> transport(std::move(fake), &injector);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(transport.send(3).ok());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::microseconds(1500));
+  EXPECT_EQ(inner->sent, std::vector<int>({3}));
+}
+
+}  // namespace
+}  // namespace vgpu::fault

@@ -472,6 +472,108 @@ TEST(Admission, PlanEvictionOnlyNamesVictimsWhenShort) {
             std::vector<int>{0});
 }
 
+// ---------------------------------------------------------------------------
+// Failure handling (on_failure: dead clients leaving the scheduler)
+// ---------------------------------------------------------------------------
+
+TEST(FailurePath, BarrierShrinksWidthSoSurvivorsFlush) {
+  SchedulerConfig config;
+  config.policy = Policy::kBarrierCoFlush;
+  config.barrier_width = 3;
+  auto sched = Scheduler::make(config);
+  for (int c = 0; c < 3; ++c) sched->admit(request(c, kMiB), 0);
+  sched->enqueue(0, 10);
+  sched->enqueue(1, 20);
+  ASSERT_TRUE(sched->pick_next(30).empty());  // waiting for client 2's STR
+  // Client 2 dies before it could STR: the effective width drops to 2 and
+  // the survivors' wave releases without it.
+  sched->on_failure(2, 40);
+  EXPECT_EQ(sched->pick_next(50), (std::vector<int>{0, 1}));
+  EXPECT_EQ(sched->stats().failures, 1);
+}
+
+TEST(FailurePath, BarrierDropsTheDeadClientsPendingRound) {
+  SchedulerConfig config;
+  config.policy = Policy::kBarrierCoFlush;
+  config.barrier_width = 2;
+  auto sched = Scheduler::make(config);
+  sched->admit(request(0, kMiB), 0);
+  sched->admit(request(1, kMiB), 0);
+  sched->enqueue(0, 10);
+  sched->enqueue(1, 20);
+  // Client 1 dies with its STR already queued: the pending round must be
+  // dropped (never granted as a ghost) and the survivor still flushes.
+  sched->on_failure(1, 30);
+  EXPECT_EQ(sched->pick_next(40), std::vector<int>{0});
+  EXPECT_TRUE(sched->pick_next(50).empty());
+}
+
+TEST(FailurePath, BarrierReattachRestoresTheWidth) {
+  SchedulerConfig config;
+  config.policy = Policy::kBarrierCoFlush;
+  config.barrier_width = 2;
+  auto sched = Scheduler::make(config);
+  sched->admit(request(0, kMiB), 0);
+  sched->admit(request(1, kMiB), 0);
+  sched->on_failure(1, 10);
+  // A re-attach (the crashed client's new incarnation) cancels the width
+  // shrink: one pending STR alone must hold again.
+  sched->admit(request(1, kMiB), 20);
+  sched->enqueue(0, 30);
+  EXPECT_TRUE(sched->pick_next(40).empty());
+  sched->enqueue(1, 50);
+  EXPECT_EQ(sched->pick_next(60), (std::vector<int>{0, 1}));
+}
+
+TEST(FailurePath, UnknownClientFailureIsANoOp) {
+  SchedulerConfig config;
+  config.policy = Policy::kBarrierCoFlush;
+  config.barrier_width = 2;
+  auto sched = Scheduler::make(config);
+  sched->admit(request(0, kMiB), 0);
+  sched->on_failure(7, 10);  // never admitted
+  EXPECT_EQ(sched->stats().failures, 0);
+  sched->admit(request(1, kMiB), 20);
+  sched->enqueue(0, 30);
+  sched->enqueue(1, 40);
+  EXPECT_EQ(sched->pick_next(50), (std::vector<int>{0, 1}));
+}
+
+TEST(FailurePath, TimeQuantumDeadHolderFreesTheDevice) {
+  auto sched = Scheduler::make(tq_config());
+  sched->admit(request(0, kMiB), 0);
+  sched->admit(request(1, kMiB), 0);
+  sched->enqueue(0, 0);
+  ASSERT_EQ(sched->pick_next(0), std::vector<int>{0});
+  sched->on_complete(0, milliseconds(1.0));
+  sched->enqueue(1, milliseconds(1.0));
+  // Holder 0 dies mid-window: the waiter must take over without riding
+  // out the rest of the 30 ms quantum.
+  sched->on_failure(0, milliseconds(2.0));
+  EXPECT_EQ(sched->pick_next(milliseconds(3.0)), std::vector<int>{1});
+  EXPECT_EQ(sched->stats().failures, 1);
+}
+
+TEST(FailurePath, FairShareForgetsTheDeadFlow) {
+  SchedulerConfig config;
+  config.policy = Policy::kFairShare;
+  auto sched = Scheduler::make(config);
+  sched->admit(request(0, kMiB), 0);
+  sched->admit(request(1, kMiB), 0);
+  sched->enqueue(0, 0);
+  sched->on_failure(0, 1);  // dies with a pending round
+  sched->enqueue(1, 2);
+  // Only the surviving flow is ever granted, however often we ask.
+  for (SimTime now = 3; now < 6; ++now) {
+    for (int id : sched->pick_next(now)) {
+      EXPECT_EQ(id, 1);
+      sched->on_complete(id, now);
+      sched->enqueue(id, now);
+    }
+  }
+  EXPECT_EQ(sched->stats().failures, 1);
+}
+
 }  // namespace
 }  // namespace vgpu::sched
 

@@ -20,6 +20,12 @@
 // `--exec=serial|sharded` picks the kernel execution mode (sharded fans
 // each launch out over `--workers` via the src/exec engine and prints the
 // exec counter block: shards, steals, overlap bytes, per-worker shares).
+// `--fault-plan=<spec>` (live mode) arms deterministic fault injection on
+// both ends: the server consults the spec's server.* / exec.* / device.*
+// rules, every forked client rebuilds the same plan for its ctrl.* and
+// kill rules, and SIGKILLed clients count as expected chaos casualties
+// (the run reports leases expired and clients reclaimed). The spec
+// grammar and a replay how-to live in docs/fault.md.
 // `--metrics-json=<file>` dumps the obs registry; `--trace-out=<file>`
 // enables span tracing and writes a Chrome/Perfetto trace plus the
 // measured-vs-model residual report (docs/observability.md).
@@ -31,17 +37,21 @@
 //   vgpu-sim --workload=vecadd --mode=live --procs=4 --transport=shm
 //            --data-plane=zero_copy
 //   vgpu-sim --workload=mm --mode=live --procs=2 --exec=sharded --workers=4
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "baselines/baselines.hpp"
 #include "common/flags.hpp"
+#include "fault/fault.hpp"
 #include "gvm/experiment.hpp"
 #include "obs/obs.hpp"
 #include "obs/residuals.hpp"
@@ -168,9 +178,24 @@ LiveKernelPlan live_plan(const std::string& workload) {
 /// SND/STR/STP/RCV cycles, RLS. Exits 0 on success.
 int run_live_client(const std::string& prefix, int id,
                     const LiveKernelPlan& plan, int rounds,
-                    ipc::TransportKind transport) {
+                    ipc::TransportKind transport,
+                    const std::string& fault_spec) {
   rt::RtClientOptions options;
   options.transport = transport;
+  // Each forked client rebuilds the injector from the shared spec; the
+  // decision function is pure, so every process draws the same schedule.
+  std::optional<fault::Injector> injector;
+  if (!fault_spec.empty()) {
+    auto fault_plan = fault::FaultPlan::parse(fault_spec);
+    if (!fault_plan.ok()) return 1;
+    injector.emplace(std::move(*fault_plan));
+    options.fault = &*injector;
+    // Retries must outpace the server's chaos lease (750 ms): a client
+    // whose sends are being swallowed has to look like a retrier, not a
+    // corpse, or the server expires it mid-backoff.
+    options.op_timeout = std::chrono::milliseconds(150);
+    options.max_retries = 8;
+  }
   auto client = rt::RtClient::connect(prefix, id, plan.bytes_in,
                                       plan.bytes_out, options);
   if (!client.ok()) return 1;
@@ -274,6 +299,17 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
     return 2;
   }
   const LiveKernelPlan plan = live_plan(workload_name);
+  const std::string fault_spec = flags.get_string("fault-plan", "");
+  std::optional<fault::Injector> server_faults;
+  if (!fault_spec.empty()) {
+    auto fault_plan = fault::FaultPlan::parse(fault_spec);
+    if (!fault_plan.ok()) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n",
+                   fault_plan.status().to_string().c_str());
+      return 2;
+    }
+    server_faults.emplace(std::move(*fault_plan));
+  }
 
   rt::RtServerConfig config;
   config.prefix = "/vgpu_live_" + std::to_string(::getpid());
@@ -291,6 +327,13 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
   const std::string trace_path = flags.get_string("trace-out", "");
   // Span tracing is opt-in: a trace file request (or --trace) turns it on.
   config.obs.tracing = !trace_path.empty() || flags.get_bool("trace");
+  if (server_faults.has_value()) {
+    config.fault = &*server_faults;
+    // Chaos runs lean on lease expiry to release the survivors' barrier
+    // when a kill rule fires; keep the detection latency demo-friendly.
+    config.lease_timeout = std::chrono::milliseconds(750);
+    config.lease_check_interval = std::chrono::milliseconds(20);
+  }
   rt::RtServer server(config, rt::builtin_registry());
   const Status st = server.start();
   if (!st.ok()) {
@@ -308,28 +351,66 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
       return 1;
     }
     if (pid == 0) {
-      ::_exit(run_live_client(config.prefix, c, plan, rounds, transport));
+      ::_exit(run_live_client(config.prefix, c, plan, rounds, transport,
+                              fault_spec));
     }
     children.push_back(pid);
   }
   bool ok = true;
+  int clients_killed = 0;
   for (const pid_t pid : children) {
     int status = 0;
-    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
+    if (::waitpid(pid, &status, 0) != pid) {
       ok = false;
+      continue;
     }
+    if (!fault_spec.empty() && WIFSIGNALED(status) &&
+        WTERMSIG(status) == SIGKILL) {
+      ++clients_killed;  // a kill rule fired: an expected chaos casualty
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ok = false;
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  if (clients_killed > 0) {
+    // Let the lease sweep detect and reclaim the chaos casualties before
+    // stop(), so the recovery counters below reflect the cleanup.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server.stats().clients_reclaimed.load() < clients_killed &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
   server.stop();
 
   std::printf("  %-10s %10.1f ms  [%s/%s, kernel %s]\n", "live", wall_ms,
               ipc::transport_name(transport), rt::data_plane_name(data_plane),
               plan.kernel);
   print_live_stats(server);
+  if (server_faults.has_value()) {
+    // Server-side injector counters (the forked clients' injectors die
+    // with their processes; their visible effect is clients_killed and the
+    // rt.* recovery counters above).
+    std::printf("  fault plan: %s\n",
+                server_faults->plan().to_string().c_str());
+    std::printf("  fault: %d client(s) killed;", clients_killed);
+    for (const fault::Point point : fault::all_points()) {
+      const long n = server_faults->occurrences(point);
+      if (n > 0) std::printf(" %s=%ld", fault::point_name(point), n);
+    }
+    std::printf("\n");
+    const obs::Counter* leases =
+        server.obs().metrics().find_counter("rt.leases_expired");
+    const obs::Counter* reclaimed =
+        server.obs().metrics().find_counter("rt.clients_reclaimed");
+    std::printf("  recovery: leases_expired %ld, clients_reclaimed %ld\n",
+                leases != nullptr ? leases->value() : 0L,
+                reclaimed != nullptr ? reclaimed->value() : 0L);
+  }
   const auto kernel_name = [](int id) {
     const std::string* name = rt::builtin_registry().name_of(id);
     return name != nullptr ? *name : "kernel " + std::to_string(id);
@@ -411,7 +492,7 @@ int main(int argc, char** argv) {
         "          [--transport=mq|shm] [--data-plane=staged|zero_copy]\n"
         "          [--exec=serial|sharded] [--workers=<N>]\n"
         "          [--metrics-json=<file>] [--trace-out=<file>]\n"
-        "          [--all-modes] [--model]\n",
+        "          [--fault-plan=<spec>] [--all-modes] [--model]\n",
         flags.program().c_str());
     return flags.positional().empty() && argc <= 1 ? 0 : 2;
   }
