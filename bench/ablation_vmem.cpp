@@ -1,0 +1,273 @@
+// vmem ablation: transparent memory oversubscription on the live path.
+//
+// Section 1 replays PR 1's 8:1 sharing scenario (8 clients on one device
+// whose aggregate footprint is ~2x device memory) through the pager
+// instead of whole-client admission evictions: every client must finish
+// and `vmem.evictions_whole_client` must stay 0 while the pager spills
+// cold pages to the host ledger.
+//
+// Section 2 is the thrash-vs-TQ sweep over the TimeQuantum window: a
+// quantum shorter than a job forces a rotation every round, so working
+// sets ping-pong through the ledger on each handoff; a quantum wide
+// enough for a client's burst gives it an exclusive window (nvshare's
+// anti-thrash design) and the residency hold keeps the window from being
+// released between rounds. Fair-share rides along as the interleaving
+// baseline.
+//
+// The default geometry is smoke-test sized; `--full` runs the CI shape
+// (512 MiB device, ~120 MB per client). `--metrics-json=<f>` dumps the
+// 8:1 run's registry and `--thrash-metrics-json=<f>` the fair-policy
+// thrash run's, for the bench-vmem CI job's jq gates.
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support.hpp"
+
+#include "common/flags.hpp"
+#include "rt/client.hpp"
+#include "rt/registry.hpp"
+#include "rt/server.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+struct Geometry {
+  long n = 0;           // vecadd element count per client
+  Bytes device = 0;     // modeled device memory
+  Bytes ledger = 0;     // host ledger bound
+  Bytes page = 0;       // page size
+  int clients = 8;
+  int rounds = 2;
+};
+
+Geometry smoke_geometry() {
+  Geometry g;
+  g.n = 262'144;  // 2 MiB in + 1 MiB out per client, 24 MiB aggregate
+  g.device = 8 * kMiB;
+  g.ledger = 64 * kMiB;
+  g.page = 64 * 1024;
+  return g;
+}
+
+Geometry full_geometry() {
+  Geometry g;
+  g.n = 10'000'000;  // ~80 MB in + ~40 MB out per client (PR 1's footprint)
+  g.device = 512 * kMiB;
+  g.ledger = 1024 * kMiB;
+  g.page = 2 * kMiB;
+  return g;
+}
+
+struct RunOutcome {
+  bool all_clients_ok = false;
+  double wall_ms = 0.0;
+  long faults = 0;
+  long page_ins = 0;
+  long page_outs = 0;
+  long clean_drops = 0;
+  long prefetch_issued = 0;
+  long prefetch_hits = 0;
+  long pin_shortfalls = 0;
+  long resident_holds = 0;
+  long whole_client_evictions = 0;
+};
+
+/// One client thread: connect, REQ, `rounds` full SND/STR/STP/RCV cycles,
+/// RLS. The zero-copy plane keeps RSS to one mapping per client.
+bool run_client(const std::string& prefix, int id, const Geometry& g) {
+  rt::RtClientOptions options;
+  auto client = rt::RtClient::connect(prefix, id, 2 * g.n * 4, g.n * 4,
+                                      options);
+  if (!client.ok()) return false;
+  auto kid = rt::builtin_registry().id_of("vecadd");
+  if (!kid.ok()) return false;
+  auto* in = reinterpret_cast<float*>(client->input().data());
+  for (long i = 0; i < 2 * g.n; ++i) in[i] = 0.5f * static_cast<float>(i % 16);
+  const std::int64_t params[4] = {g.n, 0, 0, 0};
+  if (!client->req(*kid, params).ok()) return false;
+  for (int round = 0; round < g.rounds; ++round) {
+    if (!client->snd().ok()) return false;
+    if (!client->str().ok()) return false;
+    if (!client->wait_done().ok()) return false;
+    if (!client->rcv().ok()) return false;
+  }
+  return client->rls().ok();
+}
+
+RunOutcome run_oversub(const Geometry& g, sched::Policy policy,
+                       SimDuration quantum, const char* tag,
+                       const std::string& metrics_json) {
+  rt::RtServerConfig config;
+  config.prefix = "/vgpu_avm_" + std::string(tag) + "_" +
+                  std::to_string(::getpid());
+  config.expected_clients = g.clients;
+  config.workers = 4;
+  config.sched.policy = policy;
+  config.sched.quantum = quantum;
+  config.sched.hysteresis = milliseconds(2.0);
+  config.data_plane = rt::DataPlane::kZeroCopy;
+  config.vmem.enabled = true;
+  config.vmem.page_size = g.page;
+  config.vmem.device_capacity = g.device;
+  config.vmem.host_ledger = g.ledger;
+  rt::RtServer server(config, rt::builtin_registry());
+  RunOutcome out;
+  if (!server.start().ok()) {
+    std::cout << "VIOLATION: live server failed to start\n";
+    return out;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::vector<char> ok(static_cast<std::size_t>(g.clients), 0);
+  for (int c = 0; c < g.clients; ++c) {
+    threads.emplace_back([&, c] {
+      ok[static_cast<std::size_t>(c)] =
+          run_client(config.prefix, c, g) ? 1 : 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  server.stop();
+  out.all_clients_ok = true;
+  for (const char c : ok) out.all_clients_ok = out.all_clients_ok && c != 0;
+  const obs::Registry& reg = server.obs().metrics();
+  const auto cnt = [&reg](const char* name) {
+    const obs::Counter* c = reg.find_counter(name);
+    return c != nullptr ? c->value() : 0L;
+  };
+  out.faults = cnt("vmem.faults");
+  out.page_ins = cnt("vmem.page_ins");
+  out.page_outs = cnt("vmem.page_outs");
+  out.clean_drops = cnt("vmem.clean_drops");
+  out.prefetch_issued = cnt("vmem.prefetch_issued");
+  out.prefetch_hits = cnt("vmem.prefetch_hits");
+  out.pin_shortfalls = cnt("vmem.pin_shortfalls");
+  out.resident_holds = cnt("sched.resident_holds");
+  out.whole_client_evictions = cnt("vmem.evictions_whole_client");
+  if (!metrics_json.empty()) {
+    const Status st = reg.write_json(metrics_json);
+    if (!st.ok()) {
+      std::cout << "VIOLATION: metrics write failed: " << st.to_string()
+                << "\n";
+      out.all_clients_ok = false;
+    }
+  }
+  return out;
+}
+
+std::string hit_rate(const RunOutcome& r) {
+  if (r.prefetch_issued == 0) return "-";
+  return TablePrinter::num(100.0 * static_cast<double>(r.prefetch_hits) /
+                           static_cast<double>(r.prefetch_issued)) +
+         "%";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool full = flags.get_bool("full");
+  Geometry g = full ? full_geometry() : smoke_geometry();
+  bool ok = true;
+
+  // ------------------------------------------------------------------
+  // Section 1: the 8:1 sharing scenario through the pager.
+  // ------------------------------------------------------------------
+  print_banner(std::cout, full ? "8:1 oversubscription, live pager "
+                                 "(512 MiB device, TQ policy)"
+                               : "8:1 oversubscription, live pager "
+                                 "(smoke geometry, TQ policy)");
+  const RunOutcome oversub =
+      run_oversub(g, sched::Policy::kTimeQuantum, milliseconds(20.0),
+                  "oversub", flags.get_string("metrics-json", ""));
+  TablePrinter table({"clients", "wall (ms)", "faults", "page-ins",
+                      "page-outs", "prefetch hit", "shortfalls",
+                      "whole-client evictions"});
+  table.add_row({std::to_string(g.clients), TablePrinter::num(oversub.wall_ms),
+                 std::to_string(oversub.faults),
+                 std::to_string(oversub.page_ins),
+                 std::to_string(oversub.page_outs), hit_rate(oversub),
+                 std::to_string(oversub.pin_shortfalls),
+                 std::to_string(oversub.whole_client_evictions)});
+  bench::emit(table, "ablation_vmem");
+  if (!oversub.all_clients_ok) {
+    std::cout << "VIOLATION: a client failed in the oversubscribed run\n";
+    ok = false;
+  }
+  if (oversub.whole_client_evictions != 0) {
+    std::cout << "VIOLATION: the pager must complete the 8:1 scenario with "
+                 "zero whole-client evictions\n";
+    ok = false;
+  }
+  if (oversub.faults == 0) {
+    std::cout << "VIOLATION: the pager never faulted — vmem was not on the "
+                 "grant path\n";
+    ok = false;
+  }
+
+  // ------------------------------------------------------------------
+  // Section 2: thrash (fair round-robin) vs TimeQuantum anti-thrash.
+  // Interleaved grants ping-pong working sets through the ledger; TQ's
+  // residency hold keeps a resident client on the device for its window,
+  // so it pages out strictly less.
+  // ------------------------------------------------------------------
+  print_banner(std::cout, "Thrash sweep: TQ quantum (rotation-per-round vs "
+                          "exclusive window) + fair baseline");
+  g.rounds = 3;
+  // Shorter than one job: every round pays a working-set migration.
+  const SimDuration thrash_q = milliseconds(full ? 10.0 : 0.5);
+  // Wider than a client's whole burst: one migration per client, and the
+  // residency hold bridges the idle gaps between its rounds.
+  const SimDuration wide_q = milliseconds(full ? 5000.0 : 200.0);
+  const RunOutcome tq_short =
+      run_oversub(g, sched::Policy::kTimeQuantum, thrash_q, "tqs",
+                  flags.get_string("thrash-metrics-json", ""));
+  const RunOutcome tq_wide =
+      run_oversub(g, sched::Policy::kTimeQuantum, wide_q, "tqw", "");
+  const RunOutcome fair = run_oversub(g, sched::Policy::kFairShare,
+                                      milliseconds(20.0), "fair", "");
+  TablePrinter thrash({"policy", "wall (ms)", "page-outs", "page-ins",
+                       "clean drops", "prefetch hit", "resident holds",
+                       "whole-client evictions"});
+  for (const auto& [name, r] :
+       {std::pair<const char*, const RunOutcome&>{"tq-short (thrash)",
+                                                  tq_short},
+        std::pair<const char*, const RunOutcome&>{"tq-wide (exclusive)",
+                                                  tq_wide},
+        std::pair<const char*, const RunOutcome&>{"fair", fair}}) {
+    thrash.add_row({name, TablePrinter::num(r.wall_ms),
+                    std::to_string(r.page_outs), std::to_string(r.page_ins),
+                    std::to_string(r.clean_drops), hit_rate(r),
+                    std::to_string(r.resident_holds),
+                    std::to_string(r.whole_client_evictions)});
+  }
+  bench::emit(thrash, "ablation_vmem_thrash");
+  if (!tq_short.all_clients_ok || !tq_wide.all_clients_ok ||
+      !fair.all_clients_ok) {
+    std::cout << "VIOLATION: a client failed in the thrash sweep\n";
+    ok = false;
+  }
+  if (tq_short.whole_client_evictions != 0 ||
+      tq_wide.whole_client_evictions != 0 ||
+      fair.whole_client_evictions != 0) {
+    std::cout << "VIOLATION: whole-client evictions in the thrash sweep\n";
+    ok = false;
+  }
+  if (tq_wide.page_outs > tq_short.page_outs) {
+    std::cout << "VIOLATION: an exclusive TQ window should page out no "
+                 "more than rotation-per-round\n";
+    ok = false;
+  }
+  std::cout << "\npage-outs: tq-short=" << tq_short.page_outs
+            << "  tq-wide=" << tq_wide.page_outs << "  fair="
+            << fair.page_outs << "  (the exclusive window keeps the "
+            << "resident working set on-device)\n";
+  return ok ? 0 : 1;
+}

@@ -29,6 +29,7 @@ constexpr PointEntry kPointTable[] = {
     {Point::kServerRespond, "server.respond"},
     {Point::kExecShard, "exec.shard"},
     {Point::kDeviceAlloc, "device.alloc"},
+    {Point::kVmemPageIn, "vmem.pagein"},
 };
 static_assert(sizeof(kPointTable) / sizeof(kPointTable[0]) ==
                   static_cast<std::size_t>(kPointCount),

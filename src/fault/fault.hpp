@@ -46,6 +46,7 @@ enum class Point : std::int32_t {
   kServerRespond,   // serve-loop response send
   kExecShard,       // exec::ExecEngine shard body
   kDeviceAlloc,     // device-model memory allocation
+  kVmemPageIn,      // pager page-in (frame fill / ledger restore)
   kCount,
 };
 

@@ -32,6 +32,7 @@ StatusOr<DevPtr> DeviceMemoryAllocator::allocate(Bytes size) {
       }
       allocated_.emplace(addr, need);
       used_ += need;
+      if (used_ > high_water_) high_water_ = used_;
       return addr;
     }
   }
@@ -66,6 +67,21 @@ Status DeviceMemoryAllocator::free(DevPtr ptr) {
   }
   free_.emplace(addr, size);
   return Status::Ok();
+}
+
+Bytes DeviceMemoryAllocator::largest_free_extent() const {
+  Bytes largest = 0;
+  for (const auto& [addr, size] : free_) {
+    if (size > largest) largest = size;
+  }
+  return largest;
+}
+
+double DeviceMemoryAllocator::fragmentation() const {
+  const Bytes avail = available();
+  if (avail <= 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_extent()) /
+                   static_cast<double>(avail);
 }
 
 StatusOr<Bytes> DeviceMemoryAllocator::allocation_size(DevPtr ptr) const {

@@ -48,12 +48,21 @@ class DeviceMemoryAllocator {
   Bytes capacity() const { return capacity_; }
   Bytes used() const { return used_; }
   Bytes available() const { return capacity_ - used_; }
+  /// Highest `used()` ever observed (obs gauge: gpu.mem.high_water).
+  Bytes high_water() const { return high_water_; }
   std::size_t live_allocations() const { return allocated_.size(); }
   std::size_t free_extents() const { return free_.size(); }
+  /// Largest single free extent; the biggest allocation that can succeed
+  /// right now regardless of total free bytes.
+  Bytes largest_free_extent() const;
+  /// External fragmentation in [0, 1]: 1 - largest_free_extent/available.
+  /// 0 when the free space is one extent (or there is none).
+  double fragmentation() const;
 
  private:
   Bytes capacity_;
   Bytes used_ = 0;
+  Bytes high_water_ = 0;
   std::function<bool()> fail_hook_;    // fault injection; empty = disabled
   std::map<DevPtr, Bytes> free_;       // addr -> extent size
   std::map<DevPtr, Bytes> allocated_;  // addr -> allocation size
@@ -74,9 +83,15 @@ class PinnedHostLedger {
     used_ += size;
     return Status::Ok();
   }
-  void release(Bytes size) {
-    VGPU_ASSERT(size >= 0 && size <= used_);
+  /// Returns a reservation. Status-uniform like reserve(): a mismatched
+  /// release reports kInvalidArgument instead of aborting, so the live
+  /// path (client teardown after a crash) can log and continue.
+  Status release(Bytes size) {
+    if (size < 0 || size > used_) {
+      return InvalidArgument("pinned release exceeds reservations");
+    }
     used_ -= size;
+    return Status::Ok();
   }
 
   Bytes used() const { return used_; }

@@ -28,6 +28,10 @@ const char* phase_name(Phase phase) {
       return "verb";
     case Phase::kLeaseExpiry:
       return "lease_expiry";
+    case Phase::kPageIn:
+      return "page_in";
+    case Phase::kPageOut:
+      return "page_out";
     case Phase::kCount:
       break;
   }
@@ -55,6 +59,9 @@ const char* phase_category(Phase phase) {
       return "exec";
     case Phase::kClientVerb:
       return "client";
+    case Phase::kPageIn:
+    case Phase::kPageOut:
+      return "vmem";
     case Phase::kCount:
       break;
   }

@@ -49,6 +49,8 @@ enum class Phase : std::uint8_t {
   kShard,          // one engine shard (aux = block count)
   kClientVerb,     // client-observed verb round trip (aux = RtOp)
   kLeaseExpiry,    // silent window that expired a client lease (aux = pid)
+  kPageIn,         // vmem pager working-set fill (aux = pages filled)
+  kPageOut,        // vmem pager eviction spill (aux = pages spilled)
   kCount,
 };
 

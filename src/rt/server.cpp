@@ -35,6 +35,19 @@ sched::AdmissionConfig admission_config(const RtServerConfig& config) {
   // per-client quota applies on top.
   ac.capacity = config.total_capacity > 0 ? config.total_capacity
                                           : std::numeric_limits<Bytes>::max();
+  if (config.vmem.enabled) {
+    // Paged mode: admission guards the *virtual* budget (device + host
+    // ledger) and bounds any single working set by the physical device;
+    // memory pressure inside that envelope is the pager's problem, so no
+    // client is ever denied or whole-client evicted for it.
+    const Bytes device = config.vmem.device_capacity > 0
+                             ? config.vmem.device_capacity
+                             : config.total_capacity;
+    ac.paged = true;
+    ac.pin_limit = device;
+    ac.capacity = device > 0 ? device + config.vmem.host_ledger
+                             : std::numeric_limits<Bytes>::max();
+  }
   ac.per_client_quota = config.per_client_quota;
   return ac;
 }
@@ -115,6 +128,19 @@ SimTime RtServer::rt_now() const {
       .count();
 }
 
+Bytes RtServer::device_capacity() const {
+  return config_.vmem.device_capacity > 0 ? config_.vmem.device_capacity
+                                          : config_.total_capacity;
+}
+
+Bytes RtServer::admission_capacity() const {
+  if (config_.vmem.enabled && device_capacity() > 0) {
+    return device_capacity() + config_.vmem.host_ledger;
+  }
+  return config_.total_capacity > 0 ? config_.total_capacity
+                                    : std::numeric_limits<Bytes>::max();
+}
+
 RtServer::~RtServer() { stop(); }
 
 Status RtServer::start() {
@@ -145,6 +171,19 @@ Status RtServer::start() {
           stats_.jobs_failed.fetch_add(1);
           VGPU_ERROR("rt server: worker job threw: " << what);
         });
+  }
+  if (config_.vmem.enabled) {
+    if (device_capacity() <= 0) {
+      return InvalidArgument(
+          "vmem requires a device size: set vmem.device_capacity or "
+          "total_capacity");
+    }
+    vmem::PagerConfig pc;
+    pc.page_size = config_.vmem.page_size;
+    pc.device_capacity = device_capacity();
+    pc.host_ledger_capacity = config_.vmem.host_ledger;
+    pc.prefetch_window = config_.vmem.prefetch_window;
+    pager_ = std::make_unique<vmem::Pager>(pc, config_.fault, &obs_.tracer());
   }
   start_time_ = std::chrono::steady_clock::now();
   // Span timestamps and scheduler timestamps share one zero point.
@@ -243,6 +282,7 @@ void RtServer::export_obs() {
   set("sched.quanta_granted", ss.quanta_granted);
   set("sched.rotations", ss.rotations);
   set("sched.aging_promotions", ss.aging_promotions);
+  set("sched.resident_holds", ss.resident_holds);
   set("sched.failures", ss.failures);
   reg.gauge("sched.mean_wait_ms")->set(ss.mean_wait() * 1e3);
   reg.gauge("sched.p95_wait_ms")->set(ss.wait_percentile(0.95) * 1e3);
@@ -251,6 +291,12 @@ void RtServer::export_obs() {
   set("admission.rejected", as.rejected);
   set("admission.backpressured", as.backpressured);
   set("admission.evictions", as.evictions);
+  if (pager_ != nullptr) {
+    // The oversubscription promise: paged admission never names victims,
+    // so anything nonzero here means a whole client lost its memory.
+    set("vmem.evictions_whole_client", as.evictions);
+    pager_->export_metrics(reg);
+  }
   set("obs.spans_dropped", obs_.tracer().dropped());
   if (config_.fault != nullptr) config_.fault->export_metrics(reg);
 }
@@ -382,7 +428,12 @@ void RtServer::drain_completions() {
     done.swap(completions_);
     pending_completions_.store(0, std::memory_order_release);
   }
-  for (int id : done) scheduler_->on_complete(id, rt_now());
+  for (int id : done) {
+    // The working set stays pinned for exactly the kernel's lifetime;
+    // after this the clock may spill it for the next grant's pins.
+    if (pager_ != nullptr) pager_->unpin(id);
+    scheduler_->on_complete(id, rt_now());
+  }
 }
 
 void RtServer::respond(ClientState& client, RtAck ack) {
@@ -463,6 +514,28 @@ void RtServer::check_leases() {
   }
 }
 
+void RtServer::return_quota(ClientState& client, bool count_reclaimed) {
+  if (client.admitted_bytes > 0) {
+    admitted_total_ -= client.admitted_bytes;
+    if (count_reclaimed) {
+      stats_.reclaimed_bytes.fetch_add(client.admitted_bytes);
+    }
+    client.admitted_bytes = 0;
+  }
+  backpressure_counts_.erase(client.id);
+  if (pager_ != nullptr && (client.alloc_in != 0 || client.alloc_out != 0)) {
+    // Page frames and ledger slots ride the same exit as the quota bytes:
+    // whichever path retired the client (RLS, lease expiry, or re-attach
+    // replacement) frees its memory for the survivors in one place.
+    // unpin tolerates a teardown mid-grant.
+    pager_->unpin(client.id);
+    (void)pager_->release_client(client.id);
+    client.alloc_in = 0;
+    client.alloc_out = 0;
+    scheduler_->set_residency(client.id, false);
+  }
+}
+
 void RtServer::expire_lease(ClientState& client, SimTime now) {
   VGPU_WARN("rt server: lease expired for client "
             << client.id << (client.pid > 0 ? " (pid probe)" : "")
@@ -471,12 +544,7 @@ void RtServer::expire_lease(ClientState& client, SimTime now) {
   // barrier policy the cohort width shrinks so the survivors' flush
   // proceeds without the dead member.
   scheduler_->on_failure(client.id, now);
-  if (client.admitted_bytes > 0) {
-    admitted_total_ -= client.admitted_bytes;
-    stats_.reclaimed_bytes.fetch_add(client.admitted_bytes);
-    client.admitted_bytes = 0;
-  }
-  backpressure_counts_.erase(client.id);
+  return_quota(client, /*count_reclaimed=*/true);
   stats_.leases_expired.fetch_add(1);
   if (obs_.tracer().enabled()) {
     // The silent window itself is the span: last heartbeat -> expiry.
@@ -544,6 +612,12 @@ void RtServer::handle(const RtRequest& request) {
   client.has_last_response = false;
   switch (request.op) {
     case RtOp::kSnd: {
+      if (pager_ != nullptr && client.alloc_in != 0) {
+        // The client rewrote its input area: write-allocate — any ledger
+        // copy of those pages is stale and must not be restored over the
+        // fresh bytes.
+        pager_->host_write(client.alloc_in);
+      }
       if (config_.data_plane == DataPlane::kStaged &&
           config_.exec == ExecMode::kSerial) {
         // Stage input: virtual shared memory -> private ("pinned") buffer.
@@ -586,6 +660,12 @@ void RtServer::handle(const RtRequest& request) {
         respond(client, RtAck::kError);
         break;
       }
+      if (pager_ != nullptr && client.alloc_out != 0) {
+        // The client reads its result next; make sure nothing the pager
+        // spilled (and the test-only scrub mode poisoned) is still stale.
+        (void)pager_->ensure_readable(client.alloc_out);
+        pager_->touch(client.alloc_out);
+      }
       if (config_.data_plane == DataPlane::kStaged &&
           config_.exec == ExecMode::kSerial) {
         // Result: staging buffer -> virtual shared memory (output area).
@@ -601,17 +681,17 @@ void RtServer::handle(const RtRequest& request) {
       break;
     }
     case RtOp::kRcv: {
+      if (pager_ != nullptr && client.alloc_out != 0) {
+        // Zero-copy clients read the vsm output area after this ack.
+        (void)pager_->ensure_readable(client.alloc_out);
+      }
       respond(client, RtAck::kAck);
       break;
     }
     case RtOp::kRls: {
       respond(client, RtAck::kAck);
       scheduler_->on_release(request.client, rt_now());
-      if (client.admitted_bytes > 0) {
-        admitted_total_ -= client.admitted_bytes;
-        client.admitted_bytes = 0;
-      }
-      backpressure_counts_.erase(request.client);
+      return_quota(client, /*count_reclaimed=*/false);
       // The entry lingers (release_linger) so a duplicate RLS retry gets
       // its replay; check_leases() garbage-collects it.
       client.released = true;
@@ -671,9 +751,7 @@ void RtServer::handle_req(const RtRequest& request) {
   // overload degrades to a firm DENIED so the client stops burning
   // retries on a server that cannot take it.
   const Bytes ask = request.bytes_in + request.bytes_out;
-  const Bytes capacity = config_.total_capacity > 0
-                             ? config_.total_capacity
-                             : std::numeric_limits<Bytes>::max();
+  const Bytes capacity = admission_capacity();
   const Bytes charged = std::min(capacity, admitted_total_);
   const auto decision = admission_->admit(ask, capacity - charged, {});
   if (decision.action != sched::AdmitAction::kAdmit) {
@@ -764,10 +842,7 @@ void RtServer::handle_req(const RtRequest& request) {
     if (!stale->second.released && !stale->second.doomed) {
       scheduler_->on_failure(request.client, rt_now());
     }
-    if (stale->second.admitted_bytes > 0) {
-      admitted_total_ -= stale->second.admitted_bytes;
-      stale->second.admitted_bytes = 0;
-    }
+    return_quota(stale->second, /*count_reclaimed=*/false);
   }
   client.last_seen = rt_now();
   client.admitted_bytes = ask;
@@ -783,6 +858,23 @@ void RtServer::handle_req(const RtRequest& request) {
       clients_.insert_or_assign(request.client, std::move(client));
   (void)inserted;
   ClientState& placed = it->second;
+  if (pager_ != nullptr) {
+    // Register the job's backing with the pager: the staging buffers in
+    // staged mode, the vsm data areas in zero-copy mode. Pages are born
+    // host-side; the grant path faults them in and pins them.
+    std::byte* in_base = config_.data_plane == DataPlane::kStaged
+                             ? placed.staging_in.data()
+                             : placed.input_area().data();
+    std::byte* out_base = config_.data_plane == DataPlane::kStaged
+                              ? placed.staging_out.data()
+                              : placed.output_area().data();
+    if (placed.bytes_in > 0) {
+      placed.alloc_in = pager_->bind(placed.id, in_base, placed.bytes_in);
+    }
+    if (placed.bytes_out > 0) {
+      placed.alloc_out = pager_->bind(placed.id, out_base, placed.bytes_out);
+    }
+  }
   ipc::TransportKind selected = ipc::TransportKind::kMessageQueue;
   if (use_ring) {
     placed.lane =
@@ -812,6 +904,7 @@ void RtServer::handle_req(const RtRequest& request) {
 }
 
 void RtServer::pump() {
+  bool pinned_any = false;
   for (;;) {
     const std::vector<int> batch = scheduler_->pick_next(rt_now());
     if (batch.empty()) break;
@@ -833,6 +926,16 @@ void RtServer::pump() {
                                state.kernel_id);
         barrier_begin = std::min(barrier_begin, state.str_begin);
         state.str_begin = obs::kSpanDisabled;
+      }
+      if (pager_ != nullptr) {
+        // Grant-time residency: fault and pin the working set before
+        // launch so the kernel never pages mid-run; cold pages of other
+        // clients spill to the host ledger to make room. A shortfall
+        // (ledger exhausted) still runs — backing bytes stay valid — and
+        // is counted, not deadlocked on.
+        const bool resident = pager_->pin_working_set(id);
+        scheduler_->set_residency(id, resident);
+        pinned_any = true;
       }
       jobs.push_back(make_job(id, state));
       granted.push_back(&state);
@@ -858,6 +961,17 @@ void RtServer::pump() {
       VGPU_ERROR("rt server: job submit failed: " << submitted.to_string());
     }
     for (ClientState* client : granted) respond(*client, RtAck::kAck);
+  }
+  if (pager_ != nullptr && pinned_any) {
+    // Pinning may have spilled pages of idle holders; refresh the
+    // scheduler's residency view so TimeQuantum's anti-thrash hold only
+    // protects working sets that are actually still on-device.
+    for (auto& [id, state] : clients_) {
+      if (!state.released && !state.doomed &&
+          (state.alloc_in != 0 || state.alloc_out != 0)) {
+        scheduler_->set_residency(id, pager_->working_set_resident(id));
+      }
+    }
   }
 }
 

@@ -39,6 +39,7 @@
 #include "rt/thread_pool.hpp"
 #include "sched/admission.hpp"
 #include "sched/scheduler.hpp"
+#include "vmem/pager.hpp"
 
 namespace vgpu::fault {
 class Injector;
@@ -132,9 +133,25 @@ struct RtServerConfig {
   int deny_after_backpressure = 16;
   /// Optional fault injector (not owned; must outlive the server). Drives
   /// the server-side points (server.handle, server.respond, device.alloc)
-  /// and is forwarded to the exec engine (exec.shard). Null (the default)
-  /// costs one pointer compare per hook.
+  /// and is forwarded to the exec engine (exec.shard) and the vmem pager
+  /// (vmem.pagein). Null (the default) costs one pointer compare per hook.
   fault::Injector* fault = nullptr;
+  /// Transparent memory oversubscription (src/vmem). When enabled,
+  /// admission runs in paged mode — clients are admitted up to the
+  /// *virtual* capacity (device + host ledger) and never denied or
+  /// whole-client evicted under memory pressure — and the grant path pins
+  /// each job's working set on the modeled device, spilling cold pages of
+  /// other clients to the host-RAM ledger (see docs/memory.md).
+  struct Vmem {
+    bool enabled = false;
+    Bytes page_size = 2 * kMiB;
+    /// Modeled device memory backing page frames; 0 = use total_capacity.
+    Bytes device_capacity = 0;
+    /// Host ledger bound for spilled pages.
+    Bytes host_ledger = 1024 * kMiB;
+    /// Sequential pages faulted ahead on a residency miss.
+    int prefetch_window = 4;
+  } vmem;
 };
 
 struct RtServerStats {
@@ -221,6 +238,9 @@ class RtServer {
   /// scheduler while running).
   const sched::Scheduler& scheduler() const { return *scheduler_; }
   const sched::AdmissionController& admission() const { return *admission_; }
+  /// The vmem pager; null unless config.vmem.enabled. Counters are safe
+  /// to read after stop() (the serve thread owns the pager while running).
+  const vmem::Pager* pager() const { return pager_.get(); }
   /// The observability hub: metrics registry (fully populated after
   /// stop(), via export_obs) and the span tracer.
   obs::Hub& obs() { return obs_; }
@@ -273,6 +293,10 @@ class RtServer {
     /// Quota charged against total_capacity at admission (returned on
     /// release or reclamation).
     Bytes admitted_bytes = 0;
+    /// vmem registrations (0 = unbound): input/output backing — staging
+    /// buffers in staged mode, the vsm data areas in zero-copy mode.
+    vmem::AllocId alloc_in = 0;
+    vmem::AllocId alloc_out = 0;
 
     std::span<std::byte> input_area() {
       return vsm.bytes().subspan(data_offset,
@@ -322,6 +346,17 @@ class RtServer {
   /// the barrier wave for survivors), records the kLeaseExpiry span, and
   /// marks it doomed for reclamation.
   void expire_lease(ClientState& client, SimTime now);
+  /// The single code path returning a client's bytes to the admission
+  /// ledger — RLS, lease expiry, and stale re-attach replacement all land
+  /// here — and, with the pager on, reclaiming its pages and ledger
+  /// slots. `count_reclaimed` adds the bytes to rt.reclaimed_bytes
+  /// (crash-path accounting; a clean RLS does not count).
+  void return_quota(ClientState& client, bool count_reclaimed);
+  /// Modeled device capacity backing the pager's frames.
+  Bytes device_capacity() const;
+  /// Admission budget: virtual (device + ledger) in vmem mode, else
+  /// total_capacity; "unlimited" when neither is configured.
+  Bytes admission_capacity() const;
   /// Tears down one client's resources: ring lane, quota bytes, and the
   /// orphaned P_vsm / P_resp names. Returns the next map iterator.
   std::map<int, ClientState>::iterator reclaim(
@@ -346,6 +381,7 @@ class RtServer {
   std::vector<RtRequest> ring_batch_;  // drain_requests scratch
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::unique_ptr<sched::AdmissionController> admission_;
+  std::unique_ptr<vmem::Pager> pager_;  // null unless config.vmem.enabled
   std::chrono::steady_clock::time_point start_time_;
   std::mutex completions_mutex_;
   std::vector<int> completions_;  // worker -> serve thread job completions

@@ -39,9 +39,24 @@ AdmitDecision AdmissionController::admit(Bytes bytes, Bytes device_free,
                                          std::vector<Victim> victims) {
   AdmitDecision decision;
   if (bytes > config_.capacity ||
-      (config_.per_client_quota > 0 && bytes > config_.per_client_quota)) {
+      (config_.per_client_quota > 0 && bytes > config_.per_client_quota) ||
+      (config_.paged && config_.pin_limit > 0 && bytes > config_.pin_limit)) {
     decision.action = AdmitAction::kReject;
     ++stats_.rejected;
+    return decision;
+  }
+  if (config_.paged) {
+    // Page-granular mode: `device_free` is the caller's remaining
+    // *virtual* budget (device + ledger). Whole-client eviction never
+    // happens — the pager spills cold pages instead — so the only
+    // outcomes are admit and (ledger exhausted) backpressure.
+    if (bytes <= device_free) {
+      decision.action = AdmitAction::kAdmit;
+      ++stats_.admitted;
+    } else {
+      decision.action = AdmitAction::kRetry;
+      ++stats_.backpressured;
+    }
     return decision;
   }
   if (bytes <= device_free) {

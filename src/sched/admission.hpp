@@ -26,6 +26,15 @@ struct AdmissionConfig {
   /// residents to host. Off: requests that do not currently fit are
   /// backpressured until residents release.
   bool oversubscribe = false;
+  /// Page-granular oversubscription (the vmem pager): `capacity` then
+  /// bounds *virtual* memory (device + host ledger) and admission never
+  /// names whole-client victims — cold pages spill instead. Takes
+  /// precedence over `oversubscribe`.
+  bool paged = false;
+  /// Paged mode: per-client working-set ceiling (the physical device); a
+  /// request larger than this could never be pinned and is rejected.
+  /// 0 = no ceiling.
+  Bytes pin_limit = 0;
 };
 
 enum class AdmitAction {

@@ -68,6 +68,7 @@ void TimeQuantum::take_ownership(int client, SimTime now) {
   holder_ = client;
   window_end_ = now + config_.quantum;
   last_activity_ = now;
+  resident_hold_counted_ = false;
   ++stats_.quanta_granted;
 }
 
@@ -84,6 +85,12 @@ void TimeQuantum::rotate(SimTime now) {
 }
 
 SimTime TimeQuantum::release_time() const {
+  // Anti-thrash (nvshare's TQ design): while the holder's working set is
+  // device-resident, an idle holder keeps its full window — rotating
+  // would page the set out only to page it back moments later. Once the
+  // pager has evicted it (or no pager runs), plain hysteresis applies.
+  const auto it = clients_.find(holder_);
+  if (it != clients_.end() && it->second.resident) return window_end_;
   return std::min(window_end_, last_activity_ + config_.hysteresis);
 }
 
@@ -114,7 +121,16 @@ std::vector<int> TimeQuantum::do_pick(SimTime now) {
   // Anti-thrash: give the idle holder a grace period to submit its next
   // round before ownership (and, under memory pressure, its working set)
   // moves. next_wakeup() re-polls us when the grace expires.
-  if (now < release_time()) return {};
+  if (now < release_time()) {
+    const SimTime plain_grace =
+        std::min(window_end_, last_activity_ + config_.hysteresis);
+    if (now >= plain_grace && !resident_hold_counted_) {
+      // Holding only because the working set is resident.
+      resident_hold_counted_ = true;
+      ++stats_.resident_holds;
+    }
+    return {};
+  }
   rotate(now);
   return {holder_};
 }

@@ -61,12 +61,15 @@ class TimeQuantum : public Scheduler {
   void take_ownership(int client, SimTime now);
   void rotate(SimTime now);
   /// When an idle holder loses the device: hysteresis after its last
-  /// activity, but never beyond its window.
+  /// activity, but never beyond its window — extended to the full window
+  /// while the holder's working set is resident (vmem anti-thrash: see
+  /// Scheduler::set_residency).
   SimTime release_time() const;
 
   int holder_ = -1;
   SimTime window_end_ = 0;
   SimTime last_activity_ = 0;
+  bool resident_hold_counted_ = false;  // one resident_holds per window
   std::deque<int> queue_;  // pending clients other than the holder, FCFS
 };
 

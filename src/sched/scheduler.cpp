@@ -122,6 +122,11 @@ std::vector<int> Scheduler::pick_next(SimTime now) {
   return batch;
 }
 
+void Scheduler::set_residency(int client, bool resident) {
+  Client* c = find(client);
+  if (c != nullptr) c->resident = resident;
+}
+
 void Scheduler::on_complete(int client, SimTime now) {
   VGPU_ASSERT_MSG(in_flight_ > 0, "completion with nothing in flight");
   --in_flight_;

@@ -104,6 +104,8 @@ struct SchedStats {
   long batches = 0;           // non-empty pick_next() results
   long quanta_granted = 0;    // TimeQuantum: exclusive windows opened
   long rotations = 0;         // TimeQuantum: ownership changes
+  long resident_holds = 0;    // TimeQuantum: idle holds extended because
+                              // the holder's working set was resident
   long aging_promotions = 0;  // PriorityAging: aged waiter beat base order
   /// Per-grant wait (enqueue -> grant), seconds. Source of the bench
   /// harness's wait-time percentiles.
@@ -134,6 +136,15 @@ class Scheduler {
   std::vector<int> pick_next(SimTime now);
   void on_complete(int client, SimTime now);
 
+  /// Residency hint from the memory layer (the vmem pager): true while
+  /// the client's working set is device-resident. Policies may use it for
+  /// anti-thrash decisions — TimeQuantum extends an idle resident
+  /// holder's grace to its full window, since rotating away from a
+  /// resident working set costs two PCIe sweeps under memory pressure.
+  /// Unknown clients are ignored; callers that never page (the DES GVM)
+  /// never call this and see identical behavior.
+  void set_residency(int client, bool resident);
+
   /// Absolute time at which pick_next() should be polled again even if no
   /// enqueue/complete event arrives; kTimeInfinity = event-driven only.
   virtual SimTime next_wakeup(SimTime now) const {
@@ -153,7 +164,8 @@ class Scheduler {
     ClientRequest request;
     SimTime enqueue_time = 0;
     bool pending = false;
-    double deficit = 0.0;  // FairShare scratch
+    bool resident = false;  // vmem residency hint (set_residency)
+    double deficit = 0.0;   // FairShare scratch
   };
 
   explicit Scheduler(SchedulerConfig config) : config_(std::move(config)) {}

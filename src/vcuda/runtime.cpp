@@ -222,12 +222,29 @@ StatusOr<DeviceBuffer> Context::malloc(Bytes size, bool backed) {
     buf.backing = std::make_shared<std::vector<std::byte>>(
         static_cast<std::size_t>(size));
   }
+  if (residency_ != nullptr) {
+    const vmem::AllocId id = residency_->bind(
+        static_cast<int>(ctx_), backed ? buf.backing->data() : nullptr,
+        size);
+    // A fresh cudaMalloc is on-device: born resident, not pinned.
+    for (vmem::Page& page : residency_->find(id)->pages) {
+      page.state = vmem::PageState::kResident;
+    }
+    bound_.emplace(buf.ptr, id);
+  }
   return buf;
 }
 
 Status Context::free(DeviceBuffer& buffer) {
   if (!buffer.valid()) return InvalidArgument("free of null device buffer");
   VGPU_RETURN_IF_ERROR(device_.free_device(ctx_, buffer.ptr));
+  if (residency_ != nullptr) {
+    auto it = bound_.find(buffer.ptr);
+    if (it != bound_.end()) {
+      (void)residency_->drop(it->second);
+      bound_.erase(it);
+    }
+  }
   buffer = DeviceBuffer{};
   return Status::Ok();
 }

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "des/sim.hpp"
 #include "des/sync.hpp"
 #include "gpu/device.hpp"
+#include "vmem/page_table.hpp"
 
 namespace vgpu::vcuda {
 
@@ -186,6 +188,15 @@ class Context {
   StatusOr<DeviceBuffer> malloc(Bytes size, bool backed = false);
   Status free(DeviceBuffer& buffer);
 
+  /// Attaches a vmem residency tracker: subsequent mallocs register their
+  /// bytes as pages (born resident — a fresh cudaMalloc is on-device) and
+  /// frees drop them, so DES-side allocations share the live pager's page
+  /// accounting. Null detaches; existing registrations are kept.
+  void attach_residency(vmem::PageTable* residency) {
+    residency_ = residency;
+  }
+  vmem::PageTable* residency() const { return residency_; }
+
   /// The context's default stream (stream 0).
   Stream& default_stream() { return *default_stream_; }
 
@@ -213,6 +224,8 @@ class Context {
   gpu::ContextId ctx_;
   std::unique_ptr<Stream> default_stream_;
   std::vector<std::unique_ptr<Stream>> streams_;
+  vmem::PageTable* residency_ = nullptr;        // optional, not owned
+  std::map<gpu::DevPtr, vmem::AllocId> bound_;  // malloc -> residency id
 };
 
 /// A page-locked host allocation (cudaHostAlloc). RAII: releases its
@@ -245,7 +258,9 @@ class PinnedBuffer {
       : ledger_(ledger), size_(size) {}
   void release() {
     if (ledger_ != nullptr) {
-      ledger_->release(size_);
+      // RAII teardown: a mismatch here means double release, which the
+      // move semantics above exclude; the status carries no information.
+      (void)ledger_->release(size_);
       ledger_ = nullptr;
       size_ = 0;
     }

@@ -1,0 +1,111 @@
+#include "vmem/page_table.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+
+namespace vgpu::vmem {
+
+const char* page_state_name(PageState state) {
+  switch (state) {
+    case PageState::kHost:
+      return "host";
+    case PageState::kInFlight:
+      return "in_flight";
+    case PageState::kResident:
+      return "resident";
+  }
+  return "?";
+}
+
+PageTable::PageTable(Bytes page_size) : page_size_(page_size) {
+  VGPU_ASSERT(page_size_ > 0);
+  VGPU_ASSERT(page_size_ % gpu::DeviceMemoryAllocator::kAlignment == 0);
+}
+
+std::size_t PageTable::page_count(Bytes size) const {
+  return static_cast<std::size_t>(ceil_div(size, page_size_));
+}
+
+AllocId PageTable::bind(int client, std::byte* base, Bytes size) {
+  VGPU_ASSERT(size > 0);
+  const AllocId id = next_id_++;
+  Allocation alloc;
+  alloc.id = id;
+  alloc.client = client;
+  alloc.base = base;
+  alloc.size = size;
+  alloc.pages.resize(page_count(size));
+  total_pages_ += alloc.pages.size();
+  allocs_.emplace(id, std::move(alloc));
+  by_client_[client].push_back(id);
+  return id;
+}
+
+Status PageTable::drop(AllocId id) {
+  auto it = allocs_.find(id);
+  if (it == allocs_.end()) return NotFound("vmem: unknown allocation");
+  for (const Page& page : it->second.pages) {
+    if (page.pin_count > 0) {
+      return InvalidArgument("vmem: dropping a pinned allocation");
+    }
+  }
+  auto by = by_client_.find(it->second.client);
+  if (by != by_client_.end()) {
+    std::erase(by->second, id);
+    if (by->second.empty()) by_client_.erase(by);
+  }
+  total_pages_ -= it->second.pages.size();
+  allocs_.erase(it);
+  return Status::Ok();
+}
+
+Allocation* PageTable::find(AllocId id) {
+  auto it = allocs_.find(id);
+  return it == allocs_.end() ? nullptr : &it->second;
+}
+
+const Allocation* PageTable::find(AllocId id) const {
+  auto it = allocs_.find(id);
+  return it == allocs_.end() ? nullptr : &it->second;
+}
+
+std::vector<AllocId> PageTable::client_allocs(int client) const {
+  auto it = by_client_.find(client);
+  return it == by_client_.end() ? std::vector<AllocId>{} : it->second;
+}
+
+std::pair<std::byte*, Bytes> PageTable::page_span(Allocation& alloc,
+                                                  std::size_t index) const {
+  const Bytes offset = static_cast<Bytes>(index) * page_size_;
+  const Bytes len = std::min(page_size_, alloc.size - offset);
+  std::byte* base =
+      alloc.base == nullptr ? nullptr : alloc.base + offset;
+  return {base, len};
+}
+
+std::size_t PageTable::resident_pages() const {
+  std::size_t n = 0;
+  for (const auto& [id, alloc] : allocs_) {
+    for (const Page& page : alloc.pages) {
+      if (page.state == PageState::kResident) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t PageTable::pinned_pages() const {
+  std::size_t n = 0;
+  for (const auto& [id, alloc] : allocs_) {
+    for (const Page& page : alloc.pages) {
+      if (page.pin_count > 0) ++n;
+    }
+  }
+  return n;
+}
+
+Bytes PageTable::resident_bytes() const {
+  return static_cast<Bytes>(resident_pages()) * page_size_;
+}
+
+}  // namespace vgpu::vmem

@@ -1,0 +1,118 @@
+// Page-granular residency tracking for transparent memory oversubscription.
+//
+// The PageTable is the bookkeeping half of src/vmem: it slices client
+// allocations into fixed-size pages and records, per page, where the
+// authoritative bytes live (device-resident, spilled to the host ledger,
+// or mid-transfer) plus the pin/reference bits the pager's clock needs.
+// Like the scheduler it is pure state — no memcpys, no allocator, no
+// clock of its own — so the DES side (vcuda) can use it as a plain
+// residency tracker while the live Pager layers frame allocation and real
+// spill traffic on top.
+//
+// Page lifecycle (see docs/memory.md):
+//
+//            bind()                pin / page-in            evict
+//   (fresh) ──────► kHost ───────► kInFlight ───► kResident ─────► kHost
+//                     ▲                                              │
+//                     └──────────────── spill to ledger ◄────────────┘
+//
+// A page in kHost may or may not hold a valid ledger copy: fresh pages
+// and host-written pages are backed only by the client's own bytes
+// (write-allocate: a host write invalidates any spilled copy).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "gpu/memory.hpp"
+
+namespace vgpu::vmem {
+
+/// Handle for one bound allocation. 0 is never a valid id.
+using AllocId = std::uint64_t;
+
+/// Where a page's authoritative bytes currently live.
+enum class PageState : std::uint8_t {
+  kHost = 0,  // not on device; backing (and maybe a ledger copy) holds it
+  kInFlight,  // transfer in progress (page-in or spill)
+  kResident,  // device frame assigned; backing bytes are live on-device
+};
+
+const char* page_state_name(PageState state);
+
+/// Sentinel for "no ledger slot assigned".
+inline constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+struct Page {
+  PageState state = PageState::kHost;
+  int pin_count = 0;        // pinned pages are never eviction victims
+  bool referenced = false;  // clock second-chance bit
+  bool prefetched = false;  // filled ahead of demand, not yet touched
+  bool ledger_valid = false;  // ledger slot holds a valid copy
+  bool scrubbed = false;      // backing bytes poisoned after spill
+  gpu::DevPtr frame = 0;      // device frame while resident / in-flight
+  std::size_t ledger_slot = kNoSlot;
+};
+
+/// One client allocation, sliced into pages. `base` points at the
+/// client-owned backing bytes (vsm area or staging buffer on the live
+/// path); it may be null for timing-only allocations, in which case the
+/// pager runs the full state machine without moving bytes.
+struct Allocation {
+  AllocId id = 0;
+  int client = -1;
+  std::byte* base = nullptr;
+  Bytes size = 0;
+  std::vector<Page> pages;
+};
+
+class PageTable {
+ public:
+  explicit PageTable(Bytes page_size);
+
+  Bytes page_size() const { return page_size_; }
+
+  /// Registers `size` bytes for `client`. Pages start in kHost with no
+  /// ledger copy (the backing bytes are authoritative).
+  AllocId bind(int client, std::byte* base, Bytes size);
+
+  /// Drops one allocation (its pages must not be pinned).
+  Status drop(AllocId id);
+
+  Allocation* find(AllocId id);
+  const Allocation* find(AllocId id) const;
+
+  /// Bind-ordered allocations of one client (empty vector if none).
+  std::vector<AllocId> client_allocs(int client) const;
+
+  /// All allocations, keyed by id — the pager's clock sweeps this map in
+  /// ascending (alloc, page) order.
+  std::map<AllocId, Allocation>& allocations() { return allocs_; }
+  const std::map<AllocId, Allocation>& allocations() const { return allocs_; }
+
+  /// Backing span of one page (null base for unbacked allocations); the
+  /// tail page may be shorter than page_size.
+  std::pair<std::byte*, Bytes> page_span(Allocation& alloc,
+                                         std::size_t index) const;
+
+  std::size_t total_pages() const { return total_pages_; }
+  std::size_t page_count(Bytes size) const;
+
+  // Scans (export/test-time only; page populations are small).
+  std::size_t resident_pages() const;
+  std::size_t pinned_pages() const;
+  Bytes resident_bytes() const;
+
+ private:
+  Bytes page_size_;
+  AllocId next_id_ = 1;
+  std::size_t total_pages_ = 0;
+  std::map<AllocId, Allocation> allocs_;
+  std::map<int, std::vector<AllocId>> by_client_;
+};
+
+}  // namespace vgpu::vmem

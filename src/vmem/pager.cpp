@@ -1,0 +1,351 @@
+#include "vmem/pager.hpp"
+
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace vgpu::vmem {
+
+namespace {
+/// Scrub pattern: loud in hexdumps, never a plausible float or pointer.
+constexpr std::byte kScrubByte{0xAB};
+}  // namespace
+
+Pager::Pager(PagerConfig config, fault::Injector* injector,
+             obs::Tracer* tracer)
+    : config_(config),
+      injector_(injector),
+      tracer_(tracer),
+      table_(config.page_size),
+      frames_(config.device_capacity) {
+  VGPU_ASSERT(config_.device_capacity >= config_.page_size);
+  VGPU_ASSERT(config_.host_ledger_capacity >= 0);
+  if (injector_ != nullptr) {
+    frames_.set_fail_hook([this] {
+      const bool fail = injector_->should_fail(fault::Point::kDeviceAlloc);
+      if (fail) ++counters_.frame_alloc_failures;
+      return fail;
+    });
+  }
+}
+
+void Pager::set_state(Allocation& alloc, std::size_t index, PageState state) {
+  alloc.pages[index].state = state;
+  if (transition_hook_) transition_hook_(alloc.id, index, state);
+}
+
+std::size_t Pager::reserve_slot() {
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.front();
+    free_slots_.pop_front();
+    ++slots_in_use_;
+    return slot;
+  }
+  const Bytes next_size =
+      static_cast<Bytes>(slots_.size() + 1) * config_.page_size;
+  if (next_size > config_.host_ledger_capacity) return kNoSlot;
+  LedgerSlot slot;
+  slot.data = std::make_unique<std::byte[]>(
+      static_cast<std::size_t>(config_.page_size));
+  slots_.push_back(std::move(slot));
+  ++slots_in_use_;
+  return slots_.size() - 1;
+}
+
+void Pager::drop_ledger_slot(Page& page) {
+  if (page.ledger_slot == kNoSlot) return;
+  free_slots_.push_back(page.ledger_slot);
+  --slots_in_use_;
+  page.ledger_slot = kNoSlot;
+  page.ledger_valid = false;
+}
+
+void Pager::free_frame(Page& page) {
+  if (page.frame == 0) return;
+  (void)frames_.free(page.frame);
+  page.frame = 0;
+}
+
+Bytes Pager::ledger_bytes() const {
+  return static_cast<Bytes>(slots_in_use_) * config_.page_size;
+}
+
+void Pager::spill(Allocation& alloc, std::size_t index) {
+  Page& page = alloc.pages[index];
+  auto [base, len] = table_.page_span(alloc, index);
+  if (page.ledger_valid) {
+    // Clean page: the ledger copy is still current, drop the frame only.
+    ++counters_.clean_drops;
+  } else {
+    const std::size_t slot = reserve_slot();
+    VGPU_ASSERT(slot != kNoSlot);  // evict_one() checked availability
+    if (base != nullptr) {
+      std::memcpy(slots_[slot].data.get(), base,
+                  static_cast<std::size_t>(len));
+    }
+    page.ledger_slot = slot;
+    page.ledger_valid = true;
+    ++counters_.page_outs;
+  }
+  if (config_.scrub_on_evict && base != nullptr) {
+    std::memset(base, static_cast<int>(kScrubByte),
+                static_cast<std::size_t>(len));
+    page.scrubbed = true;
+  }
+  free_frame(page);
+  page.prefetched = false;
+  set_state(alloc, index, PageState::kHost);
+}
+
+bool Pager::evict_one() {
+  auto& allocs = table_.allocations();
+  if (allocs.empty()) return false;
+  const bool slot_available =
+      !free_slots_.empty() ||
+      static_cast<Bytes>(slots_.size() + 1) * config_.page_size <=
+          config_.host_ledger_capacity;
+
+  auto it = allocs.lower_bound(hand_alloc_);
+  std::size_t index = hand_page_;
+  if (it == allocs.end() || it->first != hand_alloc_) {
+    if (it == allocs.end()) it = allocs.begin();
+    index = 0;
+  }
+  // Two full sweeps bound the second-chance pass.
+  const std::size_t max_steps = 2 * table_.total_pages() + 1;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    if (index >= it->second.pages.size()) {
+      ++it;
+      if (it == allocs.end()) it = allocs.begin();
+      index = 0;
+    }
+    Allocation& alloc = it->second;
+    Page& page = alloc.pages[index];
+    if (page.state == PageState::kResident && page.pin_count == 0 &&
+        (page.ledger_valid || slot_available)) {
+      if (page.referenced) {
+        page.referenced = false;  // second chance
+      } else {
+        const SimTime begin =
+            tracer_ != nullptr ? tracer_->begin_span() : obs::kSpanDisabled;
+        spill(alloc, index);
+        ++counters_.evicted_pages;
+        if (tracer_ != nullptr) {
+          tracer_->end_span(begin, obs::Phase::kPageOut, alloc.client, 1);
+        }
+        hand_alloc_ = it->first;
+        hand_page_ = index + 1;
+        return true;
+      }
+    }
+    ++index;
+  }
+  return false;
+}
+
+void Pager::restore_backing(Allocation& alloc, std::size_t index) {
+  Page& page = alloc.pages[index];
+  VGPU_ASSERT(page.ledger_valid);
+  auto [base, len] = table_.page_span(alloc, index);
+  if (base != nullptr) {
+    std::memcpy(base, slots_[page.ledger_slot].data.get(),
+                static_cast<std::size_t>(len));
+  }
+  page.scrubbed = false;
+  ++counters_.host_restores;
+}
+
+bool Pager::fill_page(Allocation& alloc, std::size_t index) {
+  Page& page = alloc.pages[index];
+  set_state(alloc, index, PageState::kInFlight);
+  if (injector_ != nullptr) {
+    injector_->maybe_stall(fault::Point::kVmemPageIn);
+  }
+  StatusOr<gpu::DevPtr> frame = frames_.allocate(config_.page_size);
+  while (!frame.ok()) {
+    if (!evict_one()) {
+      // Shortfall: the page stays cold. Restore scrubbed backing so a
+      // kernel reading it still sees the authoritative bytes.
+      if (page.scrubbed) restore_backing(alloc, index);
+      set_state(alloc, index, PageState::kHost);
+      return false;
+    }
+    frame = frames_.allocate(config_.page_size);
+  }
+  page.frame = *frame;
+  if (page.ledger_valid) {
+    // Restore the spilled copy; the slot is kept so an unmodified page
+    // can later be dropped without a second spill copy.
+    auto [base, len] = table_.page_span(alloc, index);
+    if (base != nullptr && page.scrubbed) {
+      std::memcpy(base, slots_[page.ledger_slot].data.get(),
+                  static_cast<std::size_t>(len));
+    }
+    page.scrubbed = false;
+    ++counters_.page_ins;
+  }
+  set_state(alloc, index, PageState::kResident);
+  return true;
+}
+
+bool Pager::pin_working_set(int client) {
+  const SimTime begin =
+      tracer_ != nullptr ? tracer_->begin_span() : obs::kSpanDisabled;
+  bool all_resident = true;
+  long filled = 0;
+  for (AllocId id : table_.client_allocs(client)) {
+    Allocation* alloc = table_.find(id);
+    if (alloc == nullptr) continue;
+    int window = 0;  // remaining sequential-prefetch budget
+    for (std::size_t i = 0; i < alloc->pages.size(); ++i) {
+      Page& page = alloc->pages[i];
+      if (page.state == PageState::kResident) {
+        if (page.prefetched) {
+          ++counters_.prefetch_hits;
+          page.prefetched = false;
+        }
+        page.referenced = true;
+        page.pin_count = 1;
+        window = 0;  // a resident page breaks the sequential run
+        continue;
+      }
+      const bool lead = window == 0;
+      if (!fill_page(*alloc, i)) {
+        all_resident = false;
+        window = 0;
+        continue;
+      }
+      ++filled;
+      if (lead) {
+        ++counters_.faults;
+        window = config_.prefetch_window;
+      } else {
+        ++counters_.prefetch_issued;
+        page.prefetched = true;
+        --window;
+      }
+      page.referenced = true;
+      page.pin_count = 1;
+    }
+  }
+  if (!all_resident) ++counters_.pin_shortfalls;
+  if (tracer_ != nullptr && filled > 0) {
+    tracer_->end_span(begin, obs::Phase::kPageIn, client,
+                      static_cast<std::int32_t>(filled));
+  }
+  return all_resident;
+}
+
+void Pager::unpin(int client) {
+  for (AllocId id : table_.client_allocs(client)) {
+    Allocation* alloc = table_.find(id);
+    if (alloc == nullptr) continue;
+    for (Page& page : alloc->pages) {
+      if (page.pin_count > 0) --page.pin_count;
+    }
+  }
+}
+
+bool Pager::working_set_resident(int client) const {
+  const auto ids = table_.client_allocs(client);
+  if (ids.empty()) return false;
+  for (AllocId id : ids) {
+    const Allocation* alloc = table_.find(id);
+    if (alloc == nullptr) continue;
+    for (const Page& page : alloc->pages) {
+      if (page.state != PageState::kResident) return false;
+    }
+  }
+  return true;
+}
+
+void Pager::host_write(AllocId id) {
+  Allocation* alloc = table_.find(id);
+  if (alloc == nullptr) return;
+  for (Page& page : alloc->pages) {
+    // Write-allocate: the host bytes are authoritative now; any spilled
+    // copy is stale and must never be restored over them.
+    drop_ledger_slot(page);
+    page.scrubbed = false;
+    page.referenced = true;
+    if (page.prefetched) {
+      ++counters_.prefetch_hits;
+      page.prefetched = false;
+    }
+  }
+}
+
+void Pager::touch(AllocId id) {
+  Allocation* alloc = table_.find(id);
+  if (alloc == nullptr) return;
+  for (Page& page : alloc->pages) {
+    page.referenced = true;
+    if (page.prefetched) {
+      ++counters_.prefetch_hits;
+      page.prefetched = false;
+    }
+  }
+}
+
+Status Pager::ensure_readable(AllocId id) {
+  Allocation* alloc = table_.find(id);
+  if (alloc == nullptr) return NotFound("vmem: unknown allocation");
+  for (std::size_t i = 0; i < alloc->pages.size(); ++i) {
+    if (alloc->pages[i].scrubbed) restore_backing(*alloc, i);
+  }
+  return Status::Ok();
+}
+
+Status Pager::release(AllocId id) {
+  Allocation* alloc = table_.find(id);
+  if (alloc == nullptr) return NotFound("vmem: unknown allocation");
+  for (std::size_t i = 0; i < alloc->pages.size(); ++i) {
+    Page& page = alloc->pages[i];
+    page.pin_count = 0;  // tolerate forced teardown of a doomed client
+    free_frame(page);
+    drop_ledger_slot(page);
+  }
+  return table_.drop(id);
+}
+
+Bytes Pager::release_client(int client) {
+  Bytes ledger_reclaimed = 0;
+  for (AllocId id : table_.client_allocs(client)) {
+    const Allocation* alloc = table_.find(id);
+    if (alloc == nullptr) continue;
+    for (const Page& page : alloc->pages) {
+      if (page.ledger_slot != kNoSlot) ledger_reclaimed += config_.page_size;
+    }
+    (void)release(id);
+  }
+  return ledger_reclaimed;
+}
+
+void Pager::export_metrics(obs::Registry& registry) const {
+  registry.counter("vmem.faults")->set(counters_.faults);
+  registry.counter("vmem.page_ins")->set(counters_.page_ins);
+  registry.counter("vmem.page_outs")->set(counters_.page_outs);
+  registry.counter("vmem.evictions_pages")->set(counters_.evicted_pages);
+  registry.counter("vmem.clean_drops")->set(counters_.clean_drops);
+  registry.counter("vmem.prefetch_issued")->set(counters_.prefetch_issued);
+  registry.counter("vmem.prefetch_hits")->set(counters_.prefetch_hits);
+  registry.counter("vmem.pin_shortfalls")->set(counters_.pin_shortfalls);
+  registry.counter("vmem.host_restores")->set(counters_.host_restores);
+  registry.counter("vmem.frame_alloc_failures")
+      ->set(counters_.frame_alloc_failures);
+  registry.gauge("vmem.resident_bytes")
+      ->set(static_cast<double>(table_.resident_bytes()));
+  registry.gauge("vmem.ledger_bytes")
+      ->set(static_cast<double>(ledger_bytes()));
+  registry.gauge("vmem.pages_total")
+      ->set(static_cast<double>(table_.total_pages()));
+  registry.gauge("gpu.mem.used")->set(static_cast<double>(frames_.used()));
+  registry.gauge("gpu.mem.high_water")
+      ->set(static_cast<double>(frames_.high_water()));
+  registry.gauge("gpu.mem.largest_free_extent")
+      ->set(static_cast<double>(frames_.largest_free_extent()));
+  registry.gauge("gpu.mem.fragmentation_pct")
+      ->set(frames_.fragmentation() * 100.0);
+}
+
+}  // namespace vgpu::vmem

@@ -1,0 +1,170 @@
+// The host-RAM pager: transparent memory oversubscription for the live GVM.
+//
+// Every client sees the full modeled device; the Pager keeps only hot
+// pages device-resident. Page frames come from a gpu::DeviceMemoryAllocator
+// sized to the modeled device, cold pages spill to a bounded host-RAM
+// ledger (real memcpys, so the swap traffic has real cost), and the
+// RtServer pins a job's working set before kernel launch — evicting cold
+// pages of other clients and prefetching sequentially-adjacent pages of
+// this one (nvshare's design, ROADMAP item 1).
+//
+// Threading: the serve loop is the only caller (single-threaded owner),
+// mirroring the Scheduler discipline. The fault::Injector hook points are
+// `vmem.pagein` (stall inside a page-in) and `device.alloc` (frame
+// allocation failure), both nullable and zero-cost when absent.
+//
+// Clean/dirty spill model: a spilled page keeps its ledger slot after
+// restore, so re-evicting an unmodified page drops the frame without a
+// second copy; a host write (SND) write-allocates — it invalidates the
+// ledger copy so stale bytes can never be restored over fresh input.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "fault/fault.hpp"
+#include "gpu/memory.hpp"
+#include "obs/trace.hpp"
+#include "vmem/page_table.hpp"
+
+namespace vgpu::obs {
+class Registry;
+}
+
+namespace vgpu::vmem {
+
+struct PagerConfig {
+  /// Page granularity; must be a multiple of the device allocator's
+  /// alignment. 2 MiB mirrors the large-page granularity real UVM pagers
+  /// migrate at.
+  Bytes page_size = 2 * kMiB;
+  /// Modeled device memory backing page frames.
+  Bytes device_capacity = 0;
+  /// Host ledger bound; spills fail (and the pin reports a shortfall)
+  /// once the ledger is exhausted.
+  Bytes host_ledger_capacity = 0;
+  /// On a residency fault, also fault in up to this many sequentially
+  /// following non-resident pages of the same allocation.
+  int prefetch_window = 4;
+  /// Poison backing bytes after a spill so any read of a non-restored
+  /// page is loud. Unit tests only: on the live path clients read their
+  /// vsm windows directly and backing must stay valid.
+  bool scrub_on_evict = false;
+};
+
+struct PagerCounters {
+  long faults = 0;           // lead residency faults serviced at pin time
+  long page_ins = 0;         // ledger -> backing restores
+  long page_outs = 0;        // backing -> ledger spills (dirty evictions)
+  long evicted_pages = 0;    // frames reclaimed by the clock
+  long clean_drops = 0;      // evictions that reused a valid ledger copy
+  long prefetch_issued = 0;  // pages filled ahead of demand
+  long prefetch_hits = 0;    // prefetched pages later touched
+  long pin_shortfalls = 0;   // pins that left part of a working set cold
+  long host_restores = 0;    // ensure_readable()/shortfall ledger restores
+  long frame_alloc_failures = 0;  // injected device.alloc failures absorbed
+};
+
+class Pager {
+ public:
+  /// `injector` and `tracer` are optional; a null pointer disables fault
+  /// hooks / span recording respectively.
+  explicit Pager(PagerConfig config, fault::Injector* injector = nullptr,
+                 obs::Tracer* tracer = nullptr);
+
+  const PagerConfig& config() const { return config_; }
+  const PagerCounters& counters() const { return counters_; }
+  PageTable& table() { return table_; }
+  gpu::DeviceMemoryAllocator& frames() { return frames_; }
+
+  /// Registers client backing bytes with the residency tracker. Pages
+  /// start cold (kHost, backing authoritative).
+  AllocId bind(int client, std::byte* base, Bytes size) {
+    return table_.bind(client, base, size);
+  }
+
+  /// Drops one allocation: frees its frames and ledger slots.
+  Status release(AllocId id);
+
+  /// Drops everything a client bound (lease expiry / RLS); returns the
+  /// ledger bytes reclaimed so the caller can audit recovery.
+  Bytes release_client(int client);
+
+  /// Makes the client's whole working set resident and pinned, faulting
+  /// pages in from the ledger and evicting cold unpinned pages of other
+  /// clients as needed. Returns true when fully resident; on a shortfall
+  /// (device + ledger pressure) pins what fits, restores any scrubbed
+  /// backing so correctness never depends on residency, and counts a
+  /// pin_shortfall.
+  bool pin_working_set(int client);
+
+  /// Drops the pins taken by pin_working_set (job completed).
+  void unpin(int client);
+
+  /// True when every page the client bound is device-resident.
+  bool working_set_resident(int client) const;
+
+  /// Write-allocate for a host write into `id`'s backing (SND): any
+  /// spilled copies are stale now, so their ledger slots are dropped.
+  void host_write(AllocId id);
+
+  /// Marks `id` touched (clock reference bits; prefetch-hit accounting).
+  void touch(AllocId id);
+
+  /// Guarantees `id`'s backing bytes are readable from the host (STP /
+  /// client result reads): restores any scrubbed pages from the ledger.
+  Status ensure_readable(AllocId id);
+
+  Bytes resident_bytes() const { return table_.resident_bytes(); }
+  Bytes ledger_bytes() const;
+  Bytes ledger_capacity() const { return config_.host_ledger_capacity; }
+
+  /// Exports vmem.* counters/gauges plus the frame allocator's
+  /// fragmentation and high-water gauges into `registry`.
+  void export_metrics(obs::Registry& registry) const;
+
+  /// Test hook: observes every page state transition
+  /// (alloc, page index, new state) — e.g. to assert kInFlight windows.
+  using TransitionHook = std::function<void(AllocId, std::size_t, PageState)>;
+  void set_transition_hook(TransitionHook hook) {
+    transition_hook_ = std::move(hook);
+  }
+
+ private:
+  struct LedgerSlot {
+    std::unique_ptr<std::byte[]> data;
+  };
+
+  void set_state(Allocation& alloc, std::size_t index, PageState state);
+  /// Brings one page device-resident; false on shortfall.
+  bool fill_page(Allocation& alloc, std::size_t index);
+  /// Clock sweep: reclaims one unpinned resident frame; false when every
+  /// resident page is pinned or the ledger cannot take another spill.
+  bool evict_one();
+  void spill(Allocation& alloc, std::size_t index);
+  void restore_backing(Allocation& alloc, std::size_t index);
+  void drop_ledger_slot(Page& page);
+  std::size_t reserve_slot();
+  void free_frame(Page& page);
+
+  PagerConfig config_;
+  fault::Injector* injector_;
+  obs::Tracer* tracer_;
+  PageTable table_;
+  gpu::DeviceMemoryAllocator frames_;
+  std::vector<LedgerSlot> slots_;
+  std::deque<std::size_t> free_slots_;
+  std::size_t slots_in_use_ = 0;
+  // Clock hand: position of the next eviction scan.
+  AllocId hand_alloc_ = 0;
+  std::size_t hand_page_ = 0;
+  PagerCounters counters_;
+  TransitionHook transition_hook_;
+};
+
+}  // namespace vgpu::vmem

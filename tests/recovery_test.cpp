@@ -188,6 +188,78 @@ INSTANTIATE_TEST_SUITE_P(
     sweep_name);
 
 // ---------------------------------------------------------------------------
+// vmem reclamation: a SIGKILLed client's pages — device frames and
+// host-ledger slots alike — must come back with its lease.
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, VmemKilledClientsLedgerPagesDieWithItsLease) {
+  const std::string prefix = unique_prefix("vmem");
+  constexpr long kN = 2048;       // 24 KiB per client: 6 pages of 4 KiB
+  constexpr Bytes kPage = 4096;
+  RtServerConfig config = chaos_config(prefix, 2, ipc::TransportKind::kShmRing);
+  config.sched.policy = sched::Policy::kFairShare;  // no barrier: serialize
+  // Detection must wait until we reap the victim (pid probe), not trip
+  // the silent deadline while the survivor is still running.
+  config.lease_timeout = std::chrono::milliseconds(5000);
+  config.vmem.enabled = true;
+  config.vmem.page_size = kPage;
+  config.vmem.device_capacity = 8 * kPage;  // holds one working set, not two
+  config.vmem.host_ledger = 64 * kPage;
+  RtServer server(config, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+
+  // The victim runs its whole job first (working set device-resident) and
+  // dies right after STP, leaving the pages cold but still owned.
+  const pid_t victim = fork_victim(prefix, 1, kN, ipc::TransportKind::kShmRing,
+                                   fault::Point::kClientAfterStp);
+  ASSERT_GT(victim, 0);
+  // Wait for the death but leave the zombie unreaped: the pid probe
+  // cannot see it yet, so the victim's pages stay owned while the
+  // survivor runs.
+  siginfo_t info{};
+  ASSERT_EQ(::waitid(P_PID, static_cast<id_t>(victim), &info,
+                     WEXITED | WNOWAIT),
+            0);
+  ASSERT_EQ(info.si_code, CLD_KILLED);
+
+  // The survivor's pin must now page the dead client's cold set out to
+  // the host ledger to make room (6 + 6 pages on an 8-page device).
+  EXPECT_TRUE(run_vecadd_client(prefix, 0, kN,
+                                chaos_options(ipc::TransportKind::kShmRing)));
+
+  // Reap: the next lease sweep's pid probe now reclaims the victim —
+  // ledger slots and all — with its lease.
+  int status = 0;
+  ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().clients_reclaimed.load() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().leases_expired.load(), 1);
+  EXPECT_EQ(server.stats().clients_reclaimed.load(), 1);
+  EXPECT_EQ(server.stats().reclaimed_bytes.load(), 3 * kN * 4);
+
+  const vmem::Pager* pager = server.pager();
+  ASSERT_NE(pager, nullptr);
+  // The victim's pages really did transit the ledger (the survivor had to
+  // evict at least 4 of its 6 to pin), and only the lease-expiry path can
+  // free a dead client's slots — so an empty pager proves the reclaim.
+  EXPECT_GE(pager->counters().page_outs, 4);
+  EXPECT_EQ(pager->resident_bytes(), 0);
+  EXPECT_EQ(pager->ledger_bytes(), 0);
+  // Oversubscription promise: paging, never whole-client eviction.
+  const obs::Counter* whole =
+      server.obs().metrics().find_counter("vmem.evictions_whole_client");
+  ASSERT_NE(whole, nullptr);
+  EXPECT_EQ(whole->value(), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Reclamation completeness
 // ---------------------------------------------------------------------------
 

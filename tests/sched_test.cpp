@@ -185,6 +185,32 @@ TEST(TimeQuantumPolicy, IdleHolderLosesDeviceAfterHysteresis) {
   EXPECT_EQ(sched->stats().rotations, 1);
 }
 
+TEST(TimeQuantumPolicy, ResidentWorkingSetExtendsIdleHoldToTheWindow) {
+  auto sched = Scheduler::make(tq_config());
+  sched->admit(request(0, kMiB), 0);
+  sched->admit(request(1, kMiB), 0);
+  sched->enqueue(0, 0);
+  ASSERT_EQ(sched->pick_next(0), std::vector<int>{0});
+  sched->enqueue(1, milliseconds(1.0));
+  sched->on_complete(0, milliseconds(5.0));
+  sched->set_residency(0, true);  // pager: 0's working set is on-device
+
+  // Past the plain 2ms hysteresis an idle holder would rotate; a resident
+  // working set keeps the device for the full 30ms window instead —
+  // rotating would page the set out only to page it straight back.
+  EXPECT_TRUE(sched->pick_next(milliseconds(7.5)).empty());
+  EXPECT_EQ(sched->stats().resident_holds, 1);
+  EXPECT_EQ(sched->next_wakeup(milliseconds(7.5)), milliseconds(30.0));
+  // The hold is counted once per ownership, not once per poll.
+  EXPECT_TRUE(sched->pick_next(milliseconds(9.0)).empty());
+  EXPECT_EQ(sched->stats().resident_holds, 1);
+
+  // Once the pager evicts the set, plain hysteresis applies again.
+  sched->set_residency(0, false);
+  EXPECT_EQ(sched->pick_next(milliseconds(9.5)), std::vector<int>{1});
+  EXPECT_EQ(sched->stats().rotations, 1);
+}
+
 TEST(TimeQuantumPolicy, ReleasedHolderFreesTheDevice) {
   auto sched = Scheduler::make(tq_config());
   auto* tq = static_cast<TimeQuantum*>(sched.get());

@@ -1,0 +1,346 @@
+// Unit tests for the page-granular host-RAM pager: page-table math, the
+// clock's pin/second-chance discipline, clean-drop vs dirty-spill
+// accounting, write-allocate invalidation, sequential prefetch, shortfall
+// behavior at device and ledger exhaustion, client teardown reclamation,
+// metric export, and the device.alloc / vmem.pagein fault hooks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "vmem/page_table.hpp"
+#include "vmem/pager.hpp"
+
+namespace vgpu::vmem {
+namespace {
+
+constexpr Bytes kPage = 4096;
+
+PagerConfig small_config(Bytes device_pages, Bytes ledger_pages,
+                         int prefetch_window = 4) {
+  PagerConfig config;
+  config.page_size = kPage;
+  config.device_capacity = device_pages * kPage;
+  config.host_ledger_capacity = ledger_pages * kPage;
+  config.prefetch_window = prefetch_window;
+  return config;
+}
+
+/// Client backing filled with a per-byte pattern derived from `salt`.
+std::vector<std::byte> make_backing(std::size_t size, int salt) {
+  std::vector<std::byte> bytes(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    bytes[i] = static_cast<std::byte>((i * 7 + salt) & 0xFF);
+  }
+  return bytes;
+}
+
+TEST(PageTable, BindSlicesIntoPagesWithShorterTail) {
+  PageTable table(kPage);
+  std::vector<std::byte> backing(3 * kPage + 100);
+  const AllocId id = table.bind(/*client=*/0, backing.data(),
+                                static_cast<Bytes>(backing.size()));
+  ASSERT_NE(id, 0u);
+  Allocation* alloc = table.find(id);
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_EQ(alloc->pages.size(), 4u);
+  EXPECT_EQ(table.total_pages(), 4u);
+  EXPECT_EQ(table.resident_bytes(), 0);
+
+  auto [full_base, full_len] = table.page_span(*alloc, 1);
+  EXPECT_EQ(full_base, backing.data() + kPage);
+  EXPECT_EQ(full_len, kPage);
+  auto [tail_base, tail_len] = table.page_span(*alloc, 3);
+  EXPECT_EQ(tail_base, backing.data() + 3 * kPage);
+  EXPECT_EQ(tail_len, 100);
+}
+
+TEST(PageTable, DropRefusesPinnedPagesAndUpdatesIndexes) {
+  PageTable table(kPage);
+  const AllocId a = table.bind(0, nullptr, 2 * kPage);
+  const AllocId b = table.bind(0, nullptr, kPage);
+  EXPECT_EQ(table.client_allocs(0), (std::vector<AllocId>{a, b}));
+
+  table.find(a)->pages[1].pin_count = 1;
+  EXPECT_FALSE(table.drop(a).ok());
+  table.find(a)->pages[1].pin_count = 0;
+  EXPECT_TRUE(table.drop(a).ok());
+  EXPECT_EQ(table.find(a), nullptr);
+  EXPECT_EQ(table.total_pages(), 1u);
+  EXPECT_EQ(table.client_allocs(0), (std::vector<AllocId>{b}));
+  EXPECT_FALSE(table.drop(a).ok());  // already gone
+}
+
+TEST(Pager, PinCountsLeadFaultsAndSequentialPrefetch) {
+  // 6 pages with a window of 4: page 0 is a lead fault, 1-4 ride the
+  // window, page 5 opens a second run.
+  Pager pager(small_config(/*device_pages=*/8, /*ledger_pages=*/8));
+  auto backing = make_backing(6 * kPage, 1);
+  const AllocId id = pager.bind(0, backing.data(), 6 * kPage);
+
+  EXPECT_TRUE(pager.pin_working_set(0));
+  EXPECT_TRUE(pager.working_set_resident(0));
+  EXPECT_EQ(pager.counters().faults, 2);
+  EXPECT_EQ(pager.counters().prefetch_issued, 4);
+  EXPECT_EQ(pager.counters().prefetch_hits, 0);
+  EXPECT_EQ(pager.resident_bytes(), 6 * kPage);
+  EXPECT_EQ(pager.table().pinned_pages(), 6u);
+
+  // Touch marks the prefetched pages hit exactly once.
+  pager.touch(id);
+  EXPECT_EQ(pager.counters().prefetch_hits, 4);
+  pager.touch(id);
+  EXPECT_EQ(pager.counters().prefetch_hits, 4);
+
+  pager.unpin(0);
+  EXPECT_EQ(pager.table().pinned_pages(), 0u);
+  // Re-pinning a resident working set faults nothing.
+  EXPECT_TRUE(pager.pin_working_set(0));
+  EXPECT_EQ(pager.counters().faults, 2);
+  EXPECT_EQ(pager.counters().prefetch_issued, 4);
+}
+
+TEST(Pager, ClockEvictsColdPagesAndCleanDropsRestoredOnes) {
+  // Device holds exactly one working set: pinning B must page A out.
+  Pager pager(small_config(/*device_pages=*/4, /*ledger_pages=*/16));
+  auto backing_a = make_backing(4 * kPage, 1);
+  auto backing_b = make_backing(4 * kPage, 2);
+  const AllocId a = pager.bind(0, backing_a.data(), 4 * kPage);
+  pager.bind(1, backing_b.data(), 4 * kPage);
+
+  ASSERT_TRUE(pager.pin_working_set(0));
+  pager.unpin(0);
+  ASSERT_TRUE(pager.pin_working_set(1));
+  // First eviction of a fresh page is a dirty spill (no ledger copy yet).
+  EXPECT_EQ(pager.counters().page_outs, 4);
+  EXPECT_EQ(pager.counters().evicted_pages, 4);
+  EXPECT_EQ(pager.counters().clean_drops, 0);
+  EXPECT_EQ(pager.ledger_bytes(), 4 * kPage);
+  EXPECT_FALSE(pager.working_set_resident(0));
+  EXPECT_TRUE(pager.working_set_resident(1));
+
+  // A comes back from the ledger; the restore keeps the slot.
+  pager.unpin(1);
+  ASSERT_TRUE(pager.pin_working_set(0));
+  EXPECT_EQ(pager.counters().page_ins, 4);
+  EXPECT_EQ(pager.ledger_bytes(), 8 * kPage);  // B spilled, A's slots kept
+
+  // Re-evicting the unmodified pages reuses the kept copies: clean drops,
+  // no second spill copy.
+  pager.unpin(0);
+  ASSERT_TRUE(pager.pin_working_set(1));
+  EXPECT_EQ(pager.counters().clean_drops, 4);
+  EXPECT_EQ(pager.counters().page_outs, 8);  // only B's first spill added
+  Allocation* alloc_a = pager.table().find(a);
+  for (const Page& page : alloc_a->pages) {
+    EXPECT_EQ(page.state, PageState::kHost);
+    EXPECT_TRUE(page.ledger_valid);
+  }
+}
+
+TEST(Pager, PinnedPagesAreNeverVictims) {
+  Pager pager(small_config(/*device_pages=*/4, /*ledger_pages=*/16));
+  auto backing_a = make_backing(4 * kPage, 1);
+  auto backing_b = make_backing(2 * kPage, 2);
+  pager.bind(0, backing_a.data(), 4 * kPage);
+  pager.bind(1, backing_b.data(), 2 * kPage);
+
+  ASSERT_TRUE(pager.pin_working_set(0));  // A holds the whole device, pinned
+  EXPECT_FALSE(pager.pin_working_set(1));
+  EXPECT_EQ(pager.counters().pin_shortfalls, 1);
+  EXPECT_EQ(pager.counters().evicted_pages, 0);
+  EXPECT_FALSE(pager.working_set_resident(1));
+  EXPECT_TRUE(pager.working_set_resident(0));
+
+  // Once A unpins, B's working set fits via eviction.
+  pager.unpin(0);
+  EXPECT_TRUE(pager.pin_working_set(1));
+  EXPECT_EQ(pager.counters().evicted_pages, 2);
+}
+
+TEST(Pager, ExhaustedLedgerLimitsEvictionToWhatFits) {
+  // One ledger slot: B's pin can spill exactly one of A's pages, then the
+  // remaining cold page is a shortfall — never an assert or a lost page.
+  Pager pager(small_config(/*device_pages=*/2, /*ledger_pages=*/1));
+  auto backing_a = make_backing(2 * kPage, 1);
+  auto backing_b = make_backing(2 * kPage, 2);
+  pager.bind(0, backing_a.data(), 2 * kPage);
+  pager.bind(1, backing_b.data(), 2 * kPage);
+
+  ASSERT_TRUE(pager.pin_working_set(0));
+  pager.unpin(0);
+  EXPECT_FALSE(pager.pin_working_set(1));
+  EXPECT_EQ(pager.counters().page_outs, 1);
+  EXPECT_EQ(pager.counters().pin_shortfalls, 1);
+  EXPECT_EQ(pager.ledger_bytes(), kPage);
+  EXPECT_EQ(pager.table().resident_pages(), 2u);  // one of A, one of B
+}
+
+TEST(Pager, HostWriteInvalidatesSpilledCopies) {
+  Pager pager(small_config(/*device_pages=*/2, /*ledger_pages=*/8));
+  auto backing_a = make_backing(2 * kPage, 1);
+  auto backing_b = make_backing(2 * kPage, 2);
+  const AllocId a = pager.bind(0, backing_a.data(), 2 * kPage);
+  pager.bind(1, backing_b.data(), 2 * kPage);
+
+  ASSERT_TRUE(pager.pin_working_set(0));
+  pager.unpin(0);
+  ASSERT_TRUE(pager.pin_working_set(1));  // spills A
+  EXPECT_EQ(pager.ledger_bytes(), 2 * kPage);
+
+  // Fresh host bytes (SND): the ledger copies are stale, drop them.
+  pager.host_write(a);
+  EXPECT_EQ(pager.ledger_bytes(), 0);
+  pager.unpin(1);
+  ASSERT_TRUE(pager.pin_working_set(0));
+  // A faulted back from its own backing, not the ledger.
+  EXPECT_EQ(pager.counters().page_ins, 0);
+}
+
+TEST(Pager, ScrubbedBackingIsRestoredOnEnsureReadableAndShortfall) {
+  PagerConfig config = small_config(/*device_pages=*/2, /*ledger_pages=*/8);
+  config.scrub_on_evict = true;
+  Pager pager(config);
+  auto backing_a = make_backing(2 * kPage, 1);
+  const auto golden = backing_a;
+  auto backing_b = make_backing(2 * kPage, 2);
+  const AllocId a = pager.bind(0, backing_a.data(), 2 * kPage);
+  pager.bind(1, backing_b.data(), 2 * kPage);
+
+  ASSERT_TRUE(pager.pin_working_set(0));
+  pager.unpin(0);
+  ASSERT_TRUE(pager.pin_working_set(1));  // spills + scrubs A
+  EXPECT_EQ(static_cast<unsigned>(backing_a[0]), 0xABu);
+  EXPECT_EQ(static_cast<unsigned>(backing_a[2 * kPage - 1]), 0xABu);
+
+  // A host read (STP / result copy) must see the authoritative bytes.
+  ASSERT_TRUE(pager.ensure_readable(a).ok());
+  EXPECT_EQ(backing_a, golden);
+  EXPECT_EQ(pager.counters().host_restores, 2);
+  EXPECT_FALSE(pager.working_set_resident(0));  // restore is not a page-in
+
+  EXPECT_FALSE(pager.ensure_readable(9999).ok());
+}
+
+TEST(Pager, ReleaseClientReclaimsFramesAndLedger) {
+  Pager pager(small_config(/*device_pages=*/4, /*ledger_pages=*/8));
+  auto backing_a = make_backing(4 * kPage, 1);
+  auto backing_b = make_backing(4 * kPage, 2);
+  pager.bind(0, backing_a.data(), 4 * kPage);
+  pager.bind(1, backing_b.data(), 4 * kPage);
+
+  ASSERT_TRUE(pager.pin_working_set(0));
+  pager.unpin(0);
+  ASSERT_TRUE(pager.pin_working_set(1));  // A fully spilled
+  // Teardown while B is still pinned: A's ledger slots come back and the
+  // reclaimed byte count is reported for the recovery audit.
+  EXPECT_EQ(pager.release_client(0), 4 * kPage);
+  EXPECT_EQ(pager.ledger_bytes(), 0);
+  EXPECT_TRUE(pager.table().client_allocs(0).empty());
+
+  // Releasing the pinned client is tolerated (SIGKILL teardown path).
+  EXPECT_EQ(pager.release_client(1), 0);
+  EXPECT_EQ(pager.table().total_pages(), 0u);
+  EXPECT_EQ(pager.frames().used(), 0);
+  EXPECT_EQ(pager.release_client(0), 0);  // idempotent
+}
+
+TEST(Pager, TransitionHookObservesInFlightWindow) {
+  Pager pager(small_config(/*device_pages=*/2, /*ledger_pages=*/2,
+                           /*prefetch_window=*/0));
+  auto backing = make_backing(kPage, 1);
+  const AllocId id = pager.bind(0, backing.data(), kPage);
+
+  std::vector<PageState> states;
+  pager.set_transition_hook(
+      [&](AllocId hook_id, std::size_t index, PageState state) {
+        EXPECT_EQ(hook_id, id);
+        EXPECT_EQ(index, 0u);
+        states.push_back(state);
+      });
+  ASSERT_TRUE(pager.pin_working_set(0));
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states[0], PageState::kInFlight);
+  EXPECT_EQ(states[1], PageState::kResident);
+}
+
+TEST(Pager, ExportMetricsPublishesCountersAndGauges) {
+  Pager pager(small_config(/*device_pages=*/4, /*ledger_pages=*/8));
+  auto backing_a = make_backing(4 * kPage, 1);
+  auto backing_b = make_backing(4 * kPage, 2);
+  pager.bind(0, backing_a.data(), 4 * kPage);
+  pager.bind(1, backing_b.data(), 4 * kPage);
+  ASSERT_TRUE(pager.pin_working_set(0));
+  pager.unpin(0);
+  ASSERT_TRUE(pager.pin_working_set(1));
+
+  obs::Registry registry;
+  pager.export_metrics(registry);
+  const auto counter = [&registry](const char* name) {
+    const obs::Counter* c = registry.find_counter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c != nullptr ? c->value() : -1;
+  };
+  const auto gauge = [&registry](const char* name) {
+    const obs::Gauge* g = registry.find_gauge(name);
+    EXPECT_NE(g, nullptr) << name;
+    return g != nullptr ? g->value() : -1.0;
+  };
+  EXPECT_EQ(counter("vmem.faults"), pager.counters().faults);
+  EXPECT_EQ(counter("vmem.page_outs"), 4);
+  EXPECT_EQ(counter("vmem.evictions_pages"), 4);
+  EXPECT_EQ(counter("vmem.prefetch_issued"), pager.counters().prefetch_issued);
+  EXPECT_EQ(counter("vmem.pin_shortfalls"), 0);
+  EXPECT_EQ(gauge("vmem.resident_bytes"), 4.0 * kPage);
+  EXPECT_EQ(gauge("vmem.ledger_bytes"), 4.0 * kPage);
+  EXPECT_EQ(gauge("vmem.pages_total"), 8.0);
+  EXPECT_EQ(gauge("gpu.mem.used"), 4.0 * kPage);
+  EXPECT_GE(gauge("gpu.mem.high_water"), 4.0 * kPage);
+  EXPECT_GE(gauge("gpu.mem.fragmentation_pct"), 0.0);
+}
+
+TEST(Pager, InjectedFrameAllocFailuresDegradeToShortfalls) {
+  // The first two frame allocations fail: those pages stay cold (counted
+  // as a shortfall), the rest fill, and a later pin recovers them once the
+  // fault window closes.
+  auto plan = fault::FaultPlan::parse("seed=1,fail@device.alloc:limit=2");
+  ASSERT_TRUE(plan.ok());
+  fault::Injector injector(*plan);
+  Pager pager(small_config(/*device_pages=*/8, /*ledger_pages=*/8), &injector);
+  auto backing = make_backing(4 * kPage, 1);
+  pager.bind(0, backing.data(), 4 * kPage);
+
+  EXPECT_FALSE(pager.pin_working_set(0));
+  EXPECT_EQ(pager.counters().frame_alloc_failures, 2);
+  EXPECT_EQ(pager.counters().pin_shortfalls, 1);
+  EXPECT_EQ(pager.table().resident_pages(), 2u);
+
+  EXPECT_TRUE(pager.pin_working_set(0));
+  EXPECT_TRUE(pager.working_set_resident(0));
+  EXPECT_EQ(pager.counters().frame_alloc_failures, 2);
+}
+
+TEST(Pager, PageInStallPointFiresPerFill) {
+  auto plan =
+      fault::FaultPlan::parse("seed=3,stall@vmem.pagein:delay_us=500");
+  ASSERT_TRUE(plan.ok());
+  fault::Injector injector(*plan);
+  Pager pager(small_config(/*device_pages=*/4, /*ledger_pages=*/4), &injector);
+  auto backing = make_backing(3 * kPage, 1);
+  pager.bind(0, backing.data(), 3 * kPage);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(pager.pin_working_set(0));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(injector.occurrences(fault::Point::kVmemPageIn), 3);
+  EXPECT_EQ(injector.fired(fault::Action::kStall), 3);
+  EXPECT_GE(elapsed, std::chrono::microseconds(1500));
+}
+
+}  // namespace
+}  // namespace vgpu::vmem

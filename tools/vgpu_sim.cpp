@@ -26,6 +26,12 @@
 // kill rules, and SIGKILLed clients count as expected chaos casualties
 // (the run reports leases expired and clients reclaimed). The spec
 // grammar and a replay how-to live in docs/fault.md.
+// `--vmem` (live mode) turns on transparent memory oversubscription: a
+// modeled device of `--device-mb=` backs page frames of `--page-size=`
+// bytes and cold pages spill to a `--host-ledger-mb=` host ledger, so
+// more clients fit than the device holds (docs/memory.md). The run
+// prints the vmem counter block: faults, page-ins/outs, prefetch hit
+// rate, pin shortfalls, and whole-client evictions (zero by design).
 // `--metrics-json=<file>` dumps the obs registry; `--trace-out=<file>`
 // enables span tracing and writes a Chrome/Perfetto trace plus the
 // measured-vs-model residual report (docs/observability.md).
@@ -271,6 +277,23 @@ void print_live_stats(const rt::RtServer& server) {
     }
     std::printf("\n");
   }
+  if (server.config().vmem.enabled) {
+    const long issued = cnt("vmem.prefetch_issued");
+    const long hits = cnt("vmem.prefetch_hits");
+    std::printf("  vmem: %ld faults, %ld page-ins, %ld page-outs "
+                "(%ld clean drops), %ld host restores\n",
+                cnt("vmem.faults"), cnt("vmem.page_ins"),
+                cnt("vmem.page_outs"), cnt("vmem.clean_drops"),
+                cnt("vmem.host_restores"));
+    std::printf("  vmem: prefetch %ld issued / %ld hit (%.0f%%), "
+                "pin shortfalls %ld, whole-client evictions %ld\n",
+                issued, hits,
+                issued > 0 ? 100.0 * static_cast<double>(hits) /
+                                 static_cast<double>(issued)
+                           : 0.0,
+                cnt("vmem.pin_shortfalls"),
+                cnt("vmem.evictions_whole_client"));
+  }
 }
 
 /// Real-machine run: forked clients against an in-process GVM server.
@@ -323,6 +346,19 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
   config.transport = transport;
   config.data_plane = data_plane;
   config.exec = exec;
+  // Any vmem knob implies --vmem; the geometry defaults force real paging
+  // for the stock workloads (8 vecadd clients ask ~96 MiB of a 64 MiB
+  // device) while the ledger keeps the virtual budget comfortable.
+  if (flags.get_bool("vmem") || flags.has("page-size") ||
+      flags.has("host-ledger-mb") || flags.has("device-mb")) {
+    config.vmem.enabled = true;
+    config.vmem.page_size =
+        static_cast<Bytes>(flags.get_long("page-size", 64 * 1024));
+    config.vmem.device_capacity =
+        static_cast<Bytes>(flags.get_long("device-mb", 64)) * kMiB;
+    config.vmem.host_ledger =
+        static_cast<Bytes>(flags.get_long("host-ledger-mb", 256)) * kMiB;
+  }
   const std::string metrics_path = flags.get_string("metrics-json", "");
   const std::string trace_path = flags.get_string("trace-out", "");
   // Span tracing is opt-in: a trace file request (or --trace) turns it on.
@@ -491,6 +527,8 @@ int main(int argc, char** argv) {
         "          [--sched=barrier|tq|fair|prio] [--quota-mb=<N>]\n"
         "          [--transport=mq|shm] [--data-plane=staged|zero_copy]\n"
         "          [--exec=serial|sharded] [--workers=<N>]\n"
+        "          [--vmem] [--page-size=<bytes>] [--device-mb=<N>]\n"
+        "          [--host-ledger-mb=<N>]\n"
         "          [--metrics-json=<file>] [--trace-out=<file>]\n"
         "          [--fault-plan=<spec>] [--all-modes] [--model]\n",
         flags.program().c_str());
