@@ -1,0 +1,310 @@
+// Open-loop load harness for the live serve path: N in-process clients
+// (threads sharing one RtClientContext) drive task cycles against one
+// RtServer on an arrival schedule that does NOT wait for the server —
+// Poisson or synchronized-burst arrivals, grant latency measured from the
+// *scheduled* arrival time so queueing delay is never hidden by a slow
+// client (no coordinated omission).
+//
+//   load_gen --clients=1000 --requests=5 --rate=1000 --arrival=poisson
+//
+// Reports p50/p99/p999 grant latency (scheduled arrival -> STR ack),
+// server CPU per request (CLOCK_THREAD_CPUTIME_ID over the serve loop),
+// and the leak gates the CI job enforces: zero leaked session slots and
+// zero leaked per-client shm segments after the population churns out.
+// Results land in BENCH_load.json (--out) for the jq gates.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "rt/client.hpp"
+#include "rt/registry.hpp"
+#include "rt/server.hpp"
+
+using namespace vgpu;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options {
+  int clients = 1000;
+  int requests = 5;        // task cycles per client
+  double rate = 0.0;       // aggregate arrivals/sec; 0 = clients per second
+  std::string arrival = "poisson";  // poisson | burst
+  std::string transport = "shm";    // shm | mq
+  bool arena = true;
+  std::string out = "BENCH_load.json";
+  std::uint64_t seed = 42;
+};
+
+bool parse_args(int argc, char** argv, Options* o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--clients=")) {
+      o->clients = std::atoi(v);
+    } else if (const char* v = val("--requests=")) {
+      o->requests = std::atoi(v);
+    } else if (const char* v = val("--rate=")) {
+      o->rate = std::atof(v);
+    } else if (const char* v = val("--arrival=")) {
+      o->arrival = v;
+    } else if (const char* v = val("--transport=")) {
+      o->transport = v;
+    } else if (const char* v = val("--arena=")) {
+      o->arena = std::atoi(v) != 0;
+    } else if (const char* v = val("--out=")) {
+      o->out = v;
+    } else if (const char* v = val("--seed=")) {
+      o->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--smoke") {
+      // CI scale: small population, short run, same code paths.
+      o->clients = 256;
+      o->requests = 2;
+    } else {
+      std::fprintf(stderr,
+                   "usage: load_gen [--clients=N] [--requests=R] [--rate=A]"
+                   " [--arrival=poisson|burst] [--transport=shm|mq]"
+                   " [--arena=0|1] [--out=FILE] [--seed=S] [--smoke]\n");
+      return false;
+    }
+  }
+  if (o->rate <= 0.0) o->rate = static_cast<double>(o->clients);
+  return true;
+}
+
+/// Per-client absolute arrival schedule, fixed before the run starts (the
+/// open-loop property: arrivals never depend on server progress).
+std::vector<Clock::time_point> make_schedule(const Options& o, int id,
+                                             Clock::time_point start) {
+  std::vector<Clock::time_point> when;
+  when.reserve(static_cast<std::size_t>(o.requests));
+  const double per_client_interval =
+      static_cast<double>(o.clients) / o.rate;  // seconds between my arrivals
+  if (o.arrival == "burst") {
+    // Synchronized waves: the whole population submits at the same
+    // instants — the SPMD-barrier worst case for the ready set and the
+    // grant batcher.
+    for (int i = 0; i < o.requests; ++i) {
+      when.push_back(start + std::chrono::microseconds(static_cast<long>(
+                                 (i + 1) * per_client_interval * 1e6)));
+    }
+    return when;
+  }
+  std::mt19937_64 rng(o.seed * 1000003ull + static_cast<std::uint64_t>(id));
+  std::exponential_distribution<double> exp(1.0 / per_client_interval);
+  double t = 0.0;
+  for (int i = 0; i < o.requests; ++i) {
+    t += exp(rng);
+    when.push_back(start +
+                   std::chrono::microseconds(static_cast<long>(t * 1e6)));
+  }
+  return when;
+}
+
+struct ClientResult {
+  std::vector<double> grant_ms;  // scheduled arrival -> STR ack
+  long errors = 0;
+};
+
+/// Fraction-ranked percentile over a sorted sample set.
+double pct(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - static_cast<double>(lo));
+}
+
+/// Per-client shm segments left behind under `prefix` (the leak gate);
+/// the server-owned _door/_arena names live until server destruction and
+/// do not count.
+long leaked_segments(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  const std::string stem = prefix.substr(1);  // shm names drop the '/'
+  long leaked = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator("/dev/shm", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) != 0) continue;
+    if (name == stem + "_door" || name == stem + "_arena") continue;
+    ++leaked;
+  }
+  return leaked;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return 2;
+
+  const std::string prefix =
+      "/vgpu_load_" + std::to_string(::getpid());
+  const bool ring = opt.transport != "mq";
+
+  rt::RtServerConfig config;
+  config.prefix = prefix;
+  config.expected_clients = 1;  // grant each STR as it arrives
+  config.workers = 2;
+  config.transport =
+      ring ? ipc::TransportKind::kShmRing : ipc::TransportKind::kMessageQueue;
+  config.data_plane = rt::DataPlane::kZeroCopy;
+  config.max_sessions = opt.clients + 64;
+  // Arena sizing: every client's region is the same small channel+data
+  // slice; double it for re-attach churn headroom.
+  const Bytes slice = rt::vsm_region_size(
+      ipc::kTransportCapMqueue | ipc::kTransportCapShmRing, 64, 64);
+  if (opt.arena && ring) {
+    config.arena_size = static_cast<Bytes>(opt.clients + 64) * (slice + 128) * 2;
+  }
+  // Slow generator threads on an oversubscribed box must not be declared
+  // dead mid-run; lingering released sessions should GC quickly so the
+  // leak gate can sample a quiesced server.
+  config.lease_timeout = std::chrono::milliseconds(30000);
+  config.lease_check_interval = std::chrono::milliseconds(20);
+  config.release_linger = std::chrono::milliseconds(20);
+
+  rt::RtServer server(config, rt::builtin_registry());
+  if (const Status st = server.start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  auto ctx = rt::RtClientContext::open(prefix);
+  if (!ctx.ok()) {
+    std::fprintf(stderr, "context open failed: %s\n",
+                 ctx.status().to_string().c_str());
+    return 1;
+  }
+  const auto kid = rt::builtin_registry().id_of("vecadd");
+  if (!kid.ok()) {
+    std::fprintf(stderr, "vecadd kernel missing from registry\n");
+    return 1;
+  }
+
+  const auto start = Clock::now() + std::chrono::milliseconds(300);
+  std::vector<ClientResult> results(static_cast<std::size_t>(opt.clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opt.clients));
+  std::atomic<long> attach_failures{0};
+  for (int id = 0; id < opt.clients; ++id) {
+    threads.emplace_back([&, id] {
+      ClientResult& r = results[static_cast<std::size_t>(id)];
+      rt::RtClientOptions copts;
+      copts.transport = ring ? ipc::TransportKind::kShmRing
+                             : ipc::TransportKind::kMessageQueue;
+      copts.arena = opt.arena && ring;
+      auto client = rt::RtClient::connect(ctx.value(), id, 64, 64, copts);
+      if (!client.ok()) {
+        attach_failures.fetch_add(1);
+        return;
+      }
+      const std::int64_t params[4] = {8, 0, 0, 0};
+      if (!client->req(*kid, params).ok()) {
+        attach_failures.fetch_add(1);
+        return;
+      }
+      std::fill(client->input().begin(), client->input().end(),
+                std::byte{1});
+      const auto schedule = make_schedule(opt, id, start);
+      for (const auto& due : schedule) {
+        std::this_thread::sleep_until(due);
+        bool ok = client->snd().ok() && client->str().ok();
+        const auto acked = Clock::now();
+        if (ok) {
+          r.grant_ms.push_back(
+              std::chrono::duration<double, std::milli>(acked - due).count());
+          ok = client->wait_done().ok() && client->rcv().ok();
+        }
+        if (!ok) ++r.errors;
+      }
+      if (!client->rls().ok()) ++r.errors;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Let the serve loop GC the lingering released sessions, then sample
+  // the slot ledger while the server is still the slots' owner.
+  std::this_thread::sleep_for(config.release_linger +
+                              4 * config.lease_check_interval +
+                              std::chrono::milliseconds(100));
+  const rt::RtServerStats& stats = server.stats();
+  const long attached = stats.sessions_attached.load();
+  const long recycled = stats.slots_recycled.load();
+  const long leaked_slots = attached - recycled;
+  const long leaked = leaked_segments(prefix);
+  server.stop();
+
+  std::vector<double> grant;
+  long errors = 0;
+  for (const auto& r : results) {
+    grant.insert(grant.end(), r.grant_ms.begin(), r.grant_ms.end());
+    errors += r.errors;
+  }
+  std::sort(grant.begin(), grant.end());
+  const long requests = stats.requests.load();
+  const double cpu_us_per_req =
+      requests > 0 ? static_cast<double>(stats.serve_cpu_ns.load()) / 1e3 /
+                         static_cast<double>(requests)
+                   : 0.0;
+  const obs::Gauge* in_use =
+      server.obs().metrics().find_gauge("arena.in_use_bytes");
+
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"clients\": %d,\n", opt.clients);
+  std::fprintf(f, "  \"requests_per_client\": %d,\n", opt.requests);
+  std::fprintf(f, "  \"arrival\": \"%s\",\n", opt.arrival.c_str());
+  std::fprintf(f, "  \"rate_per_sec\": %.1f,\n", opt.rate);
+  std::fprintf(f, "  \"transport\": \"%s\",\n", ring ? "shm_ring" : "mqueue");
+  std::fprintf(f, "  \"arena\": %s,\n", opt.arena && ring ? "true" : "false");
+  std::fprintf(f, "  \"grants\": %zu,\n", grant.size());
+  std::fprintf(f, "  \"errors\": %ld,\n", errors);
+  std::fprintf(f, "  \"attach_failures\": %ld,\n", attach_failures.load());
+  std::fprintf(f, "  \"grant_latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, "
+                  "\"p999\": %.3f, \"max\": %.3f},\n",
+               pct(grant, 0.50), pct(grant, 0.99), pct(grant, 0.999),
+               grant.empty() ? 0.0 : grant.back());
+  std::fprintf(f, "  \"server_requests\": %ld,\n", requests);
+  std::fprintf(f, "  \"server_cpu_us_per_request\": %.3f,\n", cpu_us_per_req);
+  std::fprintf(f, "  \"ring_requests\": %ld,\n", stats.ring_requests.load());
+  std::fprintf(f, "  \"mailbox_acks\": %ld,\n", stats.mailbox_acks.load());
+  std::fprintf(f, "  \"arena_grants\": %ld,\n", stats.arena_grants.load());
+  std::fprintf(f, "  \"sessions_attached\": %ld,\n", attached);
+  std::fprintf(f, "  \"slots_recycled\": %ld,\n", recycled);
+  std::fprintf(f, "  \"stale_sessions\": %ld,\n", stats.stale_sessions.load());
+  std::fprintf(f, "  \"leaked_slots\": %ld,\n", leaked_slots);
+  std::fprintf(f, "  \"leaked_segments\": %ld,\n", leaked);
+  std::fprintf(f, "  \"arena_in_use_bytes_after\": %.0f\n",
+               in_use != nullptr ? in_use->value() : 0.0);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf(
+      "load_gen: %d clients, %zu grants, %ld errors | grant p50 %.3fms "
+      "p99 %.3fms p999 %.3fms | %.2fus server CPU/req | leaked slots %ld "
+      "segments %ld -> %s\n",
+      opt.clients, grant.size(), errors, pct(grant, 0.50), pct(grant, 0.99),
+      pct(grant, 0.999), cpu_us_per_req, leaked_slots, leaked,
+      opt.out.c_str());
+  const bool failed = errors > 0 || attach_failures.load() > 0 ||
+                      leaked_slots != 0 || leaked != 0;
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,73 @@
+#include "ipc/arena.hpp"
+
+#include <algorithm>
+
+namespace vgpu::ipc {
+
+namespace {
+std::int64_t align_up(std::int64_t v, Bytes align) {
+  const std::int64_t a = std::max<Bytes>(1, align);
+  return (v + a - 1) / a * a;
+}
+}  // namespace
+
+StatusOr<ShmArena> ShmArena::create(const std::string& name, Bytes size,
+                                    bool try_hugepages) {
+  auto region = SharedMemory::create(name, size);
+  if (!region.ok()) return region.status();
+  ShmArena arena(std::move(*region));
+  arena.stats_.hugepages = try_hugepages && arena.region_.advise_hugepages();
+  return arena;
+}
+
+ShmArena::ShmArena(SharedMemory region) : region_(std::move(region)) {
+  free_[0] = region_.size();
+}
+
+std::int64_t ShmArena::allocate(Bytes bytes, Bytes align) {
+  if (bytes <= 0) bytes = 1;
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const std::int64_t block = it->first;
+    const Bytes length = it->second;
+    const std::int64_t start = align_up(block, align);
+    const Bytes padding = start - block;
+    if (length < padding + bytes) continue;
+    free_.erase(it);
+    if (padding > 0) free_[block] = padding;
+    const Bytes tail = length - padding - bytes;
+    if (tail > 0) free_[start + bytes] = tail;
+    live_[start] = bytes;
+    ++stats_.allocs;
+    stats_.in_use += bytes;
+    stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+    return start;
+  }
+  ++stats_.failures;
+  return -1;
+}
+
+void ShmArena::release(std::int64_t offset) {
+  auto live = live_.find(offset);
+  if (live == live_.end()) return;
+  Bytes length = live->second;
+  live_.erase(live);
+  ++stats_.frees;
+  stats_.in_use -= length;
+  // Coalesce with the block after, then the block before.
+  auto after = free_.find(offset + length);
+  if (after != free_.end()) {
+    length += after->second;
+    free_.erase(after);
+  }
+  auto before = free_.lower_bound(offset);
+  if (before != free_.begin()) {
+    --before;
+    if (before->first + static_cast<std::int64_t>(before->second) == offset) {
+      before->second += length;
+      return;
+    }
+  }
+  free_[offset] = length;
+}
+
+}  // namespace vgpu::ipc

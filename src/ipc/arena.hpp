@@ -1,0 +1,67 @@
+// Pooled virtual-shared-memory arena: one large shm segment (hugepage-
+// backed when the kernel cooperates) carved into per-client regions by a
+// first-fit free list, replacing the one-shm_open-per-client layout. At
+// thousands of clients the per-segment costs dominate the control plane —
+// a name, an fd round trip, a VMA and page-table churn per attach — while
+// the arena costs one mapping for everyone and makes attach/detach a free-
+// list operation. Allocation metadata lives server-side only; clients just
+// map the segment and receive byte offsets (see docs/scaling.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "ipc/shm.hpp"
+
+namespace vgpu::ipc {
+
+class ShmArena {
+ public:
+  struct Stats {
+    long allocs = 0;
+    long frees = 0;
+    /// Allocation requests that did not fit (the caller backpressures).
+    long failures = 0;
+    Bytes in_use = 0;
+    Bytes peak_in_use = 0;
+    bool hugepages = false;  // MADV_HUGEPAGE was accepted
+  };
+
+  /// Creates the backing segment `name` of `size` bytes.
+  static StatusOr<ShmArena> create(const std::string& name, Bytes size,
+                                   bool try_hugepages = true);
+
+  ShmArena() = default;
+  ShmArena(ShmArena&&) = default;
+  ShmArena& operator=(ShmArena&&) = default;
+
+  bool valid() const { return region_.valid(); }
+  const std::string& name() const { return region_.name(); }
+  Bytes size() const { return region_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// First-fit allocation of `bytes` aligned to `align`; returns the byte
+  /// offset into the segment, or -1 when nothing fits (callers answer
+  /// admission backpressure, not an error).
+  std::int64_t allocate(Bytes bytes, Bytes align = 64);
+
+  /// Returns a block to the free list (coalescing with its neighbours).
+  /// Unknown offsets are ignored (double-release tolerance on the crash
+  /// reclamation path).
+  void release(std::int64_t offset);
+
+  std::byte* at(std::int64_t offset) { return region_.data() + offset; }
+
+ private:
+  explicit ShmArena(SharedMemory region);
+
+  SharedMemory region_;
+  std::map<std::int64_t, Bytes> free_;  // offset -> length, offset-ordered
+  std::map<std::int64_t, Bytes> live_;  // offset -> length
+  Stats stats_;
+};
+
+}  // namespace vgpu::ipc

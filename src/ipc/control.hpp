@@ -1,0 +1,334 @@
+// The server's shared control region (P_door, grown): one mapping that
+// carries everything a client needs to reach the serve loop without a
+// per-client kernel object.
+//
+//   [0]   serve-loop doorbell word  (legacy offset: pre-control clients
+//         that map only the first cache line still find the futex word)
+//   [64]  ready-set head — a lock-free MPSC Treiber stack of session
+//         slots; ring clients push their slot on every request push, the
+//         serve thread pops the whole stack per wakeup and drains only
+//         those lanes (O(ready), not O(attached))
+//   [..]  one ReadyNode per session slot (intrusive stack links)
+//   [..]  handshake mailboxes — REQ acks for clients that attach without
+//         a private response queue (the pooled-arena path; POSIX caps
+//         fs.mqueue.queues_max well below the client populations the
+//         load harness drives)
+//
+// Ready-set correctness: publish() sets the slot's `queued` flag before
+// linking it; the drain clears the flag (acq_rel exchange) *before* the
+// caller sweeps that lane's ring. A request pushed after the clear
+// re-publishes, so a wakeup is never lost; a request pushed before it is
+// found by the post-clear ring sweep. The only unsynchronized window is a
+// client dying between flag and link (a few instructions); the serve
+// loop's slow reconciliation sweep bounds that staleness (docs/scaling.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "ipc/transport.hpp"
+
+namespace vgpu::ipc {
+
+inline constexpr std::uint32_t kControlMagic = 0x56474352;  // "VGCR"
+inline constexpr std::uint32_t kControlVersion = 1;
+inline constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+/// Non-owning view over the control region. `Resp` is the handshake
+/// mailbox payload (the protocol's response record).
+template <typename Resp>
+class ControlRegion {
+  static_assert(std::is_trivially_copyable_v<Resp>,
+                "mailbox payload must be trivially copyable");
+
+ public:
+  struct Header {
+    Doorbell::Word door;  // offset 0: legacy doorbell-only mappings
+    std::atomic<std::uint32_t> magic{0};  // set last, release
+    std::uint32_t version = kControlVersion;
+    std::uint32_t sessions = 0;
+    std::uint32_t mailboxes = 0;
+    alignas(64) std::atomic<std::uint32_t> ready_head{kNilSlot};
+  };
+
+  struct ReadyNode {
+    std::atomic<std::uint32_t> next{kNilSlot};
+    std::atomic<std::uint32_t> queued{0};
+  };
+
+  /// Mailbox life cycle: kFree -> (client CAS) kClaimed -> (server)
+  /// kDelivered -> (client collects) kClaimed -> ... -> kFree. `owner` is
+  /// the claiming client id; `addressee` is stamped by the server with
+  /// each delivery so a recycled mailbox never hands one client another's
+  /// ack (the collect path re-arms and keeps waiting on a mismatch).
+  struct alignas(64) Mailbox {
+    static constexpr std::uint32_t kFree = 0;
+    static constexpr std::uint32_t kClaimed = 1;
+    static constexpr std::uint32_t kDelivered = 2;
+    std::atomic<std::uint32_t> state{kFree};
+    std::atomic<std::int32_t> owner{-1};
+    std::atomic<std::int32_t> addressee{-1};
+    Resp resp{};
+  };
+
+  ControlRegion() = default;
+
+  static Bytes size_for(std::uint32_t sessions, std::uint32_t mailboxes) {
+    std::size_t off = align_up(sizeof(Header), 64);
+    off += sizeof(ReadyNode) * sessions;
+    off = align_up(off, 64);
+    off += sizeof(Mailbox) * mailboxes;
+    return static_cast<Bytes>(off);
+  }
+
+  /// Creator side: placement-constructs the whole region (zeroed shm) and
+  /// publishes the magic last, so attach() never sees a half-built layout.
+  static ControlRegion init(std::byte* base, std::uint32_t sessions,
+                            std::uint32_t mailboxes) {
+    auto* header = new (base) Header();
+    header->sessions = sessions;
+    header->mailboxes = mailboxes;
+    ControlRegion region(base, header);
+    for (std::uint32_t i = 0; i < sessions; ++i) new (&region.node(i)) ReadyNode();
+    for (std::uint32_t i = 0; i < mailboxes; ++i) {
+      new (&region.mailbox(i)) Mailbox();
+    }
+    header->magic.store(kControlMagic, std::memory_order_release);
+    return region;
+  }
+
+  /// Peer side: validates magic/version and that the advertised counts fit
+  /// inside the mapping.
+  static StatusOr<ControlRegion> attach(std::byte* base, Bytes size) {
+    if (size < static_cast<Bytes>(sizeof(Header))) {
+      return FailedPrecondition("control region too small for its header");
+    }
+    auto* header = reinterpret_cast<Header*>(base);
+    if (header->magic.load(std::memory_order_acquire) != kControlMagic) {
+      return FailedPrecondition("control region not published");
+    }
+    if (header->version != kControlVersion) {
+      return FailedPrecondition("control region version mismatch");
+    }
+    if (size_for(header->sessions, header->mailboxes) > size) {
+      return FailedPrecondition("control region counts exceed the mapping");
+    }
+    return ControlRegion(base, header);
+  }
+
+  bool valid() const { return header_ != nullptr; }
+  std::uint32_t sessions() const { return header_->sessions; }
+  std::uint32_t mailboxes() const { return header_->mailboxes; }
+  Doorbell::Word* door_word() { return &header_->door; }
+
+  // -- Ready set (MPSC: any client publishes, the serve thread drains) ----
+
+  /// Marks `slot` ready. Returns false when the slot was already queued
+  /// (the pending drain will see the new request too). Idempotent from the
+  /// caller's point of view either way.
+  bool publish_ready(std::uint32_t slot) {
+    ReadyNode& n = node(slot);
+    if (n.queued.exchange(1, std::memory_order_acq_rel) != 0) return false;
+    std::uint32_t head = header_->ready_head.load(std::memory_order_relaxed);
+    do {
+      n.next.store(head, std::memory_order_relaxed);
+    } while (!header_->ready_head.compare_exchange_weak(
+        head, slot, std::memory_order_release, std::memory_order_relaxed));
+    return true;
+  }
+
+  bool ready_empty() const {
+    return header_->ready_head.load(std::memory_order_acquire) == kNilSlot;
+  }
+
+  /// Serve-thread only, at slot-recycling time: clears a queued flag left
+  /// by the slot's previous tenant (a publisher that died between setting
+  /// the flag and linking the node, which would otherwise absorb every
+  /// later publish for the slot). Safe only before the new tenant learns
+  /// its slot: a flag still set at that point implies the node is *not*
+  /// linked — a linked node was popped by the drain preceding the attach,
+  /// and no other process publishes this slot.
+  void reset_ready(std::uint32_t slot) {
+    node(slot).queued.store(0, std::memory_order_release);
+  }
+
+  /// Pops the whole stack, clears each slot's queued flag, and appends the
+  /// slots to `out`. The caller must sweep each returned lane *after* this
+  /// call — the flag clear is what makes a concurrent push re-publish
+  /// instead of getting lost.
+  std::size_t drain_ready(std::vector<std::uint32_t>* out) {
+    std::uint32_t slot =
+        header_->ready_head.exchange(kNilSlot, std::memory_order_acquire);
+    std::size_t drained = 0;
+    while (slot != kNilSlot) {
+      ReadyNode& n = node(slot);
+      // Read the link before clearing the flag: once cleared, the client
+      // may re-publish this slot and overwrite `next`.
+      const std::uint32_t next = n.next.load(std::memory_order_relaxed);
+      n.queued.exchange(0, std::memory_order_acq_rel);
+      out->push_back(slot);
+      slot = next;
+      ++drained;
+    }
+    return drained;
+  }
+
+  // -- Handshake mailboxes -----------------------------------------------
+
+  /// Client side: claims a free mailbox (scan start keyed on the id so
+  /// concurrent claimers spread out). -1 when every box is taken — the
+  /// caller falls back to a private response queue.
+  std::int32_t claim_mailbox(std::int32_t client_id) {
+    const std::uint32_t count = header_->mailboxes;
+    if (count == 0) return -1;
+    const std::uint32_t start =
+        static_cast<std::uint32_t>(client_id) % count;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t idx = (start + i) % count;
+      Mailbox& box = mailbox(idx);
+      std::uint32_t expected = Mailbox::kFree;
+      if (box.state.compare_exchange_strong(expected, Mailbox::kClaimed,
+                                            std::memory_order_acq_rel)) {
+        box.owner.store(client_id, std::memory_order_release);
+        return static_cast<std::int32_t>(idx);
+      }
+    }
+    return -1;
+  }
+
+  /// Server side: delivers `resp` into a claimed mailbox. False when the
+  /// box is not claimed by `client_id` (stale index in the request, or a
+  /// crashed claimant whose box was recycled) — the caller counts a
+  /// dropped response and moves on.
+  bool deliver(std::int32_t index, std::int32_t client_id, const Resp& resp) {
+    if (index < 0 ||
+        static_cast<std::uint32_t>(index) >= header_->mailboxes) {
+      return false;
+    }
+    Mailbox& box = mailbox(static_cast<std::uint32_t>(index));
+    if (box.state.load(std::memory_order_acquire) != Mailbox::kClaimed) {
+      return false;
+    }
+    if (box.owner.load(std::memory_order_acquire) != client_id) return false;
+    box.resp = resp;
+    box.addressee.store(client_id, std::memory_order_relaxed);
+    box.state.store(Mailbox::kDelivered, std::memory_order_release);
+    return true;
+  }
+
+  /// Client side: non-blocking collect. On a delivery addressed to someone
+  /// else (possible only after a claim raced a crashed predecessor's
+  /// in-flight ack) the box is re-armed and false returned.
+  bool try_collect(std::int32_t index, std::int32_t client_id, Resp* out) {
+    Mailbox& box = mailbox(static_cast<std::uint32_t>(index));
+    if (box.state.load(std::memory_order_acquire) != Mailbox::kDelivered) {
+      return false;
+    }
+    const bool mine =
+        box.addressee.load(std::memory_order_relaxed) == client_id;
+    if (mine) *out = box.resp;
+    box.state.store(Mailbox::kClaimed, std::memory_order_release);
+    return mine;
+  }
+
+  /// Client side: returns the box to the free pool.
+  void release_mailbox(std::int32_t index, std::int32_t client_id) {
+    if (index < 0 ||
+        static_cast<std::uint32_t>(index) >= header_->mailboxes) {
+      return;
+    }
+    Mailbox& box = mailbox(static_cast<std::uint32_t>(index));
+    if (box.owner.load(std::memory_order_acquire) != client_id) return;
+    box.owner.store(-1, std::memory_order_relaxed);
+    box.state.store(Mailbox::kFree, std::memory_order_release);
+  }
+
+ private:
+  ControlRegion(std::byte* base, Header* header)
+      : base_(base), header_(header) {}
+
+  static constexpr std::size_t align_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) & ~(a - 1);
+  }
+
+  ReadyNode& node(std::uint32_t slot) {
+    auto* nodes =
+        reinterpret_cast<ReadyNode*>(base_ + align_up(sizeof(Header), 64));
+    return nodes[slot];
+  }
+  const ReadyNode& node(std::uint32_t slot) const {
+    return const_cast<ControlRegion*>(this)->node(slot);
+  }
+  Mailbox& mailbox(std::uint32_t index) {
+    std::size_t off = align_up(sizeof(Header), 64);
+    off += sizeof(ReadyNode) * header_->sessions;
+    off = align_up(off, 64);
+    return reinterpret_cast<Mailbox*>(base_ + off)[index];
+  }
+
+  std::byte* base_ = nullptr;
+  Header* header_ = nullptr;
+};
+
+/// Ring client endpoint for a session-aware server: identical wire
+/// behaviour to RingClientTransport, plus the ready-set publish the
+/// event-driven serve loop keys on. Ordering is load-bearing:
+///
+///   ring push  ->  publish_ready(slot)  ->  doorbell ring
+///
+/// The push must land before the slot appears in the ready set (the
+/// drain's post-clear sweep must find it), and the publish before the
+/// ring (the serve loop's wake predicate is "ready set non-empty"; a
+/// ring without a publish is a wasted wakeup at best).
+template <typename Req, typename Resp, std::size_t Slots = kChannelSlots>
+class SessionRingTransport final : public ClientTransport<Req, Resp> {
+ public:
+  using Block = ShmChannelBlock<Req, Resp, Slots>;
+
+  SessionRingTransport(Block* block, ControlRegion<Resp>* control,
+                       std::uint32_t slot, Doorbell::Word* server_door,
+                       WaitConfig wait = {})
+      : block_(block),
+        control_(control),
+        slot_(slot),
+        server_door_(server_door),
+        waiter_(wait) {}
+
+  TransportKind kind() const override { return TransportKind::kShmRing; }
+
+  Status send(const Req& request) override {
+    if (!block_->requests.push(request)) {
+      return ResourceExhausted("request ring full");
+    }
+    control_->publish_ready(slot_);
+    Doorbell(server_door_).ring();
+    return Status::Ok();
+  }
+
+  StatusOr<Resp> receive(std::chrono::milliseconds timeout) override {
+    std::optional<Resp> response;
+    Doorbell door(&block_->client_door);
+    const bool got = waiter_.wait(
+        [&] {
+          response = block_->responses.pop();
+          return response.has_value();
+        },
+        &door, std::chrono::steady_clock::now() + timeout);
+    if (!got) return Unavailable("shm-ring receive timeout");
+    return *response;
+  }
+
+  const WaitStats& wait_stats() const { return waiter_.stats(); }
+
+ private:
+  Block* block_;
+  ControlRegion<Resp>* control_;
+  std::uint32_t slot_;
+  Doorbell::Word* server_door_;
+  WaitStrategy waiter_;
+};
+
+}  // namespace vgpu::ipc

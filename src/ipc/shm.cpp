@@ -53,6 +53,36 @@ StatusOr<SharedMemory> SharedMemory::open(const std::string& name,
   return SharedMemory(name, data, size, /*owner=*/false);
 }
 
+StatusOr<SharedMemory> SharedMemory::open_existing(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return errno_status("shm_open(" + name + ")");
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = errno_status("fstat(" + name + ")");
+    ::close(fd);
+    return status;
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return FailedPrecondition("shared memory " + name + " has no size yet");
+  }
+  const Bytes size = static_cast<Bytes>(st.st_size);
+  void* data = ::mmap(nullptr, static_cast<std::size_t>(size),
+                      PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (data == MAP_FAILED) return errno_status("mmap(" + name + ")");
+  return SharedMemory(name, data, size, /*owner=*/false);
+}
+
+bool SharedMemory::advise_hugepages() {
+#ifdef MADV_HUGEPAGE
+  if (data_ == nullptr) return false;
+  return ::madvise(data_, static_cast<std::size_t>(size_), MADV_HUGEPAGE) == 0;
+#else
+  return false;
+#endif
+}
+
 void SharedMemory::unlink(const std::string& name) {
   ::shm_unlink(name.c_str());
 }

@@ -23,6 +23,11 @@ class SharedMemory {
   /// Opens an existing region. `size` must match the creator's size.
   static StatusOr<SharedMemory> open(const std::string& name, Bytes size);
 
+  /// Opens an existing region at whatever size its creator gave it
+  /// (fstat). For regions whose size is a server-side decision the client
+  /// cannot recompute — the control region and the pooled vsm arena.
+  static StatusOr<SharedMemory> open_existing(const std::string& name);
+
   /// Removes `name` from the namespace regardless of ownership (missing
   /// names are ignored). Reclamation path: when a region's creator died
   /// without running its destructor, someone else must unlink the name or
@@ -35,6 +40,11 @@ class SharedMemory {
   SharedMemory(const SharedMemory&) = delete;
   SharedMemory& operator=(const SharedMemory&) = delete;
   ~SharedMemory();
+
+  /// Asks the kernel to back the mapping with transparent huge pages
+  /// (madvise MADV_HUGEPAGE). Best-effort: returns false where THP is
+  /// unavailable; the mapping stays valid either way.
+  bool advise_hugepages();
 
   bool valid() const { return data_ != nullptr; }
   const std::string& name() const { return name_; }

@@ -39,6 +39,11 @@ enum class TransportKind : std::int32_t {
 /// server answers with the TransportKind it selected.
 inline constexpr std::uint32_t kTransportCapMqueue = 1u << 0;
 inline constexpr std::uint32_t kTransportCapShmRing = 1u << 1;
+/// Client can take its data region (and ring channel) inside the server's
+/// pooled vsm arena instead of creating a private P_vsm<k> segment; the
+/// REQ ack's arena_offset answers the placement (-1 = declined, create
+/// your own segment and re-REQ without this bit). See docs/scaling.md.
+inline constexpr std::uint32_t kTransportCapVsmArena = 1u << 2;
 
 const char* transport_name(TransportKind kind);
 /// Parses the CLI spelling ("mq" | "mqueue" | "shm" | "shm_ring").
@@ -184,7 +189,7 @@ class WaitStrategy {
 inline constexpr std::size_t kChannelSlots = 64;
 
 inline constexpr std::uint32_t kChannelMagic = 0x56475043;  // "VGPC"
-inline constexpr std::uint32_t kChannelVersion = 1;
+inline constexpr std::uint32_t kChannelVersion = 2;  // v2: session tokens
 
 /// The shared-memory control block of one client<->server channel: a
 /// request ring (client -> server), a response ring (server -> client) and

@@ -26,55 +26,115 @@ void back_off(std::chrono::microseconds* backoff) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// RtClientContext
+// ---------------------------------------------------------------------------
+
+StatusOr<std::shared_ptr<RtClientContext>> RtClientContext::open(
+    const std::string& prefix) {
+  auto ctx = std::shared_ptr<RtClientContext>(new RtClientContext(prefix));
+  auto req = ipc::MessageQueue<RtRequest>::open(prefix + "_req");
+  if (!req.ok()) return req.status();
+  ctx->req_ = std::move(*req);
+
+  // The doorbell region is optional (mqueue-only servers publish none) and
+  // its *layout* is a negotiation: a control-region server carries the
+  // ready set and handshake mailboxes behind the futex word, a pre-control
+  // server only the word itself. attach() validates the magic, so a bare
+  // doorbell degrades gracefully to doorbell-only operation.
+  auto door = ipc::SharedMemory::open_existing(prefix + "_door");
+  if (door.ok() && door->size() >= ipc::kDoorbellRegionSize) {
+    ctx->door_ = std::move(*door);
+    auto ctrl = ipc::ControlRegion<RtResponse>::attach(ctx->door_.data(),
+                                                       ctx->door_.size());
+    if (ctrl.ok()) ctx->ctrl_ = *ctrl;
+  }
+  return ctx;
+}
+
+std::byte* RtClientContext::arena_base() {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (!arena_tried_) {
+    arena_tried_ = true;
+    auto arena = ipc::SharedMemory::open_existing(prefix_ + "_arena");
+    if (arena.ok()) arena_ = std::move(*arena);
+  }
+  return arena_.valid() ? arena_.data() : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// RtClient
+// ---------------------------------------------------------------------------
+
 StatusOr<RtClient> RtClient::connect(const std::string& prefix, int id,
                                      Bytes bytes_in, Bytes bytes_out,
+                                     RtClientOptions options) {
+  auto ctx = RtClientContext::open(prefix);
+  if (!ctx.ok()) return ctx.status();
+  return connect(std::move(*ctx), id, bytes_in, bytes_out, options);
+}
+
+StatusOr<RtClient> RtClient::connect(std::shared_ptr<RtClientContext> context,
+                                     int id, Bytes bytes_in, Bytes bytes_out,
                                      RtClientOptions options) {
   // Tag this thread's log lines so interleaved multi-client output stays
   // attributable ("[W][client 3] ...").
   set_log_scope("client " + std::to_string(id));
-  const std::string suffix = std::to_string(id);
-  auto req = ipc::MessageQueue<RtRequest>::open(prefix + "_req");
-  if (!req.ok()) return req.status();
-  auto resp =
-      ipc::MessageQueue<RtResponse>::create(prefix + "_resp" + suffix);
-  if (!resp.ok()) return resp.status();
+  RtClient client(std::move(context), id, bytes_in, bytes_out, options);
 
-  // Advertise the ring capability only when the server's doorbell region
-  // is reachable; otherwise degrade to mqueue-only (e.g. a pre-transport
-  // server that never published one).
+  const bool ring_reachable =
+      options.transport == ipc::TransportKind::kShmRing &&
+      client.ctx_->server_door() != nullptr;
   std::uint32_t caps = ipc::kTransportCapMqueue;
-  ipc::SharedMemory door;
-  if (options.transport == ipc::TransportKind::kShmRing) {
-    auto opened =
-        ipc::SharedMemory::open(prefix + "_door", ipc::kDoorbellRegionSize);
-    if (opened.ok()) {
-      door = std::move(*opened);
-      caps |= ipc::kTransportCapShmRing;
-    }
+  if (ring_reachable) caps |= ipc::kTransportCapShmRing;
+  // The arena path needs all three legs: the ring (its only post-REQ
+  // transport), the control region (its handshake channel) and the arena
+  // segment itself. Probe them up front so a doomed request never burns a
+  // handshake round trip.
+  if (options.arena && ring_reachable && client.ctx_->control() != nullptr &&
+      client.ctx_->arena_base() != nullptr) {
+    caps |= ipc::kTransportCapVsmArena;
   }
+  client.caps_ = caps;
 
-  auto vsm = ipc::SharedMemory::create(
-      prefix + "_vsm" + suffix, vsm_region_size(caps, bytes_in, bytes_out));
+  if ((caps & ipc::kTransportCapVsmArena) == 0) {
+    // Classic per-client resources, created before REQ so input() is
+    // usable immediately; arena clients get their region from the grant.
+    const Status opened = client.open_private(caps);
+    if (!opened.ok()) return opened;
+  }
+  return client;
+}
+
+Status RtClient::open_private(std::uint32_t caps) {
+  const std::string suffix = std::to_string(id_);
+  auto resp = ipc::MessageQueue<RtResponse>::create(ctx_->prefix() + "_resp" +
+                                                    suffix);
+  if (!resp.ok()) return resp.status();
+  resp_ = std::make_unique<ipc::MessageQueue<RtResponse>>(std::move(*resp));
+
+  auto vsm =
+      ipc::SharedMemory::create(ctx_->prefix() + "_vsm" + suffix,
+                                vsm_region_size(caps, bytes_in_, bytes_out_));
   if (!vsm.ok()) return vsm.status();
-  RtChannel* channel = nullptr;
+  vsm_ = std::move(*vsm);
+  region_ = vsm_.bytes();
+  data_offset_ = vsm_data_offset(caps);
+  caps_ = caps;
+  channel_ = nullptr;
   if ((caps & ipc::kTransportCapShmRing) != 0) {
     // Construct and publish the channel block before the server can see
     // the REQ that names this region.
-    channel = new (vsm->data()) RtChannel();
-    channel->publish();
+    channel_ = new (vsm_.data()) RtChannel();
+    channel_->publish();
   }
-
-  return RtClient(
-      id,
-      std::make_unique<ipc::MessageQueue<RtRequest>>(std::move(*req)),
-      std::make_unique<ipc::MessageQueue<RtResponse>>(std::move(*resp)),
-      std::move(*vsm), std::move(door), channel, caps, bytes_in, bytes_out,
-      options);
+  return Status::Ok();
 }
 
 StatusOr<RtAck> RtClient::call(RtRequest request) {
   request.client = id_;
   request.seq = ++seq_;
+  request.session = session_;
   if (chan_ == nullptr) {
     return FailedPrecondition("protocol op before REQ negotiated a transport");
   }
@@ -128,6 +188,92 @@ StatusOr<RtAck> RtClient::call(RtRequest request) {
                   std::to_string(options_.max_retries + 1) + " attempts");
 }
 
+Status RtClient::await_handshake(const RtRequest& request,
+                                 std::int32_t mailbox, RtResponse* out) {
+  if (mailbox >= 0) {
+    // Mailbox collect: a lock-free poll against the control region, with
+    // a sleep that starts fine-grained (sub-millisecond handshakes) and
+    // backs off — no kernel object, no syscall on the hit path.
+    ipc::ControlRegion<RtResponse>* ctrl = ctx_->control();
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.op_timeout;
+    std::chrono::microseconds nap{1};
+    for (;;) {
+      if (ctrl->try_collect(mailbox, id_, out)) {
+        if (out->seq != 0 && out->seq < request.seq) continue;  // stale
+        return Status::Ok();
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Unavailable("handshake mailbox collect timed out");
+      }
+      std::this_thread::sleep_for(nap);
+      nap = std::min(nap * 2, std::chrono::microseconds(500));
+    }
+  }
+  for (;;) {
+    auto response = resp_->receive(options_.op_timeout);
+    if (!response.ok()) return response.status();
+    if (response->seq != 0 && response->seq < request.seq) continue;
+    *out = *response;
+    return Status::Ok();
+  }
+}
+
+Status RtClient::adopt_grant(const RtResponse& granted, std::uint32_t caps) {
+  session_ = granted.session;
+  if (granted.arena_offset >= 0) {
+    // Pooled placement: the region is a server-carved slice of the arena,
+    // with the server-constructed channel block at its head.
+    std::byte* base = ctx_->arena_base();
+    if (base == nullptr) {
+      return Internal("arena grant but the arena segment is unmapped");
+    }
+    arena_offset_ = granted.arena_offset;
+    region_ = {base + granted.arena_offset,
+               static_cast<std::size_t>(
+                   vsm_region_size(caps, bytes_in_, bytes_out_))};
+    data_offset_ = vsm_data_offset(caps);
+    channel_ = reinterpret_cast<RtChannel*>(region_.data());
+    if (!channel_->valid()) {
+      return Internal("arena grant carries an unpublished channel block");
+    }
+  }
+  const auto selected = static_cast<ipc::TransportKind>(granted.transport);
+  if (selected == ipc::TransportKind::kShmRing &&
+      (caps & ipc::kTransportCapShmRing) != 0 && channel_ != nullptr) {
+    active_ = ipc::TransportKind::kShmRing;
+    // Session-aware servers hand out a token whose slot keys the ready
+    // set; publish it on every send so the serve loop's drain touches
+    // only lanes with work. Pre-session servers (token 0) get the plain
+    // ring endpoint — doorbell-only wakeups, as before.
+    if (ctx_->control() != nullptr && session_ != 0) {
+      chan_ = std::make_unique<
+          ipc::SessionRingTransport<RtRequest, RtResponse>>(
+          channel_, ctx_->control(), session_slot(session_),
+          ctx_->server_door(), options_.wait);
+    } else {
+      chan_ =
+          std::make_unique<ipc::RingClientTransport<RtRequest, RtResponse>>(
+              channel_, ctx_->server_door(), options_.wait);
+    }
+  } else {
+    if (resp_ == nullptr) {
+      // An arena client has no response queue; a server that grants the
+      // arena but not the ring has broken the protocol's invariant.
+      return Internal("mqueue transport selected without a response queue");
+    }
+    active_ = ipc::TransportKind::kMessageQueue;
+    chan_ = std::make_unique<ipc::MqClientTransport<RtRequest, RtResponse>>(
+        ctx_->request_queue(), resp_.get());
+  }
+  if (options_.fault != nullptr) {
+    chan_ =
+        std::make_unique<fault::FaultyClientTransport<RtRequest, RtResponse>>(
+            std::move(chan_), options_.fault);
+  }
+  return Status::Ok();
+}
+
 Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
   RtRequest request;
   request.op = RtOp::kReq;
@@ -139,10 +285,48 @@ Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
   request.bytes_in = bytes_in_;
   request.bytes_out = bytes_out_;
   for (int i = 0; i < 4; ++i) request.params[i] = params[i];
-  // The handshake always travels over the message queues; only afterwards
-  // does traffic switch to whatever the server selected. REQ is an
-  // idempotent re-attach (the server retires a stale registration for the
-  // same id), so timeouts and kWait backpressure both resend it whole.
+
+  // Arena clients answer over a claimed handshake mailbox; everyone else
+  // over their private response queue. The pool is smaller than the
+  // population it serves (an attach storm claims every box at once), but
+  // boxes recycle within one handshake round trip — so a failed claim
+  // retries against the pool for the op window before giving up on the
+  // arena. The private-path fallback is a last resort: it needs a kernel
+  // queue, the very resource whose cap the arena path exists to dodge.
+  std::int32_t mailbox = -1;
+  if ((caps_ & ipc::kTransportCapVsmArena) != 0) {
+    const auto claim_deadline =
+        std::chrono::steady_clock::now() + options_.op_timeout;
+    std::chrono::microseconds nap{50};
+    for (;;) {
+      mailbox = ctx_->control()->claim_mailbox(id_);
+      if (mailbox >= 0 || std::chrono::steady_clock::now() >= claim_deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(nap);
+      nap = std::min(nap * 2, std::chrono::microseconds(2000));
+    }
+    if (mailbox < 0) {
+      caps_ &= ~ipc::kTransportCapVsmArena;
+      const Status opened = open_private(caps_);
+      if (!opened.ok()) return opened;
+      request.transport_caps = caps_;
+    }
+  }
+  request.mailbox = mailbox;
+  const auto release_mailbox = [&] {
+    if (mailbox >= 0) {
+      ctx_->control()->release_mailbox(mailbox, id_);
+      mailbox = -1;
+      request.mailbox = -1;
+    }
+  };
+
+  // The handshake always travels over the pre-session path; only
+  // afterwards does traffic switch to whatever the server selected. REQ
+  // is an idempotent re-attach (the server retires a stale registration
+  // for the same id), so timeouts and kWait backpressure both resend it
+  // whole.
   std::chrono::microseconds backoff = options_.retry_backoff;
   bool backpressured = false;
   RtResponse granted;
@@ -150,33 +334,49 @@ Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
   for (int attempt = 0; attempt <= options_.max_retries && !have_grant;
        ++attempt) {
     if (attempt > 0) back_off(&backoff);
-    const Status sent = req_->send(request);
+    const Status sent = ctx_->request_queue()->send(request);
     if (!sent.ok()) {
-      if (sent.code() != ErrorCode::kUnavailable) return sent;
+      if (sent.code() != ErrorCode::kUnavailable) {
+        release_mailbox();
+        return sent;
+      }
       continue;
     }
-    for (;;) {
-      auto response = resp_->receive(options_.op_timeout);
-      if (!response.ok()) {
-        if (response.status().code() != ErrorCode::kUnavailable) {
-          return response.status();
-        }
-        break;  // handshake deadline expired: re-attach
+    RtResponse response;
+    const Status got = await_handshake(request, mailbox, &response);
+    if (!got.ok()) {
+      if (got.code() != ErrorCode::kUnavailable) {
+        release_mailbox();
+        return got;
       }
-      if (response->seq != 0 && response->seq < request.seq) continue;
-      if (response->ack == RtAck::kWait) {
-        // Admission backpressure: back off, then re-attach.
-        backpressured = true;
-        break;
-      }
-      if (response->ack == RtAck::kError) {
-        return Internal("GVM rejected the request");
-      }
-      granted = *response;
-      have_grant = true;
-      break;
+      continue;  // handshake deadline expired: re-attach
     }
+    if (response.ack == RtAck::kWait) {
+      if (response.arena_offset == -2 &&
+          (caps_ & ipc::kTransportCapVsmArena) != 0) {
+        // Permanent arena decline: this server cannot host the region.
+        // Fall back to a private segment and re-REQ without the bit —
+        // no backoff, the decline is a protocol answer, not pressure.
+        release_mailbox();
+        caps_ &= ~ipc::kTransportCapVsmArena;
+        const Status opened = open_private(caps_);
+        if (!opened.ok()) return opened;
+        request.transport_caps = caps_;
+        continue;
+      }
+      // Admission backpressure (or a transiently full arena): back off,
+      // then re-attach.
+      backpressured = true;
+      continue;
+    }
+    if (response.ack == RtAck::kError) {
+      release_mailbox();
+      return Internal("GVM rejected the request");
+    }
+    granted = response;
+    have_grant = true;
   }
+  release_mailbox();
   if (!have_grant) {
     if (backpressured) {
       return Unavailable("GVM admission backpressure persisted across " +
@@ -186,21 +386,9 @@ Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
     return TimedOut("GVM did not answer REQ after " +
                     std::to_string(options_.max_retries + 1) + " attempts");
   }
-  const auto selected = static_cast<ipc::TransportKind>(granted.transport);
-  if (selected == ipc::TransportKind::kShmRing &&
-      (caps_ & ipc::kTransportCapShmRing) != 0 && channel_ != nullptr) {
-    active_ = ipc::TransportKind::kShmRing;
-    chan_ = std::make_unique<ipc::RingClientTransport<RtRequest, RtResponse>>(
-        channel_, door_.as<ipc::Doorbell::Word>(), options_.wait);
-  } else {
-    active_ = ipc::TransportKind::kMessageQueue;
-    chan_ = std::make_unique<ipc::MqClientTransport<RtRequest, RtResponse>>(
-        req_.get(), resp_.get());
-  }
+  const Status adopted = adopt_grant(granted, caps_);
+  if (!adopted.ok()) return adopted;
   if (options_.fault != nullptr) {
-    chan_ =
-        std::make_unique<fault::FaultyClientTransport<RtRequest, RtResponse>>(
-            std::move(chan_), options_.fault);
     options_.fault->maybe_kill(fault::Point::kClientAfterReq);
   }
   return Status::Ok();

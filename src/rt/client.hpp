@@ -1,22 +1,30 @@
 // Client-side API layer of the live GVM: exposes the paper's VGPU routines
-// (REQ/SND/STR/STP/RCV/RLS) over real POSIX IPC. The client owns its
-// response queue and its virtual-shared-memory region; input data is
-// written directly into the vsm (no extra client-side copy), as in the
-// paper's design.
+// (REQ/SND/STR/STP/RCV/RLS) over real POSIX IPC. The client owns (or is
+// granted) a virtual-shared-memory region; input data is written directly
+// into it (no extra client-side copy), as in the paper's design.
 //
 // REQ negotiates the control-plane transport: the client advertises what
 // it can speak (message queue always; shm ring when it could map the
-// server's doorbell), the server answers with its selection, and every
-// later verb travels over that transport (see docs/transport.md).
+// server's doorbell; pooled-arena placement when asked to), the server
+// answers with its selection, and every later verb travels over that
+// transport (see docs/transport.md and docs/scaling.md).
+//
+// Thousands of clients in one process share an RtClientContext: the
+// server's request queue, the control region (ready set + handshake
+// mailboxes) and the pooled arena are one set of process resources, not
+// per-client ones — a 10k-client load generator opens three kernel
+// objects, not 30k.
 #pragma once
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "ipc/control.hpp"
 #include "ipc/mqueue.hpp"
 #include "ipc/shm.hpp"
 #include "ipc/transport.hpp"
@@ -29,11 +37,58 @@ class Injector;
 
 namespace vgpu::rt {
 
+/// Process-wide client-side resources for one server prefix, shared by
+/// every RtClient connected through it. Everything here is safe for
+/// concurrent use from many client threads: the request queue is a
+/// kernel object, the control region's structures are lock-free, and the
+/// lazily mapped arena is guarded.
+class RtClientContext {
+ public:
+  static StatusOr<std::shared_ptr<RtClientContext>> open(
+      const std::string& prefix);
+
+  const std::string& prefix() const { return prefix_; }
+  ipc::MessageQueue<RtRequest>* request_queue() { return &req_; }
+  /// Null on pre-control servers (doorbell-only region, or none at all).
+  ipc::ControlRegion<RtResponse>* control() {
+    return ctrl_.valid() ? &ctrl_ : nullptr;
+  }
+  /// The serve-loop doorbell word; null when the server published no
+  /// doorbell region (mqueue-only servers).
+  ipc::Doorbell::Word* server_door() {
+    return door_.data() != nullptr
+               ? reinterpret_cast<ipc::Doorbell::Word*>(door_.data())
+               : nullptr;
+  }
+  /// Lazily maps the server's pooled vsm arena. Null when the server
+  /// created none — the caller falls back to a private segment.
+  std::byte* arena_base();
+
+ private:
+  explicit RtClientContext(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  std::string prefix_;
+  ipc::MessageQueue<RtRequest> req_;
+  ipc::SharedMemory door_;
+  ipc::ControlRegion<RtResponse> ctrl_;
+  std::mutex arena_mu_;
+  ipc::SharedMemory arena_;
+  bool arena_tried_ = false;
+};
+
 struct RtClientOptions {
   /// Preferred control-plane transport; the server may negotiate down to
   /// the message queue. kMessageQueue here skips advertising the ring
   /// capability entirely (paper-faithful wire behaviour).
   ipc::TransportKind transport = ipc::TransportKind::kShmRing;
+  /// Ask for a region inside the server's pooled vsm arena instead of
+  /// creating a private P_vsm<k> segment and P_resp<k> queue. The REQ ack
+  /// travels over a control-region handshake mailbox, so an arena client
+  /// costs the kernel *zero* per-client objects — the scaling path when
+  /// fs.mqueue.queues_max caps the population. Falls back to the private
+  /// path when the server declines (arena_offset == -2) or the context
+  /// lacks the control region. Implies the ring transport.
+  bool arena = false;
   /// Wait strategy for ring receives.
   ipc::WaitConfig wait;
   /// Optional span tracer (not owned; must outlive the client). When set,
@@ -65,26 +120,34 @@ class RtClient {
  public:
   /// Creates the client's IPC resources and connects to the server at
   /// `prefix`. `bytes_in` / `bytes_out` fix the vsm layout for this task.
+  /// Opens a fresh single-client context; multi-client harnesses use the
+  /// context overload so the per-process resources are opened once.
   static StatusOr<RtClient> connect(const std::string& prefix, int id,
                                     Bytes bytes_in, Bytes bytes_out,
+                                    RtClientOptions options = {});
+  /// Connects through a shared context (thread-safe; one context serves
+  /// any number of concurrent clients).
+  static StatusOr<RtClient> connect(std::shared_ptr<RtClientContext> context,
+                                    int id, Bytes bytes_in, Bytes bytes_out,
                                     RtClientOptions options = {});
 
   RtClient(RtClient&&) = default;
   RtClient& operator=(RtClient&&) = default;
 
-  /// The vsm input area: write task input here before snd().
+  /// The vsm input area: write task input here before snd(). For arena
+  /// clients the region exists only after req() granted placement.
   std::span<std::byte> input() {
-    return vsm_.bytes().subspan(data_offset_,
-                                static_cast<std::size_t>(bytes_in_));
+    return region_.subspan(data_offset_, static_cast<std::size_t>(bytes_in_));
   }
   /// The vsm output area: valid after rcv().
   std::span<const std::byte> output() const {
-    return {vsm_.data() + data_offset_ + bytes_in_,
-            static_cast<std::size_t>(bytes_out_)};
+    return region_.subspan(data_offset_ + static_cast<std::size_t>(bytes_in_),
+                           static_cast<std::size_t>(bytes_out_));
   }
 
   /// REQ: acquire VGPU resources for `kernel_id` with scalar `params`.
-  /// Also performs the transport negotiation.
+  /// Also performs the transport negotiation (and, when asked, the
+  /// arena-placement handshake).
   Status req(int kernel_id, const std::int64_t params[4]);
   /// SND: hand the input area to the GVM for staging.
   Status snd();
@@ -104,39 +167,47 @@ class RtClient {
   long waits_observed() const { return waits_; }
   /// The negotiated control-plane transport (valid after req()).
   ipc::TransportKind transport() const { return active_; }
+  /// The session token the REQ ack assigned (0 before req(), or against a
+  /// pre-session server).
+  std::int64_t session() const { return session_; }
+  /// True when the region lives inside the server's pooled arena.
+  bool in_arena() const { return arena_offset_ >= 0; }
 
  private:
-  RtClient(int id, std::unique_ptr<ipc::MessageQueue<RtRequest>> req,
-           std::unique_ptr<ipc::MessageQueue<RtResponse>> resp,
-           ipc::SharedMemory vsm, ipc::SharedMemory door,
-           RtChannel* channel, std::uint32_t caps, Bytes bytes_in,
+  RtClient(std::shared_ptr<RtClientContext> context, int id, Bytes bytes_in,
            Bytes bytes_out, RtClientOptions options)
-      : id_(id),
-        req_(std::move(req)),
-        resp_(std::move(resp)),
-        vsm_(std::move(vsm)),
-        door_(std::move(door)),
-        channel_(channel),
-        caps_(caps),
-        data_offset_(vsm_data_offset(caps)),
+      : ctx_(std::move(context)),
+        id_(id),
         bytes_in_(bytes_in),
         bytes_out_(bytes_out),
         options_(options) {}
 
   StatusOr<RtAck> call(RtRequest request);
+  /// Creates the private P_vsm<k> segment (+ channel block when `caps`
+  /// advertises the ring) and P_resp<k> queue — the classic per-client
+  /// resources, also the fallback when the arena declines.
+  Status open_private(std::uint32_t caps);
+  /// One REQ send/await round over the mailbox or the response queue.
+  /// Fills `*out` and returns Ok, or kUnavailable to mean "resend".
+  Status await_handshake(const RtRequest& request, std::int32_t mailbox,
+                         RtResponse* out);
+  /// Installs the post-handshake transport and region from the REQ grant.
+  Status adopt_grant(const RtResponse& granted, std::uint32_t caps);
 
+  std::shared_ptr<RtClientContext> ctx_;
   int id_;
-  // Heap-held queues so transport endpoints can keep stable pointers to
-  // them across RtClient moves.
-  std::unique_ptr<ipc::MessageQueue<RtRequest>> req_;
+  // Heap-held so the mqueue transport endpoint keeps a stable pointer
+  // across RtClient moves. Null for arena clients (mailbox handshake).
   std::unique_ptr<ipc::MessageQueue<RtResponse>> resp_;
-  ipc::SharedMemory vsm_;
-  ipc::SharedMemory door_;    // server doorbell region (ring caps only)
-  RtChannel* channel_ = nullptr;  // inside vsm_, when ring caps advertised
+  ipc::SharedMemory vsm_;         // private segment (non-arena path)
+  std::span<std::byte> region_;   // the vsm view: private segment or arena slice
+  RtChannel* channel_ = nullptr;  // at the head of region_, ring caps only
   std::unique_ptr<ipc::ClientTransport<RtRequest, RtResponse>> chan_;
-  std::uint32_t caps_;
-  std::size_t data_offset_;
+  std::uint32_t caps_ = ipc::kTransportCapMqueue;
+  std::size_t data_offset_ = 0;
   ipc::TransportKind active_ = ipc::TransportKind::kMessageQueue;
+  std::int64_t session_ = 0;      // REQ ack token, stamped on every verb
+  std::int64_t arena_offset_ = -1;
   Bytes bytes_in_;
   Bytes bytes_out_;
   RtClientOptions options_;

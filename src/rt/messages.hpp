@@ -46,6 +46,14 @@ struct RtRequest {
   /// verb, and the client discards responses for superseded seqs. 0 (a
   /// pre-seq client) opts out of duplicate detection.
   std::int64_t seq = 0;
+  /// Session token from the REQ ack (slot | generation), stamped on every
+  /// post-REQ verb: the server resolves it in O(1) against its slot table
+  /// and rejects tokens whose generation was recycled. 0 (a pre-session
+  /// client) falls back to the id lookup.
+  std::int64_t session = 0;
+  /// REQ only: handshake mailbox index the client claimed in the control
+  /// region (-1 = none; the ack travels over P_resp<k> instead).
+  std::int32_t mailbox = -1;
   std::int64_t bytes_in = 0;        // REQ only
   std::int64_t bytes_out = 0;       // REQ only
   std::int64_t params[4] = {};      // forwarded to the kernel function
@@ -60,11 +68,32 @@ struct RtResponse {
   /// Echo of the request seq this response answers (0 from pre-seq
   /// servers); the client's retry loop matches on it.
   std::int64_t seq = 0;
+  /// REQ ack only: the session token to stamp on every later verb (0 from
+  /// pre-session servers).
+  std::int64_t session = 0;
+  /// REQ ack only: byte offset of this client's region inside the pooled
+  /// vsm arena, when the client advertised kTransportCapVsmArena and the
+  /// server granted it; -1 = no arena (create a private segment).
+  std::int64_t arena_offset = -1;
 };
 
 /// The control-plane channel embedded at the head of the vsm region when
 /// the client advertises the shm-ring capability.
 using RtChannel = ipc::ShmChannelBlock<RtRequest, RtResponse>;
+
+/// Session tokens pack (slot, generation) into one int64. Generations
+/// start at 1, so a valid token is never 0 (the "no token" sentinel).
+constexpr std::int64_t make_session_token(std::uint32_t slot,
+                                          std::uint32_t generation) {
+  return (static_cast<std::int64_t>(generation) << 32) |
+         static_cast<std::int64_t>(slot);
+}
+constexpr std::uint32_t session_slot(std::int64_t token) {
+  return static_cast<std::uint32_t>(token & 0xffffffff);
+}
+constexpr std::uint32_t session_generation(std::int64_t token) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(token) >> 32);
+}
 
 /// Byte offset of the data area (input then output) inside P_vsm<k>. The
 /// layout depends only on the *advertised* capabilities — not on the

@@ -1,6 +1,7 @@
 #include "rt/server.hpp"
 
 #include <signal.h>
+#include <time.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -103,18 +104,37 @@ bool parse_exec_mode(const std::string& text, ExecMode* out) {
   return false;
 }
 
+namespace {
+/// floor(log2(depth)), capped at the last bucket.
+int depth_bucket(std::size_t depth, int buckets) {
+  int bucket = 0;
+  while (bucket + 1 < buckets && (depth >> (bucket + 1)) != 0) ++bucket;
+  return bucket;
+}
+}  // namespace
+
 void RtServerStats::record_batch(std::size_t depth) {
   if (depth == 0) return;
-  int bucket = 0;  // floor(log2(depth)), capped at the last bucket
-  while (bucket + 1 < kBatchBuckets && (depth >> (bucket + 1)) != 0) {
-    ++bucket;
-  }
-  batch_depth[bucket].fetch_add(1, std::memory_order_relaxed);
+  batch_depth[depth_bucket(depth, kBatchBuckets)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void RtServerStats::record_ready(std::size_t depth) {
+  if (depth == 0) return;
+  ready_depth[depth_bucket(depth, kBatchBuckets)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void RtServerStats::record_pump(std::size_t grants) {
+  if (grants == 0) return;
+  grants_per_pump[depth_bucket(grants, kBatchBuckets)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 RtServer::RtServer(RtServerConfig config, const KernelRegistry& registry)
     : config_(std::move(config)),
       registry_(registry),
+      sessions_(static_cast<std::uint32_t>(std::max(1, config_.max_sessions))),
       scheduler_(sched::Scheduler::make(effective_sched_config(config_))),
       admission_(
           std::make_unique<sched::AdmissionController>(admission_config(config_))),
@@ -144,13 +164,28 @@ Bytes RtServer::admission_capacity() const {
 RtServer::~RtServer() { stop(); }
 
 Status RtServer::start() {
-  // Doorbell first: it must exist before any client can learn the server
-  // is up (which it does by opening the request queue).
-  auto door = ipc::SharedMemory::create(config_.prefix + "_door",
-                                        ipc::kDoorbellRegionSize);
+  // Control region first: it must exist before any client can learn the
+  // server is up (which it does by opening the request queue). The
+  // doorbell word sits at offset 0, where pre-control clients expect the
+  // bare P_door region's futex word.
+  const std::uint32_t max_sessions =
+      static_cast<std::uint32_t>(std::max(1, config_.max_sessions));
+  const std::uint32_t mailboxes =
+      static_cast<std::uint32_t>(std::max(0, config_.handshake_mailboxes));
+  auto door = ipc::SharedMemory::create(
+      config_.prefix + "_door",
+      ipc::ControlRegion<RtResponse>::size_for(max_sessions, mailboxes));
   if (!door.ok()) return door.status();
   door_shm_ = std::move(*door);
-  new (door_shm_.data()) ipc::Doorbell::Word();
+  ctrl_ = ipc::ControlRegion<RtResponse>::init(door_shm_.data(), max_sessions,
+                                               mailboxes);
+  if (config_.arena_size > 0) {
+    auto arena = ipc::ShmArena::create(config_.prefix + "_arena",
+                                       config_.arena_size,
+                                       config_.arena_hugepages);
+    if (!arena.ok()) return arena.status();
+    arena_ = std::move(*arena);
+  }
   auto queue = ipc::MessageQueue<RtRequest>::create(config_.prefix + "_req",
                                                     /*max_messages=*/8);
   if (!queue.ok()) return queue.status();
@@ -216,7 +251,9 @@ void RtServer::stop() {
     }
     engine_.reset();
   }
-  clients_.clear();
+  sessions_.for_each(
+      [this](std::uint32_t slot, ClientState&) { sessions_.detach(slot); });
+  id_slots_.clear();
   ring_lanes_ = 0;
   export_obs();
 }
@@ -244,23 +281,44 @@ void RtServer::export_obs() {
   set("rt.denials", stats_.denials.load());
   set("rt.duplicates_absorbed", stats_.duplicates_absorbed.load());
   set("rt.responses_dropped", stats_.responses_dropped.load());
+  set("rt.sessions_attached", stats_.sessions_attached.load());
+  set("rt.slots_recycled", stats_.slots_recycled.load());
+  set("rt.stale_sessions", stats_.stale_sessions.load());
+  set("rt.mailbox_acks", stats_.mailbox_acks.load());
+  set("rt.arena_grants", stats_.arena_grants.load());
+  set("rt.arena_declines", stats_.arena_declines.load());
+  set("rt.reconcile_requests", stats_.reconcile_requests.load());
+  set("rt.serve_cpu_ns", stats_.serve_cpu_ns.load());
+  if (arena_.valid()) {
+    const ipc::ShmArena::Stats& as = arena_.stats();
+    set("arena.allocs", as.allocs);
+    set("arena.frees", as.frees);
+    set("arena.alloc_failures", as.failures);
+    reg.gauge("arena.in_use_bytes")->set(static_cast<double>(as.in_use));
+    reg.gauge("arena.peak_bytes")->set(static_cast<double>(as.peak_in_use));
+    set("arena.hugepages", as.hugepages ? 1 : 0);
+  }
   // Legacy bucket i counted wakeup depths in [2^i, 2^(i+1)); histogram
   // bucket i counts samples <= bounds[i], so bound i = 2^(i+1) - 1 maps
   // the buckets one-to-one (the overflow bucket is the legacy "128+").
-  std::vector<double> depth_bounds;
-  for (int i = 0; i + 1 < RtServerStats::kBatchBuckets; ++i) {
-    depth_bounds.push_back(static_cast<double>((2L << i) - 1));
-  }
-  obs::Histogram* depth =
-      reg.histogram("rt.batch_depth", std::move(depth_bounds));
-  for (int i = 0; i < RtServerStats::kBatchBuckets; ++i) {
-    const long have = stats_.batch_depth[i].load();
-    const long exported =
-        depth->bucket_count(static_cast<std::size_t>(i));
-    if (have > exported) {
-      depth->add_count(static_cast<std::size_t>(i), have - exported);
+  const auto export_depths = [&reg](const char* name,
+                                    const std::atomic<long>* buckets) {
+    std::vector<double> bounds;
+    for (int i = 0; i + 1 < RtServerStats::kBatchBuckets; ++i) {
+      bounds.push_back(static_cast<double>((2L << i) - 1));
     }
-  }
+    obs::Histogram* hist = reg.histogram(name, std::move(bounds));
+    for (int i = 0; i < RtServerStats::kBatchBuckets; ++i) {
+      const long have = buckets[i].load();
+      const long exported = hist->bucket_count(static_cast<std::size_t>(i));
+      if (have > exported) {
+        hist->add_count(static_cast<std::size_t>(i), have - exported);
+      }
+    }
+  };
+  export_depths("rt.batch_depth", stats_.batch_depth);
+  export_depths("rt.ready_depth", stats_.ready_depth);
+  export_depths("rt.grants_per_pump", stats_.grants_per_pump);
   set("exec.launches", exec_counters_.launches);
   set("exec.shards_executed", exec_counters_.shards_executed);
   set("exec.steals", exec_counters_.steals);
@@ -279,6 +337,7 @@ void RtServer::export_obs() {
   set("sched.enqueued", ss.enqueued);
   set("sched.grants", ss.grants);
   set("sched.batches", ss.batches);
+  set("sched.pumps", ss.pumps);
   set("sched.quanta_granted", ss.quanta_granted);
   set("sched.rotations", ss.rotations);
   set("sched.aging_promotions", ss.aging_promotions);
@@ -299,15 +358,6 @@ void RtServer::export_obs() {
   }
   set("obs.spans_dropped", obs_.tracer().dropped());
   if (config_.fault != nullptr) config_.fault->export_metrics(reg);
-}
-
-bool RtServer::ring_request_pending() {
-  for (auto& [id, client] : clients_) {
-    if (client.channel != nullptr && !client.channel->requests.empty()) {
-      return true;
-    }
-  }
-  return false;
 }
 
 std::size_t RtServer::drain_requests(bool* shutdown) {
@@ -331,16 +381,19 @@ std::size_t RtServer::drain_requests(bool* shutdown) {
     handle(*request);
     ++handled;
   }
-  if (ring_lanes_ == 0) return handled;
-  // Collect every pending ring request before handling any: handle() may
-  // erase a client (RLS), which would invalidate the map iteration.
+  // Ready-set drain: the control region names exactly the lanes whose
+  // clients published since the last wakeup, so this sweep is O(ready),
+  // never O(attached). Collect every pending ring request before handling
+  // any: handle() may detach a session (stale re-attach replacement),
+  // which would invalidate the lane being swept.
+  ready_batch_.clear();
+  if (ctrl_.drain_ready(&ready_batch_) == 0) return handled;
+  stats_.record_ready(ready_batch_.size());
   ring_batch_.clear();
-  for (auto& [id, client] : clients_) {
-    if (client.lane == nullptr ||
-        client.lane->kind() != ipc::TransportKind::kShmRing) {
-      continue;
-    }
-    while (auto request = client.lane->try_receive()) {
+  for (const std::uint32_t slot : ready_batch_) {
+    ClientState* client = sessions_.at(slot);
+    if (client == nullptr || client->lane == nullptr) continue;
+    while (auto request = client->lane->try_receive()) {
       ring_batch_.push_back(*request);
     }
   }
@@ -361,6 +414,18 @@ void RtServer::serve_loop() {
   tracer.ensure_thread();
   ipc::WaitStrategy waiter(config_.wait);
   ipc::Doorbell door(door_shm_.as<ipc::Doorbell::Word>());
+  // Serve-thread CPU, measured on the thread's own clock: wall time in a
+  // futex park costs nothing here, so cpu_ns / requests is an honest
+  // server-side cost-per-request even for mostly-idle runs.
+  timespec cpu_begin{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &cpu_begin);
+  const auto flush_cpu = [&cpu_begin, this] {
+    timespec cpu_end{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &cpu_end);
+    stats_.serve_cpu_ns.store(
+        (cpu_end.tv_sec - cpu_begin.tv_sec) * 1000000000L +
+        (cpu_end.tv_nsec - cpu_begin.tv_nsec));
+  };
   for (;;) {
     bool shutdown = false;
     const SimTime drain_begin = tracer.begin_span();
@@ -388,8 +453,7 @@ void RtServer::serve_loop() {
     if (ring_lanes_ == 0) {
       // Pure-mqueue mode: block inside the kernel on the shared queue,
       // exactly like the paper's timed-receive serve loop.
-      auto request = requests_.receive(std::chrono::milliseconds(
-          std::max<long>(1, park.count() / 1000)));
+      auto request = requests_.receive(park_ceil_ms(park));
       tracer.end_span(park_begin, obs::Phase::kPark, obs::kLaneServer);
       if (request.ok()) {
         if (request->op == RtOp::kShutdown) break;
@@ -405,34 +469,50 @@ void RtServer::serve_loop() {
       }
     } else {
       // Ring mode: adaptive spin -> yield -> futex park on the doorbell.
-      // Workers ring it on completion, ring clients on every request; the
-      // mqueue is re-polled at least every `park`.
+      // The predicate is two shared loads — the ready-set head published
+      // by clients and the worker completion count — independent of how
+      // many sessions are attached. The mqueue is re-polled at least
+      // every `park`.
       waiter.wait(
           [this] {
-            return ring_request_pending() ||
+            return !ctrl_.ready_empty() ||
                    pending_completions_.load(std::memory_order_acquire) > 0;
           },
           &door, std::chrono::steady_clock::now() + park);
       tracer.end_span(park_begin, obs::Phase::kPark, obs::kLaneServer);
     }
   }
+  flush_cpu();
   stats_.spin_wakeups.store(waiter.stats().spin_hits +
                             waiter.stats().yield_hits);
   stats_.doorbell_blocks.store(waiter.stats().blocks);
 }
 
 void RtServer::drain_completions() {
-  std::vector<int> done;
+  // done_batch_ and completions_ ping-pong their storage: the clear-then-
+  // swap keeps both buffers' capacity, so the steady-state wakeup path
+  // never allocates.
+  done_batch_.clear();
   {
     std::lock_guard<std::mutex> lock(completions_mutex_);
-    done.swap(completions_);
+    done_batch_.swap(completions_);
     pending_completions_.store(0, std::memory_order_release);
   }
-  for (int id : done) {
+  for (int id : done_batch_) {
     // The working set stays pinned for exactly the kernel's lifetime;
     // after this the clock may spill it for the next grant's pins.
     if (pager_ != nullptr) pager_->unpin(id);
     scheduler_->on_complete(id, rt_now());
+    // A doomed session was only waiting for this job to drain; reclaim it
+    // now instead of on the next lease sweep.
+    auto it = id_slots_.find(id);
+    if (it == id_slots_.end()) continue;
+    ClientState* client = sessions_.at(it->second);
+    if (client != nullptr && client->doomed &&
+        client->job_done->load(std::memory_order_acquire)) {
+      destroy_session(it->second, /*unlink_names=*/true,
+                      /*count_reclaimed=*/true);
+    }
   }
 }
 
@@ -478,39 +558,97 @@ void RtServer::check_leases() {
   last_lease_check_ = now;
   const SimTime lease_ns = to_ns(config_.lease_timeout);
   const SimTime linger_ns = to_ns(config_.release_linger);
-  for (auto it = clients_.begin(); it != clients_.end();) {
-    ClientState& client = it->second;
-    if (client.released) {
-      // Normal RLS: quota and scheduler state already returned; the entry
-      // lingered only to answer duplicate RLS retries.
-      if (now - client.released_at >= linger_ns) {
-        it = reclaim(it);
-      } else {
-        ++it;
+  const SimTime interval_ns = to_ns(config_.lease_check_interval);
+  // Deadline heap: pop only what is due — an idle sweep at 10k attached
+  // sessions touches nothing. Every popped entry is lazily re-validated:
+  // a recycled (slot, generation) resolves to null and drops out, and a
+  // deadline pushed back by later activity re-arms at the recomputed time
+  // instead of acting.
+  while (!lease_heap_.empty() && lease_heap_.top().due <= now) {
+    const LeaseDeadline deadline = lease_heap_.top();
+    lease_heap_.pop();
+    ClientState* client = sessions_.get(deadline.slot, deadline.generation);
+    if (client == nullptr) continue;  // recycled since arming
+    switch (deadline.kind) {
+      case LeaseDeadline::Kind::kSilent: {
+        if (client->released || client->doomed || lease_ns <= 0) break;
+        if (client->str_pending ||
+            !client->job_done->load(std::memory_order_acquire)) {
+          // A client whose STR is queued or whose job is executing is
+          // legitimately idle at the barrier, not dead. Keep watching.
+          arm_lease(*client, LeaseDeadline::Kind::kSilent, now + lease_ns);
+          break;
+        }
+        if (now - client->last_seen < lease_ns) {
+          arm_lease(*client, LeaseDeadline::Kind::kSilent,
+                    client->last_seen + lease_ns);
+          break;
+        }
+        // Silent past the deadline with nothing queued or running.
+        expire_lease(*client, now);
+        break;
       }
+      case LeaseDeadline::Kind::kLinger: {
+        // Normal RLS: quota and scheduler state already returned; the
+        // entry lingered only to answer duplicate RLS retries.
+        if (!client->released) break;
+        if (now - client->released_at >= linger_ns) {
+          destroy_session(deadline.slot, /*unlink_names=*/false,
+                          /*count_reclaimed=*/false);
+        } else {
+          arm_lease(*client, LeaseDeadline::Kind::kLinger,
+                    client->released_at + linger_ns);
+        }
+        break;
+      }
+      case LeaseDeadline::Kind::kDoomed: {
+        if (!client->doomed) break;
+        if (client->job_done->load(std::memory_order_acquire)) {
+          // The in-flight job has drained; nothing references the region
+          // or staging buffers any more.
+          destroy_session(deadline.slot, /*unlink_names=*/true,
+                          /*count_reclaimed=*/true);
+        } else {
+          arm_lease(*client, LeaseDeadline::Kind::kDoomed, now + interval_ns);
+        }
+        break;
+      }
+    }
+  }
+  // Bounded pid-probe / lane-reconcile rotation: a probe_batch window of
+  // slots per sweep instead of every attached client. Populations at or
+  // below probe_batch keep the pre-rotation detection latency.
+  const std::uint32_t high = sessions_.high_water();
+  if (high == 0) return;
+  const std::uint32_t window = std::min(
+      high, static_cast<std::uint32_t>(std::max(1, config_.probe_batch)));
+  ring_batch_.clear();
+  for (std::uint32_t i = 0; i < window; ++i) {
+    const std::uint32_t slot = (probe_cursor_ + i) % high;
+    ClientState* client = sessions_.at(slot);
+    if (client == nullptr || client->released || client->doomed) continue;
+    if (lease_ns > 0 && client->pid > 0 && ::kill(client->pid, 0) != 0 &&
+        errno == ESRCH) {
+      expire_lease(*client, now);  // the client process is gone
       continue;
     }
-    if (!client.doomed && lease_ns > 0) {
-      bool dead = false;
-      if (client.pid > 0 && ::kill(client.pid, 0) != 0 && errno == ESRCH) {
-        dead = true;  // the client process is gone
-      } else if (!client.str_pending &&
-                 client.job_done->load(std::memory_order_acquire) &&
-                 now - client.last_seen > lease_ns) {
-        // Silent past the deadline with nothing queued or running. A
-        // client whose STR is queued or whose job is executing is exempt:
-        // it is legitimately idle at the barrier, not dead.
-        dead = true;
+    // Reconciliation: drain the lane directly, healing the (instruction-
+    // wide) window where a publisher died after setting its queued flag
+    // but before linking its ready node — a set flag would otherwise
+    // absorb every later publish for the slot.
+    if (client->lane != nullptr &&
+        client->lane->kind() == ipc::TransportKind::kShmRing) {
+      while (auto request = client->lane->try_receive()) {
+        ring_batch_.push_back(*request);
       }
-      if (dead) expire_lease(client, now);
     }
-    if (client.doomed && client.job_done->load(std::memory_order_acquire)) {
-      // The in-flight job (if any) has drained; nothing references the
-      // vsm mapping or staging buffers any more.
-      it = reclaim(it);
-      continue;
-    }
-    ++it;
+  }
+  probe_cursor_ = (probe_cursor_ + window) % high;
+  for (const RtRequest& request : ring_batch_) {
+    stats_.requests.fetch_add(1);
+    stats_.ring_requests.fetch_add(1);
+    stats_.reconcile_requests.fetch_add(1);
+    handle(request);
   }
 }
 
@@ -536,6 +674,11 @@ void RtServer::return_quota(ClientState& client, bool count_reclaimed) {
   }
 }
 
+void RtServer::arm_lease(const ClientState& client, LeaseDeadline::Kind kind,
+                         SimTime due) {
+  lease_heap_.push(LeaseDeadline{due, client.slot, client.generation, kind});
+}
+
 void RtServer::expire_lease(ClientState& client, SimTime now) {
   VGPU_WARN("rt server: lease expired for client "
             << client.id << (client.pid > 0 ? " (pid probe)" : "")
@@ -553,26 +696,70 @@ void RtServer::expire_lease(ClientState& client, SimTime now) {
   }
   client.str_pending = false;
   client.doomed = true;
+  if (client.job_done->load(std::memory_order_acquire)) {
+    // Nothing in flight references the region; reclaim immediately. This
+    // invalidates `client` — callers must not touch it afterwards.
+    destroy_session(client.slot, /*unlink_names=*/true,
+                    /*count_reclaimed=*/true);
+  } else {
+    // The job still holds the buffers; drain_completions (or the next
+    // sweep) reclaims once it lands.
+    arm_lease(client, LeaseDeadline::Kind::kDoomed,
+              now + to_ns(config_.lease_check_interval));
+  }
 }
 
-std::map<int, RtServer::ClientState>::iterator RtServer::reclaim(
-    std::map<int, ClientState>::iterator it) {
-  ClientState& client = it->second;
-  if (client.lane != nullptr &&
-      client.lane->kind() == ipc::TransportKind::kShmRing) {
+void RtServer::destroy_session(std::uint32_t slot, bool unlink_names,
+                               bool count_reclaimed) {
+  ClientState* client = sessions_.at(slot);
+  if (client == nullptr) return;
+  if (client->lane != nullptr &&
+      client->lane->kind() == ipc::TransportKind::kShmRing) {
     --ring_lanes_;
   }
-  if (!client.released) {
+  if (unlink_names) {
     // Crashed client: unlink the kernel names it can no longer clean up.
     // The server's own mappings stay valid until the handles close; a
-    // released client unlinks its own names, so skip those (a fresh
-    // incarnation may already have recreated them).
-    const std::string suffix = std::to_string(client.id);
-    ipc::SharedMemory::unlink(config_.prefix + "_vsm" + suffix);
+    // released client unlinks its own names, so callers skip those (a
+    // fresh incarnation may already have recreated them). Arena clients
+    // have no private vsm segment to unlink.
+    const std::string suffix = std::to_string(client->id);
+    if (client->arena_offset < 0) {
+      ipc::SharedMemory::unlink(config_.prefix + "_vsm" + suffix);
+    }
     ipc::MessageQueueBase::unlink(config_.prefix + "_resp" + suffix);
-    stats_.clients_reclaimed.fetch_add(1);
   }
-  return clients_.erase(it);
+  if (count_reclaimed) stats_.clients_reclaimed.fetch_add(1);
+  if (client->arena_offset >= 0) arena_.release(client->arena_offset);
+  if (auto it = id_slots_.find(client->id);
+      it != id_slots_.end() && it->second == slot) {
+    id_slots_.erase(it);
+  }
+  sessions_.detach(slot);  // bumps the generation: outstanding tokens die
+  stats_.slots_recycled.fetch_add(1);
+}
+
+RtServer::ClientState* RtServer::resolve(const RtRequest& request) {
+  if (request.session != 0) {
+    ClientState* client = sessions_.get(session_slot(request.session),
+                                        session_generation(request.session));
+    if (client == nullptr) {
+      // The token's generation predates the slot's current tenant (a
+      // recycled lane, or a token minted before a crash-reattach).
+      // Rejecting — never falling back to the id — is what makes slot
+      // reuse safe under churn.
+      stats_.stale_sessions.fetch_add(1);
+      return nullptr;
+    }
+    return client;
+  }
+  // Pre-session verb: the O(1) id index stands in for the token.
+  auto it = id_slots_.find(request.client);
+  if (it == id_slots_.end()) {
+    VGPU_ERROR("rt server: request from unknown client " << request.client);
+    return nullptr;
+  }
+  return sessions_.at(it->second);
 }
 
 void RtServer::handle(const RtRequest& request) {
@@ -587,12 +774,9 @@ void RtServer::handle(const RtRequest& request) {
     handle_req(request);
     return;
   }
-  auto it = clients_.find(request.client);
-  if (it == clients_.end()) {
-    VGPU_ERROR("rt server: request from unknown client " << request.client);
-    return;
-  }
-  ClientState& client = it->second;
+  ClientState* resolved = resolve(request);
+  if (resolved == nullptr) return;
+  ClientState& client = *resolved;
   client.last_seen = rt_now();
   // At-least-once delivery: a repeat of the last seq is a client retry
   // after a lost response — replay the recorded answer instead of running
@@ -645,7 +829,7 @@ void RtServer::handle(const RtRequest& request) {
       }
       client.str_pending = true;
       client.str_begin = obs_.tracer().begin_span();
-      scheduler_->enqueue(request.client, rt_now());
+      scheduler_->enqueue(client.id, rt_now());
       break;  // the serve loop pumps grants after every drain
     }
     case RtOp::kStp: {
@@ -690,12 +874,14 @@ void RtServer::handle(const RtRequest& request) {
     }
     case RtOp::kRls: {
       respond(client, RtAck::kAck);
-      scheduler_->on_release(request.client, rt_now());
+      scheduler_->on_release(client.id, rt_now());
       return_quota(client, /*count_reclaimed=*/false);
       // The entry lingers (release_linger) so a duplicate RLS retry gets
-      // its replay; check_leases() garbage-collects it.
+      // its replay; the armed deadline garbage-collects it.
       client.released = true;
       client.released_at = rt_now();
+      arm_lease(client, LeaseDeadline::Kind::kLinger,
+                client.released_at + to_ns(config_.release_linger));
       break;
     }
     case RtOp::kReq:
@@ -704,34 +890,62 @@ void RtServer::handle(const RtRequest& request) {
   }
 }
 
-void RtServer::handle_req(const RtRequest& request) {
-  // The admission span covers the whole REQ handling: queue/vsm binding,
-  // the quota verdict, and transport negotiation.
-  const SimTime adm_begin = obs_.tracer().begin_span();
-  ClientState client;
-  client.id = request.client;
-  client.pid = request.pid;
-  client.last_seq = request.seq;
-  const std::string suffix = std::to_string(request.client);
-  auto resp = ipc::MessageQueue<RtResponse>::open(config_.prefix + "_resp" +
-                                                  suffix);
-  if (!resp.ok()) {
-    VGPU_ERROR("rt server: cannot open response queue: "
-               << resp.status().to_string());
+void RtServer::handshake_reply(const RtRequest& request, RtAck ack,
+                               std::int64_t arena_offset) {
+  RtResponse response;
+  response.ack = ack;
+  response.transport =
+      static_cast<std::int32_t>(ipc::TransportKind::kMessageQueue);
+  response.seq = request.seq;
+  response.arena_offset = arena_offset;
+  if (config_.fault != nullptr) {
+    if (const fault::Decision d =
+            config_.fault->on(fault::Point::kServerRespond)) {
+      if (d.action == fault::Action::kDrop) return;  // lost response
+      if (d.delay.count() > 0) std::this_thread::sleep_for(d.delay);
+    }
+  }
+  if (request.mailbox >= 0) {
+    if (ctrl_.deliver(request.mailbox, request.client, response)) {
+      stats_.mailbox_acks.fetch_add(1);
+    } else {
+      // Stale index or a crashed claimant whose box was recycled.
+      stats_.responses_dropped.fetch_add(1);
+    }
     return;
   }
-  client.resp = std::move(*resp);
+  auto resp = ipc::MessageQueue<RtResponse>::open(
+      config_.prefix + "_resp" + std::to_string(request.client));
+  if (!resp.ok()) {
+    VGPU_ERROR("rt server: cannot answer REQ for client "
+               << request.client << ": " << resp.status().to_string());
+    return;
+  }
+  const Status st = resp->try_send(response);
+  if (!st.ok() && st.code() != ErrorCode::kUnavailable) {
+    VGPU_ERROR("rt server: response send failed: " << st.to_string());
+  }
+}
 
-  // Re-attach while the previous incarnation's job is still executing:
-  // that job references the old vsm mapping and staging buffers, so the
-  // registration cannot be replaced yet. Ask the client to back off.
-  if (auto busy = clients_.find(request.client);
-      busy != clients_.end() &&
-      !busy->second.job_done->load(std::memory_order_acquire)) {
-    respond(client, RtAck::kWait);
+void RtServer::handle_req(const RtRequest& request) {
+  // The admission span covers the whole REQ handling: queue/region
+  // binding, the quota verdict, and transport negotiation.
+  const SimTime adm_begin = obs_.tracer().begin_span();
+  const auto finish = [&] {
     obs_.tracer().end_span(adm_begin, obs::Phase::kAdmission, request.client,
                            request.kernel_id);
-    return;
+  };
+
+  // Re-attach while the previous incarnation's job is still executing:
+  // that job references the old region and staging buffers, so the
+  // registration cannot be replaced yet. Ask the client to back off.
+  if (auto busy = id_slots_.find(request.client); busy != id_slots_.end()) {
+    ClientState* prev = sessions_.at(busy->second);
+    if (prev != nullptr && !prev->job_done->load(std::memory_order_acquire)) {
+      handshake_reply(request, RtAck::kWait, -1);
+      finish();
+      return;
+    }
   }
 
   // Fault: a device-memory allocation failure at binding time.
@@ -739,9 +953,8 @@ void RtServer::handle_req(const RtRequest& request) {
       config_.fault->should_fail(fault::Point::kDeviceAlloc)) {
     VGPU_WARN("rt server: injected allocation failure for client "
               << request.client);
-    respond(client, RtAck::kError);
-    obs_.tracer().end_span(adm_begin, obs::Phase::kAdmission, request.client,
-                           request.kernel_id);
+    handshake_reply(request, RtAck::kError, -1);
+    finish();
     return;
   }
 
@@ -769,84 +982,166 @@ void RtServer::handle_req(const RtRequest& request) {
                                             << " (admission)");
       backpressure_counts_.erase(request.client);
       stats_.denials.fetch_add(1);
-      respond(client, RtAck::kError);
+      handshake_reply(request, RtAck::kError, -1);
     } else {
-      respond(client, RtAck::kWait);
+      handshake_reply(request, RtAck::kWait, -1);
     }
-    obs_.tracer().end_span(adm_begin, obs::Phase::kAdmission, request.client,
-                           request.kernel_id);
+    finish();
     return;
   }
   backpressure_counts_.erase(request.client);
 
-  // The vsm layout is a pure function of the *advertised* capabilities, so
-  // both sides compute it from the REQ message alone.
+  const RtKernelFn* kernel = registry_.find(request.kernel_id);
+  if (kernel == nullptr) {
+    VGPU_ERROR("rt server: unknown kernel id " << request.kernel_id);
+    handshake_reply(request, RtAck::kError, -1);
+    finish();
+    return;
+  }
+
+  // The region layout is a pure function of the *advertised* capabilities,
+  // so both sides compute it from the REQ message alone.
   const std::uint32_t caps =
       request.transport_caps != 0 ? request.transport_caps
                                   : ipc::kTransportCapMqueue;
-  client.data_offset = vsm_data_offset(caps);
-  const Bytes vsm_size =
+  const bool ring_offered =
+      config_.transport == ipc::TransportKind::kShmRing &&
+      (caps & ipc::kTransportCapShmRing) != 0;
+  const Bytes region_size =
       vsm_region_size(caps, request.bytes_in, request.bytes_out);
-  auto vsm =
-      ipc::SharedMemory::open(config_.prefix + "_vsm" + suffix, vsm_size);
-  if (!vsm.ok()) {
-    VGPU_ERROR("rt server: cannot open vsm: " << vsm.status().to_string());
-    respond(client, RtAck::kError);
-    return;
-  }
-  client.vsm = std::move(*vsm);
+  const std::string suffix = std::to_string(request.client);
 
-  client.kernel = registry_.find(request.kernel_id);
+  auto state = std::make_unique<ClientState>();
+  ClientState& client = *state;  // heap-held: stays valid across attach()
+  client.id = request.client;
+  client.pid = request.pid;
+  client.last_seq = request.seq;
+  client.kernel = kernel;
   client.kernel_id = request.kernel_id;
-  if (client.kernel == nullptr) {
-    VGPU_ERROR("rt server: unknown kernel id " << request.kernel_id);
-    respond(client, RtAck::kError);
-    return;
-  }
   std::memcpy(client.params, request.params, sizeof(client.params));
   client.bytes_in = request.bytes_in;
   client.bytes_out = request.bytes_out;
+  client.data_offset = vsm_data_offset(caps);
   if (config_.data_plane == DataPlane::kStaged) {
     client.staging_in.resize(static_cast<std::size_t>(request.bytes_in));
     client.staging_out.resize(static_cast<std::size_t>(request.bytes_out));
   }
 
-  // Transport negotiation: take the ring when the server offers it, the
-  // client advertised it, and the channel block checks out (magic +
-  // version); otherwise fall back to the message queue. The data offset
-  // keeps the advertised layout either way.
-  bool use_ring = config_.transport == ipc::TransportKind::kShmRing &&
-                  (caps & ipc::kTransportCapShmRing) != 0;
-  if (use_ring) {
-    auto* channel = reinterpret_cast<RtChannel*>(client.vsm.data());
-    if (channel->valid()) {
-      client.channel = channel;
-    } else {
-      VGPU_ERROR("rt server: client " << request.client
-                                      << " advertised a ring but its channel "
-                                         "block is invalid; using mqueue");
-      use_ring = false;
+  if (request.mailbox < 0) {
+    // Classic handshake: the ack travels over the client's private
+    // response queue (mailbox clients never created one).
+    auto resp = ipc::MessageQueue<RtResponse>::open(config_.prefix + "_resp" +
+                                                    suffix);
+    if (!resp.ok()) {
+      VGPU_ERROR("rt server: cannot open response queue: "
+                 << resp.status().to_string());
+      finish();
+      return;
     }
+    client.resp = std::move(*resp);
   }
 
   // A client may re-REQ after a crash/reconnect (the idempotent re-attach
   // the retry layer depends on); retire the stale registration before
-  // admitting the new one. on_failure (not on_release): the stale
-  // incarnation may have died with a STR still queued.
-  auto stale = clients_.find(request.client);
-  if (stale != clients_.end()) {
-    if (stale->second.lane != nullptr &&
-        stale->second.lane->kind() == ipc::TransportKind::kShmRing) {
-      --ring_lanes_;
+  // admitting the new one — this also frees its arena slice, so the new
+  // region never backpressures on the client's own stale footprint.
+  // on_failure (not on_release): the stale incarnation may have died with
+  // a STR still queued.
+  if (auto staleit = id_slots_.find(request.client);
+      staleit != id_slots_.end()) {
+    if (ClientState* stale = sessions_.at(staleit->second); stale != nullptr) {
+      if (!stale->released && !stale->doomed) {
+        scheduler_->on_failure(request.client, rt_now());
+      }
+      return_quota(*stale, /*count_reclaimed=*/false);
+      destroy_session(staleit->second, /*unlink_names=*/false,
+                      /*count_reclaimed=*/false);
     }
-    if (!stale->second.released && !stale->second.doomed) {
-      scheduler_->on_failure(request.client, rt_now());
-    }
-    return_quota(stale->second, /*count_reclaimed=*/false);
   }
+
+  // Region: a slice of the pooled arena when the client asked for one (and
+  // the ring negotiation holds — the arena path has no response queue, so
+  // post-handshake verbs need the ring), else the client's private
+  // P_vsm<k> segment.
+  bool use_ring = ring_offered;
+  if ((caps & ipc::kTransportCapVsmArena) != 0) {
+    if (!arena_.valid() || !ring_offered) {
+      // Permanent decline (-2): this server cannot host the region. The
+      // client falls back to a private segment immediately, no backoff.
+      stats_.arena_declines.fetch_add(1);
+      handshake_reply(request, RtAck::kWait, -2);
+      finish();
+      return;
+    }
+    const std::int64_t offset = arena_.allocate(region_size);
+    if (offset < 0) {
+      // Transiently full (-1 + kWait): back off and retry — the space
+      // frees as other sessions detach.
+      stats_.arena_declines.fetch_add(1);
+      handshake_reply(request, RtAck::kWait, -1);
+      finish();
+      return;
+    }
+    stats_.arena_grants.fetch_add(1);
+    client.arena_offset = offset;
+    client.region = {arena_.at(offset),
+                     static_cast<std::size_t>(region_size)};
+    // The server owns arena placement, so it constructs the channel block
+    // (in the private-segment path the client does, pre-REQ).
+    client.channel = new (client.region.data()) RtChannel();
+    client.channel->publish();
+  } else {
+    auto vsm =
+        ipc::SharedMemory::open(config_.prefix + "_vsm" + suffix, region_size);
+    if (!vsm.ok()) {
+      VGPU_ERROR("rt server: cannot open vsm: " << vsm.status().to_string());
+      handshake_reply(request, RtAck::kError, -1);
+      finish();
+      return;
+    }
+    client.vsm = std::move(*vsm);
+    client.region = {client.vsm.data(), static_cast<std::size_t>(region_size)};
+    // Transport negotiation: take the ring when the server offers it, the
+    // client advertised it, and the channel block checks out (magic +
+    // version); otherwise fall back to the message queue. The data offset
+    // keeps the advertised layout either way.
+    if (use_ring) {
+      auto* channel = reinterpret_cast<RtChannel*>(client.region.data());
+      if (channel->valid()) {
+        client.channel = channel;
+      } else {
+        VGPU_ERROR("rt server: client "
+                   << request.client
+                   << " advertised a ring but its channel "
+                      "block is invalid; using mqueue");
+        use_ring = false;
+      }
+    }
+  }
+
   client.last_seen = rt_now();
   client.admitted_bytes = ask;
+  const std::int64_t arena_offset = client.arena_offset;
+  auto ref = sessions_.attach(std::move(state));
+  if (!ref.has_value()) {
+    // Session table full: backpressure, never a crash. The arena slice
+    // (if any) goes back; the ClientState (and its vsm mapping) died with
+    // the rejected attach.
+    if (arena_offset >= 0) arena_.release(arena_offset);
+    stats_.backpressure.fetch_add(1);
+    handshake_reply(request, RtAck::kWait, -1);
+    finish();
+    return;
+  }
+  client.slot = ref->slot;
+  client.generation = ref->generation;
+  // A leftover ready flag from the slot's previous tenant would absorb
+  // the new tenant's publishes; clear it before the ack reveals the slot.
+  ctrl_.reset_ready(client.slot);
+  id_slots_[request.client] = client.slot;
+  stats_.sessions_attached.fetch_add(1);
   admitted_total_ += ask;
+
   sched::ClientRequest sreq;
   sreq.client = request.client;
   sreq.bytes_in = request.bytes_in;
@@ -854,78 +1149,101 @@ void RtServer::handle_req(const RtRequest& request) {
   sreq.priority = request.priority;
   scheduler_->admit(sreq, rt_now());
 
-  auto [it, inserted] =
-      clients_.insert_or_assign(request.client, std::move(client));
-  (void)inserted;
-  ClientState& placed = it->second;
   if (pager_ != nullptr) {
     // Register the job's backing with the pager: the staging buffers in
-    // staged mode, the vsm data areas in zero-copy mode. Pages are born
-    // host-side; the grant path faults them in and pins them.
+    // staged mode, the region's data areas in zero-copy mode. Pages are
+    // born host-side; the grant path faults them in and pins them.
     std::byte* in_base = config_.data_plane == DataPlane::kStaged
-                             ? placed.staging_in.data()
-                             : placed.input_area().data();
+                             ? client.staging_in.data()
+                             : client.input_area().data();
     std::byte* out_base = config_.data_plane == DataPlane::kStaged
-                              ? placed.staging_out.data()
-                              : placed.output_area().data();
-    if (placed.bytes_in > 0) {
-      placed.alloc_in = pager_->bind(placed.id, in_base, placed.bytes_in);
+                              ? client.staging_out.data()
+                              : client.output_area().data();
+    if (client.bytes_in > 0) {
+      client.alloc_in = pager_->bind(client.id, in_base, client.bytes_in);
     }
-    if (placed.bytes_out > 0) {
-      placed.alloc_out = pager_->bind(placed.id, out_base, placed.bytes_out);
+    if (client.bytes_out > 0) {
+      client.alloc_out = pager_->bind(client.id, out_base, client.bytes_out);
     }
   }
   ipc::TransportKind selected = ipc::TransportKind::kMessageQueue;
   if (use_ring) {
-    placed.lane =
-        std::make_unique<ipc::RingServerLane<RtRequest, RtResponse>>(
-            placed.channel);
+    client.lane = std::make_unique<ipc::RingServerLane<RtRequest, RtResponse>>(
+        client.channel);
     selected = ipc::TransportKind::kShmRing;
     ++ring_lanes_;
   } else {
-    placed.channel = nullptr;
-    placed.lane = std::make_unique<ipc::MqServerLane<RtRequest, RtResponse>>(
-        &placed.resp);
+    client.channel = nullptr;
+    client.lane = std::make_unique<ipc::MqServerLane<RtRequest, RtResponse>>(
+        &client.resp);
   }
-  // The REQ handshake always answers on the response queue — the client
-  // only switches to the negotiated transport after reading this ack.
+  if (to_ns(config_.lease_timeout) > 0) {
+    arm_lease(client, LeaseDeadline::Kind::kSilent,
+              client.last_seen + to_ns(config_.lease_timeout));
+  }
+  // The handshake answers on the pre-session path — mailbox or response
+  // queue — because the client only switches to the negotiated transport
+  // after reading this ack (which carries its session token and, for
+  // arena clients, the region placement).
   RtResponse ack;
   ack.ack = RtAck::kAck;
   ack.transport = static_cast<std::int32_t>(selected);
   ack.seq = request.seq;
-  placed.last_response = ack;
-  placed.has_last_response = true;
-  const Status st = placed.resp.send(ack);
-  if (!st.ok()) {
-    VGPU_ERROR("rt server: response send failed: " << st.to_string());
+  ack.session = client.token();
+  ack.arena_offset = client.arena_offset;
+  client.last_response = ack;
+  client.has_last_response = true;
+  if (request.mailbox >= 0) {
+    if (ctrl_.deliver(request.mailbox, request.client, ack)) {
+      stats_.mailbox_acks.fetch_add(1);
+    } else {
+      // Claimant gone (stale index or crashed client): the lease sweep
+      // will reclaim the session it never heard about.
+      stats_.responses_dropped.fetch_add(1);
+    }
+  } else {
+    const Status st = client.resp.send(ack);
+    if (!st.ok()) {
+      VGPU_ERROR("rt server: response send failed: " << st.to_string());
+    }
   }
-  obs_.tracer().end_span(adm_begin, obs::Phase::kAdmission, request.client,
-                         request.kernel_id);
+  finish();
 }
 
 void RtServer::pump() {
+  // Grant batching: one scheduler sweep collects every batch this wakeup
+  // produces; jobs are submitted per cohort (the flush accounting), and
+  // the STR acks for the whole pump go out in one response sweep at the
+  // end — under bursty arrivals the serve loop writes grants back in
+  // O(granted) without re-entering the scheduler between cohorts.
+  grant_ids_.clear();
+  grant_cohorts_.clear();
+  const std::size_t total =
+      scheduler_->drain_grants(rt_now(), &grant_ids_, &grant_cohorts_);
+  if (total == 0) return;
+  stats_.record_pump(total);
+  grant_acks_.clear();
   bool pinned_any = false;
-  for (;;) {
-    const std::vector<int> batch = scheduler_->pick_next(rt_now());
-    if (batch.empty()) break;
+  std::size_t next = 0;
+  for (const std::size_t cohort : grant_cohorts_) {
     // One flush per granted batch, matching the DES GVM's accounting
     // (a barrier cohort co-flush counts once).
     stats_.flushes.fetch_add(1);
     std::vector<std::function<void()>> jobs;
-    jobs.reserve(batch.size());
-    std::vector<ClientState*> granted;
-    granted.reserve(batch.size());
+    jobs.reserve(cohort);
     SimTime barrier_begin = kTimeInfinity;  // earliest STR in the cohort
-    for (int id : batch) {
-      auto it = clients_.find(id);
-      VGPU_ASSERT_MSG(it != clients_.end(), "grant for unregistered client");
-      ClientState& state = it->second;
+    for (std::size_t i = 0; i < cohort; ++i) {
+      const int id = grant_ids_[next++];
+      auto it = id_slots_.find(id);
+      VGPU_ASSERT_MSG(it != id_slots_.end(), "grant for unregistered client");
+      ClientState* state = sessions_.at(it->second);
+      VGPU_ASSERT_MSG(state != nullptr, "grant for recycled session");
       // The queue-wait span closes here: STR arrival -> scheduler grant.
-      if (state.str_begin >= 0) {
-        obs_.tracer().end_span(state.str_begin, obs::Phase::kQueueWait, id,
-                               state.kernel_id);
-        barrier_begin = std::min(barrier_begin, state.str_begin);
-        state.str_begin = obs::kSpanDisabled;
+      if (state->str_begin >= 0) {
+        obs_.tracer().end_span(state->str_begin, obs::Phase::kQueueWait, id,
+                               state->kernel_id);
+        barrier_begin = std::min(barrier_begin, state->str_begin);
+        state->str_begin = obs::kSpanDisabled;
       }
       if (pager_ != nullptr) {
         // Grant-time residency: fault and pin the working set before
@@ -937,14 +1255,14 @@ void RtServer::pump() {
         scheduler_->set_residency(id, resident);
         pinned_any = true;
       }
-      jobs.push_back(make_job(id, state));
-      granted.push_back(&state);
+      jobs.push_back(make_job(id, *state));
+      grant_acks_.push_back(state);
     }
     if (barrier_begin != kTimeInfinity && obs_.tracer().enabled()) {
       // Cohort co-flush: first member's STR -> this grant (the barrier
       // formation time the DES GVM models as the flush window).
       obs_.tracer().record(obs::Phase::kFlushBarrier, obs::kLaneServer,
-                           static_cast<std::int32_t>(batch.size()),
+                           static_cast<std::int32_t>(cohort),
                            barrier_begin, obs_.tracer().now());
     }
     // One lock + one wakeup for the whole cohort.
@@ -960,18 +1278,19 @@ void RtServer::pump() {
     if (!submitted.ok()) {
       VGPU_ERROR("rt server: job submit failed: " << submitted.to_string());
     }
-    for (ClientState* client : granted) respond(*client, RtAck::kAck);
   }
+  for (ClientState* client : grant_acks_) respond(*client, RtAck::kAck);
   if (pager_ != nullptr && pinned_any) {
     // Pinning may have spilled pages of idle holders; refresh the
     // scheduler's residency view so TimeQuantum's anti-thrash hold only
     // protects working sets that are actually still on-device.
-    for (auto& [id, state] : clients_) {
+    sessions_.for_each([this](std::uint32_t, ClientState& state) {
       if (!state.released && !state.doomed &&
           (state.alloc_in != 0 || state.alloc_out != 0)) {
-        scheduler_->set_residency(id, pager_->working_set_resident(id));
+        scheduler_->set_residency(state.id,
+                                  pager_->working_set_resident(state.id));
       }
-    }
+    });
   }
 }
 
@@ -981,10 +1300,10 @@ std::function<void()> RtServer::make_job(int client_id, ClientState& client) {
   client.job_done->store(false, std::memory_order_release);
   client.job_failed->store(false, std::memory_order_release);
   // The job captures raw buffer pointers (and, in sharded mode, the
-  // ClientState pointer — stable: map nodes don't move); ClientState
-  // outlives the job because RLS is only sent by clients after STP
-  // acknowledged completion, and stop() drains the pool before clearing
-  // clients_.
+  // ClientState pointer — stable: slot entries are heap-held, so attach
+  // churn never moves them); ClientState outlives the job because every
+  // destroy path (RLS linger, lease expiry, re-attach replacement) gates
+  // on job_done, and stop() drains the pool before detaching sessions.
   auto done = client.job_done;
   auto failed = client.job_failed;
   const RtKernelFn* kernel = client.kernel;

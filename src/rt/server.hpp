@@ -18,24 +18,28 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "exec/engine.hpp"
 #include "gpu/spec.hpp"
+#include "ipc/arena.hpp"
+#include "ipc/control.hpp"
 #include "ipc/mqueue.hpp"
 #include "ipc/shm.hpp"
 #include "ipc/transport.hpp"
 #include "obs/obs.hpp"
 #include "rt/messages.hpp"
 #include "rt/registry.hpp"
+#include "rt/session.hpp"
 #include "rt/thread_pool.hpp"
 #include "sched/admission.hpp"
 #include "sched/scheduler.hpp"
@@ -77,6 +81,15 @@ const char* exec_mode_name(ExecMode mode);
 /// Parses the CLI spelling ("serial" | "sharded").
 bool parse_exec_mode(const std::string& text, ExecMode* out);
 
+/// Ceiling conversion for the serve loop's idle park: microseconds to
+/// whole milliseconds (mq_timedreceive granularity), never below 1ms.
+/// Truncating instead (the old `count() / 1000`) cut a 1.9ms park to 1ms
+/// and woke the idle loop up to twice as often as the scheduler asked.
+inline std::chrono::milliseconds park_ceil_ms(std::chrono::microseconds park) {
+  const auto ms = (park.count() + 999) / 1000;
+  return std::chrono::milliseconds(ms < 1 ? 1 : ms);
+}
+
 struct RtServerConfig {
   std::string prefix = "/vgpu";
   /// STR barrier width (SPMD process count). 1 disables batching.
@@ -108,6 +121,25 @@ struct RtServerConfig {
   gpu::DeviceSpec device = gpu::tesla_c2070();
   /// Serve-loop wait strategy (spin -> yield -> doorbell park).
   ipc::WaitConfig wait;
+  /// Session-table capacity: the most concurrently attached clients the
+  /// control region's ready set is sized for. Attaches beyond it answer
+  /// kWait (backpressure), never a crash.
+  int max_sessions = 4096;
+  /// Handshake mailboxes in the control region. Arena clients take their
+  /// REQ ack here instead of a private response queue — POSIX caps the
+  /// per-user mqueue count (fs.mqueue.queues_max, typically 256) far
+  /// below the populations the load harness drives.
+  int handshake_mailboxes = 256;
+  /// Pooled vsm arena size; 0 disables (every client creates a private
+  /// P_vsm<k> segment). When set, clients advertising the arena
+  /// capability get their region carved out of one shared
+  /// (hugepage-advised) segment — see docs/scaling.md.
+  Bytes arena_size = 0;
+  bool arena_hugepages = true;
+  /// Lease sweep rotation: sessions pid-probed (and lanes reconciled)
+  /// per lease_check_interval. Bounds the sweep at scale; populations at
+  /// or below this see exactly the pre-rotation probe latency.
+  int probe_batch = 64;
   /// Observability: span tracing (per-job queue/Tin/Tcomp/Tout phases)
   /// and ring sizing. The metrics registry is always on; stop() exports
   /// every legacy counter into it (see docs/observability.md).
@@ -194,12 +226,37 @@ struct RtServerStats {
   std::atomic<long> duplicates_absorbed{0};
   /// Responses dropped on a full (likely dead) client queue or ring.
   std::atomic<long> responses_dropped{0};
+  /// Sessions attached into the slot table (REQ accepted).
+  std::atomic<long> sessions_attached{0};
+  /// Slots recycled back to the free list (detach under churn).
+  std::atomic<long> slots_recycled{0};
+  /// Verbs rejected because their session token's generation was recycled.
+  std::atomic<long> stale_sessions{0};
+  /// REQ acks delivered through control-region mailboxes (no mqueue).
+  std::atomic<long> mailbox_acks{0};
+  /// REQs granted a region inside the pooled vsm arena.
+  std::atomic<long> arena_grants{0};
+  /// Arena asks declined (no arena configured, or transiently full).
+  std::atomic<long> arena_declines{0};
+  /// Ring requests recovered by the reconciliation sweep instead of the
+  /// ready set (a publisher died mid-publish, or a pre-session client).
+  std::atomic<long> reconcile_requests{0};
+  /// Serve-thread CPU time (CLOCK_THREAD_CPUTIME_ID), total over the
+  /// serve loop's life; divide by rt.requests for CPU-per-request.
+  std::atomic<long> serve_cpu_ns{0};
   /// Histogram of requests handled per serve-loop wakeup; bucket i counts
   /// wakeups that drained a batch of depth in [2^i, 2^(i+1)).
   static constexpr int kBatchBuckets = 8;  // 1,2-3,4-7,...,128+
   std::atomic<long> batch_depth[kBatchBuckets] = {};
+  /// Ready-set depth per drain (same 2^i bucketing): how many lanes were
+  /// actually ready per wakeup — the tentpole's O(ready) evidence.
+  std::atomic<long> ready_depth[kBatchBuckets] = {};
+  /// Grants written back per pump (one response sweep each).
+  std::atomic<long> grants_per_pump[kBatchBuckets] = {};
 
   void record_batch(std::size_t depth);
+  void record_ready(std::size_t depth);
+  void record_pump(std::size_t grants);
 };
 
 /// Snapshot of the execution engine's counters, captured at stop() (the
@@ -248,13 +305,25 @@ class RtServer {
 
  private:
   struct ClientState {
+    /// Private P_vsm<k> segment (empty when the region lives in the
+    /// pooled arena).
     ipc::SharedMemory vsm;
-    /// REQ handshake and mqueue-mode responses (client-created).
+    /// The client's channel-plus-data region: the vsm segment's bytes, or
+    /// an arena slice. All data-area access goes through this view.
+    std::span<std::byte> region;
+    /// Arena placement (-1 = private segment).
+    std::int64_t arena_offset = -1;
+    /// REQ handshake and mqueue-mode responses (client-created; invalid
+    /// for arena clients, whose handshake used a control-region mailbox).
     ipc::MessageQueue<RtResponse> resp;
     /// Post-negotiation response path (and, for rings, request source).
     std::unique_ptr<ipc::ServerLane<RtRequest, RtResponse>> lane;
-    RtChannel* channel = nullptr;      // ring transport only; inside vsm
-    std::size_t data_offset = 0;       // data area offset inside vsm
+    RtChannel* channel = nullptr;      // ring transport only; head of region
+    std::size_t data_offset = 0;       // data area offset inside region
+    /// Slot-table coordinates; token() is what verbs carry.
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+    std::int64_t token() const { return make_session_token(slot, generation); }
     std::vector<std::byte> staging_in;   // staged data plane only
     std::vector<std::byte> staging_out;
     const RtKernelFn* kernel = nullptr;
@@ -299,23 +368,47 @@ class RtServer {
     vmem::AllocId alloc_out = 0;
 
     std::span<std::byte> input_area() {
-      return vsm.bytes().subspan(data_offset,
-                                 static_cast<std::size_t>(bytes_in));
+      return region.subspan(data_offset, static_cast<std::size_t>(bytes_in));
     }
     std::span<std::byte> output_area() {
-      return vsm.bytes().subspan(
-          data_offset + static_cast<std::size_t>(bytes_in),
-          static_cast<std::size_t>(bytes_out));
+      return region.subspan(data_offset + static_cast<std::size_t>(bytes_in),
+                            static_cast<std::size_t>(bytes_out));
+    }
+  };
+
+  /// Deadline-ordered lease work: instead of scanning every client each
+  /// sweep, the serve loop pops only entries that are due. Entries are
+  /// lazily validated — a recycled (slot, generation) no longer resolves
+  /// and is dropped; a deadline pushed back by later activity re-arms at
+  /// the recomputed time.
+  struct LeaseDeadline {
+    enum class Kind { kSilent, kLinger, kDoomed };
+    SimTime due = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+    Kind kind = Kind::kSilent;
+    bool operator>(const LeaseDeadline& other) const {
+      return due > other.due;
     }
   };
 
   void serve_loop();
-  /// One non-blocking sweep over the shared queue and every ring lane.
-  /// Returns the number of requests handled; sets *shutdown when the
-  /// shutdown message was seen.
+  /// One non-blocking sweep over the shared queue, then over exactly the
+  /// lanes the ready set names (O(ready), not O(attached)). Returns the
+  /// number of requests handled; sets *shutdown when the shutdown message
+  /// was seen.
   std::size_t drain_requests(bool* shutdown);
   void handle(const RtRequest& request);
   void handle_req(const RtRequest& request);
+  /// O(1) session lookup: token-checked slot access when the verb carries
+  /// one (stale generations are rejected and counted), id-table fallback
+  /// for pre-session clients.
+  ClientState* resolve(const RtRequest& request);
+  /// Answers a REQ that never reached registration (busy / denied /
+  /// backpressured): through the request's claimed mailbox when it names
+  /// one, else over the client's P_resp<k> queue.
+  void handshake_reply(const RtRequest& request, RtAck ack,
+                       std::int64_t arena_offset);
   /// Drains scheduler grants: dispatches every granted client's job batch
   /// to the worker pool and ACKs the STRs.
   void pump();
@@ -338,10 +431,15 @@ class RtServer {
   /// server.respond fault point, and sends without ever blocking the
   /// serve loop (a full dead-client queue counts responses_dropped).
   void send_response(ClientState& client, const RtResponse& response);
-  /// Lease sweep (rate-limited by lease_check_interval): pid probes,
-  /// silent-deadline expiry, deferred reclamation of doomed clients whose
-  /// jobs drained, and garbage collection of lingering released clients.
+  /// Lease sweep (rate-limited by lease_check_interval): pops only the
+  /// *due* entries off the deadline heap (silent expiry, linger GC,
+  /// doomed reclaim), then rotates a bounded pid-probe/lane-reconcile
+  /// window of probe_batch sessions — idle wakeups stop scanning every
+  /// client.
   void check_leases();
+  /// Pushes a lazily-validated deadline for `client` onto the heap.
+  void arm_lease(const ClientState& client, LeaseDeadline::Kind kind,
+                 SimTime due);
   /// Declares a client dead: dequeues it from the scheduler (releasing
   /// the barrier wave for survivors), records the kLeaseExpiry span, and
   /// marks it doomed for reclamation.
@@ -357,12 +455,13 @@ class RtServer {
   /// Admission budget: virtual (device + ledger) in vmem mode, else
   /// total_capacity; "unlimited" when neither is configured.
   Bytes admission_capacity() const;
-  /// Tears down one client's resources: ring lane, quota bytes, and the
-  /// orphaned P_vsm / P_resp names. Returns the next map iterator.
-  std::map<int, ClientState>::iterator reclaim(
-      std::map<int, ClientState>::iterator it);
-  /// True when any ring lane holds an unread request.
-  bool ring_request_pending();
+  /// Tears down one session: ring-lane count, arena slice or orphaned
+  /// P_vsm / P_resp names (`unlink_names`: crash path only — a released
+  /// client unlinks its own), id-table entry, and the slot itself (its
+  /// generation bumps, invalidating outstanding tokens). Quota is the
+  /// caller's job (RLS / expiry / replacement each return it already).
+  void destroy_session(std::uint32_t slot, bool unlink_names,
+                       bool count_reclaimed);
   /// Monotonic nanoseconds since server start — the scheduler's clock.
   SimTime rt_now() const;
   /// Syncs every legacy stats_/exec_counters_/sched counter into the obs
@@ -372,13 +471,30 @@ class RtServer {
   RtServerConfig config_;
   const KernelRegistry& registry_;
   ipc::MessageQueue<RtRequest> requests_;
-  ipc::SharedMemory door_shm_;  // serve-loop doorbell (P_door)
-  std::map<int, ClientState> clients_;
+  /// The control region (P_door): doorbell word + ready set + handshake
+  /// mailboxes. ctrl_ is a view into this mapping.
+  ipc::SharedMemory door_shm_;
+  ipc::ControlRegion<RtResponse> ctrl_;
+  /// Pooled vsm arena (invalid unless config.arena_size > 0).
+  ipc::ShmArena arena_;
+  /// The session table and the id index over it. The table is the owner;
+  /// id_slots_ exists for REQ-time re-attach and pre-session verbs.
+  SlotTable<ClientState> sessions_;
+  std::unordered_map<int, std::uint32_t> id_slots_;
   int ring_lanes_ = 0;  // clients negotiated onto the ring transport
   Bytes admitted_total_ = 0;     // quota charged across live clients
   SimTime last_lease_check_ = 0;
-  std::map<int, int> backpressure_counts_;  // consecutive kWait per client
-  std::vector<RtRequest> ring_batch_;  // drain_requests scratch
+  std::priority_queue<LeaseDeadline, std::vector<LeaseDeadline>,
+                      std::greater<LeaseDeadline>>
+      lease_heap_;
+  std::uint32_t probe_cursor_ = 0;  // pid-probe/reconcile rotation
+  std::unordered_map<int, int> backpressure_counts_;  // consecutive kWait
+  std::vector<RtRequest> ring_batch_;        // drain_requests scratch
+  std::vector<std::uint32_t> ready_batch_;   // drained ready slots
+  std::vector<int> done_batch_;              // drain_completions scratch
+  std::vector<int> grant_ids_;               // pump scratch
+  std::vector<std::size_t> grant_cohorts_;
+  std::vector<ClientState*> grant_acks_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::unique_ptr<sched::AdmissionController> admission_;
   std::unique_ptr<vmem::Pager> pager_;  // null unless config.vmem.enabled

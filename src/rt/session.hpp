@@ -1,0 +1,106 @@
+// O(1) slot-indexed session table with generation-counted recycling: the
+// serve loop's replacement for a std::map of clients. attach() hands out
+// the lowest recycled slot (LIFO free list — churny populations stay
+// dense), detach() bumps the slot's generation so any verb still carrying
+// the old token resolves to null instead of the slot's new tenant.
+// Entries are heap-held so their addresses stay stable across attaches
+// (in-flight jobs capture ClientState pointers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace vgpu::rt {
+
+template <typename T>
+class SlotTable {
+ public:
+  struct Ref {
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+    T* value = nullptr;
+  };
+
+  explicit SlotTable(std::uint32_t capacity) : slots_(capacity) {}
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  std::size_t active() const { return active_; }
+  /// One past the highest slot ever handed out; bounds full sweeps to the
+  /// populated prefix of the table.
+  std::uint32_t high_water() const { return high_water_; }
+
+  /// Claims a slot for `value`; nullopt when the table is full (the
+  /// caller backpressures the attach).
+  std::optional<Ref> attach(std::unique_ptr<T> value) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else if (high_water_ < capacity()) {
+      slot = high_water_++;
+      slots_[slot].generation = 1;  // tokens must never pack to 0
+    } else {
+      return std::nullopt;
+    }
+    Entry& entry = slots_[slot];
+    entry.value = std::move(value);
+    ++active_;
+    return Ref{slot, entry.generation, entry.value.get()};
+  }
+
+  /// Token-checked lookup: null when the slot is empty or `generation`
+  /// predates the current tenant (a recycled lane).
+  T* get(std::uint32_t slot, std::uint32_t generation) {
+    if (slot >= high_water_) return nullptr;
+    Entry& entry = slots_[slot];
+    if (entry.generation != generation) return nullptr;
+    return entry.value.get();
+  }
+
+  /// Unchecked-by-generation access (server-internal iteration helpers).
+  T* at(std::uint32_t slot) {
+    return slot < high_water_ ? slots_[slot].value.get() : nullptr;
+  }
+  std::uint32_t generation(std::uint32_t slot) const {
+    return slot < high_water_ ? slots_[slot].generation : 0;
+  }
+
+  /// Empties the slot, bumps its generation (invalidating outstanding
+  /// tokens) and recycles it. Returns the evicted value (null if empty).
+  std::unique_ptr<T> detach(std::uint32_t slot) {
+    if (slot >= high_water_) return nullptr;
+    Entry& entry = slots_[slot];
+    if (entry.value == nullptr) return nullptr;
+    std::unique_ptr<T> out = std::move(entry.value);
+    ++entry.generation;
+    free_.push_back(slot);
+    --active_;
+    return out;
+  }
+
+  /// Visits every occupied slot: fn(slot, T&). Safe against detach of the
+  /// visited slot inside fn; do not attach from fn.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::uint32_t slot = 0; slot < high_water_; ++slot) {
+      if (slots_[slot].value != nullptr) fn(slot, *slots_[slot].value);
+    }
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t generation = 0;
+    std::unique_ptr<T> value;
+  };
+
+  std::vector<Entry> slots_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t high_water_ = 0;
+  std::size_t active_ = 0;
+};
+
+}  // namespace vgpu::rt

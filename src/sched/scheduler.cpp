@@ -122,6 +122,20 @@ std::vector<int> Scheduler::pick_next(SimTime now) {
   return batch;
 }
 
+std::size_t Scheduler::drain_grants(SimTime now, std::vector<int>* out,
+                                    std::vector<std::size_t>* cohorts) {
+  std::size_t total = 0;
+  for (;;) {
+    const std::vector<int> batch = pick_next(now);
+    if (batch.empty()) break;
+    out->insert(out->end(), batch.begin(), batch.end());
+    cohorts->push_back(batch.size());
+    total += batch.size();
+  }
+  if (total > 0) ++stats_.pumps;
+  return total;
+}
+
 void Scheduler::set_residency(int client, bool resident) {
   Client* c = find(client);
   if (c != nullptr) c->resident = resident;

@@ -102,6 +102,7 @@ struct SchedStats {
   long enqueued = 0;
   long grants = 0;            // rounds dispatched
   long batches = 0;           // non-empty pick_next() results
+  long pumps = 0;             // drain_grants() calls granting >= 1 batch
   long quanta_granted = 0;    // TimeQuantum: exclusive windows opened
   long rotations = 0;         // TimeQuantum: ownership changes
   long resident_holds = 0;    // TimeQuantum: idle holds extended because
@@ -134,6 +135,13 @@ class Scheduler {
   /// now; empty when the policy wants to hold. Grant bookkeeping (wait
   /// times, in-flight count) is applied here.
   std::vector<int> pick_next(SimTime now);
+  /// Batch-grant interface for the live serve loop: drains every batch
+  /// pick_next() would produce at `now` in one call, appending the client
+  /// ids to *out and each cohort's width to *cohorts — the caller submits
+  /// jobs per cohort but acks the whole pump in one response sweep.
+  /// Returns the total clients granted.
+  std::size_t drain_grants(SimTime now, std::vector<int>* out,
+                           std::vector<std::size_t>* cohorts);
   void on_complete(int client, SimTime now);
 
   /// Residency hint from the memory layer (the vmem pager): true while

@@ -4,11 +4,15 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
 
+#include "ipc/arena.hpp"
+#include "ipc/control.hpp"
 #include "ipc/mqueue.hpp"
 #include "ipc/process_barrier.hpp"
 #include "ipc/ring.hpp"
@@ -241,6 +245,260 @@ TEST(ProcessBarrierTest, ReleasesAllThreadsTogether) {
   EXPECT_EQ(arrived.load(), 4);
   EXPECT_EQ(serial.load(), 1);  // exactly one serial thread
   barrier.destroy();
+}
+
+// ---------------------------------------------------------------------------
+// ControlRegion: ready set + handshake mailboxes
+// ---------------------------------------------------------------------------
+
+struct HsResp {
+  int client;
+  long value;
+};
+
+// The region demands 64-byte alignment (Header/Mailbox are alignas(64));
+// shm mappings are page-aligned, heap new[] is not guaranteed to be.
+struct ControlFixture {
+  ControlFixture(const char* tag, std::uint32_t sessions,
+                 std::uint32_t mailboxes) {
+    auto shm = SharedMemory::create(
+        unique_name(tag), ControlRegion<HsResp>::size_for(sessions, mailboxes));
+    EXPECT_TRUE(shm.ok()) << shm.status().to_string();
+    backing = std::move(*shm);
+    region = ControlRegion<HsResp>::init(backing.data(), sessions, mailboxes);
+  }
+  SharedMemory backing;
+  ControlRegion<HsResp> region;
+};
+
+TEST(Control, AttachValidatesPublication) {
+  auto shm = SharedMemory::create(unique_name("ctrl_raw"),
+                                  ControlRegion<HsResp>::size_for(4, 2));
+  ASSERT_TRUE(shm.ok());
+  // Zeroed shm: magic absent, attach must refuse.
+  auto unpublished = ControlRegion<HsResp>::attach(shm->data(), shm->size());
+  EXPECT_FALSE(unpublished.ok());
+
+  ControlRegion<HsResp>::init(shm->data(), 4, 2);
+  auto attached = ControlRegion<HsResp>::attach(shm->data(), shm->size());
+  ASSERT_TRUE(attached.ok()) << attached.status().to_string();
+  EXPECT_EQ(attached->sessions(), 4u);
+  EXPECT_EQ(attached->mailboxes(), 2u);
+
+  // Counts that exceed the mapping are rejected.
+  auto truncated =
+      ControlRegion<HsResp>::attach(shm->data(), sizeof(ControlRegion<HsResp>::Header));
+  EXPECT_FALSE(truncated.ok());
+}
+
+TEST(Control, ReadySetPublishDrainRepublish) {
+  ControlFixture fx("ctrl_ready", 8, 0);
+  auto& ctrl = fx.region;
+  EXPECT_TRUE(ctrl.ready_empty());
+
+  EXPECT_TRUE(ctrl.publish_ready(3));
+  EXPECT_TRUE(ctrl.publish_ready(5));
+  EXPECT_TRUE(ctrl.publish_ready(0));
+  // Duplicate publish dedups: the pending drain covers the new request.
+  EXPECT_FALSE(ctrl.publish_ready(5));
+  EXPECT_FALSE(ctrl.ready_empty());
+
+  std::vector<std::uint32_t> ready;
+  EXPECT_EQ(ctrl.drain_ready(&ready), 3u);
+  std::sort(ready.begin(), ready.end());
+  EXPECT_EQ(ready, (std::vector<std::uint32_t>{0, 3, 5}));
+  EXPECT_TRUE(ctrl.ready_empty());
+
+  // The drain cleared the queued flags: every slot publishes afresh.
+  EXPECT_TRUE(ctrl.publish_ready(5));
+  ready.clear();
+  EXPECT_EQ(ctrl.drain_ready(&ready), 1u);
+  EXPECT_EQ(ready.front(), 5u);
+}
+
+TEST(Control, ResetReadyKeepsRecycledSlotPublishable) {
+  ControlFixture fx("ctrl_reset", 4, 0);
+  auto& ctrl = fx.region;
+  std::vector<std::uint32_t> ready;
+  EXPECT_TRUE(ctrl.publish_ready(2));
+  ctrl.drain_ready(&ready);
+  // Slot recycling heals the flag before the new tenant attaches; a
+  // clean slot must stay publishable afterwards.
+  ctrl.reset_ready(2);
+  EXPECT_TRUE(ctrl.publish_ready(2));
+  ready.clear();
+  EXPECT_EQ(ctrl.drain_ready(&ready), 1u);
+  EXPECT_EQ(ready.front(), 2u);
+}
+
+TEST(Control, ReadySetConcurrentPublishersLoseNoWakeup) {
+  constexpr std::uint32_t kSlots = 64;
+  ControlFixture fx("ctrl_mpsc", kSlots, 0);
+  auto& ctrl = fx.region;
+  constexpr int kRounds = 2000;
+  std::atomic<bool> stop{false};
+  std::vector<std::atomic<int>> published(kSlots);
+  for (auto& p : published) p.store(0);
+
+  std::vector<std::thread> publishers;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    publishers.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        const std::uint32_t slot = (t * 16 + i) % kSlots;
+        if (ctrl.publish_ready(slot)) published[slot].fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::atomic<int>> drained(kSlots);
+  for (auto& d : drained) d.store(0);
+  std::thread server([&] {
+    std::vector<std::uint32_t> ready;
+    while (!stop.load() || !ctrl.ready_empty()) {
+      ready.clear();
+      ctrl.drain_ready(&ready);
+      for (std::uint32_t slot : ready) drained[slot].fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& p : publishers) p.join();
+  stop.store(true);
+  server.join();
+  // Every successful publish is matched by exactly one drain: no slot is
+  // lost, none duplicated.
+  for (std::uint32_t s = 0; s < kSlots; ++s) {
+    EXPECT_EQ(drained[s].load(), published[s].load()) << "slot " << s;
+  }
+}
+
+TEST(Control, MailboxClaimDeliverCollectRelease) {
+  ControlFixture fx("ctrl_mbox", 2, 3);
+  auto& ctrl = fx.region;
+
+  const std::int32_t idx = ctrl.claim_mailbox(7);
+  ASSERT_GE(idx, 0);
+  EXPECT_TRUE(ctrl.deliver(idx, 7, {7, 4242}));
+  HsResp out{};
+  EXPECT_TRUE(ctrl.try_collect(idx, 7, &out));
+  EXPECT_EQ(out.client, 7);
+  EXPECT_EQ(out.value, 4242L);
+  ctrl.release_mailbox(idx, 7);
+
+  // The freed box is claimable again (possibly by someone else).
+  std::int32_t again = ctrl.claim_mailbox(9);
+  EXPECT_GE(again, 0);
+  ctrl.release_mailbox(again, 9);
+}
+
+TEST(Control, MailboxDeliveryGuards) {
+  ControlFixture fx("ctrl_guard", 2, 2);
+  auto& ctrl = fx.region;
+
+  // Delivery into a free (unclaimed) box is refused.
+  EXPECT_FALSE(ctrl.deliver(0, 5, {5, 1}));
+  // Out-of-range indices are refused.
+  EXPECT_FALSE(ctrl.deliver(-1, 5, {5, 1}));
+  EXPECT_FALSE(ctrl.deliver(99, 5, {5, 1}));
+
+  const std::int32_t idx = ctrl.claim_mailbox(5);
+  ASSERT_GE(idx, 0);
+  // Wrong owner: the box was recycled under the server's feet.
+  EXPECT_FALSE(ctrl.deliver(idx, 6, {6, 2}));
+  // Collect before any delivery: nothing there.
+  HsResp out{};
+  EXPECT_FALSE(ctrl.try_collect(idx, 5, &out));
+  ctrl.release_mailbox(idx, 5);
+}
+
+TEST(Control, MailboxCollectRearmsOnAddresseeMismatch) {
+  ControlFixture fx("ctrl_reclaim", 2, 1);
+  auto& ctrl = fx.region;
+
+  const std::int32_t idx = ctrl.claim_mailbox(5);
+  ASSERT_GE(idx, 0);
+  EXPECT_TRUE(ctrl.deliver(idx, 5, {5, 11}));
+  // A collector that is not the addressee (the recycled-claim race) must
+  // not consume the ack; the box is re-armed for another delivery.
+  HsResp out{};
+  EXPECT_FALSE(ctrl.try_collect(idx, 99, &out));
+  EXPECT_TRUE(ctrl.deliver(idx, 5, {5, 12}));
+  EXPECT_TRUE(ctrl.try_collect(idx, 5, &out));
+  EXPECT_EQ(out.value, 12L);
+  ctrl.release_mailbox(idx, 5);
+}
+
+TEST(Control, MailboxPoolExhaustionReturnsMinusOne) {
+  ControlFixture fx("ctrl_full", 2, 2);
+  auto& ctrl = fx.region;
+  const std::int32_t a = ctrl.claim_mailbox(1);
+  const std::int32_t b = ctrl.claim_mailbox(2);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ctrl.claim_mailbox(3), -1);
+  ctrl.release_mailbox(a, 1);
+  EXPECT_GE(ctrl.claim_mailbox(3), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ShmArena
+// ---------------------------------------------------------------------------
+
+TEST(Arena, AllocateAlignsAndReusesFreedBlocks) {
+  auto arena = ShmArena::create(unique_name("arena1"), 1 << 20,
+                                /*try_hugepages=*/false);
+  ASSERT_TRUE(arena.ok()) << arena.status().to_string();
+
+  const std::int64_t a = arena->allocate(1000);
+  const std::int64_t b = arena->allocate(1000);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(a % 64, 0);
+  EXPECT_EQ(b % 64, 0);
+  EXPECT_GE(b, a + 1000);
+
+  // First fit: releasing the low block makes the next allocation land
+  // back on it.
+  arena->release(a);
+  const std::int64_t c = arena->allocate(500);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Arena, ExhaustionBackpressuresAndReleaseRecovers) {
+  auto arena = ShmArena::create(unique_name("arena2"), 4096,
+                                /*try_hugepages=*/false);
+  ASSERT_TRUE(arena.ok());
+  const std::int64_t whole = arena->allocate(4096);
+  EXPECT_EQ(whole, 0);
+  EXPECT_EQ(arena->allocate(64), -1);  // nothing fits: admission backpressure
+  EXPECT_EQ(arena->stats().failures, 1);
+  arena->release(whole);
+  EXPECT_GE(arena->allocate(64), 0);
+}
+
+TEST(Arena, StatsAndCoalescing) {
+  auto arena = ShmArena::create(unique_name("arena3"), 1 << 16,
+                                /*try_hugepages=*/false);
+  ASSERT_TRUE(arena.ok());
+  const std::int64_t a = arena->allocate(1024);
+  const std::int64_t b = arena->allocate(1024);
+  const std::int64_t c = arena->allocate(1024);
+  ASSERT_GE(c, 0);
+  EXPECT_EQ(arena->stats().allocs, 3);
+  EXPECT_EQ(arena->stats().in_use, 3 * 1024);
+  EXPECT_EQ(arena->stats().peak_in_use, 3 * 1024);
+
+  // Release out of order; neighbours coalesce back into one span big
+  // enough for a single allocation covering all three.
+  arena->release(a);
+  arena->release(c);
+  arena->release(b);
+  EXPECT_EQ(arena->stats().frees, 3);
+  EXPECT_EQ(arena->stats().in_use, 0);
+  EXPECT_EQ(arena->allocate(3 * 1024), a);
+
+  // Double release of an already-freed offset is ignored.
+  arena->release(b);
+  EXPECT_EQ(arena->stats().frees, 3);
 }
 
 }  // namespace

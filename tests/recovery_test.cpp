@@ -188,6 +188,97 @@ INSTANTIATE_TEST_SUITE_P(
     sweep_name);
 
 // ---------------------------------------------------------------------------
+// Arena reclamation: an arena-placed client that dies mid-protocol must
+// give back its session slot AND its arena slice with the lease — at
+// scale a leaked slice is a leaked segment's worth of pooled memory.
+// ---------------------------------------------------------------------------
+
+/// run_vecadd_client for arena placement: an arena client's region only
+/// exists after req() granted it, so the input fill moves after REQ.
+bool run_arena_vecadd_client(const std::string& prefix, int id, long n,
+                             RtClientOptions options) {
+  options.arena = true;
+  auto client = RtClient::connect(prefix, id, 2 * n * 4, n * 4, options);
+  if (!client.ok()) return false;
+  auto kid = builtin_registry().id_of("vecadd");
+  if (!kid.ok()) return false;
+  const std::int64_t params[4] = {n, 0, 0, 0};
+  if (!client->req(*kid, params).ok()) return false;
+  const auto un = static_cast<std::size_t>(n);
+  auto* in = reinterpret_cast<float*>(client->input().data());
+  Rng rng(static_cast<std::uint64_t>(id) + 1);
+  for (std::size_t i = 0; i < 2 * un; ++i) {
+    in[i] = static_cast<float>(rng.uniform(-4.0, 4.0));
+  }
+  if (!client->snd().ok()) return false;
+  if (!client->str().ok()) return false;
+  if (!client->wait_done().ok()) return false;
+  if (!client->rcv().ok()) return false;
+  const auto* out = reinterpret_cast<const float*>(client->output().data());
+  for (std::size_t i = 0; i < un; ++i) {
+    if (out[i] != in[i] + in[un + i]) return false;
+  }
+  return client->rls().ok();
+}
+
+/// fork_victim for the pooled-arena path: same kill plan, but the client
+/// asks for arena placement (mailbox handshake, no private queues).
+pid_t fork_arena_victim(const std::string& prefix, int id, long n,
+                        fault::Point boundary) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  fault::FaultPlan plan;
+  fault::Rule rule;
+  rule.point = boundary;
+  rule.action = fault::Action::kKill;
+  plan.add(rule);
+  fault::Injector injector{std::move(plan)};
+  (void)run_arena_vecadd_client(
+      prefix, id, n, chaos_options(ipc::TransportKind::kShmRing, &injector));
+  ::_exit(2);  // reached only if the kill never fired
+}
+
+TEST(Recovery, ExpiredArenaLeaseRecyclesSlotAndSlice) {
+  const std::string prefix = unique_prefix("arena");
+  constexpr long kN = 512;
+  RtServerConfig config =
+      chaos_config(prefix, 2, ipc::TransportKind::kShmRing);
+  config.arena_size = 1 * kMiB;
+  RtServer server(config, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+
+  const pid_t victim =
+      fork_arena_victim(prefix, 1, kN, fault::Point::kClientAfterSnd);
+  ASSERT_GT(victim, 0);
+  const bool survivor_ok = run_arena_vecadd_client(
+      prefix, 0, kN, chaos_options(ipc::TransportKind::kShmRing));
+  int status = 0;
+  ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_TRUE(survivor_ok);
+
+  // Reclamation (victim) and linger GC (survivor's RLS) must both land:
+  // every attached session's slot recycles and its slice frees.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((server.stats().clients_reclaimed.load() < 1 ||
+          server.stats().slots_recycled.load() < 2) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().leases_expired.load(), 1);
+  EXPECT_EQ(server.stats().clients_reclaimed.load(), 1);
+  EXPECT_EQ(server.stats().arena_grants.load(), 2);
+  EXPECT_GE(server.stats().slots_recycled.load(), 2);
+  // The pooled arena is whole again: no slice leaked with the death.
+  const obs::Gauge* in_use =
+      server.obs().metrics().find_gauge("arena.in_use_bytes");
+  ASSERT_NE(in_use, nullptr);
+  EXPECT_EQ(in_use->value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // vmem reclamation: a SIGKILLed client's pages — device frames and
 // host-ledger slots alike — must come back with its lease.
 // ---------------------------------------------------------------------------

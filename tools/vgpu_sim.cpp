@@ -20,6 +20,14 @@
 // `--exec=serial|sharded` picks the kernel execution mode (sharded fans
 // each launch out over `--workers` via the src/exec engine and prints the
 // exec counter block: shards, steals, overlap bytes, per-worker shares).
+// `--clients=N` (live mode) switches to a population run: N client
+// *threads* sharing one context (sessions in the O(1) slot table, regions
+// pooled in the arena on --transport=shm) drive an open-loop server.
+// `--arrival=burst|poisson` spaces the request rounds and `--rate=` sets
+// the aggregate poisson arrival rate; the run prints the serve-loop
+// counter block (ready-set depth, grants per pump, slots recycled). The
+// percentile-reporting harness at scale is bench/load_gen
+// (docs/scaling.md).
 // `--fault-plan=<spec>` (live mode) arms deterministic fault injection on
 // both ends: the server consults the spec's server.* / exec.* / device.*
 // rules, every forked client rebuilds the same plan for its ctrl.* and
@@ -47,9 +55,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <optional>
+#include <random>
 #include <string>
 #include <thread>
 #include <utility>
@@ -180,6 +190,164 @@ LiveKernelPlan live_plan(const std::string& workload) {
   return plan;
 }
 
+/// Per-client footprint for `--clients=` population runs: the same
+/// kernels at small sizes, so thousands of concurrent sessions fit one
+/// pooled arena (the full-size plans are per-client MBs).
+LiveKernelPlan live_population_plan(const std::string& workload) {
+  LiveKernelPlan plan;
+  if (workload == "vecadd") {
+    const long n = 4096;
+    plan = {"vecadd", {n, 0, 0, 0}, 2 * n * 4, n * 4};
+  } else if (workload == "mm") {
+    const long n = 32;
+    plan = {"sgemm", {n, 0, 0, 0}, 2 * n * n * 4, n * n * 4};
+  } else if (workload == "mg") {
+    const long n = 8;
+    const Bytes cells = static_cast<Bytes>(n) * n * n;
+    plan = {"mg_vcycle", {n, 2, 0, 0}, cells * 8, cells * 8};
+  } else if (workload == "blackscholes") {
+    const long n = 4096;
+    plan = {"blackscholes", {n, 0, 0, 0}, 3 * n * 4, 2 * n * 4};
+  } else if (workload == "ep") {
+    plan = {"ep", {8, 4, 0, 0}, 0,
+            static_cast<Bytes>(sizeof(kernels::EpResult))};
+  } else if (workload == "electrostatics") {
+    const long natoms = 128, nx = 16, ny = 16;
+    plan = {"coulomb_slab",
+            {natoms, nx, ny, 0},
+            natoms * static_cast<Bytes>(sizeof(kernels::Atom)),
+            nx * ny * 4};
+  } else {
+    std::fprintf(stderr,
+                 "workload '%s' has no live kernel (try: vecadd mm mg "
+                 "blackscholes ep electrostatics)\n",
+                 workload.c_str());
+    std::exit(2);
+  }
+  return plan;
+}
+
+void print_live_stats(const rt::RtServer& server);
+
+/// `--clients=N` population run: N client *threads* through one shared
+/// RtClientContext (three kernel objects for the whole population, not
+/// 3N) against an open-loop server — no SPMD barrier, sessions slotted
+/// into the O(1) table, regions pooled in the arena on the shm
+/// transport. `--arrival=` spaces the request rounds: `burst` fires
+/// every client together, `poisson` draws per-client exponential gaps
+/// at an aggregate `--rate=` arrivals/sec (default 4x clients). The
+/// heavier open-loop harness with latency percentiles is bench/load_gen
+/// (docs/scaling.md).
+int run_live_population(const Flags& flags, rt::RtServerConfig config,
+                        const std::string& workload_name, int clients,
+                        int rounds, ipc::TransportKind transport) {
+  const std::string arrival = flags.get_string("arrival", "burst");
+  if (arrival != "burst" && arrival != "poisson") {
+    std::fprintf(stderr, "unknown arrival '%s' (try: burst poisson)\n",
+                 arrival.c_str());
+    return 2;
+  }
+  const double rate = static_cast<double>(
+      flags.get_long("rate", 4L * clients));
+  const LiveKernelPlan plan = live_population_plan(workload_name);
+  const bool ring = transport == ipc::TransportKind::kShmRing;
+  if (!ring && clients > 128) {
+    std::fprintf(stderr,
+                 "warning: --transport=mq opens one response queue per "
+                 "client; fs.mqueue.queues_max will likely cap the "
+                 "population (use --transport=shm)\n");
+  }
+
+  config.expected_clients = 1;  // open loop: no SPMD wave
+  config.max_sessions = clients + 64;
+  if (ring) {
+    const Bytes slice = rt::vsm_region_size(
+        ipc::kTransportCapMqueue | ipc::kTransportCapShmRing,
+        plan.bytes_in, plan.bytes_out);
+    config.arena_size =
+        static_cast<Bytes>(clients + 64) * (slice + 128) * 2;
+  }
+  config.lease_timeout = std::chrono::milliseconds(30000);
+  config.lease_check_interval = std::chrono::milliseconds(20);
+  config.release_linger = std::chrono::milliseconds(20);
+  rt::RtServer server(config, rt::builtin_registry());
+  const Status st = server.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "live server start failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+  auto ctx = rt::RtClientContext::open(config.prefix);
+  if (!ctx.ok()) {
+    std::fprintf(stderr, "context open failed: %s\n",
+                 ctx.status().to_string().c_str());
+    return 1;
+  }
+  auto kid = rt::builtin_registry().id_of(plan.kernel);
+  if (!kid.ok()) return 1;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<long> completed{0};
+  std::atomic<long> failed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int id = 0; id < clients; ++id) {
+    threads.emplace_back([&, id] {
+      rt::RtClientOptions options;
+      options.transport = transport;
+      options.arena = ring;
+      options.op_timeout = std::chrono::milliseconds(10000);
+      options.max_retries = 8;
+      auto client = rt::RtClient::connect(*ctx, id, plan.bytes_in,
+                                          plan.bytes_out, options);
+      if (!client.ok() || !client->req(*kid, plan.params).ok()) {
+        failed.fetch_add(1);
+        return;
+      }
+      if (plan.bytes_in > 0) {  // arena regions exist only post-REQ
+        auto* in = reinterpret_cast<float*>(client->input().data());
+        for (Bytes i = 0; i < plan.bytes_in / 4; ++i) {
+          in[i] = 0.25f * static_cast<float>(i % 64 + 1);
+        }
+      }
+      std::mt19937_64 rng(42ull * 1000003ull + static_cast<unsigned>(id));
+      std::exponential_distribution<double> gap(
+          rate / static_cast<double>(clients));
+      for (int round = 0; round < rounds; ++round) {
+        if (arrival == "poisson") {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(gap(rng)));
+        }
+        if (!client->snd().ok() || !client->str().ok() ||
+            !client->wait_done().ok() || !client->rcv().ok()) {
+          failed.fetch_add(1);
+          return;
+        }
+        completed.fetch_add(1);
+      }
+      if (!client->rls().ok()) failed.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  server.stop();
+
+  std::printf("  %-10s %10.1f ms  [%d clients, %s arrivals, %s/%s, "
+              "kernel %s]\n",
+              "live", wall_ms, clients, arrival.c_str(),
+              ipc::transport_name(transport),
+              rt::data_plane_name(config.data_plane), plan.kernel);
+  std::printf("  open loop: %ld/%ld rounds completed, %ld client "
+              "failures\n",
+              completed.load(), static_cast<long>(clients) * rounds,
+              failed.load());
+  print_live_stats(server);
+  return failed.load() == 0 ? 0 : 1;
+}
+
 /// One forked client process: connect, REQ, then `rounds` full
 /// SND/STR/STP/RCV cycles, RLS. Exits 0 on success.
 int run_live_client(const std::string& prefix, int id,
@@ -248,17 +416,31 @@ void print_live_stats(const rt::RtServer& server) {
               "doorbell_blocks %ld\n",
               cnt("rt.bytes_copied"), cnt("rt.syscalls_saved"),
               cnt("rt.spin_wakeups"), cnt("rt.doorbell_blocks"));
-  std::printf("  batch depth:");
-  if (const obs::Histogram* depth = reg.find_histogram("rt.batch_depth");
-      depth != nullptr) {
-    for (std::size_t b = 0; b < depth->buckets(); ++b) {
-      const long count = depth->bucket_count(b);
-      if (count == 0) continue;
-      const long lo = 1L << b;
-      std::printf(" [%ld..%ld]=%ld", lo, 2 * lo - 1, count);
+  const auto depth_line = [&reg](const char* label, const char* name) {
+    std::printf("  %s:", label);
+    if (const obs::Histogram* depth = reg.find_histogram(name);
+        depth != nullptr) {
+      for (std::size_t b = 0; b < depth->buckets(); ++b) {
+        const long count = depth->bucket_count(b);
+        if (count == 0) continue;
+        const long lo = 1L << b;
+        std::printf(" [%ld..%ld]=%ld", lo, 2 * lo - 1, count);
+      }
     }
-  }
-  std::printf("\n");
+    std::printf("\n");
+  };
+  depth_line("batch depth", "rt.batch_depth");
+  // Serve-loop block: the event-driven path's evidence. Ready-set depth
+  // is lanes drained per wakeup (O(ready), not O(attached)); grants per
+  // pump shows the response batching; the session counters show slot
+  // recycling under churn (docs/scaling.md).
+  depth_line("ready depth", "rt.ready_depth");
+  depth_line("grants/pump", "rt.grants_per_pump");
+  std::printf("  sessions: attached %ld, slots recycled %ld, stale "
+              "rejected %ld, mailbox acks %ld, arena grants %ld\n",
+              cnt("rt.sessions_attached"), cnt("rt.slots_recycled"),
+              cnt("rt.stale_sessions"), cnt("rt.mailbox_acks"),
+              cnt("rt.arena_grants"));
   if (server.config().exec == rt::ExecMode::kSharded) {
     const rt::RtExecCounters& e = server.exec_counters();
     std::printf("  exec: %ld launches, %ld shards, %ld steals, "
@@ -369,6 +551,15 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
     // when a kill rule fires; keep the detection latency demo-friendly.
     config.lease_timeout = std::chrono::milliseconds(750);
     config.lease_check_interval = std::chrono::milliseconds(20);
+  }
+  if (const int clients = static_cast<int>(flags.get_long("clients", 0));
+      clients > 0) {
+    // Population mode: threaded open-loop clients instead of forked SPMD
+    // processes; --rounds defaults to 1 full verb cycle per client.
+    const int pop_rounds =
+        static_cast<int>(flags.get_long("rounds", 1));
+    return run_live_population(flags, std::move(config), workload_name,
+                               clients, pop_rounds, transport);
   }
   rt::RtServer server(config, rt::builtin_registry());
   const Status st = server.start();
@@ -527,6 +718,7 @@ int main(int argc, char** argv) {
         "          [--sched=barrier|tq|fair|prio] [--quota-mb=<N>]\n"
         "          [--transport=mq|shm] [--data-plane=staged|zero_copy]\n"
         "          [--exec=serial|sharded] [--workers=<N>]\n"
+        "          [--clients=<N>] [--arrival=burst|poisson] [--rate=<N/s>]\n"
         "          [--vmem] [--page-size=<bytes>] [--device-mb=<N>]\n"
         "          [--host-ledger-mb=<N>]\n"
         "          [--metrics-json=<file>] [--trace-out=<file>]\n"
