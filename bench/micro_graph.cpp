@@ -1,0 +1,248 @@
+// Graph capture/replay microbenchmarks (docs/graphs.md): the per-launch
+// verb loop vs a single kLaunchGraph per K-iteration chain, on the CG and
+// MG iterative workloads. Each row reports
+//   msgs_per_iter -- control-plane messages per solver iteration, measured
+//                    as the ctrl_* stat delta across the timed loop, and
+//   parity_ok     -- 1.0 when the final output is bitwise identical to the
+//                    library oracle (cg_solve / mg_vcycle).
+// The CI bench-graph job gates the per-launch : graph ratio at >= 5x and
+// parity_ok == 1 on every row.
+#include <benchmark/benchmark.h>
+
+#include "support.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "kernels/cg.hpp"
+#include "kernels/mg.hpp"
+#include "rt/client.hpp"
+#include "rt/registry.hpp"
+#include "rt/server.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+std::string unique_prefix(const char* tag) {
+  return std::string("/vgpu_mgr_") + tag + "_" + std::to_string(::getpid());
+}
+
+rt::RtServerConfig make_config(const std::string& prefix) {
+  rt::RtServerConfig config;
+  config.prefix = prefix;
+  // Sequential single client: the co-flush barrier must be width 1 or
+  // grants never flush.
+  config.expected_clients = 1;
+  config.workers = 2;
+  return config;
+}
+
+long ctrl_messages(const rt::RtServer& server) {
+  const rt::RtServerStats& s = server.stats();
+  return s.ctrl_snd.load() + s.ctrl_str.load() + s.ctrl_stp.load() +
+         s.ctrl_rcv.load() + s.ctrl_graph.load();
+}
+
+int kernel_id(const char* name) {
+  auto id = rt::builtin_registry().id_of(name);
+  VGPU_ASSERT(id.ok());
+  return *id;
+}
+
+void report_graph_stats(benchmark::State& state, const rt::RtServer& server,
+                        long msgs, long iters, bool parity) {
+  state.counters["msgs_per_iter"] =
+      static_cast<double>(msgs) / static_cast<double>(iters);
+  state.counters["parity_ok"] = parity ? 1.0 : 0.0;
+  state.counters["graph_replays"] =
+      static_cast<double>(server.stats().graph_replays.load());
+  state.counters["graph_messages_saved"] =
+      static_cast<double>(server.stats().graph_messages_saved.load());
+  bench::report_registry(state, server.obs().metrics());
+}
+
+// Arg 0: 0 = per-launch SND/STR/STP/RCV rounds, 1 = one graph replay per
+// K-iteration chain. CG step kernel, n = 256, 6 nonzeros/row, K = 8.
+void BM_CgIterations(benchmark::State& state) {
+  const bool use_graph = state.range(0) != 0;
+  const int n = 256;
+  const int nz = 6;
+  const int iters = 8;
+  const std::int64_t vec = static_cast<std::int64_t>(n) * 8;
+  const std::string prefix = unique_prefix(use_graph ? "cgg" : "cgl");
+  rt::RtServer server(make_config(prefix), rt::builtin_registry());
+  if (!server.start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  auto client = rt::RtClient::connect(prefix, 0, 4 * vec, 3 * vec);
+  if (!client.ok()) {
+    state.SkipWithError("client connect failed");
+    return;
+  }
+  const int cg_step = kernel_id("cg_step");
+  const std::int64_t params[4] = {n, nz, 0, 0};
+  (void)client->req(cg_step, params);
+
+  const std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  const auto seed_input = [&] {
+    auto* d = reinterpret_cast<double*>(client->input().data());
+    for (int i = 0; i < n; ++i) {
+      d[i] = 1.0;          // b
+      d[n + i] = 0.0;      // x = 0
+      d[2 * n + i] = 1.0;  // r = b
+      d[3 * n + i] = 1.0;  // p = b
+    }
+  };
+
+  if (use_graph) {
+    // Record the K-iteration chain once: kernel + three feedback copies
+    // (x' r' p' -> x r p) per iteration, fired as ONE control message.
+    (void)client->begin_capture();
+    std::vector<int> prev;
+    for (int it = 0; it < iters; ++it) {
+      auto k = client->capture_kernel(
+          cg_step, params, 0, 4 * vec, 4 * vec, 3 * vec,
+          std::span<const int>(prev.data(), prev.size()));
+      VGPU_ASSERT(k.ok());
+      prev.clear();
+      if (it + 1 < iters) {
+        const int dep[1] = {*k};
+        for (int slot = 0; slot < 3; ++slot) {
+          auto c = client->capture_copy((4 + slot) * vec, (1 + slot) * vec,
+                                        vec, dep);
+          VGPU_ASSERT(c.ok());
+          prev.push_back(*c);
+        }
+      }
+    }
+    VGPU_ASSERT(client->end_capture().ok());
+    VGPU_ASSERT(client->upload_graph(1).ok());
+  }
+
+  const long msgs_before = ctrl_messages(server);
+  for (auto _ : state) {
+    seed_input();
+    bool ok = true;
+    if (use_graph) {
+      ok = client->launch_graph(1).ok();
+    } else {
+      for (int it = 0; it < iters && ok; ++it) {
+        ok = client->snd().ok() && client->str().ok() &&
+             client->wait_done().ok() && client->rcv().ok();
+        std::memcpy(client->input().data() + vec, client->output().data(),
+                    static_cast<std::size_t>(3 * vec));
+      }
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  const long msgs = ctrl_messages(server) - msgs_before;
+
+  // Bitwise parity: the x' column equals cg_solve after the same count.
+  const kernels::CsrMatrix a = kernels::cg_make_matrix(n, nz, 10.0);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  kernels::cg_solve(a, b, x, iters);
+  const bool parity =
+      std::memcmp(client->output().data(), x.data(),
+                  static_cast<std::size_t>(vec)) == 0;
+
+  (void)client->rls();
+  server.stop();
+  state.SetLabel(use_graph ? "graph" : "per-launch");
+  state.SetItemsProcessed(state.iterations() * iters);
+  report_graph_stats(state, server, msgs, state.iterations() * iters,
+                     parity);
+}
+VGPU_MICRO_BENCHMARK(BM_CgIterations)->Arg(0)->Arg(1)->ArgNames({"graph"});
+
+// Arg 0 as above. MG V-cycle step kernel, n = 16^3, K = 4.
+void BM_MgIterations(benchmark::State& state) {
+  const bool use_graph = state.range(0) != 0;
+  const int n = 16;
+  const int iters = 4;
+  const std::int64_t cells = static_cast<std::int64_t>(n) * n * n * 8;
+  const std::string prefix = unique_prefix(use_graph ? "mgg" : "mgl");
+  rt::RtServer server(make_config(prefix), rt::builtin_registry());
+  if (!server.start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  auto client = rt::RtClient::connect(prefix, 0, 2 * cells, cells);
+  if (!client.ok()) {
+    state.SkipWithError("client connect failed");
+    return;
+  }
+  const int mg_step = kernel_id("mg_step");
+  const std::int64_t params[4] = {n, 0, 0, 0};
+  (void)client->req(mg_step, params);
+
+  const kernels::Grid3 rhs = kernels::mg_make_rhs(n);
+  const auto seed_input = [&] {
+    std::memset(client->input().data(), 0, static_cast<std::size_t>(cells));
+    std::memcpy(client->input().data() + cells, rhs.data().data(),
+                static_cast<std::size_t>(cells));
+  };
+
+  if (use_graph) {
+    // K kernel nodes chained through u' -> u feedback copies.
+    (void)client->begin_capture();
+    int prev_copy = -1;
+    for (int it = 0; it < iters; ++it) {
+      auto k = client->capture_kernel(
+          mg_step, params, 0, 2 * cells, 2 * cells, cells,
+          prev_copy >= 0 ? std::span<const int>(&prev_copy, 1)
+                         : std::span<const int>());
+      VGPU_ASSERT(k.ok());
+      if (it + 1 < iters) {
+        const int dep[1] = {*k};
+        auto c = client->capture_copy(2 * cells, 0, cells, dep);
+        VGPU_ASSERT(c.ok());
+        prev_copy = *c;
+      }
+    }
+    VGPU_ASSERT(client->end_capture().ok());
+    VGPU_ASSERT(client->upload_graph(1).ok());
+  }
+
+  const long msgs_before = ctrl_messages(server);
+  for (auto _ : state) {
+    seed_input();
+    bool ok = true;
+    if (use_graph) {
+      ok = client->launch_graph(1).ok();
+    } else {
+      for (int it = 0; it < iters && ok; ++it) {
+        ok = client->snd().ok() && client->str().ok() &&
+             client->wait_done().ok() && client->rcv().ok();
+        std::memcpy(client->input().data(), client->output().data(),
+                    static_cast<std::size_t>(cells));
+      }
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  const long msgs = ctrl_messages(server) - msgs_before;
+
+  // Bitwise parity against the library V-cycle iterated the same count.
+  kernels::Grid3 u(n);
+  u.fill(0.0);
+  for (int it = 0; it < iters; ++it) kernels::mg_vcycle(u, rhs);
+  const bool parity =
+      std::memcmp(client->output().data(), u.data().data(),
+                  static_cast<std::size_t>(cells)) == 0;
+
+  (void)client->rls();
+  server.stop();
+  state.SetLabel(use_graph ? "graph" : "per-launch");
+  state.SetItemsProcessed(state.iterations() * iters);
+  report_graph_stats(state, server, msgs, state.iterations() * iters,
+                     parity);
+}
+VGPU_MICRO_BENCHMARK(BM_MgIterations)->Arg(0)->Arg(1)->ArgNames({"graph"});
+
+}  // namespace
+
+VGPU_MICRO_MAIN()

@@ -1,0 +1,58 @@
+// Fusion seam for elementwise kernel chains (docs/graphs.md).
+//
+// A graph replay that finds two adjacent elementwise nodes — node B's
+// sole dependency is node A, A's sole consumer is B, equal grids, and
+// B reads exactly what A wrote — can execute the pair as one pass over
+// the data instead of two: every block range runs stage A then stage B
+// while the range is still cache-hot, the same trick the live path's
+// double-buffered streaming uses for copy/compute overlap.
+//
+// The contract that makes fusion bitwise-safe is the elementwise stream
+// contract (docs/execution.md): a stage's block k reads exactly element
+// block k of its inputs and writes exactly element block k of its
+// output. Under that contract the per-element arithmetic is identical
+// no matter how block ranges interleave across stages, so a fused chain
+// is bitwise-equal to running the member kernels serially.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "common/parallel.hpp"
+#include "common/status.hpp"
+
+#include "exec/engine.hpp"
+
+namespace vgpu::exec {
+
+/// One stage of a fused chain: executes blocks [begin, end) of its
+/// kernel over spans the caller pre-bound (closure state).
+using FusedStage = RangeFn;
+
+/// Runs `stages` back-to-back per block range, making one pass over the
+/// data. With an engine: a single parallel_for whose shard body applies
+/// every stage to its range (shards steal/balance as usual, capped by
+/// `max_shards` — pass the min of the member kernels' occupancy caps).
+/// Without one (`engine == nullptr`, the serial oracle path): a chunked
+/// loop over the grid with the same per-range stage order.
+inline Status run_fused(ExecEngine* engine, long total_blocks,
+                        std::span<const FusedStage> stages, long max_shards,
+                        long serial_chunk = 64) {
+  if (total_blocks <= 0 || stages.empty()) return Status::Ok();
+  if (engine != nullptr) {
+    return engine->parallel_for(
+        total_blocks,
+        [&stages](long begin, long end) {
+          for (const auto& stage : stages) stage(begin, end);
+        },
+        max_shards);
+  }
+  const long chunk = std::max<long>(1, serial_chunk);
+  for (long begin = 0; begin < total_blocks; begin += chunk) {
+    const long end = std::min(total_blocks, begin + chunk);
+    for (const auto& stage : stages) stage(begin, end);
+  }
+  return Status::Ok();
+}
+
+}  // namespace vgpu::exec

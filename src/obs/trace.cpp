@@ -32,6 +32,10 @@ const char* phase_name(Phase phase) {
       return "page_in";
     case Phase::kPageOut:
       return "page_out";
+    case Phase::kGraph:
+      return "graph";
+    case Phase::kGraphNode:
+      return "graph_node";
     case Phase::kCount:
       break;
   }
@@ -62,6 +66,10 @@ const char* phase_category(Phase phase) {
     case Phase::kPageIn:
     case Phase::kPageOut:
       return "vmem";
+    case Phase::kGraph:
+      return "gvm";
+    case Phase::kGraphNode:
+      return "exec";
     case Phase::kCount:
       break;
   }

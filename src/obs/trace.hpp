@@ -51,6 +51,8 @@ enum class Phase : std::uint8_t {
   kLeaseExpiry,    // silent window that expired a client lease (aux = pid)
   kPageIn,         // vmem pager working-set fill (aux = pages filled)
   kPageOut,        // vmem pager eviction spill (aux = pages spilled)
+  kGraph,          // one cached-graph replay (aux = node count)
+  kGraphNode,      // one graph node / fused chain (aux = kernel id, -1 copy)
   kCount,
 };
 

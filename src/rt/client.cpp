@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstring>
 #include <new>
 #include <thread>
 #include <utility>
@@ -15,14 +16,9 @@ namespace vgpu::rt {
 
 namespace {
 
-constexpr std::chrono::microseconds kBackoffCap{100'000};
-
-/// Sleeps the current backoff and doubles it (bounded exponential).
-void back_off(std::chrono::microseconds* backoff) {
-  if (backoff->count() > 0) std::this_thread::sleep_for(*backoff);
-  *backoff = std::min(kBackoffCap,
-                      *backoff * 2 + std::chrono::microseconds(1));
-}
+/// Default jitter seed for clients without a fault injector: any fixed
+/// constant works, determinism is what matters.
+constexpr std::uint64_t kDefaultBackoffSeed = 0x6b8b4567327b23c6ull;
 
 }  // namespace
 
@@ -81,6 +77,13 @@ StatusOr<RtClient> RtClient::connect(std::shared_ptr<RtClientContext> context,
   // attributable ("[W][client 3] ...").
   set_log_scope("client " + std::to_string(id));
   RtClient client(std::move(context), id, bytes_in, bytes_out, options);
+  // Chaos runs replay their retry timing from the FaultPlan seed; the id
+  // mix keeps co-located clients off a shared jitter stream.
+  client.backoff_seed_ =
+      (options.fault != nullptr ? options.fault->plan().seed()
+                                : kDefaultBackoffSeed) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) *
+       0x9e3779b97f4a7c15ull);
 
   const bool ring_reachable =
       options.transport == ipc::TransportKind::kShmRing &&
@@ -152,9 +155,11 @@ StatusOr<RtAck> RtClient::call(RtRequest request) {
   // verb), discard stale responses from earlier attempts, and surface
   // kTimedOut once the retry budget is spent — a dead server becomes an
   // error, not a hang.
-  std::chrono::microseconds backoff = options_.retry_backoff;
+  RtBackoff backoff;
+  backoff.base = options_.retry_backoff;
+  backoff.seed(backoff_seed_ ^ static_cast<std::uint64_t>(request.seq));
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    if (attempt > 0) back_off(&backoff);
+    if (attempt > 0) std::this_thread::sleep_for(backoff.next());
     const Status sent = chan_->send(request);
     if (!sent.ok()) {
       if (sent.code() != ErrorCode::kUnavailable) {
@@ -285,6 +290,9 @@ Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
   request.bytes_in = bytes_in_;
   request.bytes_out = bytes_out_;
   for (int i = 0; i < 4; ++i) request.params[i] = params[i];
+  // Remember the launch shape so a later capture scope can mirror str().
+  last_kernel_id_ = kernel_id;
+  for (int i = 0; i < 4; ++i) last_params_[i] = params[i];
 
   // Arena clients answer over a claimed handshake mailbox; everyone else
   // over their private response queue. The pool is smaller than the
@@ -327,13 +335,15 @@ Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
   // is an idempotent re-attach (the server retires a stale registration
   // for the same id), so timeouts and kWait backpressure both resend it
   // whole.
-  std::chrono::microseconds backoff = options_.retry_backoff;
+  RtBackoff backoff;
+  backoff.base = options_.retry_backoff;
+  backoff.seed(backoff_seed_ ^ static_cast<std::uint64_t>(request.seq));
   bool backpressured = false;
   RtResponse granted;
   bool have_grant = false;
   for (int attempt = 0; attempt <= options_.max_retries && !have_grant;
        ++attempt) {
-    if (attempt > 0) back_off(&backoff);
+    if (attempt > 0) std::this_thread::sleep_for(backoff.next());
     const Status sent = ctx_->request_queue()->send(request);
     if (!sent.ok()) {
       if (sent.code() != ErrorCode::kUnavailable) {
@@ -395,6 +405,7 @@ Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
 }
 
 Status RtClient::snd() {
+  if (capturing_) return Status::Ok();  // replays run zero-copy on the vsm
   auto ack = call(RtRequest{RtOp::kSnd});
   if (!ack.ok()) return ack.status();
   if (options_.fault != nullptr) {
@@ -404,6 +415,20 @@ Status RtClient::snd() {
 }
 
 Status RtClient::str() {
+  if (capturing_) {
+    // Mirror the verb: record "run the REQ kernel over the whole input
+    // area into the whole output area", chained after the previous node
+    // (the verb sequence is serial, so is its recording).
+    if (last_kernel_id_ < 0) {
+      return FailedPrecondition("capture str() before any req()");
+    }
+    const int prev = static_cast<int>(capture_.size()) - 1;
+    const std::span<const int> deps =
+        prev >= 0 ? std::span<const int>(&prev, 1) : std::span<const int>();
+    return capture_kernel(last_kernel_id_, last_params_, 0, bytes_in_,
+                          bytes_in_, bytes_out_, deps)
+        .status();
+  }
   auto ack = call(RtRequest{RtOp::kStr});
   if (!ack.ok()) return ack.status();
   if (options_.fault != nullptr) {
@@ -413,6 +438,7 @@ Status RtClient::str() {
 }
 
 Status RtClient::wait_done(std::chrono::microseconds poll) {
+  if (capturing_) return Status::Ok();
   // On the ring transport an STP round trip costs no syscalls, so the
   // first re-polls are immediate (they catch microsecond-scale jobs), then
   // back off exponentially to `poll`. The mqueue path keeps the paper
@@ -450,6 +476,7 @@ Status RtClient::wait_done(std::chrono::microseconds poll) {
 }
 
 Status RtClient::rcv() {
+  if (capturing_) return Status::Ok();
   auto ack = call(RtRequest{RtOp::kRcv});
   if (!ack.ok()) return ack.status();
   if (options_.fault != nullptr) {
@@ -461,6 +488,147 @@ Status RtClient::rcv() {
 Status RtClient::rls() {
   auto ack = call(RtRequest{RtOp::kRls});
   if (!ack.ok()) return ack.status();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Graph capture / replay
+// ---------------------------------------------------------------------------
+
+Status RtClient::begin_capture() {
+  if (capturing_) return FailedPrecondition("capture already open");
+  capture_.clear();
+  capturing_ = true;
+  return Status::Ok();
+}
+
+StatusOr<int> RtClient::capture_kernel(int kernel_id,
+                                       const std::int64_t params[4],
+                                       std::int64_t in_offset,
+                                       std::int64_t in_bytes,
+                                       std::int64_t out_offset,
+                                       std::int64_t out_bytes,
+                                       std::span<const int> deps,
+                                       const std::int32_t* bindings) {
+  if (!capturing_) return FailedPrecondition("no capture open");
+  if (capture_.size() >= static_cast<std::size_t>(kGraphMaxNodes)) {
+    return InvalidArgument("capture exceeds the graph node limit");
+  }
+  if (deps.size() > static_cast<std::size_t>(kGraphMaxDeps)) {
+    return InvalidArgument("too many dependencies for one node");
+  }
+  RtGraphNode node;
+  node.kind = static_cast<std::int32_t>(GraphNodeKind::kKernel);
+  node.kernel_id = kernel_id;
+  for (int i = 0; i < 4; ++i) node.params[i] = params[i];
+  if (bindings != nullptr) {
+    for (int i = 0; i < 4; ++i) node.bindings[i] = bindings[i];
+  }
+  node.src_offset = in_offset;
+  node.src_bytes = in_bytes;
+  node.dst_offset = out_offset;
+  node.dst_bytes = out_bytes;
+  node.dep_count = static_cast<std::int32_t>(deps.size());
+  for (std::size_t d = 0; d < deps.size(); ++d) {
+    if (deps[d] < 0 || deps[d] >= static_cast<int>(capture_.size())) {
+      return InvalidArgument("dependency on a node not yet captured");
+    }
+    node.deps[d] = deps[d];
+  }
+  capture_.push_back(node);
+  return static_cast<int>(capture_.size()) - 1;
+}
+
+StatusOr<int> RtClient::capture_copy(std::int64_t src_offset,
+                                     std::int64_t dst_offset,
+                                     std::int64_t bytes,
+                                     std::span<const int> deps) {
+  if (!capturing_) return FailedPrecondition("no capture open");
+  if (capture_.size() >= static_cast<std::size_t>(kGraphMaxNodes)) {
+    return InvalidArgument("capture exceeds the graph node limit");
+  }
+  if (deps.size() > static_cast<std::size_t>(kGraphMaxDeps)) {
+    return InvalidArgument("too many dependencies for one node");
+  }
+  RtGraphNode node;
+  node.kind = static_cast<std::int32_t>(GraphNodeKind::kCopy);
+  node.src_offset = src_offset;
+  node.src_bytes = bytes;
+  node.dst_offset = dst_offset;
+  node.dst_bytes = bytes;
+  node.dep_count = static_cast<std::int32_t>(deps.size());
+  for (std::size_t d = 0; d < deps.size(); ++d) {
+    if (deps[d] < 0 || deps[d] >= static_cast<int>(capture_.size())) {
+      return InvalidArgument("dependency on a node not yet captured");
+    }
+    node.deps[d] = deps[d];
+  }
+  capture_.push_back(node);
+  return static_cast<int>(capture_.size()) - 1;
+}
+
+StatusOr<std::uint64_t> RtClient::end_capture() {
+  if (!capturing_) return FailedPrecondition("no capture open");
+  capturing_ = false;
+  if (capture_.empty()) return InvalidArgument("capture recorded no nodes");
+  captured_ = std::move(capture_);
+  capture_.clear();
+  return graph_hash(captured_);
+}
+
+Status RtClient::upload_graph(int graph_id) {
+  if (capturing_) return FailedPrecondition("end_capture before upload");
+  if (captured_.empty()) return FailedPrecondition("no finished capture");
+  return upload_graph(graph_id, captured_);
+}
+
+Status RtClient::upload_graph(int graph_id,
+                              std::span<const RtGraphNode> nodes) {
+  if (nodes.empty()) return InvalidArgument("cannot upload an empty graph");
+  if (bytes_in_ <= 0) {
+    return FailedPrecondition("graph upload chunks through the input area");
+  }
+  const std::vector<std::byte> wire = serialize_graph(nodes);
+  const auto total = static_cast<std::int64_t>(wire.size());
+  std::span<std::byte> in = input();
+  std::int64_t offset = 0;
+  while (offset < total) {
+    const std::int64_t chunk = std::min<std::int64_t>(total - offset, bytes_in_);
+    std::memcpy(in.data(), wire.data() + offset,
+                static_cast<std::size_t>(chunk));
+    RtRequest request{RtOp::kGraphUpload};
+    request.kernel_id = graph_id;
+    request.params[0] = total;
+    request.params[1] = offset;
+    request.params[2] = chunk;
+    auto ack = call(request);
+    if (!ack.ok()) return ack.status();
+    if (*ack != RtAck::kAck) {
+      return Internal("GVM declined a graph upload chunk");
+    }
+    offset += chunk;
+  }
+  return Status::Ok();
+}
+
+Status RtClient::launch_graph(int graph_id, const std::int64_t* bindings) {
+  RtRequest request{RtOp::kLaunchGraph};
+  request.kernel_id = graph_id;
+  if (bindings != nullptr) {
+    for (int i = 0; i < 4; ++i) request.params[i] = bindings[i];
+  }
+  auto ack = call(request);
+  if (!ack.ok()) {
+    // The completion ack outran the retry budget (a long replay): fall
+    // back to the classic STP poll, which owns the answer from here on.
+    if (ack.status().code() == ErrorCode::kTimedOut) return wait_done();
+    return ack.status();
+  }
+  if (*ack == RtAck::kWait) {
+    // A retry raced the in-flight replay; poll it to completion.
+    ++waits_;
+    return wait_done();
+  }
   return Status::Ok();
 }
 

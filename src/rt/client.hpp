@@ -16,11 +16,14 @@
 // objects, not 30k.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
 #include "common/units.hpp"
@@ -29,6 +32,7 @@
 #include "ipc/shm.hpp"
 #include "ipc/transport.hpp"
 #include "obs/trace.hpp"
+#include "rt/graph.hpp"
 #include "rt/messages.hpp"
 
 namespace vgpu::fault {
@@ -74,6 +78,44 @@ class RtClientContext {
   std::mutex arena_mu_;
   ipc::SharedMemory arena_;
   bool arena_tried_ = false;
+};
+
+/// Retry backoff with decorrelated jitter. A pure-exponential schedule
+/// synchronizes every client that timed out together — they all resend on
+/// the same beat and collide again. Decorrelated jitter (next sleep drawn
+/// uniformly from [base, 3 * previous], capped) spreads the herd while
+/// keeping the same bounded growth. The draw comes from a SplitMix64
+/// stream seeded by the caller, so a FaultPlan chaos run replays its
+/// retry timing bit-exactly.
+struct RtBackoff {
+  std::chrono::microseconds base{500};
+  std::chrono::microseconds cap{100'000};
+
+  void seed(std::uint64_t s) {
+    state_ = s;
+    prev_ = base;
+  }
+  /// The next sleep duration (advances the jitter stream).
+  std::chrono::microseconds next() {
+    // SplitMix64 step: deterministic for a given seed, no shared state.
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const std::int64_t lo = std::max<std::int64_t>(1, base.count());
+    const std::int64_t hi = std::max<std::int64_t>(lo, 3 * prev_.count());
+    const std::int64_t span = hi - lo + 1;
+    prev_ = std::min(
+        cap, std::chrono::microseconds(
+                 lo + static_cast<std::int64_t>(z % static_cast<std::uint64_t>(
+                                                        span))));
+    return prev_;
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::chrono::microseconds prev_{0};
 };
 
 struct RtClientOptions {
@@ -164,6 +206,51 @@ class RtClient {
   /// RLS: release VGPU resources.
   Status rls();
 
+  // --- Graph capture / replay (docs/graphs.md) ---------------------------
+  //
+  // Between begin_capture() and end_capture() the data-plane verbs record
+  // instead of executing: str() appends a kernel node replaying the last
+  // REQ's kernel over the whole input/output areas, and snd(), rcv() and
+  // wait_done() become no-ops (a replay runs zero-copy on the vsm region,
+  // so there is nothing to stage per iteration). Explicit capture_kernel /
+  // capture_copy record finer-grained DAGs than the verb mirror can. The
+  // captured graph uploads once through kGraphUpload chunks; afterwards
+  // launch_graph() fires the whole recorded sequence with a single verb.
+
+  /// Starts recording. Fails when a capture is already open.
+  Status begin_capture();
+  /// Records a kernel node. Offsets are data-area-relative (input at 0,
+  /// output at bytes_in). `deps` lists earlier node indices; `bindings`
+  /// (optional, 4 slots) maps params to kLaunchGraph argument slots.
+  /// Returns the node's index.
+  StatusOr<int> capture_kernel(int kernel_id, const std::int64_t params[4],
+                               std::int64_t in_offset, std::int64_t in_bytes,
+                               std::int64_t out_offset, std::int64_t out_bytes,
+                               std::span<const int> deps = {},
+                               const std::int32_t* bindings = nullptr);
+  /// Records a copy node (memmove dst <- src inside the data area).
+  StatusOr<int> capture_copy(std::int64_t src_offset, std::int64_t dst_offset,
+                             std::int64_t bytes, std::span<const int> deps = {});
+  /// Ends recording and returns the graph hash (equal recorded sequences
+  /// hash equal — the capture-determinism contract). The nodes stay
+  /// buffered for upload_graph().
+  StatusOr<std::uint64_t> end_capture();
+  /// The recorded nodes of the last finished capture.
+  std::span<const RtGraphNode> captured() const { return captured_; }
+
+  /// Uploads the last finished capture under `graph_id`, chunking the
+  /// serialized bytes through the vsm input area (multi-part when the
+  /// graph outgrows it). The input area's prior contents are clobbered.
+  Status upload_graph(int graph_id);
+  /// Uploads an explicit node list under `graph_id`.
+  Status upload_graph(int graph_id, std::span<const RtGraphNode> nodes);
+  /// Fires one replay of `graph_id`. `bindings` (optional) supplies the
+  /// 4 per-iteration scalars bound nodes substitute. One message per
+  /// iteration on the fast path: the server acks once, at completion.
+  /// When the ack outruns the op window (long replays) the client falls
+  /// back to STP polling — same at-least-once contract as every verb.
+  Status launch_graph(int graph_id, const std::int64_t* bindings = nullptr);
+
   long waits_observed() const { return waits_; }
   /// The negotiated control-plane transport (valid after req()).
   ipc::TransportKind transport() const { return active_; }
@@ -215,6 +302,15 @@ class RtClient {
   /// Monotone per-client sequence number stamped on every request; the
   /// retry layer resends under the same seq and discards stale responses.
   std::int64_t seq_ = 0;
+  /// Jitter stream seed: the FaultPlan seed when an injector is attached
+  /// (chaos runs replay their retry timing), a fixed constant otherwise;
+  /// mixed with the client id so co-located clients never share a stream.
+  std::uint64_t backoff_seed_ = 0;
+  bool capturing_ = false;
+  std::vector<RtGraphNode> capture_;   // open recording
+  std::vector<RtGraphNode> captured_;  // last finished recording
+  int last_kernel_id_ = -1;            // from req(): what str() mirrors
+  std::int64_t last_params_[4] = {};
 };
 
 }  // namespace vgpu::rt

@@ -1,0 +1,118 @@
+// Graph capture/replay wire format and replay planning (docs/graphs.md).
+//
+// An iterative client records its SND→STR→RCV sequence once as a DAG of
+// copy and kernel nodes over its own vsm data area, uploads the
+// serialized graph through kGraphUpload chunks, and then fires whole
+// iterations with single kLaunchGraph verbs. This header defines the
+// POD wire records (shared by client and server, like rt/messages.hpp),
+// the deserializer/validator, and the replay plan the server computes
+// once at upload time: dependency levels for concurrent execution,
+// fusable elementwise chains, and the aggregate bytes/blocks a graph
+// grant charges to the scheduler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+#include "rt/registry.hpp"
+
+namespace vgpu::rt {
+
+inline constexpr std::uint32_t kGraphMagic = 0x72477076;  // "vpGr"
+inline constexpr std::uint32_t kGraphVersion = 1;
+inline constexpr int kGraphMaxDeps = 4;
+inline constexpr int kGraphMaxNodes = 4096;
+
+enum class GraphNodeKind : std::int32_t {
+  kCopy = 0,    // memmove dst <- src inside the data area
+  kKernel = 1,  // registry kernel over [src, dst) spans
+};
+
+/// One recorded node. Offsets are relative to the client's vsm *data
+/// area* (input area at offset 0, output area at offset bytes_in), so a
+/// graph is position-independent across re-attach. Dependencies point at
+/// earlier nodes only — capture order is the topological order.
+struct RtGraphNode {
+  std::int32_t kind = 0;       // GraphNodeKind
+  std::int32_t kernel_id = -1; // kKernel only
+  std::int64_t params[4] = {}; // kKernel only: literal scalar args
+  /// Per-param binding slot: params[i] is replaced by the kLaunchGraph
+  /// request's params[bindings[i]] at replay; -1 keeps the literal.
+  /// Bound params follow the same trust model as kStr params (they must
+  /// not grow the kernel's footprint past the validated spans).
+  std::int32_t bindings[4] = {-1, -1, -1, -1};
+  std::int64_t src_offset = 0;  // kernel input / copy source
+  std::int64_t src_bytes = 0;
+  std::int64_t dst_offset = 0;  // kernel output / copy destination
+  std::int64_t dst_bytes = 0;
+  std::int32_t deps[kGraphMaxDeps] = {-1, -1, -1, -1};
+  std::int32_t dep_count = 0;
+};
+
+struct RtGraphHeader {
+  std::uint32_t magic = kGraphMagic;
+  std::uint32_t version = kGraphVersion;
+  std::int32_t node_count = 0;
+  std::int32_t reserved = 0;
+  std::uint64_t hash = 0;  // graph_hash() of the node array
+};
+
+/// Deterministic FNV-1a over every node field (field-wise, so struct
+/// padding never leaks into the hash). Equal recorded sequences hash
+/// equal on any host.
+std::uint64_t graph_hash(std::span<const RtGraphNode> nodes);
+
+/// Header + node array as wire bytes (what kGraphUpload chunks carry).
+std::vector<std::byte> serialize_graph(std::span<const RtGraphNode> nodes);
+
+/// Replay plan, computed once at upload/validation time.
+struct GraphPlan {
+  /// Dependency depth per node; nodes of one level are mutually
+  /// unordered and run concurrently under the engine.
+  std::vector<int> level_of;
+  int level_count = 0;
+  /// How many nodes list node i as a dependency.
+  std::vector<int> consumers;
+  /// fuse_next[i] = j when kernel node j is fused onto i's chain (j's
+  /// sole dep is i, i's sole consumer is j, both streamed, equal grids,
+  /// no bindings, j reads what i wrote); -1 otherwise.
+  std::vector<int> fuse_next;
+  /// True when the node executes as part of its predecessor's chain.
+  std::vector<char> fused_tail;
+  Bytes copy_bytes = 0;    // aggregate copy-node traffic
+  Bytes kernel_bytes = 0;  // aggregate kernel src+dst footprint
+  long kernel_nodes = 0;
+  /// Aggregate grid blocks across kernel nodes (streamed grid when
+  /// available, else 1 per node) — the scheduler's compute-cost proxy.
+  double total_blocks = 0.0;
+};
+
+struct RtGraph {
+  std::vector<RtGraphNode> nodes;
+  std::uint64_t hash = 0;
+  GraphPlan plan;
+  /// Aggregate bytes a replay moves/touches (scheduler charge).
+  Bytes aggregate_bytes() const { return plan.copy_bytes + plan.kernel_bytes; }
+};
+
+/// Validates a node list against a registry and the client's data-area
+/// size, and computes the replay plan. Rejects: empty/oversized graphs,
+/// forward or out-of-range dependencies, spans outside [0, data_bytes),
+/// kernel ids the registry does not know, overlapping kernel in/out
+/// spans, out-of-range binding slots, and span conflicts between
+/// mutually unordered nodes (which would race under concurrent replay —
+/// copy-node self overlap is fine, memmove semantics).
+StatusOr<RtGraph> plan_graph(std::vector<RtGraphNode> nodes,
+                             const KernelRegistry& registry, Bytes data_bytes);
+
+/// Deserializes wire bytes (header check + hash recompute) and plans.
+StatusOr<RtGraph> parse_graph(std::span<const std::byte> bytes,
+                              const KernelRegistry& registry,
+                              Bytes data_bytes);
+
+}  // namespace vgpu::rt

@@ -20,6 +20,17 @@ enum class RtOp : std::int32_t {
   kRcv,
   kRls,
   kShutdown,  // server-internal: posted by stop()
+  /// Graph verbs (docs/graphs.md). kGraphUpload carries one chunk of a
+  /// serialized RtGraph through the client's vsm input area:
+  ///   kernel_id = graph id, params[0] = total bytes, params[1] = chunk
+  ///   offset, params[2] = chunk bytes. The server acks each chunk and
+  ///   validates + caches the graph when the last chunk lands.
+  kGraphUpload,
+  /// Fires one replay of a cached graph: kernel_id = graph id, params =
+  /// the per-iteration scalar bindings substituted into nodes that
+  /// declared a binding slot. The server acks once, when the whole graph
+  /// completes (kWait answers a duplicate while the replay is running).
+  kLaunchGraph,
 };
 
 enum class RtAck : std::int32_t {

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "common/math.hpp"
 #include "kernels/blackscholes.hpp"
 #include "kernels/blas1.hpp"
+#include "kernels/cg.hpp"
 #include "kernels/electrostatics.hpp"
 #include "kernels/ep.hpp"
 #include "kernels/matmul.hpp"
@@ -101,6 +105,85 @@ std::pair<std::size_t, std::size_t> elem_range(long n, long block, long begin,
                                                long end) {
   return {static_cast<std::size_t>(std::min(n, begin * block)),
           static_cast<std::size_t>(std::min(n, end * block))};
+}
+
+/// The CG matrix is a pure function of (n, nz_per_row) — NPB style, fixed
+/// seed — so client and server sides agree on A without shipping it.
+/// Cached because building it costs more than an iteration over it.
+const kernels::CsrMatrix& cg_matrix(int n, int nz_per_row) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>,
+                  std::unique_ptr<const kernels::CsrMatrix>>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[{n, nz_per_row}];
+  if (slot == nullptr) {
+    slot = std::make_unique<const kernels::CsrMatrix>(
+        kernels::cg_make_matrix(n, nz_per_row, 10.0));
+  }
+  return *slot;
+}
+
+/// One CG iteration, the loop body of kernels::cg_solve verbatim (spmv
+/// and axpys sharded through `pf`, dot reductions serial — the fixed
+/// reduction order that keeps sharded runs bitwise-exact).
+///   params[0]=n  params[1]=nz_per_row
+///   in : [b | x | r | p]   (4n doubles; b rides along for layout parity
+///                           with the solver workload, the step reads x/r/p)
+///   out: [x' | r' | p']    (3n doubles)
+void cg_step_body(std::span<const std::byte> in, std::span<std::byte> out,
+                  const std::int64_t* p, const ParallelFor& pf) {
+  const auto n = static_cast<std::size_t>(p[0]);
+  const kernels::CsrMatrix& a = cg_matrix(static_cast<int>(p[0]),
+                                          static_cast<int>(p[1]));
+  auto x = in_as<double>(in, n, n);
+  auto r = in_as<double>(in, n, 2 * n);
+  auto pv = in_as<double>(in, n, 3 * n);
+  auto x_next = out_as<double>(out, n);
+  auto r_next = out_as<double>(out, n, n);
+  auto p_next = out_as<double>(out, n, 2 * n);
+
+  std::vector<double> ap(n);
+  kernels::spmv(a, pv, ap, pf);
+  double rho = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rho += r[i] * r[i];
+  double pap = 0.0;
+  for (std::size_t i = 0; i < n; ++i) pap += pv[i] * ap[i];
+  const double alpha = rho / pap;
+  pf(static_cast<long>(n), [&](long begin, long end) {
+    for (long i = begin; i < end; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      x_next[idx] = x[idx] + alpha * pv[idx];
+      r_next[idx] = r[idx] - alpha * ap[idx];
+    }
+  });
+  double rho_next = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rho_next += r_next[i] * r_next[i];
+  const double beta = rho_next / rho;
+  pf(static_cast<long>(n), [&](long begin, long end) {
+    for (long i = begin; i < end; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      p_next[idx] = r_next[idx] + beta * pv[idx];
+    }
+  });
+}
+
+/// One MG V-cycle continuing from the supplied iterate (unlike the
+/// "mg_vcycle" builtin, which starts from u = 0 and loops internally).
+///   params[0]=n
+///   in : [u | v]  (2 n^3 doubles)     out: u'  (n^3 doubles)
+void mg_step_body(std::span<const std::byte> in, std::span<std::byte> out,
+                  const std::int64_t* p, const ParallelFor& pf) {
+  const auto n = static_cast<int>(p[0]);
+  const auto cells = static_cast<std::size_t>(n) * n * n;
+  kernels::Grid3 u(n), v(n);
+  auto uin = in_as<double>(in, cells);
+  auto vin = in_as<double>(in, cells, cells);
+  std::copy(uin.begin(), uin.end(), u.data().begin());
+  std::copy(vin.begin(), vin.end(), v.data().begin());
+  kernels::mg_vcycle(u, v, pf);
+  auto uout = out_as<double>(out, cells);
+  std::copy(u.data().begin(), u.data().end(), uout.begin());
 }
 
 KernelRegistry make_builtins() {
@@ -384,6 +467,43 @@ KernelRegistry make_builtins() {
       },
       [](const std::int64_t* p) {
         return kernels::electrostatics_launch(p[0], p[1] * p[2]).geometry;
+      });
+
+  // Single-iteration NPB steps: the graph-replay workloads chain K of
+  // these into one captured DAG, with copy nodes feeding each iteration's
+  // outputs back into the next iteration's input slots. Their bodies
+  // mirror the corresponding solver loop body statement for statement
+  // (same shard boundaries, dots serial), so K chained steps are bitwise
+  // identical to K solver iterations.
+
+  reg.add(
+      "cg_step",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        cg_step_body(in, out, p, serial_executor());
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        cg_step_body(in, out, p, pf);
+      },
+      [](const std::int64_t* p) {
+        return kernels::cg_launch(static_cast<int>(p[0]),
+                                  static_cast<int>(p[1]))
+            .geometry;
+      });
+
+  reg.add(
+      "mg_step",
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p) {
+        mg_step_body(in, out, p, serial_executor());
+      },
+      [](std::span<const std::byte> in, std::span<std::byte> out,
+         const std::int64_t* p, const ParallelFor& pf) {
+        mg_step_body(in, out, p, pf);
+      },
+      [](const std::int64_t* p) {
+        return kernels::mg_launch(static_cast<int>(p[0])).geometry;
       });
 
   reg.add("sleep_ms", [](std::span<const std::byte>, std::span<std::byte>,

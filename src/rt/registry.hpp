@@ -113,6 +113,10 @@ class KernelRegistry {
 ///   "blackscholes"  params[0]=n        in: [S|X|T]        out: [call|put]
 ///   "sgemm"         params[0]=n        in: [A|B]          out: C
 ///   "ep"            params[0]=m,[1]=chunks  in: none      out: EpResult
+///   "cg_step"       params[0]=n,[1]=nz  in: [b|x|r|p]  out: [x'|r'|p']
+///                   (one CG iteration — graph workloads chain K of them)
+///   "mg_step"       params[0]=n    in: [u|v]  out: u'  (one V-cycle
+///                   continuing from u, unlike "mg_vcycle"'s u=0 loop)
 ///   "sleep_ms"      params[0]=ms       (test helper: busy wait)
 /// All compute kernels carry sharded variants + geometry; the elementwise
 /// ones (vecadd, saxpy, blackscholes) also carry stream descriptors.

@@ -4,6 +4,7 @@
 #include <time.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <limits>
@@ -12,6 +13,7 @@
 
 #include "common/log.hpp"
 #include "common/math.hpp"
+#include "exec/fusion.hpp"
 #include "fault/fault.hpp"
 
 namespace vgpu::rt {
@@ -289,6 +291,22 @@ void RtServer::export_obs() {
   set("rt.arena_declines", stats_.arena_declines.load());
   set("rt.reconcile_requests", stats_.reconcile_requests.load());
   set("rt.serve_cpu_ns", stats_.serve_cpu_ns.load());
+  set("rt.ctrl_messages_req", stats_.ctrl_req.load());
+  set("rt.ctrl_messages_snd", stats_.ctrl_snd.load());
+  set("rt.ctrl_messages_str", stats_.ctrl_str.load());
+  set("rt.ctrl_messages_stp", stats_.ctrl_stp.load());
+  set("rt.ctrl_messages_rcv", stats_.ctrl_rcv.load());
+  set("rt.ctrl_messages_rls", stats_.ctrl_rls.load());
+  set("rt.ctrl_messages_graph", stats_.ctrl_graph.load());
+  set("rt.graph_uploads", stats_.graph_uploads.load());
+  set("rt.graphs_cached", stats_.graphs_cached.load());
+  set("rt.graphs_rejected", stats_.graphs_rejected.load());
+  set("rt.graph_replays", stats_.graph_replays.load());
+  set("rt.graph_nodes_run", stats_.graph_nodes_run.load());
+  set("rt.graph_nodes_fused", stats_.graph_nodes_fused.load());
+  set("rt.graph_messages_saved", stats_.graph_messages_saved.load());
+  set("rt.graphs_reclaimed", stats_.graphs_reclaimed.load());
+  set("rt.graph_nodes_live", stats_.graph_nodes_live.load());
   if (arena_.valid()) {
     const ipc::ShmArena::Stats& as = arena_.stats();
     set("arena.allocs", as.allocs);
@@ -508,10 +526,30 @@ void RtServer::drain_completions() {
     auto it = id_slots_.find(id);
     if (it == id_slots_.end()) continue;
     ClientState* client = sessions_.at(it->second);
-    if (client != nullptr && client->doomed &&
+    if (client == nullptr) continue;
+    if (client->doomed &&
         client->job_done->load(std::memory_order_acquire)) {
       destroy_session(it->second, /*unlink_names=*/true,
                       /*count_reclaimed=*/true);
+      continue;
+    }
+    if (client->graph_ack_deferred &&
+        client->job_done->load(std::memory_order_acquire)) {
+      // Deferred graph ack: one response per whole-graph completion. If
+      // the client already fell back to STP polling (a newer verb moved
+      // last_seq past the launch), STP owns the answer instead.
+      client->graph_ack_deferred = false;
+      if (!client->released &&
+          client->last_seq == client->graph_launch_seq) {
+        if (pager_ != nullptr && client->alloc_out != 0) {
+          (void)pager_->ensure_readable(client->alloc_out);
+          pager_->touch(client->alloc_out);
+        }
+        respond(*client,
+                client->job_failed->load(std::memory_order_acquire)
+                    ? RtAck::kError
+                    : RtAck::kAck);
+      }
     }
   }
 }
@@ -527,11 +565,25 @@ void RtServer::respond(ClientState& client, RtAck ack) {
   send_response(client, response);
 }
 
+void RtServer::send_unrecorded(ClientState& client, RtAck ack) {
+  RtResponse response;
+  response.ack = ack;
+  response.transport = static_cast<std::int32_t>(
+      client.lane != nullptr ? client.lane->kind()
+                             : ipc::TransportKind::kMessageQueue);
+  response.seq = client.last_seq;
+  send_now(client, response);
+}
+
 void RtServer::send_response(ClientState& client, const RtResponse& response) {
   // Record before sending: a duplicate of this request replays exactly
   // this answer, whether or not the send below reaches the client.
   client.last_response = response;
   client.has_last_response = true;
+  send_now(client, response);
+}
+
+void RtServer::send_now(ClientState& client, const RtResponse& response) {
   if (config_.fault != nullptr) {
     if (const fault::Decision d =
             config_.fault->on(fault::Point::kServerRespond)) {
@@ -653,6 +705,18 @@ void RtServer::check_leases() {
 }
 
 void RtServer::return_quota(ClientState& client, bool count_reclaimed) {
+  if (!client.graphs.empty()) {
+    // Cached graphs die with the lease, on whichever path retired it
+    // (RLS, expiry, re-attach replacement). A replay in flight keeps its
+    // own graph alive through the job's shared_ptr; the cache goes now.
+    long nodes = 0;
+    for (const auto& [gid, graph] : client.graphs) {
+      nodes += static_cast<long>(graph->nodes.size());
+    }
+    stats_.graph_nodes_live.fetch_sub(nodes);
+    stats_.graphs_reclaimed.fetch_add(static_cast<long>(client.graphs.size()));
+    client.graphs.clear();
+  }
   if (client.admitted_bytes > 0) {
     admitted_total_ -= client.admitted_bytes;
     if (count_reclaimed) {
@@ -730,6 +794,18 @@ void RtServer::destroy_session(std::uint32_t slot, bool unlink_names,
     ipc::MessageQueueBase::unlink(config_.prefix + "_resp" + suffix);
   }
   if (count_reclaimed) stats_.clients_reclaimed.fetch_add(1);
+  if (!client->graphs.empty()) {
+    // Backstop for destroy paths that skipped return_quota: the cached
+    // graphs must never outlive their session.
+    long nodes = 0;
+    for (const auto& [gid, graph] : client->graphs) {
+      nodes += static_cast<long>(graph->nodes.size());
+    }
+    stats_.graph_nodes_live.fetch_sub(nodes);
+    stats_.graphs_reclaimed.fetch_add(
+        static_cast<long>(client->graphs.size()));
+    client->graphs.clear();
+  }
   if (client->arena_offset >= 0) arena_.release(client->arena_offset);
   if (auto it = id_slots_.find(client->id);
       it != id_slots_.end() && it->second == slot) {
@@ -762,7 +838,37 @@ RtServer::ClientState* RtServer::resolve(const RtRequest& request) {
   return sessions_.at(it->second);
 }
 
+void RtServer::count_ctrl(RtOp op) {
+  switch (op) {
+    case RtOp::kReq:
+      stats_.ctrl_req.fetch_add(1);
+      break;
+    case RtOp::kSnd:
+      stats_.ctrl_snd.fetch_add(1);
+      break;
+    case RtOp::kStr:
+      stats_.ctrl_str.fetch_add(1);
+      break;
+    case RtOp::kStp:
+      stats_.ctrl_stp.fetch_add(1);
+      break;
+    case RtOp::kRcv:
+      stats_.ctrl_rcv.fetch_add(1);
+      break;
+    case RtOp::kRls:
+      stats_.ctrl_rls.fetch_add(1);
+      break;
+    case RtOp::kGraphUpload:
+    case RtOp::kLaunchGraph:
+      stats_.ctrl_graph.fetch_add(1);
+      break;
+    case RtOp::kShutdown:
+      break;
+  }
+}
+
 void RtServer::handle(const RtRequest& request) {
+  count_ctrl(request.op);
   if (config_.fault != nullptr) {
     if (const fault::Decision d =
             config_.fault->on(fault::Point::kServerHandle)) {
@@ -786,6 +892,13 @@ void RtServer::handle(const RtRequest& request) {
       if (client.has_last_response) {
         stats_.duplicates_absorbed.fetch_add(1);
         send_response(client, client.last_response);
+      } else if (request.op == RtOp::kLaunchGraph &&
+                 client.graph_ack_deferred) {
+        // The replay is still running and its completion ack is what a
+        // later retry must replay: answer kWait without recording it, so
+        // the client falls back to STP polling.
+        stats_.waits_sent.fetch_add(1);
+        send_unrecorded(client, RtAck::kWait);
       }
       return;
     }
@@ -829,6 +942,9 @@ void RtServer::handle(const RtRequest& request) {
       }
       client.str_pending = true;
       client.str_begin = obs_.tracer().begin_span();
+      // A plain round charges the admission-time footprint again.
+      scheduler_->clear_round_cost(client.id);
+      client.graph_pending = -1;
       scheduler_->enqueue(client.id, rt_now());
       break;  // the serve loop pumps grants after every drain
     }
@@ -851,9 +967,10 @@ void RtServer::handle(const RtRequest& request) {
         pager_->touch(client.alloc_out);
       }
       if (config_.data_plane == DataPlane::kStaged &&
-          config_.exec == ExecMode::kSerial) {
+          config_.exec == ExecMode::kSerial && !client.last_job_graph) {
         // Result: staging buffer -> virtual shared memory (output area).
-        // (Sharded jobs already wrote back, chunked, before completing.)
+        // (Sharded jobs already wrote back, chunked, before completing;
+        // graph replays write the vsm data area directly.)
         const SimTime t0 = obs_.tracer().begin_span();
         std::memcpy(client.output_area().data(), client.staging_out.data(),
                     static_cast<std::size_t>(client.bytes_out));
@@ -884,10 +1001,128 @@ void RtServer::handle(const RtRequest& request) {
                 client.released_at + to_ns(config_.release_linger));
       break;
     }
+    case RtOp::kGraphUpload: {
+      handle_graph_upload(request, client);
+      break;
+    }
+    case RtOp::kLaunchGraph: {
+      handle_launch_graph(request, client);
+      break;
+    }
     case RtOp::kReq:
     case RtOp::kShutdown:
       break;  // handled elsewhere
   }
+}
+
+void RtServer::handle_graph_upload(const RtRequest& request,
+                                   ClientState& client) {
+  stats_.graph_uploads.fetch_add(1);
+  const std::int64_t total = request.params[0];
+  const std::int64_t offset = request.params[1];
+  const std::int64_t nbytes = request.params[2];
+  constexpr std::int64_t kMaxWire =
+      static_cast<std::int64_t>(sizeof(RtGraphHeader)) +
+      static_cast<std::int64_t>(kGraphMaxNodes) *
+          static_cast<std::int64_t>(sizeof(RtGraphNode));
+  if (total <= 0 || total > kMaxWire || offset < 0 || nbytes <= 0 ||
+      offset + nbytes > total || nbytes > client.bytes_in) {
+    stats_.graphs_rejected.fetch_add(1);
+    VGPU_WARN("rt server: malformed graph upload chunk from client "
+              << client.id);
+    respond(client, RtAck::kError);
+    return;
+  }
+  if (offset == 0) {
+    // First chunk (re)starts the accumulation; a retried first chunk
+    // after a lost ack is absorbed by the seq-replay path above.
+    client.graph_upload.assign(static_cast<std::size_t>(total), std::byte{0});
+    client.graph_upload_id = request.kernel_id;
+    client.graph_upload_total = total;
+    client.graph_upload_received = 0;
+  }
+  if (client.graph_upload_total != total ||
+      client.graph_upload_id != request.kernel_id ||
+      client.graph_upload.size() != static_cast<std::size_t>(total)) {
+    stats_.graphs_rejected.fetch_add(1);
+    VGPU_WARN("rt server: graph upload chunk does not match the upload in "
+              "progress (client "
+              << client.id << ")");
+    client.graph_upload.clear();
+    client.graph_upload_total = 0;
+    respond(client, RtAck::kError);
+    return;
+  }
+  // The chunk bytes travel at the head of the client's vsm input area.
+  std::memcpy(client.graph_upload.data() + offset, client.input_area().data(),
+              static_cast<std::size_t>(nbytes));
+  client.graph_upload_received += nbytes;
+  if (client.graph_upload_received < total) {
+    respond(client, RtAck::kAck);
+    return;
+  }
+  auto parsed = parse_graph({client.graph_upload.data(),
+                             client.graph_upload.size()},
+                            registry_, client.bytes_in + client.bytes_out);
+  client.graph_upload.clear();
+  client.graph_upload.shrink_to_fit();
+  client.graph_upload_total = 0;
+  if (!parsed.ok()) {
+    stats_.graphs_rejected.fetch_add(1);
+    VGPU_WARN("rt server: rejected graph " << request.kernel_id
+                                           << " from client " << client.id
+                                           << ": "
+                                           << parsed.status().to_string());
+    respond(client, RtAck::kError);
+    return;
+  }
+  if (auto old = client.graphs.find(request.kernel_id);
+      old != client.graphs.end()) {
+    // Re-upload replaces; a replay in flight still pins the old graph.
+    stats_.graph_nodes_live.fetch_sub(
+        static_cast<long>(old->second->nodes.size()));
+  }
+  auto graph = std::make_shared<const RtGraph>(std::move(*parsed));
+  stats_.graph_nodes_live.fetch_add(static_cast<long>(graph->nodes.size()));
+  stats_.graphs_cached.fetch_add(1);
+  client.graphs[request.kernel_id] = std::move(graph);
+  respond(client, RtAck::kAck);
+}
+
+void RtServer::handle_launch_graph(const RtRequest& request,
+                                   ClientState& client) {
+  auto it = client.graphs.find(request.kernel_id);
+  if (it == client.graphs.end()) {
+    VGPU_WARN("rt server: launch of unknown graph " << request.kernel_id
+                                                    << " from client "
+                                                    << client.id);
+    respond(client, RtAck::kError);
+    return;
+  }
+  if (client.str_pending ||
+      !client.job_done->load(std::memory_order_acquire)) {
+    // A round is already queued or running (pre-seq duplicate, or the
+    // launch raced the previous completion); the grant/completion path
+    // answers it. Re-enqueueing would corrupt the scheduler.
+    return;
+  }
+  if (pager_ != nullptr && client.alloc_in != 0) {
+    // The client rewrote its inputs before firing the iteration.
+    pager_->host_write(client.alloc_in);
+  }
+  client.graph_pending = request.kernel_id;
+  std::memcpy(client.graph_params, request.params,
+              sizeof(client.graph_params));
+  client.graph_ack_deferred = true;
+  client.graph_launch_seq = request.seq;
+  client.str_pending = true;
+  client.str_begin = obs_.tracer().begin_span();
+  // One graph grant stands for the whole DAG: charge its aggregate
+  // bytes/blocks instead of the admission-time footprint.
+  scheduler_->set_round_cost(client.id, it->second->aggregate_bytes(),
+                             it->second->plan.total_blocks);
+  scheduler_->enqueue(client.id, rt_now());
+  // No response here: the ack goes out once, at replay completion.
 }
 
 void RtServer::handshake_reply(const RtRequest& request, RtAck ack,
@@ -1255,8 +1490,14 @@ void RtServer::pump() {
         scheduler_->set_residency(id, resident);
         pinned_any = true;
       }
-      jobs.push_back(make_job(id, *state));
-      grant_acks_.push_back(state);
+      if (state->graph_pending >= 0) {
+        // A graph grant acks at completion (drain_completions), never at
+        // grant time — that is the whole-graph single-ack contract.
+        jobs.push_back(make_graph_job(id, *state));
+      } else {
+        jobs.push_back(make_job(id, *state));
+        grant_acks_.push_back(state);
+      }
     }
     if (barrier_begin != kTimeInfinity && obs_.tracer().enabled()) {
       // Cohort co-flush: first member's STR -> this grant (the barrier
@@ -1297,6 +1538,7 @@ void RtServer::pump() {
 std::function<void()> RtServer::make_job(int client_id, ClientState& client) {
   VGPU_ASSERT_MSG(client.str_pending, "grant without a pending STR");
   client.str_pending = false;
+  client.last_job_graph = false;
   client.job_done->store(false, std::memory_order_release);
   client.job_failed->store(false, std::memory_order_release);
   // The job captures raw buffer pointers (and, in sharded mode, the
@@ -1511,6 +1753,182 @@ void RtServer::run_sharded_job(ClientState& client) {
                  client.bytes_out);
     tracer.end_span(t0, obs::Phase::kCopyOut, client.id, client.kernel_id);
   }
+}
+
+std::function<void()> RtServer::make_graph_job(int client_id,
+                                               ClientState& client) {
+  VGPU_ASSERT_MSG(client.str_pending, "graph grant without a pending launch");
+  client.str_pending = false;
+  client.last_job_graph = true;
+  client.job_done->store(false, std::memory_order_release);
+  client.job_failed->store(false, std::memory_order_release);
+  auto done = client.job_done;
+  auto failed = client.job_failed;
+  // The shared_ptr pins the graph across a concurrent re-upload or
+  // session teardown; ClientState itself outlives the job (every destroy
+  // path gates on job_done, see make_job).
+  auto graph = client.graphs.at(client.graph_pending);
+  std::array<std::int64_t, 4> bindings;
+  std::memcpy(bindings.data(), client.graph_params, sizeof(client.graph_params));
+  client.graph_pending = -1;  // consumed by this grant
+  ClientState* state = &client;
+  ipc::Doorbell door(door_shm_.as<ipc::Doorbell::Word>());
+  return [this, graph, bindings, done, failed, client_id, state,
+          door]() mutable {
+    jobs_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    bool error = false;
+    try {
+      run_graph_job(*state, *graph, bindings.data());
+    } catch (const std::exception& e) {
+      VGPU_ERROR("rt server: graph replay for client "
+                 << client_id << " threw: " << e.what());
+      error = true;
+    } catch (...) {
+      VGPU_ERROR("rt server: graph replay for client " << client_id
+                                                       << " threw");
+      error = true;
+    }
+    jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (error) stats_.jobs_failed.fetch_add(1);
+    stats_.jobs_run.fetch_add(1);
+    stats_.graph_replays.fetch_add(1);
+    stats_.graph_nodes_run.fetch_add(
+        static_cast<long>(graph->nodes.size()));
+    // Versus per-launch execution each kernel node costs a SND+STR+STP+RCV
+    // exchange; the replay cost one kLaunchGraph message.
+    stats_.graph_messages_saved.fetch_add(
+        std::max<long>(0, 4 * graph->plan.kernel_nodes - 1));
+    failed->store(error, std::memory_order_release);
+    done->store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.push_back(client_id);
+      pending_completions_.fetch_add(1, std::memory_order_release);
+    }
+    door.ring();
+  };
+}
+
+void RtServer::run_graph_job(ClientState& client, const RtGraph& graph,
+                             const std::int64_t* bindings) {
+  obs::Tracer& tracer = obs_.tracer();
+  const SimTime g0 = tracer.begin_span();
+  // Graph nodes run zero-copy on the client's vsm data area in *both*
+  // data-plane modes: copy nodes are the graph's own explicit data
+  // movement, so staging on top of them would double every byte moved —
+  // and the zero-copy and staged replays stay bitwise-identical.
+  std::span<std::byte> data = client.data_area();
+  const GraphPlan& plan = graph.plan;
+  long fused_tails = 0;
+
+  const auto resolve_params = [&](const RtGraphNode& node,
+                                  std::int64_t* out_params) {
+    std::memcpy(out_params, node.params, sizeof(node.params));
+    for (int i = 0; i < 4; ++i) {
+      if (node.bindings[i] >= 0) out_params[i] = bindings[node.bindings[i]];
+    }
+  };
+
+  // Executes node `idx` — and, when it heads a fused chain, the whole
+  // chain as one pass over the data (exec/fusion.hpp).
+  const auto run_unit = [&](int idx) {
+    const RtGraphNode& node = graph.nodes[idx];
+    const SimTime n0 = tracer.begin_span();
+    if (node.kind == static_cast<std::int32_t>(GraphNodeKind::kCopy)) {
+      std::memmove(data.data() + node.dst_offset,
+                   data.data() + node.src_offset,
+                   static_cast<std::size_t>(node.src_bytes));
+      stats_.bytes_copied.fetch_add(node.src_bytes);
+      tracer.end_span(n0, obs::Phase::kGraphNode, client.id, /*aux=*/-1);
+      return;
+    }
+    if (plan.fuse_next[idx] >= 0) {
+      // Fused chain: one stage per member, one sweep over the grid.
+      std::vector<exec::FusedStage> stages;
+      long grid = 0;
+      long cap = 0;
+      for (int k = idx; k >= 0; k = plan.fuse_next[k]) {
+        const RtGraphNode* n = &graph.nodes[k];
+        const RtStream* stream = registry_.find_stream(n->kernel_id);
+        grid = stream->grid(n->params);
+        if (const RtGeometryFn* geometry =
+                registry_.find_geometry(n->kernel_id);
+            geometry != nullptr) {
+          const long member_cap =
+              exec::occupancy_shard_cap(config_.device,
+                                        (*geometry)(n->params));
+          if (member_cap > 0) {
+            cap = cap > 0 ? std::min(cap, member_cap) : member_cap;
+          }
+        }
+        const std::span<const std::byte> in = data.subspan(
+            static_cast<std::size_t>(n->src_offset),
+            static_cast<std::size_t>(n->src_bytes));
+        const std::span<std::byte> out = data.subspan(
+            static_cast<std::size_t>(n->dst_offset),
+            static_cast<std::size_t>(n->dst_bytes));
+        stages.push_back([stream, n, in, out](long b0, long b1) {
+          stream->run(in, out, n->params, b0, b1);
+        });
+      }
+      const Status st = exec::run_fused(
+          engine_.get(), grid, {stages.data(), stages.size()}, cap);
+      if (!st.ok()) throw std::runtime_error(st.to_string());
+      fused_tails += static_cast<long>(stages.size()) - 1;
+      tracer.end_span(n0, obs::Phase::kGraphNode, client.id, node.kernel_id);
+      return;
+    }
+    std::int64_t params[4];
+    resolve_params(node, params);
+    const std::span<const std::byte> in =
+        data.subspan(static_cast<std::size_t>(node.src_offset),
+                     static_cast<std::size_t>(node.src_bytes));
+    const std::span<std::byte> out =
+        data.subspan(static_cast<std::size_t>(node.dst_offset),
+                     static_cast<std::size_t>(node.dst_bytes));
+    long cap = 0;
+    if (const RtGeometryFn* geometry = registry_.find_geometry(node.kernel_id);
+        geometry != nullptr) {
+      cap = exec::occupancy_shard_cap(config_.device, (*geometry)(params));
+    }
+    const RtShardedKernelFn* sharded =
+        engine_ != nullptr ? registry_.find_sharded(node.kernel_id) : nullptr;
+    if (sharded != nullptr) {
+      (*sharded)(in, out, params, engine_->executor(cap));
+    } else {
+      (*registry_.find(node.kernel_id))(in, out, params);
+    }
+    tracer.end_span(n0, obs::Phase::kGraphNode, client.id, node.kernel_id);
+  };
+
+  // Level-ordered replay: nodes of one level are mutually unordered
+  // (validated conflict-free), so the engine runs them concurrently; a
+  // fused chain executes as one unit at its head's level.
+  std::vector<int> units;
+  for (int level = 0; level < plan.level_count; ++level) {
+    units.clear();
+    for (int i = 0; i < static_cast<int>(graph.nodes.size()); ++i) {
+      if (plan.level_of[i] == level && !plan.fused_tail[i]) {
+        units.push_back(i);
+      }
+    }
+    if (engine_ != nullptr && units.size() > 1) {
+      exec::ExecEngine::Group group;
+      for (const int idx : units) {
+        const Status st =
+            engine_->launch(group, 1, [&run_unit, idx](long, long) {
+              run_unit(idx);
+            });
+        if (!st.ok()) throw std::runtime_error(st.to_string());
+      }
+      engine_->wait(group);  // rethrows the first unit exception
+    } else {
+      for (const int idx : units) run_unit(idx);
+    }
+  }
+  if (fused_tails > 0) stats_.graph_nodes_fused.fetch_add(fused_tails);
+  tracer.end_span(g0, obs::Phase::kGraph, client.id,
+                  static_cast<std::int32_t>(graph.nodes.size()));
 }
 
 }  // namespace vgpu::rt

@@ -37,6 +37,7 @@
 #include "ipc/shm.hpp"
 #include "ipc/transport.hpp"
 #include "obs/obs.hpp"
+#include "rt/graph.hpp"
 #include "rt/messages.hpp"
 #include "rt/registry.hpp"
 #include "rt/session.hpp"
@@ -253,6 +254,35 @@ struct RtServerStats {
   std::atomic<long> ready_depth[kBatchBuckets] = {};
   /// Grants written back per pump (one response sweep each).
   std::atomic<long> grants_per_pump[kBatchBuckets] = {};
+  /// Control-plane messages received, per verb — the measured baseline
+  /// for the graph path's fewer-messages-per-iteration claim. Duplicates
+  /// count too: every arrival is control-plane work.
+  std::atomic<long> ctrl_req{0};
+  std::atomic<long> ctrl_snd{0};
+  std::atomic<long> ctrl_str{0};
+  std::atomic<long> ctrl_stp{0};
+  std::atomic<long> ctrl_rcv{0};
+  std::atomic<long> ctrl_rls{0};
+  /// kGraphUpload + kLaunchGraph messages.
+  std::atomic<long> ctrl_graph{0};
+  /// Graph capture/replay (docs/graphs.md).
+  std::atomic<long> graph_uploads{0};       // upload chunks received
+  std::atomic<long> graphs_cached{0};       // validated + cached
+  std::atomic<long> graphs_rejected{0};     // failed validation
+  std::atomic<long> graph_replays{0};       // kLaunchGraph jobs completed
+  std::atomic<long> graph_nodes_run{0};     // nodes executed across replays
+  /// Kernel nodes whose data pass was merged into their predecessor's
+  /// fused chain (the saved sweeps over the data).
+  std::atomic<long> graph_nodes_fused{0};
+  /// Control messages a replay avoided versus per-launch execution:
+  /// 4 verbs (SND/STR/STP/RCV) per kernel node, minus the one launch.
+  std::atomic<long> graph_messages_saved{0};
+  /// Cached graphs torn down with their session (lease expiry, RLS
+  /// linger GC, re-attach replacement).
+  std::atomic<long> graphs_reclaimed{0};
+  /// Nodes currently cached across all sessions; must drain to zero when
+  /// every session dies (the recovery tests' leak check).
+  std::atomic<long> graph_nodes_live{0};
 
   void record_batch(std::size_t depth);
   void record_ready(std::size_t depth);
@@ -366,6 +396,27 @@ class RtServer {
     /// buffers in staged mode, the vsm data areas in zero-copy mode.
     vmem::AllocId alloc_in = 0;
     vmem::AllocId alloc_out = 0;
+    /// Cached graphs, keyed by the client-chosen graph id; they die with
+    /// the session (destroy_session), and a replay in flight pins its
+    /// graph through the shared_ptr its job captured.
+    std::unordered_map<int, std::shared_ptr<const RtGraph>> graphs;
+    /// Multi-part kGraphUpload accumulation.
+    std::vector<std::byte> graph_upload;
+    int graph_upload_id = -1;
+    std::int64_t graph_upload_total = 0;
+    std::int64_t graph_upload_received = 0;
+    /// kLaunchGraph granted but not yet jobbed: the graph id
+    /// (make_graph_job consumes it) and the per-iteration bindings.
+    int graph_pending = -1;
+    std::int64_t graph_params[4] = {};
+    /// Deferred completion ack: a kLaunchGraph is acked once, when the
+    /// replay finishes (drain_completions) — unless the client already
+    /// fell back to STP polling (last_seq moved past graph_launch_seq).
+    bool graph_ack_deferred = false;
+    std::int64_t graph_launch_seq = 0;
+    /// True while the most recent job was a graph replay: STP must not
+    /// write back staging bytes the replay never produced.
+    bool last_job_graph = false;
 
     std::span<std::byte> input_area() {
       return region.subspan(data_offset, static_cast<std::size_t>(bytes_in));
@@ -373,6 +424,12 @@ class RtServer {
     std::span<std::byte> output_area() {
       return region.subspan(data_offset + static_cast<std::size_t>(bytes_in),
                             static_cast<std::size_t>(bytes_out));
+    }
+    /// The whole data area (input then output) — graph node offsets are
+    /// relative to its base.
+    std::span<std::byte> data_area() {
+      return region.subspan(data_offset,
+                            static_cast<std::size_t>(bytes_in + bytes_out));
     }
   };
 
@@ -400,6 +457,10 @@ class RtServer {
   std::size_t drain_requests(bool* shutdown);
   void handle(const RtRequest& request);
   void handle_req(const RtRequest& request);
+  /// Graph verbs (docs/graphs.md): chunk accumulation + validate/cache,
+  /// and the deferred-ack launch that enqueues a whole-graph round.
+  void handle_graph_upload(const RtRequest& request, ClientState& client);
+  void handle_launch_graph(const RtRequest& request, ClientState& client);
   /// O(1) session lookup: token-checked slot access when the verb carries
   /// one (stale generations are rejected and counted), id-table fallback
   /// for pre-session clients.
@@ -414,6 +475,15 @@ class RtServer {
   void pump();
   /// Builds the worker-pool job for a granted client (marks it busy).
   std::function<void()> make_job(int client_id, ClientState& client);
+  /// Graph-grant variant: one job replays the whole cached DAG; the ack
+  /// is deferred to completion (no grant-time STR ack).
+  std::function<void()> make_graph_job(int client_id, ClientState& client);
+  /// Replays a graph over the client's data area: level-ordered (nodes of
+  /// one level run concurrently under the engine), elementwise chains
+  /// fused through exec::run_fused, per-node kGraphNode spans nested in
+  /// one kGraph span.
+  void run_graph_job(ClientState& client, const RtGraph& graph,
+                     const std::int64_t* bindings);
   /// Job body for sharded mode: chunked stage-in, engine-sharded kernel,
   /// chunked write-back (runs on an engine worker).
   void run_sharded_job(ClientState& client);
@@ -431,6 +501,14 @@ class RtServer {
   /// server.respond fault point, and sends without ever blocking the
   /// serve loop (a full dead-client queue counts responses_dropped).
   void send_response(ClientState& client, const RtResponse& response);
+  /// Sends without recording a duplicate-replay answer: the kWait a
+  /// repeated in-flight kLaunchGraph gets must not shadow the completion
+  /// ack a later retry needs to replay.
+  void send_unrecorded(ClientState& client, RtAck ack);
+  /// The raw fault-pointed send both of the above share.
+  void send_now(ClientState& client, const RtResponse& response);
+  /// Per-verb control-plane message accounting (rt.ctrl_messages_*).
+  void count_ctrl(RtOp op);
   /// Lease sweep (rate-limited by lease_check_interval): pops only the
   /// *due* entries off the deadline heap (silent expiry, linger GC,
   /// doomed reclaim), then rotates a bounded pid-probe/lane-reconcile

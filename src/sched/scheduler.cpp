@@ -161,11 +161,29 @@ Scheduler::Client* Scheduler::find(int client) {
 }
 
 double Scheduler::round_cost(const Client& client) const {
-  const double bytes = static_cast<double>(client.request.bytes_in +
-                                           client.request.bytes_out);
-  const double cost =
-      bytes + config_.compute_cost_scale * client.request.compute_cost;
+  const double bytes =
+      client.cost_override
+          ? static_cast<double>(client.override_bytes)
+          : static_cast<double>(client.request.bytes_in +
+                                client.request.bytes_out);
+  const double compute = client.cost_override ? client.override_compute
+                                              : client.request.compute_cost;
+  const double cost = bytes + config_.compute_cost_scale * compute;
   return std::max(cost, 1.0);
+}
+
+void Scheduler::set_round_cost(int client, Bytes bytes, double compute_cost) {
+  Client* c = find(client);
+  if (c == nullptr) return;
+  c->cost_override = true;
+  c->override_bytes = bytes;
+  c->override_compute = compute_cost;
+}
+
+void Scheduler::clear_round_cost(int client) {
+  Client* c = find(client);
+  if (c == nullptr) return;
+  c->cost_override = false;
 }
 
 void Scheduler::do_admit(Client&, SimTime) {}

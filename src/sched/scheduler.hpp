@@ -153,6 +153,14 @@ class Scheduler {
   /// never call this and see identical behavior.
   void set_residency(int client, bool resident);
 
+  /// Per-round cost override for graph grants: one kLaunchGraph grant
+  /// stands for a whole recorded DAG, so its FairShare charge must be the
+  /// graph's aggregate bytes + blocks, not the admission-time footprint.
+  /// Sticky until cleared (a plain STR round) or the client is removed.
+  /// Unknown clients are ignored.
+  void set_round_cost(int client, Bytes bytes, double compute_cost);
+  void clear_round_cost(int client);
+
   /// Absolute time at which pick_next() should be polled again even if no
   /// enqueue/complete event arrives; kTimeInfinity = event-driven only.
   virtual SimTime next_wakeup(SimTime now) const {
@@ -174,6 +182,9 @@ class Scheduler {
     bool pending = false;
     bool resident = false;  // vmem residency hint (set_residency)
     double deficit = 0.0;   // FairShare scratch
+    bool cost_override = false;  // graph grant: charge aggregate cost
+    Bytes override_bytes = 0;
+    double override_compute = 0.0;
   };
 
   explicit Scheduler(SchedulerConfig config) : config_(std::move(config)) {}

@@ -19,6 +19,17 @@ Stream::~Stream() {
 }
 
 void Stream::enqueue(Op op) {
+  if (capturing_) {
+    // Event plumbing and host callbacks carry cross-stream / host state a
+    // replay could not reproduce; recording one poisons the capture.
+    if (op.kind == Op::Kind::kRecord || op.kind == Op::Kind::kWaitEvent ||
+        op.kind == Op::Kind::kCallback) {
+      capture_valid_ = false;
+      return;
+    }
+    capture_ops_.push_back(std::move(op));
+    return;
+  }
   auto prev = tail_;
   auto done = std::make_shared<des::OneShotEvent>(sim_);
   tail_ = done;
@@ -187,6 +198,36 @@ void Stream::wait_event(const Event& event) {
   op.kind = Op::Kind::kWaitEvent;
   op.event = event.ev_;
   enqueue(std::move(op));
+}
+
+Status Stream::begin_capture() {
+  if (capturing_) return FailedPrecondition("stream is already capturing");
+  capturing_ = true;
+  capture_valid_ = true;
+  capture_ops_.clear();
+  return Status::Ok();
+}
+
+StatusOr<Graph> Stream::end_capture() {
+  if (!capturing_) return FailedPrecondition("stream is not capturing");
+  capturing_ = false;
+  if (!capture_valid_) {
+    capture_ops_.clear();
+    return InvalidArgument(
+        "capture was invalidated by an event or callback op");
+  }
+  if (capture_ops_.empty()) {
+    return InvalidArgument("capture recorded no ops");
+  }
+  Graph graph;
+  graph.ops_ = std::move(capture_ops_);
+  capture_ops_.clear();
+  return graph;
+}
+
+void Stream::launch_graph(const Graph& graph) {
+  VGPU_ASSERT_MSG(!capturing_, "launch_graph inside a capture scope");
+  for (const Op& op : graph.ops_) enqueue(op);
 }
 
 des::Task<> Stream::synchronize() {

@@ -59,6 +59,7 @@ struct DeviceBuffer {
 };
 
 class Context;
+class Graph;
 class Stream;
 
 /// One-shot completion marker usable across streams (cudaEvent_t).
@@ -121,6 +122,21 @@ class Stream {
   /// (cudaStreamWaitEvent).
   void wait_event(const Event& event);
 
+  /// Starts a capture scope (cudaStreamBeginCapture): until end_capture(),
+  /// copies/memsets/launches enqueued on this stream record into a Graph
+  /// instead of executing. Event ops and host callbacks invalidate the
+  /// capture, as the thread-local bits of cudaStreamCapture would.
+  Status begin_capture();
+  /// Ends the scope and returns the recorded graph
+  /// (cudaStreamEndCapture + cudaGraphInstantiate in one step — this
+  /// runtime has no separate uninstantiated template).
+  StatusOr<Graph> end_capture();
+  bool capturing() const { return capturing_; }
+
+  /// cudaGraphLaunch: re-enqueues every recorded op on this stream, in
+  /// capture order. The buffers the capture named must still be alive.
+  void launch_graph(const Graph& graph);
+
   /// Awaitable: completes when every op enqueued so far has executed.
   des::Task<> synchronize();
 
@@ -131,6 +147,7 @@ class Stream {
 
  private:
   friend class Context;
+  friend class Graph;
   Stream(des::Simulator& sim, gpu::Device& device, gpu::ContextId ctx);
 
   struct Op {
@@ -172,6 +189,23 @@ class Stream {
   std::shared_ptr<des::OneShotEvent> tail_;  // completion of last enqueued op
   std::size_t outstanding_ = 0;
   std::size_t ops_enqueued_ = 0;
+  bool capturing_ = false;
+  bool capture_valid_ = true;
+  std::vector<Op> capture_ops_;
+};
+
+/// A recorded op sequence (cudaGraph_t, pre-instantiated): the DES-side
+/// mirror of the live runtime's RtGraph. Replay via Stream::launch_graph.
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t node_count() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  friend class Stream;
+  std::vector<Stream::Op> ops_;
 };
 
 class Context {

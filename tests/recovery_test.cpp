@@ -794,6 +794,74 @@ void run_chaos_shard(std::uint64_t begin, std::uint64_t end) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Graph replay vs. client death: a client uploads a multi-node graph, fires
+// a replay whose sleep nodes outlive its own lease, and SIGKILLs itself
+// mid-replay. The cached graph must die with the lease (no leaked nodes)
+// and the slot must recycle cleanly for a fresh client under the same id.
+// ---------------------------------------------------------------------------
+
+TEST(GraphRecovery, KillMidReplayReclaimsCachedGraphAndRecyclesSlot) {
+  const std::string prefix = unique_prefix("graphkill");
+  RtServer server(chaos_config(prefix, 1, ipc::TransportKind::kMessageQueue),
+                  builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+
+  const pid_t victim = ::fork();
+  if (victim == 0) {
+    auto options = chaos_options(ipc::TransportKind::kMessageQueue);
+    auto client = RtClient::connect(prefix, 0, 1024, 64, options);
+    if (!client.ok()) ::_exit(2);
+    auto sleep_id = builtin_registry().id_of("sleep_ms");
+    if (!sleep_id.ok()) ::_exit(2);
+    const std::int64_t params[4] = {200, 0, 0, 0};
+    if (!client->req(*sleep_id, params).ok()) ::_exit(2);
+    // Three chained 200 ms sleep nodes: the replay runs long past both
+    // the kill below and the 250 ms lease.
+    if (!client->begin_capture().ok()) ::_exit(2);
+    int prev = -1;
+    for (int i = 0; i < 3; ++i) {
+      auto node = client->capture_kernel(
+          *sleep_id, params, 0, 0, 0, 0,
+          prev >= 0 ? std::span<const int>(&prev, 1) : std::span<const int>());
+      if (!node.ok()) ::_exit(2);
+      prev = *node;
+    }
+    if (!client->end_capture().ok()) ::_exit(2);
+    if (!client->upload_graph(1).ok()) ::_exit(2);
+    std::thread([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      ::raise(SIGKILL);
+    }).detach();
+    (void)client->launch_graph(1);  // dies mid-replay
+    ::_exit(2);                     // reached only if the kill never fired
+  }
+  ASSERT_GT(victim, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "victim must die by SIGKILL";
+
+  // The replay outlives the lease; reclamation lands once the job drains.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((server.stats().graphs_reclaimed.load() < 1 ||
+          server.stats().graph_nodes_live.load() != 0 ||
+          server.stats().clients_reclaimed.load() < 1) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.stats().graphs_cached.load(), 1);
+  EXPECT_GE(server.stats().graphs_reclaimed.load(), 1);
+  EXPECT_EQ(server.stats().graph_nodes_live.load(), 0) << "leaked graph nodes";
+  EXPECT_GE(server.stats().clients_reclaimed.load(), 1);
+
+  // The slot recycles clean: a fresh client under the same id completes a
+  // full task with correct results.
+  EXPECT_TRUE(run_vecadd_client(
+      prefix, 0, 512, chaos_options(ipc::TransportKind::kMessageQueue)));
+  server.stop();
+}
+
 TEST(ChaosSweep, Seeds0To49) { run_chaos_shard(0, 50); }
 TEST(ChaosSweep, Seeds50To99) { run_chaos_shard(50, 100); }
 TEST(ChaosSweep, Seeds100To149) { run_chaos_shard(100, 150); }

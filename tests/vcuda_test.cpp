@@ -411,5 +411,85 @@ TEST(Vcuda, DestroyBusyContextRejected) {
   sim.run();
 }
 
+TEST(VcudaGraph, CaptureReplayReproducesCopiesKernelsAndMemsets) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  int kernel_runs = 0;
+  sim.spawn([](Runtime& rt, int& kernel_runs) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    auto buf = ctx->malloc(256, /*backed=*/true);
+    VGPU_ASSERT(buf.ok());
+    std::vector<std::byte> src(256), dst(256);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      src[i] = static_cast<std::byte>(i ^ 0x5a);
+    }
+    Stream& s = ctx->default_stream();
+
+    // Record H2D + memset tail + kernel + D2H once; nothing runs yet.
+    VGPU_ASSERT(s.begin_capture().ok());
+    EXPECT_TRUE(s.capturing());
+    s.memcpy_h2d_async(*buf, src.data(), 256);
+    s.memset_async(*buf, std::byte{0x7f}, 64, /*dst_offset=*/192);
+    s.launch(tiny_kernel("graphed"), [&kernel_runs] { ++kernel_runs; });
+    s.memcpy_d2h_async(dst.data(), *buf, 256);
+    EXPECT_EQ(kernel_runs, 0);
+    auto graph = s.end_capture();
+    VGPU_ASSERT(graph.ok());
+    EXPECT_FALSE(s.capturing());
+    EXPECT_EQ(graph->node_count(), 4);
+
+    // Replaying twice runs the whole sequence each time, in stream order.
+    for (int iter = 1; iter <= 2; ++iter) {
+      std::fill(dst.begin(), dst.end(), std::byte{0});
+      s.launch_graph(*graph);
+      co_await s.synchronize();
+      EXPECT_EQ(kernel_runs, iter);
+      EXPECT_EQ(std::memcmp(dst.data(), src.data(), 192), 0);
+      for (std::size_t i = 192; i < 256; ++i) {
+        EXPECT_EQ(dst[i], std::byte{0x7f});
+      }
+    }
+    VGPU_ASSERT(ctx->free(*buf).ok());
+  }(rt, kernel_runs));
+  sim.run();
+  EXPECT_EQ(kernel_runs, 2);
+}
+
+TEST(VcudaGraph, EventAndCallbackOpsInvalidateCapture) {
+  des::Simulator sim;
+  gpu::Device dev(sim, test_spec());
+  Runtime rt(sim, dev);
+  sim.spawn([](Runtime& rt) -> des::Task<> {
+    auto ctx = co_await rt.create_context();
+    Stream& s = ctx->default_stream();
+
+    // A record() poisons the capture: end_capture reports the violation.
+    VGPU_ASSERT(s.begin_capture().ok());
+    EXPECT_EQ(s.begin_capture().code(), ErrorCode::kFailedPrecondition);
+    s.launch(tiny_kernel("k"));
+    Event ev;
+    s.record(ev);
+    auto poisoned = s.end_capture();
+    EXPECT_FALSE(poisoned.ok());
+    EXPECT_EQ(poisoned.status().code(), ErrorCode::kInvalidArgument);
+
+    // Empty captures are rejected too; end without begin is a precondition
+    // failure. The stream stays usable for a fresh, valid capture.
+    VGPU_ASSERT(s.begin_capture().ok());
+    EXPECT_EQ(s.end_capture().status().code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(s.end_capture().status().code(),
+              ErrorCode::kFailedPrecondition);
+    VGPU_ASSERT(s.begin_capture().ok());
+    s.launch(tiny_kernel("ok"));
+    auto graph = s.end_capture();
+    VGPU_ASSERT(graph.ok());
+    EXPECT_EQ(graph->node_count(), 1);
+    s.launch_graph(*graph);
+    co_await s.synchronize();
+  }(rt));
+  sim.run();
+}
+
 }  // namespace
 }  // namespace vgpu::vcuda

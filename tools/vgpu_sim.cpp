@@ -349,11 +349,14 @@ int run_live_population(const Flags& flags, rt::RtServerConfig config,
 }
 
 /// One forked client process: connect, REQ, then `rounds` full
-/// SND/STR/STP/RCV cycles, RLS. Exits 0 on success.
+/// SND/STR/STP/RCV cycles, RLS. With `use_graph` the same round loop is
+/// recorded once into a capture scope (the data verbs become client-side
+/// no-ops, each STR a chained kernel node) and fired as a single
+/// kLaunchGraph verb. Exits 0 on success.
 int run_live_client(const std::string& prefix, int id,
                     const LiveKernelPlan& plan, int rounds,
                     ipc::TransportKind transport,
-                    const std::string& fault_spec) {
+                    const std::string& fault_spec, bool use_graph) {
   rt::RtClientOptions options;
   options.transport = transport;
   // Each forked client rebuilds the injector from the shared spec; the
@@ -390,11 +393,17 @@ int run_live_client(const std::string& prefix, int id,
     }
   }
   if (!client->req(*kid, plan.params).ok()) return 1;
+  if (use_graph && !client->begin_capture().ok()) return 1;
   for (int round = 0; round < rounds; ++round) {
     if (!client->snd().ok()) return 1;
     if (!client->str().ok()) return 1;
     if (!client->wait_done().ok()) return 1;
     if (!client->rcv().ok()) return 1;
+  }
+  if (use_graph) {
+    if (!client->end_capture().ok()) return 1;
+    if (!client->upload_graph(1).ok()) return 1;
+    if (!client->launch_graph(1).ok()) return 1;
   }
   return client->rls().ok() ? 0 : 1;
 }
@@ -412,6 +421,21 @@ void print_live_stats(const rt::RtServer& server) {
               "waits %ld\n",
               cnt("rt.requests"), cnt("rt.ring_requests"), cnt("rt.flushes"),
               cnt("rt.jobs_run"), cnt("rt.waits_sent"));
+  std::printf("  ctrl messages: req %ld, snd %ld, str %ld, stp %ld, "
+              "rcv %ld, rls %ld, graph %ld\n",
+              cnt("rt.ctrl_messages_req"), cnt("rt.ctrl_messages_snd"),
+              cnt("rt.ctrl_messages_str"), cnt("rt.ctrl_messages_stp"),
+              cnt("rt.ctrl_messages_rcv"), cnt("rt.ctrl_messages_rls"),
+              cnt("rt.ctrl_messages_graph"));
+  if (cnt("rt.graphs_cached") > 0 || cnt("rt.graph_replays") > 0) {
+    std::printf("  graphs: %ld cached (%ld upload chunks), %ld replays, "
+                "%ld nodes run (%ld fused), %ld messages saved, "
+                "%ld reclaimed\n",
+                cnt("rt.graphs_cached"), cnt("rt.graph_uploads"),
+                cnt("rt.graph_replays"), cnt("rt.graph_nodes_run"),
+                cnt("rt.graph_nodes_fused"), cnt("rt.graph_messages_saved"),
+                cnt("rt.graphs_reclaimed"));
+  }
   std::printf("  bytes_copied %ld, syscalls_saved %ld, spin_wakeups %ld, "
               "doorbell_blocks %ld\n",
               cnt("rt.bytes_copied"), cnt("rt.syscalls_saved"),
@@ -579,7 +603,7 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
     }
     if (pid == 0) {
       ::_exit(run_live_client(config.prefix, c, plan, rounds, transport,
-                              fault_spec));
+                              fault_spec, flags.get_bool("graph")));
     }
     children.push_back(pid);
   }
@@ -717,7 +741,7 @@ int main(int argc, char** argv) {
         "          [--mode=native|virt|remote|remote10g|vm|merge|live]\n"
         "          [--sched=barrier|tq|fair|prio] [--quota-mb=<N>]\n"
         "          [--transport=mq|shm] [--data-plane=staged|zero_copy]\n"
-        "          [--exec=serial|sharded] [--workers=<N>]\n"
+        "          [--exec=serial|sharded] [--workers=<N>] [--graph]\n"
         "          [--clients=<N>] [--arrival=burst|poisson] [--rate=<N/s>]\n"
         "          [--vmem] [--page-size=<bytes>] [--device-mb=<N>]\n"
         "          [--host-ledger-mb=<N>]\n"
