@@ -128,10 +128,15 @@ StatusOr<RtGraph> plan_graph(std::vector<RtGraphNode> nodes,
     plan.level_count = std::max(plan.level_count, level + 1);
 
     const bool copy = node.kind == static_cast<std::int32_t>(GraphNodeKind::kCopy);
+    // Overflow-free form of offset + bytes <= data_bytes: offset + bytes
+    // can wrap int64 to a negative that passes a naive comparison, and
+    // these fields come off the wire (the hash is client-computed, so it
+    // does not protect against a crafted upload).
+    const std::int64_t limit = data_bytes;
     if (node.src_bytes < 0 || node.dst_bytes < 0 || node.src_offset < 0 ||
-        node.dst_offset < 0 ||
-        node.src_offset + node.src_bytes > static_cast<std::int64_t>(data_bytes) ||
-        node.dst_offset + node.dst_bytes > static_cast<std::int64_t>(data_bytes)) {
+        node.dst_offset < 0 || node.src_bytes > limit ||
+        node.src_offset > limit - node.src_bytes || node.dst_bytes > limit ||
+        node.dst_offset > limit - node.dst_bytes) {
       return InvalidArgument("graph node " + std::to_string(i) +
                              ": span outside the data area");
     }
@@ -198,6 +203,7 @@ StatusOr<RtGraph> plan_graph(std::vector<RtGraphNode> nodes,
   // consumer is the consumer's sole dependency, both carry stream
   // descriptors, grids match, neither has replay bindings, and the
   // consumer reads what the producer wrote. Chains extend transitively.
+  std::vector<int> fuse_prev(nodes.size(), -1);
   for (int i = 0; i + 1 < n; ++i) {
     const RtGraphNode& a = nodes[i];
     if (a.kind != static_cast<std::int32_t>(GraphNodeKind::kKernel)) continue;
@@ -226,7 +232,23 @@ StatusOr<RtGraph> plan_graph(std::vector<RtGraphNode> nodes,
         a.dst_offset + a.dst_bytes > b.src_offset + b.src_bytes) {
       continue;
     }
+    // Fused shards run block ranges out of order, so only the
+    // producer->consumer containment above is protected by the per-block
+    // discipline. Any other overlap between b and a member already in the
+    // chain — b writing bytes an earlier stage still reads, or b reading
+    // bytes a non-adjacent stage writes — lets one shard clobber or
+    // stale-read another's data, diverging from serial replay. Refuse.
+    bool clobbers = false;
+    for (int k = i; k >= 0; k = fuse_prev[k]) {
+      if (write_span(b).overlaps(read_span(nodes[k])) ||
+          (k != i && read_span(b).overlaps(write_span(nodes[k])))) {
+        clobbers = true;
+        break;
+      }
+    }
+    if (clobbers) continue;
     plan.fuse_next[i] = j;
+    fuse_prev[j] = i;
     plan.fused_tail[j] = 1;
   }
 

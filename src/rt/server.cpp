@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <limits>
@@ -949,7 +950,11 @@ void RtServer::handle(const RtRequest& request) {
       break;  // the serve loop pumps grants after every drain
     }
     case RtOp::kStp: {
-      if (!client.job_done->load(std::memory_order_acquire)) {
+      if (client.str_pending ||
+          !client.job_done->load(std::memory_order_acquire)) {
+        // str_pending covers the enqueued-but-not-granted window: job_done
+        // still holds the previous round's true until the grant runs, so
+        // without it an STP poll would ack pre-replay output as complete.
         stats_.waits_sent.fetch_add(1);
         respond(client, RtAck::kWait);
         break;
@@ -1819,7 +1824,9 @@ void RtServer::run_graph_job(ClientState& client, const RtGraph& graph,
   // and the zero-copy and staged replays stay bitwise-identical.
   std::span<std::byte> data = client.data_area();
   const GraphPlan& plan = graph.plan;
-  long fused_tails = 0;
+  // run_unit executes on engine worker threads when a level has several
+  // units, so fused-chain heads in one level increment this concurrently.
+  std::atomic<long> fused_tails{0};
 
   const auto resolve_params = [&](const RtGraphNode& node,
                                   std::int64_t* out_params) {
@@ -1874,7 +1881,8 @@ void RtServer::run_graph_job(ClientState& client, const RtGraph& graph,
       const Status st = exec::run_fused(
           engine_.get(), grid, {stages.data(), stages.size()}, cap);
       if (!st.ok()) throw std::runtime_error(st.to_string());
-      fused_tails += static_cast<long>(stages.size()) - 1;
+      fused_tails.fetch_add(static_cast<long>(stages.size()) - 1,
+                            std::memory_order_relaxed);
       tracer.end_span(n0, obs::Phase::kGraphNode, client.id, node.kernel_id);
       return;
     }
@@ -1926,7 +1934,10 @@ void RtServer::run_graph_job(ClientState& client, const RtGraph& graph,
       for (const int idx : units) run_unit(idx);
     }
   }
-  if (fused_tails > 0) stats_.graph_nodes_fused.fetch_add(fused_tails);
+  if (const long tails = fused_tails.load(std::memory_order_relaxed);
+      tails > 0) {
+    stats_.graph_nodes_fused.fetch_add(tails);
+  }
   tracer.end_span(g0, obs::Phase::kGraph, client.id,
                   static_cast<std::int32_t>(graph.nodes.size()));
 }

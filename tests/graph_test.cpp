@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -120,6 +121,15 @@ TEST(GraphPlan, RejectsMalformedGraphs) {
   std::vector<RtGraphNode> oob = {copy_node(0, 1000, 64)};
   EXPECT_FALSE(plan_graph(oob, reg, 1024).ok());
 
+  // offset + bytes overflowing int64 must not wrap past the bounds check
+  // (the fields come off the wire; the hash is client-computed).
+  std::vector<RtGraphNode> wrap = {
+      copy_node(std::numeric_limits<std::int64_t>::max() - 32, 0, 64)};
+  EXPECT_FALSE(plan_graph(wrap, reg, 1024).ok());
+  std::vector<RtGraphNode> wrap_dst = {
+      copy_node(0, std::numeric_limits<std::int64_t>::max() - 32, 64)};
+  EXPECT_FALSE(plan_graph(wrap_dst, reg, 1024).ok());
+
   // Unknown kernel id.
   std::vector<RtGraphNode> unknown = {kernel_node(9999, 8, 0, 64, 64, 32)};
   EXPECT_FALSE(plan_graph(unknown, reg, 1024).ok());
@@ -167,6 +177,30 @@ TEST(GraphPlan, LevelsAndFusionChains) {
   auto unfused = plan_graph(shared, builtin_registry(), 4 * n * f);
   ASSERT_TRUE(unfused.ok()) << unfused.status().to_string();
   EXPECT_EQ(unfused->plan.fuse_next[0], -1);
+
+  // Ping-pong (the consumer writes back into the producer's input) must
+  // not fuse: shards run out of order, so the consumer's stage on one
+  // block range would clobber input bytes the producer's stage on another
+  // range has not yet read. Valid graph, but replayed unfused.
+  std::vector<RtGraphNode> pingpong = {
+      kernel_node(vecadd, n, 0, 2 * n * f, 2 * n * f, n * f),
+      kernel_node(vecadd, n, 2 * n * f, 2 * n * f, n * f, n * f, {0}),
+  };
+  auto pp = plan_graph(pingpong, builtin_registry(), 4 * n * f);
+  ASSERT_TRUE(pp.ok()) << pp.status().to_string();
+  EXPECT_EQ(pp->plan.fuse_next[0], -1);
+
+  // The clobber guard is transitive: node 2 chains cleanly onto node 1,
+  // but writes into node 0's read span, so the chain stops at node 1.
+  std::vector<RtGraphNode> transitive = {
+      kernel_node(vecadd, n, 0, 2 * n * f, 2 * n * f, n * f),
+      kernel_node(vecadd, n, 2 * n * f, n * f, 3 * n * f, n * f, {0}),
+      kernel_node(vecadd, n, 3 * n * f, n * f, n * f, n * f, {1}),
+  };
+  auto trans = plan_graph(transitive, builtin_registry(), 4 * n * f);
+  ASSERT_TRUE(trans.ok()) << trans.status().to_string();
+  EXPECT_EQ(trans->plan.fuse_next[0], 1);
+  EXPECT_EQ(trans->plan.fuse_next[1], -1);
 }
 
 // ---------------------------------------------------------------------------
