@@ -1,26 +1,203 @@
-// Extension study (beyond the paper): scaling the virtualized node from
-// one to four GPUs for 8 SPMD processes. Device-filling workloads (MM,
-// Electrostatics) scale with added devices; latency-bound ones (EP, CG)
-// are already concurrent on one device and gain little.
+// Extension study (beyond the paper): the 4-device pool ablation.
+//
+// Placement policy (static / pack / spread / locality) x pool rebalancing
+// (off / on) over a skewed client mix: client ids congruent to 0 mod
+// `devices` carry the heavy plan, so the static modulo piles every heavy
+// client onto device 0 — the hash-collision skew load-aware placement is
+// supposed to fix. Reports p95/mean per-session turnaround, migration and
+// replica-install counters, and the post-run drain oracle.
+//
+// A second table keeps the original MultiGvm SPMD turnaround scaling as
+// the experimental control, and a migration oracle ping-pongs every
+// functional workload between two devices at every round boundary,
+// counting bitwise divergences against an unmigrated run (zero expected).
+//
+//   extension_multigpu [--devices=N] [--json=FILE]
+//
+// --json writes the jq-gated summary the CI bench-multi job enforces
+// (spread beats pack, locality beats static, zero divergence, zero
+// residual source state).
+#include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "gvm/multi.hpp"
+#include "gvm/pool.hpp"
 #include "support.hpp"
 
 using namespace vgpu;
 
-int main() {
-  constexpr int kProcs = 8;
-  print_banner(std::cout,
-               "Extension: multi-GPU virtualized node (8 processes, "
-               "turnaround in s)");
-  TablePrinter table(
-      {"workload", "native 1 GPU", "GVM 1 GPU", "GVM 2 GPUs", "GVM 4 GPUs"});
+namespace {
 
-  const workloads::Workload cases[] = {
-      workloads::matmul(), workloads::electrostatics(), workloads::npb_ep(30),
-      workloads::npb_cg()};
-  for (const workloads::Workload& w : cases) {
+constexpr sched::PlacementPolicy kPolicies[] = {
+    sched::PlacementPolicy::kStatic, sched::PlacementPolicy::kPack,
+    sched::PlacementPolicy::kSpread, sched::PlacementPolicy::kLocality};
+
+/// The skewed mix: 4 clients per device, heavy plans on ids that all
+/// collide onto device 0 under the static modulo, staggered arrivals and
+/// multi-session re-attach (the locality policy's residency signal).
+std::vector<gvm::PoolClientSpec> skewed_mix(int devices,
+                                            const workloads::Workload& heavy,
+                                            const workloads::Workload& light) {
+  std::vector<gvm::PoolClientSpec> mix;
+  for (int i = 0; i < 4 * devices; ++i) {
+    gvm::PoolClientSpec spec;
+    const bool is_heavy = i % devices == 0;
+    spec.plan = (is_heavy ? heavy : light).plan;
+    spec.rounds = is_heavy ? 3 : 1;
+    spec.sessions = 3;
+    spec.arrival = microseconds(150.0 * i);
+    spec.think = microseconds(300.0);
+    mix.push_back(spec);
+  }
+  return mix;
+}
+
+gvm::PoolRunResult run_cell(int devices, sched::PlacementPolicy policy,
+                            bool rebalance,
+                            const std::vector<gvm::PoolClientSpec>& mix) {
+  gvm::PoolConfig config;
+  config.placement.policy = policy;
+  config.rebalance = rebalance;
+  config.rebalance_interval = microseconds(500.0);
+  config.rebalance_min_gap = 2;
+  const std::vector<gpu::DeviceSpec> specs(static_cast<std::size_t>(devices),
+                                           bench::paper_device());
+  return gvm::run_pool(specs, config, mix);
+}
+
+/// Migration-divergence oracle: every functional workload, one client on a
+/// two-device pool, a forced move before every round; outputs must match
+/// the unmigrated reference bitwise and both devices must drain to zero.
+struct OracleResult {
+  int workloads = 0;
+  long migrations = 0;
+  Bytes migrated_bytes = 0;
+  int divergence = 0;
+  Bytes residual_source_bytes = 0;
+  std::size_t residual_sched_clients = 0;
+};
+
+OracleResult run_oracle() {
+  OracleResult oracle;
+  for (const std::string& name : workloads::functional_workload_names()) {
+    auto w = workloads::make_functional(name);
+    auto reference = workloads::make_functional(name);
+    const int rounds = std::max(w.rounds, 3);
+
+    des::Simulator sim;
+    std::vector<std::unique_ptr<gpu::Device>> devices;
+    std::vector<std::unique_ptr<vcuda::Runtime>> runtimes;
+    std::vector<vcuda::Runtime*> ptrs;
+    for (int d = 0; d < 2; ++d) {
+      devices.push_back(
+          std::make_unique<gpu::Device>(sim, bench::paper_device()));
+      runtimes.push_back(
+          std::make_unique<vcuda::Runtime>(sim, *devices.back()));
+      ptrs.push_back(runtimes.back().get());
+    }
+    gvm::DevicePoolGvm pool(sim, ptrs, gvm::PoolConfig{});
+    pool.start();
+    sim.spawn([](des::Simulator& sim, gvm::DevicePoolGvm& pool,
+                 workloads::FunctionalWorkload& w, int rounds) -> des::Task<> {
+      co_await pool.wait_ready();
+      gvm::PoolClient client(sim, pool, /*id=*/0);
+      co_await client.req(w.plan);
+      for (int round = 0; round < rounds; ++round) {
+        pool.direct(0, pool.device_of(0) == 0 ? 1 : 0);
+        co_await client.round();
+      }
+      co_await client.rls();
+    }(sim, pool, w, rounds));
+    sim.run();
+
+    gvm::run_virtualized(bench::paper_device(), gvm::GvmConfig{},
+                         reference.plan, rounds, 1);
+    const bool identical =
+        w.verify() && reference.verify() &&
+        w.plan.bytes_out == reference.plan.bytes_out &&
+        std::memcmp(w.plan.output, reference.plan.output,
+                    static_cast<std::size_t>(w.plan.bytes_out)) == 0;
+    ++oracle.workloads;
+    oracle.migrations += pool.stats().migrations;
+    oracle.migrated_bytes += pool.stats().migrated_bytes;
+    if (!identical) ++oracle.divergence;
+    for (auto& dev : devices) {
+      oracle.residual_source_bytes += dev->memory_used();
+    }
+    for (std::size_t g = 0; g < pool.device_count(); ++g) {
+      oracle.residual_sched_clients += pool.gvm(g).scheduler().clients();
+    }
+  }
+  return oracle;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int devices = 4;
+  std::string json;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--devices=", 0) == 0) {
+      devices = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: extension_multigpu [--devices=N] [--json=FILE]\n");
+      return 2;
+    }
+  }
+  if (devices < 2) devices = 2;
+
+  const workloads::Workload heavy = workloads::matmul(256);
+  const workloads::Workload light = workloads::matmul(128);
+  const auto mix = skewed_mix(devices, heavy, light);
+
+  print_banner(std::cout, "Extension: placement x rebalancing ablation (" +
+                              std::to_string(devices) + " devices, " +
+                              std::to_string(mix.size()) +
+                              " clients, skewed mix)");
+  TablePrinter table({"placement", "rebalance", "p95 ms", "mean ms",
+                      "migrations", "installs", "warm hits"});
+  // rebalance-off p95 per policy, for the jq gates.
+  double p95_ms[4] = {0, 0, 0, 0};
+  struct CellRow {
+    const char* policy;
+    bool rebalance;
+    gvm::PoolRunResult r;
+  };
+  std::vector<CellRow> cells;
+  int policy_index = 0;
+  for (sched::PlacementPolicy policy : kPolicies) {
+    for (bool rebalance : {false, true}) {
+      gvm::PoolRunResult r = run_cell(devices, policy, rebalance, mix);
+      if (!rebalance) p95_ms[policy_index] = r.p95_seconds() * 1e3;
+      table.add_row({sched::placement_name(policy), rebalance ? "on" : "off",
+                     TablePrinter::num(r.p95_seconds() * 1e3),
+                     TablePrinter::num(r.mean_seconds() * 1e3),
+                     std::to_string(r.pool.migrations),
+                     std::to_string(r.pool.installs),
+                     std::to_string(r.pool.warm_hits)});
+      cells.push_back({sched::placement_name(policy), rebalance,
+                       std::move(r)});
+    }
+    ++policy_index;
+  }
+  bench::emit(table, "extension_multigpu");
+
+  // The original MultiGvm scaling rows, kept as the experimental control.
+  print_banner(std::cout,
+               "Control: MultiGvm SPMD turnaround (8 processes, seconds)");
+  TablePrinter control(
+      {"workload", "native 1 GPU", "GVM 1 GPU", "GVM 2 GPUs", "GVM 4 GPUs"});
+  constexpr int kProcs = 8;
+  for (const workloads::Workload& w :
+       {workloads::matmul(), workloads::npb_ep(30)}) {
     const gpu::DeviceSpec spec = bench::paper_device();
     std::vector<std::string> row{w.name};
     row.push_back(TablePrinter::num(to_seconds(
@@ -33,8 +210,74 @@ int main() {
                                      w.rounds, kProcs)
               .turnaround)));
     }
-    table.add_row(row);
+    control.add_row(row);
   }
-  bench::emit(table, "extension_multigpu");
-  return 0;
+  bench::emit(control, "extension_multigpu_control");
+
+  const OracleResult oracle = run_oracle();
+  std::printf(
+      "migration oracle: %d workloads, %ld moves, %lld bytes moved, "
+      "%d divergent, residual %lld bytes / %zu sched clients\n",
+      oracle.workloads, oracle.migrations,
+      static_cast<long long>(oracle.migrated_bytes), oracle.divergence,
+      static_cast<long long>(oracle.residual_source_bytes),
+      oracle.residual_sched_clients);
+
+  bool residuals_clean = true;
+  for (const CellRow& cell : cells) {
+    for (Bytes b : cell.r.residual_device_bytes) {
+      if (b != 0) residuals_clean = false;
+    }
+    for (std::size_t c : cell.r.residual_sched_clients) {
+      if (c != 0) residuals_clean = false;
+    }
+  }
+
+  if (!json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"devices\": %d,\n", devices);
+    std::fprintf(f, "  \"clients\": %zu,\n", mix.size());
+    std::fprintf(f, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellRow& cell = cells[i];
+      std::fprintf(
+          f,
+          "    {\"policy\": \"%s\", \"rebalance\": %s, \"p95_ms\": %.4f, "
+          "\"mean_ms\": %.4f, \"migrations\": %ld, \"bounced\": %ld, "
+          "\"installs\": %ld, \"warm_hits\": %ld, \"migrated_bytes\": %lld}"
+          "%s\n",
+          cell.policy, cell.rebalance ? "true" : "false",
+          cell.r.p95_seconds() * 1e3, cell.r.mean_seconds() * 1e3,
+          cell.r.pool.migrations, cell.r.pool.bounced_migrations,
+          cell.r.pool.installs, cell.r.pool.warm_hits,
+          static_cast<long long>(cell.r.pool.migrated_bytes),
+          i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"p95_ms\": {\"static\": %.4f, \"pack\": %.4f, "
+                 "\"spread\": %.4f, \"locality\": %.4f},\n",
+                 p95_ms[0], p95_ms[1], p95_ms[2], p95_ms[3]);
+    std::fprintf(f, "  \"residuals_clean\": %s,\n",
+                 residuals_clean ? "true" : "false");
+    std::fprintf(f,
+                 "  \"oracle\": {\"workloads\": %d, \"migrations\": %ld, "
+                 "\"migrated_bytes\": %lld, \"divergence\": %d, "
+                 "\"residual_source_bytes\": %lld, "
+                 "\"residual_sched_clients\": %zu}\n",
+                 oracle.workloads, oracle.migrations,
+                 static_cast<long long>(oracle.migrated_bytes),
+                 oracle.divergence,
+                 static_cast<long long>(oracle.residual_source_bytes),
+                 oracle.residual_sched_clients);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return oracle.divergence == 0 && residuals_clean ? 0 : 1;
 }

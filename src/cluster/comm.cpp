@@ -10,6 +10,7 @@ namespace {
 constexpr int kBarrierTag = -1;
 constexpr int kBcastTag = -2;
 constexpr int kReduceTag = -3;
+constexpr int kGatherTag = -4;
 /// Per-message envelope bytes charged on the wire.
 constexpr Bytes kHeaderBytes = 64;
 }  // namespace
@@ -112,30 +113,122 @@ des::Task<Message> Communicator::bcast(int root, Message message) {
   co_return message;
 }
 
-des::Task<std::vector<double>> Communicator::allreduce_sum(
-    std::vector<double> values) {
-  // Binomial reduce to rank 0.
+des::Task<StatusOr<std::vector<double>>> Communicator::reduce_sum(
+    int root, std::vector<double> values) {
+  // MPICH binomial reduce over virtual ranks rooted at `root`.
   const int n = size();
+  const int vrank = (rank_ - root + n) % n;
   for (int step = 1; step < n; step *= 2) {
-    if ((rank_ & step) != 0) {
-      co_await send(rank_ - step,
+    if ((vrank & step) != 0) {
+      const int parent = ((vrank - step) + root) % n;
+      co_await send(parent,
                     Message::of<double>(kReduceTag,
                                         {values.data(), values.size()}));
-      break;
+      co_return std::vector<double>{};  // only the root holds the sum
     }
-    if (rank_ + step < n) {
-      const Message m = co_await recv(rank_ + step, kReduceTag);
-      const std::vector<double> partial = m.as<double>();
-      VGPU_ASSERT(partial.size() == values.size());
+    if (vrank + step < n) {
+      const int child = ((vrank + step) + root) % n;
+      const Message m = co_await recv(child, kReduceTag);
+      auto partial = m.as<double>();
+      if (!partial.ok()) co_return partial.status();
+      if (partial->size() != values.size()) {
+        co_return InvalidArgument(
+            "reduce_sum: rank " + std::to_string(m.source) + " contributed " +
+            std::to_string(partial->size()) + " lanes, expected " +
+            std::to_string(values.size()));
+      }
       for (std::size_t i = 0; i < values.size(); ++i) {
-        values[i] += partial[i];
+        values[i] += (*partial)[i];
       }
     }
   }
-  // Broadcast the sum from rank 0.
-  Message result = co_await bcast(
-      0, Message::of<double>(kBcastTag, {values.data(), values.size()}));
-  co_return result.as<double>();
+  co_return values;
+}
+
+des::Task<StatusOr<std::vector<Message>>> Communicator::gather(
+    int root, Message message) {
+  const int n = size();
+  if (rank_ != root) {
+    message.tag = kGatherTag;
+    co_await send(root, std::move(message));
+    co_return std::vector<Message>{};  // only the root holds the result
+  }
+  std::vector<Message> out(static_cast<std::size_t>(n));
+  message.source = rank_;
+  message.tag = kGatherTag;
+  out[static_cast<std::size_t>(rank_)] = std::move(message);
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    out[static_cast<std::size_t>(r)] = co_await recv(r, kGatherTag);
+  }
+  co_return out;
+}
+
+des::Task<StatusOr<std::vector<Message>>> Communicator::allgather(
+    Message message) {
+  const int n = size();
+  const int tag = message.tag;
+  const std::size_t each = message.payload.size();
+  auto gathered = co_await gather(0, std::move(message));
+  if (!gathered.ok()) co_return gathered.status();
+
+  Message concat;
+  if (rank_ == 0) {
+    bool equal = true;
+    for (const Message& m : *gathered) {
+      equal = equal && m.payload.size() == each;
+    }
+    if (equal) {
+      concat.payload.reserve(each * static_cast<std::size_t>(n));
+      for (const Message& m : *gathered) {
+        concat.payload.insert(concat.payload.end(), m.payload.begin(),
+                              m.payload.end());
+      }
+    } else {
+      // Broadcast a 1-byte sentinel: 1 != each * n on every rank (n == 1
+      // can never mismatch), so the whole world reports the error instead
+      // of a subset hanging.
+      concat.payload.resize(1);
+    }
+  }
+  const Message all = co_await bcast(0, std::move(concat));
+  if (all.payload.size() != each * static_cast<std::size_t>(n)) {
+    co_return InvalidArgument(
+        "allgather: ranks contributed unequal payload sizes");
+  }
+  std::vector<Message> out(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    Message& m = out[static_cast<std::size_t>(r)];
+    m.source = r;
+    m.tag = tag;
+    const auto begin =
+        all.payload.begin() +
+        static_cast<std::ptrdiff_t>(each * static_cast<std::size_t>(r));
+    m.payload.assign(begin, begin + static_cast<std::ptrdiff_t>(each));
+  }
+  co_return out;
+}
+
+des::Task<StatusOr<std::vector<double>>> Communicator::allreduce_sum(
+    std::vector<double> values) {
+  const std::size_t lanes = values.size();
+  auto reduced = co_await reduce_sum(0, std::move(values));
+  if (!reduced.ok()) co_return reduced.status();
+  // Broadcast the sum from rank 0 (non-roots seed an empty message; bcast
+  // overwrites it with the root's payload).
+  Message seed;
+  if (rank_ == 0) {
+    seed = Message::of<double>(kBcastTag, {reduced->data(), reduced->size()});
+  }
+  const Message result = co_await bcast(0, std::move(seed));
+  auto out = result.as<double>();
+  if (!out.ok()) co_return out.status();
+  if (out->size() != lanes) {
+    co_return InvalidArgument("allreduce_sum: root reduced " +
+                              std::to_string(out->size()) +
+                              " lanes, expected " + std::to_string(lanes));
+  }
+  co_return std::move(*out);
 }
 
 }  // namespace vgpu::cluster

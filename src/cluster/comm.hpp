@@ -7,6 +7,8 @@
 //   send / recv (tagged, matched by (source, tag), FIFO per pair)
 //   barrier               (binomial-tree gather + broadcast)
 //   bcast                 (binomial tree from the root)
+//   reduce_sum            (binomial tree to the root)
+//   gather / allgather    (linear gather; allgather = gather + bcast)
 //   allreduce_sum         (reduce-to-root + broadcast)
 //
 // Transfer costs come from the Network model; matching and ordering are
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "cluster/network.hpp"
+#include "common/status.hpp"
 #include "des/channel.hpp"
 
 namespace vgpu::cluster {
@@ -39,9 +42,17 @@ struct Message {
     return m;
   }
 
+  /// Reinterprets the payload as a vector of T. A payload whose size is
+  /// not a multiple of sizeof(T) is a peer-protocol mismatch, not a
+  /// programming error here — it surfaces as kInvalidArgument so callers
+  /// can propagate it instead of aborting.
   template <typename T>
-  std::vector<T> as() const {
-    VGPU_ASSERT(payload.size() % sizeof(T) == 0);
+  StatusOr<std::vector<T>> as() const {
+    if (payload.size() % sizeof(T) != 0) {
+      return InvalidArgument("payload of " + std::to_string(payload.size()) +
+                             " bytes is not a whole number of " +
+                             std::to_string(sizeof(T)) + "-byte elements");
+    }
     std::vector<T> values(payload.size() / sizeof(T));
     std::memcpy(values.data(), payload.data(), payload.size());
     return values;
@@ -50,7 +61,11 @@ struct Message {
 
 class ClusterComm;
 
-/// Per-rank handle. All operations are awaitable DES tasks.
+/// Per-rank handle. All operations are awaitable DES tasks. Collectives
+/// return StatusOr: a rank that detects a peer-protocol mismatch (payload
+/// shape disagreement) reports it locally; matching is wildcard-free, so
+/// the peers of a rank that bailed out simply never see its messages (the
+/// same observable behaviour as a lost rank in MPI).
 class Communicator {
  public:
   int rank() const { return rank_; }
@@ -71,8 +86,28 @@ class Communicator {
   /// copy (the root gets its own back).
   des::Task<Message> bcast(int root, Message message);
 
-  /// Sum-allreduce of a double vector across all ranks.
-  des::Task<std::vector<double>> allreduce_sum(std::vector<double> values);
+  /// Binomial-tree sum-reduce of a double vector to `root`. The root's
+  /// result holds the element-wise sum; every other rank gets an empty
+  /// vector (MPI_Reduce semantics). All ranks must contribute vectors of
+  /// equal length or the receiver reports kInvalidArgument.
+  des::Task<StatusOr<std::vector<double>>> reduce_sum(
+      int root, std::vector<double> values);
+
+  /// Gathers one message per rank at `root`, ordered by rank (the root's
+  /// own contribution included). Linear receive loop — payload sizes may
+  /// differ per rank. Non-root ranks get an empty vector back.
+  des::Task<StatusOr<std::vector<Message>>> gather(int root, Message message);
+
+  /// Every rank contributes one equal-size payload and receives all of
+  /// them, ordered by rank. Built on gather(0) + bcast of the
+  /// concatenation (MPI_Allgather's equal-count contract); unequal
+  /// contributions surface as kInvalidArgument on every rank.
+  des::Task<StatusOr<std::vector<Message>>> allgather(Message message);
+
+  /// Sum-allreduce of a double vector across all ranks: reduce_sum(0) then
+  /// a broadcast of the sums.
+  des::Task<StatusOr<std::vector<double>>> allreduce_sum(
+      std::vector<double> values);
 
  private:
   friend class ClusterComm;

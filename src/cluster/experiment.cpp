@@ -82,9 +82,9 @@ des::Task<> rank_process(des::Simulator& sim, const ClusterConfig& config,
   }
 
   // --- cluster phase: allreduce the tallies ------------------------------
-  const std::vector<double> summed =
-      co_await comm.allreduce_sum(pack(partial));
-  if (rank == 0) reduced = unpack(summed);
+  auto summed = co_await comm.allreduce_sum(pack(partial));
+  VGPU_ASSERT_MSG(summed.ok(), summed.status().to_string().c_str());
+  if (rank == 0) reduced = unpack(*summed);
   done.count_down();
   co_await done.wait();  // hold node resources until every rank finishes
 }

@@ -1,0 +1,247 @@
+#include "cluster/federation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/stats.hpp"
+
+namespace vgpu::cluster {
+
+namespace {
+
+/// Digest tag (lane 0 = outstanding rounds, lane 1 = rank 0's stop flag);
+/// migrating working sets use kMigrateTagBase + client id.
+constexpr int kDigestTag = 0;
+constexpr int kMigrateTagBase = 1 << 20;
+
+/// One node of the federation: its devices and the pool that fronts them.
+struct NodePools {
+  std::vector<std::unique_ptr<gpu::Device>> devices;
+  std::vector<std::unique_ptr<vcuda::Runtime>> runtimes;
+  std::unique_ptr<gvm::DevicePoolGvm> pool;
+};
+
+/// Shared run state the agents, hooks and driver coordinate through
+/// (single-threaded DES: plain members, no locks).
+struct FederationRun {
+  const FederationConfig* config = nullptr;
+  std::vector<NodePools>* nodes = nullptr;
+  ClusterComm* world = nullptr;
+  FederationResult* result = nullptr;
+  std::map<int, int> node_of;    // client -> node currently serving it
+  std::map<int, int> want_node;  // pending cross-node directives
+  bool stopping = false;
+
+  int pending_on(int node) const {
+    int pending = 0;
+    gvm::DevicePoolGvm& pool = *(*nodes)[static_cast<std::size_t>(node)].pool;
+    for (std::size_t d = 0; d < pool.device_count(); ++d) {
+      pending += pool.gvm(d).load().pending;
+    }
+    return pending;
+  }
+};
+
+/// Per-node digest agent: allgather load digests each interval, derive the
+/// (identical) decision everywhere, and — on the busiest node only — direct
+/// one movable client toward the idlest node. Rank 0's stop lane ends every
+/// agent in the same round, so no rank is left parked in a collective.
+des::Task<> digest_agent(des::Simulator& sim, FederationRun& run, int rank) {
+  Communicator comm = run.world->communicator(rank);
+  const int n = comm.size();
+  for (;;) {
+    co_await sim.delay(run.config->digest_interval);
+    std::vector<double> lanes = {
+        static_cast<double>(run.pending_on(rank)),
+        (rank == 0 && run.stopping) ? 1.0 : 0.0,
+    };
+    auto all = co_await comm.allgather(
+        Message::of<double>(kDigestTag, std::span<const double>(lanes)));
+    VGPU_ASSERT_MSG(all.ok(), all.status().to_string().c_str());
+    if (rank == 0) ++run.result->digest_rounds;
+
+    std::vector<double> pending(static_cast<std::size_t>(n));
+    bool stop = false;
+    for (int peer = 0; peer < n; ++peer) {
+      auto peer_lanes = (*all)[static_cast<std::size_t>(peer)].as<double>();
+      VGPU_ASSERT(peer_lanes.ok() && peer_lanes->size() == 2);
+      pending[static_cast<std::size_t>(peer)] = (*peer_lanes)[0];
+      if (peer == 0 && (*peer_lanes)[1] != 0.0) stop = true;
+    }
+    if (stop) break;
+
+    const auto busiest = std::max_element(pending.begin(), pending.end());
+    const auto idlest = std::min_element(pending.begin(), pending.end());
+    const int src = static_cast<int>(busiest - pending.begin());
+    const int dst = static_cast<int>(idlest - pending.begin());
+    if (src == dst || *busiest - *idlest < run.config->migrate_min_gap) {
+      continue;
+    }
+    if (rank != src) continue;  // single writer: the overloaded node
+    gvm::DevicePoolGvm& pool = *(*run.nodes)[static_cast<std::size_t>(src)]
+                                    .pool;
+    for (std::size_t d = 0; d < pool.device_count(); ++d) {
+      const int client = pool.pick_migratable(static_cast<int>(d));
+      if (client >= 0 && run.want_node.find(client) == run.want_node.end()) {
+        run.want_node[client] = dst;
+        break;
+      }
+    }
+  }
+}
+
+/// Round-boundary hook: executes a pending cross-node directive for this
+/// client — export at home, ship the working set over the fabric, adopt at
+/// the destination (bouncing home on refusal).
+des::Task<gvm::DevicePoolGvm*> execute_directive(des::Simulator& sim,
+                                                 FederationRun& run,
+                                                 int client) {
+  auto want = run.want_node.find(client);
+  if (want == run.want_node.end()) co_return nullptr;
+  const int dst = want->second;
+  run.want_node.erase(want);
+  const int src = run.node_of.at(client);
+  if (dst == src) co_return nullptr;
+
+  auto& src_node = (*run.nodes)[static_cast<std::size_t>(src)];
+  auto& dst_node = (*run.nodes)[static_cast<std::size_t>(dst)];
+  auto exported = co_await src_node.pool->export_for_transfer(client);
+  if (!exported.ok()) co_return nullptr;  // mid-round; directive dropped
+
+  // The working set rides the comm fabric as a real tagged payload: the
+  // send charges the source NIC + wire, the matching recv claims it at the
+  // destination — same matching rules as any SPMD message.
+  const int tag = kMigrateTagBase + client;
+  Message carrier;
+  carrier.tag = tag;
+  carrier.payload.resize(static_cast<std::size_t>(exported->working_set()));
+  co_await run.world->communicator(src).send(dst, std::move(carrier));
+  Message landed = co_await run.world->communicator(dst).recv(src, tag);
+  run.result->migrated_bytes += static_cast<Bytes>(landed.payload.size());
+
+  Status adopted = co_await dst_node.pool->adopt(client, *exported);
+  if (!adopted.ok()) {
+    ++run.result->bounced_adoptions;
+    // The export freed the client's footprint at home, so re-adoption
+    // succeeds as soon as any transient pressure clears.
+    for (;;) {
+      Status back = co_await src_node.pool->adopt(client, *exported);
+      if (back.ok()) break;
+      co_await sim.delay(run.config->pool.gvm.poll_interval);
+    }
+    co_return src_node.pool.get();
+  }
+  run.node_of[client] = dst;
+  ++run.result->cross_node_migrations;
+  co_return dst_node.pool.get();
+}
+
+des::Task<> client_process(des::Simulator& sim, FederationRun& run, int id,
+                           const FederatedClientSpec& spec,
+                           des::CountdownLatch& done) {
+  co_await sim.delay(spec.work.arrival);
+  const int home = spec.home_node;
+  run.node_of[id] = home;
+  gvm::PoolClient client(sim, *(*run.nodes)[static_cast<std::size_t>(home)]
+                                  .pool,
+                         id);
+  if (run.config->exchange) {
+    client.set_migrate_hook([&sim, &run](int c) {
+      return execute_directive(sim, run, c);
+    });
+  }
+  for (int s = 0; s < spec.work.sessions; ++s) {
+    if (s > 0) co_await sim.delay(spec.work.think);
+    const SimTime begin = sim.now();
+    co_await client.run_task(spec.work.plan, spec.work.rounds);
+    run.result->session_seconds.push_back(to_seconds(sim.now() - begin));
+    ++run.result->sessions_per_node[static_cast<std::size_t>(
+        run.node_of.at(id))];
+  }
+  done.count_down();
+}
+
+}  // namespace
+
+double FederationResult::p95_seconds() const {
+  if (session_seconds.empty()) return 0.0;
+  return percentile(session_seconds, 0.95);
+}
+
+double FederationResult::mean_seconds() const {
+  if (session_seconds.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : session_seconds) sum += s;
+  return sum / static_cast<double>(session_seconds.size());
+}
+
+FederationResult run_federated(
+    const FederationConfig& config,
+    const std::vector<FederatedClientSpec>& clients) {
+  VGPU_ASSERT(config.nodes >= 1 && config.devices_per_node >= 1);
+  VGPU_ASSERT(!clients.empty());
+  for (const auto& spec : clients) {
+    VGPU_ASSERT(spec.home_node >= 0 && spec.home_node < config.nodes);
+  }
+  VGPU_ASSERT(static_cast<int>(clients.size()) < kMigrateTagBase);
+
+  des::Simulator sim;
+  Network network(sim, config.network, config.nodes);
+  ClusterComm world(sim, network, config.nodes);  // one agent rank per node
+
+  std::vector<NodePools> nodes(static_cast<std::size_t>(config.nodes));
+  for (auto& node : nodes) {
+    std::vector<vcuda::Runtime*> ptrs;
+    for (int d = 0; d < config.devices_per_node; ++d) {
+      node.devices.push_back(std::make_unique<gpu::Device>(sim, config.gpu));
+      node.runtimes.push_back(
+          std::make_unique<vcuda::Runtime>(sim, *node.devices.back()));
+      ptrs.push_back(node.runtimes.back().get());
+    }
+    node.pool =
+        std::make_unique<gvm::DevicePoolGvm>(sim, ptrs, config.pool);
+    node.pool->start();
+  }
+
+  FederationResult result;
+  result.sessions_per_node.assign(static_cast<std::size_t>(config.nodes), 0);
+  FederationRun run;
+  run.config = &config;
+  run.nodes = &nodes;
+  run.world = &world;
+  run.result = &result;
+
+  sim.spawn([](des::Simulator& sim, FederationRun& run,
+               const std::vector<FederatedClientSpec>& clients)
+                -> des::Task<> {
+    for (auto& node : *run.nodes) co_await node.pool->wait_ready();
+    const SimTime t0 = sim.now();
+    if (run.config->exchange) {
+      for (int rank = 0; rank < run.config->nodes; ++rank) {
+        sim.spawn(digest_agent(sim, run, rank));
+      }
+    }
+    des::CountdownLatch done(sim, clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      sim.spawn(client_process(sim, run, static_cast<int>(i), clients[i],
+                               done));
+    }
+    co_await done.wait();
+    run.result->makespan = sim.now() - t0;
+    run.stopping = true;  // rank 0 publishes this in the next digest round
+    for (auto& node : *run.nodes) node.pool->stop();
+  }(sim, run, clients));
+  sim.run();
+
+  result.bytes_on_wire = network.bytes_on_wire();
+  result.messages_on_wire = network.messages_on_wire();
+  for (const auto& node : nodes) {
+    Bytes residual = 0;
+    for (const auto& device : node.devices) residual += device->memory_used();
+    result.residual_node_bytes.push_back(residual);
+  }
+  return result;
+}
+
+}  // namespace vgpu::cluster

@@ -1,0 +1,73 @@
+// Federation of GVM device pools across cluster nodes (the node-scaling
+// direction of the journal extension, Li et al. arXiv:1511.07658).
+//
+// Each node runs one DevicePoolGvm over its local GPUs. A per-node agent
+// rank exchanges fixed-size load digests over cluster::Communicator every
+// digest interval (an allgather, so every node sees the same global view
+// in the same round) and derives the same deterministic rebalance decision:
+// when the busiest node's outstanding-round count exceeds the idlest's by
+// at least `migrate_min_gap`, the busiest node directs one of its clients
+// to the idlest node.
+//
+// The move itself happens at the directed client's next round boundary,
+// inside the client's own coroutine: the source pool exports the client
+// (device state drains to zero there), the working set travels as a real
+// payload over the comm fabric (send + matching recv, charging the wire),
+// and the destination pool adopts it through its own placement + admission
+// path. A refused adoption bounces the client back to its source pool.
+#pragma once
+
+#include <vector>
+
+#include "cluster/comm.hpp"
+#include "gvm/pool.hpp"
+
+namespace vgpu::cluster {
+
+struct FederationConfig {
+  int nodes = 2;
+  int devices_per_node = 1;
+  gpu::DeviceSpec gpu;           // every device in the federation
+  gvm::PoolConfig pool;          // per-node pool configuration
+  NetworkSpec network;
+  /// Load-digest exchange + cross-node migration; off = isolated pools
+  /// (the no-exchange control in the scaling experiment).
+  bool exchange = true;
+  SimDuration digest_interval = milliseconds(1.0);
+  /// Minimum outstanding-rounds gap (busiest - idlest node) before a move.
+  int migrate_min_gap = 2;
+
+  FederationConfig() : gpu(gpu::tesla_c2070()) {}
+};
+
+/// One federated client: a pool workload spec plus the node whose pool it
+/// first attaches to (a skewed population homes everyone on node 0).
+struct FederatedClientSpec {
+  gvm::PoolClientSpec work;
+  int home_node = 0;
+};
+
+struct FederationResult {
+  SimDuration makespan = 0;
+  std::vector<double> session_seconds;  // per-session turnaround, seconds
+  long digest_rounds = 0;          // allgather exchanges completed
+  long cross_node_migrations = 0;  // clients moved between node pools
+  long bounced_adoptions = 0;      // destination refused; client went home
+  Bytes migrated_bytes = 0;        // working-set bytes shipped on the wire
+  Bytes bytes_on_wire = 0;         // total fabric traffic (digests + moves)
+  long messages_on_wire = 0;
+  /// Sessions served per node (where the session's rounds actually ran).
+  std::vector<long> sessions_per_node;
+  /// Post-run drain oracle, per node: device bytes still allocated.
+  std::vector<Bytes> residual_node_bytes;
+
+  double p95_seconds() const;
+  double mean_seconds() const;
+};
+
+/// Runs `clients` against a federation of `config.nodes` pools and
+/// measures per-session turnaround plus migration/wire accounting.
+FederationResult run_federated(const FederationConfig& config,
+                               const std::vector<FederatedClientSpec>& clients);
+
+}  // namespace vgpu::cluster

@@ -496,6 +496,136 @@ des::Task<> Gvm::handle_res(int client) {
 }
 
 // ---------------------------------------------------------------------------
+// Device-pool API
+// ---------------------------------------------------------------------------
+
+sched::DeviceLoad Gvm::load() const {
+  sched::DeviceLoad d;
+  d.clients = static_cast<int>(clients_.size());
+  d.pending = static_cast<int>(scheduler_->pending()) + scheduler_->in_flight();
+  d.free_mem = device_free();
+  d.capacity = runtime_.device().spec().global_mem;
+  for (const auto& [id, state] : clients_) {
+    if (!state.str_pending) continue;
+    d.queued_cost += static_cast<double>(state.plan.bytes_in +
+                                         state.plan.bytes_out);
+  }
+  return d;
+}
+
+bool Gvm::quiescent(int client) const {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return false;
+  const ClientState& state = it->second;
+  return !state.str_pending && (state.suspended || state.stream->idle());
+}
+
+des::Task<StatusOr<MigratedClient>> Gvm::export_client(int client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    co_return NotFound("export of unattached client " +
+                       std::to_string(client));
+  }
+  ClientState& state = it->second;
+  if (state.str_pending || (!state.suspended && !state.stream->idle())) {
+    co_return FailedPrecondition("export of client " + std::to_string(client) +
+                                 " mid-round: drain the round first");
+  }
+  // The suspend machinery is the drain: one D2H sweep snapshots the device
+  // buffers to host and frees the device allocation.
+  if (!state.suspended) co_await suspend_client(state);
+  MigratedClient out;
+  out.plan = std::move(state.plan);
+  out.saved_in = std::move(state.saved_in);
+  out.saved_out = std::move(state.saved_out);
+  out.last_active = state.last_active;
+  clients_.erase(it);
+  scheduler_->on_migrate(client, sim_.now());
+  ++stats_.migrations_out;
+  co_return out;
+}
+
+des::Task<Status> Gvm::import_client(int client, MigratedClient& state) {
+  if (clients_.find(client) != clients_.end()) {
+    co_return AlreadyExists("import of already-attached client " +
+                            std::to_string(client));
+  }
+  const Bytes needed = state.working_set();
+  sched::AdmitDecision decision =
+      admission_.admit(needed, device_free(), victims(client));
+  if (decision.action == sched::AdmitAction::kReject) {
+    co_return ResourceExhausted("import of client " + std::to_string(client) +
+                                " over quota/capacity");
+  }
+  if (decision.action == sched::AdmitAction::kRetry) {
+    co_return Unavailable("target device under memory pressure");
+  }
+  for (int victim : decision.evict) {
+    auto vit = clients_.find(victim);
+    VGPU_ASSERT_MSG(vit != clients_.end(), "evicting unknown client");
+    co_await suspend_client(vit->second);
+    ++stats_.pressure_suspends;
+  }
+
+  ClientState fresh;
+  fresh.plan = std::move(state.plan);
+  // Leaves `state` importable elsewhere when this device cannot take the
+  // client after all.
+  auto bounce = [&](Status why) {
+    state.plan = std::move(fresh.plan);
+    if (fresh.dev_in.valid()) VGPU_ASSERT(context_->free(fresh.dev_in).ok());
+    return why;
+  };
+  fresh.last_active = sim_.now();
+  fresh.stream = &context_->create_stream();
+  if (config_.pinned_staging && needed > 0) {
+    auto staging = runtime_.alloc_pinned(needed);
+    if (!staging.ok()) co_return bounce(staging.status());
+    fresh.staging = std::move(*staging);
+  }
+  // Allocate both buffers before any await so a concurrently-handled REQ
+  // cannot slip between the admission verdict and the allocation.
+  if (fresh.plan.bytes_in > 0) {
+    auto buf = context_->malloc(fresh.plan.bytes_in, fresh.plan.backed);
+    if (!buf.ok()) co_return bounce(Unavailable("import lost an alloc race"));
+    fresh.dev_in = *buf;
+  }
+  if (fresh.plan.bytes_out > 0) {
+    auto buf = context_->malloc(fresh.plan.bytes_out, fresh.plan.backed);
+    if (!buf.ok()) co_return bounce(Unavailable("import lost an alloc race"));
+    fresh.dev_out = *buf;
+  }
+
+  sched::ClientRequest request;
+  request.client = client;
+  request.bytes_in = fresh.plan.bytes_in;
+  request.bytes_out = fresh.plan.bytes_out;
+  for (const auto& k : fresh.plan.kernels) {
+    request.compute_cost += k.total_flops();
+  }
+  request.priority = fresh.plan.priority;
+  request.weight = fresh.plan.weight;
+  scheduler_->admit(request, sim_.now());
+  clients_[client] = std::move(fresh);
+  ClientState& placed = clients_[client];
+
+  // Restore the working-set snapshot with one H2D sweep per buffer.
+  auto restore = [&](vcuda::DeviceBuffer& buf,
+                     std::shared_ptr<std::vector<std::byte>>& saved)
+      -> des::Task<> {
+    if (!buf.valid() || !saved) co_return;
+    placed.stream->memcpy_h2d_async(buf, saved->data(), buf.size,
+                                    config_.pinned_staging);
+    co_await placed.stream->synchronize();
+    saved.reset();
+  };
+  co_await restore(placed.dev_in, state.saved_in);
+  co_await restore(placed.dev_out, state.saved_out);
+  ++stats_.migrations_in;
+  co_return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
 // VGpuClient
 // ---------------------------------------------------------------------------
 

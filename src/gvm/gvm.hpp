@@ -22,6 +22,7 @@
 #include "des/sync.hpp"
 #include "gvm/protocol.hpp"
 #include "sched/admission.hpp"
+#include "sched/placement.hpp"
 #include "sched/scheduler.hpp"
 #include "vcuda/runtime.hpp"
 
@@ -81,6 +82,20 @@ struct GvmStats {
   Bytes bytes_staged_out = 0;
   long pressure_suspends = 0;  // auto-suspends due to memory pressure
   long pressure_resumes = 0;   // transparent resumes before a flush
+  long migrations_out = 0;     // clients exported to another device
+  long migrations_in = 0;      // clients imported from another device
+};
+
+/// A client in flight between two GVMs (cross-device migration): its plan
+/// plus the host-side snapshot of its device buffers. Produced by
+/// Gvm::export_client between rounds, consumed by Gvm::import_client.
+struct MigratedClient {
+  TaskPlan plan;
+  std::shared_ptr<std::vector<std::byte>> saved_in;
+  std::shared_ptr<std::vector<std::byte>> saved_out;
+  SimTime last_active = 0;
+
+  Bytes working_set() const { return plan.bytes_in + plan.bytes_out; }
 };
 
 class Gvm {
@@ -104,6 +119,35 @@ class Gvm {
   /// Pure GPU time spent on behalf of clients (sum of device busy time);
   /// the paper's Figure 10 baseline for overhead measurement.
   SimDuration gpu_time() const;
+
+  // --- device-pool API (DevicePoolGvm / federation) ------------------------
+
+  /// Live load snapshot for the placement layer (`device` left at -1; the
+  /// pool indexes it).
+  sched::DeviceLoad load() const;
+
+  bool has_client(int client) const {
+    return clients_.find(client) != clients_.end();
+  }
+
+  /// True when `client` is between rounds: attached, no buffered STR and
+  /// an idle (or snapshotted) stream — the only state export_client
+  /// accepts.
+  bool quiescent(int client) const;
+
+  /// Drains `client` off this GVM: snapshots its device buffers to host
+  /// (charging the D2H sweep), frees the device allocation and removes the
+  /// client from the scheduler — the source device's memory and scheduler
+  /// state for the client drain to zero. Fails (kFailedPrecondition)
+  /// mid-round; callers migrate at round boundaries.
+  des::Task<StatusOr<MigratedClient>> export_client(int client);
+
+  /// Re-creates an exported client here: admission-checks the footprint,
+  /// allocates stream + buffers and restores the snapshot (charging the
+  /// H2D sweep). kUnavailable under transient memory pressure; on any
+  /// failure `state` is left intact so the caller can re-import elsewhere
+  /// (typically back to the source, whose memory the export just freed).
+  des::Task<Status> import_client(int client, MigratedClient& state);
 
  private:
   friend class VGpuClient;

@@ -1,0 +1,325 @@
+#include "gvm/pool.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace vgpu::gvm {
+
+// ---------------------------------------------------------------------------
+// DevicePoolGvm
+// ---------------------------------------------------------------------------
+
+DevicePoolGvm::DevicePoolGvm(des::Simulator& sim,
+                             const std::vector<vcuda::Runtime*>& runtimes,
+                             PoolConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      placement_(sched::Placement::make(config_.placement)) {
+  VGPU_ASSERT(!runtimes.empty());
+  for (vcuda::Runtime* runtime : runtimes) {
+    gvms_.push_back(std::make_unique<Gvm>(sim, *runtime, config_.gvm));
+  }
+  stats_.per_device_placements.assign(gvms_.size(), 0);
+}
+
+void DevicePoolGvm::start() {
+  for (auto& g : gvms_) g->start();
+  if (config_.rebalance) sim_.spawn(rebalance_loop());
+}
+
+des::Task<> DevicePoolGvm::wait_ready() {
+  for (auto& g : gvms_) co_await g->ready().wait();
+}
+
+int DevicePoolGvm::device_of(int client) const {
+  auto it = device_of_.find(client);
+  return it == device_of_.end() ? -1 : it->second;
+}
+
+int DevicePoolGvm::warm_device(int client) const {
+  auto it = warm_.find(client);
+  return it == warm_.end() ? -1 : it->second;
+}
+
+sched::DeviceLoad DevicePoolGvm::load_of(std::size_t device) const {
+  sched::DeviceLoad d = gvms_[device]->load();
+  d.device = static_cast<int>(device);
+  return d;
+}
+
+des::Task<int> DevicePoolGvm::place(int client, const TaskPlan& plan) {
+  std::vector<sched::DeviceLoad> loads;
+  loads.reserve(gvms_.size());
+  for (std::size_t i = 0; i < gvms_.size(); ++i) loads.push_back(load_of(i));
+
+  sched::PlacementRequest request;
+  request.client = client;
+  request.bytes = plan.bytes_in + plan.bytes_out;
+  for (const auto& k : plan.kernels) request.compute_cost += k.total_flops();
+  request.warm_device = warm_device(client);
+
+  const int device = placement_->choose(request, loads);
+  if (device < 0) co_return -1;
+  ++stats_.placements;
+  ++stats_.per_device_placements[static_cast<std::size_t>(device)];
+  if (request.warm_device >= 0) {
+    ++(device == request.warm_device ? stats_.warm_hits : stats_.cold_moves);
+  }
+  std::set<int>& replicas = installed_[client];
+  if (replicas.insert(device).second) {
+    ++stats_.installs;
+    if (config_.model_installs && plan.bytes_in > 0) {
+      co_await sim_.delay(transfer_time(plan.bytes_in, config_.install_bw));
+    }
+  }
+  device_of_[client] = device;
+  warm_[client] = device;
+  co_return device;
+}
+
+int DevicePoolGvm::pick_migratable(int device) const {
+  for (const auto& [client, dev] : device_of_) {
+    if (dev != device) continue;
+    if (want_migrate_.find(client) != want_migrate_.end()) continue;
+    if (!gvms_[static_cast<std::size_t>(device)]->has_client(client)) continue;
+    return client;
+  }
+  return -1;
+}
+
+des::Task<bool> DevicePoolGvm::checkpoint(int client) {
+  auto want = want_migrate_.find(client);
+  if (want == want_migrate_.end()) co_return false;
+  const int dst = want->second;
+  want_migrate_.erase(want);
+  const int src = device_of(client);
+  if (src < 0 || dst < 0 || dst == src ||
+      dst >= static_cast<int>(gvms_.size())) {
+    ++stats_.failed_migrations;
+    co_return false;
+  }
+  co_return co_await migrate(client, src, dst);
+}
+
+des::Task<bool> DevicePoolGvm::migrate(int client, int src, int dst) {
+  auto exported =
+      co_await gvms_[static_cast<std::size_t>(src)]->export_client(client);
+  if (!exported.ok()) {
+    ++stats_.failed_migrations;
+    co_return false;
+  }
+  const Bytes moved = exported->working_set();
+  Status imported =
+      co_await gvms_[static_cast<std::size_t>(dst)]->import_client(client,
+                                                                   *exported);
+  if (!imported.ok()) {
+    // Bounce back: the export just freed the source's memory, so the
+    // re-import fits — modulo a REQ admitted in the window, in which case
+    // poll like any backpressured client until rounds complete.
+    ++stats_.bounced_migrations;
+    for (;;) {
+      Status back = co_await gvms_[static_cast<std::size_t>(src)]
+                        ->import_client(client, *exported);
+      if (back.ok()) break;
+      co_await sim_.delay(config_.gvm.poll_interval);
+    }
+    co_return false;
+  }
+  device_of_[client] = dst;
+  warm_[client] = dst;
+  installed_[client].insert(dst);  // the move staged the working set
+  ++stats_.migrations;
+  stats_.migrated_bytes += moved;
+  co_return true;
+}
+
+des::Task<StatusOr<MigratedClient>> DevicePoolGvm::export_for_transfer(
+    int client) {
+  const int src = device_of(client);
+  if (src < 0) {
+    co_return NotFound("client " + std::to_string(client) +
+                       " is not placed in this pool");
+  }
+  auto exported =
+      co_await gvms_[static_cast<std::size_t>(src)]->export_client(client);
+  if (exported.ok()) {
+    device_of_.erase(client);
+    want_migrate_.erase(client);
+  }
+  co_return exported;
+}
+
+des::Task<Status> DevicePoolGvm::adopt(int client, MigratedClient& state) {
+  co_await place(client, state.plan);
+  const int device = device_of(client);
+  if (device < 0) co_return ResourceExhausted("empty pool");
+  Status imported =
+      co_await gvms_[static_cast<std::size_t>(device)]->import_client(client,
+                                                                      state);
+  if (!imported.ok()) device_of_.erase(client);
+  co_return imported;
+}
+
+des::Task<> DevicePoolGvm::rebalance_loop() {
+  while (!stopping_) {
+    co_await sim_.delay(config_.rebalance_interval);
+    if (stopping_) break;
+    ++stats_.rebalance_checks;
+    int busiest = -1, idlest = -1;
+    int busiest_pending = -1, idlest_pending = 0;
+    for (std::size_t i = 0; i < gvms_.size(); ++i) {
+      const int pending = load_of(i).pending;
+      if (pending > busiest_pending) {
+        busiest_pending = pending;
+        busiest = static_cast<int>(i);
+      }
+      if (idlest < 0 || pending < idlest_pending) {
+        idlest_pending = pending;
+        idlest = static_cast<int>(i);
+      }
+    }
+    if (busiest < 0 || idlest < 0 || busiest == idlest) continue;
+    if (busiest_pending - idlest_pending < config_.rebalance_min_gap) continue;
+    const int client = pick_migratable(busiest);
+    if (client >= 0) direct(client, idlest);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PoolClient
+// ---------------------------------------------------------------------------
+
+PoolClient::PoolClient(des::Simulator& sim, DevicePoolGvm& pool, int id)
+    : sim_(sim), pool_(&pool), id_(id) {}
+
+void PoolClient::rebind() {
+  if (vc_) waits_ += vc_->waits_observed();
+  const int device = pool_->device_of(id_);
+  VGPU_ASSERT_MSG(device >= 0, "rebind of an unplaced client");
+  vc_ = std::make_unique<VGpuClient>(
+      sim_, pool_->gvm(static_cast<std::size_t>(device)), id_);
+}
+
+long PoolClient::waits_observed() const {
+  return waits_ + (vc_ ? vc_->waits_observed() : 0);
+}
+
+des::Task<Status> PoolClient::req(TaskPlan plan) {
+  const int device = co_await pool_->place(id_, plan);
+  if (device < 0) co_return ResourceExhausted("empty device pool");
+  rebind();
+  const Status admitted = co_await vc_->req(std::move(plan));
+  if (!admitted.ok()) pool_->forget(id_);
+  co_return admitted;
+}
+
+des::Task<> PoolClient::round() {
+  if (hook_) {
+    DevicePoolGvm* moved = co_await hook_(id_);
+    // Non-null means the client was re-placed — possibly onto a different
+    // device of the same pool (a bounced adoption) — so always rebind.
+    if (moved != nullptr) {
+      pool_ = moved;
+      rebind();
+    }
+  }
+  if (co_await pool_->checkpoint(id_)) rebind();
+  co_await vc_->snd();
+  co_await vc_->str();
+  co_await vc_->wait_done();
+  co_await vc_->rcv();
+}
+
+des::Task<> PoolClient::rls() {
+  co_await vc_->rls();
+  pool_->on_release(id_);
+}
+
+des::Task<> PoolClient::run_task(TaskPlan plan, int rounds) {
+  VGPU_ASSERT(rounds >= 1);
+  const Status admitted = co_await req(std::move(plan));
+  VGPU_ASSERT_MSG(admitted.ok(), admitted.to_string().c_str());
+  for (int r = 0; r < rounds; ++r) co_await round();
+  co_await rls();
+}
+
+// ---------------------------------------------------------------------------
+// run_pool
+// ---------------------------------------------------------------------------
+
+double PoolRunResult::p95_seconds() const {
+  if (session_seconds.empty()) return 0.0;
+  return percentile(session_seconds, 0.95);
+}
+
+double PoolRunResult::mean_seconds() const {
+  if (session_seconds.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : session_seconds) sum += s;
+  return sum / static_cast<double>(session_seconds.size());
+}
+
+PoolRunResult run_pool(const std::vector<gpu::DeviceSpec>& specs,
+                       PoolConfig config,
+                       const std::vector<PoolClientSpec>& clients) {
+  VGPU_ASSERT(!specs.empty() && !clients.empty());
+  des::Simulator sim;
+  std::vector<std::unique_ptr<gpu::Device>> devices;
+  std::vector<std::unique_ptr<vcuda::Runtime>> runtimes;
+  std::vector<vcuda::Runtime*> runtime_ptrs;
+  for (const gpu::DeviceSpec& spec : specs) {
+    devices.push_back(std::make_unique<gpu::Device>(sim, spec));
+    runtimes.push_back(std::make_unique<vcuda::Runtime>(sim, *devices.back()));
+    runtime_ptrs.push_back(runtimes.back().get());
+  }
+  DevicePoolGvm pool(sim, runtime_ptrs, std::move(config));
+  pool.start();
+
+  PoolRunResult result;
+  sim.spawn([](des::Simulator& sim, DevicePoolGvm& pool,
+               const std::vector<PoolClientSpec>& clients,
+               PoolRunResult& out) -> des::Task<> {
+    co_await pool.wait_ready();
+    const SimTime t0 = sim.now();
+    des::CountdownLatch done(sim, clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      sim.spawn([](des::Simulator& sim, DevicePoolGvm& pool, int id,
+                   const PoolClientSpec& spec, PoolRunResult& out,
+                   des::CountdownLatch& done) -> des::Task<> {
+        co_await sim.delay(spec.arrival);
+        PoolClient client(sim, pool, id);
+        for (int s = 0; s < spec.sessions; ++s) {
+          if (s > 0) co_await sim.delay(spec.think);
+          const SimTime begin = sim.now();
+          co_await client.run_task(spec.plan, spec.rounds);
+          out.session_seconds.push_back(to_seconds(sim.now() - begin));
+        }
+        out.client_waits += client.waits_observed();
+        done.count_down();
+      }(sim, pool, static_cast<int>(i), clients[i], out, done));
+    }
+    co_await done.wait();
+    out.makespan = sim.now() - t0;
+    pool.stop();
+  }(sim, pool, clients, result));
+  sim.run();
+
+  result.pool = pool.stats();
+  for (std::size_t i = 0; i < pool.device_count(); ++i) {
+    const GvmStats& s = pool.gvm(i).stats();
+    result.gvm.requests += s.requests;
+    result.gvm.flushes += s.flushes;
+    result.gvm.waits_sent += s.waits_sent;
+    result.gvm.bytes_staged_in += s.bytes_staged_in;
+    result.gvm.bytes_staged_out += s.bytes_staged_out;
+    result.gvm.migrations_out += s.migrations_out;
+    result.gvm.migrations_in += s.migrations_in;
+    result.sched_migrated += pool.gvm(i).scheduler().stats().migrated;
+    result.residual_device_bytes.push_back(devices[i]->memory_used());
+    result.residual_sched_clients.push_back(pool.gvm(i).scheduler().clients());
+  }
+  return result;
+}
+
+}  // namespace vgpu::gvm

@@ -1,0 +1,222 @@
+// Device-pool GVM: N modeled GPUs behind one admission/scheduling front
+// door — the multi-GPU generalization the journal extension of the source
+// paper (Li et al., arXiv:1511.07658) builds toward.
+//
+// Three pieces on top of the per-device Gvm:
+//
+//   * a placement layer (src/sched/placement.hpp): at REQ time the pool
+//     snapshots live per-device load (outstanding rounds, attached
+//     clients, free memory) and asks the configured policy — static /
+//     pack / spread / locality — for a device;
+//
+//   * a node-level router: clients hold a PoolClient instead of a raw
+//     VGpuClient; every verb resolves through the pool's client→device
+//     map, so a client can move between devices mid-workload and never
+//     notices (replaces MultiGvm::gvm_for's static modulo);
+//
+//   * cross-device migration: Gvm::export_client drains a client between
+//     rounds (D2H snapshot, device memory and scheduler state drop to
+//     zero on the source), Gvm::import_client restores it on the target
+//     (H2D sweep). The pool's rebalancer directs moves from the busiest
+//     to the idlest device; the move itself executes at the client's next
+//     round boundary, so no in-flight round is ever split.
+//
+// The pool also models per-(client, device) dataset replicas: the first
+// session a client runs on a device pays a one-time install (staging its
+// partition), later sessions on the same device reuse the replica. This is
+// the residency signal the locality policy trades against load balance.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gvm/experiment.hpp"
+#include "gvm/gvm.hpp"
+#include "sched/placement.hpp"
+
+namespace vgpu::gvm {
+
+struct PoolConfig {
+  /// Per-device GVM configuration. The default width-1 barrier flushes
+  /// every STR immediately — the right default for heterogeneous pool
+  /// populations (a strict SPMD cohort should use MultiGvm or kStatic
+  /// placement with per-device widths).
+  GvmConfig gvm;
+
+  sched::PlacementConfig placement;
+
+  /// One-time dataset install: staging a client's input partition onto a
+  /// device that has never served it (host -> device-local staging).
+  bool model_installs = true;
+  BytesPerSecond install_bw = gb_per_s(8.0);
+
+  /// Pool-initiated rebalancing: periodically direct one quiescent client
+  /// from the busiest device to the idlest (executed at the client's next
+  /// round boundary through the migration path).
+  bool rebalance = false;
+  SimDuration rebalance_interval = milliseconds(2.0);
+  /// Minimum outstanding-rounds gap (busiest - idlest) before a move.
+  int rebalance_min_gap = 2;
+};
+
+struct PoolStats {
+  long placements = 0;
+  long warm_hits = 0;      // returning client landed on its warm device
+  long cold_moves = 0;     // returning client landed elsewhere
+  long installs = 0;       // dataset replicas staged (one-time per pair)
+  long migrations = 0;     // completed cross-device moves
+  long bounced_migrations = 0;  // import refused; client returned to source
+  long failed_migrations = 0;   // directive dropped (client mid-round/gone)
+  long rebalance_checks = 0;
+  Bytes migrated_bytes = 0;  // working-set bytes moved between devices
+  std::vector<long> per_device_placements;
+};
+
+class DevicePoolGvm {
+ public:
+  DevicePoolGvm(des::Simulator& sim,
+                const std::vector<vcuda::Runtime*>& runtimes,
+                PoolConfig config);
+
+  /// Starts every device GVM (and the rebalancer, when configured).
+  void start();
+  /// Stops the rebalancer loop so the simulation can drain.
+  void stop() { stopping_ = true; }
+
+  des::Task<> wait_ready();
+
+  std::size_t device_count() const { return gvms_.size(); }
+  Gvm& gvm(std::size_t i) { return *gvms_[i]; }
+  const PoolStats& stats() const { return stats_; }
+  const PoolConfig& config() const { return config_; }
+  const sched::Placement& placement() const { return *placement_; }
+
+  /// The device currently serving `client`; -1 when unplaced.
+  int device_of(int client) const;
+  /// The device holding `client`'s warm dataset replica; -1 when cold.
+  int warm_device(int client) const;
+
+  /// Chooses a device for `client` + `plan` (placement policy over live
+  /// load), records the routing and charges the one-time dataset install
+  /// when the device is cold for this client. Returns the device index,
+  /// or -1 when the pool is empty.
+  des::Task<int> place(int client, const TaskPlan& plan);
+
+  /// Directs `client` to `device` at its next round boundary (the
+  /// PoolClient checkpoint executes it). Idempotent; a directive to the
+  /// client's current device is dropped at the checkpoint.
+  void direct(int client, int device) { want_migrate_[client] = device; }
+
+  /// Round-boundary checkpoint: executes a pending migration directive.
+  /// Returns true when the client moved (callers rebind their per-device
+  /// handle).
+  des::Task<bool> checkpoint(int client);
+
+  /// Deterministically picks a movable client on `device` (lowest id,
+  /// attached, not already directed); -1 when none. The move itself
+  /// executes at the client's next round boundary, where it is quiescent
+  /// by construction.
+  int pick_migratable(int device) const;
+
+  /// Cross-pool hand-off (federation): export `client` entirely out of
+  /// this pool (its routing forgets it) / adopt an exported client into
+  /// this pool through placement + import.
+  des::Task<StatusOr<MigratedClient>> export_for_transfer(int client);
+  des::Task<Status> adopt(int client, MigratedClient& state);
+
+  /// Routing bookkeeping called by PoolClient.
+  void on_release(int client) { device_of_.erase(client); }
+  void forget(int client) { device_of_.erase(client); }
+
+ private:
+  des::Task<> rebalance_loop();
+  des::Task<bool> migrate(int client, int src, int dst);
+  sched::DeviceLoad load_of(std::size_t device) const;
+
+  des::Simulator& sim_;
+  PoolConfig config_;
+  std::vector<std::unique_ptr<Gvm>> gvms_;
+  std::unique_ptr<sched::Placement> placement_;
+  std::map<int, int> device_of_;   // current routing
+  std::map<int, int> warm_;        // last device serving the client
+  std::map<int, std::set<int>> installed_;  // dataset replicas per client
+  std::map<int, int> want_migrate_;         // pending directives
+  bool stopping_ = false;
+  PoolStats stats_;
+};
+
+/// The router-aware client: drives the GVM protocol like VGpuClient but
+/// resolves its device through the pool on every (re)bind, so placement
+/// decisions and cross-device migrations are transparent to the workload.
+class PoolClient {
+ public:
+  /// Federation hook, run at every round boundary before the pool's own
+  /// checkpoint: returns the pool now serving the client whenever the
+  /// client was re-placed (even back into the same pool after a bounced
+  /// adoption — the device may differ), or nullptr for "unchanged".
+  using MigrateHook = std::function<des::Task<DevicePoolGvm*>(int client)>;
+
+  PoolClient(des::Simulator& sim, DevicePoolGvm& pool, int id);
+
+  int id() const { return id_; }
+  DevicePoolGvm& pool() { return *pool_; }
+  void set_migrate_hook(MigrateHook hook) { hook_ = std::move(hook); }
+
+  /// Placement + REQ on the chosen device.
+  des::Task<Status> req(TaskPlan plan);
+  /// One round: migration checkpoint, then SND / STR / STP... / RCV.
+  des::Task<> round();
+  des::Task<> rls();
+  /// Convenience: req + `rounds` x round() + rls.
+  des::Task<> run_task(TaskPlan plan, int rounds);
+
+  long waits_observed() const;
+
+ private:
+  void rebind();
+
+  des::Simulator& sim_;
+  DevicePoolGvm* pool_;
+  int id_;
+  long waits_ = 0;
+  MigrateHook hook_;
+  std::unique_ptr<VGpuClient> vc_;
+};
+
+/// One client of a pool workload: sessions of `rounds` rounds separated by
+/// think time — the re-attach pattern that gives the locality policy its
+/// signal.
+struct PoolClientSpec {
+  TaskPlan plan;
+  int rounds = 1;
+  int sessions = 1;
+  SimDuration arrival = 0;
+  SimDuration think = 0;
+};
+
+struct PoolRunResult {
+  SimDuration makespan = 0;
+  /// Per-session turnaround (req -> rls), seconds.
+  std::vector<double> session_seconds;
+  PoolStats pool;
+  GvmStats gvm;          // summed over devices
+  long sched_migrated = 0;  // summed Scheduler::stats().migrated
+  long client_waits = 0;
+  /// Post-run drain oracle: device memory still allocated and scheduler
+  /// clients still registered, per device (all zero after a clean run).
+  std::vector<Bytes> residual_device_bytes;
+  std::vector<std::size_t> residual_sched_clients;
+
+  double p95_seconds() const;
+  double mean_seconds() const;
+};
+
+/// Runs a heterogeneous client population against a device pool (one
+/// simulated device per spec) and measures per-session turnaround.
+PoolRunResult run_pool(const std::vector<gpu::DeviceSpec>& specs,
+                       PoolConfig config,
+                       const std::vector<PoolClientSpec>& clients);
+
+}  // namespace vgpu::gvm

@@ -36,6 +36,8 @@ const char* phase_name(Phase phase) {
       return "graph";
     case Phase::kGraphNode:
       return "graph_node";
+    case Phase::kMigration:
+      return "migration";
     case Phase::kCount:
       break;
   }
@@ -70,6 +72,8 @@ const char* phase_category(Phase phase) {
       return "gvm";
     case Phase::kGraphNode:
       return "exec";
+    case Phase::kMigration:
+      return "gvm";
     case Phase::kCount:
       break;
   }

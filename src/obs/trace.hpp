@@ -53,6 +53,7 @@ enum class Phase : std::uint8_t {
   kPageOut,        // vmem pager eviction spill (aux = pages spilled)
   kGraph,          // one cached-graph replay (aux = node count)
   kGraphNode,      // one graph node / fused chain (aux = kernel id, -1 copy)
+  kMigration,      // cross-device client move (aux = destination device)
   kCount,
 };
 

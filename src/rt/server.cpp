@@ -47,9 +47,13 @@ sched::AdmissionConfig admission_config(const RtServerConfig& config) {
     const Bytes device = config.vmem.device_capacity > 0
                              ? config.vmem.device_capacity
                              : config.total_capacity;
+    // With several memory domains the virtual budget scales with the
+    // domain count; the pin bound stays per-device (one working set must
+    // fit one device regardless of how many exist).
+    const Bytes domains = std::max(1, config.vmem.devices);
     ac.paged = true;
     ac.pin_limit = device;
-    ac.capacity = device > 0 ? device + config.vmem.host_ledger
+    ac.capacity = device > 0 ? domains * (device + config.vmem.host_ledger)
                              : std::numeric_limits<Bytes>::max();
   }
   ac.per_client_quota = config.per_client_quota;
@@ -158,10 +162,45 @@ Bytes RtServer::device_capacity() const {
 
 Bytes RtServer::admission_capacity() const {
   if (config_.vmem.enabled && device_capacity() > 0) {
-    return device_capacity() + config_.vmem.host_ledger;
+    return static_cast<Bytes>(std::max(1, config_.vmem.devices)) *
+           (device_capacity() + config_.vmem.host_ledger);
   }
   return config_.total_capacity > 0 ? config_.total_capacity
                                     : std::numeric_limits<Bytes>::max();
+}
+
+int RtServer::place_domain(int client_id, Bytes bytes) {
+  std::size_t chosen = 0;
+  if (pagers_.size() > 1) {
+    // Live per-domain snapshot: attached clients double as the pending
+    // signal (the serve loop has no per-domain round queue), free memory
+    // is frames not currently resident.
+    std::vector<sched::DeviceLoad> loads;
+    loads.reserve(pagers_.size());
+    for (std::size_t d = 0; d < pagers_.size(); ++d) {
+      sched::DeviceLoad load;
+      load.device = static_cast<int>(d);
+      load.clients = static_cast<int>(domain_clients_[d]);
+      load.pending = static_cast<int>(domain_clients_[d]);
+      load.capacity = device_capacity();
+      load.free_mem =
+          std::max<Bytes>(0, load.capacity - pagers_[d]->resident_bytes());
+      loads.push_back(load);
+    }
+    sched::PlacementRequest request;
+    request.client = client_id;
+    request.bytes = bytes;
+    const auto warm = warm_domain_.find(client_id);
+    request.warm_device = warm != warm_domain_.end() ? warm->second : -1;
+    const int device = placement_->choose(request, loads);
+    if (device >= 0) chosen = static_cast<std::size_t>(device);
+  }
+  if (chosen < domain_clients_.size()) {
+    ++domain_clients_[chosen];
+    ++domain_placements_[chosen];
+  }
+  warm_domain_[client_id] = static_cast<int>(chosen);
+  return static_cast<int>(chosen);
 }
 
 RtServer::~RtServer() { stop(); }
@@ -221,7 +260,14 @@ Status RtServer::start() {
     pc.device_capacity = device_capacity();
     pc.host_ledger_capacity = config_.vmem.host_ledger;
     pc.prefetch_window = config_.vmem.prefetch_window;
-    pager_ = std::make_unique<vmem::Pager>(pc, config_.fault, &obs_.tracer());
+    const int domains = std::max(1, config_.vmem.devices);
+    for (int d = 0; d < domains; ++d) {
+      pagers_.push_back(
+          std::make_unique<vmem::Pager>(pc, config_.fault, &obs_.tracer()));
+    }
+    placement_ = sched::Placement::make(config_.placement);
+    domain_clients_.assign(static_cast<std::size_t>(domains), 0);
+    domain_placements_.assign(static_cast<std::size_t>(domains), 0);
   }
   start_time_ = std::chrono::steady_clock::now();
   // Span timestamps and scheduler timestamps share one zero point.
@@ -369,11 +415,59 @@ void RtServer::export_obs() {
   set("admission.rejected", as.rejected);
   set("admission.backpressured", as.backpressured);
   set("admission.evictions", as.evictions);
-  if (pager_ != nullptr) {
+  if (paging()) {
     // The oversubscription promise: paged admission never names victims,
     // so anything nonzero here means a whole client lost its memory.
     set("vmem.evictions_whole_client", as.evictions);
-    pager_->export_metrics(reg);
+    if (pagers_.size() == 1) {
+      pagers_.front()->export_metrics(reg);
+    } else {
+      // Multi-domain: pooled vmem.* aggregates (so the single-device
+      // dashboards and gates keep working) plus the per-device labels.
+      vmem::PagerCounters sum;
+      Bytes resident = 0, ledger = 0;
+      for (std::size_t d = 0; d < pagers_.size(); ++d) {
+        const vmem::PagerCounters& c = pagers_[d]->counters();
+        sum.faults += c.faults;
+        sum.page_ins += c.page_ins;
+        sum.page_outs += c.page_outs;
+        sum.evicted_pages += c.evicted_pages;
+        sum.clean_drops += c.clean_drops;
+        sum.prefetch_issued += c.prefetch_issued;
+        sum.prefetch_hits += c.prefetch_hits;
+        sum.pin_shortfalls += c.pin_shortfalls;
+        sum.host_restores += c.host_restores;
+        sum.frame_alloc_failures += c.frame_alloc_failures;
+        sum.handoffs_out += c.handoffs_out;
+        sum.handoffs_in += c.handoffs_in;
+        sum.bytes_handed_off += c.bytes_handed_off;
+        resident += pagers_[d]->resident_bytes();
+        ledger += pagers_[d]->ledger_bytes();
+        const std::string dev = "device" + std::to_string(d);
+        pagers_[d]->export_metrics(reg, "vmem." + dev + ".",
+                                   "gpu." + dev + ".mem.");
+        reg.counter("rt." + dev + ".placements")
+            ->set(domain_placements_[d]);
+        reg.gauge("rt." + dev + ".clients")
+            ->set(static_cast<double>(domain_clients_[d]));
+      }
+      reg.counter("vmem.faults")->set(sum.faults);
+      reg.counter("vmem.page_ins")->set(sum.page_ins);
+      reg.counter("vmem.page_outs")->set(sum.page_outs);
+      reg.counter("vmem.evictions_pages")->set(sum.evicted_pages);
+      reg.counter("vmem.clean_drops")->set(sum.clean_drops);
+      reg.counter("vmem.prefetch_issued")->set(sum.prefetch_issued);
+      reg.counter("vmem.prefetch_hits")->set(sum.prefetch_hits);
+      reg.counter("vmem.pin_shortfalls")->set(sum.pin_shortfalls);
+      reg.counter("vmem.host_restores")->set(sum.host_restores);
+      reg.counter("vmem.frame_alloc_failures")
+          ->set(sum.frame_alloc_failures);
+      reg.counter("vmem.handoffs_out")->set(sum.handoffs_out);
+      reg.counter("vmem.handoffs_in")->set(sum.handoffs_in);
+      reg.counter("vmem.bytes_handed_off")->set(sum.bytes_handed_off);
+      reg.gauge("vmem.resident_bytes")->set(static_cast<double>(resident));
+      reg.gauge("vmem.ledger_bytes")->set(static_cast<double>(ledger));
+    }
   }
   set("obs.spans_dropped", obs_.tracer().dropped());
   if (config_.fault != nullptr) config_.fault->export_metrics(reg);
@@ -518,15 +612,16 @@ void RtServer::drain_completions() {
     pending_completions_.store(0, std::memory_order_release);
   }
   for (int id : done_batch_) {
+    auto it = id_slots_.find(id);
+    ClientState* client =
+        it != id_slots_.end() ? sessions_.at(it->second) : nullptr;
     // The working set stays pinned for exactly the kernel's lifetime;
-    // after this the clock may spill it for the next grant's pins.
-    if (pager_ != nullptr) pager_->unpin(id);
+    // after this the clock may spill it for the next grant's pins. (A
+    // session already destroyed mid-job released its pages on that path.)
+    if (paging() && client != nullptr) pager_of(*client)->unpin(id);
     scheduler_->on_complete(id, rt_now());
     // A doomed session was only waiting for this job to drain; reclaim it
     // now instead of on the next lease sweep.
-    auto it = id_slots_.find(id);
-    if (it == id_slots_.end()) continue;
-    ClientState* client = sessions_.at(it->second);
     if (client == nullptr) continue;
     if (client->doomed &&
         client->job_done->load(std::memory_order_acquire)) {
@@ -542,9 +637,9 @@ void RtServer::drain_completions() {
       client->graph_ack_deferred = false;
       if (!client->released &&
           client->last_seq == client->graph_launch_seq) {
-        if (pager_ != nullptr && client->alloc_out != 0) {
-          (void)pager_->ensure_readable(client->alloc_out);
-          pager_->touch(client->alloc_out);
+        if (paging() && client->alloc_out != 0) {
+          (void)pager_of(*client)->ensure_readable(client->alloc_out);
+          pager_of(*client)->touch(client->alloc_out);
         }
         respond(*client,
                 client->job_failed->load(std::memory_order_acquire)
@@ -726,15 +821,19 @@ void RtServer::return_quota(ClientState& client, bool count_reclaimed) {
     client.admitted_bytes = 0;
   }
   backpressure_counts_.erase(client.id);
-  if (pager_ != nullptr && (client.alloc_in != 0 || client.alloc_out != 0)) {
+  if (paging() && (client.alloc_in != 0 || client.alloc_out != 0)) {
     // Page frames and ledger slots ride the same exit as the quota bytes:
     // whichever path retired the client (RLS, lease expiry, or re-attach
     // replacement) frees its memory for the survivors in one place.
     // unpin tolerates a teardown mid-grant.
-    pager_->unpin(client.id);
-    (void)pager_->release_client(client.id);
+    pager_of(client)->unpin(client.id);
+    (void)pager_of(client)->release_client(client.id);
     client.alloc_in = 0;
     client.alloc_out = 0;
+    const auto domain = static_cast<std::size_t>(client.device);
+    if (domain < domain_clients_.size() && domain_clients_[domain] > 0) {
+      --domain_clients_[domain];
+    }
     scheduler_->set_residency(client.id, false);
   }
 }
@@ -910,11 +1009,11 @@ void RtServer::handle(const RtRequest& request) {
   client.has_last_response = false;
   switch (request.op) {
     case RtOp::kSnd: {
-      if (pager_ != nullptr && client.alloc_in != 0) {
+      if (paging() && client.alloc_in != 0) {
         // The client rewrote its input area: write-allocate — any ledger
         // copy of those pages is stale and must not be restored over the
         // fresh bytes.
-        pager_->host_write(client.alloc_in);
+        pager_of(client)->host_write(client.alloc_in);
       }
       if (config_.data_plane == DataPlane::kStaged &&
           config_.exec == ExecMode::kSerial) {
@@ -965,11 +1064,11 @@ void RtServer::handle(const RtRequest& request) {
         respond(client, RtAck::kError);
         break;
       }
-      if (pager_ != nullptr && client.alloc_out != 0) {
+      if (paging() && client.alloc_out != 0) {
         // The client reads its result next; make sure nothing the pager
         // spilled (and the test-only scrub mode poisoned) is still stale.
-        (void)pager_->ensure_readable(client.alloc_out);
-        pager_->touch(client.alloc_out);
+        (void)pager_of(client)->ensure_readable(client.alloc_out);
+        pager_of(client)->touch(client.alloc_out);
       }
       if (config_.data_plane == DataPlane::kStaged &&
           config_.exec == ExecMode::kSerial && !client.last_job_graph) {
@@ -987,9 +1086,9 @@ void RtServer::handle(const RtRequest& request) {
       break;
     }
     case RtOp::kRcv: {
-      if (pager_ != nullptr && client.alloc_out != 0) {
+      if (paging() && client.alloc_out != 0) {
         // Zero-copy clients read the vsm output area after this ack.
-        (void)pager_->ensure_readable(client.alloc_out);
+        (void)pager_of(client)->ensure_readable(client.alloc_out);
       }
       respond(client, RtAck::kAck);
       break;
@@ -1111,9 +1210,9 @@ void RtServer::handle_launch_graph(const RtRequest& request,
     // answers it. Re-enqueueing would corrupt the scheduler.
     return;
   }
-  if (pager_ != nullptr && client.alloc_in != 0) {
+  if (paging() && client.alloc_in != 0) {
     // The client rewrote its inputs before firing the iteration.
-    pager_->host_write(client.alloc_in);
+    pager_of(client)->host_write(client.alloc_in);
   }
   client.graph_pending = request.kernel_id;
   std::memcpy(client.graph_params, request.params,
@@ -1389,10 +1488,14 @@ void RtServer::handle_req(const RtRequest& request) {
   sreq.priority = request.priority;
   scheduler_->admit(sreq, rt_now());
 
-  if (pager_ != nullptr) {
-    // Register the job's backing with the pager: the staging buffers in
-    // staged mode, the region's data areas in zero-copy mode. Pages are
-    // born host-side; the grant path faults them in and pins them.
+  if (paging()) {
+    // Route the session to a memory domain first (placement over live
+    // per-domain load), then register the job's backing with that
+    // domain's pager: the staging buffers in staged mode, the region's
+    // data areas in zero-copy mode. Pages are born host-side; the grant
+    // path faults them in and pins them.
+    client.device =
+        place_domain(client.id, client.bytes_in + client.bytes_out);
     std::byte* in_base = config_.data_plane == DataPlane::kStaged
                              ? client.staging_in.data()
                              : client.input_area().data();
@@ -1400,10 +1503,12 @@ void RtServer::handle_req(const RtRequest& request) {
                               ? client.staging_out.data()
                               : client.output_area().data();
     if (client.bytes_in > 0) {
-      client.alloc_in = pager_->bind(client.id, in_base, client.bytes_in);
+      client.alloc_in =
+          pager_of(client)->bind(client.id, in_base, client.bytes_in);
     }
     if (client.bytes_out > 0) {
-      client.alloc_out = pager_->bind(client.id, out_base, client.bytes_out);
+      client.alloc_out =
+          pager_of(client)->bind(client.id, out_base, client.bytes_out);
     }
   }
   ipc::TransportKind selected = ipc::TransportKind::kMessageQueue;
@@ -1485,13 +1590,13 @@ void RtServer::pump() {
         barrier_begin = std::min(barrier_begin, state->str_begin);
         state->str_begin = obs::kSpanDisabled;
       }
-      if (pager_ != nullptr) {
+      if (paging()) {
         // Grant-time residency: fault and pin the working set before
         // launch so the kernel never pages mid-run; cold pages of other
         // clients spill to the host ledger to make room. A shortfall
         // (ledger exhausted) still runs — backing bytes stay valid — and
         // is counted, not deadlocked on.
-        const bool resident = pager_->pin_working_set(id);
+        const bool resident = pager_of(*state)->pin_working_set(id);
         scheduler_->set_residency(id, resident);
         pinned_any = true;
       }
@@ -1526,15 +1631,15 @@ void RtServer::pump() {
     }
   }
   for (ClientState* client : grant_acks_) respond(*client, RtAck::kAck);
-  if (pager_ != nullptr && pinned_any) {
+  if (paging() && pinned_any) {
     // Pinning may have spilled pages of idle holders; refresh the
     // scheduler's residency view so TimeQuantum's anti-thrash hold only
     // protects working sets that are actually still on-device.
     sessions_.for_each([this](std::uint32_t, ClientState& state) {
       if (!state.released && !state.doomed &&
           (state.alloc_in != 0 || state.alloc_out != 0)) {
-        scheduler_->set_residency(state.id,
-                                  pager_->working_set_resident(state.id));
+        scheduler_->set_residency(
+            state.id, pager_of(state)->working_set_resident(state.id));
       }
     });
   }

@@ -43,6 +43,7 @@
 #include "rt/session.hpp"
 #include "rt/thread_pool.hpp"
 #include "sched/admission.hpp"
+#include "sched/placement.hpp"
 #include "sched/scheduler.hpp"
 #include "vmem/pager.hpp"
 
@@ -184,7 +185,17 @@ struct RtServerConfig {
     Bytes host_ledger = 1024 * kMiB;
     /// Sequential pages faulted ahead on a residency miss.
     int prefetch_window = 4;
+    /// Modeled memory domains (devices) behind the front door: each gets
+    /// its own pager (device_capacity frames + host_ledger) and clients
+    /// are routed to one at REQ time by `placement`. Metrics gain
+    /// per-device labels (vmem.device<k>.*, gpu.device<k>.mem.*,
+    /// rt.device<k>.*) alongside the pooled vmem.* aggregates.
+    int devices = 1;
   } vmem;
+  /// Placement policy routing clients across the vmem memory domains at
+  /// REQ time (static / pack / spread / locality); only consulted when
+  /// vmem.devices > 1.
+  sched::PlacementConfig placement;
 };
 
 struct RtServerStats {
@@ -325,9 +336,17 @@ class RtServer {
   /// scheduler while running).
   const sched::Scheduler& scheduler() const { return *scheduler_; }
   const sched::AdmissionController& admission() const { return *admission_; }
-  /// The vmem pager; null unless config.vmem.enabled. Counters are safe
-  /// to read after stop() (the serve thread owns the pager while running).
-  const vmem::Pager* pager() const { return pager_.get(); }
+  /// The vmem pager (memory domain 0); null unless config.vmem.enabled.
+  /// Counters are safe to read after stop() (the serve thread owns the
+  /// pagers while running).
+  const vmem::Pager* pager() const {
+    return pagers_.empty() ? nullptr : pagers_.front().get();
+  }
+  /// Memory domains behind the front door (0 when vmem is off).
+  std::size_t memory_domains() const { return pagers_.size(); }
+  const vmem::Pager* pager(std::size_t domain) const {
+    return pagers_[domain].get();
+  }
   /// The observability hub: metrics registry (fully populated after
   /// stop(), via export_obs) and the span tracer.
   obs::Hub& obs() { return obs_; }
@@ -396,6 +415,8 @@ class RtServer {
     /// buffers in staged mode, the vsm data areas in zero-copy mode.
     vmem::AllocId alloc_in = 0;
     vmem::AllocId alloc_out = 0;
+    /// The vmem memory domain (device) serving this session.
+    int device = 0;
     /// Cached graphs, keyed by the client-chosen graph id; they die with
     /// the session (destroy_session), and a replay in flight pins its
     /// graph through the shared_ptr its job captured.
@@ -575,7 +596,19 @@ class RtServer {
   std::vector<ClientState*> grant_acks_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::unique_ptr<sched::AdmissionController> admission_;
-  std::unique_ptr<vmem::Pager> pager_;  // null unless config.vmem.enabled
+  /// One pager per memory domain; empty unless config.vmem.enabled.
+  std::vector<std::unique_ptr<vmem::Pager>> pagers_;
+  bool paging() const { return !pagers_.empty(); }
+  vmem::Pager* pager_of(const ClientState& client) {
+    return pagers_[static_cast<std::size_t>(client.device)].get();
+  }
+  /// Chooses the memory domain for an attaching client (placement over
+  /// live per-domain load) and updates the per-device accounting.
+  int place_domain(int client_id, Bytes bytes);
+  std::unique_ptr<sched::Placement> placement_;  // domain router
+  std::vector<long> domain_clients_;      // attached clients per domain
+  std::vector<long> domain_placements_;   // REQ-time placements per domain
+  std::unordered_map<int, int> warm_domain_;  // client -> last domain
   std::chrono::steady_clock::time_point start_time_;
   std::mutex completions_mutex_;
   std::vector<int> completions_;  // worker -> serve thread job completions

@@ -1,0 +1,150 @@
+#include "sched/placement.hpp"
+
+#include "common/status.hpp"
+
+namespace vgpu::sched {
+
+const char* placement_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kStatic:
+      return "static";
+    case PlacementPolicy::kPack:
+      return "pack";
+    case PlacementPolicy::kSpread:
+      return "spread";
+    case PlacementPolicy::kLocality:
+      return "locality";
+  }
+  return "?";
+}
+
+bool parse_placement(const std::string& text, PlacementPolicy* out) {
+  if (text == "static") {
+    *out = PlacementPolicy::kStatic;
+  } else if (text == "pack") {
+    *out = PlacementPolicy::kPack;
+  } else if (text == "spread") {
+    *out = PlacementPolicy::kSpread;
+  } else if (text == "locality") {
+    *out = PlacementPolicy::kLocality;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Less-loaded ordering shared by spread and locality: fewest outstanding
+/// rounds, then fewest attached clients, then most free memory, then the
+/// lowest index (fully deterministic).
+bool less_loaded(const DeviceLoad& a, const DeviceLoad& b) {
+  if (a.pending != b.pending) return a.pending < b.pending;
+  if (a.clients != b.clients) return a.clients < b.clients;
+  if (a.free_mem != b.free_mem) return a.free_mem > b.free_mem;
+  return a.device < b.device;
+}
+
+/// The device with the most free memory — the fallback when no device can
+/// hold the request outright (the admission layer backpressures or pages).
+int most_free(std::span<const DeviceLoad> devices) {
+  int best = -1;
+  Bytes best_free = -1;
+  for (const DeviceLoad& d : devices) {
+    if (d.free_mem > best_free) {
+      best_free = d.free_mem;
+      best = d.device;
+    }
+  }
+  return best;
+}
+
+class StaticPlacement final : public Placement {
+ public:
+  using Placement::Placement;
+  int choose(const PlacementRequest& request,
+             std::span<const DeviceLoad> devices) const override {
+    if (devices.empty()) return -1;
+    // MultiGvm::gvm_for's modulo, oblivious to load and fit.
+    const std::size_t i = static_cast<std::size_t>(request.client) %
+                          devices.size();
+    return devices[i].device;
+  }
+  const char* name() const override { return "static"; }
+};
+
+class PackPlacement final : public Placement {
+ public:
+  using Placement::Placement;
+  int choose(const PlacementRequest& request,
+             std::span<const DeviceLoad> devices) const override {
+    if (devices.empty()) return -1;
+    for (const DeviceLoad& d : devices) {  // first fit, lowest index
+      if (d.free_mem >= request.bytes) return d.device;
+    }
+    return most_free(devices);
+  }
+  const char* name() const override { return "pack"; }
+};
+
+class SpreadPlacement final : public Placement {
+ public:
+  using Placement::Placement;
+  int choose(const PlacementRequest& request,
+             std::span<const DeviceLoad> devices) const override {
+    if (devices.empty()) return -1;
+    const DeviceLoad* best = nullptr;
+    for (const DeviceLoad& d : devices) {
+      if (d.free_mem < request.bytes) continue;
+      if (best == nullptr || less_loaded(d, *best)) best = &d;
+    }
+    return best != nullptr ? best->device : most_free(devices);
+  }
+  const char* name() const override { return "spread"; }
+};
+
+class LocalityPlacement final : public Placement {
+ public:
+  using Placement::Placement;
+  int choose(const PlacementRequest& request,
+             std::span<const DeviceLoad> devices) const override {
+    if (devices.empty()) return -1;
+    const DeviceLoad* best = nullptr;
+    const DeviceLoad* warm = nullptr;
+    for (const DeviceLoad& d : devices) {
+      if (d.device == request.warm_device && d.free_mem >= request.bytes) {
+        warm = &d;
+      }
+      if (d.free_mem < request.bytes) continue;
+      if (best == nullptr || less_loaded(d, *best)) best = &d;
+    }
+    if (best == nullptr) return most_free(devices);
+    // Stickiness: moving a warm working set costs real transfers, so the
+    // warm device wins unless it is substantially busier.
+    if (warm != nullptr &&
+        warm->pending <= best->pending + config_.stickiness) {
+      return warm->device;
+    }
+    return best->device;
+  }
+  const char* name() const override { return "locality"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Placement> Placement::make(const PlacementConfig& config) {
+  switch (config.policy) {
+    case PlacementPolicy::kStatic:
+      return std::unique_ptr<Placement>(new StaticPlacement(config));
+    case PlacementPolicy::kPack:
+      return std::unique_ptr<Placement>(new PackPlacement(config));
+    case PlacementPolicy::kSpread:
+      return std::unique_ptr<Placement>(new SpreadPlacement(config));
+    case PlacementPolicy::kLocality:
+      return std::unique_ptr<Placement>(new LocalityPlacement(config));
+  }
+  VGPU_ASSERT_MSG(false, "unknown placement policy");
+  return nullptr;
+}
+
+}  // namespace vgpu::sched

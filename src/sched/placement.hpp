@@ -1,0 +1,90 @@
+// Device placement: the policy layer that decides *where* a client runs
+// when one front door serves several GPUs.
+//
+// Mirrors the Scheduler abstraction one level up: a Placement is pure
+// policy — no coroutines, no clock, no device handles. Callers (the DES
+// `gvm::DevicePoolGvm`, the live `rt::RtServer` memory domains) snapshot
+// per-device load into DeviceLoad records and ask for a device index per
+// placement request; they perform the actual admission and data movement.
+//
+// Policies:
+//
+//   static    client id modulo device count — the MultiGvm shim's
+//             placement, kept as the experimental control
+//   pack      first-fit consolidation: lowest-index device with room,
+//             maximizing idle devices (power / fragmentation friendly)
+//   spread    least-loaded: minimize outstanding rounds, tie-break on
+//             attached clients then free memory (latency friendly)
+//   locality  spread, but a returning client sticks to the device that
+//             already holds its working set unless that device is more
+//             than `stickiness` rounds busier than the best candidate —
+//             a migration / re-staging cost is only worth paying for a
+//             real imbalance
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace vgpu::sched {
+
+enum class PlacementPolicy { kStatic, kPack, kSpread, kLocality };
+
+const char* placement_name(PlacementPolicy policy);
+/// Parses the CLI spelling ("static" | "pack" | "spread" | "locality").
+bool parse_placement(const std::string& text, PlacementPolicy* out);
+
+struct PlacementConfig {
+  PlacementPolicy policy = PlacementPolicy::kSpread;
+  /// Locality: a warm device keeps the client unless it has more than
+  /// this many outstanding rounds over the otherwise-best device.
+  double stickiness = 2.0;
+};
+
+/// Caller-supplied live snapshot of one device behind the front door.
+struct DeviceLoad {
+  int device = -1;
+  int clients = 0;         // admitted (attached) clients
+  int pending = 0;         // rounds queued or in flight
+  Bytes free_mem = 0;
+  Bytes capacity = 0;
+  double queued_cost = 0;  // aggregate round cost of queued work
+};
+
+struct PlacementRequest {
+  int client = -1;
+  Bytes bytes = 0;          // working-set footprint (in + out)
+  double compute_cost = 0;  // aggregate kernel flops of the plan
+  /// Device already holding this client's staged working set (-1 = cold):
+  /// the locality policy's residency signal.
+  int warm_device = -1;
+};
+
+class Placement {
+ public:
+  static std::unique_ptr<Placement> make(const PlacementConfig& config);
+
+  virtual ~Placement() = default;
+  Placement(const Placement&) = delete;
+  Placement& operator=(const Placement&) = delete;
+
+  /// Chooses a device for `request`. Load-aware policies prefer devices
+  /// with `free_mem >= request.bytes` and fall back to the device with the
+  /// most free memory when nothing fits (the admission layer then
+  /// backpressures or pages as configured). Returns -1 only when
+  /// `devices` is empty.
+  virtual int choose(const PlacementRequest& request,
+                     std::span<const DeviceLoad> devices) const = 0;
+
+  virtual const char* name() const = 0;
+  const PlacementConfig& config() const { return config_; }
+
+ protected:
+  explicit Placement(PlacementConfig config) : config_(config) {}
+
+  PlacementConfig config_;
+};
+
+}  // namespace vgpu::sched

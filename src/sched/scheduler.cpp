@@ -82,6 +82,16 @@ void Scheduler::on_release(int client, SimTime now) {
   ++stats_.released;
 }
 
+void Scheduler::on_migrate(int client, SimTime now) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  VGPU_ASSERT_MSG(!it->second.pending,
+                  "migrate with a round still pending — drain first");
+  do_release(client, now);
+  clients_.erase(it);
+  ++stats_.migrated;
+}
+
 void Scheduler::on_failure(int client, SimTime now) {
   auto it = clients_.find(client);
   if (it == clients_.end()) return;

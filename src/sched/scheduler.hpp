@@ -99,6 +99,8 @@ struct SchedStats {
   long admitted = 0;
   long released = 0;
   long failures = 0;          // on_failure() removals (dead clients)
+  long migrated = 0;          // on_migrate() removals (moved to another
+                              // device's scheduler between rounds)
   long enqueued = 0;
   long grants = 0;            // rounds dispatched
   long batches = 0;           // non-empty pick_next() results
@@ -126,6 +128,12 @@ class Scheduler {
 
   void admit(const ClientRequest& request, SimTime now);
   void on_release(int client, SimTime now);
+  /// Removes a client whose session is being handed to another device's
+  /// scheduler (cross-device migration). Legal only between rounds — no
+  /// pending round, nothing in flight for this client — because the
+  /// migrating side drains the round first; the importing scheduler
+  /// re-admits the client with its original request.
+  void on_migrate(int client, SimTime now);
   /// Removes a dead client. Tolerates any state (pending round, never
   /// enqueued, already gone); an in-flight round stays counted until its
   /// on_complete arrives (the device-side work finishes regardless).

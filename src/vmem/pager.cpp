@@ -321,30 +321,73 @@ Bytes Pager::release_client(int client) {
   return ledger_reclaimed;
 }
 
+StatusOr<Bytes> Pager::handoff_client(int client, Pager& target) {
+  VGPU_ASSERT_MSG(&target != this, "handoff to self");
+  const std::vector<AllocId> ids = table_.client_allocs(client);
+  if (ids.empty()) {
+    return NotFound("vmem: client " + std::to_string(client) +
+                    " has no bindings to hand off");
+  }
+  // Make the backing authoritative while this ledger still holds the
+  // spilled copies; a restore failure aborts the move with all source
+  // state intact.
+  for (AllocId id : ids) {
+    Status readable = ensure_readable(id);
+    if (!readable.ok()) return readable;
+  }
+  Bytes moved = 0;
+  std::vector<std::pair<std::byte*, Bytes>> spans;
+  spans.reserve(ids.size());
+  for (AllocId id : ids) {
+    const Allocation* alloc = table_.find(id);
+    spans.emplace_back(alloc->base, alloc->size);
+    moved += alloc->size;
+  }
+  unpin(client);
+  for (AllocId id : ids) VGPU_ASSERT(release(id).ok());
+  for (const auto& [base, size] : spans) target.bind(client, base, size);
+  ++counters_.handoffs_out;
+  counters_.bytes_handed_off += moved;
+  ++target.counters_.handoffs_in;
+  target.counters_.bytes_handed_off += moved;
+  return moved;
+}
+
 void Pager::export_metrics(obs::Registry& registry) const {
-  registry.counter("vmem.faults")->set(counters_.faults);
-  registry.counter("vmem.page_ins")->set(counters_.page_ins);
-  registry.counter("vmem.page_outs")->set(counters_.page_outs);
-  registry.counter("vmem.evictions_pages")->set(counters_.evicted_pages);
-  registry.counter("vmem.clean_drops")->set(counters_.clean_drops);
-  registry.counter("vmem.prefetch_issued")->set(counters_.prefetch_issued);
-  registry.counter("vmem.prefetch_hits")->set(counters_.prefetch_hits);
-  registry.counter("vmem.pin_shortfalls")->set(counters_.pin_shortfalls);
-  registry.counter("vmem.host_restores")->set(counters_.host_restores);
-  registry.counter("vmem.frame_alloc_failures")
-      ->set(counters_.frame_alloc_failures);
-  registry.gauge("vmem.resident_bytes")
+  export_metrics(registry, "vmem.", "gpu.mem.");
+}
+
+void Pager::export_metrics(obs::Registry& registry,
+                           const std::string& vmem_ns,
+                           const std::string& mem_ns) const {
+  const auto cnt = [&](const char* name, long value) {
+    registry.counter(vmem_ns + name)->set(value);
+  };
+  cnt("faults", counters_.faults);
+  cnt("page_ins", counters_.page_ins);
+  cnt("page_outs", counters_.page_outs);
+  cnt("evictions_pages", counters_.evicted_pages);
+  cnt("clean_drops", counters_.clean_drops);
+  cnt("prefetch_issued", counters_.prefetch_issued);
+  cnt("prefetch_hits", counters_.prefetch_hits);
+  cnt("pin_shortfalls", counters_.pin_shortfalls);
+  cnt("host_restores", counters_.host_restores);
+  cnt("frame_alloc_failures", counters_.frame_alloc_failures);
+  cnt("handoffs_out", counters_.handoffs_out);
+  cnt("handoffs_in", counters_.handoffs_in);
+  cnt("bytes_handed_off", counters_.bytes_handed_off);
+  registry.gauge(vmem_ns + "resident_bytes")
       ->set(static_cast<double>(table_.resident_bytes()));
-  registry.gauge("vmem.ledger_bytes")
+  registry.gauge(vmem_ns + "ledger_bytes")
       ->set(static_cast<double>(ledger_bytes()));
-  registry.gauge("vmem.pages_total")
+  registry.gauge(vmem_ns + "pages_total")
       ->set(static_cast<double>(table_.total_pages()));
-  registry.gauge("gpu.mem.used")->set(static_cast<double>(frames_.used()));
-  registry.gauge("gpu.mem.high_water")
+  registry.gauge(mem_ns + "used")->set(static_cast<double>(frames_.used()));
+  registry.gauge(mem_ns + "high_water")
       ->set(static_cast<double>(frames_.high_water()));
-  registry.gauge("gpu.mem.largest_free_extent")
+  registry.gauge(mem_ns + "largest_free_extent")
       ->set(static_cast<double>(frames_.largest_free_extent()));
-  registry.gauge("gpu.mem.fragmentation_pct")
+  registry.gauge(mem_ns + "fragmentation_pct")
       ->set(frames_.fragmentation() * 100.0);
 }
 

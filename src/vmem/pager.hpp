@@ -68,6 +68,9 @@ struct PagerCounters {
   long pin_shortfalls = 0;   // pins that left part of a working set cold
   long host_restores = 0;    // ensure_readable()/shortfall ledger restores
   long frame_alloc_failures = 0;  // injected device.alloc failures absorbed
+  long handoffs_out = 0;          // clients migrated to another pager
+  long handoffs_in = 0;           // clients adopted from another pager
+  Bytes bytes_handed_off = 0;     // backing bytes re-bound across devices
 };
 
 class Pager {
@@ -124,9 +127,25 @@ class Pager {
   Bytes ledger_bytes() const;
   Bytes ledger_capacity() const { return config_.host_ledger_capacity; }
 
+  /// Cross-device residency hand-off: makes every page the client bound
+  /// host-authoritative (restoring spilled copies from this pager's
+  /// ledger), drops the client's pins, frames and ledger slots here, and
+  /// re-binds the same backing ranges into `target` in bind order. Pages
+  /// start cold on the target — its next pin_working_set faults them in —
+  /// so results cannot depend on what was resident where. After success
+  /// this pager's residency and ledger bytes for the client are zero.
+  /// Returns the backing bytes handed off; kNotFound when the client has
+  /// no bindings here.
+  StatusOr<Bytes> handoff_client(int client, Pager& target);
+
   /// Exports vmem.* counters/gauges plus the frame allocator's
-  /// fragmentation and high-water gauges into `registry`.
+  /// fragmentation and high-water gauges into `registry`. The labeled
+  /// overload replaces the "vmem." / "gpu.mem." namespaces — the
+  /// per-device metric labels used when several pagers (memory domains)
+  /// share one registry, e.g. "vmem.device0." / "gpu.device0.mem.".
   void export_metrics(obs::Registry& registry) const;
+  void export_metrics(obs::Registry& registry, const std::string& vmem_ns,
+                      const std::string& mem_ns) const;
 
   /// Test hook: observes every page state transition
   /// (alloc, page index, new state) — e.g. to assert kInFlight windows.

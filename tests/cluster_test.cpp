@@ -117,7 +117,7 @@ TEST(Comm, SendRecvCarriesPayload) {
       co_await comm.send(1, Message::of<double>(7, {data.data(), 3}));
     } else {
       const Message m = co_await comm.recv(0, 7);
-      received = m.as<double>();
+      received = m.as<double>().value();
       EXPECT_EQ(m.source, 0);
     }
   });
@@ -134,13 +134,126 @@ TEST(Comm, TagsMatchIndependently) {
     } else {
       // Receive in the opposite tag order: matching is per tag.
       const Message ten = co_await comm.recv(0, 10);
-      order.push_back(static_cast<int>(ten.as<double>()[0]));
+      order.push_back(static_cast<int>(ten.as<double>().value()[0]));
       const Message twenty = co_await comm.recv(0, 20);
-      order.push_back(static_cast<int>(twenty.as<double>()[0]));
+      order.push_back(static_cast<int>(twenty.as<double>().value()[0]));
     }
     co_return;
   });
   EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Comm, SameSourceTagPairPreservesFifoUnderInterleavedSends) {
+  // Rank 0 interleaves two tag streams; each (source, tag) pair must stay
+  // FIFO regardless of the interleaving.
+  std::vector<int> tag_a, tag_b;
+  run_ranks(1, 2, [&](Communicator comm) -> des::Task<> {
+    if (comm.rank() == 0) {
+      for (const auto& [tag, v] : std::vector<std::pair<int, double>>{
+               {7, 1}, {8, 10}, {7, 2}, {8, 20}, {7, 3}}) {
+        const double d = v;
+        co_await comm.send(1, Message::of<double>(tag, {&d, 1}));
+      }
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        const Message m = co_await comm.recv(0, 7);
+        tag_a.push_back(static_cast<int>(m.as<double>().value()[0]));
+      }
+      for (int i = 0; i < 2; ++i) {
+        const Message m = co_await comm.recv(0, 8);
+        tag_b.push_back(static_cast<int>(m.as<double>().value()[0]));
+      }
+    }
+  });
+  EXPECT_EQ(tag_a, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(tag_b, (std::vector<int>{10, 20}));
+}
+
+TEST(Comm, DistinctSourcesMatchIndependentlyAndStayFifo) {
+  // Two senders share a tag; the receiver drains them in opposite orders.
+  // Matching is per (source, tag), so neither stream sees the other's
+  // messages and each stays FIFO.
+  std::vector<int> from1, from2;
+  run_ranks(2, 3, [&](Communicator comm) -> des::Task<> {
+    if (comm.rank() > 0) {
+      for (int i = 0; i < 2; ++i) {
+        const double v = comm.rank() * 100 + i;
+        co_await comm.send(0, Message::of<double>(5, {&v, 1}));
+      }
+    } else {
+      for (int i = 0; i < 2; ++i) {
+        const Message m = co_await comm.recv(2, 5);
+        from2.push_back(static_cast<int>(m.as<double>().value()[0]));
+      }
+      for (int i = 0; i < 2; ++i) {
+        const Message m = co_await comm.recv(1, 5);
+        from1.push_back(static_cast<int>(m.as<double>().value()[0]));
+      }
+    }
+  });
+  EXPECT_EQ(from1, (std::vector<int>{100, 101}));
+  EXPECT_EQ(from2, (std::vector<int>{200, 201}));
+}
+
+TEST(Comm, MismatchedTagHangsUntilAMatchingSendArrives) {
+  // Matching is wildcard-free: a recv posted for tag 99 must not complete
+  // on a tag-7 send, no matter how long it waits (in a real MPI program
+  // this is the hang a test timeout surfaces). A probe checks the recv is
+  // still parked well past the send, then releases it with a genuine
+  // match so the simulation drains cleanly.
+  bool completed = false;
+  des::Simulator sim;
+  Network net(sim, NetworkSpec{}, 1);
+  ClusterComm world(sim, net, 2);
+  sim.spawn([](Communicator comm, bool& done) -> des::Task<> {
+    (void)co_await comm.recv(0, 99);
+    done = true;
+  }(world.communicator(1), completed));
+  sim.spawn([](des::Simulator& s, Communicator comm,
+               bool& done) -> des::Task<> {
+    const double v = 1.0;
+    co_await comm.send(1, Message::of<double>(7, {&v, 1}));  // wrong tag
+    co_await s.delay(milliseconds(50.0));
+    EXPECT_FALSE(done);  // still hung long after the mismatched send
+    co_await comm.send(1, Message::of<double>(99, {&v, 1}));
+  }(sim, world.communicator(0), completed));
+  sim.run();
+  EXPECT_TRUE(completed);
+}
+
+TEST(Comm, PayloadShapeMismatchSurfacesAsStatus) {
+  Message m;
+  m.payload.resize(3);  // not a whole number of doubles
+  const auto decoded = m.as<double>();
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Comm, ReduceLaneCountMismatchPropagatesAsStatus) {
+  // Rank 1 contributes fewer lanes than the root expects: the root reports
+  // kInvalidArgument instead of aborting the process.
+  Status at_root = Status::Ok();
+  run_ranks(1, 2, [&](Communicator comm) -> des::Task<> {
+    std::vector<double> mine(comm.rank() == 0 ? 2 : 1, 1.0);
+    auto r = co_await comm.reduce_sum(0, std::move(mine));
+    if (comm.rank() == 0) at_root = r.status();
+  });
+  EXPECT_EQ(at_root.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Comm, AllgatherUnequalContributionsFailEverywhere) {
+  // The equal-count contract is enforced at the root and the verdict is
+  // broadcast, so every rank sees the same error instead of a hang.
+  std::vector<Status> status(3, Status::Ok());
+  run_ranks(1, 3, [&](Communicator comm) -> des::Task<> {
+    Message m;
+    m.payload.resize(comm.rank() == 1 ? 16 : 8);
+    auto r = co_await comm.allgather(std::move(m));
+    status[static_cast<std::size_t>(comm.rank())] = r.status();
+  });
+  for (const Status& s : status) {
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  }
 }
 
 class CommCollective : public ::testing::TestWithParam<int> {};
@@ -175,7 +288,7 @@ TEST_P(CommCollective, BcastDeliversRootPayloadToAll) {
       m = Message::of<double>(0, {&v, 1});
     }
     const Message out = co_await comm.bcast(root, std::move(m));
-    got[static_cast<std::size_t>(comm.rank())] = out.as<double>()[0];
+    got[static_cast<std::size_t>(comm.rank())] = out.as<double>().value()[0];
   });
   for (double v : got) EXPECT_EQ(v, 42.25);
 }
@@ -187,13 +300,74 @@ TEST_P(CommCollective, AllreduceSumsAcrossRanks) {
   run_ranks(2, ranks, [&](Communicator comm) -> des::Task<> {
     std::vector<double> mine{static_cast<double>(comm.rank()), 1.0};
     results[static_cast<std::size_t>(comm.rank())] =
-        co_await comm.allreduce_sum(std::move(mine));
+        (co_await comm.allreduce_sum(std::move(mine))).value();
   });
   const double expect0 = ranks * (ranks - 1) / 2.0;
   for (const auto& r : results) {
     ASSERT_EQ(r.size(), 2u);
     EXPECT_DOUBLE_EQ(r[0], expect0);
     EXPECT_DOUBLE_EQ(r[1], static_cast<double>(ranks));
+  }
+}
+
+TEST_P(CommCollective, ReduceSumConcentratesAtRoot) {
+  const int ranks = GetParam();
+  const int root = ranks > 2 ? 1 : 0;  // non-zero root off the tree base
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(ranks));
+  run_ranks(2, ranks, [&, root](Communicator comm) -> des::Task<> {
+    std::vector<double> mine{static_cast<double>(comm.rank()), 2.0};
+    results[static_cast<std::size_t>(comm.rank())] =
+        (co_await comm.reduce_sum(root, std::move(mine))).value();
+  });
+  for (int r = 0; r < ranks; ++r) {
+    const auto& v = results[static_cast<std::size_t>(r)];
+    if (r == root) {
+      ASSERT_EQ(v.size(), 2u);
+      EXPECT_DOUBLE_EQ(v[0], ranks * (ranks - 1) / 2.0);
+      EXPECT_DOUBLE_EQ(v[1], 2.0 * ranks);
+    } else {
+      EXPECT_TRUE(v.empty());  // MPI_Reduce: only the root holds the sum
+    }
+  }
+}
+
+TEST_P(CommCollective, GatherCollectsRankOrderedWithUnequalSizes) {
+  const int ranks = GetParam();
+  const int root = ranks > 1 ? ranks - 1 : 0;
+  std::vector<Message> at_root;
+  run_ranks(2, ranks, [&, root](Communicator comm) -> des::Task<> {
+    // Variable-length contribution: rank r sends r+1 doubles of value r.
+    std::vector<double> mine(static_cast<std::size_t>(comm.rank() + 1),
+                             static_cast<double>(comm.rank()));
+    auto r = co_await comm.gather(
+        root, Message::of<double>(0, {mine.data(), mine.size()}));
+    if (comm.rank() == root) at_root = std::move(r).value();
+  });
+  ASSERT_EQ(at_root.size(), static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const Message& m = at_root[static_cast<std::size_t>(r)];
+    EXPECT_EQ(m.source, r);
+    const std::vector<double> v = m.as<double>().value();
+    ASSERT_EQ(v.size(), static_cast<std::size_t>(r + 1));
+    for (double x : v) EXPECT_EQ(x, static_cast<double>(r));
+  }
+}
+
+TEST_P(CommCollective, AllgatherDeliversEveryPayloadEverywhere) {
+  const int ranks = GetParam();
+  std::vector<std::vector<Message>> results(static_cast<std::size_t>(ranks));
+  run_ranks(2, ranks, [&](Communicator comm) -> des::Task<> {
+    const double v = 10.0 + comm.rank();
+    results[static_cast<std::size_t>(comm.rank())] =
+        (co_await comm.allgather(Message::of<double>(3, {&v, 1}))).value();
+  });
+  for (const auto& all : results) {
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      const Message& m = all[static_cast<std::size_t>(r)];
+      EXPECT_EQ(m.source, r);
+      EXPECT_EQ(m.as<double>().value()[0], 10.0 + r);
+    }
   }
 }
 

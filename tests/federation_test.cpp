@@ -1,0 +1,131 @@
+// Federation tests: load-digest exchange over cluster::Communicator,
+// cross-node client migration with functional verification, the
+// no-exchange control, and the node-scaling trend (Li et al.,
+// arXiv:1511.07658).
+#include <gtest/gtest.h>
+
+#include "cluster/federation.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vgpu::cluster {
+namespace {
+
+gpu::DeviceSpec fast_c2070() {
+  gpu::DeviceSpec spec = gpu::tesla_c2070();
+  spec.device_init_time = milliseconds(50.0);
+  spec.ctx_create_time = milliseconds(5.0);
+  spec.ctx_switch_time = milliseconds(20.0);
+  return spec;
+}
+
+FederationConfig fast_config(int nodes, bool exchange) {
+  FederationConfig config;
+  config.nodes = nodes;
+  config.gpu = fast_c2070();
+  config.exchange = exchange;
+  config.digest_interval = microseconds(200.0);
+  config.migrate_min_gap = 2;
+  return config;
+}
+
+/// A skewed population: every client homes on node 0 with multi-round
+/// sessions, so only exchange can put the other nodes to work.
+std::vector<FederatedClientSpec> skewed_population(int count, int rounds) {
+  auto w = workloads::npb_ep(18);
+  std::vector<FederatedClientSpec> clients;
+  for (int i = 0; i < count; ++i) {
+    FederatedClientSpec spec;
+    spec.work.plan = w.plan;
+    spec.work.rounds = rounds;
+    spec.work.sessions = 2;
+    spec.work.think = microseconds(100.0);
+    spec.home_node = 0;
+    clients.push_back(std::move(spec));
+  }
+  return clients;
+}
+
+TEST(Federation, ExchangeRebalancesASkewedPopulation) {
+  const auto clients = skewed_population(/*count=*/8, /*rounds=*/4);
+  auto with = run_federated(fast_config(2, /*exchange=*/true), clients);
+  auto without = run_federated(fast_config(2, /*exchange=*/false), clients);
+
+  // Digests flowed and clients moved off the overloaded node.
+  EXPECT_GT(with.digest_rounds, 0);
+  EXPECT_GT(with.cross_node_migrations, 0);
+  EXPECT_GT(with.migrated_bytes, 0);
+  EXPECT_GT(with.sessions_per_node[1], 0);
+  // The working sets really crossed the modeled fabric.
+  EXPECT_GE(with.bytes_on_wire, with.migrated_bytes);
+  // Rebalancing beats leaving node 1 idle.
+  EXPECT_LT(with.makespan, without.makespan);
+  // Clean drain on every node either way.
+  for (Bytes residual : with.residual_node_bytes) EXPECT_EQ(residual, 0);
+  for (Bytes residual : without.residual_node_bytes) EXPECT_EQ(residual, 0);
+}
+
+TEST(Federation, NoExchangeKeepsEveryClientAtHome) {
+  auto r = run_federated(fast_config(2, /*exchange=*/false),
+                         skewed_population(6, 3));
+  EXPECT_EQ(r.digest_rounds, 0);
+  EXPECT_EQ(r.cross_node_migrations, 0);
+  EXPECT_EQ(r.migrated_bytes, 0);
+  EXPECT_EQ(r.sessions_per_node[1], 0);
+  EXPECT_EQ(r.session_seconds.size(), 12u);
+}
+
+TEST(Federation, MigratedClientsProduceCorrectResults) {
+  // Functional workloads homed on node 0; the digest loop pushes some to
+  // node 1 mid-workload and every verify() must still hold.
+  std::vector<workloads::FunctionalWorkload> instances;
+  std::vector<FederatedClientSpec> clients;
+  for (int i = 0; i < 6; ++i) {
+    instances.push_back(workloads::functional_vecadd(4096));
+    FederatedClientSpec spec;
+    spec.work.plan = instances.back().plan;
+    spec.work.rounds = 4;  // round boundaries for directives to fire at
+    spec.home_node = 0;
+    clients.push_back(std::move(spec));
+  }
+  FederationConfig config = fast_config(2, /*exchange=*/true);
+  config.digest_interval = microseconds(50.0);
+  config.migrate_min_gap = 1;
+  auto r = run_federated(config, clients);
+  EXPECT_GT(r.cross_node_migrations, 0);
+  for (auto& w : instances) {
+    EXPECT_TRUE(w.verify()) << "client result diverged after federation";
+  }
+  for (Bytes residual : r.residual_node_bytes) EXPECT_EQ(residual, 0);
+}
+
+TEST(Federation, MakespanShrinksWithNodeCount) {
+  // Li et al.'s scaling trend: the same population over more federated
+  // nodes finishes sooner (sublinearly — the fabric and digest cadence
+  // are not free). Needs a device-saturating workload (matmul's grid
+  // fills the SMs; EP's 4-block grid would let one device absorb
+  // everyone concurrently) and enough sessions for one-move-per-digest
+  // rebalancing to spread a 12-client pile across four nodes.
+  auto w = workloads::matmul(256);
+  std::vector<FederatedClientSpec> clients;
+  for (int i = 0; i < 12; ++i) {
+    FederatedClientSpec spec;
+    spec.work.plan = w.plan;
+    spec.work.rounds = 2;
+    spec.work.sessions = 5;
+    spec.work.think = microseconds(100.0);
+    spec.home_node = 0;
+    clients.push_back(std::move(spec));
+  }
+  SimDuration previous = 0;
+  for (int nodes : {1, 2, 4}) {
+    FederationConfig config = fast_config(nodes, /*exchange=*/true);
+    config.digest_interval = microseconds(100.0);
+    config.migrate_min_gap = 1;
+    auto r = run_federated(config, clients);
+    if (previous != 0) EXPECT_LT(r.makespan, previous) << nodes << " nodes";
+    previous = r.makespan;
+  }
+}
+
+}  // namespace
+}  // namespace vgpu::cluster

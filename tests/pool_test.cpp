@@ -1,0 +1,375 @@
+// Device-pool GVM tests: placement policies (unit), the pooled router
+// (integration), cross-device migration with a bitwise-identity oracle,
+// source-drain accounting, bounce-back under target pressure, and the
+// pool rebalancer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "gvm/multi.hpp"
+#include "gvm/pool.hpp"
+#include "sched/placement.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vgpu::gvm {
+namespace {
+
+gpu::DeviceSpec fast_c2070() {
+  gpu::DeviceSpec spec = gpu::tesla_c2070();
+  spec.device_init_time = milliseconds(50.0);
+  spec.ctx_create_time = milliseconds(5.0);
+  spec.ctx_switch_time = milliseconds(20.0);
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Placement policies (pure unit tests, no simulator)
+// ---------------------------------------------------------------------------
+
+sched::DeviceLoad load(int device, int pending, int clients, Bytes free_mem) {
+  sched::DeviceLoad d;
+  d.device = device;
+  d.pending = pending;
+  d.clients = clients;
+  d.free_mem = free_mem;
+  d.capacity = 6 * kGiB;
+  return d;
+}
+
+sched::PlacementRequest request_for(int client, Bytes bytes,
+                                    int warm_device = -1) {
+  sched::PlacementRequest r;
+  r.client = client;
+  r.bytes = bytes;
+  r.warm_device = warm_device;
+  return r;
+}
+
+TEST(Placement, StaticIsClientModuloDevices) {
+  auto p = sched::Placement::make({sched::PlacementPolicy::kStatic});
+  std::vector<sched::DeviceLoad> loads = {load(0, 9, 9, kMiB),
+                                          load(1, 0, 0, 5 * kGiB),
+                                          load(2, 0, 0, 5 * kGiB)};
+  for (int client = 0; client < 9; ++client) {
+    EXPECT_EQ(p->choose(request_for(client, 64 * kMiB), loads), client % 3);
+  }
+}
+
+TEST(Placement, PackFillsTheFirstDeviceThatFits) {
+  auto p = sched::Placement::make({sched::PlacementPolicy::kPack});
+  std::vector<sched::DeviceLoad> loads = {load(0, 3, 3, 100 * kMiB),
+                                          load(1, 0, 0, 5 * kGiB),
+                                          load(2, 0, 0, 5 * kGiB)};
+  // Fits on busy device 0 -> pack consolidates there anyway.
+  EXPECT_EQ(p->choose(request_for(1, 50 * kMiB), loads), 0);
+  // Too big for device 0 -> first device that fits.
+  EXPECT_EQ(p->choose(request_for(2, 200 * kMiB), loads), 1);
+}
+
+TEST(Placement, SpreadPicksTheLeastLoadedFit) {
+  auto p = sched::Placement::make({sched::PlacementPolicy::kSpread});
+  std::vector<sched::DeviceLoad> loads = {load(0, 2, 2, 5 * kGiB),
+                                          load(1, 1, 1, 5 * kGiB),
+                                          load(2, 4, 4, 5 * kGiB)};
+  EXPECT_EQ(p->choose(request_for(7, 64 * kMiB), loads), 1);
+  // Pending ties break on attached clients, then device index.
+  loads[0].pending = 1;
+  loads[0].clients = 0;
+  EXPECT_EQ(p->choose(request_for(7, 64 * kMiB), loads), 0);
+}
+
+TEST(Placement, NothingFitsFallsBackToMostFreeMemory) {
+  auto p = sched::Placement::make({sched::PlacementPolicy::kSpread});
+  std::vector<sched::DeviceLoad> loads = {load(0, 0, 0, 10 * kMiB),
+                                          load(1, 5, 5, 40 * kMiB)};
+  EXPECT_EQ(p->choose(request_for(0, 100 * kMiB), loads), 1);
+}
+
+TEST(Placement, LocalitySticksToWarmDeviceWithinStickiness) {
+  sched::PlacementConfig config{sched::PlacementPolicy::kLocality};
+  config.stickiness = 2.0;
+  auto p = sched::Placement::make(config);
+  std::vector<sched::DeviceLoad> loads = {load(0, 2, 2, 5 * kGiB),
+                                          load(1, 0, 0, 5 * kGiB)};
+  // Warm device 0 is 2 rounds behind the best -> still within stickiness.
+  EXPECT_EQ(p->choose(request_for(3, 64 * kMiB, /*warm=*/0), loads), 0);
+  // 3 rounds behind -> locality yields to load balance.
+  loads[0].pending = 3;
+  EXPECT_EQ(p->choose(request_for(3, 64 * kMiB, /*warm=*/0), loads), 1);
+  // Cold client behaves like spread.
+  EXPECT_EQ(p->choose(request_for(4, 64 * kMiB), loads), 1);
+}
+
+TEST(Placement, NamesRoundTripThroughParse) {
+  sched::PlacementPolicy policy;
+  for (const char* name : {"static", "pack", "spread", "locality"}) {
+    ASSERT_TRUE(sched::parse_placement(name, &policy)) << name;
+    EXPECT_STREQ(sched::placement_name(policy), name);
+  }
+  EXPECT_FALSE(sched::parse_placement("bogus", &policy));
+}
+
+// ---------------------------------------------------------------------------
+// Pooled router (run_pool integration)
+// ---------------------------------------------------------------------------
+
+PoolClientSpec spec_for(const workloads::Workload& w, int sessions = 1,
+                        SimDuration arrival = 0, SimDuration think = 0) {
+  PoolClientSpec s;
+  s.plan = w.plan;
+  s.rounds = w.rounds;
+  s.sessions = sessions;
+  s.arrival = arrival;
+  s.think = think;
+  return s;
+}
+
+TEST(DevicePool, StaticPlacementMatchesTheModuloControl) {
+  PoolConfig config;
+  config.placement.policy = sched::PlacementPolicy::kStatic;
+  config.model_installs = false;
+  auto w = workloads::vector_add(1 << 18);
+  std::vector<PoolClientSpec> clients(6, spec_for(w));
+  auto r = run_pool({fast_c2070(), fast_c2070(), fast_c2070()}, config,
+                    clients);
+  ASSERT_EQ(r.pool.per_device_placements.size(), 3u);
+  EXPECT_EQ(r.pool.per_device_placements[0], 2);  // clients 0, 3
+  EXPECT_EQ(r.pool.per_device_placements[1], 2);  // clients 1, 4
+  EXPECT_EQ(r.pool.per_device_placements[2], 2);  // clients 2, 5
+  EXPECT_EQ(r.pool.migrations, 0);
+  // Full protocol ran per client (REQ/SND/STR/STP.../RCV/RLS; STP polls
+  // repeat under load, so this is a floor).
+  EXPECT_GE(r.gvm.requests, 6 * 6);
+}
+
+TEST(DevicePool, SpreadBalancesStaggeredArrivals) {
+  PoolConfig config;
+  config.placement.policy = sched::PlacementPolicy::kSpread;
+  config.model_installs = false;
+  auto w = workloads::npb_ep(18);
+  std::vector<PoolClientSpec> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(spec_for(w, 1, microseconds(50.0) * i));
+  }
+  auto r = run_pool(
+      {fast_c2070(), fast_c2070(), fast_c2070(), fast_c2070()}, config,
+      clients);
+  for (long count : r.pool.per_device_placements) EXPECT_EQ(count, 2);
+}
+
+TEST(DevicePool, LocalityReusesTheWarmReplicaAcrossSessions) {
+  PoolConfig config;
+  config.placement.policy = sched::PlacementPolicy::kLocality;
+  auto w = workloads::vector_add(1 << 18);
+  std::vector<PoolClientSpec> clients = {
+      spec_for(w, /*sessions=*/4, 0, microseconds(200.0))};
+  auto r = run_pool({fast_c2070(), fast_c2070()}, config, clients);
+  EXPECT_EQ(r.pool.placements, 4);
+  EXPECT_EQ(r.pool.installs, 1);  // one dataset replica, reused 3 times
+  EXPECT_EQ(r.pool.warm_hits, 3);
+  EXPECT_EQ(r.pool.cold_moves, 0);
+}
+
+TEST(DevicePool, RunDrainsEveryDeviceAndScheduler) {
+  PoolConfig config;
+  config.placement.policy = sched::PlacementPolicy::kSpread;
+  auto w = workloads::vector_add(1 << 18);
+  std::vector<PoolClientSpec> clients(5, spec_for(w, 2));
+  auto r = run_pool({fast_c2070(), fast_c2070()}, config, clients);
+  EXPECT_EQ(r.session_seconds.size(), 10u);
+  EXPECT_GT(r.p95_seconds(), 0.0);
+  EXPECT_GE(r.p95_seconds(), r.mean_seconds() * 0.5);
+  for (Bytes residual : r.residual_device_bytes) EXPECT_EQ(residual, 0);
+  for (std::size_t clients_left : r.residual_sched_clients) {
+    EXPECT_EQ(clients_left, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-device migration
+// ---------------------------------------------------------------------------
+
+struct PoolRig {
+  des::Simulator sim;
+  std::vector<std::unique_ptr<gpu::Device>> devices;
+  std::vector<std::unique_ptr<vcuda::Runtime>> runtimes;
+  std::unique_ptr<DevicePoolGvm> pool;
+
+  PoolRig(std::vector<gpu::DeviceSpec> specs, PoolConfig config) {
+    std::vector<vcuda::Runtime*> ptrs;
+    for (const auto& spec : specs) {
+      devices.push_back(std::make_unique<gpu::Device>(sim, spec));
+      runtimes.push_back(
+          std::make_unique<vcuda::Runtime>(sim, *devices.back()));
+      ptrs.push_back(runtimes.back().get());
+    }
+    pool = std::make_unique<DevicePoolGvm>(sim, ptrs, std::move(config));
+    pool->start();
+  }
+};
+
+/// Runs one functional workload through a 2-device pool, ping-ponging the
+/// client between devices at every round boundary.
+void run_with_migration_every_round(const std::string& name) {
+  auto w = workloads::make_functional(name);
+  auto reference = workloads::make_functional(name);
+  // Functional kernel bodies are pure per round (input re-staged, output
+  // recomputed), so extra rounds are idempotent — run at least three to
+  // give the ping-pong real state to move.
+  const int rounds = std::max(w.rounds, 3);
+
+  PoolConfig config;
+  config.placement.policy = sched::PlacementPolicy::kPack;
+  PoolRig rig({fast_c2070(), fast_c2070()}, config);
+  rig.sim.spawn([](PoolRig& rig, workloads::FunctionalWorkload& w,
+                   int rounds) -> des::Task<> {
+    co_await rig.pool->wait_ready();
+    PoolClient client(rig.sim, *rig.pool, /*id=*/0);
+    EXPECT_TRUE((co_await client.req(w.plan)).ok());
+    for (int round = 0; round < rounds; ++round) {
+      rig.pool->direct(0, rig.pool->device_of(0) == 0 ? 1 : 0);
+      co_await client.round();
+    }
+    co_await client.rls();
+  }(rig, w, rounds));
+  rig.sim.run();
+
+  // Every round boundary executed one move.
+  EXPECT_EQ(rig.pool->stats().migrations, rounds);
+  EXPECT_GT(rig.pool->stats().migrated_bytes, 0);
+  // Results are correct AND bitwise-identical to an unmigrated run.
+  EXPECT_TRUE(w.verify()) << name << " after migration";
+  RunResult baseline =
+      run_virtualized(fast_c2070(), GvmConfig{}, reference.plan, rounds, 1);
+  (void)baseline;
+  ASSERT_TRUE(reference.verify()) << name << " reference";
+  ASSERT_EQ(w.plan.bytes_out, reference.plan.bytes_out);
+  EXPECT_EQ(std::memcmp(w.plan.output, reference.plan.output,
+                        static_cast<std::size_t>(w.plan.bytes_out)),
+            0)
+      << name << ": migrated output diverges from the unmigrated run";
+  // Source-side state drained: neither device still holds the client.
+  EXPECT_FALSE(rig.pool->gvm(0).has_client(0));
+  EXPECT_FALSE(rig.pool->gvm(1).has_client(0));
+  for (auto& dev : rig.devices) EXPECT_EQ(dev->memory_used(), 0);
+  for (std::size_t g = 0; g < 2; ++g) {
+    EXPECT_EQ(rig.pool->gvm(g).scheduler().clients(), 0u);
+  }
+}
+
+class MigrationOracle : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MigrationOracle, BitwiseIdenticalAcrossDevices) {
+  run_with_migration_every_round(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, MigrationOracle,
+    ::testing::ValuesIn(workloads::functional_workload_names()),
+    [](const auto& info) { return info.param; });
+
+TEST(Migration, SourceStateDrainsToZeroMidWorkload) {
+  auto w = workloads::functional_cg();
+  PoolConfig config;
+  config.placement.policy = sched::PlacementPolicy::kStatic;
+  config.gvm.per_client_quota = kGiB;
+  PoolRig rig({fast_c2070(), fast_c2070()}, config);
+  rig.sim.spawn([](PoolRig& rig, workloads::FunctionalWorkload& w)
+                    -> des::Task<> {
+    co_await rig.pool->wait_ready();
+    PoolClient client(rig.sim, *rig.pool, 0);
+    EXPECT_TRUE((co_await client.req(w.plan)).ok());
+    co_await client.round();
+    const Bytes held = rig.devices[0]->memory_used();
+    EXPECT_GT(held, 0);
+    rig.pool->direct(0, 1);
+    co_await client.round();  // checkpoint executes the move
+    // Source device memory, scheduler entry and stream all drained.
+    EXPECT_EQ(rig.devices[0]->memory_used(), 0);
+    EXPECT_EQ(rig.pool->gvm(0).scheduler().clients(), 0u);
+    EXPECT_FALSE(rig.pool->gvm(0).has_client(0));
+    EXPECT_TRUE(rig.pool->gvm(1).has_client(0));
+    EXPECT_EQ(rig.pool->gvm(0).scheduler().stats().migrated, 1);
+    for (int round = 2; round < w.rounds; ++round) co_await client.round();
+    co_await client.rls();
+  }(rig, w));
+  rig.sim.run();
+  EXPECT_TRUE(w.verify());
+  EXPECT_EQ(rig.pool->stats().migrations, 1);
+  EXPECT_EQ(rig.pool->gvm(0).stats().migrations_out, 1);
+  EXPECT_EQ(rig.pool->gvm(1).stats().migrations_in, 1);
+}
+
+TEST(Migration, TargetPressureBouncesTheClientBackToSource) {
+  // Device 1 is too small for the client's working set: the import is
+  // refused and the client bounces back to device 0, unharmed.
+  gpu::DeviceSpec tiny = fast_c2070();
+  tiny.global_mem = 4 * kKiB;
+  auto w = workloads::functional_vecadd(2048);  // 8 KiB in, 8 KiB out
+  PoolConfig config;
+  config.placement.policy = sched::PlacementPolicy::kStatic;
+  PoolRig rig({fast_c2070(), tiny}, config);
+  rig.sim.spawn([](PoolRig& rig, workloads::FunctionalWorkload& w)
+                    -> des::Task<> {
+    co_await rig.pool->wait_ready();
+    PoolClient client(rig.sim, *rig.pool, 0);
+    EXPECT_TRUE((co_await client.req(w.plan)).ok());
+    rig.pool->direct(0, 1);
+    co_await client.round();
+    EXPECT_EQ(rig.pool->device_of(0), 0);  // still home
+    co_await client.rls();
+  }(rig, w));
+  rig.sim.run();
+  EXPECT_EQ(rig.pool->stats().migrations, 0);
+  EXPECT_EQ(rig.pool->stats().bounced_migrations, 1);
+  EXPECT_TRUE(w.verify());
+}
+
+TEST(Migration, DirectiveToCurrentDeviceIsDropped) {
+  auto w = workloads::functional_vecadd(1024);
+  PoolConfig config;
+  config.placement.policy = sched::PlacementPolicy::kStatic;
+  PoolRig rig({fast_c2070(), fast_c2070()}, config);
+  rig.sim.spawn([](PoolRig& rig, workloads::FunctionalWorkload& w)
+                    -> des::Task<> {
+    co_await rig.pool->wait_ready();
+    PoolClient client(rig.sim, *rig.pool, 0);
+    EXPECT_TRUE((co_await client.req(w.plan)).ok());
+    rig.pool->direct(0, 0);  // no-op directive
+    co_await client.round();
+    co_await client.rls();
+  }(rig, w));
+  rig.sim.run();
+  EXPECT_EQ(rig.pool->stats().migrations, 0);
+  EXPECT_EQ(rig.pool->stats().failed_migrations, 1);
+  EXPECT_TRUE(w.verify());
+}
+
+// ---------------------------------------------------------------------------
+// Rebalancer
+// ---------------------------------------------------------------------------
+
+TEST(Rebalancer, MovesClientsOffTheOverloadedDevice) {
+  // Pack piles everyone onto device 0; the rebalancer should peel
+  // quiescent clients off to device 1 between sessions.
+  PoolConfig config;
+  config.placement.policy = sched::PlacementPolicy::kPack;
+  config.model_installs = false;
+  config.rebalance = true;
+  config.rebalance_interval = microseconds(500.0);
+  config.rebalance_min_gap = 1;
+  auto w = workloads::npb_ep(18);
+  PoolClientSpec spec = spec_for(w, /*sessions=*/2, 0, microseconds(100.0));
+  spec.rounds = 4;  // round boundaries give the directives a place to fire
+  std::vector<PoolClientSpec> clients(6, spec);
+  auto r = run_pool({fast_c2070(), fast_c2070()}, config, clients);
+  EXPECT_GT(r.pool.rebalance_checks, 0);
+  EXPECT_GT(r.pool.migrations + r.pool.bounced_migrations +
+                r.pool.failed_migrations,
+            0);
+  for (Bytes residual : r.residual_device_bytes) EXPECT_EQ(residual, 0);
+}
+
+}  // namespace
+}  // namespace vgpu::gvm

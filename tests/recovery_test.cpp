@@ -350,6 +350,73 @@ TEST(Recovery, VmemKilledClientsLedgerPagesDieWithItsLease) {
   EXPECT_EQ(whole->value(), 0);
 }
 
+// Two memory domains behind one front door: concurrent clients must be
+// routed across both by the spread placement (sequential ones would all
+// fall back to domain 0 once the counts drain), results stay oracle-exact
+// regardless of which pager served them, and the pooled vmem.* aggregates
+// must equal the sum of the per-device labels so the single-device
+// dashboards and CI gates keep reading true numbers.
+TEST(Recovery, MultiDomainSpreadRoutesClientsAndKeepsAggregatesExact) {
+  const std::string prefix = unique_prefix("mdom");
+  constexpr long kN = 2048;  // 24 KiB per client: 6 pages of 4 KiB
+  constexpr Bytes kPage = 4096;
+  constexpr int kClients = 4;
+  RtServerConfig config =
+      chaos_config(prefix, kClients, ipc::TransportKind::kShmRing);
+  config.sched.policy = sched::Policy::kFairShare;  // no barrier
+  config.vmem.enabled = true;
+  config.vmem.page_size = kPage;
+  config.vmem.device_capacity = 8 * kPage;  // per domain: one set, not two
+  config.vmem.host_ledger = 64 * kPage;
+  config.vmem.devices = 2;
+  config.placement.policy = sched::PlacementPolicy::kSpread;
+  RtServer server(config, builtin_registry());
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_EQ(server.memory_domains(), 2u);
+
+  // All four in flight at once so the spread router sees live per-domain
+  // client counts at REQ time.
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kClients; ++id) {
+    threads.emplace_back([&, id] {
+      if (run_vecadd_client(prefix, id, kN,
+                            chaos_options(ipc::TransportKind::kShmRing))) {
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+  EXPECT_EQ(completed.load(), kClients);
+
+  const obs::Registry& reg = server.obs().metrics();
+  auto counter = [&](const std::string& name) {
+    const obs::Counter* c = reg.find_counter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c != nullptr ? c->value() : -1;
+  };
+  // Both domains took placements, and every REQ was placed exactly once.
+  const long placed0 = counter("rt.device0.placements");
+  const long placed1 = counter("rt.device1.placements");
+  EXPECT_GT(placed0, 0);
+  EXPECT_GT(placed1, 0);
+  EXPECT_EQ(placed0 + placed1, kClients);
+  // The pooled aggregate is the exact sum of the per-device labels.
+  EXPECT_EQ(counter("vmem.faults"),
+            counter("vmem.device0.faults") + counter("vmem.device1.faults"));
+  EXPECT_GT(counter("vmem.faults"), 0);
+  // Clean teardown on every domain: all pages released, nothing stranded
+  // in either ledger, and no whole-client evictions anywhere.
+  for (std::size_t d = 0; d < server.memory_domains(); ++d) {
+    const vmem::Pager* pager = server.pager(d);
+    ASSERT_NE(pager, nullptr);
+    EXPECT_EQ(pager->resident_bytes(), 0) << "domain " << d;
+    EXPECT_EQ(pager->ledger_bytes(), 0) << "domain " << d;
+  }
+  EXPECT_EQ(counter("vmem.evictions_whole_client"), 0);
+}
+
 // ---------------------------------------------------------------------------
 // Reclamation completeness
 // ---------------------------------------------------------------------------

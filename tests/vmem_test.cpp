@@ -342,5 +342,44 @@ TEST(Pager, PageInStallPointFiresPerFill) {
   EXPECT_GE(elapsed, std::chrono::microseconds(1500));
 }
 
+TEST(Pager, HandoffMovesResidencyAndDrainsTheSourceLedger) {
+  // Client 0's working set lives on pager A with one page spilled to the
+  // ledger and its backing scrubbed; the hand-off must restore the bytes,
+  // drain A completely and leave the data faultable-in on pager B.
+  Pager a(small_config(/*device_pages=*/2, /*ledger_pages=*/4));
+  Pager b(small_config(/*device_pages=*/8, /*ledger_pages=*/4));
+  auto backing = make_backing(3 * kPage, 42);
+  const auto expected = backing;
+  a.bind(0, backing.data(), 3 * kPage);
+  ASSERT_FALSE(a.pin_working_set(0));  // 3 pages, 2 frames -> spill traffic
+  a.unpin(0);
+
+  auto moved = a.handoff_client(0, b);
+  ASSERT_TRUE(moved.ok()) << moved.status().to_string();
+  EXPECT_EQ(*moved, 3 * kPage);
+  // Source drained to zero: no residency, no ledger bytes, no bindings.
+  EXPECT_EQ(a.resident_bytes(), 0);
+  EXPECT_EQ(a.ledger_bytes(), 0);
+  EXPECT_TRUE(a.table().client_allocs(0).empty());
+  EXPECT_EQ(a.counters().handoffs_out, 1);
+  EXPECT_EQ(b.counters().handoffs_in, 1);
+  EXPECT_EQ(b.counters().bytes_handed_off, 3 * kPage);
+  // Backing is bitwise-intact (the spilled + scrubbed page was restored).
+  EXPECT_EQ(std::memcmp(backing.data(), expected.data(), backing.size()), 0);
+  // Target adopted the bindings cold and can make them resident.
+  ASSERT_EQ(b.table().client_allocs(0).size(), 1u);
+  EXPECT_TRUE(b.pin_working_set(0));
+  EXPECT_TRUE(b.working_set_resident(0));
+  EXPECT_EQ(std::memcmp(backing.data(), expected.data(), backing.size()), 0);
+}
+
+TEST(Pager, HandoffWithoutBindingsIsNotFound) {
+  Pager a(small_config(2, 2));
+  Pager b(small_config(2, 2));
+  auto moved = a.handoff_client(7, b);
+  ASSERT_FALSE(moved.ok());
+  EXPECT_EQ(moved.status().code(), ErrorCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace vgpu::vmem

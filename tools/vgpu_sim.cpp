@@ -12,6 +12,17 @@
 // `--sched` and `--quota-mb` only affect virtualized runs; any value other
 // than the default barrier policy also prints the scheduler counter block.
 //
+// `--devices=N` (N > 1) puts N modeled GPUs behind the front door and
+// `--placement=static|pack|spread|locality` picks the policy routing each
+// client to one. In DES mode this runs the DevicePoolGvm (src/gvm/pool):
+// per-session turnaround percentiles, pool counters and the per-device
+// counter block; `--sessions=` sets re-attach sessions per client (the
+// locality policy's signal) and `--rebalance` turns on busiest-to-idlest
+// client migration at round boundaries. In live mode (with `--vmem`) the
+// same flags shard the pager into N memory domains placed at REQ time;
+// the per-device block prints each domain's placements, clients and
+// paging counters (rt.device<k>.* / vmem.device<k>.* metric labels).
+//
 // `--mode=live` runs the workload's kernel for real: an in-process GVM
 // server plus `--procs` forked client processes speaking the six-verb
 // protocol over actual POSIX IPC. `--transport=mq|shm` picks the control
@@ -69,6 +80,7 @@
 #include "common/flags.hpp"
 #include "fault/fault.hpp"
 #include "gvm/experiment.hpp"
+#include "gvm/pool.hpp"
 #include "obs/obs.hpp"
 #include "obs/residuals.hpp"
 #include "kernels/electrostatics.hpp"
@@ -228,6 +240,62 @@ LiveKernelPlan live_population_plan(const std::string& workload) {
 }
 
 void print_live_stats(const rt::RtServer& server);
+
+/// `--devices=N` DES run: the DevicePoolGvm front door over N modeled
+/// GPUs (src/gvm/pool). Prints per-session turnaround percentiles, the
+/// pool counter block and the per-device placement/residual block.
+int run_pool_mode(const Flags& flags, const workloads::Workload& w,
+                  const gpu::DeviceSpec& spec, int devices, int procs,
+                  int rounds, const gvm::GvmConfig& gvm_config) {
+  gvm::PoolConfig config;
+  config.gvm = gvm_config;
+  if (flags.has("placement") &&
+      !sched::parse_placement(flags.get_string("placement"),
+                              &config.placement.policy)) {
+    std::fprintf(stderr,
+                 "unknown placement '%s' (try: static pack spread "
+                 "locality)\n",
+                 flags.get_string("placement").c_str());
+    return 2;
+  }
+  config.rebalance = flags.get_bool("rebalance");
+  const int sessions =
+      static_cast<int>(flags.get_long("sessions", 1));
+  std::vector<gvm::PoolClientSpec> clients;
+  for (int i = 0; i < procs; ++i) {
+    gvm::PoolClientSpec client;
+    client.plan = w.plan;
+    client.rounds = rounds;
+    client.sessions = sessions;
+    client.think = microseconds(100.0);
+    clients.push_back(client);
+  }
+  const std::vector<gpu::DeviceSpec> specs(
+      static_cast<std::size_t>(devices), spec);
+  const gvm::PoolRunResult r = gvm::run_pool(specs, config, clients);
+  std::printf("  %-10s %10.1f ms  [%d devices, %s placement, "
+              "rebalance %s]\n",
+              "pool", to_ms(r.makespan), devices,
+              sched::placement_name(config.placement.policy),
+              config.rebalance ? "on" : "off");
+  std::printf("  sessions %zu: p95 %.2f ms, mean %.2f ms\n",
+              r.session_seconds.size(), r.p95_seconds() * 1e3,
+              r.mean_seconds() * 1e3);
+  std::printf("  pool: %ld placements (%ld warm, %ld cold), %ld installs, "
+              "%ld migrations (%ld bounced, %ld dropped), %lld B moved\n",
+              r.pool.placements, r.pool.warm_hits, r.pool.cold_moves,
+              r.pool.installs, r.pool.migrations, r.pool.bounced_migrations,
+              r.pool.failed_migrations,
+              static_cast<long long>(r.pool.migrated_bytes));
+  for (std::size_t d = 0; d < static_cast<std::size_t>(devices); ++d) {
+    std::printf("  device %zu: placements %ld, residual %lld B / %zu "
+                "sched clients\n",
+                d, r.pool.per_device_placements[d],
+                static_cast<long long>(r.residual_device_bytes[d]),
+                r.residual_sched_clients[d]);
+  }
+  return 0;
+}
 
 /// `--clients=N` population run: N client *threads* through one shared
 /// RtClientContext (three kernel objects for the whole population, not
@@ -499,6 +567,31 @@ void print_live_stats(const rt::RtServer& server) {
                            : 0.0,
                 cnt("vmem.pin_shortfalls"),
                 cnt("vmem.evictions_whole_client"));
+    // Per-device counter block (multi-domain paging): where placement
+    // routed the sessions and how each domain's pager fared.
+    if (server.memory_domains() > 1) {
+      const auto scnt = [&reg](const std::string& name) {
+        const obs::Counter* c = reg.find_counter(name);
+        return c != nullptr ? c->value() : 0L;
+      };
+      const auto sgauge = [&reg](const std::string& name) {
+        const obs::Gauge* g = reg.find_gauge(name);
+        return g != nullptr ? static_cast<long>(g->value()) : 0L;
+      };
+      for (std::size_t d = 0; d < server.memory_domains(); ++d) {
+        const std::string dev = "device" + std::to_string(d);
+        std::printf("  %s [%s]: placements %ld, clients %ld, faults %ld, "
+                    "page-ins %ld, page-outs %ld, resident %ld B\n",
+                    dev.c_str(),
+                    sched::placement_name(server.config().placement.policy),
+                    scnt("rt." + dev + ".placements"),
+                    sgauge("rt." + dev + ".clients"),
+                    scnt("vmem." + dev + ".faults"),
+                    scnt("vmem." + dev + ".page_ins"),
+                    scnt("vmem." + dev + ".page_outs"),
+                    sgauge("vmem." + dev + ".resident_bytes"));
+      }
+    }
   }
 }
 
@@ -564,6 +657,23 @@ int run_live(const Flags& flags, const std::string& workload_name, int procs,
         static_cast<Bytes>(flags.get_long("device-mb", 64)) * kMiB;
     config.vmem.host_ledger =
         static_cast<Bytes>(flags.get_long("host-ledger-mb", 256)) * kMiB;
+    // Multi-device paging: N memory domains placed at REQ time.
+    config.vmem.devices =
+        static_cast<int>(flags.get_long("devices", 1));
+    if (flags.has("placement") &&
+        !sched::parse_placement(flags.get_string("placement"),
+                                &config.placement.policy)) {
+      std::fprintf(stderr,
+                   "unknown placement '%s' (try: static pack spread "
+                   "locality)\n",
+                   flags.get_string("placement").c_str());
+      return 2;
+    }
+  } else if (flags.get_long("devices", 1) > 1) {
+    std::fprintf(stderr,
+                 "live --devices=N shards the vmem pager: add --vmem (or "
+                 "a vmem knob)\n");
+    return 2;
   }
   const std::string metrics_path = flags.get_string("metrics-json", "");
   const std::string trace_path = flags.get_string("trace-out", "");
@@ -740,6 +850,9 @@ int main(int argc, char** argv) {
         "          [--procs=8] [--rounds=<default>] [--device=c2070]\n"
         "          [--mode=native|virt|remote|remote10g|vm|merge|live]\n"
         "          [--sched=barrier|tq|fair|prio] [--quota-mb=<N>]\n"
+        "          [--devices=<N>] [--placement=static|pack|spread|"
+        "locality]\n"
+        "          [--sessions=<N>] [--rebalance]\n"
         "          [--transport=mq|shm] [--data-plane=staged|zero_copy]\n"
         "          [--exec=serial|sharded] [--workers=<N>] [--graph]\n"
         "          [--clients=<N>] [--arrival=burst|poisson] [--rate=<N/s>]\n"
@@ -780,6 +893,14 @@ int main(int argc, char** argv) {
       !flags.get_bool("all-modes")) {
     return run_live(flags, flags.get_string("workload"), procs, rounds,
                     gvm_config);
+  }
+  if (const int devices = static_cast<int>(flags.get_long("devices", 1));
+      devices > 1 && !flags.get_bool("all-modes")) {
+    if (flags.get_string("mode", "virt") != "virt") {
+      std::fprintf(stderr, "--devices=N needs --mode=virt or --mode=live\n");
+      return 2;
+    }
+    return run_pool_mode(flags, w, spec, devices, procs, rounds, gvm_config);
   }
 
   gvm::RunResult virt_result;
