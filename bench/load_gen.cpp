@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "obs/metrics.hpp"
 #include "rt/client.hpp"
 #include "rt/registry.hpp"
@@ -120,13 +121,10 @@ struct ClientResult {
   long errors = 0;
 };
 
-/// Fraction-ranked percentile over a sorted sample set.
+/// Fraction-ranked percentile over a sorted sample set, via the repo's
+/// canonical interpolation rule (common/stats.hpp).
 double pct(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - static_cast<double>(lo));
+  return vgpu::percentile(sorted, p);
 }
 
 /// Per-client shm segments left behind under `prefix` (the leak gate);

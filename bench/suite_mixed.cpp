@@ -1,0 +1,240 @@
+// Trace-driven multi-tenant regression suite (ROADMAP item 5;
+// docs/workloads.md): replays the canonical tenant mixes on both the DES
+// path (gvm::run_mixed, every scheduler policy) and the live RtServer
+// path (policy x transport x exec sweep, plus a vmem-on probe), and
+// emits the per-tenant SLO tables to BENCH_mix.json — the artifact CI's
+// bench-mix job jq-gates on attainment floors, zero errors, and zero
+// leaked sessions/segments.
+//
+//   suite_mixed [--smoke] [--out=BENCH_mix.json] [--seed=S]
+//               [--horizon-us=N] [--mixes=a,b] [--des-only]
+//
+// --smoke shrinks the horizon and compresses replay time for CI; the
+// tenant structure, rates and SLO targets are unchanged.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/trace/replay.hpp"
+#include "workloads/trace/trace.hpp"
+
+using namespace vgpu;
+namespace wtrace = vgpu::workloads::trace;
+
+namespace {
+
+struct Options {
+  bool smoke = false;
+  bool des_only = false;
+  std::string out = "BENCH_mix.json";
+  std::uint64_t seed = 42;
+  std::int64_t horizon_us = 0;  // 0 = mix default (smoke overrides)
+  std::vector<std::string> mixes = wtrace::canonical_mix_names();
+};
+
+bool parse_args(int argc, char** argv, Options* o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--smoke") {
+      o->smoke = true;
+    } else if (arg == "--des-only") {
+      o->des_only = true;
+    } else if (const char* v = val("--out=")) {
+      o->out = v;
+    } else if (const char* v = val("--seed=")) {
+      o->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--horizon-us=")) {
+      o->horizon_us = std::strtoll(v, nullptr, 10);
+    } else if (const char* v = val("--mixes=")) {
+      o->mixes.clear();
+      std::string list = v;
+      std::string::size_type pos = 0;
+      while (pos != std::string::npos) {
+        const auto comma = list.find(',', pos);
+        o->mixes.push_back(list.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: suite_mixed [--smoke] [--des-only] [--out=FILE]"
+                   " [--seed=S] [--horizon-us=N] [--mixes=a,b]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+sched::SchedulerConfig sched_config(const std::string& policy) {
+  sched::SchedulerConfig config;
+  const bool ok = sched::parse_policy(policy, &config.policy);
+  VGPU_ASSERT_MSG(ok, "bad policy spelling in sweep table");
+  return config;
+}
+
+/// Rolled-up gate numbers across every run in the sweep.
+struct Gate {
+  long errors = 0;
+  long leaked_slots = 0;
+  long leaked_segments = 0;
+  double min_attainment_pct = 100.0;
+  double min_jain = 1.0;
+  long runs = 0;
+
+  void fold(const wtrace::ReplayResult& r, bool live) {
+    ++runs;
+    errors += r.errors;
+    if (live) {
+      leaked_slots += r.leaked_slots;
+      leaked_segments += r.leaked_segments;
+    }
+    for (const obs::TenantSlo& t : r.report.tenants) {
+      if (t.target.p99_ms > 0.0 && t.attainment_pct < min_attainment_pct) {
+        min_attainment_pct = t.attainment_pct;
+      }
+    }
+    if (r.report.jain_fairness < min_jain) min_jain = r.report.jain_fairness;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return 2;
+  if (opt.smoke && opt.horizon_us <= 0) opt.horizon_us = 250'000;
+
+  const gpu::DeviceSpec spec = bench::paper_device();
+  const std::vector<std::string> des_policies = {"barrier", "tq", "fair",
+                                                 "prio"};
+  const std::vector<std::string> live_policies = {"fair", "tq"};
+  const std::vector<std::string> transports = {"shm", "mq"};
+  const std::vector<std::string> execs = {"serial", "sharded"};
+
+  Gate gate;
+  std::string mixes_json;
+  bool first_mix = true;
+  for (const std::string& mix_name : opt.mixes) {
+    auto trace =
+        wtrace::canonical_mix(mix_name, opt.horizon_us, opt.seed);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "bad mix '%s': %s\n", mix_name.c_str(),
+                   trace.status().to_string().c_str());
+      return 2;
+    }
+    std::printf("=== mix %s: %zu tenants, %zu open-loop ops, horizon %lld "
+                "us ===\n",
+                mix_name.c_str(), trace->tenants.size(), trace->ops.size(),
+                static_cast<long long>(trace->horizon_us));
+
+    std::string des_json;
+    bool first = true;
+    for (const std::string& policy : des_policies) {
+      gvm::GvmConfig config = bench::paper_gvm_config();
+      config.sched = sched_config(policy);
+      auto r = wtrace::replay_des(*trace, spec, config);
+      if (!r.ok()) {
+        std::fprintf(stderr, "des replay failed: %s\n",
+                     r.status().to_string().c_str());
+        return 1;
+      }
+      gate.fold(*r, /*live=*/false);
+      std::printf("--- des policy=%s ---\n%s", policy.c_str(),
+                  r->report.format_table().c_str());
+      des_json += std::string(first ? "\n" : ",\n") +
+                  "        {\"policy\": \"" + policy + "\", \"report\": " +
+                  r->report.to_json() + "}";
+      first = false;
+    }
+
+    std::string live_json;
+    first = true;
+    if (!opt.des_only) {
+      struct LiveCase {
+        std::string policy, transport, exec;
+        bool vmem;
+      };
+      std::vector<LiveCase> cases;
+      for (const auto& p : live_policies) {
+        for (const auto& t : transports) {
+          for (const auto& e : execs) {
+            cases.push_back({p, t, e, false});
+          }
+        }
+      }
+      // The vmem on/off axis rides one representative combo per mix (a
+      // full 2x cross would double an already wide sweep).
+      cases.push_back({"fair", "shm", "serial", true});
+      for (const LiveCase& c : cases) {
+        wtrace::LiveReplayOptions lopts;
+        lopts.sched = sched_config(c.policy);
+        lopts.transport = c.transport;
+        lopts.exec = c.exec;
+        lopts.vmem = c.vmem;
+        if (opt.smoke) lopts.time_scale = 0.5;
+        auto r = wtrace::replay_live(*trace, lopts);
+        if (!r.ok()) {
+          std::fprintf(stderr, "live replay failed: %s\n",
+                       r.status().to_string().c_str());
+          return 1;
+        }
+        gate.fold(*r, /*live=*/true);
+        std::printf("--- live policy=%s transport=%s exec=%s vmem=%s ---\n%s",
+                    c.policy.c_str(), c.transport.c_str(), c.exec.c_str(),
+                    c.vmem ? "on" : "off",
+                    r->report.format_table().c_str());
+        live_json +=
+            std::string(first ? "\n" : ",\n") + "        {\"policy\": \"" +
+            c.policy + "\", \"transport\": \"" + c.transport +
+            "\", \"exec\": \"" + c.exec +
+            "\", \"vmem\": " + (c.vmem ? "true" : "false") +
+            ", \"errors\": " + std::to_string(r->errors) +
+            ", \"leaked_slots\": " + std::to_string(r->leaked_slots) +
+            ", \"leaked_segments\": " + std::to_string(r->leaked_segments) +
+            ", \"report\": " + r->report.to_json() + "}";
+        first = false;
+      }
+    }
+
+    mixes_json += std::string(first_mix ? "\n" : ",\n") +
+                  "    {\"mix\": \"" + mix_name + "\",\n" +
+                  "      \"ops\": " + std::to_string(trace->ops.size()) +
+                  ",\n      \"des\": [" + des_json + "\n      ],\n" +
+                  "      \"live\": [" + live_json + "\n      ]}";
+    first_mix = false;
+  }
+
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"smoke\": %s,\n", opt.smoke ? "true" : "false");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(opt.seed));
+  std::fprintf(f, "  \"mixes\": [%s\n  ],\n", mixes_json.c_str());
+  std::fprintf(f,
+               "  \"gate\": {\"runs\": %ld, \"total_errors\": %ld, "
+               "\"total_leaked_slots\": %ld, \"total_leaked_segments\": "
+               "%ld, \"min_attainment_pct\": %.3f, \"min_jain\": %.4f}\n",
+               gate.runs, gate.errors, gate.leaked_slots,
+               gate.leaked_segments, gate.min_attainment_pct, gate.min_jain);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("suite_mixed: %ld runs | errors %ld | leaked slots %ld "
+              "segments %ld | min attainment %.1f%% | min jain %.3f -> %s\n",
+              gate.runs, gate.errors, gate.leaked_slots,
+              gate.leaked_segments, gate.min_attainment_pct, gate.min_jain,
+              opt.out.c_str());
+  const bool failed = gate.errors > 0 || gate.leaked_slots != 0 ||
+                      gate.leaked_segments != 0;
+  return failed ? 1 : 0;
+}

@@ -50,36 +50,16 @@ void emit(TablePrinter& table, const std::string& csv_name);
 #include <cstring>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "obs/metrics.hpp"
 
 namespace vgpu::bench {
 
-/// Order statistics over one sample set: sorts once at construction, then
-/// answers any number of percentile queries without re-sorting or copying
-/// (the old free-function percentile() copied and sorted per call).
-class SampleStats {
- public:
-  explicit SampleStats(std::vector<double> samples)
-      : sorted_(std::move(samples)) {
-    std::sort(sorted_.begin(), sorted_.end());
-  }
-
-  /// p-th percentile (0..1) by linear interpolation between order
-  /// statistics (the convention the sched/transport stats code uses).
-  double percentile(double p) const {
-    if (sorted_.empty()) return 0.0;
-    const double rank = p * static_cast<double>(sorted_.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
-  }
-  double median() const { return percentile(0.5); }
-  std::size_t count() const { return sorted_.size(); }
-
- private:
-  std::vector<double> sorted_;
-};
+/// Order statistics over one sample set. The implementation lives in
+/// common/stats.hpp so every consumer (sched stats, SLO reporter, micro
+/// benches) shares one interpolation rule and one set of edge-case
+/// semantics; this alias keeps the historical bench spelling working.
+using SampleStats = ::vgpu::SampleStats;
 
 /// One-shot convenience; for repeated queries over the same samples build
 /// a SampleStats instead.

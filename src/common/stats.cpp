@@ -9,16 +9,15 @@ namespace vgpu {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
+double SampleStats::mean() const {
+  if (sorted_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : sorted_) sum += s;
+  return sum / static_cast<double>(sorted_.size());
+}
+
 double percentile(std::vector<double> samples, double q) {
-  VGPU_ASSERT(!samples.empty());
-  VGPU_ASSERT(q >= 0.0 && q <= 1.0);
-  std::sort(samples.begin(), samples.end());
-  if (samples.size() == 1) return samples[0];
-  const double pos = q * static_cast<double>(samples.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  return SampleStats(std::move(samples)).percentile(q);
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -1,6 +1,7 @@
 // Small statistics toolkit used by benches and tests.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -35,7 +36,48 @@ class RunningStat {
   double max_ = 0.0;
 };
 
-/// Percentile with linear interpolation; `q` in [0, 1]. Copies + sorts.
+/// Order statistics over one sample set: sorts once at construction, then
+/// answers any number of percentile queries without re-sorting or copying.
+///
+/// This is the repo's single percentile convention (linear interpolation
+/// between order statistics at rank q*(n-1), value
+/// `s[lo]*(1-frac) + s[hi]*frac`) — the sched/transport stats, the SLO
+/// reporter, and the bench binaries all route through it, so a per-tenant
+/// p99 in BENCH_mix.json and a wait_p95 in ablation_sched.csv mean the
+/// same thing. Edge cases are total rather than asserting: an empty set
+/// answers 0.0 for every quantile, a single sample answers that sample,
+/// and q outside [0,1] (including NaN) clamps to the nearest edge.
+class SampleStats {
+ public:
+  SampleStats() = default;
+  explicit SampleStats(std::vector<double> samples)
+      : sorted_(std::move(samples)) {
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+
+  double percentile(double q) const {
+    if (sorted_.empty()) return 0.0;
+    if (!(q > 0.0)) q = 0.0;  // also catches NaN
+    if (q > 1.0) q = 1.0;
+    const double pos = q * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+  }
+  double median() const { return percentile(0.5); }
+  double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+  double mean() const;
+  std::size_t count() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Percentile with linear interpolation; `q` in [0, 1]. Copies + sorts —
+/// for repeated queries over the same samples build a SampleStats.
 double percentile(std::vector<double> samples, double q);
 
 /// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.

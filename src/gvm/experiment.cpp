@@ -59,6 +59,44 @@ des::Task<> baseline_process(vcuda::Runtime& rt, const TaskPlan& plan,
   co_await done.wait();
 }
 
+/// One trace-driven mixed client (see MixedClient in the header): REQ,
+/// then one SND/STR/STP/RCV round per scheduled release (open-loop) or
+/// per job with think-time gaps (closed-loop), then RLS. Latency for an
+/// open-loop round is measured from the *scheduled* release — a round
+/// that starts late because the previous one overran still charges its
+/// queueing delay (no coordinated omission).
+des::Task<> traced_rounds(des::Simulator& s, VGpuClient& c,
+                          const MixedClient& m, SimTime t0,
+                          std::vector<RoundSample>& samples) {
+  const Status admitted = co_await c.req(m.plan);
+  VGPU_ASSERT_MSG(admitted.ok(), admitted.to_string().c_str());
+  const int rounds = m.releases.empty()
+                         ? m.rounds
+                         : static_cast<int>(m.releases.size());
+  for (int r = 0; r < rounds; ++r) {
+    SimTime released = s.now();
+    if (!m.releases.empty()) {
+      const SimTime due = t0 + m.releases[static_cast<std::size_t>(r)];
+      if (s.now() < due) co_await s.delay(due - s.now());
+      released = due;
+    }
+    co_await c.snd();
+    co_await c.str();
+    co_await c.wait_done();
+    co_await c.rcv();
+    samples.push_back(
+        RoundSample{c.id(), m.tenant, released - t0, s.now() - released});
+    if (m.releases.empty() && m.think > 0 && r + 1 < rounds) {
+      co_await s.delay(m.think);
+    }
+  }
+  co_await c.rls();
+}
+
+bool is_traced(const MixedClient& m) {
+  return !m.releases.empty() || m.think > 0 || m.tenant >= 0;
+}
+
 }  // namespace
 
 RunResult run_baseline(const gpu::DeviceSpec& spec, const TaskPlan& plan,
@@ -155,10 +193,14 @@ RunResult run_mixed(const gpu::DeviceSpec& spec, GvmConfig config,
   // the currently admitted population; with uniform rounds the strict
   // paper barrier is safe and its cohort-formation cost stays observable.
   bool uniform_rounds = true;
+  bool traced = false;
   for (const MixedClient& m : mix) {
     uniform_rounds = uniform_rounds && m.rounds == mix.front().rounds;
+    traced = traced || is_traced(m);
   }
-  if (!uniform_rounds) config.sched.dynamic_width = true;
+  // Trace-driven clients arrive and depart on their own schedules, so the
+  // strict barrier can never count on the cohort refilling either.
+  if (!uniform_rounds || traced) config.sched.dynamic_width = true;
   Gvm gvm(sim, runtime, config);
   gvm.start();
 
@@ -180,13 +222,17 @@ RunResult run_mixed(const gpu::DeviceSpec& spec, GvmConfig config,
     out.per_process.resize(clients.size());
     for (std::size_t i = 0; i < clients.size(); ++i) {
       s.spawn([](des::Simulator& s, VGpuClient& c, const MixedClient& m,
-                 des::CountdownLatch& done, SimTime t0,
-                 SimDuration& finish) -> des::Task<> {
+                 des::CountdownLatch& done, SimTime t0, SimDuration& finish,
+                 std::vector<RoundSample>& samples) -> des::Task<> {
         co_await s.delay(m.arrival);
-        co_await c.run_task(m.plan, m.rounds);
+        if (is_traced(m)) {
+          co_await traced_rounds(s, c, m, t0, samples);
+        } else {
+          co_await c.run_task(m.plan, m.rounds);
+        }
         finish = s.now() - t0;
         done.count_down();
-      }(s, *clients[i], mix[i], done, t0, out.per_process[i]));
+      }(s, *clients[i], mix[i], done, t0, out.per_process[i], out.samples));
     }
     co_await done.wait();
     out.turnaround = s.now() - t0;

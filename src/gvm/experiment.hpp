@@ -23,6 +23,18 @@
 
 namespace vgpu::gvm {
 
+/// One completed job round of a trace-driven mixed run (see MixedClient
+/// below): when the round was *scheduled* to be released and how long it
+/// took from that scheduled instant — the coordination-omission-safe
+/// latency convention (a round that starts late because the client fell
+/// behind still charges the queueing delay).
+struct RoundSample {
+  int client = -1;
+  int tenant = -1;
+  SimTime released = 0;     // scheduled release, relative to run start
+  SimDuration latency = 0;  // finish - released
+};
+
 struct RunResult {
   SimDuration turnaround = 0;
   SimDuration pure_gpu_time = 0;  // device busy time within the run
@@ -34,6 +46,9 @@ struct RunResult {
   /// Per-process completion times relative to the simultaneous start —
   /// the spread measures fairness across the SPMD wave.
   std::vector<SimDuration> per_process;
+  /// Per-round latency samples; filled only for trace-driven mixed runs
+  /// (clients with releases/think/tenant set). Legacy runs leave it empty.
+  std::vector<RoundSample> samples;
 
   SimDuration fairness_spread() const {
     if (per_process.empty()) return 0;
@@ -58,10 +73,28 @@ RunResult run_virtualized(const gpu::DeviceSpec& spec, GvmConfig config,
 
 /// One client of a heterogeneous (non-SPMD) mix: its own plan, round
 /// count and staggered arrival time.
+///
+/// The trace replay engine (workloads/trace) extends the same struct:
+/// a non-empty `releases` turns the client into an open-loop arrival
+/// stream (one SND/STR/STP/RCV round per scheduled release, latency
+/// measured from the *scheduled* time — coordination-omission-safe), a
+/// positive `think` turns it into a closed-loop batch client (each of
+/// `rounds` jobs starts `think` after the previous one finishes), and
+/// `tenant >= 0` tags the per-round samples for the SLO report. A default
+/// MixedClient (empty releases, zero think, tenant -1) takes exactly the
+/// legacy run_task path, so existing benches replay bit-identically.
 struct MixedClient {
   TaskPlan plan;
   int rounds = 1;
   SimDuration arrival = 0;
+  /// Open-loop: absolute scheduled release times (relative to run start),
+  /// non-decreasing. Overrides `rounds` when non-empty.
+  std::vector<SimTime> releases;
+  /// Closed-loop: think time inserted between a job's completion and the
+  /// next job's release (0 = back-to-back, the legacy behavior).
+  SimDuration think = 0;
+  /// Tenant id stamped onto this client's RoundSamples (-1 = untraced).
+  int tenant = -1;
 };
 
 /// Heterogeneous run through the GVM: clients with different plans,

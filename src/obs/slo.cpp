@@ -1,0 +1,166 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace vgpu::obs {
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+}  // namespace
+
+double jain_index(const std::vector<double>& allocations) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (allocations.empty() || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+void SloAggregator::declare(int tenant, std::string name, double weight,
+                            SloTarget target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = tenants_[tenant];
+  t.name = std::move(name);
+  t.weight = weight > 0.0 ? weight : 1.0;
+  t.target = target;
+}
+
+void SloAggregator::record(int tenant, double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_[tenant].latencies_ms.push_back(latency_ms);
+}
+
+void SloAggregator::record_error(int tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tenants_[tenant].errors;
+}
+
+std::vector<double> SloAggregator::samples(int tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? std::vector<double>{}
+                              : it->second.latencies_ms;
+}
+
+SloReport SloAggregator::report(double makespan_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SloReport report;
+  report.makespan_ms = makespan_ms;
+  std::vector<double> rates;
+  rates.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) {  // std::map: tenant-id order
+    TenantSlo row;
+    row.tenant = id;
+    row.name = t.name;
+    row.weight = t.weight;
+    row.target = t.target;
+    row.completed = static_cast<std::int64_t>(t.latencies_ms.size());
+    row.errors = t.errors;
+    const SampleStats stats(t.latencies_ms);
+    row.p50_ms = stats.percentile(0.50);
+    row.p99_ms = stats.percentile(0.99);
+    row.mean_ms = stats.mean();
+    row.max_ms = stats.max();
+    if (t.target.p99_ms > 0.0 && !t.latencies_ms.empty()) {
+      std::int64_t ok = 0;
+      for (double s : t.latencies_ms) {
+        if (s <= t.target.p99_ms) ++ok;
+      }
+      row.attainment_pct = 100.0 * static_cast<double>(ok) /
+                           static_cast<double>(t.latencies_ms.size());
+    }
+    row.p50_met = t.target.p50_ms <= 0.0 || row.p50_ms <= t.target.p50_ms;
+    row.p99_met = t.target.p99_ms <= 0.0 || row.p99_ms <= t.target.p99_ms;
+    if (makespan_ms > 0.0) {
+      row.throughput_per_s =
+          static_cast<double>(row.completed) / (makespan_ms / 1000.0);
+    }
+    report.all_met = report.all_met && row.p50_met && row.p99_met &&
+                     row.errors == 0;
+    rates.push_back(static_cast<double>(row.completed) / row.weight);
+    report.tenants.push_back(std::move(row));
+  }
+  report.jain_fairness = jain_index(rates);
+  return report;
+}
+
+void SloAggregator::export_metrics(Registry* registry,
+                                   const std::string& prefix,
+                                   double makespan_ms) const {
+  if (registry == nullptr) return;
+  const SloReport rep = report(makespan_ms);
+  for (const TenantSlo& t : rep.tenants) {
+    const std::string base = prefix + "." + t.name;
+    registry->gauge(base + ".p50_ms")->set(t.p50_ms);
+    registry->gauge(base + ".p99_ms")->set(t.p99_ms);
+    registry->gauge(base + ".attainment_pct")->set(t.attainment_pct);
+    registry->gauge(base + ".throughput_per_s")->set(t.throughput_per_s);
+    registry->counter(base + ".completed")->add(t.completed);
+    registry->counter(base + ".errors")->add(t.errors);
+  }
+  registry->gauge(prefix + ".jain_fairness")->set(rep.jain_fairness);
+}
+
+std::string SloReport::to_json() const {
+  std::string out = "{\n  \"makespan_ms\": " + fmt("%.3f", makespan_ms) +
+                    ",\n  \"jain_fairness\": " + fmt("%.6f", jain_fairness) +
+                    ",\n  \"all_met\": " + (all_met ? "true" : "false") +
+                    ",\n  \"tenants\": [";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantSlo& t = tenants[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"tenant\": " + std::to_string(t.tenant) + ", \"name\": \"" +
+           t.name + "\", \"weight\": " + fmt("%.3f", t.weight) +
+           ", \"completed\": " + std::to_string(t.completed) +
+           ", \"errors\": " + std::to_string(t.errors) +
+           ", \"p50_ms\": " + fmt("%.3f", t.p50_ms) +
+           ", \"p99_ms\": " + fmt("%.3f", t.p99_ms) +
+           ", \"mean_ms\": " + fmt("%.3f", t.mean_ms) +
+           ", \"max_ms\": " + fmt("%.3f", t.max_ms) +
+           ", \"target_p50_ms\": " + fmt("%.3f", t.target.p50_ms) +
+           ", \"target_p99_ms\": " + fmt("%.3f", t.target.p99_ms) +
+           ", \"attainment_pct\": " + fmt("%.3f", t.attainment_pct) +
+           ", \"p50_met\": " + (t.p50_met ? "true" : "false") +
+           ", \"p99_met\": " + (t.p99_met ? "true" : "false") +
+           ", \"throughput_per_s\": " + fmt("%.3f", t.throughput_per_s) +
+           "}";
+  }
+  out += "\n  ]\n}";
+  return out;
+}
+
+std::string SloReport::format_table() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof line, "%-18s %8s %9s %9s %9s %8s %6s\n",
+                "tenant", "jobs", "p50_ms", "p99_ms", "tput/s", "slo%",
+                "met");
+  out += line;
+  for (const TenantSlo& t : tenants) {
+    std::snprintf(line, sizeof line,
+                  "%-18s %8lld %9.3f %9.3f %9.2f %8.2f %6s\n",
+                  t.name.c_str(), static_cast<long long>(t.completed),
+                  t.p50_ms, t.p99_ms, t.throughput_per_s, t.attainment_pct,
+                  (t.p50_met && t.p99_met) ? "yes" : "NO");
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "jain_fairness %.4f | makespan %.1f ms | %s\n", jain_fairness,
+                makespan_ms, all_met ? "all SLOs met" : "SLO MISS");
+  out += line;
+  return out;
+}
+
+}  // namespace vgpu::obs

@@ -1,0 +1,104 @@
+// Per-tenant SLO accounting for the trace-driven workload suite
+// (docs/workloads.md): raw latency samples in, a per-tenant report out —
+// p50/p99 against declared targets, SLO attainment %, throughput, and the
+// Jain fairness index across tenants.
+//
+// The aggregator keeps raw samples (a mixed-run replay produces thousands
+// of rounds, not millions), so every aggregate is exact: the property
+// tests recompute each number brute-force from the raw samples and demand
+// bitwise equality. Percentiles use the repo's canonical interpolation
+// rule (common/stats.hpp SampleStats).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vgpu::obs {
+
+class Registry;
+
+/// Latency targets for one tenant, in milliseconds. 0 disables that
+/// target (the tenant is reported but always counts as attaining it).
+struct SloTarget {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// One tenant's row of the report.
+struct TenantSlo {
+  int tenant = -1;
+  std::string name;
+  double weight = 1.0;
+  SloTarget target;
+  std::int64_t completed = 0;
+  std::int64_t errors = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  /// Percentage of samples at or under the p99 target (100 when no
+  /// target is declared or no sample arrived).
+  double attainment_pct = 100.0;
+  bool p50_met = true;  // p50_ms <= target.p50_ms (or no target)
+  bool p99_met = true;
+  double throughput_per_s = 0.0;  // completed / makespan
+};
+
+struct SloReport {
+  std::vector<TenantSlo> tenants;  // tenant-id order
+  double makespan_ms = 0.0;
+  /// Jain fairness index over per-tenant weighted completion rates
+  /// x_i = completed_i / weight_i: (sum x)^2 / (n * sum x^2). 1.0 =
+  /// perfectly proportional service; 1/n = one tenant got everything.
+  double jain_fairness = 1.0;
+  bool all_met = true;  // every declared target attained
+
+  std::string to_json() const;
+  std::string format_table() const;
+};
+
+/// Collects per-tenant latency samples from concurrently running replay
+/// workers (live path: many threads; DES path: one). Declare every tenant
+/// up front, then record() from anywhere.
+class SloAggregator {
+ public:
+  void declare(int tenant, std::string name, double weight,
+               SloTarget target);
+  void record(int tenant, double latency_ms);
+  void record_error(int tenant);
+
+  /// Builds the report; `makespan_ms` scales throughput (pass the
+  /// replayed wall/sim time). Safe to call while workers are stopped.
+  SloReport report(double makespan_ms) const;
+
+  /// Raw samples for one tenant (test hook for the brute-force
+  /// recomputation property).
+  std::vector<double> samples(int tenant) const;
+
+  /// Mirrors the report into an obs registry as gauges/counters named
+  /// `<prefix>.<tenant-name>.{p50_ms,p99_ms,attainment_pct,completed}`.
+  void export_metrics(Registry* registry, const std::string& prefix,
+                      double makespan_ms) const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    double weight = 1.0;
+    SloTarget target;
+    std::vector<double> latencies_ms;
+    std::int64_t errors = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<int, Tenant> tenants_;
+};
+
+/// Jain fairness index over arbitrary non-negative allocations; empty or
+/// all-zero input answers 1.0 (nobody is being treated unfairly when
+/// there is nothing to share).
+double jain_index(const std::vector<double>& allocations);
+
+}  // namespace vgpu::obs

@@ -284,6 +284,7 @@ Status RtClient::req(int kernel_id, const std::int64_t params[4]) {
   request.op = RtOp::kReq;
   request.client = id_;
   request.kernel_id = kernel_id;
+  request.priority = options_.priority;
   request.transport_caps = caps_;
   request.pid = static_cast<std::int32_t>(::getpid());
   request.seq = ++seq_;

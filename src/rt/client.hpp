@@ -156,6 +156,10 @@ struct RtClientOptions {
   /// message faults on the negotiated transport. ONLY configure kill
   /// rules in expendable (forked) clients — they SIGKILL the process.
   fault::Injector* fault = nullptr;
+  /// Scheduling hint stamped on the REQ (read by the priority-aging
+  /// policy; higher runs first). The trace replay engine maps each
+  /// tenant's priority attribute here.
+  int priority = 0;
 };
 
 class RtClient {

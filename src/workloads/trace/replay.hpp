@@ -1,0 +1,80 @@
+// Replay engines for multi-tenant traces (trace.hpp): the same Trace
+// drives either the DES `gvm::run_mixed` path or the live `RtServer`
+// path, and both feed the same per-tenant SLO reporter (obs/slo.hpp).
+//
+// Both engines are open-loop and coordination-omission-safe: a job's
+// latency is measured from its *scheduled* trace release time, so a
+// replayer that falls behind charges the queueing delay to the tenant
+// instead of silently thinning the arrival stream. Closed-loop tenants
+// (batch) release their next job think_ms after the previous completion,
+// as the trace's tenant descriptor says.
+//
+// Tenant-to-client mapping is identical on both paths: a tenant with W
+// workers becomes W clients, and open-loop op `seq` lands on worker
+// `seq % W` — the invariant behind the DES-vs-live cross-check (same
+// per-tenant completion counts, and for functional kernels bitwise-equal
+// outputs, since both paths fill inputs with the same JobShape filler).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gpu/spec.hpp"
+#include "gvm/experiment.hpp"
+#include "obs/slo.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/trace/trace.hpp"
+
+namespace vgpu::workloads::trace {
+
+struct ReplayResult {
+  obs::SloReport report;
+  double makespan_ms = 0.0;
+  std::map<int, long> completed;  // tenant -> jobs finished
+  long errors = 0;
+  /// Functional capture: each functional tenant's output bytes after its
+  /// last job (identical across jobs — same input every round).
+  std::map<int, std::vector<std::byte>> outputs;
+  /// Live-only leak gates (0 on the DES path).
+  long leaked_slots = 0;
+  long leaked_segments = 0;
+  /// DES-only details (device/scheduler counters, raw samples).
+  gvm::RunResult des;
+};
+
+struct DesReplayOptions {
+  bool functional = false;       // run real kernel bodies (parity kernels)
+  bool capture_outputs = false;  // keep per-tenant output bytes
+};
+
+/// Replays `trace` through gvm::run_mixed on a simulated device.
+/// `config.sched` picks the scheduler policy under test.
+StatusOr<ReplayResult> replay_des(const Trace& trace,
+                                  const gpu::DeviceSpec& spec,
+                                  gvm::GvmConfig config,
+                                  const DesReplayOptions& options = {});
+
+struct LiveReplayOptions {
+  sched::SchedulerConfig sched;
+  std::string transport = "shm";      // shm | mq
+  std::string data_plane = "zero_copy";  // staged | zero_copy
+  std::string exec = "serial";        // serial | sharded
+  int workers = 2;                    // server worker threads
+  bool vmem = false;                  // transparent oversubscription
+  Bytes vmem_device_mb = 64;
+  /// Wall-clock microseconds per trace microsecond; < 1 compresses the
+  /// trace for CI smoke runs (arrival *order* and latency accounting are
+  /// unchanged — latency is still measured from the scaled schedule).
+  double time_scale = 1.0;
+  bool capture_outputs = false;
+  std::string prefix;  // default: /vgpu_mix_<pid>
+};
+
+/// Replays `trace` against an in-process RtServer with threaded clients.
+StatusOr<ReplayResult> replay_live(const Trace& trace,
+                                   const LiveReplayOptions& options = {});
+
+}  // namespace vgpu::workloads::trace

@@ -1,0 +1,104 @@
+#include <cstring>
+#include <memory>
+
+#include "workloads/trace/replay.hpp"
+
+namespace vgpu::workloads::trace {
+
+namespace {
+
+/// Host buffers backing one tenant's functional plans: one shared input
+/// image (every job sends the same bytes — the parity precondition) and
+/// one output buffer per worker.
+struct TenantBuffers {
+  std::vector<std::byte> input;
+  std::vector<std::vector<std::byte>> outputs;  // per worker
+};
+
+}  // namespace
+
+StatusOr<ReplayResult> replay_des(const Trace& trace,
+                                  const gpu::DeviceSpec& spec,
+                                  gvm::GvmConfig config,
+                                  const DesReplayOptions& options) {
+  std::vector<gvm::MixedClient> mix;
+  std::vector<int> client_tenant;  // mix index -> tenant id
+  std::map<int, TenantBuffers> buffers;
+  std::map<int, bool> functional;
+
+  for (const TenantSpec& t : trace.tenants) {
+    auto shape = job_shape(t.kernel, t.scale);
+    VGPU_RETURN_IF_ERROR(shape.status());
+    const int workers = t.workers;
+    const bool run_functional =
+        options.functional && shape->functional;
+    functional[t.id] = run_functional;
+    TenantBuffers* bufs = nullptr;
+    if (run_functional) {
+      bufs = &buffers[t.id];
+      bufs->input.resize(static_cast<std::size_t>(shape->bytes_in));
+      if (shape->fill) shape->fill(bufs->input);
+      bufs->outputs.resize(static_cast<std::size_t>(workers));
+    }
+    for (int w = 0; w < workers; ++w) {
+      gvm::MixedClient client;
+      client.plan = shape->timing_plan;
+      client.plan.priority = t.priority;
+      client.plan.weight = t.weight;
+      if (run_functional) {
+        auto& out = bufs->outputs[static_cast<std::size_t>(w)];
+        out.resize(static_cast<std::size_t>(shape->bytes_out));
+        client.plan.backed = true;
+        client.plan.input = bufs->input.data();
+        client.plan.output = out.data();
+        client.plan.kernel_body = shape->body;
+      }
+      client.tenant = t.id;
+      if (t.arrival == ArrivalKind::kClosedLoop) {
+        const int jobs = t.jobs;
+        client.rounds = jobs / workers + (w < jobs % workers ? 1 : 0);
+        client.think = static_cast<SimDuration>(t.think_ms * 1e6);
+      } else {
+        client.rounds = 0;  // releases drive the round count
+        for (const TraceOp& op : trace.ops) {
+          if (op.tenant == t.id && op.seq % workers == w) {
+            client.releases.push_back(op.t_us * 1000);  // us -> ns
+          }
+        }
+      }
+      client_tenant.push_back(t.id);
+      mix.push_back(std::move(client));
+    }
+  }
+  if (mix.empty()) return InvalidArgument("trace has no tenants");
+
+  ReplayResult result;
+  result.des = gvm::run_mixed(spec, std::move(config), mix);
+  result.makespan_ms =
+      static_cast<double>(result.des.turnaround) / 1e6;
+
+  obs::SloAggregator agg;
+  for (const TenantSpec& t : trace.tenants) {
+    agg.declare(t.id, t.name, t.weight,
+                obs::SloTarget{t.slo_p50_ms, t.slo_p99_ms});
+    result.completed[t.id] = 0;
+  }
+  for (const gvm::RoundSample& s : result.des.samples) {
+    agg.record(s.tenant, static_cast<double>(s.latency) / 1e6);
+    ++result.completed[s.tenant];
+  }
+  result.report = agg.report(result.makespan_ms);
+
+  if (options.capture_outputs) {
+    for (const TenantSpec& t : trace.tenants) {
+      if (!functional[t.id]) continue;
+      const TenantBuffers& bufs = buffers[t.id];
+      if (!bufs.outputs.empty()) {
+        result.outputs[t.id] = bufs.outputs.front();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vgpu::workloads::trace

@@ -4,6 +4,7 @@
 
 #include "vgpu.hpp"
 
+#include <limits>
 #include <algorithm>
 #include <fstream>
 #include <sstream>
@@ -118,6 +119,50 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10);
   EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40);
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25);
+}
+
+// Pins the canonical interpolation rule at rank q*(n-1):
+// sorted[lo]*(1-frac) + sorted[hi]*frac. Every percentile in the repo
+// (scheduler waits, bench percentiles, SLO reports) flows through this.
+TEST(Stats, PercentileRankRulePinned) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.95), 10.0 * 0.0 + 38.5);  // rank 2.85
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 17.5);               // rank 0.75
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 20.0);          // exact rank 1
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  // Empty and single-sample sets must not abort or index out of range.
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+  // Two samples: pure interpolation between them.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 3.0}, 0.99), 1.0 + 2.0 * 0.99);
+  // Out-of-range and NaN quantiles clamp instead of reading wild memory.
+  std::vector<double> v{10, 20, 30};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, std::numeric_limits<double>::quiet_NaN()),
+                   10.0);
+}
+
+TEST(Stats, SampleStatsMatchesFreeFunction) {
+  std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0};  // unsorted on purpose
+  SampleStats stats(v);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.median(), 3.0);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(stats.percentile(q), percentile(v, q)) << q;
+  }
+  SampleStats empty{std::vector<double>{}};
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
 }
 
 TEST(Stats, HistogramBinsAndClamping) {

@@ -1,0 +1,172 @@
+// DES-vs-live cross-check for the trace replay engines (ROADMAP item 5):
+// one small canonical mix replayed on the coroutine DES path
+// (gvm::run_mixed, functional kernel bodies) and on the live RtServer
+// path (serial exec) must produce identical per-tenant completion counts
+// and bitwise-identical kernel outputs — the tenant-to-client mapping,
+// the input filler, and the kernel arithmetic are shared, so any drift
+// between the two stacks shows up here as a byte diff.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/spec.hpp"
+#include "gvm/experiment.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/trace/replay.hpp"
+#include "workloads/trace/trace.hpp"
+
+namespace vgpu::workloads::trace {
+namespace {
+
+/// A deliberately small mix: every parity kernel (vecadd, sgemm,
+/// blackscholes), every arrival archetype class (bursty, poisson,
+/// closed-loop), two workers on the bursty tenant to exercise the
+/// seq % W partition, and a graph-capture tenant for the live path.
+Trace cross_check_mix(bool with_graph) {
+  TenantSpec infer;
+  infer.id = 0;
+  infer.name = "infer";
+  infer.arrival = ArrivalKind::kBursty;
+  infer.kernel = "vecadd";
+  infer.scale = 1024;
+  infer.rate_hz = 150.0;
+  infer.burst_factor = 3.0;
+  infer.burst_ms = 30.0;
+  infer.idle_ms = 50.0;
+  infer.workers = 2;
+  infer.jobs = 64;
+  infer.graph = with_graph;
+  infer.slo_p99_ms = 50.0;
+
+  TenantSpec risk;
+  risk.id = 1;
+  risk.name = "risk";
+  risk.arrival = ArrivalKind::kPoisson;
+  risk.kernel = "blackscholes";
+  risk.scale = 512;
+  risk.rate_hz = 100.0;
+  risk.jobs = 64;
+  risk.slo_p99_ms = 50.0;
+
+  TenantSpec batch;
+  batch.id = 2;
+  batch.name = "batch";
+  batch.arrival = ArrivalKind::kClosedLoop;
+  batch.kernel = "sgemm";
+  batch.scale = 24;
+  batch.jobs = 6;
+  batch.think_ms = 1.0;
+
+  return generate("cross_check", /*seed=*/7, /*horizon_us=*/120'000,
+                  {infer, risk, batch});
+}
+
+TEST(MixedReplay, DesAndLiveAgreeOnCompletionsAndOutputBytes) {
+  const Trace trace = cross_check_mix(/*with_graph=*/false);
+  ASSERT_FALSE(trace.ops.empty());
+
+  DesReplayOptions des_opts;
+  des_opts.functional = true;
+  des_opts.capture_outputs = true;
+  gvm::GvmConfig config;
+  ASSERT_TRUE(sched::parse_policy("fair", &config.sched.policy));
+  auto des = replay_des(trace, gpu::tesla_c2070(), config, des_opts);
+  ASSERT_TRUE(des.ok()) << des.status().to_string();
+
+  LiveReplayOptions live_opts;
+  live_opts.sched = config.sched;
+  live_opts.transport = "shm";
+  live_opts.exec = "serial";
+  live_opts.capture_outputs = true;
+  auto live = replay_live(trace, live_opts);
+  ASSERT_TRUE(live.ok()) << live.status().to_string();
+  EXPECT_EQ(live->errors, 0);
+  EXPECT_EQ(live->leaked_slots, 0);
+  EXPECT_EQ(live->leaked_segments, 0);
+
+  // Identical per-tenant completion counts: the trace pins every open-loop
+  // release, and closed-loop budgets are part of the descriptor.
+  ASSERT_EQ(des->completed.size(), live->completed.size());
+  for (const auto& [tenant, count] : des->completed) {
+    ASSERT_TRUE(live->completed.count(tenant)) << "tenant " << tenant;
+    EXPECT_EQ(count, live->completed.at(tenant)) << "tenant " << tenant;
+    EXPECT_GT(count, 0) << "tenant " << tenant;
+  }
+
+  // Bitwise-identical kernel outputs for every functional tenant.
+  ASSERT_EQ(des->outputs.size(), live->outputs.size());
+  for (const auto& [tenant, bytes] : des->outputs) {
+    ASSERT_TRUE(live->outputs.count(tenant)) << "tenant " << tenant;
+    const auto& other = live->outputs.at(tenant);
+    ASSERT_EQ(bytes.size(), other.size()) << "tenant " << tenant;
+    ASSERT_FALSE(bytes.empty()) << "tenant " << tenant;
+    EXPECT_EQ(std::memcmp(bytes.data(), other.data(), bytes.size()), 0)
+        << "tenant " << tenant << ": DES and live kernel outputs diverge";
+  }
+}
+
+TEST(MixedReplay, GraphCaptureReplayMatchesVerbLoopOutputs) {
+  // The same mix with graph capture on the bursty tenant: captured-graph
+  // launches must not change completions or output bytes vs the verb loop.
+  const Trace plain = cross_check_mix(/*with_graph=*/false);
+  const Trace graphed = cross_check_mix(/*with_graph=*/true);
+
+  LiveReplayOptions opts;
+  ASSERT_TRUE(sched::parse_policy("fair", &opts.sched.policy));
+  opts.capture_outputs = true;
+  auto a = replay_live(plain, opts);
+  auto b = replay_live(graphed, opts);
+  ASSERT_TRUE(a.ok()) << a.status().to_string();
+  ASSERT_TRUE(b.ok()) << b.status().to_string();
+  EXPECT_EQ(a->errors, 0);
+  EXPECT_EQ(b->errors, 0);
+  for (const auto& [tenant, count] : a->completed) {
+    EXPECT_EQ(count, b->completed.at(tenant)) << "tenant " << tenant;
+  }
+  for (const auto& [tenant, bytes] : a->outputs) {
+    const auto& other = b->outputs.at(tenant);
+    ASSERT_EQ(bytes.size(), other.size());
+    EXPECT_EQ(std::memcmp(bytes.data(), other.data(), bytes.size()), 0)
+        << "tenant " << tenant;
+  }
+}
+
+TEST(MixedReplay, DesReplayIsDeterministic) {
+  const Trace trace = cross_check_mix(/*with_graph=*/false);
+  DesReplayOptions opts;
+  opts.functional = true;
+  opts.capture_outputs = true;
+  gvm::GvmConfig config;
+  ASSERT_TRUE(sched::parse_policy("tq", &config.sched.policy));
+  auto a = replay_des(trace, gpu::tesla_c2070(), config, opts);
+  auto b = replay_des(trace, gpu::tesla_c2070(), config, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->makespan_ms, b->makespan_ms);
+  EXPECT_EQ(a->report.to_json(), b->report.to_json());
+  for (const auto& [tenant, bytes] : a->outputs) {
+    const auto& other = b->outputs.at(tenant);
+    ASSERT_EQ(bytes.size(), other.size());
+    EXPECT_EQ(std::memcmp(bytes.data(), other.data(), bytes.size()), 0);
+  }
+}
+
+TEST(MixedReplay, SloTargetsFlowThroughToReports) {
+  const Trace trace = cross_check_mix(/*with_graph=*/false);
+  gvm::GvmConfig config;
+  auto des = replay_des(trace, gpu::tesla_c2070(), config);
+  ASSERT_TRUE(des.ok());
+  ASSERT_EQ(des->report.tenants.size(), 3u);
+  EXPECT_EQ(des->report.tenants[0].name, "infer");
+  EXPECT_EQ(des->report.tenants[0].target.p99_ms, 50.0);
+  EXPECT_EQ(des->report.tenants[2].target.p99_ms, 0.0);  // batch: none
+  for (const auto& row : des->report.tenants) {
+    EXPECT_GT(row.completed, 0) << row.name;
+    EXPECT_GT(row.throughput_per_s, 0.0) << row.name;
+  }
+}
+
+}  // namespace
+}  // namespace vgpu::workloads::trace

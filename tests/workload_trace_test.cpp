@@ -1,0 +1,411 @@
+// Tests for the multi-tenant workload-trace suite (src/workloads/trace):
+// golden round-trip (serialize -> parse -> re-serialize byte-identical),
+// malformed/truncated/version-skewed traces rejected with Status (never an
+// abort), generator determinism across runs and forked children, the
+// job-shape catalog, and the SLO reporter property tests — fairness index
+// and percentile aggregates recomputed brute-force from the raw samples
+// must match the streaming report exactly.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "workloads/trace/trace.hpp"
+
+namespace vgpu::workloads::trace {
+namespace {
+
+// ---------------------------------------------------------------------
+// Golden round trip
+
+TEST(TraceFormat, CanonicalMixesRoundTripByteIdentical) {
+  for (const std::string& name : canonical_mix_names()) {
+    auto trace = canonical_mix(name, /*horizon_us=*/200'000);
+    ASSERT_TRUE(trace.ok()) << name;
+    const std::string text = trace->serialize();
+    auto parsed = parse(text);
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().to_string();
+    EXPECT_EQ(parsed->serialize(), text) << name;
+    EXPECT_EQ(parsed->mix, trace->mix);
+    EXPECT_EQ(parsed->seed, trace->seed);
+    EXPECT_EQ(parsed->tenants.size(), trace->tenants.size());
+    EXPECT_EQ(parsed->ops.size(), trace->ops.size());
+  }
+}
+
+TEST(TraceFormat, RoundTripPreservesDoubleFields) {
+  TenantSpec t;
+  t.id = 0;
+  t.name = "frac";
+  t.arrival = ArrivalKind::kPoisson;
+  t.rate_hz = 0.1 + 0.2;  // 0.30000000000000004 — needs %.17g fidelity
+  t.weight = 1.0 / 3.0;
+  t.slo_p99_ms = 12.3456789012345678;
+  t.jobs = 2;
+  const Trace trace = generate("frac_mix", 7, 100'000, {t});
+  auto parsed = parse(trace.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->tenants[0].rate_hz, t.rate_hz);
+  EXPECT_EQ(parsed->tenants[0].weight, t.weight);
+  EXPECT_EQ(parsed->tenants[0].slo_p99_ms, t.slo_p99_ms);
+  EXPECT_EQ(parsed->serialize(), trace.serialize());
+}
+
+// ---------------------------------------------------------------------
+// Rejection paths: every malformed input is a Status, never an abort.
+
+std::string golden_text() {
+  auto trace = canonical_mix("risk_batch", /*horizon_us=*/100'000);
+  VGPU_ASSERT(trace.ok());
+  return trace->serialize();
+}
+
+TEST(TraceFormat, RejectsBadMagic) {
+  EXPECT_FALSE(parse("not-a-trace v1\nend\n").ok());
+  EXPECT_FALSE(parse("").ok());
+}
+
+TEST(TraceFormat, RejectsVersionSkew) {
+  std::string text = golden_text();
+  const auto pos = text.find(" v1\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, " v2\n");
+  const auto parsed = parse(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().to_string().find("version"), std::string::npos);
+}
+
+TEST(TraceFormat, RejectsTruncation) {
+  const std::string text = golden_text();
+  // Chop anywhere before the `end` trailer: always "truncated", never
+  // a crash. Step a prime to hit many offsets cheaply.
+  for (std::size_t cut = 1; cut + 4 < text.size(); cut += 97) {
+    const auto parsed = parse(text.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(TraceFormat, RejectsTrailingGarbageAfterEnd) {
+  EXPECT_FALSE(parse(golden_text() + "op 1 0 99\n").ok());
+}
+
+TEST(TraceFormat, RejectsUnknownTenantKeyArrivalAndKernel) {
+  TenantSpec t;
+  t.id = 0;
+  t.name = "a";
+  t.jobs = 1;
+  const std::string text = generate("m", 1, 1000, {t}).serialize();
+
+  std::string bad = text;
+  bad.replace(bad.find("arrival=poisson"), 15, "arrival=psychic");
+  EXPECT_FALSE(parse(bad).ok());
+
+  bad = text;
+  bad.replace(bad.find("kernel=vecadd"), 13, "kernel=vecsub");
+  EXPECT_FALSE(parse(bad).ok());
+
+  bad = text;
+  bad.replace(bad.find("name=a"), 6, "nom=a");
+  EXPECT_FALSE(parse(bad).ok());
+}
+
+TEST(TraceFormat, RejectsDuplicateTenantAndUnknownOpTenant) {
+  TenantSpec a;
+  a.id = 0;
+  a.name = "a";
+  a.jobs = 1;
+  const std::string text = generate("m", 1, 1000, {a}).serialize();
+
+  const auto line_start = text.find("tenant id=0");
+  const auto line_end = text.find('\n', line_start);
+  const std::string tenant_line =
+      text.substr(line_start, line_end - line_start + 1);
+  std::string dup = text;
+  dup.insert(line_end + 1, tenant_line);
+  EXPECT_FALSE(parse(dup).ok());
+
+  std::string ghost = text;
+  ghost.insert(ghost.find("end\n"), "op 500 7 0\n");
+  EXPECT_FALSE(parse(ghost).ok());
+}
+
+TEST(TraceFormat, RejectsDisorderedAndNonContiguousOps) {
+  TenantSpec a;
+  a.id = 0;
+  a.name = "a";
+  a.rate_hz = 2000.0;
+  a.jobs = 8;
+  const Trace trace = generate("m", 3, 10'000, {a});
+  ASSERT_GE(trace.ops.size(), 2u);
+  const std::string text = trace.serialize();
+
+  // Swap the first two op lines: t_us decreases.
+  const auto first = text.find("\nop ") + 1;
+  const auto second = text.find("\nop ", first) + 1;
+  const auto third = text.find('\n', second) + 1;
+  std::string swapped = text.substr(0, first) +
+                        text.substr(second, third - second) +
+                        text.substr(first, second - first) +
+                        text.substr(third);
+  EXPECT_FALSE(parse(swapped).ok());
+
+  // Removing one op line breaks per-tenant seq contiguity.
+  std::string gap = text.substr(0, first) + text.substr(second);
+  EXPECT_FALSE(parse(gap).ok());
+}
+
+TEST(TraceFormat, RejectsOpsOnClosedLoopTenants) {
+  TenantSpec batch;
+  batch.id = 0;
+  batch.name = "batch";
+  batch.arrival = ArrivalKind::kClosedLoop;
+  batch.jobs = 2;
+  std::string text = generate("m", 1, 1000, {batch}).serialize();
+  text.insert(text.find("end\n"), "op 10 0 0\n");
+  EXPECT_FALSE(parse(text).ok());
+}
+
+TEST(TraceFormat, RejectsMangledNumbers) {
+  const std::string text = golden_text();
+  std::string bad = text;
+  bad.replace(bad.find("seed 42"), 7, "seed 4x");
+  EXPECT_FALSE(parse(bad).ok());
+
+  bad = text;
+  bad.replace(bad.find("scale=2048"), 10, "scale=-2048");
+  EXPECT_FALSE(parse(bad).ok());
+
+  bad = text;
+  bad.replace(bad.find("workers=2"), 9, "workers=0");
+  EXPECT_FALSE(parse(bad).ok());
+}
+
+// ---------------------------------------------------------------------
+// Generator determinism
+
+TEST(TraceGenerate, SameSeedBitwiseIdentical) {
+  for (const std::string& name : canonical_mix_names()) {
+    auto a = canonical_mix(name, 300'000, 1234);
+    auto b = canonical_mix(name, 300'000, 1234);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->serialize(), b->serialize()) << name;
+  }
+}
+
+TEST(TraceGenerate, DifferentSeedsDiverge) {
+  auto a = canonical_mix("inference_training", 300'000, 1);
+  auto b = canonical_mix("inference_training", 300'000, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->serialize(), b->serialize());
+}
+
+TEST(TraceGenerate, ForkedChildProducesIdenticalBytes) {
+  auto parent = canonical_mix("diurnal_frontend", 250'000, 99);
+  ASSERT_TRUE(parent.ok());
+  const std::string expect = parent->serialize();
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    close(fds[0]);
+    auto child = canonical_mix("diurnal_frontend", 250'000, 99);
+    const std::string text = child.ok() ? child->serialize() : "";
+    std::size_t off = 0;
+    while (off < text.size()) {
+      const ssize_t n = write(fds[1], text.data() + off, text.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  std::string got;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) {
+    got.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(TraceGenerate, OpsRespectInvariants) {
+  for (const std::string& name : canonical_mix_names()) {
+    auto trace = canonical_mix(name, 400'000);
+    ASSERT_TRUE(trace.ok());
+    std::int64_t prev = 0;
+    std::map<int, int> next_seq;
+    for (const TraceOp& op : trace->ops) {
+      EXPECT_GE(op.t_us, prev);
+      EXPECT_LT(op.t_us, trace->horizon_us);
+      prev = op.t_us;
+      const TenantSpec* t = trace->find_tenant(op.tenant);
+      ASSERT_NE(t, nullptr);
+      EXPECT_NE(t->arrival, ArrivalKind::kClosedLoop);
+      EXPECT_EQ(op.seq, next_seq[op.tenant]++);
+    }
+    for (const TenantSpec& t : trace->tenants) {
+      if (t.arrival == ArrivalKind::kClosedLoop) continue;
+      EXPECT_LE(next_seq[t.id], t.jobs) << t.name;
+      EXPECT_GT(next_seq[t.id], 0) << t.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Job-shape catalog
+
+TEST(JobShape, CatalogCoversParityAndTimingKernels) {
+  for (const std::string& name : job_shape_names()) {
+    auto shape = job_shape(name, 64);
+    ASSERT_TRUE(shape.ok()) << name;
+    EXPECT_FALSE(shape->timing_plan.kernels.empty()) << name;
+    if (shape->functional) {
+      EXPECT_GT(shape->bytes_in, 0u);
+      EXPECT_TRUE(static_cast<bool>(shape->fill)) << name;
+      EXPECT_TRUE(static_cast<bool>(shape->body)) << name;
+    }
+  }
+  EXPECT_FALSE(job_shape("warp_drive", 64).ok());
+  EXPECT_FALSE(job_shape("vecadd", 0).ok());
+}
+
+TEST(JobShape, FillIsDeterministicPerKernelScale) {
+  auto shape = job_shape("blackscholes", 512);
+  ASSERT_TRUE(shape.ok());
+  std::vector<std::byte> a(shape->bytes_in), b(shape->bytes_in);
+  shape->fill(a);
+  shape->fill(b);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0);
+  // A different scale draws a different stream.
+  auto other = job_shape("blackscholes", 256);
+  ASSERT_TRUE(other.ok());
+  std::vector<std::byte> c(other->bytes_in);
+  other->fill(c);
+  EXPECT_NE(std::memcmp(a.data(), c.data(), c.size()), 0);
+}
+
+// ---------------------------------------------------------------------
+// SLO reporter properties: streaming report == brute force on raw samples.
+
+TEST(SloReport, AggregatesMatchBruteForceExactly) {
+  Rng rng(2026);
+  obs::SloAggregator agg;
+  const int kTenants = 5;
+  for (int t = 0; t < kTenants; ++t) {
+    agg.declare(t, "t" + std::to_string(t), 1.0 + t,
+                obs::SloTarget{2.0, 20.0});
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const int t = static_cast<int>(rng.next_below(kTenants));
+    agg.record(t, rng.uniform(0.01, 30.0));
+  }
+  const double makespan_ms = 1234.5;
+  const obs::SloReport report = agg.report(makespan_ms);
+  ASSERT_EQ(report.tenants.size(), static_cast<std::size_t>(kTenants));
+
+  std::vector<double> rates;
+  for (const obs::TenantSlo& row : report.tenants) {
+    const std::vector<double> raw = agg.samples(row.tenant);
+    ASSERT_EQ(row.completed, static_cast<std::int64_t>(raw.size()));
+
+    // Brute force, sharing only the canonical percentile rule.
+    SampleStats stats(raw);
+    EXPECT_EQ(row.p50_ms, stats.percentile(0.50));
+    EXPECT_EQ(row.p99_ms, stats.percentile(0.99));
+    EXPECT_EQ(row.max_ms, stats.max());
+    EXPECT_EQ(row.mean_ms, stats.mean());
+
+    long within = 0;
+    for (const double v : raw) {
+      if (v <= row.target.p99_ms) ++within;
+    }
+    EXPECT_EQ(row.attainment_pct,
+              100.0 * static_cast<double>(within) /
+                  static_cast<double>(raw.size()));
+    EXPECT_EQ(row.p50_met, row.p50_ms <= row.target.p50_ms);
+    EXPECT_EQ(row.p99_met, row.p99_ms <= row.target.p99_ms);
+    EXPECT_EQ(row.throughput_per_s,
+              static_cast<double>(row.completed) / (makespan_ms / 1000.0));
+    rates.push_back(static_cast<double>(row.completed) / row.weight);
+  }
+  EXPECT_EQ(report.jain_fairness, obs::jain_index(rates));
+
+  bool all = true;
+  for (const auto& row : report.tenants) all = all && row.p50_met && row.p99_met;
+  EXPECT_EQ(report.all_met, all);
+}
+
+TEST(SloReport, UndeclaredTargetAlwaysAttains) {
+  obs::SloAggregator agg;
+  agg.declare(0, "free", 1.0, obs::SloTarget{});
+  agg.record(0, 1e6);  // horrific latency, but no target declared
+  const obs::SloReport report = agg.report(10.0);
+  EXPECT_EQ(report.tenants[0].attainment_pct, 100.0);
+  EXPECT_TRUE(report.tenants[0].p99_met);
+  EXPECT_TRUE(report.all_met);
+}
+
+TEST(SloReport, ErrorsAreCountedSeparately) {
+  obs::SloAggregator agg;
+  agg.declare(0, "flaky", 1.0, obs::SloTarget{0, 5.0});
+  agg.record(0, 1.0);
+  agg.record_error(0);
+  agg.record_error(0);
+  const obs::SloReport report = agg.report(10.0);
+  EXPECT_EQ(report.tenants[0].completed, 1);
+  EXPECT_EQ(report.tenants[0].errors, 2);
+}
+
+TEST(SloReport, JainIndexCases) {
+  EXPECT_EQ(obs::jain_index({}), 1.0);
+  EXPECT_EQ(obs::jain_index({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(obs::jain_index({3.0, 3.0, 3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(obs::jain_index({1.0, 0.0, 0.0, 0.0}), 0.25);
+  // Known mid value: (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_DOUBLE_EQ(obs::jain_index({1.0, 2.0, 3.0}), 36.0 / 42.0);
+}
+
+TEST(SloReport, ExportMetricsMirrorsReport) {
+  obs::SloAggregator agg;
+  agg.declare(3, "web", 2.0, obs::SloTarget{1.0, 9.0});
+  agg.record(3, 4.0);
+  agg.record(3, 6.0);
+  obs::Registry registry;
+  agg.export_metrics(&registry, "mix", 1000.0);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("mix.web.p99_ms"), std::string::npos);
+  EXPECT_NE(json.find("mix.web.attainment_pct"), std::string::npos);
+  EXPECT_NE(json.find("mix.jain_fairness"), std::string::npos);
+}
+
+TEST(SloReport, JsonAndTableNameEveryTenant) {
+  obs::SloAggregator agg;
+  agg.declare(0, "alpha", 1.0, obs::SloTarget{0, 5.0});
+  agg.declare(1, "beta", 1.0, obs::SloTarget{});
+  agg.record(0, 1.0);
+  agg.record(1, 2.0);
+  const obs::SloReport report = agg.report(50.0);
+  for (const char* name : {"alpha", "beta"}) {
+    EXPECT_NE(report.to_json().find(name), std::string::npos);
+    EXPECT_NE(report.format_table().find(name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vgpu::workloads::trace

@@ -88,6 +88,8 @@
 #include "rt/client.hpp"
 #include "rt/registry.hpp"
 #include "rt/server.hpp"
+#include "workloads/trace/replay.hpp"
+#include "workloads/trace/trace.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace vgpu;
@@ -839,10 +841,115 @@ void print_sched_counters(const gvm::RunResult& r, sched::Policy policy) {
               a.admitted, a.rejected, a.backpressured, a.evictions);
 }
 
+/// `--trace-gen=<mix>`: synthesize a canonical multi-tenant trace and
+/// write it to `--trace-file=` (stdout if omitted). `--trace-out=` is
+/// already the span-trace flag, hence the distinct spelling.
+int run_trace_gen(const Flags& flags) {
+  const std::string mix = flags.get_string("trace-gen");
+  auto trace = workloads::trace::canonical_mix(
+      mix, flags.get_long("horizon-us", 0),
+      static_cast<std::uint64_t>(flags.get_long("seed", 42)));
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace-gen: %s (try:", trace.status().to_string().c_str());
+    for (const auto& name : workloads::trace::canonical_mix_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  const std::string text = trace->serialize();
+  const std::string path = flags.get_string("trace-file", "");
+  if (path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace-gen: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s: mix %s, %zu tenants, %zu ops\n", path.c_str(),
+              trace->mix.c_str(), trace->tenants.size(), trace->ops.size());
+  return 0;
+}
+
+/// `--trace-in=<file>`: replay a trace on the DES path (`--mode=virt`,
+/// default) or the live RtServer path (`--mode=live`), printing the
+/// per-tenant SLO table.
+int run_trace_in(const Flags& flags) {
+  std::string text;
+  {
+    const std::string path = flags.get_string("trace-in");
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace-in: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  auto trace = workloads::trace::parse(text);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace-in: %s\n", trace.status().to_string().c_str());
+    return 2;
+  }
+
+  sched::SchedulerConfig sched_config;
+  const std::string sched_name = flags.get_string("sched", "fair");
+  if (!sched::parse_policy(sched_name, &sched_config.policy)) {
+    std::fprintf(stderr, "unknown scheduler '%s'\n", sched_name.c_str());
+    return 2;
+  }
+
+  StatusOr<workloads::trace::ReplayResult> result =
+      InvalidArgument("unreached");
+  const std::string mode = flags.get_string("mode", "virt");
+  if (mode == "virt") {
+    const gpu::DeviceSpec spec =
+        select_device(flags.get_string("device", "c2070"));
+    gvm::GvmConfig config;
+    config.sched = sched_config;
+    result = workloads::trace::replay_des(*trace, spec, config);
+  } else if (mode == "live") {
+    workloads::trace::LiveReplayOptions opts;
+    opts.sched = sched_config;
+    opts.transport = flags.get_string("transport", "shm");
+    opts.data_plane = flags.get_string("data-plane", "zero_copy");
+    opts.exec = flags.get_string("exec", "serial");
+    opts.workers = static_cast<int>(flags.get_long("workers", 2));
+    opts.vmem = flags.get_bool("vmem");
+    opts.vmem_device_mb = flags.get_long("device-mb", 64);
+    result = workloads::trace::replay_live(*trace, opts);
+  } else {
+    std::fprintf(stderr, "trace-in supports --mode=virt or --mode=live\n");
+    return 2;
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "trace replay failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("mix %s on %s (%s): %zu ops replayed\n", trace->mix.c_str(),
+              mode.c_str(), sched_name.c_str(), trace->ops.size());
+  std::printf("%s", result->report.format_table().c_str());
+  if (mode == "live") {
+    std::printf("errors %ld | leaked slots %ld | leaked segments %ld\n",
+                result->errors, result->leaked_slots,
+                result->leaked_segments);
+  }
+  return result->errors > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (flags.has("trace-gen")) return run_trace_gen(flags);
+  if (flags.has("trace-in")) return run_trace_in(flags);
   if (!flags.has("workload")) {
     std::printf(
         "usage: %s --workload=<vecadd|ep|mm|mg|blackscholes|cg|"
@@ -859,7 +966,12 @@ int main(int argc, char** argv) {
         "          [--vmem] [--page-size=<bytes>] [--device-mb=<N>]\n"
         "          [--host-ledger-mb=<N>]\n"
         "          [--metrics-json=<file>] [--trace-out=<file>]\n"
-        "          [--fault-plan=<spec>] [--all-modes] [--model]\n",
+        "          [--fault-plan=<spec>] [--all-modes] [--model]\n"
+        "       %s --trace-gen=<mix> [--trace-file=<out>] [--seed=S]\n"
+        "          [--horizon-us=N]\n"
+        "       %s --trace-in=<file> [--mode=virt|live] [--sched=...]\n"
+        "          [--transport=...] [--exec=...] [--vmem]\n",
+        flags.program().c_str(), flags.program().c_str(),
         flags.program().c_str());
     return flags.positional().empty() && argc <= 1 ? 0 : 2;
   }
